@@ -1,0 +1,390 @@
+//! # ic2-balance — dynamic load balancers for iC2mpi
+//!
+//! The platform periodically builds a *runtime processor graph*: node
+//! weights are the execution times of the processors over the last window
+//! of iterations, edge weights the communication volume between them
+//! (estimated by communication-buffer lengths, thesis §4.3). A
+//! [`DynamicBalancer`] inspects that graph and nominates busy → idle
+//! migration pairs; the platform's task-migration phase then moves one task
+//! per pair.
+//!
+//! Balancers are plug-ins (Goal 3): the thesis ships the
+//! [`CentralizedHeuristic`] (a designated processor finds every processor
+//! doing ≥ 25 % more work than *all* of its neighbours and pairs it with its
+//! least-loaded neighbour); [`Diffusion`] is provided as an extension and
+//! [`NoBalancer`] turns the phase off for static-partition baselines.
+
+use std::fmt;
+
+/// Runtime processor graph handed to a balancer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Per-processor execution time (seconds) accumulated since the last
+    /// balancing round — the node weights of the processor graph.
+    pub times: Vec<f64>,
+    /// Symmetric communication-volume matrix (shadow entries exchanged per
+    /// iteration between each pair) — the edge weights. `edges[i][j] == 0`
+    /// means the processors are not neighbours in the current partition.
+    pub edges: Vec<Vec<u64>>,
+}
+
+impl LoadReport {
+    /// Validate shape invariants; returns the number of processors.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square, asymmetric, or has a nonzero
+    /// diagonal.
+    pub fn num_procs(&self) -> usize {
+        let n = self.times.len();
+        assert_eq!(self.edges.len(), n, "edge matrix row count");
+        for (i, row) in self.edges.iter().enumerate() {
+            assert_eq!(row.len(), n, "edge matrix column count");
+            assert_eq!(row[i], 0, "diagonal must be zero");
+            for j in 0..n {
+                assert_eq!(row[j], self.edges[j][i], "edge matrix must be symmetric");
+            }
+        }
+        n
+    }
+
+    /// Neighbours of processor `p` in the runtime graph.
+    pub fn neighbors(&self, p: usize) -> impl Iterator<Item = usize> + '_ {
+        self.edges[p]
+            .iter()
+            .enumerate()
+            .filter(|&(_, &w)| w > 0)
+            .map(|(j, _)| j)
+    }
+}
+
+/// One planned migration: the busy processor will send a task to the idle
+/// one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationPair {
+    /// Overloaded source processor.
+    pub busy: u32,
+    /// Underloaded destination processor (a runtime-graph neighbour of
+    /// `busy`).
+    pub idle: u32,
+}
+
+impl fmt::Display for MigrationPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.busy, self.idle)
+    }
+}
+
+/// A dynamic load balancer plug-in.
+pub trait DynamicBalancer {
+    /// Short human-readable name used in experiment reports.
+    fn name(&self) -> &'static str;
+
+    /// Nominate migrations from the runtime processor graph. An empty plan
+    /// means the load is considered balanced.
+    fn plan(&mut self, report: &LoadReport) -> Vec<MigrationPair>;
+}
+
+/// Never migrates; the "Static Partition" baseline in Figures 13–15/18–19.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoBalancer;
+
+impl DynamicBalancer for NoBalancer {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+    fn plan(&mut self, _report: &LoadReport) -> Vec<MigrationPair> {
+        Vec::new()
+    }
+}
+
+/// The thesis's centralized heuristic (§4.3):
+///
+/// 1. a designated processor assembles the weighted processor graph;
+/// 2. a processor doing at least `threshold` (default 25 %) more work than
+///    **all** of its neighbours is *busy*;
+/// 3. its least-loaded neighbour is the matching *idle* processor.
+///
+/// The busy/idle role rules of Table 1 fall out of the definition: a busy
+/// processor can never simultaneously be idle (mutual ≥ 25 % dominance is
+/// contradictory), which [`validate_pairs`] checks.
+#[derive(Debug, Clone, Copy)]
+pub struct CentralizedHeuristic {
+    /// Relative-load threshold; 0.25 reproduces the thesis.
+    pub threshold: f64,
+}
+
+impl Default for CentralizedHeuristic {
+    fn default() -> Self {
+        CentralizedHeuristic { threshold: 0.25 }
+    }
+}
+
+impl DynamicBalancer for CentralizedHeuristic {
+    fn name(&self) -> &'static str {
+        "centralized-25pct"
+    }
+
+    fn plan(&mut self, report: &LoadReport) -> Vec<MigrationPair> {
+        let n = report.num_procs();
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            let mut busy = true;
+            let mut best_idle: Option<(f64, usize)> = None;
+            let mut has_neighbor = false;
+            for j in report.neighbors(i) {
+                has_neighbor = true;
+                let rel = relative_load(report.times[i], report.times[j]);
+                if rel < self.threshold {
+                    busy = false;
+                    break;
+                }
+                // The idlest neighbour is the one `i` out-works the most.
+                if best_idle.map_or(true, |(r, _)| rel > r) {
+                    best_idle = Some((rel, j));
+                }
+            }
+            if busy && has_neighbor {
+                let (_, idle) = best_idle.expect("busy implies a neighbour");
+                pairs.push(MigrationPair {
+                    busy: i as u32,
+                    idle: idle as u32,
+                });
+            }
+        }
+        debug_assert_eq!(validate_pairs(&pairs), Ok(()));
+        pairs
+    }
+}
+
+/// How much more work `a` does than `b`, as a fraction of `b`'s work
+/// (the thesis's `relative_proc_load`, expressed as a ratio rather than a
+/// percentage). Zero when `a <= b`; saturates when `b` did no work at all.
+pub fn relative_load(a: f64, b: f64) -> f64 {
+    if a <= b {
+        return 0.0;
+    }
+    if b <= f64::EPSILON {
+        return f64::INFINITY;
+    }
+    (a - b) / b
+}
+
+/// A neighbourhood-averaging (diffusion) balancer, provided as the kind of
+/// third-party plug-in the thesis's §7 wants to study: processor `i`
+/// nominates a migration to its least-loaded neighbour whenever its load
+/// exceeds its neighbourhood average by `threshold`.
+#[derive(Debug, Clone, Copy)]
+pub struct Diffusion {
+    /// Excess-over-neighbourhood-average fraction that triggers migration.
+    pub threshold: f64,
+}
+
+impl Default for Diffusion {
+    fn default() -> Self {
+        Diffusion { threshold: 0.25 }
+    }
+}
+
+impl DynamicBalancer for Diffusion {
+    fn name(&self) -> &'static str {
+        "diffusion"
+    }
+
+    fn plan(&mut self, report: &LoadReport) -> Vec<MigrationPair> {
+        let n = report.num_procs();
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            let nbrs: Vec<usize> = report.neighbors(i).collect();
+            if nbrs.is_empty() {
+                continue;
+            }
+            let avg: f64 =
+                nbrs.iter().map(|&j| report.times[j]).sum::<f64>() / nbrs.len() as f64;
+            if relative_load(report.times[i], avg) < self.threshold {
+                continue;
+            }
+            let idle = nbrs
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    report.times[a]
+                        .partial_cmp(&report.times[b])
+                        .expect("times must not be NaN")
+                        .then(a.cmp(&b))
+                })
+                .expect("non-empty neighbourhood");
+            // Only push work downhill.
+            if report.times[idle] < report.times[i] {
+                pairs.push(MigrationPair {
+                    busy: i as u32,
+                    idle: idle as u32,
+                });
+            }
+        }
+        pairs
+    }
+}
+
+/// Check the Table-1 role compatibility rules: no processor may be busy in
+/// one pair and idle in another, and each busy processor sends at most one
+/// task per round (the thesis's single-task-per-pair design, §7).
+pub fn validate_pairs(pairs: &[MigrationPair]) -> Result<(), String> {
+    let mut busies = std::collections::HashSet::new();
+    let mut idles = std::collections::HashSet::new();
+    for p in pairs {
+        if p.busy == p.idle {
+            return Err(format!("pair {p} sends to itself"));
+        }
+        if !busies.insert(p.busy) {
+            return Err(format!("processor {} is busy in two pairs", p.busy));
+        }
+        idles.insert(p.idle);
+    }
+    if let Some(conflict) = busies.intersection(&idles).next() {
+        return Err(format!(
+            "processor {conflict} is both busy and idle (violates Table 1)"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A line of 4 processors with uniform communication.
+    fn line_report(times: [f64; 4]) -> LoadReport {
+        let mut edges = vec![vec![0u64; 4]; 4];
+        for i in 0..3 {
+            edges[i][i + 1] = 10;
+            edges[i + 1][i] = 10;
+        }
+        LoadReport {
+            times: times.to_vec(),
+            edges,
+        }
+    }
+
+    #[test]
+    fn balanced_load_yields_no_pairs() {
+        let mut b = CentralizedHeuristic::default();
+        let pairs = b.plan(&line_report([1.0, 1.0, 1.0, 1.0]));
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn below_threshold_imbalance_is_tolerated() {
+        let mut b = CentralizedHeuristic::default();
+        // 20% more than the neighbours: below the 25% trigger.
+        let pairs = b.plan(&line_report([1.2, 1.0, 1.0, 1.0]));
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn busy_processor_pairs_with_least_loaded_neighbor() {
+        let mut b = CentralizedHeuristic::default();
+        // Proc 1 does 2.0; neighbours 0 (1.0) and 2 (0.5): both >25% less.
+        // (Proc 3 also dominates proc 2 and forms a second pair.)
+        let pairs = b.plan(&line_report([1.0, 2.0, 0.5, 1.0]));
+        assert!(
+            pairs.contains(&MigrationPair { busy: 1, idle: 2 }),
+            "least-loaded neighbour must win: {pairs:?}"
+        );
+        assert_eq!(pairs.len(), 2);
+        assert!(validate_pairs(&pairs).is_ok());
+    }
+
+    #[test]
+    fn dominance_must_hold_over_all_neighbors() {
+        let mut b = CentralizedHeuristic::default();
+        // Proc 1 beats proc 2 by a lot but proc 0 only by 11%: not busy.
+        let pairs = b.plan(&line_report([1.8, 2.0, 0.5, 1.0]));
+        assert!(pairs.iter().all(|p| p.busy != 1), "{pairs:?}");
+    }
+
+    #[test]
+    fn multiple_independent_pairs_form() {
+        // 6-proc ring with two hot spots.
+        let n = 6;
+        let mut edges = vec![vec![0u64; n]; n];
+        for i in 0..n {
+            let j = (i + 1) % n;
+            edges[i][j] = 5;
+            edges[j][i] = 5;
+        }
+        let report = LoadReport {
+            times: vec![3.0, 1.0, 1.0, 3.0, 1.0, 1.0],
+            edges,
+        };
+        let mut b = CentralizedHeuristic::default();
+        let pairs = b.plan(&report);
+        assert_eq!(pairs.len(), 2);
+        assert!(validate_pairs(&pairs).is_ok());
+        let busies: Vec<u32> = pairs.iter().map(|p| p.busy).collect();
+        assert!(busies.contains(&0) && busies.contains(&3));
+    }
+
+    #[test]
+    fn zero_time_neighbors_count_as_infinitely_idle() {
+        let mut b = CentralizedHeuristic::default();
+        let pairs = b.plan(&line_report([1.0, 0.0, 0.0, 0.0]));
+        assert_eq!(pairs, vec![MigrationPair { busy: 0, idle: 1 }]);
+    }
+
+    #[test]
+    fn relative_load_edge_cases() {
+        assert_eq!(relative_load(1.0, 2.0), 0.0);
+        assert_eq!(relative_load(2.0, 1.0), 1.0);
+        assert!((relative_load(1.25, 1.0) - 0.25).abs() < 1e-12);
+        assert!(relative_load(1.0, 0.0).is_infinite());
+        assert_eq!(relative_load(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn no_balancer_never_plans() {
+        let mut b = NoBalancer;
+        assert!(b.plan(&line_report([9.0, 0.1, 0.1, 0.1])).is_empty());
+    }
+
+    #[test]
+    fn diffusion_pushes_downhill_only() {
+        let mut b = Diffusion::default();
+        let pairs = b.plan(&line_report([2.0, 1.0, 1.0, 1.0]));
+        assert_eq!(pairs, vec![MigrationPair { busy: 0, idle: 1 }]);
+        // An idle processor surrounded by busier ones must not send.
+        let pairs = b.plan(&line_report([2.0, 0.1, 2.0, 2.0]));
+        assert!(pairs.iter().all(|p| p.busy != 1));
+    }
+
+    #[test]
+    fn validate_pairs_catches_table1_violations() {
+        assert!(validate_pairs(&[MigrationPair { busy: 0, idle: 1 }]).is_ok());
+        assert!(validate_pairs(&[MigrationPair { busy: 0, idle: 0 }]).is_err());
+        assert!(validate_pairs(&[
+            MigrationPair { busy: 0, idle: 1 },
+            MigrationPair { busy: 0, idle: 2 }
+        ])
+        .is_err());
+        assert!(validate_pairs(&[
+            MigrationPair { busy: 0, idle: 1 },
+            MigrationPair { busy: 1, idle: 2 }
+        ])
+        .is_err());
+        // Shared idle is legal (thesis Figure 10's P0).
+        assert!(validate_pairs(&[
+            MigrationPair { busy: 0, idle: 2 },
+            MigrationPair { busy: 1, idle: 2 }
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn malformed_report_panics() {
+        let report = LoadReport {
+            times: vec![1.0, 1.0],
+            edges: vec![vec![0, 1], vec![0, 0]],
+        };
+        report.num_procs();
+    }
+}

@@ -1,0 +1,37 @@
+//! # ic2-battlefield — battlefield management simulation on iC2mpi
+//!
+//! The thesis's flagship application (§2.2, §5.3): a time-stepped combat
+//! simulation over a 32 × 32 hex terrain, originally parallelised by hand
+//! on hypercube machines \[DMP98\] and re-deployed on the iC2mpi platform to
+//! study static partitioning schemes. The original C simulator is not
+//! published; this crate implements the closest synthetic equivalent that
+//! exercises the same platform paths:
+//!
+//! * hex cells carry **unit lists** for two sides (red/blue), with the
+//!   destroyed-asset bookkeeping of the thesis's
+//!   `hex_node_data_struct` (Figure 2);
+//! * each time step interleaves **several compute/communicate rounds**
+//!   (`NodeProgram::phases` = 3 — targeting, fire + emigration,
+//!   movement), the customization the thesis calls out for this
+//!   application ("the computation and communication function sequence is
+//!   called more than once");
+//! * compute cost per cell grows with its unit count, so **combat zones
+//!   form dynamically** where the armies meet — the load behaviour that
+//!   makes battlefield simulation interesting for load-balancing research.
+//!
+//! The model is deterministic: scenario generation is seeded, and combat
+//! resolution uses only integer arithmetic over the cell's 1-hop
+//! neighbourhood, so the platform's parallel execution is bit-identical to
+//! the sequential oracle.
+
+pub mod cell;
+pub mod program;
+pub mod scenario;
+pub mod stats;
+pub mod unit;
+
+pub use cell::{HexCell, Side, DIRECTIONS};
+pub use program::BattlefieldProgram;
+pub use scenario::Scenario;
+pub use stats::BattleStats;
+pub use unit::Unit;

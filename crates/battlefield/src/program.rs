@@ -1,0 +1,404 @@
+//! The battlefield node program: three compute/communicate phases per
+//! time step.
+//!
+//! Every rule reads only the cell's own state and its 1-hop neighbourhood
+//! (the data the platform delivers), and all arithmetic is integral, so
+//! the simulation is exactly reproducible:
+//!
+//! 1. **Targeting** — each unit allocates its attack toward the adjacent
+//!    (or own) hex holding the most enemy strength; allocations are
+//!    published in the cell's per-direction fire table.
+//! 2. **Fire & emigration** — incoming fire (neighbours' tables pointed at
+//!    this cell, plus same-hex fire) is applied to the cell's units,
+//!    weakest first; losses are added to the destroyed-asset ledger.
+//!    Survivors out of contact emigrate toward the enemy (red east, blue
+//!    west) via the per-direction emigrant lists.
+//! 3. **Movement** — each cell ingests the neighbouring emigrant lists
+//!    pointed at it and clears its transient state.
+
+use crate::cell::{HexCell, Side, DIRECTIONS, DIR_SELF};
+use crate::scenario::Scenario;
+use crate::unit::Unit;
+use ic2_graph::{Graph, NodeId};
+use ic2mpi::{ComputeCtx, NeighborData, NodeProgram};
+use std::sync::Arc;
+
+/// Hex direction indices: E, W, NE, NW, SE, SW (odd-r offset layout,
+/// matching `ic2_graph::generators::hex_grid`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    E = 0,
+    W = 1,
+    Ne = 2,
+    Nw = 3,
+    Se = 4,
+    Sw = 5,
+}
+
+/// The battlefield simulation as a platform plug-in.
+#[derive(Debug, Clone)]
+pub struct BattlefieldProgram {
+    rows: usize,
+    cols: usize,
+    initial: Arc<Vec<HexCell>>,
+    /// Fixed per-cell cost per phase (terrain bookkeeping), seconds.
+    pub base_cost: f64,
+    /// Additional cost per unit present in the cell, seconds.
+    pub per_unit_cost: f64,
+}
+
+impl BattlefieldProgram {
+    /// Build the program from a scenario.
+    pub fn new(scenario: &Scenario) -> Self {
+        BattlefieldProgram {
+            rows: scenario.rows,
+            cols: scenario.cols,
+            initial: Arc::new(scenario.generate()),
+            base_cost: 25e-6,
+            per_unit_cost: 13e-6,
+        }
+    }
+
+    /// The terrain graph this program runs on.
+    pub fn terrain(&self) -> Graph {
+        ic2_graph::generators::hex_grid(self.rows, self.cols)
+    }
+
+    /// Terrain rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Terrain columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn coords(&self, node: NodeId) -> (usize, usize) {
+        (node as usize / self.cols, node as usize % self.cols)
+    }
+
+    /// Direction from `from` to its hex neighbour `to` in the odd-r
+    /// layout; `None` if they are not adjacent.
+    fn direction_to(&self, from: NodeId, to: NodeId) -> Option<Dir> {
+        let (r, c) = self.coords(from);
+        let (tr, tc) = self.coords(to);
+        let (dr, dc) = (tr as isize - r as isize, tc as isize - c as isize);
+        let odd = r % 2 == 1;
+        match (dr, dc, odd) {
+            (0, 1, _) => Some(Dir::E),
+            (0, -1, _) => Some(Dir::W),
+            (-1, 0, false) | (-1, 1, true) => Some(Dir::Ne),
+            (-1, -1, false) | (-1, 0, true) => Some(Dir::Nw),
+            (1, 0, false) | (1, 1, true) => Some(Dir::Se),
+            (1, -1, false) | (1, 0, true) => Some(Dir::Sw),
+            _ => None,
+        }
+    }
+
+    /// Total enemy strength visible from a cell (own hex + neighbours) —
+    /// the contact test deciding fight vs advance.
+    fn visible_enemy_strength(
+        own: &HexCell,
+        neighbors: &[NeighborData<'_, HexCell>],
+        side: Side,
+    ) -> u64 {
+        let enemy = side.enemy();
+        own.strength(enemy)
+            + neighbors
+                .iter()
+                .map(|n| n.data.strength(enemy))
+                .sum::<u64>()
+    }
+
+    // ---- phase 0: targeting ---------------------------------------------
+
+    fn targeting(
+        &self,
+        node: NodeId,
+        own: &HexCell,
+        neighbors: &[NeighborData<'_, HexCell>],
+    ) -> HexCell {
+        let mut next = own.clone();
+        next.fire = [[0; DIRECTIONS + 1]; 2];
+        for side in Side::BOTH {
+            let enemy = side.enemy();
+            // Enemy strength per direction (self last).
+            let mut strength = [0u64; DIRECTIONS + 1];
+            strength[DIR_SELF] = own.strength(enemy);
+            for n in neighbors {
+                if let Some(dir) = self.direction_to(node, n.id) {
+                    strength[dir as usize] = n.data.strength(enemy);
+                }
+            }
+            if strength.iter().all(|&s| s == 0) {
+                continue;
+            }
+            // Every unit fires at the richest target hex; prefer the own
+            // hex on ties (close combat first), then the lowest direction.
+            let mut best = DIR_SELF;
+            for d in 0..DIRECTIONS {
+                if strength[d] > strength[best] {
+                    best = d;
+                }
+            }
+            for unit in own.units(side) {
+                next.fire[side.index()][best] += unit.attack;
+            }
+        }
+        next
+    }
+
+    // ---- phase 1: fire resolution & emigration --------------------------
+
+    fn fire_and_emigrate(
+        &self,
+        node: NodeId,
+        own: &HexCell,
+        neighbors: &[NeighborData<'_, HexCell>],
+    ) -> HexCell {
+        let mut next = own.clone();
+        for side in Side::BOTH {
+            let enemy = side.enemy();
+            // Incoming damage: enemies in this hex plus every neighbour's
+            // fire table entry pointing here.
+            let mut damage: u64 = own.fire[enemy.index()][DIR_SELF] as u64;
+            for n in neighbors {
+                if let Some(dir) = self.direction_to(n.id, node) {
+                    damage += n.data.fire[enemy.index()][dir as usize] as u64;
+                }
+            }
+            if damage > 0 {
+                apply_damage(&mut next, side, damage);
+            }
+        }
+        // Survivors out of contact advance toward the enemy.
+        for side in Side::BOTH {
+            if Self::visible_enemy_strength(own, neighbors, side) > 0 {
+                continue;
+            }
+            let (_, c) = self.coords(node);
+            let advance = match side {
+                Side::Red if c + 1 < self.cols => Some(Dir::E),
+                Side::Blue if c > 0 => Some(Dir::W),
+                _ => None,
+            };
+            if let Some(dir) = advance {
+                let movers = std::mem::take(next.units_mut(side));
+                next.emigrants[side.index()][dir as usize] = movers;
+            }
+        }
+        next
+    }
+
+    // ---- phase 2: movement ----------------------------------------------
+
+    fn movement(
+        &self,
+        node: NodeId,
+        own: &HexCell,
+        neighbors: &[NeighborData<'_, HexCell>],
+    ) -> HexCell {
+        let mut next = own.clone();
+        for n in neighbors {
+            // Units the neighbour sent in our direction.
+            if let Some(dir) = self.direction_to(n.id, node) {
+                for side in Side::BOTH {
+                    let arrivals = &n.data.emigrants[side.index()][dir as usize];
+                    next.units_mut(side).extend(arrivals.iter().copied());
+                }
+            }
+        }
+        next.emigrants = Default::default();
+        next.fire = [[0; DIRECTIONS + 1]; 2];
+        next.normalize();
+        next
+    }
+}
+
+/// Apply `damage` to `side`'s units in ascending strength order (weakest
+/// are destroyed first), updating the destroyed ledger.
+fn apply_damage(cell: &mut HexCell, side: Side, mut damage: u64) {
+    let units = cell.units_mut(side);
+    units.sort_unstable_by_key(|u| (u.strength, u.id));
+    let mut destroyed = 0u32;
+    for unit in units.iter_mut() {
+        if damage == 0 {
+            break;
+        }
+        let hit = damage.min(unit.strength as u64) as u32;
+        unit.strength -= hit;
+        damage -= hit as u64;
+        if unit.strength == 0 {
+            destroyed += 1;
+        }
+    }
+    units.retain(Unit::alive);
+    cell.destroyed[side.index()] += destroyed;
+    cell.normalize();
+}
+
+impl NodeProgram for BattlefieldProgram {
+    type Data = HexCell;
+
+    fn init(&self, node: NodeId, _graph: &Graph) -> HexCell {
+        self.initial[node as usize].clone()
+    }
+
+    fn compute(
+        &self,
+        node: NodeId,
+        own: &HexCell,
+        neighbors: &[NeighborData<'_, HexCell>],
+        ctx: &ComputeCtx,
+    ) -> HexCell {
+        match ctx.phase {
+            0 => self.targeting(node, own, neighbors),
+            1 => self.fire_and_emigrate(node, own, neighbors),
+            2 => self.movement(node, own, neighbors),
+            other => panic!("battlefield has 3 phases, got {other}"),
+        }
+    }
+
+    fn cost(&self, _node: NodeId, own: &HexCell, _ctx: &ComputeCtx) -> f64 {
+        self.base_cost + self.per_unit_cost * own.unit_count() as f64
+    }
+
+    fn phases(&self) -> u32 {
+        3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic2mpi::seq;
+
+    fn program(rows: usize, cols: usize, seed: u64) -> BattlefieldProgram {
+        BattlefieldProgram::new(&Scenario::skirmish(rows, cols, seed))
+    }
+
+    #[test]
+    fn directions_are_mutually_inverse() {
+        let p = program(6, 6, 0);
+        let g = p.terrain();
+        for v in g.nodes() {
+            for &w in g.neighbors(v) {
+                let d = p.direction_to(v, w).expect("adjacent");
+                let back = p.direction_to(w, v).expect("adjacent");
+                let expected_back = match d {
+                    Dir::E => Dir::W,
+                    Dir::W => Dir::E,
+                    Dir::Ne => Dir::Sw,
+                    Dir::Sw => Dir::Ne,
+                    Dir::Nw => Dir::Se,
+                    Dir::Se => Dir::Nw,
+                };
+                assert_eq!(back, expected_back, "edge ({v},{w})");
+            }
+        }
+    }
+
+    #[test]
+    fn non_adjacent_cells_have_no_direction() {
+        let p = program(6, 6, 0);
+        assert_eq!(p.direction_to(0, 14), None);
+        assert_eq!(p.direction_to(0, 0), None);
+    }
+
+    #[test]
+    fn armies_advance_and_meet() {
+        let p = program(4, 8, 1);
+        let g = p.terrain();
+        let start = crate::stats::BattleStats::from_cells(&seq::run_sequential(&g, &p, 0));
+        assert_eq!(start.contact_cells, 0);
+        // After enough steps the forces must have met and fought.
+        let end_cells = seq::run_sequential(&g, &p, 12);
+        let end = crate::stats::BattleStats::from_cells(&end_cells);
+        assert!(
+            end.destroyed[0] + end.destroyed[1] > 0,
+            "battle must produce losses: {end:?}"
+        );
+    }
+
+    #[test]
+    fn units_are_conserved_modulo_destruction() {
+        let p = program(4, 8, 2);
+        let g = p.terrain();
+        let initial = crate::stats::BattleStats::from_cells(&seq::run_sequential(&g, &p, 0));
+        for steps in [1, 3, 7, 12] {
+            let s = crate::stats::BattleStats::from_cells(&seq::run_sequential(&g, &p, steps));
+            for side in 0..2 {
+                assert_eq!(
+                    s.units[side] + s.destroyed[side] as usize,
+                    initial.units[side],
+                    "side {side} at step {steps}: {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let p = program(4, 6, 3);
+        let g = p.terrain();
+        let a = seq::run_sequential(&g, &p, 8);
+        let b = seq::run_sequential(&g, &p, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cost_scales_with_units() {
+        let p = program(4, 6, 0);
+        let ctx = ComputeCtx {
+            iter: 1,
+            phase: 0,
+            rank: 0,
+            num_nodes: 24,
+        };
+        let empty = HexCell::new();
+        let mut busy = HexCell::new();
+        for i in 0..10 {
+            busy.red.push(Unit::new(i, 100, 10));
+        }
+        assert!(p.cost(0, &busy, &ctx) > p.cost(0, &empty, &ctx));
+    }
+
+    #[test]
+    fn targeting_prefers_strongest_enemy_hex() {
+        let p = program(4, 8, 0);
+        // Cell 9 (r=1,c=1) with one red unit; blue in E neighbour (10) and
+        // a weaker blue in the own cell? Use own-cell preference on tie.
+        let mut own = HexCell::new();
+        own.red.push(Unit::new(0, 100, 10));
+        let mut east = HexCell::new();
+        east.blue.push(Unit::new(1, 200, 5));
+        let nbrs = [NeighborData {
+            id: 10,
+            data: &east,
+        }];
+        let out = p.targeting(9, &own, &nbrs);
+        assert_eq!(out.fire[Side::Red.index()][Dir::E as usize], 10);
+    }
+
+    #[test]
+    fn apply_damage_kills_weakest_first() {
+        let mut cell = HexCell::new();
+        cell.blue.push(Unit::new(1, 30, 1));
+        cell.blue.push(Unit::new(2, 100, 1));
+        apply_damage(&mut cell, Side::Blue, 40);
+        assert_eq!(cell.blue.len(), 1);
+        assert_eq!(cell.blue[0].id, 2);
+        assert_eq!(cell.blue[0].strength, 90);
+        assert_eq!(cell.destroyed[Side::Blue.index()], 1);
+    }
+
+    #[test]
+    fn apply_damage_can_wipe_a_cell() {
+        let mut cell = HexCell::new();
+        cell.red.push(Unit::new(1, 10, 1));
+        apply_damage(&mut cell, Side::Red, 1000);
+        assert!(cell.red.is_empty());
+        assert_eq!(cell.destroyed[Side::Red.index()], 1);
+    }
+}

@@ -1,0 +1,81 @@
+//! Battle telemetry for tests, examples and the reproduction harness.
+
+use crate::cell::{HexCell, Side};
+
+/// Aggregate state of the battlefield at one instant.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BattleStats {
+    /// Live units per side (red, blue).
+    pub units: [usize; 2],
+    /// Remaining strength per side.
+    pub strength: [u64; 2],
+    /// Cumulative destroyed units per side.
+    pub destroyed: [u32; 2],
+    /// Cells holding at least one unit.
+    pub occupied_cells: usize,
+    /// Cells where both sides are present or adjacent load peaks — here:
+    /// cells holding units of both sides.
+    pub contact_cells: usize,
+    /// Largest unit count in a single cell (the load hotspot).
+    pub max_units_per_cell: usize,
+}
+
+impl BattleStats {
+    /// Aggregate over a full battlefield snapshot.
+    pub fn from_cells(cells: &[HexCell]) -> Self {
+        let mut s = BattleStats::default();
+        for cell in cells {
+            for side in Side::BOTH {
+                s.units[side.index()] += cell.units(side).len();
+                s.strength[side.index()] += cell.strength(side);
+                s.destroyed[side.index()] += cell.destroyed[side.index()];
+            }
+            if cell.occupied() {
+                s.occupied_cells += 1;
+            }
+            if !cell.red.is_empty() && !cell.blue.is_empty() {
+                s.contact_cells += 1;
+            }
+            s.max_units_per_cell = s.max_units_per_cell.max(cell.unit_count());
+        }
+        s
+    }
+
+    /// Total losses across both sides.
+    pub fn total_destroyed(&self) -> u32 {
+        self.destroyed[0] + self.destroyed[1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit::Unit;
+
+    #[test]
+    fn aggregates_over_cells() {
+        let mut a = HexCell::new();
+        a.red.push(Unit::new(0, 100, 10));
+        a.red.push(Unit::new(1, 50, 5));
+        a.destroyed = [1, 0];
+        let mut b = HexCell::new();
+        b.blue.push(Unit::new(2, 70, 7));
+        let mut contact = HexCell::new();
+        contact.red.push(Unit::new(3, 10, 1));
+        contact.blue.push(Unit::new(4, 20, 2));
+        let s = BattleStats::from_cells(&[a, b, contact, HexCell::new()]);
+        assert_eq!(s.units, [3, 2]);
+        assert_eq!(s.strength, [160, 90]);
+        assert_eq!(s.destroyed, [1, 0]);
+        assert_eq!(s.occupied_cells, 3);
+        assert_eq!(s.contact_cells, 1);
+        assert_eq!(s.max_units_per_cell, 2);
+        assert_eq!(s.total_destroyed(), 1);
+    }
+
+    #[test]
+    fn empty_battlefield() {
+        let s = BattleStats::from_cells(&[]);
+        assert_eq!(s, BattleStats::default());
+    }
+}

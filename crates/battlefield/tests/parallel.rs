@@ -1,0 +1,101 @@
+//! The battlefield simulation must run unchanged on the platform and match
+//! the sequential oracle exactly — units, strengths, positions, ledgers.
+
+use ic2_battlefield::{BattlefieldProgram, BattleStats, Scenario};
+use ic2mpi::prelude::*;
+use ic2mpi::seq;
+use std::time::Duration;
+
+fn cfg(nprocs: usize, steps: u32) -> RunConfig {
+    RunConfig::new(nprocs, steps)
+        .with_world(mpisim::Config::default().with_watchdog(Duration::from_secs(20)))
+        .with_validation()
+}
+
+#[test]
+fn parallel_matches_sequential_battle() {
+    let program = BattlefieldProgram::new(&Scenario::skirmish(6, 12, 7));
+    let graph = program.terrain();
+    let oracle = seq::run_sequential(&graph, &program, 10);
+    for procs in [1, 2, 4, 8] {
+        let report = run(&graph, &program, &Metis::default(), || NoBalancer, &cfg(procs, 10));
+        assert_eq!(report.final_data, oracle, "{procs} procs");
+    }
+}
+
+#[test]
+fn battle_actually_happens_in_parallel() {
+    let program = BattlefieldProgram::new(&Scenario::skirmish(6, 12, 3));
+    let graph = program.terrain();
+    let report = run(&graph, &program, &Metis::default(), || NoBalancer, &cfg(4, 14));
+    let stats = BattleStats::from_cells(&report.final_data);
+    assert!(stats.total_destroyed() > 0, "no combat occurred: {stats:?}");
+    // Units never appear from nowhere.
+    let initial = BattleStats::from_cells(&seq::run_sequential(&graph, &program, 0));
+    for side in 0..2 {
+        assert_eq!(
+            stats.units[side] + stats.destroyed[side] as usize,
+            initial.units[side]
+        );
+    }
+}
+
+#[test]
+fn band_partitioners_run_the_battlefield() {
+    use ic2_partition::bands::{ColumnBand, RectangularBand, RowBand};
+    use ic2_partition::graycode::GrayCodeBf;
+    let program = BattlefieldProgram::new(&Scenario::skirmish(4, 8, 5));
+    let graph = program.terrain();
+    let oracle = seq::run_sequential(&graph, &program, 6);
+    let partitioners: Vec<Box<dyn ic2_partition::StaticPartitioner + Sync>> = vec![
+        Box::new(RowBand),
+        Box::new(ColumnBand),
+        Box::new(RectangularBand),
+        Box::new(GrayCodeBf),
+    ];
+    for p in &partitioners {
+        let report = run(&graph, &program, p.as_ref(), || NoBalancer, &cfg(4, 6));
+        assert_eq!(report.final_data, oracle, "partitioner {}", p.name());
+    }
+}
+
+#[test]
+fn battlefield_survives_dynamic_migration() {
+    let program = BattlefieldProgram::new(&Scenario::skirmish(6, 12, 9));
+    let graph = program.terrain();
+    let oracle = seq::run_sequential(&graph, &program, 12);
+    let config = cfg(4, 12)
+        .with_balancing(4)
+        .with_migration_batch(6)
+        .with_migrant_policy(MigrantPolicy::LoadAware);
+    let report = run(
+        &graph,
+        &program,
+        &Metis::default(),
+        || Diffusion { threshold: 0.05 },
+        &config,
+    );
+    assert_eq!(report.final_data, oracle);
+}
+
+#[test]
+fn combat_zone_concentrates_load() {
+    // After the armies meet, the busiest cells must be well inside the
+    // terrain (not in the original deployment bands) — the dynamically
+    // forming combat zone the thesis motivates load balancing with.
+    let program = BattlefieldProgram::new(&Scenario::skirmish(6, 16, 11));
+    let graph = program.terrain();
+    let cells = seq::run_sequential(&graph, &program, 16);
+    let stats = BattleStats::from_cells(&cells);
+    assert!(stats.max_units_per_cell >= 2);
+    let busiest = cells
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, c)| c.unit_count())
+        .map(|(i, _)| i % 16)
+        .unwrap();
+    assert!(
+        (3..13).contains(&busiest),
+        "combat zone at column {busiest} should be interior"
+    );
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the battlefield model.
+
+use ic2_battlefield::{BattlefieldProgram, BattleStats, HexCell, Scenario, Unit};
+use ic2mpi::seq;
+use mpisim::Wire;
+use proptest::prelude::*;
+
+fn arb_unit() -> impl Strategy<Value = Unit> {
+    (any::<u32>(), 1u32..500, 1u32..50).prop_map(|(id, s, a)| Unit::new(id, s, a))
+}
+
+fn arb_cell() -> impl Strategy<Value = HexCell> {
+    (
+        proptest::collection::vec(arb_unit(), 0..6),
+        proptest::collection::vec(arb_unit(), 0..6),
+        any::<u32>(),
+        any::<u32>(),
+    )
+        .prop_map(|(red, blue, d0, d1)| {
+            let mut c = HexCell::new();
+            c.red = red;
+            c.blue = blue;
+            c.destroyed = [d0, d1];
+            c.normalize();
+            c
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hex_cells_roundtrip_the_wire(cell in arb_cell()) {
+        let bytes = cell.to_bytes();
+        let back = HexCell::from_bytes(&bytes).ok();
+        prop_assert_eq!(back.as_ref(), Some(&cell));
+    }
+
+    #[test]
+    fn scenarios_place_disjoint_forces(
+        rows in 2usize..8,
+        cols in 4usize..12,
+        seed in any::<u64>(),
+    ) {
+        let s = Scenario::skirmish(rows, cols, seed);
+        let cells = s.generate();
+        prop_assert_eq!(cells.len(), rows * cols);
+        for cell in &cells {
+            // Nobody starts in contact.
+            prop_assert!(cell.red.is_empty() || cell.blue.is_empty());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn units_conserved_for_arbitrary_scenarios(
+        rows in 2usize..6,
+        cols in 4usize..10,
+        seed in any::<u64>(),
+        steps in 1u32..10,
+    ) {
+        let program = BattlefieldProgram::new(&Scenario::skirmish(rows, cols, seed));
+        let graph = program.terrain();
+        let initial = BattleStats::from_cells(&seq::run_sequential(&graph, &program, 0));
+        let after = BattleStats::from_cells(&seq::run_sequential(&graph, &program, steps));
+        for side in 0..2 {
+            prop_assert_eq!(
+                after.units[side] + after.destroyed[side] as usize,
+                initial.units[side],
+                "side {} leaked units", side
+            );
+            // Strength never grows.
+            prop_assert!(after.strength[side] <= initial.strength[side]);
+        }
+    }
+}

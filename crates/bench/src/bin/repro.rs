@@ -1,0 +1,54 @@
+//! Reproduction harness: regenerate every table and figure of the thesis.
+//!
+//! ```text
+//! repro all             # every artifact, thesis order
+//! repro table3 fig20    # specific artifacts
+//! repro --markdown all  # markdown output (EXPERIMENTS.md building block)
+//! repro --list          # available ids
+//! ```
+
+use ic2_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+
+    if args.iter().any(|a| a == "--list") || ids.is_empty() {
+        eprintln!("usage: repro [--markdown] <id...|all>");
+        eprintln!("available experiments:");
+        for id in experiments::all_ids() {
+            eprintln!("  {id}");
+        }
+        if ids.is_empty() {
+            std::process::exit(2);
+        }
+        return;
+    }
+
+    let selected: Vec<&str> = if ids.iter().any(|i| i == "all") {
+        experiments::all_ids()
+    } else {
+        ids.iter().map(String::as_str).collect()
+    };
+
+    for id in selected {
+        match experiments::run_experiment(id) {
+            Some(table) => {
+                if markdown {
+                    println!("{}", table.render_markdown());
+                } else {
+                    println!("{}", table.render());
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

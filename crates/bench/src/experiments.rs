@@ -1,0 +1,553 @@
+//! One function per thesis table/figure, regenerating its rows.
+
+use crate::report::{secs, speedup, Table};
+use crate::workloads::{self as w, BF_STEPS, PROCS, RANDOM_SEEDS, TABLE_ITERS};
+use ic2mpi::prelude::*;
+use ic2mpi::Phase;
+
+fn procs_header(first: &str) -> Vec<String> {
+    let mut h = vec![first.to_string()];
+    h.extend(PROCS.iter().map(|p| format!("p={p}")));
+    h
+}
+
+// ---- Tables 2-4: hex-grid execution times --------------------------------
+
+/// Execution time table for an `n`-node hexagonal grid (Tables 2–4).
+pub fn table_hex(id: &str, n: usize) -> Table {
+    let graph = w::hex(n);
+    let program = AvgProgram::fine();
+    let mut t = Table::new(
+        id,
+        &format!("Execution time (s), {n}-node hexagonal grid, Metis, fine grain"),
+        "times fall with processors; diminishing returns (slight flattening) by 16",
+        procs_header("iters"),
+    );
+    for iters in TABLE_ITERS {
+        let mut row = vec![iters.to_string()];
+        for procs in PROCS {
+            row.push(secs(w::run_static(&graph, &program, procs, iters)));
+        }
+        t.row(row);
+    }
+    t
+}
+
+// ---- Tables 5-6: random-graph execution times ----------------------------
+
+/// Execution time table for `n`-node random graphs, averaged over five
+/// seeds (Tables 5–6).
+pub fn table_random(id: &str, n: usize) -> Table {
+    let program = AvgProgram::fine();
+    let mut t = Table::new(
+        id,
+        &format!("Execution time (s), {n}-node random graphs (mean of 5), Metis, fine grain"),
+        "times fall with processors; speedup dips from 8 to 16 at this grain",
+        procs_header("iters"),
+    );
+    for iters in TABLE_ITERS {
+        let mut row = vec![iters.to_string()];
+        for procs in PROCS {
+            let mean = w::mean_over_seeds(n, |g| w::run_static(g, &program, procs, iters));
+            row.push(secs(mean));
+        }
+        t.row(row);
+    }
+    t
+}
+
+// ---- Tables 7-11: battlefield execution times -----------------------------
+
+/// Execution time table for the battlefield under one static partitioner
+/// (Tables 7–11).
+pub fn table_battlefield(
+    id: &str,
+    partitioner: &(dyn StaticPartitioner + Sync),
+    expectation: &str,
+) -> Table {
+    let program = w::battlefield();
+    let graph = program.terrain();
+    let mut t = Table::new(
+        id,
+        &format!(
+            "Execution time (s), 32x32 battlefield, {} partition",
+            partitioner.name()
+        ),
+        expectation,
+        procs_header("steps"),
+    );
+    for steps in BF_STEPS {
+        let mut row = vec![steps.to_string()];
+        for procs in PROCS {
+            let report = run(
+                &graph,
+                &program,
+                partitioner,
+                || NoBalancer,
+                &w::static_cfg(procs, steps),
+            );
+            row.push(secs(report.total_time));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// The five battlefield partitioners of Section 5.3, in table order.
+pub fn battlefield_partitioners() -> Vec<(&'static str, Box<dyn StaticPartitioner + Sync>)> {
+    use ic2_partition::bands::{ColumnBand, RectangularBand, RowBand};
+    use ic2_partition::graycode::GrayCodeBf;
+    vec![
+        ("table7", Box::new(Metis::default())),
+        ("table8", Box::new(GrayCodeBf)),
+        ("table9", Box::new(RowBand)),
+        ("table10", Box::new(ColumnBand)),
+        ("table11", Box::new(RectangularBand)),
+    ]
+}
+
+// ---- Figure 11 / 16: speedup plots ----------------------------------------
+
+/// Speedup at 20 iterations for the hex grids (Figure 11).
+pub fn fig11() -> Table {
+    let program = AvgProgram::fine();
+    let mut t = Table::new(
+        "fig11",
+        "Speedup @20 iters, hexagonal grids, Metis, fine grain",
+        "larger graphs speed up better; all curves bend at 16 procs",
+        procs_header("graph"),
+    );
+    for n in [32usize, 64, 96] {
+        let graph = w::hex(n);
+        let t1 = w::run_static(&graph, &program, 1, 20);
+        let mut row = vec![format!("{n}-node hex")];
+        for procs in PROCS {
+            row.push(speedup(t1 / w::run_static(&graph, &program, procs, 20)));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Speedup at 20 iterations for the random graphs (Figure 16).
+pub fn fig16() -> Table {
+    let program = AvgProgram::fine();
+    let mut t = Table::new(
+        "fig16",
+        "Speedup @20 iters, random graphs (mean of 5), Metis, fine grain",
+        "speedup rises to 8 procs, then dips slightly at 16 (fine grain)",
+        procs_header("graph"),
+    );
+    for n in [32usize, 64] {
+        let mut row = vec![format!("{n}-node random")];
+        for procs in PROCS {
+            let mut speedups = 0.0;
+            for &seed in &RANDOM_SEEDS {
+                let g = w::random(n, seed);
+                let t1 = w::run_static(&g, &program, 1, 20);
+                speedups += t1 / w::run_static(&g, &program, procs, 20);
+            }
+            row.push(speedup(speedups / RANDOM_SEEDS.len() as f64));
+        }
+        t.row(row);
+    }
+    t
+}
+
+// ---- Figures 12 / 17: Metis vs PaGrid -------------------------------------
+
+fn metis_vs_pagrid(id: &str, title: &str, expectation: &str, graphs: Vec<Graph>) -> Table {
+    let mut t = Table::new(id, title, expectation, procs_header("series"));
+    let fine = AvgProgram::fine();
+    let coarse = AvgProgram::coarse();
+    let cases: [(&str, &AvgProgram, bool); 4] = [
+        ("fine / Metis", &fine, false),
+        ("coarse / Metis", &coarse, false),
+        ("fine / PaGrid", &fine, true),
+        ("coarse / PaGrid", &coarse, true),
+    ];
+    for (label, program, use_pagrid) in cases {
+        let mut row = vec![label.to_string()];
+        for procs in PROCS {
+            let mut acc = 0.0;
+            for g in &graphs {
+                let (t1, tp) = if use_pagrid {
+                    let p = PaGrid::default();
+                    let t1 = run(g, program, &p, || NoBalancer, &w::static_cfg(1, 20)).total_time;
+                    let tp =
+                        run(g, program, &p, || NoBalancer, &w::static_cfg(procs, 20)).total_time;
+                    (t1, tp)
+                } else {
+                    let p = Metis::default();
+                    let t1 = run(g, program, &p, || NoBalancer, &w::static_cfg(1, 20)).total_time;
+                    let tp =
+                        run(g, program, &p, || NoBalancer, &w::static_cfg(procs, 20)).total_time;
+                    (t1, tp)
+                };
+                acc += t1 / tp;
+            }
+            row.push(speedup(acc / graphs.len() as f64));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Metis vs PaGrid on the 64-node hex grid (Figure 12).
+pub fn fig12() -> Table {
+    metis_vs_pagrid(
+        "fig12",
+        "Metis vs PaGrid speedup, 64-node hex grid, fine & coarse grain",
+        "coarse >> fine; Metis and PaGrid comparable on the regular grid",
+        vec![w::hex(64)],
+    )
+}
+
+/// Metis vs PaGrid on 64-node random graphs (Figure 17).
+pub fn fig17() -> Table {
+    metis_vs_pagrid(
+        "fig17",
+        "Metis vs PaGrid speedup, 64-node random graphs (mean of 5), fine & coarse",
+        "PaGrid >= Metis on irregular graphs (bottleneck-aware objective)",
+        RANDOM_SEEDS.iter().map(|&s| w::random(64, s)).collect(),
+    )
+}
+
+// ---- Figures 13-15 / 18-19: static vs dynamic ------------------------------
+
+/// Static vs dynamic partitioning under runtime load imbalance
+/// (Figures 13–15 for hex grids, 18–19 for random graphs). Two imbalance
+/// flavours are reported: the thesis's Figure-23 shifting window, and the
+/// persistent hot region that isolates the migration machinery (see
+/// EXPERIMENTS.md for why the shifting window resists correction).
+pub fn fig_static_vs_dynamic(id: &str, title: &str, graph: &Graph) -> Table {
+    let mut t = Table::new(
+        id,
+        title,
+        "dynamic balancing above static for the persistent imbalance; \
+         shifting window resists single-task correction (reported honestly)",
+        procs_header("series"),
+    );
+    for (label, program) in [
+        ("shifting / static", AvgProgram::shifting()),
+        ("shifting / dynamic", AvgProgram::shifting()),
+        ("persistent / static", AvgProgram::persistent()),
+        ("persistent / dynamic", AvgProgram::persistent()),
+    ] {
+        let dynamic = label.ends_with("dynamic");
+        let mut row = vec![label.to_string()];
+        let t1 = run(
+            graph,
+            &program,
+            &Metis::default(),
+            || NoBalancer,
+            &w::static_cfg(1, 25),
+        )
+        .total_time;
+        for procs in PROCS {
+            let time = if dynamic {
+                run(
+                    graph,
+                    &program,
+                    &Metis::default(),
+                    w::figure_balancer,
+                    &w::dynamic_cfg(procs, 25),
+                )
+                .total_time
+            } else {
+                run(
+                    graph,
+                    &program,
+                    &Metis::default(),
+                    || NoBalancer,
+                    &w::static_cfg(procs, 25),
+                )
+                .total_time
+            };
+            row.push(speedup(t1 / time));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Figure 13: 64-node hex grid.
+pub fn fig13() -> Table {
+    fig_static_vs_dynamic(
+        "fig13",
+        "Static vs dynamic partitioning, 64-node hex grid, 25 iters, LB every 10",
+        &w::hex(64),
+    )
+}
+
+/// Figure 14: 32-node hex grid.
+pub fn fig14() -> Table {
+    fig_static_vs_dynamic(
+        "fig14",
+        "Static vs dynamic partitioning, 32-node hex grid",
+        &w::hex(32),
+    )
+}
+
+/// Figure 15: 96-node hex grid.
+pub fn fig15() -> Table {
+    fig_static_vs_dynamic(
+        "fig15",
+        "Static vs dynamic partitioning, 96-node hex grid",
+        &w::hex(96),
+    )
+}
+
+/// Figure 18: 64-node random graph.
+pub fn fig18() -> Table {
+    fig_static_vs_dynamic(
+        "fig18",
+        "Static vs dynamic partitioning, 64-node random graph (seed 0)",
+        &w::random(64, 0),
+    )
+}
+
+/// Figure 19: 32-node random graph.
+pub fn fig19() -> Table {
+    fig_static_vs_dynamic(
+        "fig19",
+        "Static vs dynamic partitioning, 32-node random graph (seed 0)",
+        &w::random(32, 0),
+    )
+}
+
+// ---- Figure 20: battlefield speedups ---------------------------------------
+
+/// Battlefield speedups at 25 steps for all five partitioners (Figure 20).
+pub fn fig20() -> Table {
+    let program = w::battlefield();
+    let graph = program.terrain();
+    let mut t = Table::new(
+        "fig20",
+        "Battlefield speedup @25 steps per static partitioner",
+        "Metis best; BF gray-code worst (slower than 1 proc at p=2); \
+         rectangular > column > row bands",
+        procs_header("partitioner"),
+    );
+    for (_, partitioner) in battlefield_partitioners() {
+        let t1 = run(
+            &graph,
+            &program,
+            partitioner.as_ref(),
+            || NoBalancer,
+            &w::static_cfg(1, 25),
+        )
+        .total_time;
+        let mut row = vec![partitioner.name().to_string()];
+        for procs in PROCS {
+            let tp = run(
+                &graph,
+                &program,
+                partitioner.as_ref(),
+                || NoBalancer,
+                &w::static_cfg(procs, 25),
+            )
+            .total_time;
+            row.push(speedup(t1 / tp));
+        }
+        t.row(row);
+    }
+    t
+}
+
+// ---- Figures 21-22: overhead breakdown -------------------------------------
+
+/// Phase-overhead breakdown, 35 iterations with the balancer every 10
+/// (Figures 21 for hex, 22 for random), mean over ranks, per processor
+/// count.
+pub fn fig_overheads(id: &str, title: &str, graph: &Graph) -> Table {
+    let program = AvgProgram::fine();
+    let mut header = vec!["phase".to_string()];
+    header.extend([2usize, 4, 8, 16].iter().map(|p| format!("p={p}")));
+    let mut t = Table::new(
+        id,
+        title,
+        "communication overhead dominates; compute and its overhead fall with procs",
+        header,
+    );
+    let mut columns = Vec::new();
+    for procs in [2usize, 4, 8, 16] {
+        let report = run(
+            graph,
+            &program,
+            &Metis::default(),
+            w::figure_balancer,
+            &RunConfig::new(procs, 35)
+                .with_balancing(10)
+                .with_migration_batch(1),
+        );
+        columns.push(report.mean_timers());
+    }
+    for phase in Phase::ALL {
+        let mut row = vec![phase.label().to_string()];
+        for timers in &columns {
+            row.push(secs(timers.get(phase)));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Figure 21: overheads on the fine 64-node hex grid.
+pub fn fig21() -> Table {
+    fig_overheads(
+        "fig21",
+        "Phase overheads, fine-grained 64-node hex grid, 35 iters, LB every 10",
+        &w::hex(64),
+    )
+}
+
+/// Figure 22: overheads on the fine 64-node random graph.
+pub fn fig22() -> Table {
+    fig_overheads(
+        "fig22",
+        "Phase overheads, fine-grained 64-node random graph, 35 iters, LB every 10",
+        &w::random(64, 0),
+    )
+}
+
+// ---- Figure 23: the imbalance schedule --------------------------------------
+
+/// Trace of the shifting-window load schedule (Figure 23).
+pub fn fig23() -> Table {
+    let s = ic2mpi::ShiftingWindowLoad::default();
+    let mut t = Table::new(
+        "fig23",
+        "Dynamic-imbalance schedule: hot band per iteration window (64 nodes)",
+        "hot band covers ids 0-50%, then 25-75%, then 50-100%, cycling every 10 iters",
+        vec![
+            "iters".into(),
+            "hot band".into(),
+            "hot nodes".into(),
+            "hot grain".into(),
+            "cold grain".into(),
+        ],
+    );
+    for window in 0..4u32 {
+        let iter = window * s.window_iters + 1;
+        let (lo, hi) = s.hot_band(iter);
+        let hot = (0..64).filter(|&v| s.is_hot(v, 64, iter)).count();
+        t.row(vec![
+            format!("{}-{}", iter, iter + s.window_iters - 1),
+            format!("{:.0}%-{:.0}%", lo * 100.0, hi * 100.0),
+            hot.to_string(),
+            format!("{:.1}ms", s.coarse * 1e3),
+            format!("{:.2}ms", s.fine * 1e3),
+        ]);
+    }
+    t
+}
+
+// ---- Virtual-time ablations --------------------------------------------
+
+/// Virtual-time effect of the design choices DESIGN.md calls out:
+/// exchange overlap (Fig 8 vs 8a), balancer threshold, and migration
+/// batch size. (The hash-table ablation is real-time only; see
+/// `cargo bench ablation_hashtab`.)
+pub fn ablations() -> Table {
+    let graph = w::hex(64);
+    let mut t = Table::new(
+        "ablations",
+        "Virtual execution time (s) of platform design variants, 64-node hex grid, 8 procs",
+        "overlap <= postcomm; lower thresholds/larger batches help persistent imbalance",
+        vec!["variant".into(), "time (s)".into(), "migrations".into()],
+    );
+    // Exchange mode (static fine-grained workload, 20 iters).
+    let fine = AvgProgram::fine();
+    for (name, mode) in [
+        ("exchange: postcomm (Fig 8)", ExchangeMode::PostComm),
+        ("exchange: overlap (Fig 8a)", ExchangeMode::Overlap),
+    ] {
+        let r = run(
+            &graph,
+            &fine,
+            &Metis::default(),
+            || NoBalancer,
+            &w::static_cfg(8, 20).with_exchange(mode),
+        );
+        t.row(vec![name.into(), secs(r.total_time), "0".into()]);
+    }
+    // Balancer threshold and batch (persistent imbalance, 25 iters).
+    let persistent = AvgProgram::persistent();
+    for (name, threshold, batch) in [
+        ("balance: threshold 10%, batch 12", 0.10, 12u32),
+        ("balance: threshold 25%, batch 12", 0.25, 12),
+        ("balance: threshold 50%, batch 12", 0.50, 12),
+        ("balance: threshold 10%, batch 1 (thesis)", 0.10, 1),
+        ("balance: threshold 10%, batch 4", 0.10, 4),
+    ] {
+        let r = run(
+            &graph,
+            &persistent,
+            &Metis::default(),
+            || Diffusion { threshold },
+            &w::static_cfg(8, 25)
+                .with_balancing(10)
+                .with_balance_offset(5)
+                .with_migration_batch(batch)
+                .with_migrant_policy(MigrantPolicy::LoadAware),
+        );
+        t.row(vec![name.into(), secs(r.total_time), r.migrations.to_string()]);
+    }
+    let r = run(
+        &graph,
+        &persistent,
+        &Metis::default(),
+        || NoBalancer,
+        &w::static_cfg(8, 25),
+    );
+    t.row(vec!["balance: none (static)".into(), secs(r.total_time), "0".into()]);
+    t
+}
+
+/// All experiment ids in thesis order.
+pub fn all_ids() -> Vec<&'static str> {
+    vec![
+        "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
+        "table10", "table11", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+        "fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "ablations",
+    ]
+}
+
+/// Run one experiment by id.
+pub fn run_experiment(id: &str) -> Option<Table> {
+    Some(match id {
+        "table2" => table_hex("table2", 32),
+        "table3" => table_hex("table3", 64),
+        "table4" => table_hex("table4", 96),
+        "table5" => table_random("table5", 32),
+        "table6" => table_random("table6", 64),
+        "table7" | "table8" | "table9" | "table10" | "table11" => {
+            let parts = battlefield_partitioners();
+            let (_, p) = parts.into_iter().find(|(pid, _)| *pid == id)?;
+            let expectation = match id {
+                "table7" => "best absolute times (Metis)",
+                "table8" => "p=2 slower than p=1 (fine-grained embedding maximises comm)",
+                "table9" => "modest scaling (thin strips, long boundaries)",
+                "table10" => "similar to row bands",
+                _ => "between Metis and the bands (compact tiles)",
+            };
+            table_battlefield(id, p.as_ref(), expectation)
+        }
+        "fig11" => fig11(),
+        "fig12" => fig12(),
+        "fig13" => fig13(),
+        "fig14" => fig14(),
+        "fig15" => fig15(),
+        "fig16" => fig16(),
+        "fig17" => fig17(),
+        "fig18" => fig18(),
+        "fig19" => fig19(),
+        "fig20" => fig20(),
+        "fig21" => fig21(),
+        "fig22" => fig22(),
+        "fig23" => fig23(),
+        "ablations" => ablations(),
+        _ => return None,
+    })
+}

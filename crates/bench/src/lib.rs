@@ -1,0 +1,10 @@
+//! # ic2-bench — the reproduction harness
+//!
+//! One function per table and figure of the thesis's evaluation
+//! (Section 5), each regenerating the artifact's rows/series on the
+//! simulated substrate. The `repro` binary dispatches on experiment id;
+//! criterion microbenches live under `benches/`.
+
+pub mod experiments;
+pub mod report;
+pub mod workloads;

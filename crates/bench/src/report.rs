@@ -1,0 +1,136 @@
+//! Plain-text table rendering for the reproduction harness.
+
+/// A rendered experiment artifact: a title, a caption tying it to the
+/// thesis, a header row, and data rows.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id (`table2`, `fig11`, …).
+    pub id: String,
+    /// Human title matching the thesis artifact.
+    pub title: String,
+    /// What shape the thesis reports (for eyeball comparison).
+    pub expectation: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Construct an empty table.
+    pub fn new(id: &str, title: &str, expectation: &str, header: Vec<String>) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            expectation: expectation.to_string(),
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {}\n", self.id, self.title));
+        out.push_str(&format!("   shape target: {}\n", self.expectation));
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&format!("   {}\n", fmt_row(&self.header)));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&format!("   {}\n", "-".repeat(total)));
+        for row in &self.rows {
+            out.push_str(&format!("   {}\n", fmt_row(row)));
+        }
+        out
+    }
+
+    /// Render as GitHub-flavoured markdown (used to assemble
+    /// EXPERIMENTS.md).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### `{}` — {}\n\n", self.id, self.title));
+        out.push_str(&format!("*Shape target:* {}\n\n", self.expectation));
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!(
+            "|{}|\n",
+            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Format seconds like the thesis tables (3–4 significant digits).
+pub fn secs(t: f64) -> String {
+    if t < 0.1 {
+        format!("{t:.4}")
+    } else {
+        format!("{t:.3}")
+    }
+}
+
+/// Format a speedup.
+pub fn speedup(s: f64) -> String {
+    format!("{s:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(
+            "t",
+            "demo",
+            "none",
+            vec!["a".into(), "long-header".into()],
+        );
+        t.row(vec!["1".into(), "2".into()]);
+        let text = t.render();
+        assert!(text.contains("demo"));
+        assert!(text.contains("long-header"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", "demo", "none", vec!["a".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn markdown_has_separator() {
+        let mut t = Table::new("t", "demo", "none", vec!["a".into(), "b".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.render_markdown();
+        assert!(md.contains("|---|---|"));
+    }
+
+    #[test]
+    fn secs_formats_small_and_large() {
+        assert_eq!(secs(0.0123456), "0.0123");
+        assert_eq!(secs(1.23456), "1.235");
+    }
+}

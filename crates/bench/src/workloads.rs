@@ -1,0 +1,98 @@
+//! Shared workload construction for every experiment: the Section-5
+//! parameters, centralised so tables and figures agree.
+
+use ic2_battlefield::{BattlefieldProgram, Scenario};
+use ic2_graph::Graph;
+use ic2mpi::prelude::*;
+
+/// Processor counts the thesis sweeps.
+pub const PROCS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Iteration counts of the hex/random execution-time tables.
+pub const TABLE_ITERS: [u32; 3] = [10, 15, 20];
+
+/// Simulation steps of the battlefield tables.
+pub const BF_STEPS: [u32; 3] = [5, 15, 25];
+
+/// Seeds for the "five different graphs" the thesis averages random-graph
+/// results over.
+pub const RANDOM_SEEDS: [u64; 5] = [0, 1, 2, 3, 4];
+
+/// A hex-grid workload of the thesis's sizes (32/64/96 nodes).
+pub fn hex(n: usize) -> Graph {
+    ic2_graph::generators::hex_grid_n(n)
+}
+
+/// One of the random-graph workloads.
+pub fn random(n: usize, seed: u64) -> Graph {
+    ic2_graph::generators::thesis_random_graph(n, seed)
+}
+
+/// The battlefield program on the thesis's 32×32 terrain.
+pub fn battlefield() -> BattlefieldProgram {
+    BattlefieldProgram::new(&Scenario::thesis())
+}
+
+/// Baseline static run configuration (virtual-time Origin-2000 model).
+pub fn static_cfg(procs: usize, iters: u32) -> RunConfig {
+    RunConfig::new(procs, iters)
+}
+
+/// The dynamic-balancing bundle used for the static-vs-dynamic figures:
+/// balancer invoked every 10 steps as in the thesis, with the §7
+/// extensions this reproduction needed to make migration effective
+/// (mid-window trigger phase, multi-task batches, load-aware migrant
+/// selection) — see EXPERIMENTS.md for the full discussion.
+pub fn dynamic_cfg(procs: usize, iters: u32) -> RunConfig {
+    RunConfig::new(procs, iters)
+        .with_balancing(10)
+        .with_balance_offset(5)
+        .with_migration_batch(12)
+        .with_migrant_policy(MigrantPolicy::LoadAware)
+}
+
+/// The dynamic balancer the figures use.
+pub fn figure_balancer() -> Diffusion {
+    Diffusion { threshold: 0.10 }
+}
+
+/// Run a static AvgProgram workload and return total execution time.
+pub fn run_static(graph: &Graph, program: &AvgProgram, procs: usize, iters: u32) -> f64 {
+    run(
+        graph,
+        program,
+        &Metis::default(),
+        || NoBalancer,
+        &static_cfg(procs, iters),
+    )
+    .total_time
+}
+
+/// Average a closure over the five random-graph seeds.
+pub fn mean_over_seeds(n: usize, mut f: impl FnMut(&Graph) -> f64) -> f64 {
+    let total: f64 = RANDOM_SEEDS
+        .iter()
+        .map(|&s| f(&random(n, s)))
+        .sum();
+    total / RANDOM_SEEDS.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_sizes_match_thesis() {
+        assert_eq!(hex(32).num_nodes(), 32);
+        assert_eq!(hex(96).num_nodes(), 96);
+        assert_eq!(random(64, 0).num_nodes(), 64);
+        assert_eq!(battlefield().terrain().num_nodes(), 1024);
+    }
+
+    #[test]
+    fn dynamic_cfg_enables_balancing() {
+        let c = dynamic_cfg(8, 25);
+        assert_eq!(c.balance_every, Some(10));
+        assert!(c.migration_batch > 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! The reproduction harness itself is part of the deliverable: ids must
+//! resolve, tables must be well-formed, and key shape targets must hold.
+
+use ic2_bench::experiments;
+
+#[test]
+fn every_id_resolves_and_unknown_ids_do_not() {
+    for id in experiments::all_ids() {
+        // Only run the cheap ones here; existence is checked for all.
+        assert!(
+            experiments::all_ids().contains(&id),
+            "id list inconsistent"
+        );
+    }
+    assert!(experiments::run_experiment("no-such-id").is_none());
+}
+
+#[test]
+fn fig23_schedule_matches_the_thesis() {
+    let t = experiments::run_experiment("fig23").expect("fig23 exists");
+    assert_eq!(t.rows.len(), 4);
+    assert_eq!(t.rows[0][1], "0%-50%");
+    assert_eq!(t.rows[1][1], "25%-75%");
+    assert_eq!(t.rows[2][1], "50%-100%");
+    assert_eq!(t.rows[3][1], "0%-50%", "schedule must cycle");
+    // Half of 64 nodes hot in every window.
+    assert!(t.rows.iter().all(|r| r[2] == "32"));
+}
+
+#[test]
+fn table2_is_well_formed_and_monotone() {
+    let t = experiments::run_experiment("table2").expect("table2 exists");
+    assert_eq!(t.header.len(), 6); // iters + 5 processor counts
+    assert_eq!(t.rows.len(), 3); // 10, 15, 20 iterations
+    for row in &t.rows {
+        let times: Vec<f64> = row[1..].iter().map(|c| c.parse().unwrap()).collect();
+        for w in times.windows(2) {
+            assert!(w[1] < w[0], "times must fall with processors: {row:?}");
+        }
+    }
+    // More iterations must cost more at every processor count.
+    for col in 1..t.header.len() {
+        let t10: f64 = t.rows[0][col].parse().unwrap();
+        let t20: f64 = t.rows[2][col].parse().unwrap();
+        assert!(t20 > t10, "column {col}");
+    }
+}
+
+#[test]
+fn markdown_rendering_is_parseable() {
+    let t = experiments::run_experiment("fig23").unwrap();
+    let md = t.render_markdown();
+    assert!(md.starts_with("### `fig23`"));
+    let table_lines: Vec<&str> = md.lines().filter(|l| l.starts_with('|')).collect();
+    // header + separator + 4 rows
+    assert_eq!(table_lines.len(), 6);
+}

@@ -1,0 +1,179 @@
+//! Remote data access beyond the neighbourhood (thesis §7.1).
+//!
+//! The platform's shadow machinery only delivers data of *adjacent* nodes.
+//! The thesis's future-work list asks for a distributed data directory so
+//! a processor "might have a possible access to the data of far off
+//! processors (which are not neighbors of the current processor)". This
+//! module provides that as a collective *fetch phase*: between iterations,
+//! every rank submits the global ids it wants (possibly none), and the
+//! phase resolves ownership through the replicated owner map — the
+//! directory the platform already maintains through migration broadcasts —
+//! and ships the current data back.
+//!
+//! Being collective keeps the protocol deterministic and deadlock-free
+//! under the platform's BSP structure: requests are allgathered, owners
+//! answer, requesters receive, one barrier closes the phase.
+
+use crate::store::NodeStore;
+use ic2_graph::NodeId;
+use mpisim::{Rank, Wire};
+
+/// Message tag for directory answers.
+pub const TAG_DIRECTORY: u32 = 3;
+
+/// Collectively fetch the current data of arbitrary (possibly remote,
+/// possibly non-neighbouring) nodes.
+///
+/// Every rank must call this with its own `wanted` list (empty is fine).
+/// Returns the requested `(id, data)` pairs in request order.
+///
+/// # Panics
+/// Panics if a requested id is out of range for the application graph the
+/// store was built from.
+pub fn fetch<D>(rank: &Rank, store: &NodeStore<D>, wanted: &[NodeId]) -> Vec<(NodeId, D)>
+where
+    D: Clone + Wire + Send + 'static,
+{
+    let me = rank.rank() as u32;
+    for &id in wanted {
+        assert!(
+            (id as usize) < store.owner.len(),
+            "directory fetch for unknown node {id}"
+        );
+    }
+    // 1. Publish every rank's shopping list.
+    let all_requests: Vec<Vec<u32>> = rank.allgather(&wanted.to_vec());
+
+    // 2. Answer the requests that name nodes this rank owns (including
+    //    requests for our own data from ourselves — served locally below).
+    for (requester, requests) in all_requests.iter().enumerate() {
+        if requester == rank.rank() {
+            continue;
+        }
+        let answer: Vec<(u32, D)> = requests
+            .iter()
+            .filter(|&&id| store.owner[id as usize] == me)
+            .map(|&id| {
+                let data = store
+                    .table
+                    .get(id)
+                    .unwrap_or_else(|| panic!("owner of {id} lacks its data"))
+                    .clone();
+                (id, data)
+            })
+            .collect();
+        if !answer.is_empty() {
+            rank.send(requester, TAG_DIRECTORY, &answer);
+        }
+    }
+
+    // 3. Collect our own answers: locally-owned entries immediately, one
+    //    message from each distinct remote owner.
+    let mut by_id: std::collections::HashMap<u32, D> = std::collections::HashMap::new();
+    let mut remote_owners: Vec<u32> = Vec::new();
+    for &id in wanted {
+        let owner = store.owner[id as usize];
+        if owner == me {
+            by_id.insert(
+                id,
+                store
+                    .table
+                    .get(id)
+                    .expect("own node data present")
+                    .clone(),
+            );
+        } else if !remote_owners.contains(&owner) {
+            remote_owners.push(owner);
+        }
+    }
+    remote_owners.sort_unstable();
+    for owner in remote_owners {
+        let answer: Vec<(u32, D)> = rank.recv(owner as usize, TAG_DIRECTORY);
+        for (id, data) in answer {
+            by_id.insert(id, data);
+        }
+    }
+
+    // 4. Close the phase so stray answers cannot leak into the next
+    //    iteration's traffic.
+    rank.barrier();
+
+    wanted
+        .iter()
+        .map(|&id| {
+            let data = by_id
+                .get(&id)
+                .unwrap_or_else(|| panic!("no answer for requested node {id}"))
+                .clone();
+            (id, data)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{AvgProgram, NodeProgram};
+    use ic2_graph::generators::hex_grid;
+    use ic2_partition::{metis::Metis, StaticPartitioner};
+    use mpisim::{Config, World};
+    use std::time::Duration;
+
+    fn world() -> World {
+        World::new(Config::default().with_watchdog(Duration::from_secs(10)))
+    }
+
+    #[test]
+    fn fetches_far_off_data() {
+        let graph = hex_grid(8, 8);
+        let part = Metis::default().partition(&graph, 4);
+        let program = AvgProgram::fine();
+        let results = world().run(4, |rank| {
+            let store = NodeStore::build(&graph, &part, rank.rank() as u32, &program, 32);
+            // Everyone asks for the four corners of the mesh — far from
+            // most ranks' neighbourhoods.
+            let wanted = [0u32, 7, 56, 63];
+            fetch(rank, &store, &wanted)
+        });
+        for got in results {
+            // init(v) = v + 1 (AvgProgram convention).
+            assert_eq!(
+                got,
+                vec![(0, 1), (7, 8), (56, 57), (63, 64)],
+                "every rank sees identical remote data"
+            );
+        }
+        let _ = program.phases();
+    }
+
+    #[test]
+    fn mixed_and_empty_requests_work() {
+        let graph = hex_grid(4, 4);
+        let part = Metis::default().partition(&graph, 3);
+        let program = AvgProgram::fine();
+        let results = world().run(3, |rank| {
+            let store = NodeStore::build(&graph, &part, rank.rank() as u32, &program, 16);
+            let wanted: Vec<u32> = match rank.rank() {
+                0 => vec![15, 0, 15], // duplicates allowed
+                1 => vec![],
+                _ => vec![5],
+            };
+            fetch(rank, &store, &wanted)
+        });
+        assert_eq!(results[0], vec![(15, 16), (0, 1), (15, 16)]);
+        assert_eq!(results[1], vec![]);
+        assert_eq!(results[2], vec![(5, 6)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn out_of_range_requests_panic() {
+        let graph = hex_grid(2, 2);
+        let part = Metis::default().partition(&graph, 2);
+        let program = AvgProgram::fine();
+        let _ = world().run(2, |rank| {
+            let store = NodeStore::build(&graph, &part, rank.rank() as u32, &program, 8);
+            fetch(rank, &store, &[99])
+        });
+    }
+}

@@ -1,0 +1,375 @@
+//! The platform driver: system flow of control (thesis Figure 6).
+
+use crate::costs::CostModel;
+use crate::exchange;
+pub use crate::exchange::ExchangeMode;
+use crate::migrate;
+use crate::program::{ComputeCtx, NodeProgram};
+use crate::store::NodeStore;
+use crate::timers::{Phase, PhaseTimers};
+use ic2_balance::DynamicBalancer;
+use ic2_graph::{Graph, Partition};
+use ic2_partition::StaticPartitioner;
+use mpisim::{CommStats, World};
+
+/// Everything configurable about a platform run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Number of (simulated) processors.
+    pub nprocs: usize,
+    /// Iterations (time steps) to execute.
+    pub iterations: u32,
+    /// Invoke the dynamic load balancer every this many iterations
+    /// (`None` = static partition only).
+    pub balance_every: Option<u32>,
+    /// Phase offset of the balancing trigger: fires when
+    /// `iter % every == offset % every`. The thesis's trigger is offset 0
+    /// (`iter % 10 == 0`), which lands exactly on the Figure-23 window
+    /// boundaries — the balancer then always corrects yesterday's load.
+    /// A mid-window offset lets it see the load it will actually face.
+    pub balance_offset: u32,
+    /// Compute/communicate sequencing (Figure 8 vs Figure 8a).
+    pub exchange: ExchangeMode,
+    /// Message-passing substrate configuration (timing model, watchdog).
+    pub world: mpisim::Config,
+    /// Platform overhead cost model.
+    pub costs: CostModel,
+    /// Maximum balancer planning sub-rounds per balancing invocation
+    /// (1 = the thesis's one-task-per-pair protocol; larger values enable
+    /// the §7 multi-task extension).
+    pub migration_batch: u32,
+    /// Migrant-selection policy (thesis min-cut rule or the load-aware
+    /// extension).
+    pub migrant_policy: migrate::MigrantPolicy,
+    /// Hash-table buckets per rank (the thesis's `HASH_TABLE_LENGTH`).
+    pub hash_buckets: usize,
+    /// Run full store-invariant validation after every balancing round
+    /// (slow; for tests).
+    pub validate: bool,
+}
+
+impl RunConfig {
+    /// Defaults mirroring the thesis's setup: virtual-time Origin-2000
+    /// model, basic (Figure 8) exchange, no dynamic balancing.
+    pub fn new(nprocs: usize, iterations: u32) -> Self {
+        RunConfig {
+            nprocs,
+            iterations,
+            balance_every: None,
+            balance_offset: 0,
+            exchange: ExchangeMode::PostComm,
+            world: mpisim::Config::default(),
+            costs: CostModel::default(),
+            migration_batch: 1,
+            migrant_policy: migrate::MigrantPolicy::MinCut,
+            hash_buckets: 64,
+            validate: false,
+        }
+    }
+
+    /// Enable periodic dynamic load balancing (the thesis invokes it every
+    /// 10 time steps).
+    pub fn with_balancing(mut self, every: u32) -> Self {
+        self.balance_every = Some(every);
+        self
+    }
+
+    /// Shift the balancing trigger's phase (see `balance_offset`).
+    pub fn with_balance_offset(mut self, offset: u32) -> Self {
+        self.balance_offset = offset;
+        self
+    }
+
+    /// Select the exchange mode.
+    pub fn with_exchange(mut self, mode: ExchangeMode) -> Self {
+        self.exchange = mode;
+        self
+    }
+
+    /// Replace the substrate configuration.
+    pub fn with_world(mut self, world: mpisim::Config) -> Self {
+        self.world = world;
+        self
+    }
+
+    /// Set the migration batch (sub-rounds per balancing invocation).
+    pub fn with_migration_batch(mut self, batch: u32) -> Self {
+        self.migration_batch = batch;
+        self
+    }
+
+    /// Select the migrant policy.
+    pub fn with_migrant_policy(mut self, policy: migrate::MigrantPolicy) -> Self {
+        self.migrant_policy = policy;
+        self
+    }
+
+    /// Enable per-round invariant validation.
+    pub fn with_validation(mut self) -> Self {
+        self.validate = true;
+        self
+    }
+}
+
+/// Result of a platform run.
+#[derive(Debug, Clone)]
+pub struct RunReport<D> {
+    /// End-to-end execution time in seconds (initialization through final
+    /// barrier, maximised over ranks) — the quantity the thesis's tables
+    /// report.
+    pub total_time: f64,
+    /// Per-rank phase breakdown (Figures 21–22).
+    pub timers: Vec<PhaseTimers>,
+    /// Per-rank communication counters.
+    pub comm: Vec<CommStats>,
+    /// Tasks migrated over the whole run.
+    pub migrations: usize,
+    /// Final node data, indexed by node id (gathered at rank 0).
+    pub final_data: Vec<D>,
+    /// The initial static partition the run started from.
+    pub initial_partition: Partition,
+    /// Owner map after the run (differs from the initial partition iff
+    /// migrations happened).
+    pub final_owner: Vec<u32>,
+}
+
+impl<D> RunReport<D> {
+    /// Speedup of this run relative to a reference (usually 1-processor)
+    /// time.
+    pub fn speedup_vs(&self, reference_time: f64) -> f64 {
+        reference_time / self.total_time
+    }
+
+    /// Merged phase breakdown, averaged over ranks (the thesis plots
+    /// per-phase overheads for the parallel configuration as a whole).
+    pub fn mean_timers(&self) -> PhaseTimers {
+        let mut merged = PhaseTimers::new();
+        for t in &self.timers {
+            merged = merged.merged(t);
+        }
+        let n = self.timers.len().max(1) as f64;
+        let mut out = PhaseTimers::new();
+        for phase in Phase::ALL {
+            out.add(phase, merged.get(phase) / n);
+        }
+        out
+    }
+}
+
+/// Partition the graph, run the iterative computation on `cfg.nprocs`
+/// simulated ranks, and gather the results.
+///
+/// `make_balancer` constructs each rank's dynamic-balancer instance (only
+/// rank 0's is consulted — the thesis's designated-processor design).
+///
+/// # Panics
+/// Panics on invalid configuration, on a rank panic, or (with
+/// `cfg.validate`) on a store-invariant violation.
+pub fn run<P, S, B, F>(
+    graph: &Graph,
+    program: &P,
+    partitioner: &S,
+    make_balancer: F,
+    cfg: &RunConfig,
+) -> RunReport<P::Data>
+where
+    P: NodeProgram,
+    S: StaticPartitioner + ?Sized,
+    B: DynamicBalancer,
+    F: Fn() -> B + Sync,
+{
+    assert!(cfg.nprocs > 0, "need at least one processor");
+    assert!(cfg.hash_buckets > 0, "need at least one hash bucket");
+    let partition = partitioner.partition(graph, cfg.nprocs);
+    assert_eq!(partition.len(), graph.num_nodes());
+    let num_nodes = graph.num_nodes();
+    let world = World::new(cfg.world.clone());
+
+    struct RankOutcome<D> {
+        total: f64,
+        timers: PhaseTimers,
+        comm: CommStats,
+        migrations: usize,
+        gathered: Option<Vec<(u32, D)>>,
+        owner: Vec<u32>,
+    }
+
+    let results: Vec<RankOutcome<P::Data>> = world.run(cfg.nprocs, |rank| {
+        let me = rank.rank() as u32;
+        let mut timers = PhaseTimers::new();
+
+        // ---- Initialization phase -------------------------------------
+        let t0 = rank.wtime();
+        let mut store = NodeStore::build(graph, &partition, me, program, cfg.hash_buckets);
+        rank.advance(cfg.costs.init_per_node * store.stored_count() as f64);
+        timers.add(Phase::Initialization, rank.wtime() - t0);
+        if cfg.validate {
+            store
+                .validate(graph)
+                .unwrap_or_else(|e| panic!("rank {me}: init invariant: {e}"));
+        }
+        rank.barrier();
+
+        // ---- Iterate ---------------------------------------------------
+        let mut balancer = make_balancer();
+        let mut comp_since_balance = 0.0;
+        let mut migrations = 0usize;
+        for iter in 1..=cfg.iterations {
+            for phase in 0..program.phases() {
+                let ctx = ComputeCtx {
+                    iter,
+                    phase,
+                    rank: me,
+                    num_nodes,
+                };
+                exchange::step(
+                    rank,
+                    graph,
+                    program,
+                    &mut store,
+                    &ctx,
+                    cfg.exchange,
+                    &cfg.costs,
+                    &mut timers,
+                    &mut comp_since_balance,
+                );
+            }
+            if iter >= cfg.balance_offset.max(1)
+                && migrate::is_balance_iteration(iter - cfg.balance_offset, cfg.balance_every)
+            {
+                migrations += migrate::balance_round(
+                    rank,
+                    graph,
+                    &mut store,
+                    &mut balancer,
+                    comp_since_balance,
+                    cfg.migration_batch,
+                    cfg.migrant_policy,
+                    &cfg.costs,
+                    &mut timers,
+                );
+                comp_since_balance = 0.0;
+                store.node_load.clear();
+                if cfg.validate {
+                    store
+                        .validate(graph)
+                        .unwrap_or_else(|e| panic!("rank {me}: post-migration invariant: {e}"));
+                }
+            }
+        }
+        rank.barrier();
+        let total = rank.wtime();
+
+        // ---- Gather final data at rank 0 --------------------------------
+        let owned: Vec<(u32, P::Data)> = store
+            .internal
+            .iter()
+            .chain(store.peripheral.iter())
+            .map(|node| {
+                (
+                    node.id,
+                    store
+                        .table
+                        .get(node.id)
+                        .expect("owned node has data")
+                        .clone(),
+                )
+            })
+            .collect();
+        let gathered = rank
+            .gather(0, &owned)
+            .map(|per_rank| per_rank.into_iter().flatten().collect::<Vec<_>>());
+
+        RankOutcome {
+            total,
+            timers,
+            comm: rank.stats(),
+            migrations,
+            gathered,
+            owner: store.owner.clone(),
+        }
+    });
+
+    // Assemble the report.
+    let total_time = results.iter().map(|r| r.total).fold(0.0f64, f64::max);
+    let migrations = results[0].migrations;
+    debug_assert!(results.iter().all(|r| r.migrations == migrations));
+    let final_owner = results[0].owner.clone();
+    let mut slots: Vec<Option<P::Data>> = (0..num_nodes).map(|_| None).collect();
+    if let Some(gathered) = &results[0].gathered {
+        for (id, data) in gathered {
+            let slot = &mut slots[*id as usize];
+            assert!(slot.is_none(), "node {id} gathered twice");
+            *slot = Some(data.clone());
+        }
+    }
+    let final_data: Vec<P::Data> = slots
+        .into_iter()
+        .enumerate()
+        .map(|(id, s)| s.unwrap_or_else(|| panic!("node {id} missing from gather")))
+        .collect();
+
+    RunReport {
+        total_time,
+        timers: results.iter().map(|r| r.timers.clone()).collect(),
+        comm: results.iter().map(|r| r.comm.clone()).collect(),
+        migrations,
+        final_data,
+        initial_partition: partition,
+        final_owner,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timers::Phase;
+
+    #[test]
+    fn config_builders_compose() {
+        let cfg = RunConfig::new(8, 25)
+            .with_balancing(10)
+            .with_balance_offset(5)
+            .with_migration_batch(4)
+            .with_migrant_policy(migrate::MigrantPolicy::LoadAware)
+            .with_exchange(ExchangeMode::Overlap)
+            .with_validation();
+        assert_eq!(cfg.nprocs, 8);
+        assert_eq!(cfg.iterations, 25);
+        assert_eq!(cfg.balance_every, Some(10));
+        assert_eq!(cfg.balance_offset, 5);
+        assert_eq!(cfg.migration_batch, 4);
+        assert_eq!(cfg.migrant_policy, migrate::MigrantPolicy::LoadAware);
+        assert_eq!(cfg.exchange, ExchangeMode::Overlap);
+        assert!(cfg.validate);
+    }
+
+    #[test]
+    fn defaults_match_the_thesis_protocol() {
+        let cfg = RunConfig::new(4, 10);
+        assert_eq!(cfg.balance_every, None);
+        assert_eq!(cfg.balance_offset, 0);
+        assert_eq!(cfg.migration_batch, 1);
+        assert_eq!(cfg.migrant_policy, migrate::MigrantPolicy::MinCut);
+        assert_eq!(cfg.exchange, ExchangeMode::PostComm);
+    }
+
+    #[test]
+    fn report_speedup_and_mean_timers() {
+        let mut t0 = PhaseTimers::new();
+        t0.add(Phase::Compute, 2.0);
+        let mut t1 = PhaseTimers::new();
+        t1.add(Phase::Compute, 4.0);
+        let report: RunReport<i64> = RunReport {
+            total_time: 2.0,
+            timers: vec![t0, t1],
+            comm: Vec::new(),
+            migrations: 0,
+            final_data: Vec::new(),
+            initial_partition: Partition::all_on_one(0, 1),
+            final_owner: Vec::new(),
+        };
+        assert_eq!(report.speedup_vs(8.0), 4.0);
+        assert_eq!(report.mean_timers().get(Phase::Compute), 3.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! The computation & communication phase (thesis §4.2, Figures 8 and 8a).
+
+use crate::costs::CostModel;
+use crate::program::{ComputeCtx, NeighborData, NodeProgram};
+use crate::store::{LocalNode, NodeStore};
+use crate::timers::{Phase, PhaseTimers};
+use ic2_graph::Graph;
+use mpisim::Rank;
+
+/// Message tag for shadow-buffer exchange.
+pub const TAG_SHADOW: u32 = 1;
+
+/// How computation and communication are sequenced each iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExchangeMode {
+    /// The basic prototype (Figure 8): update internal nodes, update
+    /// peripheral nodes while packing buffers, then `MPI_Isend` /
+    /// `MPI_Recv` all shadow buffers.
+    #[default]
+    PostComm,
+    /// The overlapped variant (Figure 8a): peripheral nodes first, dispatch
+    /// sends and post `MPI_Irecv`s, compute internal nodes while the
+    /// communication is in flight, then wait and unpack.
+    Overlap,
+}
+
+/// Run one compute + communicate round.
+///
+/// `comp_time_out` accumulates the execution time the thesis's load
+/// balancer samples (the `ComputeOverNodes` duration: node computation plus
+/// its overhead).
+#[allow(clippy::too_many_arguments)]
+pub fn step<P: NodeProgram>(
+    rank: &Rank,
+    _graph: &Graph,
+    program: &P,
+    store: &mut NodeStore<P::Data>,
+    ctx: &ComputeCtx,
+    mode: ExchangeMode,
+    costs: &CostModel,
+    timers: &mut PhaseTimers,
+    comp_time_out: &mut f64,
+) {
+    let comp_t0 = rank.wtime();
+    // Per-destination shadow buffers (the thesis's array of buffer arrays,
+    // one per neighbouring processor).
+    let mut buffers: Vec<Vec<(u32, P::Data)>> = vec![Vec::new(); store.nprocs];
+    for p in 0..store.nprocs {
+        if store.send_counts[p] > 0 {
+            buffers[p].reserve(store.send_counts[p]);
+        }
+    }
+
+    match mode {
+        ExchangeMode::PostComm => {
+            // Figure 8: internal nodes, then peripheral nodes (packing as
+            // each is updated), then send/recv.
+            compute_list(
+                rank,
+                program,
+                &store.internal,
+                &mut store.table,
+                &mut store.node_load,
+                ctx,
+                costs,
+                timers,
+                None,
+            );
+            compute_list(
+                rank,
+                program,
+                &store.peripheral,
+                &mut store.table,
+                &mut store.node_load,
+                ctx,
+                costs,
+                timers,
+                Some(&mut buffers),
+            );
+            *comp_time_out += rank.wtime() - comp_t0;
+            send_buffers(rank, store, &buffers, timers, costs);
+            recv_and_unpack(rank, store, timers, costs);
+        }
+        ExchangeMode::Overlap => {
+            // Figure 8a: peripherals first so their shadows can travel
+            // while internal nodes compute.
+            compute_list(
+                rank,
+                program,
+                &store.peripheral,
+                &mut store.table,
+                &mut store.node_load,
+                ctx,
+                costs,
+                timers,
+                Some(&mut buffers),
+            );
+            send_buffers(rank, store, &buffers, timers, costs);
+            let reqs: Vec<(u32, mpisim::RecvRequest<Vec<(u32, P::Data)>>)> = store
+                .recv_procs()
+                .into_iter()
+                .map(|p| (p, rank.irecv(p as usize, TAG_SHADOW)))
+                .collect();
+            compute_list(
+                rank,
+                program,
+                &store.internal,
+                &mut store.table,
+                &mut store.node_load,
+                ctx,
+                costs,
+                timers,
+                None,
+            );
+            *comp_time_out += rank.wtime() - comp_t0;
+            for (_, req) in reqs {
+                let t0 = rank.wtime();
+                let msg = req.wait(rank);
+                timers.add(Phase::Communicate, rank.wtime() - t0);
+                unpack(rank, store, msg, timers, costs);
+            }
+        }
+    }
+
+    // End of iteration: promote every staged value (the thesis's
+    // `data = most_recent_data` sweep), then the barrier that closes
+    // `CommunicateShadows`.
+    let t0 = rank.wtime();
+    rank.advance(costs.per_node_update * store.owned_count() as f64);
+    store.table.promote_all();
+    timers.add(Phase::ComputationOverhead, rank.wtime() - t0);
+    let t0 = rank.wtime();
+    rank.barrier();
+    timers.add(Phase::Communicate, rank.wtime() - t0);
+}
+
+/// Update every node in `list`: build the node+neighbours list, invoke the
+/// application node function, stage the result, and (for peripherals) pack
+/// the update into the outgoing buffers.
+#[allow(clippy::too_many_arguments)]
+fn compute_list<P: NodeProgram>(
+    rank: &Rank,
+    program: &P,
+    list: &[LocalNode],
+    table: &mut crate::hashtab::NodeTable<P::Data>,
+    node_load: &mut std::collections::HashMap<u32, f64>,
+    ctx: &ComputeCtx,
+    costs: &CostModel,
+    timers: &mut PhaseTimers,
+    mut buffers: Option<&mut Vec<Vec<(u32, P::Data)>>>,
+) {
+    for node in list {
+        // Computation overhead: form the list of the node and its
+        // neighbours to hand to the node function.
+        let t0 = rank.wtime();
+        rank.advance(costs.per_list_item * (node.neighbors.len() + 1) as f64);
+        let own = table
+            .get(node.id)
+            .unwrap_or_else(|| panic!("rank {}: no data for owned node {}", ctx.rank, node.id));
+        let neighbors: Vec<NeighborData<'_, P::Data>> = node
+            .neighbors
+            .iter()
+            .map(|&w| NeighborData {
+                id: w,
+                data: table.get(w).unwrap_or_else(|| {
+                    panic!("rank {}: no data for neighbour {w} of {}", ctx.rank, node.id)
+                }),
+            })
+            .collect();
+        let t1 = rank.wtime();
+        timers.add(Phase::ComputationOverhead, t1 - t0);
+
+        // The node computation itself, with its grain charged.
+        rank.advance(program.cost(node.id, own, ctx));
+        let next = program.compute(node.id, own, &neighbors, ctx);
+        let t2 = rank.wtime();
+        timers.add(Phase::Compute, t2 - t1);
+        *node_load.entry(node.id).or_insert(0.0) += t2 - t1;
+        drop(neighbors);
+
+        // Stage the update; pack it for every processor holding this node
+        // as a shadow.
+        rank.advance(costs.per_node_update);
+        if let Some(buffers) = buffers.as_deref_mut() {
+            let t3 = rank.wtime();
+            timers.add(Phase::ComputationOverhead, t3 - t2);
+            rank.advance(costs.per_shadow_pack * node.shadow_for.len() as f64);
+            for &p in &node.shadow_for {
+                buffers[p as usize].push((node.id, next.clone()));
+            }
+            timers.add(Phase::CommunicationOverhead, rank.wtime() - t3);
+        } else {
+            timers.add(Phase::ComputationOverhead, rank.wtime() - t2);
+        }
+        table.set_pending(node.id, next);
+    }
+}
+
+/// `MPI_Isend` every non-empty buffer to its neighbouring processor.
+fn send_buffers<D: mpisim::Wire>(
+    rank: &Rank,
+    store: &NodeStore<D>,
+    buffers: &[Vec<(u32, D)>],
+    timers: &mut PhaseTimers,
+    _costs: &CostModel,
+) {
+    let t0 = rank.wtime();
+    for p in 0..store.nprocs {
+        if store.send_counts[p] > 0 {
+            debug_assert_eq!(buffers[p].len(), store.send_counts[p]);
+            let req = rank.isend(p, TAG_SHADOW, &buffers[p]);
+            req.wait(rank); // buffered send: completes immediately
+        }
+    }
+    timers.add(Phase::Communicate, rank.wtime() - t0);
+}
+
+/// Blocking receive from every neighbouring processor, then unpack.
+fn recv_and_unpack<D: mpisim::Wire + Clone>(
+    rank: &Rank,
+    store: &mut NodeStore<D>,
+    timers: &mut PhaseTimers,
+    costs: &CostModel,
+) {
+    for p in store.recv_procs() {
+        let t0 = rank.wtime();
+        let msg: Vec<(u32, D)> = rank.recv(p as usize, TAG_SHADOW);
+        timers.add(Phase::Communicate, rank.wtime() - t0);
+        unpack(rank, store, msg, timers, costs);
+    }
+}
+
+/// Apply one received shadow buffer to the data-node table.
+fn unpack<D: mpisim::Wire>(
+    rank: &Rank,
+    store: &mut NodeStore<D>,
+    msg: Vec<(u32, D)>,
+    timers: &mut PhaseTimers,
+    costs: &CostModel,
+) {
+    let t0 = rank.wtime();
+    rank.advance(costs.per_shadow_unpack * msg.len() as f64);
+    for (id, data) in msg {
+        store.table.set_current(id, data);
+    }
+    timers.add(Phase::CommunicationOverhead, rank.wtime() - t0);
+}

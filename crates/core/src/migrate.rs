@@ -1,0 +1,368 @@
+//! The load balancing & task migration phase (thesis §4.3).
+//!
+//! Every balancing round:
+//!
+//! 1. the designated processor (rank 0) gathers each rank's execution time
+//!    and communication-buffer lengths into the weighted runtime processor
+//!    graph;
+//! 2. the pluggable [`DynamicBalancer`] nominates busy → idle pairs;
+//! 3. the pairs are broadcast, and for each pair the busy processor picks
+//!    the migrating task that keeps the edge-cut smallest (Figure 9's
+//!    "choose B over A" rule) among its nodes that are shadows for the
+//!    idle processor;
+//! 4. the migrating node's identity is broadcast (every rank must update
+//!    its replicated owner map), the busy processor ships the neighbours'
+//!    data to the idle one, and every affected rank re-derives its node
+//!    lists, shadow sets and buffer plan — the same re-derivation the
+//!    thesis performs at the end of `task_migrate`.
+//!
+//! The Table-1 role rules are enforced structurally: pairs come validated
+//! from `ic2-balance`, migrations execute in a deterministic order, and a
+//! processor receiving two tasks simply handles them sequentially
+//! (Figure 10's P0).
+
+use crate::costs::CostModel;
+use crate::store::NodeStore;
+use crate::timers::{Phase, PhaseTimers};
+use ic2_balance::{DynamicBalancer, LoadReport};
+use ic2_graph::{Graph, NodeId};
+use mpisim::Rank;
+
+/// Message tag for migrated task data.
+pub const TAG_MIGRATE: u32 = 2;
+
+/// Sentinel broadcast when a busy processor has no migratable candidate.
+const NO_CANDIDATE: u32 = u32::MAX;
+
+/// How the busy processor picks the task to migrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MigrantPolicy {
+    /// The thesis's Figure-9 rule: minimise the edge-cut increase,
+    /// ignoring node load.
+    #[default]
+    MinCut,
+    /// Load-aware extension (§7's "more rigorous algorithm"): prefer the
+    /// candidate carrying the most measured compute time, bounded by the
+    /// busy/idle gap so the move cannot overshoot; edge-cut breaks ties.
+    LoadAware,
+}
+
+/// Execute one balancing round; returns the number of tasks migrated.
+///
+/// A round runs up to `batch` planning sub-rounds. The first sub-round is
+/// exactly the thesis's protocol: gather the runtime processor graph at the
+/// designated processor, plan busy → idle pairs, migrate one task per pair.
+/// Further sub-rounds implement the §7 extension ("a more rigorous
+/// algorithm ... would specify the number of tasks that should be
+/// migrated"): the measured times are re-estimated after each migration
+/// (per-node load = processor time / owned nodes) and the balancer re-plans
+/// against the updated processor graph, so a large imbalance drains over
+/// several tasks instead of one. `batch = 1` reproduces the thesis.
+#[allow(clippy::too_many_arguments)]
+pub fn balance_round<D, B>(
+    rank: &Rank,
+    graph: &Graph,
+    store: &mut NodeStore<D>,
+    balancer: &mut B,
+    comp_time: f64,
+    batch: u32,
+    policy: MigrantPolicy,
+    costs: &CostModel,
+    timers: &mut PhaseTimers,
+) -> usize
+where
+    D: Clone + mpisim::Wire + Send + 'static,
+    B: DynamicBalancer,
+{
+    let t0 = rank.wtime();
+    let nprocs = store.nprocs;
+    rank.advance(costs.lb_per_proc * nprocs as f64);
+
+    // Measured execution times, replicated so every rank can update the
+    // estimates identically across sub-rounds.
+    let mut times: Vec<f64> = rank.gather(0, &comp_time).unwrap_or_default();
+    rank.bcast(0, &mut times);
+
+    let mut migrated = 0;
+    for _sub in 0..batch.max(1) {
+        // 1. Refresh the communication-volume edges (they change as tasks
+        //    move) and plan at the designated processor.
+        let my_counts: Vec<u64> = store.send_counts.iter().map(|&c| c as u64).collect();
+        let all_counts = rank.gather(0, &my_counts);
+        let mut plan: Vec<(u32, u32)> = Vec::new();
+        if let Some(counts) = all_counts {
+            let mut edges = vec![vec![0u64; nprocs]; nprocs];
+            for i in 0..nprocs {
+                for j in 0..nprocs {
+                    if i != j {
+                        edges[i][j] = counts[i][j] + counts[j][i];
+                    }
+                }
+            }
+            let report = LoadReport {
+                times: times.clone(),
+                edges,
+            };
+            plan = balancer
+                .plan(&report)
+                .into_iter()
+                .map(|p| (p.busy, p.idle))
+                .collect();
+        }
+
+        // 2. Broadcast the plan; an empty plan ends the round.
+        rank.bcast(0, &mut plan);
+        if plan.is_empty() {
+            break;
+        }
+
+        // 3. Execute each pair. All ranks walk the plan in the same order,
+        //    so point-to-point traffic matches up; buffered sends make
+        //    multiple receives at one idle processor (Figure 10) safely
+        //    sequential.
+        let mut moved_this_sub = 0;
+        for &(busy, idle) in &plan {
+            let mut chosen: (u32, f64) = (NO_CANDIDATE, 0.0);
+            if rank.rank() as u32 == busy {
+                chosen = select_migrant(graph, store, busy, idle, policy, &times)
+                    .unwrap_or((NO_CANDIDATE, 0.0));
+            }
+            rank.bcast(busy as usize, &mut chosen);
+            let (migrating, moved_load) = chosen;
+            if migrating == NO_CANDIDATE {
+                continue;
+            }
+
+            if rank.rank() as u32 == busy {
+                // Ship the migrating node's neighbours' data: they become
+                // shadows on the idle processor, needed before its next
+                // iteration. (The idle processor already holds the
+                // migrating node's own data — it was a shadow there.)
+                let payload: Vec<(u32, D)> = graph
+                    .neighbors(migrating)
+                    .iter()
+                    .map(|&w| {
+                        let data = store
+                            .table
+                            .get(w)
+                            .unwrap_or_else(|| panic!("busy rank lacks data for neighbour {w}"))
+                            .clone();
+                        (w, data)
+                    })
+                    .collect();
+                rank.advance(costs.migrate_per_entry * payload.len() as f64);
+                rank.send(idle as usize, TAG_MIGRATE, &payload);
+            } else if rank.rank() as u32 == idle {
+                let payload: Vec<(u32, D)> = rank.recv(busy as usize, TAG_MIGRATE);
+                rank.advance(costs.migrate_per_entry * payload.len() as f64);
+                for (id, data) in payload {
+                    // Insert new shadows; refresh ones already held.
+                    store.table.insert(id, data);
+                }
+                debug_assert!(
+                    store.table.contains(migrating),
+                    "idle rank must already hold the migrating node's data as a shadow"
+                );
+            }
+
+            // Re-estimate the load shift on every rank identically: the
+            // migrated task carries its measured compute time (falling
+            // back to the busy processor's per-node average when nothing
+            // was measured yet).
+            let shift = if moved_load > 0.0 {
+                moved_load
+            } else {
+                let busy_count = store
+                    .owner
+                    .iter()
+                    .filter(|&&p| p == busy)
+                    .count()
+                    .max(1);
+                times[busy as usize] / busy_count as f64
+            };
+            times[busy as usize] -= shift;
+            times[idle as usize] += shift;
+
+            // Every rank: change of ownership, then re-derive node lists,
+            // shadow_for sets and the buffer plan.
+            store.owner[migrating as usize] = idle;
+            store.rebuild_lists(graph);
+            migrated += 1;
+            moved_this_sub += 1;
+        }
+        if moved_this_sub == 0 {
+            break;
+        }
+    }
+
+    timers.add(Phase::LoadBalancing, rank.wtime() - t0);
+    migrated
+}
+
+/// The thesis's `GetMigratingNode`: among the busy processor's peripheral
+/// nodes that are shadows for the idle processor, pick the one whose move
+/// increases the edge-cut least — `(edges kept on busy) − (edges already on
+/// idle)`, minimised; first minimum wins ([`MigrantPolicy::MinCut`]).
+/// [`MigrantPolicy::LoadAware`] instead maximises the candidate's measured
+/// compute load, capped at the busy/idle time gap so a migration never
+/// overshoots the balance point; the cut delta breaks ties. `None` when
+/// nothing qualifies (e.g. the busy processor is down to its last node).
+///
+/// Returns the chosen node and its measured load.
+pub fn select_migrant<D>(
+    _graph: &Graph,
+    store: &NodeStore<D>,
+    busy: u32,
+    idle: u32,
+    policy: MigrantPolicy,
+    times: &[f64],
+) -> Option<(NodeId, f64)> {
+    if store.owned_count() <= 1 {
+        return None;
+    }
+    let load_of = |id: NodeId| store.node_load.get(&id).copied().unwrap_or(0.0);
+    // Loads are bucketed to 0.1 ms so near-equal candidates tie and the
+    // edge-cut criterion (locality) decides between them.
+    let bucket = |load: f64| (load * 1e4).round() as i64;
+    let mut best: Option<(NodeId, f64)> = None;
+    let mut best_key: (i64, i64) = (0, 0);
+    for node in &store.peripheral {
+        if !node.shadow_for.contains(&idle) {
+            continue;
+        }
+        let mut cut_delta = 0i64;
+        for &w in &node.neighbors {
+            let p = store.owner[w as usize];
+            if p == busy {
+                cut_delta += 1;
+            } else if p == idle {
+                cut_delta -= 1;
+            }
+        }
+        let load = load_of(node.id);
+        let key = match policy {
+            // Smaller cut delta first; load ignored.
+            MigrantPolicy::MinCut => (cut_delta, 0),
+            MigrantPolicy::LoadAware => {
+                // Moving more than the busy/idle gap would invert the
+                // imbalance; such candidates are skipped.
+                let gap = times
+                    .get(busy as usize)
+                    .zip(times.get(idle as usize))
+                    .map(|(b, i)| b - i)
+                    .unwrap_or(f64::INFINITY);
+                if load > gap.max(0.0) {
+                    continue;
+                }
+                // Locality guard: only candidates whose move leaves the
+                // edge-cut (nearly) unchanged qualify — migrations that
+                // scatter the partition cost more in communication than
+                // they recover in balance.
+                if cut_delta > 1 {
+                    continue;
+                }
+                // Bigger (bucketed) load first, then smaller cut delta.
+                (-bucket(load), cut_delta)
+            }
+        };
+        if best.is_none() || key < best_key {
+            best = Some((node.id, load));
+            best_key = key;
+        }
+    }
+    best
+}
+
+/// Convenience used by `balance_round` callers for the thesis's periodic
+/// trigger (`iter % every == 0`).
+pub fn is_balance_iteration(iter: u32, every: Option<u32>) -> bool {
+    match every {
+        Some(e) if e > 0 => iter % e == 0,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::AvgProgram;
+    use ic2_graph::generators::hex_grid;
+    use ic2_graph::Partition;
+
+    /// 2x4 hex strip split left/right between two ranks.
+    fn two_rank_store() -> (Graph, NodeStore<i64>) {
+        let graph = hex_grid(2, 4);
+        let part = Partition::new(
+            graph
+                .nodes()
+                .map(|v| if v % 4 < 2 { 0 } else { 1 })
+                .collect(),
+            2,
+        );
+        let store = NodeStore::build(&graph, &part, 0, &AvgProgram::fine(), 16);
+        (graph, store)
+    }
+
+    #[test]
+    fn migrant_selection_prefers_minimal_cut_growth() {
+        let (graph, store) = two_rank_store();
+        let m = select_migrant(&graph, &store, 0, 1, MigrantPolicy::MinCut, &[1.0, 0.5])
+            .map(|(id, _)| id)
+            .expect("candidate exists");
+        // The chosen node must actually be a shadow for rank 1.
+        let node = store
+            .peripheral
+            .iter()
+            .find(|n| n.id == m)
+            .expect("migrant is peripheral");
+        assert!(node.shadow_for.contains(&1));
+        // And no other candidate may have a strictly smaller cut delta.
+        let delta = |id: NodeId| {
+            graph
+                .neighbors(id)
+                .iter()
+                .map(|&w| match store.owner[w as usize] {
+                    0 => 1i64,
+                    1 => -1,
+                    _ => 0,
+                })
+                .sum::<i64>()
+        };
+        for cand in &store.peripheral {
+            if cand.shadow_for.contains(&1) {
+                assert!(delta(m) <= delta(cand.id), "node {} beats {m}", cand.id);
+            }
+        }
+    }
+
+    #[test]
+    fn last_node_is_never_migrated() {
+        let graph = hex_grid(1, 2);
+        let part = Partition::new(vec![0, 1], 2);
+        let store = NodeStore::build(&graph, &part, 0, &AvgProgram::fine(), 16);
+        assert_eq!(store.owned_count(), 1);
+        assert_eq!(
+            select_migrant(&graph, &store, 0, 1, MigrantPolicy::MinCut, &[1.0, 0.5]),
+            None
+        );
+    }
+
+    #[test]
+    fn no_candidate_for_non_neighbor_processor() {
+        let (graph, store) = two_rank_store();
+        // Processor 5 does not exist in the shadow sets.
+        assert_eq!(
+            select_migrant(&graph, &store, 0, 5, MigrantPolicy::MinCut, &[1.0, 0.5]),
+            None
+        );
+    }
+
+    #[test]
+    fn balance_iteration_trigger() {
+        assert!(is_balance_iteration(10, Some(10)));
+        assert!(is_balance_iteration(20, Some(10)));
+        assert!(!is_balance_iteration(5, Some(10)));
+        assert!(!is_balance_iteration(10, None));
+        assert!(!is_balance_iteration(10, Some(0)));
+    }
+}

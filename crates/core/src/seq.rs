@@ -1,0 +1,105 @@
+//! Sequential reference executor.
+//!
+//! Runs the same [`NodeProgram`] with the same Jacobi (double-buffered)
+//! semantics as the parallel platform, with no partitioning or
+//! communication. Tests compare the platform's gathered final data against
+//! this oracle — the thesis's Goal 2a promise ("execute their sequential
+//! code ... without any code change") in checkable form.
+
+use crate::program::{ComputeCtx, NeighborData, NodeProgram};
+use ic2_graph::Graph;
+
+/// Run `iterations` time steps sequentially; returns final node data
+/// indexed by node id.
+pub fn run_sequential<P: NodeProgram>(
+    graph: &Graph,
+    program: &P,
+    iterations: u32,
+) -> Vec<P::Data> {
+    let n = graph.num_nodes();
+    let mut cur: Vec<P::Data> = graph.nodes().map(|v| program.init(v, graph)).collect();
+    for iter in 1..=iterations {
+        for phase in 0..program.phases() {
+            let ctx = ComputeCtx {
+                iter,
+                phase,
+                rank: 0,
+                num_nodes: n,
+            };
+            let next: Vec<P::Data> = graph
+                .nodes()
+                .map(|v| {
+                    let neighbors: Vec<NeighborData<'_, P::Data>> = graph
+                        .neighbors(v)
+                        .iter()
+                        .map(|&w| NeighborData {
+                            id: w,
+                            data: &cur[w as usize],
+                        })
+                        .collect();
+                    program.compute(v, &cur[v as usize], &neighbors, &ctx)
+                })
+                .collect();
+            cur = next;
+        }
+    }
+    cur
+}
+
+/// Total grain-cost the program would charge sequentially — the ideal
+/// single-processor compute time (used for speedup sanity checks).
+pub fn sequential_cost<P: NodeProgram>(graph: &Graph, program: &P, iterations: u32) -> f64 {
+    let n = graph.num_nodes();
+    let data: Vec<P::Data> = graph.nodes().map(|v| program.init(v, graph)).collect();
+    let mut total = 0.0;
+    for iter in 1..=iterations {
+        for phase in 0..program.phases() {
+            let ctx = ComputeCtx {
+                iter,
+                phase,
+                rank: 0,
+                num_nodes: n,
+            };
+            for v in graph.nodes() {
+                total += program.cost(v, &data[v as usize], &ctx);
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::AvgProgram;
+    use ic2_graph::generators::hex_grid;
+
+    #[test]
+    fn averaging_converges_toward_uniform() {
+        let g = hex_grid(4, 4);
+        let final_data = run_sequential(&g, &AvgProgram::fine(), 50);
+        let min = *final_data.iter().min().unwrap();
+        let max = *final_data.iter().max().unwrap();
+        assert!(
+            max - min <= 2,
+            "averaging should nearly converge: {min}..{max}"
+        );
+    }
+
+    #[test]
+    fn zero_iterations_returns_initial_data() {
+        let g = hex_grid(2, 2);
+        let data = run_sequential(&g, &AvgProgram::fine(), 0);
+        assert_eq!(data, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sequential_cost_scales_with_iterations() {
+        let g = hex_grid(4, 4);
+        let p = AvgProgram::fine();
+        let c10 = sequential_cost(&g, &p, 10);
+        let c20 = sequential_cost(&g, &p, 20);
+        assert!((c20 - 2.0 * c10).abs() < 1e-9);
+        assert!((c10 - 16.0 * 10.0 * 300e-6).abs() < 1e-9);
+    }
+}

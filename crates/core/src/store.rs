@@ -1,0 +1,390 @@
+//! Per-rank node state: the initialization phase (thesis §4.1) and the
+//! bookkeeping every later phase reads.
+
+use crate::hashtab::NodeTable;
+use crate::program::NodeProgram;
+use ic2_graph::{Graph, NodeId, Partition};
+
+/// Node information maintained per owned node (the thesis's `own_node`
+/// struct, Figure 7): identity, neighbourhood, and which processors hold
+/// this node as a shadow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalNode {
+    /// Global node id.
+    pub id: NodeId,
+    /// Global ids of the node's neighbours (the `neighboring_nodes[]`
+    /// array).
+    pub neighbors: Vec<NodeId>,
+    /// Distinct remote processors owning at least one neighbour — the
+    /// processors for which this node is a shadow (`shadow_for_procs[]`).
+    /// Empty iff the node is internal.
+    pub shadow_for: Vec<u32>,
+}
+
+impl LocalNode {
+    /// Internal nodes have every neighbour on their own processor.
+    pub fn is_internal(&self) -> bool {
+        self.shadow_for.is_empty()
+    }
+}
+
+/// Everything one rank keeps in local memory: the internal and peripheral
+/// node lists, the data-node table (owned + shadow data) behind its hash
+/// table, the replicated owner map (the thesis's `output_arr`), and the
+/// communication-buffer plan.
+#[derive(Debug, Clone)]
+pub struct NodeStore<D> {
+    /// This processor's rank.
+    pub rank: u32,
+    /// World size.
+    pub nprocs: usize,
+    /// Owned nodes with every neighbour local.
+    pub internal: Vec<LocalNode>,
+    /// Owned nodes with at least one remote neighbour.
+    pub peripheral: Vec<LocalNode>,
+    /// Data for owned nodes *and* shadow nodes.
+    pub table: NodeTable<D>,
+    /// Global node → owning processor, replicated on every rank and kept
+    /// in sync through migration broadcasts.
+    pub owner: Vec<u32>,
+    /// `send_counts[p]`: number of shadow entries this rank sends
+    /// processor `p` each iteration (the thesis's
+    /// `buffer_size_for_communication`).
+    pub send_counts: Vec<usize>,
+    /// Measured compute seconds per owned node since the last balancing
+    /// round — the per-node load the load-aware migrant policy consults.
+    pub node_load: std::collections::HashMap<NodeId, f64>,
+}
+
+impl<D: Clone> NodeStore<D> {
+    /// The initialization phase: build every data structure from the
+    /// application graph, the static partition, and the program's initial
+    /// node data. Returns the store plus the number of locally stored
+    /// entries (owned + shadows), which the driver charges init cost for.
+    pub fn build<P>(
+        graph: &Graph,
+        partition: &Partition,
+        rank: u32,
+        program: &P,
+        hash_buckets: usize,
+    ) -> Self
+    where
+        P: NodeProgram<Data = D>,
+        D: Clone,
+    {
+        assert_eq!(
+            graph.num_nodes(),
+            partition.len(),
+            "partition must cover the graph"
+        );
+        let nprocs = partition.num_parts();
+        let owner: Vec<u32> = partition.as_slice().to_vec();
+        let mut store = NodeStore {
+            rank,
+            nprocs,
+            internal: Vec::new(),
+            peripheral: Vec::new(),
+            table: NodeTable::new(hash_buckets),
+            owner,
+            send_counts: vec![0; nprocs],
+            node_load: std::collections::HashMap::new(),
+        };
+        // Owned node data...
+        for v in graph.nodes() {
+            if store.owner[v as usize] == rank {
+                store.table.insert(v, program.init(v, graph));
+            }
+        }
+        // ...then shadow data for remote neighbours of owned nodes
+        // (InsertShadowsIntoHashTable).
+        for v in graph.nodes() {
+            if store.owner[v as usize] != rank {
+                continue;
+            }
+            for &w in graph.neighbors(v) {
+                if store.owner[w as usize] != rank && !store.table.contains(w) {
+                    store.table.insert(w, program.init(w, graph));
+                }
+            }
+        }
+        store.rebuild_lists(graph);
+        store
+    }
+}
+
+impl<D> NodeStore<D> {
+    /// Whether this rank owns `node`.
+    pub fn owns(&self, node: NodeId) -> bool {
+        self.owner[node as usize] == self.rank
+    }
+
+    /// Number of owned nodes.
+    pub fn owned_count(&self) -> usize {
+        self.internal.len() + self.peripheral.len()
+    }
+
+    /// Locally stored entries (owned + shadows).
+    pub fn stored_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Rebuild the internal/peripheral lists, `shadow_for` sets and the
+    /// send plan from the owner map — used at initialization and after
+    /// task migration (the thesis re-derives `shadow_for_procs[]` and
+    /// `buffer_size_for_communication` the same way at the end of
+    /// `task_migrate`).
+    pub fn rebuild_lists(&mut self, graph: &Graph) {
+        self.internal.clear();
+        self.peripheral.clear();
+        self.send_counts = vec![0; self.nprocs];
+        for v in graph.nodes() {
+            if self.owner[v as usize] != self.rank {
+                continue;
+            }
+            let neighbors: Vec<NodeId> = graph.neighbors(v).to_vec();
+            let mut shadow_for: Vec<u32> = Vec::new();
+            for &w in &neighbors {
+                let p = self.owner[w as usize];
+                if p != self.rank && !shadow_for.contains(&p) {
+                    shadow_for.push(p);
+                }
+            }
+            shadow_for.sort_unstable();
+            for &p in &shadow_for {
+                self.send_counts[p as usize] += 1;
+            }
+            let node = LocalNode {
+                id: v,
+                neighbors,
+                shadow_for,
+            };
+            if node.is_internal() {
+                self.internal.push(node);
+            } else {
+                self.peripheral.push(node);
+            }
+        }
+    }
+
+    /// Processors this rank must *receive* shadow data from: owners of the
+    /// remote neighbours of its owned nodes, ascending.
+    pub fn recv_procs(&self) -> Vec<u32> {
+        let mut procs: Vec<u32> = Vec::new();
+        for node in &self.peripheral {
+            for &w in &node.neighbors {
+                let p = self.owner[w as usize];
+                if p != self.rank && !procs.contains(&p) {
+                    procs.push(p);
+                }
+            }
+        }
+        procs.sort_unstable();
+        procs
+    }
+
+    /// Processors this rank sends shadow data to, ascending.
+    pub fn send_procs(&self) -> Vec<u32> {
+        (0..self.nprocs as u32)
+            .filter(|&p| self.send_counts[p as usize] > 0)
+            .collect()
+    }
+
+    /// Check every structural invariant of the store against the graph;
+    /// returns the first violation.
+    pub fn validate(&self, graph: &Graph) -> Result<(), String> {
+        // Owner map shape.
+        if self.owner.len() != graph.num_nodes() {
+            return Err("owner map length mismatch".into());
+        }
+        // Every owned node in exactly one list, correctly classified.
+        let mut owned_seen = std::collections::HashSet::new();
+        for (list_name, list, internal) in [
+            ("internal", &self.internal, true),
+            ("peripheral", &self.peripheral, false),
+        ] {
+            for node in list {
+                if self.owner[node.id as usize] != self.rank {
+                    return Err(format!("{list_name} node {} not owned", node.id));
+                }
+                if !owned_seen.insert(node.id) {
+                    return Err(format!("node {} appears twice", node.id));
+                }
+                if node.neighbors != graph.neighbors(node.id) {
+                    return Err(format!("node {} neighbour list stale", node.id));
+                }
+                let has_remote = node
+                    .neighbors
+                    .iter()
+                    .any(|&w| self.owner[w as usize] != self.rank);
+                if internal && has_remote {
+                    return Err(format!("internal node {} has remote neighbour", node.id));
+                }
+                if !internal && !has_remote {
+                    return Err(format!("peripheral node {} is fully local", node.id));
+                }
+                // shadow_for = sorted distinct remote owners.
+                let mut expect: Vec<u32> = node
+                    .neighbors
+                    .iter()
+                    .map(|&w| self.owner[w as usize])
+                    .filter(|&p| p != self.rank)
+                    .collect();
+                expect.sort_unstable();
+                expect.dedup();
+                if node.shadow_for != expect {
+                    return Err(format!(
+                        "node {} shadow_for {:?} != {:?}",
+                        node.id, node.shadow_for, expect
+                    ));
+                }
+            }
+        }
+        // Every owned node per the owner map is listed.
+        for v in graph.nodes() {
+            if self.owner[v as usize] == self.rank && !owned_seen.contains(&v) {
+                return Err(format!("owned node {v} missing from lists"));
+            }
+        }
+        // Data present for owned nodes and all their neighbours.
+        for v in graph.nodes() {
+            if self.owner[v as usize] == self.rank {
+                if !self.table.contains(v) {
+                    return Err(format!("no data for owned node {v}"));
+                }
+                for &w in graph.neighbors(v) {
+                    if !self.table.contains(w) {
+                        return Err(format!("no data for neighbour {w} of owned {v}"));
+                    }
+                }
+            }
+        }
+        // Send plan consistent with shadow_for.
+        let mut counts = vec![0usize; self.nprocs];
+        for node in &self.peripheral {
+            for &p in &node.shadow_for {
+                counts[p as usize] += 1;
+            }
+        }
+        if counts != self.send_counts {
+            return Err(format!(
+                "send_counts {:?} != derived {:?}",
+                self.send_counts, counts
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::AvgProgram;
+    use ic2_graph::generators::hex_grid;
+    use ic2_partition::{metis::Metis, StaticPartitioner};
+
+    fn build_stores(k: usize) -> (Graph, Vec<NodeStore<i64>>) {
+        let graph = hex_grid(4, 8);
+        let part = Metis::default().partition(&graph, k);
+        let program = AvgProgram::fine();
+        let stores = (0..k as u32)
+            .map(|r| NodeStore::build(&graph, &part, r, &program, 64))
+            .collect();
+        (graph, stores)
+    }
+
+    #[test]
+    fn every_store_validates() {
+        let (graph, stores) = build_stores(4);
+        for s in &stores {
+            s.validate(&graph).unwrap();
+        }
+    }
+
+    #[test]
+    fn owned_nodes_cover_graph_exactly_once() {
+        let (graph, stores) = build_stores(4);
+        let total: usize = stores.iter().map(|s| s.owned_count()).sum();
+        assert_eq!(total, graph.num_nodes());
+    }
+
+    #[test]
+    fn shadow_data_is_present_for_remote_neighbors() {
+        let (graph, stores) = build_stores(4);
+        for s in &stores {
+            for node in &s.peripheral {
+                for &w in &node.neighbors {
+                    assert!(s.table.contains(w), "rank {} missing {w}", s.rank);
+                }
+            }
+            // Shadows make the table strictly larger than the owned set
+            // whenever the rank has peripherals.
+            if !s.peripheral.is_empty() {
+                assert!(s.stored_count() > s.owned_count());
+            }
+        }
+        let _ = graph;
+    }
+
+    #[test]
+    fn send_and_recv_plans_are_mirror_images() {
+        let (_, stores) = build_stores(4);
+        for s in &stores {
+            for p in s.send_procs() {
+                let other = &stores[p as usize];
+                assert!(
+                    other.recv_procs().contains(&s.rank),
+                    "rank {} sends to {p} but {p} does not expect it",
+                    s.rank
+                );
+            }
+            for p in s.recv_procs() {
+                let other = &stores[p as usize];
+                assert!(
+                    other.send_procs().contains(&s.rank),
+                    "rank {} expects from {p} but {p} does not send",
+                    s.rank
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_has_no_peripherals() {
+        let (graph, stores) = build_stores(1);
+        assert_eq!(stores[0].peripheral.len(), 0);
+        assert_eq!(stores[0].internal.len(), graph.num_nodes());
+        assert!(stores[0].send_procs().is_empty());
+        assert!(stores[0].recv_procs().is_empty());
+    }
+
+    #[test]
+    fn send_counts_match_comm_volume_metric() {
+        let graph = hex_grid(4, 8);
+        let part = Metis::default().partition(&graph, 4);
+        let program = AvgProgram::fine();
+        let total_sends: usize = (0..4u32)
+            .map(|r| {
+                NodeStore::build(&graph, &part, r, &program, 64)
+                    .send_counts
+                    .iter()
+                    .sum::<usize>()
+            })
+            .sum();
+        assert_eq!(total_sends, ic2_graph::metrics::comm_volume(&graph, &part));
+    }
+
+    #[test]
+    fn rebuild_after_owner_change_reclassifies() {
+        let (graph, mut stores) = build_stores(2);
+        // Move every node to rank 0 and rebuild: rank 0 all internal.
+        let n = graph.num_nodes();
+        for s in &mut stores {
+            s.owner = vec![0; n];
+            s.rebuild_lists(&graph);
+        }
+        assert_eq!(stores[0].owned_count(), n);
+        assert!(stores[0].peripheral.is_empty());
+        assert_eq!(stores[1].owned_count(), 0);
+        assert!(stores[1].send_procs().is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! Per-phase time accounting (the thesis's §5.4 overhead breakdown).
+
+/// The six phases the thesis reports in Figures 21–22.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Setting up node lists, data lists, hash tables, buffer plans.
+    Initialization,
+    /// Building the node+neighbour lists and updating data lists around
+    /// the actual node computation.
+    ComputationOverhead,
+    /// The application node function itself.
+    Compute,
+    /// Packing and unpacking communication buffers.
+    CommunicationOverhead,
+    /// Sending/receiving the shadow buffers.
+    Communicate,
+    /// Gathering load statistics, planning, and migrating tasks.
+    LoadBalancing,
+}
+
+impl Phase {
+    /// All phases, in report order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Initialization,
+        Phase::ComputationOverhead,
+        Phase::Compute,
+        Phase::CommunicationOverhead,
+        Phase::Communicate,
+        Phase::LoadBalancing,
+    ];
+
+    /// Human-readable label matching the thesis figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Initialization => "Initialization",
+            Phase::ComputationOverhead => "Computation Overhead",
+            Phase::Compute => "Compute",
+            Phase::CommunicationOverhead => "Communication Overhead",
+            Phase::Communicate => "Communicate",
+            Phase::LoadBalancing => "Load Balancing & Task Migration",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Initialization => 0,
+            Phase::ComputationOverhead => 1,
+            Phase::Compute => 2,
+            Phase::CommunicationOverhead => 3,
+            Phase::Communicate => 4,
+            Phase::LoadBalancing => 5,
+        }
+    }
+}
+
+/// Accumulated seconds per phase for one rank.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseTimers {
+    totals: [f64; 6],
+}
+
+impl PhaseTimers {
+    /// Fresh, all-zero timers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `seconds` to `phase`.
+    pub fn add(&mut self, phase: Phase, seconds: f64) {
+        debug_assert!(seconds >= -1e-9, "negative phase time {seconds}");
+        self.totals[phase.index()] += seconds.max(0.0);
+    }
+
+    /// Accumulated seconds in `phase`.
+    pub fn get(&self, phase: Phase) -> f64 {
+        self.totals[phase.index()]
+    }
+
+    /// Sum over all phases.
+    pub fn total(&self) -> f64 {
+        self.totals.iter().sum()
+    }
+
+    /// Element-wise sum with another rank's timers.
+    pub fn merged(&self, other: &PhaseTimers) -> PhaseTimers {
+        let mut out = self.clone();
+        for i in 0..6 {
+            out.totals[i] += other.totals[i];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_independently() {
+        let mut t = PhaseTimers::new();
+        t.add(Phase::Compute, 1.0);
+        t.add(Phase::Compute, 0.5);
+        t.add(Phase::Communicate, 0.25);
+        assert_eq!(t.get(Phase::Compute), 1.5);
+        assert_eq!(t.get(Phase::Communicate), 0.25);
+        assert_eq!(t.get(Phase::Initialization), 0.0);
+        assert!((t.total() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_elementwise() {
+        let mut a = PhaseTimers::new();
+        a.add(Phase::Compute, 1.0);
+        let mut b = PhaseTimers::new();
+        b.add(Phase::Compute, 2.0);
+        b.add(Phase::LoadBalancing, 3.0);
+        let m = a.merged(&b);
+        assert_eq!(m.get(Phase::Compute), 3.0);
+        assert_eq!(m.get(Phase::LoadBalancing), 3.0);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for p in Phase::ALL {
+            assert!(seen.insert(p.label()));
+        }
+    }
+}

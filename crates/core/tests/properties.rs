@@ -1,0 +1,158 @@
+//! Property-based tests for the platform core: the hash table against a
+//! model, store invariants under arbitrary partitions, and parallel ==
+//! sequential on arbitrary workloads.
+
+use ic2_graph::{generators, Partition};
+use ic2mpi::prelude::*;
+use ic2mpi::{seq, NodeStore, NodeTable};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Model-based test operations for the node table.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32, i64),
+    SetPending(u32, i64),
+    Promote,
+    SetCurrent(u32, i64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..40, any::<i64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (0u32..40, any::<i64>()).prop_map(|(k, v)| Op::SetPending(k, v)),
+        Just(Op::Promote),
+        (0u32..40, any::<i64>()).prop_map(|(k, v)| Op::SetCurrent(k, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn node_table_matches_hashmap_model(
+        buckets in 1usize..32,
+        ops in proptest::collection::vec(op_strategy(), 0..120),
+    ) {
+        let mut table: NodeTable<i64> = NodeTable::new(buckets);
+        let mut cur = std::collections::HashMap::new();
+        let mut pending = std::collections::HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let old = table.insert(k, v);
+                    prop_assert_eq!(old, cur.insert(k, v));
+                }
+                Op::SetPending(k, v) => {
+                    if cur.contains_key(&k) {
+                        table.set_pending(k, v);
+                        pending.insert(k, v);
+                    }
+                }
+                Op::Promote => {
+                    let promoted = table.promote_all();
+                    prop_assert_eq!(promoted, pending.len());
+                    for (k, v) in pending.drain() {
+                        cur.insert(k, v);
+                    }
+                }
+                Op::SetCurrent(k, v) => {
+                    if cur.contains_key(&k) {
+                        table.set_current(k, v);
+                        cur.insert(k, v);
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(table.len(), cur.len());
+        for (&k, &v) in &cur {
+            // Pending values must not be visible before promotion.
+            let expected = pending.get(&k).map_or(v, |_| v);
+            prop_assert_eq!(table.get(k), Some(&expected));
+        }
+        for (&k, &v) in &pending {
+            prop_assert_eq!(table.pending(k), Some(&v));
+        }
+    }
+
+    #[test]
+    fn store_invariants_hold_for_arbitrary_partitions(
+        n in 2usize..40,
+        k in 1usize..6,
+        seed in any::<u64>(),
+        assign in proptest::collection::vec(any::<u32>(), 40),
+    ) {
+        let graph = generators::random_connected(n, 3.0, 10, seed);
+        let assignment: Vec<u32> = (0..n).map(|i| assign[i] % k as u32).collect();
+        let partition = Partition::new(assignment, k);
+        let program = AvgProgram::fine();
+        for rank in 0..k as u32 {
+            let store = NodeStore::build(&graph, &partition, rank, &program, 16);
+            prop_assert_eq!(store.validate(&graph), Ok(()));
+        }
+    }
+
+    #[test]
+    fn shifting_window_always_heats_half_the_domain(
+        num_nodes in 2usize..500,
+        iter in 1u32..100,
+    ) {
+        let s = ShiftingWindowLoad::default();
+        let hot = (0..num_nodes as u32)
+            .filter(|&v| s.is_hot(v, num_nodes, iter))
+            .count();
+        // The band covers 50% of the fraction space; integer rounding may
+        // shift by one node.
+        let expected = num_nodes as f64 * 0.5;
+        prop_assert!((hot as f64 - expected).abs() <= 1.0, "hot={hot} of {num_nodes}");
+    }
+}
+
+proptest! {
+    // Full platform runs are expensive; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn parallel_equals_sequential_on_arbitrary_workloads(
+        n in 4usize..28,
+        procs in 1usize..5,
+        iters in 1u32..8,
+        seed in any::<u64>(),
+        coarse in prop_oneof![Just(false), Just(true)],
+    ) {
+        let graph = generators::random_connected(n, 3.0, 10, seed);
+        let program = if coarse { AvgProgram::coarse() } else { AvgProgram::fine() };
+        let oracle = seq::run_sequential(&graph, &program, iters);
+        let cfg = RunConfig::new(procs, iters)
+            .with_world(mpisim::Config::default().with_watchdog(Duration::from_secs(10)))
+            .with_validation();
+        let report = run(&graph, &program, &Metis::default(), || NoBalancer, &cfg);
+        prop_assert_eq!(report.final_data, oracle);
+    }
+
+    #[test]
+    fn migration_preserves_results_for_arbitrary_triggers(
+        every in 1u32..6,
+        batch in 1u32..6,
+        threshold in 0.05f64..0.5,
+    ) {
+        let graph = generators::hex_grid_n(32);
+        let program = AvgProgram::shifting();
+        let iters = 12;
+        let oracle = seq::run_sequential(&graph, &program, iters);
+        let cfg = RunConfig::new(4, iters)
+            .with_balancing(every)
+            .with_migration_batch(batch)
+            .with_migrant_policy(MigrantPolicy::LoadAware)
+            .with_world(mpisim::Config::default().with_watchdog(Duration::from_secs(10)))
+            .with_validation();
+        let report = run(
+            &graph,
+            &program,
+            &Metis::default(),
+            || Diffusion { threshold },
+            &cfg,
+        );
+        prop_assert_eq!(report.final_data, oracle);
+    }
+}

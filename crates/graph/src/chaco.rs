@@ -1,0 +1,354 @@
+//! Chaco / Metis graph-file format.
+//!
+//! The thesis feeds its application graphs to Metis and PaGrid in Chaco
+//! format and reads them back in `InitializeGraph` / `InitializeInputArray`
+//! (Appendix A). The header is `n m [fmt]`; each following line lists one
+//! node's neighbours (1-indexed). `fmt` selects weights exactly as the
+//! appendix decodes it:
+//!
+//! * `0`  — no weights,
+//! * `1`  — edge weights (`neighbour weight` pairs),
+//! * `10` — a single vertex weight leading each line,
+//! * `11` — vertex weight then `neighbour weight` pairs.
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use std::fmt::Write as _;
+
+/// Errors arising while parsing a Chaco file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChacoError {
+    /// The header line is missing or malformed.
+    BadHeader(String),
+    /// A token could not be parsed as an integer.
+    BadToken { line: usize, token: String },
+    /// Fewer/more node lines than the header's `n`, or a line has the wrong
+    /// token parity for its `fmt`.
+    Shape(String),
+    /// A neighbour index is out of `1..=n`, a self-loop, or the edge list is
+    /// asymmetric.
+    Structure(String),
+}
+
+impl std::fmt::Display for ChacoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChacoError::BadHeader(s) => write!(f, "bad Chaco header: {s}"),
+            ChacoError::BadToken { line, token } => {
+                write!(f, "line {line}: cannot parse integer {token:?}")
+            }
+            ChacoError::Shape(s) => write!(f, "malformed Chaco body: {s}"),
+            ChacoError::Structure(s) => write!(f, "invalid graph structure: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ChacoError {}
+
+/// Parse a Chaco-format graph from text.
+pub fn parse(text: &str) -> Result<Graph, ChacoError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('%'));
+    let (hline, header) = lines
+        .next()
+        .ok_or_else(|| ChacoError::BadHeader("empty file".into()))?;
+    let head: Vec<i64> = parse_ints(header, hline)?;
+    let (n, m, fmt) = match head.as_slice() {
+        [n, m] => (*n, *m, 0),
+        [n, m, fmt] => (*n, *m, *fmt),
+        _ => {
+            return Err(ChacoError::BadHeader(format!(
+                "expected `n m [fmt]`, got {header:?}"
+            )))
+        }
+    };
+    if n < 0 || m < 0 || !matches!(fmt, 0 | 1 | 10 | 11) {
+        return Err(ChacoError::BadHeader(format!(
+            "n={n} m={m} fmt={fmt} out of range"
+        )));
+    }
+    let n = n as usize;
+    let has_vwgt = fmt == 10 || fmt == 11;
+    let has_ewgt = fmt == 1 || fmt == 11;
+
+    let mut vwgt = vec![1i64; n];
+    let mut edges: Vec<(NodeId, NodeId, i64)> = Vec::new();
+    let mut seen_pairs = std::collections::HashMap::new();
+    let mut node = 0usize;
+    for (lineno, line) in lines {
+        if node >= n {
+            return Err(ChacoError::Shape(format!(
+                "more than {n} node lines (line {lineno})"
+            )));
+        }
+        let ints = parse_ints(line, lineno)?;
+        let mut rest = &ints[..];
+        if has_vwgt {
+            let w = *rest.first().ok_or_else(|| {
+                ChacoError::Shape(format!("line {lineno}: missing vertex weight"))
+            })?;
+            vwgt[node] = w;
+            rest = &rest[1..];
+        }
+        let stride = if has_ewgt { 2 } else { 1 };
+        if rest.len() % stride != 0 {
+            return Err(ChacoError::Shape(format!(
+                "line {lineno}: expected neighbour{} tokens in multiples of {stride}",
+                if has_ewgt { "/weight" } else { "" }
+            )));
+        }
+        for pair in rest.chunks(stride) {
+            let nbr = pair[0];
+            let w = if has_ewgt { pair[1] } else { 1 };
+            if nbr < 1 || nbr as usize > n {
+                return Err(ChacoError::Structure(format!(
+                    "line {lineno}: neighbour {nbr} out of 1..={n}"
+                )));
+            }
+            let nbr = (nbr - 1) as NodeId;
+            let me = node as NodeId;
+            if nbr == me {
+                return Err(ChacoError::Structure(format!("line {lineno}: self loop")));
+            }
+            let key = (me.min(nbr), me.max(nbr));
+            match seen_pairs.entry(key) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert((w, 1u8));
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let (w0, count) = *e.get();
+                    if w0 != w {
+                        return Err(ChacoError::Structure(format!(
+                            "edge ({},{}) has asymmetric weights {w0} vs {w}",
+                            key.0 + 1,
+                            key.1 + 1
+                        )));
+                    }
+                    if count >= 2 {
+                        return Err(ChacoError::Structure(format!(
+                            "edge ({},{}) listed more than twice",
+                            key.0 + 1,
+                            key.1 + 1
+                        )));
+                    }
+                    e.insert((w0, count + 1));
+                }
+            }
+        }
+        node += 1;
+    }
+    if node != n {
+        return Err(ChacoError::Shape(format!("expected {n} node lines, got {node}")));
+    }
+    for (&(u, v), &(w, count)) in &seen_pairs {
+        if count != 2 {
+            return Err(ChacoError::Structure(format!(
+                "edge ({},{}) listed only once (asymmetric adjacency)",
+                u + 1,
+                v + 1
+            )));
+        }
+        edges.push((u, v, w));
+    }
+    if edges.len() != m as usize {
+        return Err(ChacoError::Shape(format!(
+            "header claims {m} edges but body has {}",
+            edges.len()
+        )));
+    }
+    edges.sort_unstable();
+    let mut b = GraphBuilder::new(n);
+    for (u, v, w) in edges {
+        b.weighted_edge(u, v, w);
+    }
+    b.vertex_weights(vwgt);
+    Ok(b.build())
+}
+
+fn parse_ints(line: &str, lineno: usize) -> Result<Vec<i64>, ChacoError> {
+    line.split_whitespace()
+        .map(|tok| {
+            tok.parse::<i64>().map_err(|_| ChacoError::BadToken {
+                line: lineno,
+                token: tok.to_string(),
+            })
+        })
+        .collect()
+}
+
+/// Render a graph in Chaco format. `fmt` chooses the weight encoding; with
+/// `fmt = 0` any non-uniform weights are silently dropped, matching the
+/// thesis's `fmt=0` runs ("uniform weighted program graph").
+pub fn render(graph: &Graph, fmt: u8) -> String {
+    assert!(matches!(fmt, 0 | 1 | 10 | 11), "unsupported fmt {fmt}");
+    let has_vwgt = fmt == 10 || fmt == 11;
+    let has_ewgt = fmt == 1 || fmt == 11;
+    let mut out = String::new();
+    if fmt == 0 {
+        let _ = writeln!(out, "{} {}", graph.num_nodes(), graph.num_edges());
+    } else {
+        let _ = writeln!(out, "{} {} {}", graph.num_nodes(), graph.num_edges(), fmt);
+    }
+    for v in graph.nodes() {
+        let mut first = true;
+        if has_vwgt {
+            let _ = write!(out, "{}", graph.vertex_weight(v));
+            first = false;
+        }
+        for (&w, &ew) in graph.neighbors(v).iter().zip(graph.edge_weights(v)) {
+            if !first {
+                out.push(' ');
+            }
+            let _ = write!(out, "{}", w + 1);
+            if has_ewgt {
+                let _ = write!(out, " {ew}");
+            }
+            first = false;
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Read a Chaco graph from a file.
+pub fn read_file(path: &std::path::Path) -> Result<Graph, Box<dyn std::error::Error>> {
+    Ok(parse(&std::fs::read_to_string(path)?)?)
+}
+
+/// Write a Chaco graph to a file.
+pub fn write_file(
+    graph: &Graph,
+    fmt: u8,
+    path: &std::path::Path,
+) -> Result<(), std::io::Error> {
+    std::fs::write(path, render(graph, fmt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn parses_unweighted() {
+        let g = parse("3 2\n2\n1 3\n2\n").unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn parses_fmt0_explicit() {
+        let g = parse("2 1 0\n2\n1\n").unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn parses_edge_weights() {
+        let g = parse("2 1 1\n2 9\n1 9\n").unwrap();
+        assert_eq!(g.edge_weight(0, 1), Some(9));
+    }
+
+    #[test]
+    fn parses_vertex_weights() {
+        let g = parse("3 2 10\n5 2\n3 1 3\n1 2\n").unwrap();
+        assert_eq!(g.vertex_weights(), &[5, 3, 1]);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn parses_both_weights() {
+        let g = parse("2 1 11\n4 2 7\n6 1 7\n").unwrap();
+        assert_eq!(g.vertex_weights(), &[4, 6]);
+        assert_eq!(g.edge_weight(0, 1), Some(7));
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let g = parse("% a comment\n\n3 2\n2\n\n% another\n1 3\n2\n").unwrap();
+        assert_eq!(g.num_nodes(), 3);
+    }
+
+    #[test]
+    fn rejects_bad_headers() {
+        assert!(matches!(parse(""), Err(ChacoError::BadHeader(_))));
+        assert!(matches!(parse("1\n"), Err(ChacoError::BadHeader(_))));
+        assert!(matches!(parse("2 1 7\n2\n1\n"), Err(ChacoError::BadHeader(_))));
+    }
+
+    #[test]
+    fn rejects_bad_tokens() {
+        assert!(matches!(
+            parse("2 1\nx\n1\n"),
+            Err(ChacoError::BadToken { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_line_count() {
+        assert!(matches!(parse("3 1\n2\n1\n"), Err(ChacoError::Shape(_))));
+        assert!(matches!(
+            parse("1 0\n\n%\n2\n"),
+            Err(ChacoError::Shape(_)) | Err(ChacoError::Structure(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_asymmetric_adjacency() {
+        assert!(matches!(parse("2 1\n2\n\n"), Err(ChacoError::Shape(_))));
+        let err = parse("3 2\n2\n1\n2\n");
+        assert!(matches!(err, Err(ChacoError::Structure(_))), "{err:?}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_neighbor_and_self_loop() {
+        assert!(matches!(parse("2 1\n3\n1\n"), Err(ChacoError::Structure(_))));
+        assert!(matches!(parse("2 1\n1\n2\n"), Err(ChacoError::Structure(_))));
+    }
+
+    #[test]
+    fn rejects_edge_count_mismatch() {
+        assert!(matches!(parse("2 5\n2\n1\n"), Err(ChacoError::Shape(_))));
+    }
+
+    #[test]
+    fn roundtrips_all_formats() {
+        let g = generators::hex_grid(4, 4);
+        for fmt in [0u8, 1, 10, 11] {
+            let text = render(&g, fmt);
+            let back = parse(&text).unwrap_or_else(|e| panic!("fmt {fmt}: {e}"));
+            assert_eq!(back.num_nodes(), g.num_nodes());
+            assert_eq!(back.num_edges(), g.num_edges());
+            for v in g.nodes() {
+                assert_eq!(back.neighbors(v), g.neighbors(v), "fmt {fmt} node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_weights() {
+        let mut b = crate::graph::GraphBuilder::new(3);
+        b.weighted_edge(0, 1, 3)
+            .weighted_edge(1, 2, 4)
+            .vertex_weights(vec![7, 8, 9]);
+        let g = b.build();
+        let back = parse(&render(&g, 11)).unwrap();
+        assert_eq!(back, {
+            // coords are not representable in Chaco; g has none anyway
+            g.clone()
+        });
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = generators::thesis_random_graph(32, 0);
+        let dir = std::env::temp_dir().join("ic2_chaco_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g32.chaco");
+        write_file(&g, 0, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(back.num_edges(), g.num_edges());
+    }
+}

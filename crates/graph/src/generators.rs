@@ -1,0 +1,243 @@
+//! Deterministic workload generators for every graph the thesis evaluates.
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A hexagonal grid of `rows × cols` cells in "odd-r" offset layout: every
+/// interior cell has six neighbours (E, W, NE, NW, SE, SW). This is the
+/// topology of both the thesis's generic hex-grid workloads and the
+/// battlefield terrain.
+///
+/// Coordinates are attached (odd rows shifted half a cell right, rows
+/// √3/2 apart) so band partitioners can slice the domain geometrically.
+pub fn hex_grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows > 0 && cols > 0, "hex grid needs positive dimensions");
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let mut b = GraphBuilder::new(rows * cols);
+    let mut coords = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            coords.push((c as f64 + 0.5 * (r % 2) as f64, r as f64 * 0.866));
+            // East edge.
+            if c + 1 < cols {
+                b.edge(id(r, c), id(r, c + 1));
+            }
+            // Southern diagonals (northern ones are added by the row above).
+            if r + 1 < rows {
+                if r % 2 == 0 {
+                    // even row: SE = (r+1, c), SW = (r+1, c-1)
+                    b.edge(id(r, c), id(r + 1, c));
+                    if c > 0 {
+                        b.edge(id(r, c), id(r + 1, c - 1));
+                    }
+                } else {
+                    // odd row: SE = (r+1, c+1), SW = (r+1, c)
+                    if c + 1 < cols {
+                        b.edge(id(r, c), id(r + 1, c + 1));
+                    }
+                    b.edge(id(r, c), id(r + 1, c));
+                }
+            }
+        }
+    }
+    b.coords(coords);
+    b.build()
+}
+
+/// The hex-grid sizes the thesis reports: 32, 64 and 96 nodes
+/// (4×8, 8×8 and 8×12). Other sizes are factored as close to square as
+/// possible.
+pub fn hex_grid_n(n: usize) -> Graph {
+    let (rows, cols) = match n {
+        32 => (4, 8),
+        64 => (8, 8),
+        96 => (8, 12),
+        1024 => (32, 32),
+        _ => squarish_dims(n),
+    };
+    hex_grid(rows, cols)
+}
+
+/// The thesis's battlefield terrain: a 32 × 32 hex grid (1024 cells).
+pub fn battlefield_mesh() -> Graph {
+    hex_grid(32, 32)
+}
+
+fn squarish_dims(n: usize) -> (usize, usize) {
+    assert!(n > 0);
+    let mut best = (1, n);
+    let mut r = 1;
+    while r * r <= n {
+        if n % r == 0 {
+            best = (r, n / r);
+        }
+        r += 1;
+    }
+    best
+}
+
+/// A connected random graph on `n` nodes with roughly `avg_degree` average
+/// degree and per-node degree capped at `max_degree` (the thesis's node
+/// structures hold at most 10 neighbours).
+///
+/// Construction: a random spanning tree (guaranteeing connectivity, as an
+/// iterative computation must reach every node), then random extra edges
+/// until the target edge count or the degree cap blocks progress.
+/// Deterministic in `seed`.
+pub fn random_connected(n: usize, avg_degree: f64, max_degree: usize, seed: u64) -> Graph {
+    assert!(n > 0, "graph needs at least one node");
+    assert!(max_degree >= 2 || n <= 2, "degree cap too small to connect");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut degree = vec![0usize; n];
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut has_edge = std::collections::HashSet::new();
+
+    // Random spanning tree: attach each node (in shuffled order) to a
+    // uniformly random, not-yet-saturated earlier node.
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    for i in 1..n {
+        // Candidates: previously placed nodes with spare degree.
+        let candidates: Vec<usize> = order[..i]
+            .iter()
+            .copied()
+            .filter(|&v| degree[v] < max_degree)
+            .collect();
+        let parent = candidates[rng.gen_range(0..candidates.len())];
+        let (u, v) = (order[i].min(parent) as NodeId, order[i].max(parent) as NodeId);
+        has_edge.insert((u, v));
+        edges.push((u, v));
+        degree[order[i]] += 1;
+        degree[parent] += 1;
+    }
+
+    let target_edges = ((n as f64 * avg_degree) / 2.0).round() as usize;
+    let mut attempts = 0;
+    while edges.len() < target_edges && attempts < 50 * target_edges.max(1) {
+        attempts += 1;
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a == b || degree[a] >= max_degree || degree[b] >= max_degree {
+            continue;
+        }
+        let key = (a.min(b) as NodeId, a.max(b) as NodeId);
+        if has_edge.insert(key) {
+            edges.push(key);
+            degree[a] += 1;
+            degree[b] += 1;
+        }
+    }
+
+    let mut builder = GraphBuilder::new(n);
+    for (u, v) in edges {
+        builder.edge(u, v);
+    }
+    builder.build()
+}
+
+/// The thesis's random-graph workloads: 32- and 64-node connected random
+/// graphs, average degree ≈ 4, degree cap 10 (the `neighboring_nodes[10]`
+/// arrays in Appendix D). The seed selects one of the "five different
+/// graphs" the thesis averages over.
+pub fn thesis_random_graph(n: usize, seed: u64) -> Graph {
+    random_connected(n, 4.0, 10, 0x1C2_0000 + seed)
+}
+
+/// A 2D torus (wrap-around mesh), used as an extra topology in tests and
+/// ablations.
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus needs dimensions >= 3");
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            b.edge(id(r, c), id(r, (c + 1) % cols));
+            b.edge(id(r, c), id((r + 1) % rows, c));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_grid_has_expected_structure() {
+        let g = hex_grid(4, 8);
+        assert_eq!(g.num_nodes(), 32);
+        assert!(g.is_connected());
+        assert_eq!(g.validate(), Ok(()));
+        assert!(g.max_degree() <= 6);
+        // Interior cells have exactly 6 neighbours.
+        let interior_deg = g.degree(1 * 8 + 4);
+        assert_eq!(interior_deg, 6);
+        assert!(g.coords().is_some());
+    }
+
+    #[test]
+    fn hex_grid_neighbor_counts_match_hex_topology() {
+        // In a big grid the degree histogram should be dominated by 6s.
+        let g = hex_grid(10, 10);
+        let sixes = g.nodes().filter(|&v| g.degree(v) == 6).count();
+        assert!(sixes >= 8 * 8, "interior should be all degree 6");
+    }
+
+    #[test]
+    fn thesis_sizes_have_right_node_counts() {
+        for n in [32, 64, 96] {
+            let g = hex_grid_n(n);
+            assert_eq!(g.num_nodes(), n);
+            assert!(g.is_connected());
+        }
+        assert_eq!(battlefield_mesh().num_nodes(), 1024);
+    }
+
+    #[test]
+    fn random_graph_is_connected_and_capped() {
+        for seed in 0..5 {
+            let g = thesis_random_graph(64, seed);
+            assert_eq!(g.num_nodes(), 64);
+            assert!(g.is_connected(), "seed {seed} disconnected");
+            assert!(g.max_degree() <= 10, "seed {seed} exceeds cap");
+            assert_eq!(g.validate(), Ok(()));
+            let avg = 2.0 * g.num_edges() as f64 / g.num_nodes() as f64;
+            assert!((3.0..=5.0).contains(&avg), "avg degree {avg}");
+        }
+    }
+
+    #[test]
+    fn random_graph_is_deterministic_in_seed() {
+        let a = thesis_random_graph(32, 3);
+        let b = thesis_random_graph(32, 3);
+        assert_eq!(a, b);
+        let c = thesis_random_graph(32, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn torus_is_regular() {
+        let g = torus(4, 5);
+        assert_eq!(g.num_nodes(), 20);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn squarish_dims_factors() {
+        assert_eq!(squarish_dims(12), (3, 4));
+        assert_eq!(squarish_dims(7), (1, 7));
+        assert_eq!(squarish_dims(36), (6, 6));
+    }
+
+    #[test]
+    fn single_cell_grid() {
+        let g = hex_grid(1, 1);
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

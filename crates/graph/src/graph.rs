@@ -1,0 +1,385 @@
+//! CSR graph representation.
+
+/// Node identifier: a dense index in `0..graph.num_nodes()`.
+///
+/// The Chaco files the thesis uses number nodes from 1; the
+/// [`crate::chaco`] module converts at the boundary.
+pub type NodeId = u32;
+
+/// An undirected graph in compressed-sparse-row form with integer node and
+/// edge weights and optional planar coordinates.
+///
+/// Invariants (checked by [`GraphBuilder::build`] and [`Graph::validate`]):
+/// adjacency is symmetric with matching edge weights, there are no
+/// self-loops or parallel edges, and `xadj` is monotone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    xadj: Vec<usize>,
+    adj: Vec<NodeId>,
+    vwgt: Vec<i64>,
+    ewgt: Vec<i64>,
+    coords: Option<Vec<(f64, f64)>>,
+}
+
+impl Graph {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.xadj.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// Neighbours of `v`, in sorted order.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[self.xadj[v as usize]..self.xadj[v as usize + 1]]
+    }
+
+    /// Edge weights aligned with [`neighbors`](Self::neighbors).
+    pub fn edge_weights(&self, v: NodeId) -> &[i64] {
+        &self.ewgt[self.xadj[v as usize]..self.xadj[v as usize + 1]]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Computational weight of node `v`.
+    pub fn vertex_weight(&self, v: NodeId) -> i64 {
+        self.vwgt[v as usize]
+    }
+
+    /// All vertex weights.
+    pub fn vertex_weights(&self) -> &[i64] {
+        &self.vwgt
+    }
+
+    /// Sum of all vertex weights.
+    pub fn total_vertex_weight(&self) -> i64 {
+        self.vwgt.iter().sum()
+    }
+
+    /// Weight of the edge `(u, v)`, if present.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<i64> {
+        let nbrs = self.neighbors(u);
+        nbrs.binary_search(&v)
+            .ok()
+            .map(|i| self.edge_weights(u)[i])
+    }
+
+    /// Whether `(u, v)` is an edge.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Planar coordinates, if the generator attached them.
+    pub fn coords(&self) -> Option<&[(f64, f64)]> {
+        self.coords.as_deref()
+    }
+
+    /// Coordinate of one node, if coordinates exist.
+    pub fn coord(&self, v: NodeId) -> Option<(f64, f64)> {
+        self.coords.as_ref().map(|c| c[v as usize])
+    }
+
+    /// Iterate over every node id.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.num_nodes() as NodeId
+    }
+
+    /// Iterate over each undirected edge once, as `(u, v, weight)` with
+    /// `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, i64)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .zip(self.edge_weights(u))
+                .filter(move |(&v, _)| u < v)
+                .map(move |(&v, &w)| (u, v, w))
+        })
+    }
+
+    /// Maximum degree over all nodes.
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Whether the graph is connected (empty graphs count as connected).
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_nodes();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0 as NodeId];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &w in self.neighbors(v) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    count += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Check all structural invariants; returns a description of the first
+    /// violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_nodes();
+        if self.vwgt.len() != n {
+            return Err(format!("vwgt length {} != n {}", self.vwgt.len(), n));
+        }
+        if self.ewgt.len() != self.adj.len() {
+            return Err("ewgt length != adjacency length".into());
+        }
+        if let Some(c) = &self.coords {
+            if c.len() != n {
+                return Err("coords length != n".into());
+            }
+        }
+        for v in self.nodes() {
+            let nbrs = self.neighbors(v);
+            for window in nbrs.windows(2) {
+                if window[0] >= window[1] {
+                    return Err(format!("node {v}: neighbours not strictly sorted"));
+                }
+            }
+            for (&w, &ew) in nbrs.iter().zip(self.edge_weights(v)) {
+                if w as usize >= n {
+                    return Err(format!("node {v}: neighbour {w} out of range"));
+                }
+                if w == v {
+                    return Err(format!("node {v}: self loop"));
+                }
+                match self.edge_weight(w, v) {
+                    Some(back) if back == ew => {}
+                    Some(back) => {
+                        return Err(format!(
+                            "edge ({v},{w}): asymmetric weights {ew} vs {back}"
+                        ))
+                    }
+                    None => return Err(format!("edge ({v},{w}) missing reverse direction")),
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental graph construction from an edge list.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId, i64)>,
+    vwgt: Option<Vec<i64>>,
+    coords: Option<Vec<(f64, f64)>>,
+}
+
+impl GraphBuilder {
+    /// Builder for a graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            ..Default::default()
+        }
+    }
+
+    /// Add an undirected edge of weight 1.
+    pub fn edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        self.weighted_edge(u, v, 1)
+    }
+
+    /// Add an undirected edge with an explicit weight.
+    pub fn weighted_edge(&mut self, u: NodeId, v: NodeId, w: i64) -> &mut Self {
+        self.edges.push((u, v, w));
+        self
+    }
+
+    /// Set all vertex weights (defaults to uniform 1).
+    pub fn vertex_weights(&mut self, vwgt: Vec<i64>) -> &mut Self {
+        self.vwgt = Some(vwgt);
+        self
+    }
+
+    /// Attach planar coordinates.
+    pub fn coords(&mut self, coords: Vec<(f64, f64)>) -> &mut Self {
+        self.coords = Some(coords);
+        self
+    }
+
+    /// Build the CSR graph.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints, self-loops, duplicate edges, or
+    /// mismatched weight/coordinate vector lengths.
+    pub fn build(&self) -> Graph {
+        let n = self.n;
+        for &(u, v, w) in &self.edges {
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge ({u},{v}) out of range for {n} nodes"
+            );
+            assert_ne!(u, v, "self loop at node {u}");
+            assert!(w > 0, "edge ({u},{v}) has non-positive weight {w}");
+        }
+        let mut deg = vec![0usize; n];
+        for &(u, v, _) in &self.edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut xadj = vec![0usize; n + 1];
+        for i in 0..n {
+            xadj[i + 1] = xadj[i] + deg[i];
+        }
+        let mut adj = vec![0 as NodeId; xadj[n]];
+        let mut ewgt = vec![0i64; xadj[n]];
+        let mut cursor = xadj.clone();
+        for &(u, v, w) in &self.edges {
+            adj[cursor[u as usize]] = v;
+            ewgt[cursor[u as usize]] = w;
+            cursor[u as usize] += 1;
+            adj[cursor[v as usize]] = u;
+            ewgt[cursor[v as usize]] = w;
+            cursor[v as usize] += 1;
+        }
+        // Sort each adjacency run and detect duplicates.
+        for v in 0..n {
+            let range = xadj[v]..xadj[v + 1];
+            let mut pairs: Vec<(NodeId, i64)> = adj[range.clone()]
+                .iter()
+                .copied()
+                .zip(ewgt[range.clone()].iter().copied())
+                .collect();
+            pairs.sort_unstable_by_key(|&(w, _)| w);
+            for window in pairs.windows(2) {
+                assert_ne!(
+                    window[0].0, window[1].0,
+                    "duplicate edge ({v},{})",
+                    window[0].0
+                );
+            }
+            for (i, (w, ew)) in pairs.into_iter().enumerate() {
+                adj[xadj[v] + i] = w;
+                ewgt[xadj[v] + i] = ew;
+            }
+        }
+        let vwgt = match &self.vwgt {
+            Some(v) => {
+                assert_eq!(v.len(), n, "vertex weight vector length mismatch");
+                v.clone()
+            }
+            None => vec![1; n],
+        };
+        if let Some(c) = &self.coords {
+            assert_eq!(c.len(), n, "coordinate vector length mismatch");
+        }
+        let g = Graph {
+            xadj,
+            adj,
+            vwgt,
+            ewgt,
+            coords: self.coords.clone(),
+        };
+        debug_assert_eq!(g.validate(), Ok(()));
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.edge(0, 1).edge(1, 2).weighted_edge(0, 2, 5);
+        b.build()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.edge_weight(0, 2), Some(5));
+        assert_eq!(g.edge_weight(2, 0), Some(5));
+        assert_eq!(g.edge_weight(0, 1), Some(1));
+        assert!(g.has_edge(1, 2));
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.total_vertex_weight(), 3);
+    }
+
+    #[test]
+    fn edges_iterates_each_edge_once() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1, 1), (0, 2, 5), (1, 2, 1)]);
+    }
+
+    #[test]
+    fn connectivity_detection() {
+        let g = triangle();
+        assert!(g.is_connected());
+        let mut b = GraphBuilder::new(4);
+        b.edge(0, 1).edge(2, 3);
+        assert!(!b.build().is_connected());
+        assert!(GraphBuilder::new(0).build().is_connected());
+        assert!(GraphBuilder::new(1).build().is_connected());
+    }
+
+    #[test]
+    fn custom_vertex_weights() {
+        let mut b = GraphBuilder::new(2);
+        b.edge(0, 1).vertex_weights(vec![3, 4]);
+        let g = b.build();
+        assert_eq!(g.vertex_weight(0), 3);
+        assert_eq!(g.total_vertex_weight(), 7);
+    }
+
+    #[test]
+    fn coords_attach() {
+        let mut b = GraphBuilder::new(2);
+        b.edge(0, 1).coords(vec![(0.0, 0.0), (1.0, 0.5)]);
+        let g = b.build();
+        assert_eq!(g.coord(1), Some((1.0, 0.5)));
+        assert_eq!(triangle().coord(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "self loop")]
+    fn self_loop_rejected() {
+        let mut b = GraphBuilder::new(2);
+        b.edge(1, 1);
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn duplicate_edge_rejected() {
+        let mut b = GraphBuilder::new(2);
+        b.edge(0, 1).edge(1, 0);
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_rejected() {
+        let mut b = GraphBuilder::new(2);
+        b.edge(0, 2);
+        b.build();
+    }
+
+    #[test]
+    fn validate_passes_for_built_graphs() {
+        assert_eq!(triangle().validate(), Ok(()));
+    }
+}

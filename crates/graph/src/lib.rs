@@ -1,0 +1,26 @@
+//! # ic2-graph — application-graph substrate for iC2mpi
+//!
+//! The iC2mpi platform consumes *application program graphs*: undirected
+//! graphs whose nodes carry the application's computational units and whose
+//! edges define the neighbourhoods a node's computation reads. This crate
+//! provides:
+//!
+//! * a compact CSR [`Graph`] with node and edge weights and optional planar
+//!   coordinates (band partitioners need them),
+//! * [Chaco-format](chaco) readers/writers — the interchange format the
+//!   thesis feeds to Metis and PaGrid,
+//! * deterministic [generators] for every workload in the
+//!   thesis's evaluation: hexagonal grids (32/64/96 nodes), connected random
+//!   graphs (32/64 nodes), and the 32×32 hex battlefield mesh,
+//! * a [`Partition`] type (node → processor assignment) plus the
+//!   [quality metrics](metrics) the thesis optimises: edge-cut and load
+//!   balance.
+
+pub mod chaco;
+pub mod generators;
+pub mod graph;
+pub mod metrics;
+pub mod partition;
+
+pub use graph::{Graph, GraphBuilder, NodeId};
+pub use partition::Partition;

@@ -1,0 +1,205 @@
+//! Partition quality metrics.
+//!
+//! The thesis's two objectives: balance the computational load and minimise
+//! the edge-cut (inter-processor communication).
+
+use crate::graph::{Graph, NodeId};
+use crate::partition::Partition;
+
+/// Total weight of edges whose endpoints live on different parts.
+pub fn edge_cut(graph: &Graph, part: &Partition) -> i64 {
+    graph
+        .edges()
+        .filter(|&(u, v, _)| part.part_of(u) != part.part_of(v))
+        .map(|(_, _, w)| w)
+        .sum()
+}
+
+/// Load-imbalance factor: `max part load / ideal load`, where ideal is the
+/// average. 1.0 is perfect; Metis-style partitioners aim for ≤ ~1.03 on
+/// unit weights.
+pub fn imbalance(graph: &Graph, part: &Partition) -> f64 {
+    let loads = part.loads(graph);
+    let total: i64 = loads.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let ideal = total as f64 / part.num_parts() as f64;
+    let max = *loads.iter().max().expect("at least one part") as f64;
+    max / ideal
+}
+
+/// Number of *peripheral* nodes: nodes with at least one neighbour on a
+/// different part. These are exactly the nodes whose updated data the
+/// platform must communicate each iteration.
+pub fn boundary_nodes(graph: &Graph, part: &Partition) -> usize {
+    graph
+        .nodes()
+        .filter(|&v| {
+            graph
+                .neighbors(v)
+                .iter()
+                .any(|&w| part.part_of(w) != part.part_of(v))
+        })
+        .count()
+}
+
+/// Total communication volume: for each node, the number of *distinct*
+/// remote parts among its neighbours (each remote part receives one shadow
+/// copy per iteration). This is the quantity the platform's
+/// `shadow_for_procs` bookkeeping realises.
+pub fn comm_volume(graph: &Graph, part: &Partition) -> usize {
+    let mut volume = 0;
+    let mut seen: Vec<u32> = Vec::new();
+    for v in graph.nodes() {
+        seen.clear();
+        let home = part.part_of(v);
+        for &w in graph.neighbors(v) {
+            let p = part.part_of(w);
+            if p != home && !seen.contains(&p) {
+                seen.push(p);
+            }
+        }
+        volume += seen.len();
+    }
+    volume
+}
+
+/// Per-pair communication matrix: `matrix[i][j]` = number of shadow copies
+/// part `i` sends to part `j` each iteration.
+pub fn comm_matrix(graph: &Graph, part: &Partition) -> Vec<Vec<usize>> {
+    let k = part.num_parts();
+    let mut matrix = vec![vec![0usize; k]; k];
+    let mut seen: Vec<u32> = Vec::new();
+    for v in graph.nodes() {
+        seen.clear();
+        let home = part.part_of(v);
+        for &w in graph.neighbors(v) {
+            let p = part.part_of(w);
+            if p != home && !seen.contains(&p) {
+                seen.push(p);
+                matrix[home as usize][p as usize] += 1;
+            }
+        }
+    }
+    matrix
+}
+
+/// The change in edge-cut if node `v` moved to `to_part`: negative values
+/// reduce the cut. This is the gain function both the KL/FM refinement and
+/// the thesis's `GetMigratingNode` heuristic (Figure 9) evaluate.
+pub fn move_gain(graph: &Graph, part: &Partition, v: NodeId, to_part: u32) -> i64 {
+    let home = part.part_of(v);
+    if home == to_part {
+        return 0;
+    }
+    let mut delta = 0;
+    for (&w, &ew) in graph.neighbors(v).iter().zip(graph.edge_weights(v)) {
+        let p = part.part_of(w);
+        if p == home {
+            delta += ew; // edge becomes cut
+        } else if p == to_part {
+            delta -= ew; // edge stops being cut
+        }
+    }
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// Path 0-1-2-3 split in the middle.
+    fn path4() -> (Graph, Partition) {
+        let mut b = GraphBuilder::new(4);
+        b.edge(0, 1).edge(1, 2).edge(2, 3);
+        (b.build(), Partition::new(vec![0, 0, 1, 1], 2))
+    }
+
+    #[test]
+    fn edge_cut_counts_cross_edges() {
+        let (g, p) = path4();
+        assert_eq!(edge_cut(&g, &p), 1);
+        let all_one = Partition::all_on_one(4, 2);
+        assert_eq!(edge_cut(&g, &all_one), 0);
+    }
+
+    #[test]
+    fn edge_cut_respects_weights() {
+        let mut b = GraphBuilder::new(2);
+        b.weighted_edge(0, 1, 7);
+        let g = b.build();
+        let p = Partition::new(vec![0, 1], 2);
+        assert_eq!(edge_cut(&g, &p), 7);
+    }
+
+    #[test]
+    fn imbalance_of_even_split_is_one() {
+        let (g, p) = path4();
+        assert!((imbalance(&g, &p) - 1.0).abs() < 1e-12);
+        let skew = Partition::new(vec![0, 0, 0, 1], 2);
+        assert!((imbalance(&g, &skew) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_nodes_are_the_peripherals() {
+        let (g, p) = path4();
+        assert_eq!(boundary_nodes(&g, &p), 2); // nodes 1 and 2
+    }
+
+    #[test]
+    fn comm_volume_counts_distinct_remote_parts() {
+        // Star: center 0 with leaves on two other parts.
+        let mut b = GraphBuilder::new(4);
+        b.edge(0, 1).edge(0, 2).edge(0, 3);
+        let g = b.build();
+        let p = Partition::new(vec![0, 1, 1, 2], 3);
+        // Node 0 is shadow for parts 1 and 2 (2 copies); each leaf is shadow
+        // for part 0 (3 copies).
+        assert_eq!(comm_volume(&g, &p), 5);
+        let m = comm_matrix(&g, &p);
+        assert_eq!(m[0][1], 1);
+        assert_eq!(m[0][2], 1);
+        assert_eq!(m[1][0], 2);
+        assert_eq!(m[2][0], 1);
+    }
+
+    #[test]
+    fn move_gain_matches_recomputed_cut() {
+        let (g, p) = path4();
+        for v in g.nodes() {
+            for to in 0..2u32 {
+                let mut moved = p.clone();
+                moved.assign(v, to);
+                assert_eq!(
+                    edge_cut(&g, &moved) - edge_cut(&g, &p),
+                    move_gain(&g, &p, v, to),
+                    "node {v} to part {to}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure9_example_prefers_low_edge_cut_migrant() {
+        // Reconstruction of the thesis's Figure 9: migrating A from part 0
+        // to part 1 raises the cut; migrating B lowers it.
+        //
+        //   part 0: A, B's interior friends; part 1: C and friends.
+        //   A has 3 internal edges, 1 edge to part 1.
+        //   B has 1 internal edge, 2 edges to part 1.
+        let mut b = GraphBuilder::new(7);
+        // A = 0 with internal neighbours 2,3,4 and remote 5.
+        b.edge(0, 2).edge(0, 3).edge(0, 4).edge(0, 5);
+        // B = 1 with internal neighbour 2 and remote 5,6.
+        b.edge(1, 2).edge(1, 5).edge(1, 6);
+        let g = b.build();
+        let p = Partition::new(vec![0, 0, 0, 0, 0, 1, 1], 2);
+        let gain_a = move_gain(&g, &p, 0, 1);
+        let gain_b = move_gain(&g, &p, 1, 1);
+        assert!(gain_b < gain_a, "B ({gain_b}) should beat A ({gain_a})");
+        assert_eq!(gain_a, 3 - 1);
+        assert_eq!(gain_b, 1 - 2);
+    }
+}

@@ -1,0 +1,144 @@
+//! Node-to-processor assignments.
+
+use crate::graph::{Graph, NodeId};
+
+/// A mapping of every node to a processor (part) in `0..num_parts`.
+///
+/// This is the thesis's "output array": the node-to-processor mapping a
+/// static graph partitioner yields and the dynamic load balancer mutates
+/// during task migration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    assignment: Vec<u32>,
+    num_parts: usize,
+}
+
+impl Partition {
+    /// Wrap an explicit assignment vector.
+    ///
+    /// # Panics
+    /// Panics if any entry is `>= num_parts` or `num_parts == 0`.
+    pub fn new(assignment: Vec<u32>, num_parts: usize) -> Self {
+        assert!(num_parts > 0, "partition needs at least one part");
+        for (node, &p) in assignment.iter().enumerate() {
+            assert!(
+                (p as usize) < num_parts,
+                "node {node} assigned to part {p} >= {num_parts}"
+            );
+        }
+        Partition {
+            assignment,
+            num_parts,
+        }
+    }
+
+    /// Everything on part 0.
+    pub fn all_on_one(n: usize, num_parts: usize) -> Self {
+        Partition::new(vec![0; n], num_parts)
+    }
+
+    /// Number of parts (processors).
+    pub fn num_parts(&self) -> usize {
+        self.num_parts
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Whether the partition covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Part of node `v`.
+    pub fn part_of(&self, v: NodeId) -> u32 {
+        self.assignment[v as usize]
+    }
+
+    /// Reassign node `v` (used by task migration).
+    pub fn assign(&mut self, v: NodeId, part: u32) {
+        assert!((part as usize) < self.num_parts);
+        self.assignment[v as usize] = part;
+    }
+
+    /// The raw assignment slice.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// Nodes assigned to `part`.
+    pub fn nodes_of(&self, part: u32) -> Vec<NodeId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p == part)
+            .map(|(v, _)| v as NodeId)
+            .collect()
+    }
+
+    /// Vertex-weight load of each part under `graph`'s weights.
+    pub fn loads(&self, graph: &Graph) -> Vec<i64> {
+        assert_eq!(graph.num_nodes(), self.len());
+        let mut loads = vec![0i64; self.num_parts];
+        for v in graph.nodes() {
+            loads[self.part_of(v) as usize] += graph.vertex_weight(v);
+        }
+        loads
+    }
+
+    /// Number of nodes on each part.
+    pub fn counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_parts];
+        for &p in &self.assignment {
+            counts[p as usize] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn basic_partition_queries() {
+        let p = Partition::new(vec![0, 1, 1, 0], 2);
+        assert_eq!(p.num_parts(), 2);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.part_of(1), 1);
+        assert_eq!(p.nodes_of(0), vec![0, 3]);
+        assert_eq!(p.counts(), vec![2, 2]);
+    }
+
+    #[test]
+    fn loads_respect_vertex_weights() {
+        let mut b = GraphBuilder::new(3);
+        b.edge(0, 1).edge(1, 2).vertex_weights(vec![5, 1, 2]);
+        let g = b.build();
+        let p = Partition::new(vec![0, 0, 1], 2);
+        assert_eq!(p.loads(&g), vec![6, 2]);
+    }
+
+    #[test]
+    fn assign_moves_a_node() {
+        let mut p = Partition::new(vec![0, 0], 2);
+        p.assign(1, 1);
+        assert_eq!(p.part_of(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 2")]
+    fn out_of_range_part_rejected() {
+        Partition::new(vec![0, 2], 2);
+    }
+
+    #[test]
+    fn empty_parts_allowed() {
+        let p = Partition::new(vec![0, 0], 4);
+        assert_eq!(p.counts(), vec![2, 0, 0, 0]);
+        assert!(p.nodes_of(3).is_empty());
+    }
+}

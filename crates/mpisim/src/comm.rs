@@ -1,0 +1,384 @@
+//! The per-rank communication endpoint.
+
+use crate::mailbox::{Envelope, Pattern};
+use crate::net::TimingMode;
+use crate::request::{RecvRequest, SendRequest};
+use crate::stats::CommStats;
+use crate::wire::Wire;
+use crate::world::Shared;
+use std::cell::{Cell, RefCell};
+use std::marker::PhantomData;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// User-visible message tag. Internally tags are widened to `i64`;
+/// collectives use the negative range so they can never collide with
+/// user traffic.
+pub type Tag = u32;
+
+/// Wildcard source for [`Rank::recv_any`] (`MPI_ANY_SOURCE`).
+pub const ANY_SOURCE: Option<usize> = None;
+
+/// One rank's endpoint into the simulated world — the analogue of an
+/// `MPI_Comm` plus the rank's identity.
+///
+/// A `Rank` is handed to the SPMD closure by [`crate::World::run`]. It is
+/// deliberately `!Sync`: a rank belongs to exactly one thread, like an MPI
+/// process.
+pub struct Rank {
+    id: usize,
+    n: usize,
+    shared: Arc<Shared>,
+    clock: Cell<f64>,
+    coll_seq: Cell<i64>,
+    stats: RefCell<CommStats>,
+    epoch: Instant,
+}
+
+impl Rank {
+    pub(crate) fn new(id: usize, n: usize, shared: Arc<Shared>, epoch: Instant) -> Self {
+        Rank {
+            id,
+            n,
+            shared,
+            clock: Cell::new(0.0),
+            coll_seq: Cell::new(0),
+            stats: RefCell::new(CommStats::new(n)),
+            epoch,
+        }
+    }
+
+    /// This rank's id in `0..size()` (`MPI_Comm_rank`).
+    pub fn rank(&self) -> usize {
+        self.id
+    }
+
+    /// Number of ranks in the world (`MPI_Comm_size`).
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Current time in seconds (`MPI_Wtime`): the virtual clock in
+    /// [`TimingMode::Virtual`], wall-clock since world start otherwise.
+    pub fn wtime(&self) -> f64 {
+        match self.shared.cfg.timing {
+            TimingMode::Virtual(_) => self.clock.get(),
+            TimingMode::Real => self.epoch.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Charge `seconds` of compute to this rank.
+    ///
+    /// In virtual mode this advances the clock; in real mode it busy-spins
+    /// (the thesis injects grain sizes with a dummy `for` loop — this is
+    /// that loop).
+    pub fn advance(&self, seconds: f64) {
+        debug_assert!(seconds >= 0.0, "cannot advance time backwards");
+        match self.shared.cfg.timing {
+            TimingMode::Virtual(_) => self.clock.set(self.clock.get() + seconds),
+            TimingMode::Real => {
+                let until = Instant::now() + Duration::from_secs_f64(seconds);
+                while Instant::now() < until {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    /// Snapshot of this rank's communication counters.
+    pub fn stats(&self) -> CommStats {
+        self.stats.borrow().clone()
+    }
+
+    // ---- point to point -------------------------------------------------
+
+    /// Buffered send (`MPI_Send`/`MPI_Isend` with buffering): copies the
+    /// encoded payload into `dest`'s mailbox and returns immediately.
+    pub fn send<T: Wire>(&self, dest: usize, tag: Tag, value: &T) {
+        self.send_tagged(dest, tag as i64, value);
+    }
+
+    /// Nonblocking send (`MPI_Isend`). Semantically identical to
+    /// [`send`](Self::send) here, returning a request for MPI-shaped code.
+    pub fn isend<T: Wire>(&self, dest: usize, tag: Tag, value: &T) -> SendRequest {
+        self.send_tagged(dest, tag as i64, value);
+        SendRequest { _private: () }
+    }
+
+    /// Blocking receive from a specific source (`MPI_Recv`).
+    pub fn recv<T: Wire>(&self, src: usize, tag: Tag) -> T {
+        self.complete_recv(Pattern {
+            src: Some(src),
+            tag: tag as i64,
+        })
+    }
+
+    /// Blocking receive from any source; returns `(source, value)`.
+    pub fn recv_any<T: Wire>(&self, tag: Tag) -> (usize, T) {
+        self.complete_recv_with_source(Pattern {
+            src: None,
+            tag: tag as i64,
+        })
+    }
+
+    /// Post a nonblocking receive (`MPI_Irecv`); complete it with
+    /// [`RecvRequest::wait`].
+    pub fn irecv<T: Wire>(&self, src: usize, tag: Tag) -> RecvRequest<T> {
+        RecvRequest {
+            pattern: Pattern {
+                src: Some(src),
+                tag: tag as i64,
+            },
+            _marker: PhantomData,
+        }
+    }
+
+    /// Nonblocking probe: is a message matching `(src, tag)` available?
+    pub fn probe(&self, src: Option<usize>, tag: Tag) -> bool {
+        self.probe_pattern(Pattern {
+            src,
+            tag: tag as i64,
+        })
+    }
+
+    // ---- collectives ----------------------------------------------------
+    //
+    // Every rank must call each collective in the same order (the standard
+    // MPI requirement); an internal per-rank sequence number keyed to the
+    // negative tag space keeps successive collectives from interfering.
+
+    /// Barrier (`MPI_Barrier`): blocks until all ranks arrive; in virtual
+    /// mode every clock is synchronised to the maximum plus the model's
+    /// barrier cost.
+    pub fn barrier(&self) {
+        self.stats.borrow_mut().barriers += 1;
+        let synced = self.shared.barrier.wait(self.n, self.clock.get(), || {
+            self.check_poison();
+        });
+        if let TimingMode::Virtual(net) = self.shared.cfg.timing {
+            self.clock.set(synced + net.barrier_cost);
+        }
+    }
+
+    /// Broadcast `value` from `root` to every rank (`MPI_Bcast`),
+    /// binomial-tree structured as in real MPI implementations: latency
+    /// grows with `log2(p)` rather than `p`.
+    pub fn bcast<T: Wire>(&self, root: usize, value: &mut T) {
+        let tag = self.next_coll_tag();
+        // Work in a rotated space where the root is rank 0.
+        let vrank = (self.id + self.n - root) % self.n;
+        if vrank != 0 {
+            // Receive from the parent: clear the lowest set bit.
+            let vparent = vrank & (vrank - 1);
+            let parent = (vparent + root) % self.n;
+            *value = self.complete_recv(Pattern {
+                src: Some(parent),
+                tag,
+            });
+        }
+        // Forward to children: set each zero bit below the lowest set bit
+        // (for the root, all bits).
+        let lowest = if vrank == 0 {
+            self.n.next_power_of_two()
+        } else {
+            vrank & vrank.wrapping_neg()
+        };
+        let mut bit = lowest >> 1;
+        while bit > 0 {
+            let vchild = vrank | bit;
+            if vchild < self.n && vchild != vrank {
+                let child = (vchild + root) % self.n;
+                self.send_tagged(child, tag, value);
+            }
+            bit >>= 1;
+        }
+    }
+
+    /// Gather one value from every rank at `root` (`MPI_Gather`),
+    /// binomial-tree structured (mirror of [`bcast`](Self::bcast)): each
+    /// subtree aggregates before forwarding to its parent.
+    ///
+    /// Returns `Some(values)` in rank order at the root, `None` elsewhere.
+    pub fn gather<T: Wire + Clone>(&self, root: usize, value: &T) -> Option<Vec<T>> {
+        let tag = self.next_coll_tag();
+        let vrank = (self.id + self.n - root) % self.n;
+        let lowest = if vrank == 0 {
+            self.n.next_power_of_two()
+        } else {
+            vrank & vrank.wrapping_neg()
+        };
+        let mut collected: Vec<(u64, T)> = vec![(self.id as u64, value.clone())];
+        // Aggregate each child's subtree (children = vrank | bit, for the
+        // power-of-two bits below this node's lowest set bit).
+        let mut bit = 1usize;
+        while bit < lowest {
+            let vchild = vrank | bit;
+            if vchild < self.n {
+                let child = (vchild + root) % self.n;
+                let sub: Vec<(u64, T)> = self.complete_recv(Pattern {
+                    src: Some(child),
+                    tag,
+                });
+                collected.extend(sub);
+            }
+            bit <<= 1;
+        }
+        if vrank != 0 {
+            let vparent = vrank & (vrank - 1);
+            let parent = (vparent + root) % self.n;
+            self.send_tagged(parent, tag, &collected);
+            None
+        } else {
+            debug_assert_eq!(collected.len(), self.n, "gather must cover every rank");
+            collected.sort_unstable_by_key(|(r, _)| *r);
+            Some(collected.into_iter().map(|(_, v)| v).collect())
+        }
+    }
+
+    /// Reduce with `op` at every rank (`MPI_Allreduce`): gather at rank 0,
+    /// fold, broadcast the result.
+    pub fn allreduce<T, F>(&self, value: T, op: F) -> T
+    where
+        T: Wire + Clone,
+        F: Fn(T, T) -> T,
+    {
+        let gathered = self.gather(0, &value);
+        let mut result = match gathered {
+            Some(all) => {
+                let mut it = all.into_iter();
+                let first = it.next().expect("world has at least one rank");
+                it.fold(first, &op)
+            }
+            None => value,
+        };
+        self.bcast(0, &mut result);
+        result
+    }
+
+    /// Gather one value from every rank *at* every rank
+    /// (`MPI_Allgather`): gather at rank 0, then broadcast the vector.
+    pub fn allgather<T: Wire + Clone>(&self, value: &T) -> Vec<T> {
+        let mut all = self.gather(0, value).unwrap_or_default();
+        self.bcast(0, &mut all);
+        all
+    }
+
+    /// Inclusive prefix reduction (`MPI_Scan`): rank `i` receives
+    /// `op(v_0, …, v_i)`.
+    pub fn scan<T, F>(&self, value: T, op: F) -> T
+    where
+        T: Wire + Clone,
+        F: Fn(T, T) -> T,
+    {
+        let all = self.allgather(&value);
+        let mut it = all.into_iter().take(self.id + 1);
+        let first = it.next().expect("own contribution present");
+        it.fold(first, &op)
+    }
+
+    /// Combined send + receive (`MPI_Sendrecv`): ship `value` to `dest`
+    /// and collect a message from `src` with the same tag, without the
+    /// deadlock risk of mis-ordered blocking calls.
+    pub fn sendrecv<T: Wire>(&self, dest: usize, src: usize, tag: Tag, value: &T) -> T {
+        self.send(dest, tag, value);
+        self.recv(src, tag)
+    }
+
+    // ---- internals -------------------------------------------------------
+
+    fn next_coll_tag(&self) -> i64 {
+        let seq = self.coll_seq.get();
+        self.coll_seq.set(seq + 1);
+        -1 - seq
+    }
+
+    fn send_tagged<T: Wire>(&self, dest: usize, tag: i64, value: &T) {
+        assert!(
+            dest < self.n,
+            "rank {}: send to invalid destination {dest} (world size {})",
+            self.id,
+            self.n
+        );
+        let bytes = value.to_bytes();
+        let arrival = match self.shared.cfg.timing {
+            TimingMode::Virtual(net) => {
+                let clock = self.clock.get() + net.send_overhead;
+                self.clock.set(clock);
+                net.arrival(clock, bytes.len())
+            }
+            TimingMode::Real => 0.0,
+        };
+        self.stats.borrow_mut().on_send(dest, bytes.len());
+        self.shared.mailboxes[dest].deliver(Envelope {
+            src: self.id,
+            tag,
+            arrival,
+            bytes,
+        });
+    }
+
+    pub(crate) fn complete_recv<T: Wire>(&self, pattern: Pattern) -> T {
+        self.complete_recv_with_source(pattern).1
+    }
+
+    pub(crate) fn complete_recv_with_source<T: Wire>(&self, pattern: Pattern) -> (usize, T) {
+        let deadline = Instant::now() + self.shared.cfg.watchdog;
+        let env = loop {
+            self.check_poison();
+            let slice = Duration::from_millis(50)
+                .min(deadline.saturating_duration_since(Instant::now()));
+            if let Some(env) = self.shared.mailboxes[self.id].recv(pattern, slice) {
+                break env;
+            }
+            if Instant::now() >= deadline {
+                panic!(
+                    "rank {}: receive matching {:?} timed out after {:?} (likely deadlock); \
+                     mailbox holds {:?}",
+                    self.id,
+                    pattern,
+                    self.shared.cfg.watchdog,
+                    self.shared.mailboxes[self.id].pending()
+                );
+            }
+        };
+        if let TimingMode::Virtual(net) = self.shared.cfg.timing {
+            let clock = self.clock.get().max(env.arrival) + net.recv_overhead;
+            self.clock.set(clock);
+        }
+        self.stats.borrow_mut().on_recv(env.bytes.len());
+        let value = T::from_bytes(&env.bytes).unwrap_or_else(|e| {
+            panic!(
+                "rank {}: message from rank {} tag {} failed to decode as {}: {e}",
+                self.id,
+                env.src,
+                env.tag,
+                std::any::type_name::<T>()
+            )
+        });
+        (env.src, value)
+    }
+
+    pub(crate) fn probe_pattern(&self, pattern: Pattern) -> bool {
+        self.shared.mailboxes[self.id].probe(pattern)
+    }
+
+    fn check_poison(&self) {
+        if self.shared.poisoned.load(Ordering::Relaxed) {
+            panic!(
+                "rank {}: aborting because another rank panicked",
+                self.id
+            );
+        }
+    }
+}
+
+impl std::fmt::Debug for Rank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rank")
+            .field("id", &self.id)
+            .field("n", &self.n)
+            .field("clock", &self.clock.get())
+            .finish()
+    }
+}

@@ -1,0 +1,55 @@
+//! # mpisim — an in-process MPI-like message-passing substrate
+//!
+//! The iC2mpi thesis runs on real MPI over an SGI Origin-2000. This crate
+//! provides the same programming model — SPMD ranks, point-to-point
+//! send/receive with tag matching, nonblocking operations with requests,
+//! barriers and collectives, `MPI_Wtime`-style timing — as an in-process
+//! library. Every rank is an OS thread with its own mailbox; the program you
+//! write against [`Rank`] is structured exactly like the thesis's MPI code
+//! (`MPI_Isend`, `MPI_Recv`, `MPI_Irecv` + `MPI_Wait`, `MPI_Barrier`,
+//! `MPI_Bcast`).
+//!
+//! ## Virtual time
+//!
+//! Reproducing 1–16 *dedicated* processors on a laptop is impossible with
+//! wall-clock timing, so the substrate supports a **virtual-time network
+//! model** ([`NetModel`], LogP-style): each rank carries a virtual clock,
+//! compute is charged explicitly via [`Rank::advance`], and message receipt
+//! advances the receiver's clock to `max(own, send_time + α + bytes/β)`.
+//! Barriers synchronise every clock to the maximum. This yields
+//! deterministic, host-independent execution times whose *shape* over the
+//! processor count matches a real machine. A [`TimingMode::Real`] mode is
+//! also available for wall-clock benchmarking.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use mpisim::{World, Config, Wire};
+//!
+//! let sums = World::new(Config::default()).run(4, |rank| {
+//!     let me = rank.rank() as u64;
+//!     // ring exchange: send to the right, receive from the left
+//!     let right = (rank.rank() + 1) % rank.size();
+//!     let left = (rank.rank() + rank.size() - 1) % rank.size();
+//!     rank.send(right, 7, &me);
+//!     let from_left: u64 = rank.recv(left, 7);
+//!     rank.barrier();
+//!     me + from_left
+//! });
+//! assert_eq!(sums.iter().sum::<u64>(), 2 * (0 + 1 + 2 + 3));
+//! ```
+
+pub mod comm;
+pub mod mailbox;
+pub mod net;
+pub mod request;
+pub mod stats;
+pub mod wire;
+pub mod world;
+
+pub use comm::{Rank, Tag, ANY_SOURCE};
+pub use net::{NetModel, TimingMode};
+pub use request::{RecvRequest, SendRequest};
+pub use stats::CommStats;
+pub use wire::{Wire, WireError};
+pub use world::{Config, World};

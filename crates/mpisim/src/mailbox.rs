@@ -1,0 +1,222 @@
+//! Per-rank mailboxes with MPI-style (source, tag) matching.
+
+use parking_lot::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A message in flight or waiting in a mailbox.
+#[derive(Debug)]
+pub struct Envelope {
+    /// Sending rank.
+    pub src: usize,
+    /// Message tag (user tags are non-negative; collectives use negative).
+    pub tag: i64,
+    /// Virtual arrival time at the receiver (ignored in real-time mode).
+    pub arrival: f64,
+    /// Encoded payload.
+    pub bytes: Vec<u8>,
+}
+
+/// What a receive is willing to match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pattern {
+    /// `None` matches any source (`MPI_ANY_SOURCE`).
+    pub src: Option<usize>,
+    /// Tag to match exactly.
+    pub tag: i64,
+}
+
+impl Pattern {
+    fn matches(&self, env: &Envelope) -> bool {
+        self.tag == env.tag && self.src.map_or(true, |s| s == env.src)
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    queue: Vec<Envelope>,
+}
+
+/// One rank's incoming-message queue.
+///
+/// Messages from a given source with a given tag are delivered in send
+/// order (the queue is scanned front to back), matching MPI's
+/// non-overtaking guarantee.
+#[derive(Default)]
+pub struct Mailbox {
+    inner: Mutex<Inner>,
+    cond: Condvar,
+}
+
+impl Mailbox {
+    /// Create an empty mailbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposit a message and wake any waiting receiver.
+    pub fn deliver(&self, env: Envelope) {
+        let mut inner = self.inner.lock();
+        inner.queue.push(env);
+        self.cond.notify_all();
+    }
+
+    /// Blocking receive of the first message matching `pat`.
+    ///
+    /// `watchdog` bounds the real-time wait; on expiry this returns `None`
+    /// so the caller can panic with a useful deadlock diagnosis.
+    pub fn recv(&self, pat: Pattern, watchdog: Duration) -> Option<Envelope> {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(idx) = inner.queue.iter().position(|e| pat.matches(e)) {
+                return Some(inner.queue.remove(idx));
+            }
+            if self.cond.wait_for(&mut inner, watchdog).timed_out() {
+                return None;
+            }
+        }
+    }
+
+    /// Nonblocking probe: would `recv` with this pattern complete now?
+    pub fn probe(&self, pat: Pattern) -> bool {
+        self.inner.lock().queue.iter().any(|e| pat.matches(e))
+    }
+
+    /// Number of queued messages (for diagnostics).
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// Whether no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of queued (src, tag) pairs, for deadlock diagnostics.
+    pub fn pending(&self) -> Vec<(usize, i64)> {
+        self.inner
+            .lock()
+            .queue
+            .iter()
+            .map(|e| (e.src, e.tag))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const WD: Duration = Duration::from_secs(5);
+
+    fn env(src: usize, tag: i64, byte: u8) -> Envelope {
+        Envelope {
+            src,
+            tag,
+            arrival: 0.0,
+            bytes: vec![byte],
+        }
+    }
+
+    #[test]
+    fn matches_by_src_and_tag() {
+        let mb = Mailbox::new();
+        mb.deliver(env(1, 10, 0xa));
+        mb.deliver(env(2, 10, 0xb));
+        mb.deliver(env(1, 20, 0xc));
+        let got = mb
+            .recv(
+                Pattern {
+                    src: Some(2),
+                    tag: 10,
+                },
+                WD,
+            )
+            .unwrap();
+        assert_eq!(got.bytes, vec![0xb]);
+        let got = mb
+            .recv(
+                Pattern {
+                    src: Some(1),
+                    tag: 20,
+                },
+                WD,
+            )
+            .unwrap();
+        assert_eq!(got.bytes, vec![0xc]);
+        assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    fn any_source_takes_first_matching() {
+        let mb = Mailbox::new();
+        mb.deliver(env(3, 5, 1));
+        mb.deliver(env(1, 5, 2));
+        let got = mb.recv(Pattern { src: None, tag: 5 }, WD).unwrap();
+        assert_eq!(got.src, 3);
+    }
+
+    #[test]
+    fn per_source_fifo_order_preserved() {
+        let mb = Mailbox::new();
+        for i in 0..5u8 {
+            mb.deliver(env(1, 9, i));
+        }
+        for i in 0..5u8 {
+            let got = mb
+                .recv(
+                    Pattern {
+                        src: Some(1),
+                        tag: 9,
+                    },
+                    WD,
+                )
+                .unwrap();
+            assert_eq!(got.bytes, vec![i]);
+        }
+    }
+
+    #[test]
+    fn recv_blocks_until_delivery() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let handle = std::thread::spawn(move || {
+            mb2.recv(
+                Pattern {
+                    src: Some(0),
+                    tag: 1,
+                },
+                WD,
+            )
+            .unwrap()
+            .bytes
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        mb.deliver(env(0, 1, 42));
+        assert_eq!(handle.join().unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn watchdog_times_out() {
+        let mb = Mailbox::new();
+        let got = mb.recv(
+            Pattern { src: None, tag: 1 },
+            Duration::from_millis(10),
+        );
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn probe_does_not_consume() {
+        let mb = Mailbox::new();
+        mb.deliver(env(0, 1, 7));
+        let pat = Pattern {
+            src: Some(0),
+            tag: 1,
+        };
+        assert!(mb.probe(pat));
+        assert!(mb.probe(pat));
+        assert_eq!(mb.len(), 1);
+    }
+}

@@ -1,0 +1,62 @@
+//! Per-rank communication counters.
+
+/// Counters accumulated by a [`crate::Rank`] over its lifetime.
+///
+/// The iC2mpi load balancer weights processor-graph edges by communication
+/// volume; these counters expose the same information without the platform
+/// having to instrument every call site.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CommStats {
+    /// Messages sent (point-to-point, including collective-internal).
+    pub msgs_sent: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Messages received.
+    pub msgs_recv: u64,
+    /// Payload bytes received.
+    pub bytes_recv: u64,
+    /// Barriers entered.
+    pub barriers: u64,
+    /// Payload bytes sent to each destination rank.
+    pub bytes_to: Vec<u64>,
+}
+
+impl CommStats {
+    /// Counters for a world of `n` ranks.
+    pub fn new(n: usize) -> Self {
+        CommStats {
+            bytes_to: vec![0; n],
+            ..Default::default()
+        }
+    }
+
+    pub(crate) fn on_send(&mut self, dest: usize, bytes: usize) {
+        self.msgs_sent += 1;
+        self.bytes_sent += bytes as u64;
+        self.bytes_to[dest] += bytes as u64;
+    }
+
+    pub(crate) fn on_recv(&mut self, bytes: usize) {
+        self.msgs_recv += 1;
+        self.bytes_recv += bytes as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = CommStats::new(3);
+        s.on_send(1, 10);
+        s.on_send(1, 5);
+        s.on_send(2, 7);
+        s.on_recv(4);
+        assert_eq!(s.msgs_sent, 3);
+        assert_eq!(s.bytes_sent, 22);
+        assert_eq!(s.bytes_to, vec![0, 15, 7]);
+        assert_eq!(s.msgs_recv, 1);
+        assert_eq!(s.bytes_recv, 4);
+    }
+}

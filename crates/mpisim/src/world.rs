@@ -1,0 +1,240 @@
+//! World construction and the SPMD runner.
+
+use crate::comm::Rank;
+use crate::mailbox::Mailbox;
+use crate::net::{NetModel, TimingMode};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// World configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Timing discipline (virtual LogP model or wall clock).
+    pub timing: TimingMode,
+    /// How long a blocked receive or barrier may wait (real time) before
+    /// the world is declared deadlocked and panics with diagnostics.
+    pub watchdog: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            timing: TimingMode::Virtual(NetModel::origin2000()),
+            watchdog: Duration::from_secs(30),
+        }
+    }
+}
+
+impl Config {
+    /// Virtual-time configuration with the given network model.
+    pub fn virtual_time(net: NetModel) -> Self {
+        Config {
+            timing: TimingMode::Virtual(net),
+            ..Default::default()
+        }
+    }
+
+    /// Wall-clock configuration (grain sizes busy-spin).
+    pub fn real_time() -> Self {
+        Config {
+            timing: TimingMode::Real,
+            ..Default::default()
+        }
+    }
+
+    /// Override the deadlock watchdog.
+    pub fn with_watchdog(mut self, watchdog: Duration) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+}
+
+/// Generation barrier that also computes the maximum virtual clock of the
+/// arriving ranks.
+pub(crate) struct ClockBarrier {
+    inner: Mutex<BarrierInner>,
+    cond: Condvar,
+}
+
+struct BarrierInner {
+    gen: u64,
+    count: usize,
+    max_clock: f64,
+    resolved_clock: f64,
+}
+
+impl ClockBarrier {
+    fn new() -> Self {
+        ClockBarrier {
+            inner: Mutex::new(BarrierInner {
+                gen: 0,
+                count: 0,
+                max_clock: 0.0,
+                resolved_clock: 0.0,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Enter the barrier with this rank's clock; returns the synchronised
+    /// (maximum) clock once all `n` ranks have arrived. `check` is polled
+    /// while waiting so a poisoned world aborts promptly.
+    pub(crate) fn wait(&self, n: usize, clock: f64, check: impl Fn()) -> f64 {
+        let mut g = self.inner.lock();
+        g.max_clock = g.max_clock.max(clock);
+        g.count += 1;
+        if g.count == n {
+            g.resolved_clock = g.max_clock;
+            g.max_clock = 0.0;
+            g.count = 0;
+            g.gen += 1;
+            self.cond.notify_all();
+            g.resolved_clock
+        } else {
+            let my_gen = g.gen;
+            while g.gen == my_gen {
+                self.cond.wait_for(&mut g, Duration::from_millis(50));
+                if g.gen != my_gen {
+                    break;
+                }
+                drop(g);
+                check();
+                g = self.inner.lock();
+            }
+            g.resolved_clock
+        }
+    }
+}
+
+/// State shared by every rank of a running world.
+pub(crate) struct Shared {
+    pub(crate) mailboxes: Vec<Mailbox>,
+    pub(crate) barrier: ClockBarrier,
+    pub(crate) cfg: Config,
+    pub(crate) poisoned: AtomicBool,
+    /// Payload of the rank panic that poisoned the world, so the *original*
+    /// failure (not the secondary "world poisoned" aborts) reaches the
+    /// caller.
+    first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// Factory for SPMD executions.
+///
+/// A `World` is cheap; it holds only configuration. Each [`run`](World::run)
+/// spawns `n` rank threads, hands each a [`Rank`], and joins them,
+/// returning their results in rank order.
+#[derive(Debug, Clone, Default)]
+pub struct World {
+    cfg: Config,
+}
+
+impl World {
+    /// A world with the given configuration.
+    pub fn new(cfg: Config) -> Self {
+        World { cfg }
+    }
+
+    /// The configuration this world runs with.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// Run `f` as an SPMD program on `n` ranks and collect each rank's
+    /// return value in rank order.
+    ///
+    /// If any rank panics, the world is poisoned: blocked ranks abort, and
+    /// the first panic is propagated to the caller.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, if a rank panics, or on watchdog-detected
+    /// deadlock.
+    pub fn run<F, R>(&self, n: usize, f: F) -> Vec<R>
+    where
+        F: Fn(&Rank) -> R + Send + Sync,
+        R: Send,
+    {
+        assert!(n > 0, "world must have at least one rank");
+        let shared = Arc::new(Shared {
+            mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
+            barrier: ClockBarrier::new(),
+            cfg: self.cfg.clone(),
+            poisoned: AtomicBool::new(false),
+            first_panic: Mutex::new(None),
+        });
+        let epoch = Instant::now();
+        let results: Vec<Option<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|id| {
+                    let shared = Arc::clone(&shared);
+                    let f = &f;
+                    scope.spawn(move || {
+                        let rank = Rank::new(id, n, Arc::clone(&shared), epoch);
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&rank)))
+                        {
+                            Ok(v) => Some(v),
+                            Err(payload) => {
+                                let mut slot = shared.first_panic.lock();
+                                if slot.is_none() {
+                                    *slot = Some(payload);
+                                }
+                                shared.poisoned.store(true, Ordering::Relaxed);
+                                None
+                            }
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread itself must not die"))
+                .collect()
+        });
+        if let Some(payload) = shared.first_panic.lock().take() {
+            std::panic::resume_unwind(payload);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("no panic recorded, so every rank must have a result"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_runs() {
+        let out = World::new(Config::default()).run(1, |rank| rank.rank() + rank.size());
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn results_come_back_in_rank_order() {
+        let out = World::new(Config::default()).run(8, |rank| rank.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = World::new(Config::default()).run(0, |_| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn rank_panic_propagates() {
+        let _ = World::new(Config::default().with_watchdog(Duration::from_secs(2))).run(
+            2,
+            |rank| {
+                if rank.rank() == 1 {
+                    panic!("deliberate");
+                }
+                // rank 0 blocks forever; poisoning must release it.
+                let _: u32 = rank.recv(1, 0);
+            },
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the substrate: wire codecs and virtual-time
+//! invariants under arbitrary programs.
+
+use mpisim::{Config, NetModel, Wire, World};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) -> Result<(), TestCaseError> {
+    let bytes = v.to_bytes();
+    let back = T::from_bytes(&bytes);
+    prop_assert_eq!(back.as_ref().ok(), Some(v));
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn wire_roundtrips_scalars(a in any::<u64>(), b in any::<i64>(), c in any::<f64>(), d in any::<bool>()) {
+        roundtrip(&a)?;
+        roundtrip(&b)?;
+        if !c.is_nan() {
+            roundtrip(&c)?;
+        }
+        roundtrip(&d)?;
+    }
+
+    #[test]
+    fn wire_roundtrips_compounds(
+        v in proptest::collection::vec((any::<u32>(), any::<i64>()), 0..50),
+        s in ".{0,40}",
+        o in proptest::option::of(any::<u32>()),
+    ) {
+        roundtrip(&v)?;
+        roundtrip(&s.to_string())?;
+        roundtrip(&o)?;
+        roundtrip(&vec![(s.to_string(), o)])?;
+    }
+
+    #[test]
+    fn wire_rejects_truncation(v in proptest::collection::vec(any::<u64>(), 1..20)) {
+        let bytes = v.to_bytes();
+        // Chop off the tail: must error, never panic or wrap.
+        let cut = &bytes[..bytes.len() - 1];
+        prop_assert!(Vec::<u64>::from_bytes(cut).is_err());
+    }
+}
+
+proptest! {
+    // World-spawning cases are heavier; fewer of them.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn clocks_never_regress_and_end_synced(
+        n in 2usize..6,
+        grains in proptest::collection::vec(1u32..200, 6),
+        rounds in 1u32..6,
+    ) {
+        let cfg = Config::virtual_time(NetModel::origin2000())
+            .with_watchdog(Duration::from_secs(10));
+        let out = World::new(cfg).run(n, |rank| {
+            let mut last = rank.wtime();
+            for round in 0..rounds {
+                let grain = grains[(rank.rank() + round as usize) % grains.len()];
+                rank.advance(grain as f64 * 1e-6);
+                let right = (rank.rank() + 1) % rank.size();
+                let left = (rank.rank() + rank.size() - 1) % rank.size();
+                rank.send(right, round, &(rank.rank() as u64));
+                let _: u64 = rank.recv(left, round);
+                let now = rank.wtime();
+                prop_assert!(now >= last, "clock regressed {last} -> {now}");
+                last = now;
+            }
+            rank.barrier();
+            Ok(rank.wtime())
+        }).into_iter().collect::<Result<Vec<f64>, TestCaseError>>()?;
+        // After the final barrier every clock agrees.
+        for t in &out {
+            prop_assert!((t - out[0]).abs() < 1e-12, "clocks diverge: {out:?}");
+        }
+    }
+
+    #[test]
+    fn collectives_agree_with_direct_computation(
+        n in 2usize..7,
+        values in proptest::collection::vec(any::<i64>(), 7),
+    ) {
+        let cfg = Config::virtual_time(NetModel::zero())
+            .with_watchdog(Duration::from_secs(10));
+        let out = World::new(cfg).run(n, |rank| {
+            let mine = values[rank.rank()];
+            let gathered = rank.gather(0, &mine);
+            let max = rank.allreduce(mine, i64::max);
+            let mut from_root = if rank.rank() == 0 { 99i64 } else { 0 };
+            rank.bcast(0, &mut from_root);
+            (gathered, max, from_root)
+        });
+        let expect_max = values[..n].iter().copied().max().unwrap();
+        prop_assert_eq!(out[0].0.as_ref().unwrap(), &values[..n].to_vec());
+        for (i, (g, max, root_val)) in out.iter().enumerate() {
+            if i != 0 {
+                prop_assert!(g.is_none());
+            }
+            prop_assert_eq!(*max, expect_max);
+            prop_assert_eq!(*root_val, 99);
+        }
+    }
+
+    #[test]
+    fn arbitrary_roots_work_for_collectives(n in 1usize..8, root_pick in any::<usize>()) {
+        let root = root_pick % n;
+        let cfg = Config::virtual_time(NetModel::origin2000())
+            .with_watchdog(Duration::from_secs(10));
+        let out = World::new(cfg).run(n, |rank| {
+            let mut v = if rank.rank() == root { 4242u32 } else { 0 };
+            rank.bcast(root, &mut v);
+            let g = rank.gather(root, &(rank.rank() as u32));
+            (v, g)
+        });
+        for (i, (v, g)) in out.iter().enumerate() {
+            prop_assert_eq!(*v, 4242);
+            prop_assert_eq!(g.is_some(), i == root);
+        }
+        prop_assert_eq!(
+            out[root].1.as_ref().unwrap(),
+            &(0..n as u32).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! Band decompositions of coordinate-bearing meshes.
+//!
+//! The battlefield study (Section 5.3, Tables 9–11) partitions the 32×32
+//! hex terrain into row bands, column bands and rectangular tiles — the
+//! classic hand-coded domain decompositions iC2mpi lets users compare
+//! against graph partitioners without code changes.
+
+use crate::StaticPartitioner;
+use ic2_graph::{Graph, NodeId, Partition};
+
+/// Split nodes into `nparts` horizontal bands of (approximately) equal
+/// vertex weight, ordered by the y coordinate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RowBand;
+
+/// Split nodes into `nparts` vertical bands by the x coordinate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ColumnBand;
+
+/// Split the domain into a `pr × pc` grid of rectangles, `pr * pc ==
+/// nparts`, with the factors chosen as close to square as possible; rows
+/// are split by y first, then each row band by x.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RectangularBand;
+
+fn coords_of(graph: &Graph) -> &[(f64, f64)] {
+    graph
+        .coords()
+        .expect("band partitioners need a graph with coordinates")
+}
+
+/// Sort node ids by a key and slice them into `nparts` contiguous groups of
+/// equal vertex weight.
+fn banded_by<K: Fn(NodeId) -> f64>(
+    graph: &Graph,
+    nparts: usize,
+    key: K,
+) -> Vec<(NodeId, u32)> {
+    let mut order: Vec<NodeId> = graph.nodes().collect();
+    order.sort_by(|&a, &b| {
+        key(a)
+            .partial_cmp(&key(b))
+            .expect("coordinates must not be NaN")
+            .then(a.cmp(&b))
+    });
+    let total = graph.total_vertex_weight();
+    let mut out = Vec::with_capacity(order.len());
+    let mut part = 0u32;
+    let mut acc = 0i64;
+    for v in order {
+        let target = total * (part as i64 + 1) / nparts as i64;
+        if acc >= target && (part as usize) < nparts - 1 {
+            part += 1;
+        }
+        out.push((v, part));
+        acc += graph.vertex_weight(v);
+    }
+    out
+}
+
+impl StaticPartitioner for RowBand {
+    fn name(&self) -> &'static str {
+        "row-band"
+    }
+    fn partition(&self, graph: &Graph, nparts: usize) -> Partition {
+        assert!(nparts > 0);
+        let coords = coords_of(graph);
+        let mut assignment = vec![0u32; graph.num_nodes()];
+        for (v, p) in banded_by(graph, nparts, |v| coords[v as usize].1) {
+            assignment[v as usize] = p;
+        }
+        Partition::new(assignment, nparts)
+    }
+}
+
+impl StaticPartitioner for ColumnBand {
+    fn name(&self) -> &'static str {
+        "column-band"
+    }
+    fn partition(&self, graph: &Graph, nparts: usize) -> Partition {
+        assert!(nparts > 0);
+        let coords = coords_of(graph);
+        let mut assignment = vec![0u32; graph.num_nodes()];
+        for (v, p) in banded_by(graph, nparts, |v| coords[v as usize].0) {
+            assignment[v as usize] = p;
+        }
+        Partition::new(assignment, nparts)
+    }
+}
+
+/// Factor `n` as `a × b` with `a ≤ b` and `a` maximal ("squarish").
+pub(crate) fn squarish_factors(n: usize) -> (usize, usize) {
+    let mut a = (n as f64).sqrt() as usize;
+    while a > 1 && n % a != 0 {
+        a -= 1;
+    }
+    (a.max(1), n / a.max(1))
+}
+
+impl StaticPartitioner for RectangularBand {
+    fn name(&self) -> &'static str {
+        "rectangular"
+    }
+    fn partition(&self, graph: &Graph, nparts: usize) -> Partition {
+        assert!(nparts > 0);
+        let coords = coords_of(graph);
+        let (pr, pc) = squarish_factors(nparts);
+        let mut assignment = vec![0u32; graph.num_nodes()];
+        // First slice into pr row bands...
+        let rows = banded_by(graph, pr, |v| coords[v as usize].1);
+        let mut row_members: Vec<Vec<NodeId>> = vec![Vec::new(); pr];
+        for (v, band) in rows {
+            row_members[band as usize].push(v);
+        }
+        // ...then slice each row band into pc columns by x.
+        for (band, members) in row_members.into_iter().enumerate() {
+            let mut sorted = members;
+            sorted.sort_by(|&a, &b| {
+                coords[a as usize]
+                    .0
+                    .partial_cmp(&coords[b as usize].0)
+                    .expect("coordinates must not be NaN")
+                    .then(a.cmp(&b))
+            });
+            let total: i64 = sorted.iter().map(|&v| graph.vertex_weight(v)).sum();
+            let mut col = 0u32;
+            let mut acc = 0i64;
+            for v in sorted {
+                let target = total * (col as i64 + 1) / pc as i64;
+                if acc >= target && (col as usize) < pc - 1 {
+                    col += 1;
+                }
+                assignment[v as usize] = (band * pc) as u32 + col;
+                acc += graph.vertex_weight(v);
+            }
+        }
+        Partition::new(assignment, nparts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic2_graph::generators::hex_grid;
+    use ic2_graph::metrics;
+
+    #[test]
+    fn row_bands_are_balanced_strips() {
+        let g = hex_grid(8, 8);
+        let p = RowBand.partition(&g, 4);
+        assert_eq!(p.counts(), vec![16; 4]);
+        // Every band should contain two full rows: y-sorted row-major ids.
+        for v in g.nodes() {
+            assert_eq!(p.part_of(v), v / 16, "node {v}");
+        }
+    }
+
+    #[test]
+    fn column_bands_slice_vertically() {
+        let g = hex_grid(8, 8);
+        let p = ColumnBand.partition(&g, 4);
+        assert_eq!(p.counts(), vec![16; 4]);
+        // A column band's cut must differ from a row band's partition.
+        assert_ne!(p, RowBand.partition(&g, 4));
+    }
+
+    #[test]
+    fn rectangular_uses_squarish_factors() {
+        assert_eq!(squarish_factors(16), (4, 4));
+        assert_eq!(squarish_factors(8), (2, 4));
+        assert_eq!(squarish_factors(2), (1, 2));
+        assert_eq!(squarish_factors(1), (1, 1));
+        let g = hex_grid(8, 8);
+        let p = RectangularBand.partition(&g, 4);
+        assert_eq!(p.counts(), vec![16; 4]);
+    }
+
+    #[test]
+    fn rectangles_beat_rows_on_square_mesh_at_16() {
+        // On a 32x32 mesh with 16 parts, 4x4 tiles cut ~half as many edges
+        // as 16 thin rows — the effect behind Table 11 beating Table 9.
+        let g = hex_grid(32, 32);
+        let rows = metrics::edge_cut(&g, &RowBand.partition(&g, 16));
+        let rect = metrics::edge_cut(&g, &RectangularBand.partition(&g, 16));
+        assert!(rect < rows, "rect {rect} vs rows {rows}");
+    }
+
+    #[test]
+    fn bands_keep_every_part_nonempty() {
+        let g = hex_grid(4, 8);
+        for k in [1, 2, 3, 4, 5, 8, 16] {
+            for p in [
+                RowBand.partition(&g, k),
+                ColumnBand.partition(&g, k),
+                RectangularBand.partition(&g, k),
+            ] {
+                assert!(
+                    p.counts().iter().all(|&c| c > 0),
+                    "empty part at k={k}: {:?}",
+                    p.counts()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "coordinates")]
+    fn bands_require_coords() {
+        let g = ic2_graph::generators::thesis_random_graph(32, 0);
+        let _ = RowBand.partition(&g, 2);
+    }
+}

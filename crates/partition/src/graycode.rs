@@ -1,0 +1,124 @@
+//! Gray-code mesh-to-hypercube fine-grained embedding ("BF partition").
+//!
+//! The original battlefield simulator \[DMP98\] was parallelised on hypercube
+//! machines with a gray-code-based embedding in which *a hex and its six
+//! neighbours are allocated to different processors* (thesis Section 5.3,
+//! scheme (ii)). With more than one processor this maximises communication —
+//! which is exactly why Table 8 shows it losing to every other scheme (it is
+//! *slower on 2 processors than on 1*). Reproducing that pathology is the
+//! point of implementing it.
+
+use crate::bands::squarish_factors;
+use crate::StaticPartitioner;
+use ic2_graph::{Graph, Partition};
+
+/// Fine-grained gray-code embedding of a mesh onto `nparts` processors.
+///
+/// The processor count is factored `R × C` (powers of two give true
+/// sub-hypercubes); cell `(r, c)` — recovered from the graph's coordinates —
+/// maps to processor `gray(r mod R) * C + gray(c mod C)`, where `gray` is
+/// the binary-reflected Gray code permutation. Consecutive rows/columns thus
+/// land on hypercube-adjacent but *distinct* processors.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GrayCodeBf;
+
+/// Binary-reflected Gray code of `i`, restricted to a table of size `n`.
+/// For power-of-two `n` this is the classic `i ^ (i >> 1)` permutation; for
+/// other sizes we fall back to identity (still a valid interleaving).
+fn gray_perm(i: usize, n: usize) -> usize {
+    let j = i % n;
+    if n.is_power_of_two() {
+        j ^ (j >> 1)
+    } else {
+        j
+    }
+}
+
+impl StaticPartitioner for GrayCodeBf {
+    fn name(&self) -> &'static str {
+        "bf-graycode"
+    }
+    fn partition(&self, graph: &Graph, nparts: usize) -> Partition {
+        assert!(nparts > 0);
+        let coords = graph
+            .coords()
+            .expect("gray-code embedding needs a graph with coordinates");
+        let (pr, pc) = squarish_factors(nparts);
+        // Recover integer row/column indices from the generator's layout:
+        // rows are y / 0.866, columns are floor(x).
+        let assignment = graph
+            .nodes()
+            .map(|v| {
+                let (x, y) = coords[v as usize];
+                let r = (y / 0.866).round() as usize;
+                let c = x.floor() as usize;
+                (gray_perm(r, pr) * pc + gray_perm(c, pc)) as u32
+            })
+            .collect();
+        Partition::new(assignment, nparts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic2_graph::generators::hex_grid;
+    use ic2_graph::metrics;
+
+    #[test]
+    fn gray_permutation_is_bijective_on_powers_of_two() {
+        for n in [2usize, 4, 8, 16] {
+            let mut seen = vec![false; n];
+            for i in 0..n {
+                let g = gray_perm(i, n);
+                assert!(!seen[g], "n={n} collision at {i}");
+                seen[g] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_cells_land_on_distinct_processors() {
+        // With 4 procs (2x2 factorisation), each cell and its E/S neighbours
+        // must differ: gray codes of consecutive indices always differ.
+        let g = hex_grid(8, 8);
+        let p = GrayCodeBf.partition(&g, 4);
+        for v in g.nodes() {
+            for &w in g.neighbors(v) {
+                assert_ne!(p.part_of(v), p.part_of(w), "edge ({v},{w}) same proc");
+            }
+        }
+    }
+
+    #[test]
+    fn embedding_maximises_cut_versus_bands() {
+        let g = hex_grid(32, 32);
+        let bf = metrics::edge_cut(&g, &GrayCodeBf.partition(&g, 4));
+        let band = metrics::edge_cut(&g, &crate::bands::RowBand.partition(&g, 4));
+        assert!(
+            bf > 5 * band,
+            "fine-grained embedding should cut far more: bf={bf} band={band}"
+        );
+    }
+
+    #[test]
+    fn partition_is_balanced_on_power_of_two_meshes() {
+        let g = hex_grid(32, 32);
+        for k in [2, 4, 8, 16] {
+            let p = GrayCodeBf.partition(&g, k);
+            let counts = p.counts();
+            let (min, max) = (
+                counts.iter().min().unwrap(),
+                counts.iter().max().unwrap(),
+            );
+            assert_eq!(min, max, "k={k}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn single_processor_is_identity() {
+        let g = hex_grid(4, 4);
+        let p = GrayCodeBf.partition(&g, 1);
+        assert!(p.as_slice().iter().all(|&x| x == 0));
+    }
+}

@@ -1,0 +1,723 @@
+//! Multilevel k-way partitioner in the style of Metis \[KK98\].
+//!
+//! Structure follows the classic multilevel recipe the thesis relies on:
+//!
+//! 1. **Coarsening** — heavy-edge matching contracts the graph until it is
+//!    small;
+//! 2. **Initial partitioning** — greedy graph-growing bisection from
+//!    several seeds, best cut kept;
+//! 3. **Uncoarsening** — the bisection is projected back level by level
+//!    with Fiduccia–Mattheyses boundary refinement at each level;
+//! 4. k-way partitions come from recursive bisection with proportional
+//!    weight targets, finished by a greedy k-way boundary refinement pass.
+//!
+//! Deterministic in [`Metis::seed`].
+
+use crate::StaticPartitioner;
+use ic2_graph::{metrics, Graph, GraphBuilder, NodeId, Partition};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Multilevel recursive-bisection partitioner.
+#[derive(Debug, Clone, Copy)]
+pub struct Metis {
+    /// Seed for matching order and growing seeds.
+    pub seed: u64,
+    /// Allowed imbalance ε: part loads may reach `(1 + ε) ×` ideal.
+    pub imbalance: f64,
+    /// Stop coarsening below this many nodes.
+    pub coarsen_to: usize,
+    /// Seeds tried for the initial growing bisection.
+    pub init_tries: usize,
+}
+
+impl Default for Metis {
+    fn default() -> Self {
+        Metis {
+            seed: 0x1C2,
+            imbalance: 0.05,
+            coarsen_to: 48,
+            init_tries: 6,
+        }
+    }
+}
+
+impl StaticPartitioner for Metis {
+    fn name(&self) -> &'static str {
+        "metis"
+    }
+
+    fn partition(&self, graph: &Graph, nparts: usize) -> Partition {
+        assert!(nparts > 0);
+        let n = graph.num_nodes();
+        let mut assignment = vec![0u32; n];
+        if nparts > 1 && n > 0 {
+            let nodes: Vec<NodeId> = graph.nodes().collect();
+            let mut rng = SmallRng::seed_from_u64(self.seed);
+            // Per-level balance windows compound over log2(k) bisection
+            // levels, so shrink each level's ε to keep the final k-way
+            // imbalance near the configured budget.
+            let levels = (nparts as f64).log2().ceil().max(1.0);
+            let eps = self.imbalance / levels;
+            self.split(graph, &nodes, 0, nparts, eps, &mut assignment, &mut rng);
+        }
+        let mut part = Partition::new(assignment, nparts);
+        self.kway_refine(graph, &mut part);
+        part
+    }
+}
+
+impl Metis {
+    /// Recursively bisect the subgraph induced by `nodes` into parts
+    /// `first_part..first_part + k`.
+    #[allow(clippy::too_many_arguments)]
+    fn split(
+        &self,
+        graph: &Graph,
+        nodes: &[NodeId],
+        first_part: u32,
+        k: usize,
+        eps: f64,
+        assignment: &mut [u32],
+        rng: &mut SmallRng,
+    ) {
+        if k == 1 || nodes.is_empty() {
+            for &v in nodes {
+                assignment[v as usize] = first_part;
+            }
+            return;
+        }
+        let k_left = k / 2;
+        let frac = k_left as f64 / k as f64;
+        // Each side must receive at least one node per part it will host
+        // (when enough nodes exist), or downstream parts end up empty.
+        let ml = k_left.min(nodes.len());
+        let mr = (k - k_left).min(nodes.len() - ml);
+        let (sub, back) = induce(graph, nodes);
+        let side = self.bisect(&sub, frac, eps, ml, mr, rng);
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for (i, &s) in side.iter().enumerate() {
+            if s {
+                left.push(back[i]);
+            } else {
+                right.push(back[i]);
+            }
+        }
+        self.split(graph, &left, first_part, k_left, eps, assignment, rng);
+        self.split(
+            graph,
+            &right,
+            first_part + k_left as u32,
+            k - k_left,
+            eps,
+            assignment,
+            rng,
+        );
+    }
+
+    /// Multilevel bisection: returns `true` for nodes on the "left" side,
+    /// whose weight targets `frac` of the total. The left side receives at
+    /// least `ml` nodes and the right at least `mr` (hosting floors from the
+    /// recursive split).
+    #[allow(clippy::too_many_arguments)]
+    fn bisect(
+        &self,
+        graph: &Graph,
+        frac: f64,
+        eps: f64,
+        ml: usize,
+        mr: usize,
+        rng: &mut SmallRng,
+    ) -> Vec<bool> {
+        let n = graph.num_nodes();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![ml >= 1];
+        }
+        if n > self.coarsen_to {
+            // Coarsen one level and recurse. Node-count floors only bind on
+            // tiny graphs, so the coarse level just needs feasible values.
+            let (coarse, map) = coarsen(graph, rng);
+            if coarse.num_nodes() < n {
+                let cn = coarse.num_nodes();
+                let cml = ml.min(cn / 2);
+                let cmr = mr.min(cn - cml);
+                let coarse_side = self.bisect(&coarse, frac, eps, cml, cmr, rng);
+                let mut side: Vec<bool> = (0..n)
+                    .map(|v| coarse_side[map[v] as usize])
+                    .collect();
+                fm_refine(graph, &mut side, frac, eps, ml, mr);
+                return side;
+            }
+            // Matching failed to shrink the graph (e.g. star graphs);
+            // fall through to direct initial partitioning.
+        }
+        let mut best: Option<(i64, f64, Vec<bool>)> = None;
+        for _ in 0..self.init_tries.max(1) {
+            let mut side = grow_bisection(graph, frac, ml, mr, rng);
+            fm_refine(graph, &mut side, frac, eps, ml, mr);
+            let cut = cut_of(graph, &side);
+            let dev = balance_deviation(graph, &side, frac);
+            if best
+                .as_ref()
+                .map_or(true, |(bc, bd, _)| (cut, dev) < (*bc, *bd))
+            {
+                best = Some((cut, dev, side));
+            }
+        }
+        best.expect("at least one try").2
+    }
+
+    /// Greedy k-way boundary refinement: move boundary nodes to adjacent
+    /// parts when it reduces the cut without breaking balance.
+    fn kway_refine(&self, graph: &Graph, part: &mut Partition) {
+        let k = part.num_parts();
+        if k < 2 || graph.num_nodes() < 2 {
+            return;
+        }
+        let total = graph.total_vertex_weight();
+        let ideal = total as f64 / k as f64;
+        let cap = (ideal * (1.0 + self.imbalance)).ceil() as i64;
+        let mut loads = part.loads(graph);
+        let mut counts = part.counts();
+        for _pass in 0..4 {
+            let mut moved = 0;
+            for v in graph.nodes() {
+                let home = part.part_of(v);
+                // A move must never empty its source part: with k = n every
+                // singleton looks tempting to merge, but the mapping must
+                // keep all processors occupied.
+                if counts[home as usize] <= 1 {
+                    continue;
+                }
+                // Candidate parts: those of v's neighbours.
+                let mut best: Option<(i64, u32)> = None;
+                for &w in graph.neighbors(v) {
+                    let p = part.part_of(w);
+                    if p == home {
+                        continue;
+                    }
+                    let gain = metrics::move_gain(graph, part, v, p);
+                    let vw = graph.vertex_weight(v);
+                    let fits = loads[p as usize] + vw <= cap
+                        || loads[p as usize] + vw < loads[home as usize];
+                    if gain < 0 && fits && best.map_or(true, |(bg, _)| gain < bg) {
+                        best = Some((gain, p));
+                    }
+                }
+                if let Some((_, p)) = best {
+                    let vw = graph.vertex_weight(v);
+                    loads[home as usize] -= vw;
+                    loads[p as usize] += vw;
+                    counts[home as usize] -= 1;
+                    counts[p as usize] += 1;
+                    part.assign(v, p);
+                    moved += 1;
+                }
+            }
+            if moved == 0 {
+                break;
+            }
+        }
+        // Balancing phase: drain overloaded parts into their least-loaded
+        // neighbouring part, choosing the boundary node whose move hurts
+        // the cut least. Bisection drift can otherwise accumulate past the
+        // configured budget.
+        for _pass in 0..6 {
+            let mut moved = false;
+            for v in graph.nodes() {
+                let home = part.part_of(v);
+                if loads[home as usize] <= cap || counts[home as usize] <= 1 {
+                    continue;
+                }
+                let vw = graph.vertex_weight(v);
+                let mut best: Option<(i64, i64, u32)> = None;
+                for &w in graph.neighbors(v) {
+                    let p = part.part_of(w);
+                    if p == home || loads[p as usize] + vw >= loads[home as usize] {
+                        continue;
+                    }
+                    let gain = metrics::move_gain(graph, part, v, p);
+                    let key = (gain, loads[p as usize]);
+                    if best.map_or(true, |(bg, bl, _)| key < (bg, bl)) {
+                        best = Some((gain, loads[p as usize], p));
+                    }
+                }
+                if let Some((_, _, p)) = best {
+                    loads[home as usize] -= vw;
+                    loads[p as usize] += vw;
+                    counts[home as usize] -= 1;
+                    counts[p as usize] += 1;
+                    part.assign(v, p);
+                    moved = true;
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+    }
+}
+
+/// Extract the subgraph induced by `nodes`; returns it plus the
+/// local-to-parent id map.
+fn induce(graph: &Graph, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
+    let mut local = vec![u32::MAX; graph.num_nodes()];
+    for (i, &v) in nodes.iter().enumerate() {
+        local[v as usize] = i as u32;
+    }
+    let mut b = GraphBuilder::new(nodes.len());
+    let mut vwgt = Vec::with_capacity(nodes.len());
+    for (i, &v) in nodes.iter().enumerate() {
+        vwgt.push(graph.vertex_weight(v));
+        for (&w, &ew) in graph.neighbors(v).iter().zip(graph.edge_weights(v)) {
+            let lw = local[w as usize];
+            if lw != u32::MAX && (i as u32) < lw {
+                b.weighted_edge(i as u32, lw, ew);
+            }
+        }
+    }
+    b.vertex_weights(vwgt);
+    (b.build(), nodes.to_vec())
+}
+
+/// One level of heavy-edge matching coarsening. Returns the coarse graph
+/// and the fine-to-coarse vertex map.
+fn coarsen(graph: &Graph, rng: &mut SmallRng) -> (Graph, Vec<u32>) {
+    let n = graph.num_nodes();
+    let mut order: Vec<NodeId> = graph.nodes().collect();
+    for i in (1..n).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    let mut matched = vec![u32::MAX; n];
+    let mut coarse_id = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for &v in &order {
+        if matched[v as usize] != u32::MAX {
+            continue;
+        }
+        // Heaviest unmatched neighbour.
+        let mut best: Option<(i64, NodeId)> = None;
+        for (&w, &ew) in graph.neighbors(v).iter().zip(graph.edge_weights(v)) {
+            if matched[w as usize] == u32::MAX
+                && best.map_or(true, |(bw, bn)| (ew, std::cmp::Reverse(w)) > (bw, std::cmp::Reverse(bn)))
+            {
+                best = Some((ew, w));
+            }
+        }
+        match best {
+            Some((_, w)) => {
+                matched[v as usize] = w;
+                matched[w as usize] = v;
+                coarse_id[v as usize] = next;
+                coarse_id[w as usize] = next;
+            }
+            None => {
+                matched[v as usize] = v;
+                coarse_id[v as usize] = next;
+            }
+        }
+        next += 1;
+    }
+    // Accumulate coarse vertex weights and combined edges.
+    let cn = next as usize;
+    let mut vwgt = vec![0i64; cn];
+    for v in graph.nodes() {
+        vwgt[coarse_id[v as usize] as usize] += graph.vertex_weight(v);
+    }
+    let mut edge_acc: std::collections::HashMap<(u32, u32), i64> =
+        std::collections::HashMap::new();
+    for (u, v, w) in graph.edges() {
+        let cu = coarse_id[u as usize];
+        let cv = coarse_id[v as usize];
+        if cu != cv {
+            let key = (cu.min(cv), cu.max(cv));
+            *edge_acc.entry(key).or_insert(0) += w;
+        }
+    }
+    let mut b = GraphBuilder::new(cn);
+    let mut keys: Vec<_> = edge_acc.into_iter().collect();
+    keys.sort_unstable();
+    for ((u, v), w) in keys {
+        b.weighted_edge(u, v, w);
+    }
+    b.vertex_weights(vwgt);
+    (b.build(), coarse_id)
+}
+
+/// Greedy graph-growing bisection: BFS-grow a region from a random seed,
+/// always absorbing the frontier vertex with the best cut gain, until the
+/// region reaches `frac` of the total weight (respecting the `ml`/`mr`
+/// node-count floors).
+fn grow_bisection(
+    graph: &Graph,
+    frac: f64,
+    ml: usize,
+    mr: usize,
+    rng: &mut SmallRng,
+) -> Vec<bool> {
+    let n = graph.num_nodes();
+    let total = graph.total_vertex_weight();
+    let target = (total as f64 * frac).round() as i64;
+    let mut side = vec![false; n];
+    let mut weight = 0i64;
+    let mut count = 0usize;
+    let mut frontier: Vec<NodeId> = Vec::new();
+    let seed = rng.gen_range(0..n) as NodeId;
+    let mut next_seed = seed;
+    while (weight < target && count < n - mr) || count < ml {
+        let v = if side[next_seed as usize] {
+            // Pick the best-gain frontier vertex; gain = (edges into the
+            // region) - (edges out), higher absorbs first.
+            frontier.retain(|&f| !side[f as usize]);
+            match frontier
+                .iter()
+                .copied()
+                .max_by_key(|&f| {
+                    let mut gain = 0i64;
+                    for (&w, &ew) in graph.neighbors(f).iter().zip(graph.edge_weights(f)) {
+                        gain += if side[w as usize] { ew } else { -ew };
+                    }
+                    (gain, std::cmp::Reverse(f))
+                }) {
+                Some(f) => f,
+                None => {
+                    // Disconnected remainder: jump to any unassigned node.
+                    match (0..n as NodeId).find(|&v| !side[v as usize]) {
+                        Some(v) => v,
+                        None => break,
+                    }
+                }
+            }
+        } else {
+            next_seed
+        };
+        side[v as usize] = true;
+        weight += graph.vertex_weight(v);
+        count += 1;
+        for &w in graph.neighbors(v) {
+            if !side[w as usize] {
+                frontier.push(w);
+            }
+        }
+        next_seed = v;
+    }
+    side
+}
+
+fn cut_of(graph: &Graph, side: &[bool]) -> i64 {
+    graph
+        .edges()
+        .filter(|&(u, v, _)| side[u as usize] != side[v as usize])
+        .map(|(_, _, w)| w)
+        .sum()
+}
+
+fn balance_deviation(graph: &Graph, side: &[bool], frac: f64) -> f64 {
+    let total = graph.total_vertex_weight() as f64;
+    let left: i64 = graph
+        .nodes()
+        .filter(|&v| side[v as usize])
+        .map(|v| graph.vertex_weight(v))
+        .sum();
+    (left as f64 - total * frac).abs()
+}
+
+/// Fiduccia–Mattheyses style 2-way refinement with rollback to the best
+/// configuration seen in each pass. Moves must keep the left side's node
+/// count in `[ml, n - mr]` and its weight within the balance window — or
+/// strictly improve the weight deviation (so a skewed starting point can be
+/// repaired).
+fn fm_refine(graph: &Graph, side: &mut [bool], frac: f64, eps: f64, ml: usize, mr: usize) {
+    let n = graph.num_nodes();
+    if n < 2 {
+        return;
+    }
+    let total = graph.total_vertex_weight();
+    let target = total as f64 * frac;
+    // Bookmarked (final) states must sit in this tight window...
+    let slack = (total as f64 * eps).max(0.5);
+    // ...but individual moves may excurse one max-weight vertex beyond it,
+    // which classic FM needs to escape local minima (rollback repairs it).
+    let max_vw = graph.vertex_weights().iter().copied().max().unwrap_or(1);
+    let move_slack = slack.max(max_vw as f64);
+
+    let mut left_weight: i64 = graph
+        .nodes()
+        .filter(|&v| side[v as usize])
+        .map(|v| graph.vertex_weight(v))
+        .sum();
+    let mut left_count = side.iter().filter(|&&s| s).count();
+
+    for _pass in 0..8 {
+        // gain(v) = cut reduction if v switches sides.
+        let mut gain = vec![0i64; n];
+        for v in graph.nodes() {
+            for (&w, &ew) in graph.neighbors(v).iter().zip(graph.edge_weights(v)) {
+                if side[v as usize] != side[w as usize] {
+                    gain[v as usize] += ew;
+                } else {
+                    gain[v as usize] -= ew;
+                }
+            }
+        }
+        let mut locked = vec![false; n];
+        let mut history: Vec<NodeId> = Vec::new();
+        let mut cur_cut = cut_of(graph, side);
+        let mut best_cut = cur_cut;
+        let mut best_dev = (left_weight as f64 - target).abs();
+        let mut best_len = 0usize;
+        let mut cur_weight = left_weight;
+        let mut cur_count = left_count;
+
+        for _step in 0..n {
+            let cur_dev = (cur_weight as f64 - target).abs();
+            // Best movable vertex respecting the balance window (or
+            // improving an out-of-window deviation).
+            let mut pick: Option<(i64, NodeId)> = None;
+            for v in graph.nodes() {
+                if locked[v as usize] {
+                    continue;
+                }
+                let vw = graph.vertex_weight(v);
+                let (new_left, new_count) = if side[v as usize] {
+                    (cur_weight - vw, cur_count - 1)
+                } else {
+                    (cur_weight + vw, cur_count + 1)
+                };
+                if new_count < ml || new_count > n - mr {
+                    continue;
+                }
+                let new_dev = (new_left as f64 - target).abs();
+                if new_dev > move_slack && new_dev >= cur_dev {
+                    continue;
+                }
+                if pick.map_or(true, |(g, pv)| {
+                    (gain[v as usize], std::cmp::Reverse(v)) > (g, std::cmp::Reverse(pv))
+                }) {
+                    pick = Some((gain[v as usize], v));
+                }
+            }
+            let Some((g, v)) = pick else { break };
+            // Apply the move.
+            let vw = graph.vertex_weight(v);
+            if side[v as usize] {
+                cur_weight -= vw;
+                cur_count -= 1;
+            } else {
+                cur_weight += vw;
+                cur_count += 1;
+            }
+            side[v as usize] = !side[v as usize];
+            locked[v as usize] = true;
+            cur_cut -= g;
+            history.push(v);
+            for (&w, &ew) in graph.neighbors(v).iter().zip(graph.edge_weights(v)) {
+                // After v switched: same-side neighbours gain, others lose.
+                if side[w as usize] == side[v as usize] {
+                    gain[w as usize] -= 2 * ew;
+                } else {
+                    gain[w as usize] += 2 * ew;
+                }
+            }
+            let dev = (cur_weight as f64 - target).abs();
+            // Prefer any in-window cut improvement; when both states are
+            // outside the window, prefer the better deviation.
+            let in_window = dev <= slack;
+            let best_in_window = best_dev <= slack;
+            let better = match (in_window, best_in_window) {
+                (true, true) => cur_cut < best_cut,
+                (true, false) => true,
+                (false, false) => dev < best_dev,
+                (false, true) => false,
+            };
+            if better {
+                best_cut = cur_cut;
+                best_dev = dev;
+                best_len = history.len();
+            }
+        }
+        // Roll back past the best prefix.
+        for &v in history[best_len..].iter().rev() {
+            let vw = graph.vertex_weight(v);
+            if side[v as usize] {
+                cur_weight -= vw;
+                cur_count -= 1;
+            } else {
+                cur_weight += vw;
+                cur_count += 1;
+            }
+            side[v as usize] = !side[v as usize];
+        }
+        left_weight = cur_weight;
+        left_count = cur_count;
+        if best_len == 0 {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic2_graph::generators::{hex_grid, thesis_random_graph, torus};
+
+    fn check_quality(graph: &Graph, k: usize, max_imbalance: f64) -> i64 {
+        let part = Metis::default().partition(graph, k);
+        assert_eq!(part.len(), graph.num_nodes());
+        let imb = metrics::imbalance(graph, &part);
+        assert!(
+            imb <= max_imbalance,
+            "k={k}: imbalance {imb} > {max_imbalance}, counts {:?}",
+            part.counts()
+        );
+        metrics::edge_cut(graph, &part)
+    }
+
+    #[test]
+    fn hex_grids_partition_well() {
+        for (n, k) in [(32, 2), (32, 4), (64, 4), (64, 8), (96, 8), (96, 16)] {
+            let g = ic2_graph::generators::hex_grid_n(n);
+            let cut = check_quality(&g, k, 1.26);
+            // A k-way split of a hex grid should cut far fewer edges than
+            // round-robin interleaving.
+            let rr = metrics::edge_cut(&g, &crate::simple::RoundRobin.partition(&g, k));
+            assert!(cut * 3 < rr * 2, "n={n} k={k}: cut {cut} vs rr {rr}");
+        }
+    }
+
+    #[test]
+    fn bisection_of_even_path_is_perfect() {
+        let mut b = GraphBuilder::new(8);
+        for i in 0..7u32 {
+            b.edge(i, i + 1);
+        }
+        let g = b.build();
+        let p = Metis::default().partition(&g, 2);
+        assert_eq!(metrics::edge_cut(&g, &p), 1);
+        assert_eq!(p.counts(), vec![4, 4]);
+    }
+
+    #[test]
+    fn large_mesh_quality_beats_block() {
+        let g = hex_grid(32, 32);
+        let metis_cut = check_quality(&g, 16, 1.11);
+        let band = metrics::edge_cut(&g, &crate::bands::RowBand.partition(&g, 16));
+        assert!(
+            metis_cut < band,
+            "metis {metis_cut} should beat 16 thin row bands {band}"
+        );
+    }
+
+    #[test]
+    fn random_graphs_stay_balanced() {
+        for seed in 0..3 {
+            let g = thesis_random_graph(64, seed);
+            for k in [2, 4, 8, 16] {
+                check_quality(&g, k, 1.3);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = thesis_random_graph(64, 0);
+        let a = Metis::default().partition(&g, 8);
+        let b = Metis::default().partition(&g, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seed_changes_can_change_result() {
+        let g = thesis_random_graph(64, 0);
+        let a = Metis::default().partition(&g, 8);
+        let b = Metis {
+            seed: 99,
+            ..Default::default()
+        }
+        .partition(&g, 8);
+        // Not guaranteed different, but cut quality must hold for both.
+        assert!(metrics::imbalance(&g, &b) <= 1.3);
+        let _ = a;
+    }
+
+    #[test]
+    fn k_equal_one_is_trivial() {
+        let g = hex_grid(4, 4);
+        let p = Metis::default().partition(&g, 1);
+        assert!(p.as_slice().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn k_equal_n_spreads_out() {
+        let g = hex_grid(2, 2);
+        let p = Metis::default().partition(&g, 4);
+        let mut counts = p.counts();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn odd_k_gets_proportional_targets() {
+        let g = hex_grid(8, 9);
+        let p = Metis::default().partition(&g, 3);
+        let imb = metrics::imbalance(&g, &p);
+        assert!(imb <= 1.15, "imbalance {imb}: {:?}", p.counts());
+    }
+
+    #[test]
+    fn weighted_vertices_balance_by_weight() {
+        let mut b = GraphBuilder::new(6);
+        for i in 0..5u32 {
+            b.edge(i, i + 1);
+        }
+        b.vertex_weights(vec![10, 1, 1, 1, 1, 10]);
+        let g = b.build();
+        let p = Metis::default().partition(&g, 2);
+        let loads = p.loads(&g);
+        assert!(
+            (loads[0] - loads[1]).abs() <= 4,
+            "weighted loads {loads:?}"
+        );
+    }
+
+    #[test]
+    fn torus_partitions_are_sane() {
+        let g = torus(8, 8);
+        let cut = check_quality(&g, 4, 1.11);
+        assert!(cut <= 40, "torus cut {cut}");
+    }
+
+    #[test]
+    fn coarsening_halves_and_preserves_weight() {
+        let g = hex_grid(8, 8);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (coarse, map) = coarsen(&g, &mut rng);
+        assert!(coarse.num_nodes() < g.num_nodes());
+        assert!(coarse.num_nodes() >= g.num_nodes() / 2);
+        assert_eq!(coarse.total_vertex_weight(), g.total_vertex_weight());
+        assert_eq!(map.len(), g.num_nodes());
+        assert!(map.iter().all(|&c| (c as usize) < coarse.num_nodes()));
+    }
+
+    #[test]
+    fn fm_refine_fixes_a_bad_split() {
+        // Two 4-cliques joined by one edge, split the worst way.
+        let mut b = GraphBuilder::new(8);
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                b.edge(i, j);
+                b.edge(i + 4, j + 4);
+            }
+        }
+        b.edge(3, 4);
+        let g = b.build();
+        // Interleaved start: cut = everything.
+        let mut side = vec![true, false, true, false, true, false, true, false];
+        fm_refine(&g, &mut side, 0.5, 0.05, 1, 1);
+        assert_eq!(cut_of(&g, &side), 1, "sides {side:?}");
+    }
+}

@@ -1,0 +1,250 @@
+//! Processor network graphs.
+//!
+//! PaGrid maps application graphs onto a *weighted processor graph*; the
+//! thesis uses a hypercube (the Origin-2000's interconnect) in PaGrid's
+//! grid format. The dynamic load balancer also builds a processor graph at
+//! runtime (nodes weighted by execution time, edges by communication
+//! volume) — that runtime variant lives in `ic2-balance`; this module is
+//! the static description of the machine.
+
+/// A small dense description of the target machine: per-processor relative
+/// compute speed and per-link weights (higher = cheaper link).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessorGraph {
+    n: usize,
+    /// Relative compute speed of each processor (1.0 = baseline).
+    speeds: Vec<f64>,
+    /// Symmetric adjacency: `links[i][j] > 0.0` means a direct link.
+    links: Vec<Vec<f64>>,
+}
+
+impl ProcessorGraph {
+    /// Build from explicit speeds and links.
+    ///
+    /// # Panics
+    /// Panics if `links` is not an `n × n` symmetric matrix with a zero
+    /// diagonal, or if any speed is non-positive.
+    pub fn new(speeds: Vec<f64>, links: Vec<Vec<f64>>) -> Self {
+        let n = speeds.len();
+        assert!(n > 0, "processor graph needs at least one processor");
+        assert!(speeds.iter().all(|&s| s > 0.0), "speeds must be positive");
+        assert_eq!(links.len(), n, "links must be n x n");
+        for (i, row) in links.iter().enumerate() {
+            assert_eq!(row.len(), n, "links must be n x n");
+            assert_eq!(row[i], 0.0, "diagonal must be zero");
+            for j in 0..n {
+                assert!(
+                    (row[j] - links[j][i]).abs() < 1e-12,
+                    "links must be symmetric"
+                );
+                assert!(row[j] >= 0.0, "link weights must be non-negative");
+            }
+        }
+        ProcessorGraph { n, speeds, links }
+    }
+
+    /// A `2^dim`-processor hypercube with uniform speeds and unit links —
+    /// the thesis's processor network for PaGrid.
+    pub fn hypercube(dim: u32) -> Self {
+        let n = 1usize << dim;
+        let mut links = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for b in 0..dim {
+                let j = i ^ (1usize << b);
+                links[i][j] = 1.0;
+            }
+        }
+        ProcessorGraph::new(vec![1.0; n], links)
+    }
+
+    /// The smallest hypercube holding at least `n` processors, restricted
+    /// to its first `n` nodes (sub-cube links retained).
+    pub fn hypercube_for(n: usize) -> Self {
+        assert!(n > 0);
+        let dim = (n.max(1) as f64).log2().ceil() as u32;
+        let full = ProcessorGraph::hypercube(dim);
+        full.induced(n)
+    }
+
+    /// A fully connected uniform machine.
+    pub fn complete(n: usize) -> Self {
+        let mut links = vec![vec![1.0; n]; n];
+        for (i, row) in links.iter_mut().enumerate() {
+            row[i] = 0.0;
+        }
+        ProcessorGraph::new(vec![1.0; n], links)
+    }
+
+    /// First `k` processors of this machine with their induced links.
+    pub fn induced(&self, k: usize) -> Self {
+        assert!(k >= 1 && k <= self.n);
+        ProcessorGraph::new(
+            self.speeds[..k].to_vec(),
+            self.links[..k]
+                .iter()
+                .map(|row| row[..k].to_vec())
+                .collect(),
+        )
+    }
+
+    /// Number of processors.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the machine has zero processors (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Relative speed of processor `p`.
+    pub fn speed(&self, p: usize) -> f64 {
+        self.speeds[p]
+    }
+
+    /// Direct-link weight between `a` and `b` (0.0 = no direct link).
+    pub fn link(&self, a: usize, b: usize) -> f64 {
+        self.links[a][b]
+    }
+
+    /// Hop-count distance matrix (BFS over direct links). Unreachable pairs
+    /// get `usize::MAX`; the diagonal is 0.
+    pub fn distances(&self) -> Vec<Vec<usize>> {
+        let n = self.n;
+        let mut dist = vec![vec![usize::MAX; n]; n];
+        for start in 0..n {
+            dist[start][start] = 0;
+            let mut queue = std::collections::VecDeque::from([start]);
+            while let Some(u) = queue.pop_front() {
+                for v in 0..n {
+                    if self.links[u][v] > 0.0 && dist[start][v] == usize::MAX {
+                        dist[start][v] = dist[start][u] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        dist
+    }
+
+    /// Render in a PaGrid-style grid format:
+    /// header `n`, one line of processor speeds, then the link matrix row
+    /// by row.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.n);
+        let speeds: Vec<String> = self.speeds.iter().map(|s| format!("{s}")).collect();
+        let _ = writeln!(out, "{}", speeds.join(" "));
+        for row in &self.links {
+            let cells: Vec<String> = row.iter().map(|w| format!("{w}")).collect();
+            let _ = writeln!(out, "{}", cells.join(" "));
+        }
+        out
+    }
+
+    /// Parse the format produced by [`render`](Self::render).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let n: usize = lines
+            .next()
+            .ok_or("empty processor graph file")?
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad processor count: {e}"))?;
+        let speeds: Vec<f64> = lines
+            .next()
+            .ok_or("missing speeds line")?
+            .split_whitespace()
+            .map(|t| t.parse().map_err(|e| format!("bad speed {t:?}: {e}")))
+            .collect::<Result<_, _>>()?;
+        if speeds.len() != n {
+            return Err(format!("expected {n} speeds, got {}", speeds.len()));
+        }
+        let mut links = Vec::with_capacity(n);
+        for i in 0..n {
+            let row: Vec<f64> = lines
+                .next()
+                .ok_or_else(|| format!("missing link row {i}"))?
+                .split_whitespace()
+                .map(|t| t.parse().map_err(|e| format!("bad link {t:?}: {e}")))
+                .collect::<Result<_, _>>()?;
+            if row.len() != n {
+                return Err(format!("link row {i} has {} entries, expected {n}", row.len()));
+            }
+            links.push(row);
+        }
+        Ok(ProcessorGraph::new(speeds, links))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hypercube_structure() {
+        let h = ProcessorGraph::hypercube(3);
+        assert_eq!(h.len(), 8);
+        // Each node has exactly 3 links.
+        for i in 0..8 {
+            let deg = (0..8).filter(|&j| h.link(i, j) > 0.0).count();
+            assert_eq!(deg, 3);
+        }
+        assert!(h.link(0, 1) > 0.0);
+        assert!(h.link(0, 3) == 0.0); // differ in two bits
+    }
+
+    #[test]
+    fn hypercube_distances_are_hamming() {
+        let h = ProcessorGraph::hypercube(4);
+        let d = h.distances();
+        for i in 0..16usize {
+            for j in 0..16usize {
+                assert_eq!(d[i][j], (i ^ j).count_ones() as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_for_handles_non_powers() {
+        let h = ProcessorGraph::hypercube_for(5);
+        assert_eq!(h.len(), 5);
+        let d = h.distances();
+        assert!(d.iter().flatten().all(|&x| x != usize::MAX));
+    }
+
+    #[test]
+    fn complete_machine_is_diameter_one() {
+        let c = ProcessorGraph::complete(6);
+        let d = c.distances();
+        for i in 0..6 {
+            for j in 0..6 {
+                assert_eq!(d[i][j], usize::from(i != j));
+            }
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let h = ProcessorGraph::hypercube(2);
+        let text = h.render();
+        let back = ProcessorGraph::parse(&text).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(ProcessorGraph::parse("").is_err());
+        assert!(ProcessorGraph::parse("2\n1.0\n0 1\n1 0\n").is_err()); // 1 speed
+        assert!(ProcessorGraph::parse("2\n1 1\n0 1\n").is_err()); // missing row
+        assert!(ProcessorGraph::parse("2\n1 x\n0 1\n1 0\n").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_links_rejected() {
+        let links = vec![vec![0.0, 1.0], vec![0.5, 0.0]];
+        ProcessorGraph::new(vec![1.0, 1.0], links);
+    }
+}

@@ -1,0 +1,186 @@
+//! Space-filling-curve partitioner.
+//!
+//! A classic geometric scheme the thesis's test-bed exists to evaluate:
+//! order the nodes along a Hilbert curve through their coordinates and cut
+//! the curve into `nparts` equal-weight segments. Locality of the curve
+//! translates into compact parts with competitive edge-cuts at a fraction
+//! of a multilevel partitioner's cost.
+
+use crate::StaticPartitioner;
+use ic2_graph::{Graph, NodeId, Partition};
+
+/// Hilbert-curve partitioner for coordinate-bearing graphs.
+#[derive(Debug, Clone, Copy)]
+pub struct HilbertCurve {
+    /// Curve resolution in bits per dimension (16 is plenty for any mesh
+    /// this crate generates).
+    pub order: u32,
+}
+
+impl Default for HilbertCurve {
+    fn default() -> Self {
+        HilbertCurve { order: 16 }
+    }
+}
+
+/// Map `(x, y)` on the `[0, 2^order)²` grid to its Hilbert-curve index.
+fn hilbert_d(order: u32, mut x: u64, mut y: u64) -> u64 {
+    let mut rx: u64;
+    let mut ry: u64;
+    let mut d: u64 = 0;
+    let mut s: u64 = 1 << (order - 1);
+    while s > 0 {
+        rx = u64::from((x & s) > 0);
+        ry = u64::from((y & s) > 0);
+        d += s * s * ((3 * rx) ^ ry);
+        // Rotate the quadrant.
+        if ry == 0 {
+            if rx == 1 {
+                x = s.wrapping_sub(1).wrapping_sub(x) & (s.wrapping_mul(2) - 1);
+                y = s.wrapping_sub(1).wrapping_sub(y) & (s.wrapping_mul(2) - 1);
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        s /= 2;
+    }
+    d
+}
+
+impl StaticPartitioner for HilbertCurve {
+    fn name(&self) -> &'static str {
+        "hilbert-sfc"
+    }
+
+    fn partition(&self, graph: &Graph, nparts: usize) -> Partition {
+        assert!(nparts > 0);
+        let coords = graph
+            .coords()
+            .expect("space-filling-curve partitioning needs coordinates");
+        let n = graph.num_nodes();
+        if n == 0 {
+            return Partition::new(Vec::new(), nparts);
+        }
+        // Normalise coordinates onto the curve's integer grid.
+        let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in coords {
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+            min_y = min_y.min(y);
+            max_y = max_y.max(y);
+        }
+        let side = ((1u64 << self.order) - 1) as f64;
+        let scale = |v: f64, lo: f64, hi: f64| {
+            if hi > lo {
+                ((v - lo) / (hi - lo) * side).round() as u64
+            } else {
+                0
+            }
+        };
+        let mut order: Vec<(u64, NodeId)> = graph
+            .nodes()
+            .map(|v| {
+                let (x, y) = coords[v as usize];
+                (
+                    hilbert_d(
+                        self.order,
+                        scale(x, min_x, max_x),
+                        scale(y, min_y, max_y),
+                    ),
+                    v,
+                )
+            })
+            .collect();
+        order.sort_unstable();
+        // Cut the curve into equal-weight segments.
+        let total = graph.total_vertex_weight();
+        let mut assignment = vec![0u32; n];
+        let mut part = 0u32;
+        let mut acc = 0i64;
+        for (_, v) in order {
+            let target = total * (part as i64 + 1) / nparts as i64;
+            if acc >= target && (part as usize) < nparts - 1 {
+                part += 1;
+            }
+            assignment[v as usize] = part;
+            acc += graph.vertex_weight(v);
+        }
+        Partition::new(assignment, nparts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic2_graph::generators::hex_grid;
+    use ic2_graph::metrics;
+
+    #[test]
+    fn hilbert_index_is_bijective_at_low_order() {
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                assert!(seen.insert(hilbert_d(3, x, y)), "collision at ({x},{y})");
+            }
+        }
+        assert_eq!(seen.len(), 64);
+        assert!(seen.iter().all(|&d| d < 64));
+    }
+
+    #[test]
+    fn consecutive_curve_points_are_grid_neighbors() {
+        // The Hilbert curve moves one step at a time: indices d and d+1
+        // must map to cells at Manhattan distance 1.
+        let order = 4;
+        let side = 1u64 << order;
+        let mut by_d = vec![(0u64, 0u64); (side * side) as usize];
+        for x in 0..side {
+            for y in 0..side {
+                by_d[hilbert_d(order, x, y) as usize] = (x, y);
+            }
+        }
+        for w in by_d.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            let dist = x0.abs_diff(x1) + y0.abs_diff(y1);
+            assert_eq!(dist, 1, "jump between ({x0},{y0}) and ({x1},{y1})");
+        }
+    }
+
+    #[test]
+    fn partitions_are_balanced() {
+        let g = hex_grid(16, 16);
+        for k in [2, 4, 8, 16] {
+            let p = HilbertCurve::default().partition(&g, k);
+            let imb = metrics::imbalance(&g, &p);
+            assert!(imb < 1.05, "k={k} imbalance {imb}");
+            assert!(p.counts().iter().all(|&c| c > 0));
+        }
+    }
+
+    #[test]
+    fn curve_locality_beats_round_robin_cut() {
+        let g = hex_grid(16, 16);
+        let sfc = metrics::edge_cut(&g, &HilbertCurve::default().partition(&g, 8));
+        let rr = metrics::edge_cut(&g, &crate::simple::RoundRobin.partition(&g, 8));
+        assert!(sfc * 3 < rr, "sfc {sfc} vs round-robin {rr}");
+    }
+
+    #[test]
+    fn competitive_with_bands_on_square_meshes() {
+        let g = hex_grid(32, 32);
+        let sfc = metrics::edge_cut(&g, &HilbertCurve::default().partition(&g, 16));
+        let rows = metrics::edge_cut(&g, &crate::bands::RowBand.partition(&g, 16));
+        assert!(
+            sfc <= rows,
+            "compact curve segments ({sfc}) should beat thin strips ({rows})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "coordinates")]
+    fn requires_coordinates() {
+        let g = ic2_graph::generators::thesis_random_graph(32, 0);
+        let _ = HilbertCurve::default().partition(&g, 4);
+    }
+}

@@ -1,0 +1,144 @@
+//! Baseline partitioners: round-robin, random, contiguous block.
+//!
+//! These exist to exercise the plug-in architecture and to serve as lower
+//! bounds in experiments: round-robin maximises the cut on meshes, block
+//! respects node order (which for generated grids is row-major and hence
+//! surprisingly decent).
+
+use crate::StaticPartitioner;
+use ic2_graph::{Graph, Partition};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Assign node `v` to part `v % nparts`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin;
+
+impl StaticPartitioner for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+    fn partition(&self, graph: &Graph, nparts: usize) -> Partition {
+        assert!(nparts > 0);
+        let assignment = (0..graph.num_nodes())
+            .map(|v| (v % nparts) as u32)
+            .collect();
+        Partition::new(assignment, nparts)
+    }
+}
+
+/// Uniformly random assignment, deterministic in the seed.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomPartition {
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl StaticPartitioner for RandomPartition {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+    fn partition(&self, graph: &Graph, nparts: usize) -> Partition {
+        assert!(nparts > 0);
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let assignment = (0..graph.num_nodes())
+            .map(|_| rng.gen_range(0..nparts) as u32)
+            .collect();
+        Partition::new(assignment, nparts)
+    }
+}
+
+/// Contiguous blocks of (approximately) equal *vertex weight* in node-id
+/// order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlockPartition;
+
+impl StaticPartitioner for BlockPartition {
+    fn name(&self) -> &'static str {
+        "block"
+    }
+    fn partition(&self, graph: &Graph, nparts: usize) -> Partition {
+        assert!(nparts > 0);
+        let total = graph.total_vertex_weight();
+        let mut assignment = vec![0u32; graph.num_nodes()];
+        let mut part = 0u32;
+        let mut acc = 0i64;
+        for v in graph.nodes() {
+            // Advance to the next part when this one has its fair share,
+            // keeping the last part as a catch-all.
+            let target = total * (part as i64 + 1) / nparts as i64;
+            if acc >= target && (part as usize) < nparts - 1 {
+                part += 1;
+            }
+            assignment[v as usize] = part;
+            acc += graph.vertex_weight(v);
+        }
+        Partition::new(assignment, nparts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic2_graph::generators::hex_grid;
+    use ic2_graph::metrics;
+
+    #[test]
+    fn round_robin_covers_all_parts() {
+        let g = hex_grid(4, 8);
+        let p = RoundRobin.partition(&g, 4);
+        assert_eq!(p.counts(), vec![8; 4]);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_valid() {
+        let g = hex_grid(4, 8);
+        let a = RandomPartition { seed: 1 }.partition(&g, 4);
+        let b = RandomPartition { seed: 1 }.partition(&g, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, RandomPartition { seed: 2 }.partition(&g, 4));
+    }
+
+    #[test]
+    fn block_is_balanced_on_uniform_weights() {
+        let g = hex_grid(8, 8);
+        let p = BlockPartition.partition(&g, 4);
+        assert_eq!(p.counts(), vec![16; 4]);
+        // Row-major blocks on a mesh are contiguous strips: small cut.
+        assert!(metrics::edge_cut(&g, &p) < metrics::edge_cut(&g, &RoundRobin.partition(&g, 4)));
+    }
+
+    #[test]
+    fn block_respects_vertex_weights() {
+        let mut b = ic2_graph::GraphBuilder::new(4);
+        b.edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 3)
+            .vertex_weights(vec![3, 1, 1, 1]);
+        let g = b.build();
+        let p = BlockPartition.partition(&g, 2);
+        // Node 0 alone weighs half the total; the rest go to part 1.
+        assert_eq!(p.as_slice(), &[0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn single_part_puts_everything_on_zero() {
+        let g = hex_grid(2, 2);
+        for partitioner in [
+            &RoundRobin as &dyn StaticPartitioner,
+            &BlockPartition,
+            &RandomPartition { seed: 0 },
+        ] {
+            let p = partitioner.partition(&g, 1);
+            assert!(p.as_slice().iter().all(|&x| x == 0), "{}", partitioner.name());
+        }
+    }
+
+    #[test]
+    fn more_parts_than_nodes_is_legal() {
+        let g = hex_grid(1, 2);
+        let p = RoundRobin.partition(&g, 5);
+        assert_eq!(p.num_parts(), 5);
+        assert_eq!(p.counts().iter().sum::<usize>(), 2);
+    }
+}

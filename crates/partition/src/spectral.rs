@@ -1,0 +1,240 @@
+//! Spectral bisection partitioner.
+//!
+//! The third classical family the test-bed should host besides multilevel
+//! and geometric methods: split along the sign/median of the Fiedler
+//! vector (the eigenvector of the graph Laplacian's second-smallest
+//! eigenvalue), computed by power iteration on a spectrum-shifted
+//! Laplacian with deflation of the constant vector. k-way partitions come
+//! from recursive bisection, exactly as in [`crate::metis`].
+
+use crate::StaticPartitioner;
+use ic2_graph::{Graph, GraphBuilder, NodeId, Partition};
+
+/// Recursive spectral-bisection partitioner.
+#[derive(Debug, Clone, Copy)]
+pub struct Spectral {
+    /// Power-iteration steps per bisection.
+    pub iterations: usize,
+}
+
+impl Default for Spectral {
+    fn default() -> Self {
+        Spectral { iterations: 300 }
+    }
+}
+
+/// Approximate the Fiedler vector of `graph` by power iteration on
+/// `(c·I − L)`, which maps the Laplacian's smallest eigenvalues to the
+/// largest; the constant vector (eigenvalue c) is deflated each step.
+fn fiedler_vector(graph: &Graph, iterations: usize) -> Vec<f64> {
+    let n = graph.num_nodes();
+    // Gershgorin bound: every Laplacian eigenvalue is <= 2 * max degree.
+    let shift = 2.0
+        * graph
+            .nodes()
+            .map(|v| graph.edge_weights(v).iter().sum::<i64>() as f64)
+            .fold(0.0f64, f64::max)
+        + 1.0;
+    // Deterministic, non-constant start vector.
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| (i as f64 * 0.754_877 + 0.1).sin())
+        .collect();
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iterations {
+        // Deflate the constant component, then normalise.
+        let mean = x.iter().sum::<f64>() / n as f64;
+        for v in x.iter_mut() {
+            *v -= mean;
+        }
+        let norm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm < 1e-30 {
+            // Degenerate (e.g. n == 1); bail out with what we have.
+            break;
+        }
+        for v in x.iter_mut() {
+            *v /= norm;
+        }
+        // next = (shift*I - L) x  =  shift*x - deg(x)*x + A x
+        for v in graph.nodes() {
+            let vi = v as usize;
+            let deg: f64 = graph.edge_weights(v).iter().sum::<i64>() as f64;
+            let mut acc = (shift - deg) * x[vi];
+            for (&w, &ew) in graph.neighbors(v).iter().zip(graph.edge_weights(v)) {
+                acc += ew as f64 * x[w as usize];
+            }
+            next[vi] = acc;
+        }
+        std::mem::swap(&mut x, &mut next);
+    }
+    x
+}
+
+impl StaticPartitioner for Spectral {
+    fn name(&self) -> &'static str {
+        "spectral"
+    }
+
+    fn partition(&self, graph: &Graph, nparts: usize) -> Partition {
+        assert!(nparts > 0);
+        let n = graph.num_nodes();
+        let mut assignment = vec![0u32; n];
+        if nparts > 1 && n > 0 {
+            let nodes: Vec<NodeId> = graph.nodes().collect();
+            self.split(graph, &nodes, 0, nparts, &mut assignment);
+        }
+        Partition::new(assignment, nparts)
+    }
+}
+
+impl Spectral {
+    fn split(
+        &self,
+        graph: &Graph,
+        nodes: &[NodeId],
+        first_part: u32,
+        k: usize,
+        assignment: &mut [u32],
+    ) {
+        if k == 1 || nodes.is_empty() {
+            for &v in nodes {
+                assignment[v as usize] = first_part;
+            }
+            return;
+        }
+        let k_left = k / 2;
+        // Induce the subgraph and compute its Fiedler vector.
+        let mut local = vec![u32::MAX; graph.num_nodes()];
+        for (i, &v) in nodes.iter().enumerate() {
+            local[v as usize] = i as u32;
+        }
+        let mut b = GraphBuilder::new(nodes.len());
+        let mut vwgt = Vec::with_capacity(nodes.len());
+        for (i, &v) in nodes.iter().enumerate() {
+            vwgt.push(graph.vertex_weight(v));
+            for (&w, &ew) in graph.neighbors(v).iter().zip(graph.edge_weights(v)) {
+                let lw = local[w as usize];
+                if lw != u32::MAX && (i as u32) < lw {
+                    b.weighted_edge(i as u32, lw, ew);
+                }
+            }
+        }
+        b.vertex_weights(vwgt);
+        let sub = b.build();
+        let fiedler = fiedler_vector(&sub, self.iterations);
+        // Split at the weighted median of the Fiedler values, so the left
+        // side gets k_left/k of the weight.
+        let mut order: Vec<usize> = (0..nodes.len()).collect();
+        order.sort_by(|&a, &b| {
+            fiedler[a]
+                .partial_cmp(&fiedler[b])
+                .expect("fiedler values are finite")
+                .then(a.cmp(&b))
+        });
+        let total: i64 = sub.total_vertex_weight();
+        let target = total * k_left as i64 / k as i64;
+        // Node-count floors, as in the multilevel splitter: each side must
+        // host at least one node per part it will receive (when possible).
+        let n_sub = nodes.len();
+        let ml = k_left.min(n_sub);
+        let mr = (k - k_left).min(n_sub - ml);
+        let mut acc = 0i64;
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for (pos, &i) in order.iter().enumerate() {
+            let remaining = n_sub - pos;
+            // Taking this node left must still leave `mr` nodes for the
+            // right side.
+            let take_left =
+                left.len() < ml || (acc < target && remaining > mr);
+            if take_left && remaining > mr || left.len() < ml {
+                left.push(nodes[i]);
+                acc += sub.vertex_weight(i as u32);
+            } else {
+                right.push(nodes[i]);
+            }
+        }
+        self.split(graph, &left, first_part, k_left, assignment);
+        self.split(graph, &right, first_part + k_left as u32, k - k_left, assignment);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic2_graph::generators::{hex_grid, thesis_random_graph};
+    use ic2_graph::metrics;
+
+    #[test]
+    fn fiedler_separates_two_cliques() {
+        // Two 5-cliques joined by one edge: the Fiedler vector must take
+        // opposite signs on the two cliques.
+        let mut b = GraphBuilder::new(10);
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                b.edge(i, j);
+                b.edge(i + 5, j + 5);
+            }
+        }
+        b.edge(4, 5);
+        let g = b.build();
+        let f = fiedler_vector(&g, 400);
+        let left_sign = f[0].signum();
+        for i in 0..5 {
+            assert_eq!(f[i].signum(), left_sign, "node {i}: {f:?}");
+        }
+        for i in 5..10 {
+            assert_eq!(f[i].signum(), -left_sign, "node {i}: {f:?}");
+        }
+    }
+
+    #[test]
+    fn bisection_of_two_cliques_is_clean() {
+        let mut b = GraphBuilder::new(8);
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                b.edge(i, j);
+                b.edge(i + 4, j + 4);
+            }
+        }
+        b.edge(0, 4);
+        let g = b.build();
+        let p = Spectral::default().partition(&g, 2);
+        assert_eq!(metrics::edge_cut(&g, &p), 1, "{:?}", p.as_slice());
+        assert_eq!(p.counts(), vec![4, 4]);
+    }
+
+    #[test]
+    fn mesh_partitions_are_balanced_and_local() {
+        let g = hex_grid(8, 8);
+        for k in [2, 4, 8] {
+            let p = Spectral::default().partition(&g, k);
+            let imb = metrics::imbalance(&g, &p);
+            assert!(imb <= 1.3, "k={k} imbalance {imb}: {:?}", p.counts());
+            let cut = metrics::edge_cut(&g, &p);
+            let rr = metrics::edge_cut(&g, &crate::simple::RoundRobin.partition(&g, k));
+            // No local refinement pass, so the bar is lower than Metis's.
+            assert!(cut * 10 < rr * 7, "k={k}: spectral {cut} vs rr {rr}");
+        }
+    }
+
+    #[test]
+    fn random_graphs_are_covered(/* determinism too */) {
+        let g = thesis_random_graph(64, 1);
+        let a = Spectral::default().partition(&g, 4);
+        let b = Spectral::default().partition(&g, 4);
+        assert_eq!(a, b);
+        assert!(a.counts().iter().all(|&c| c > 0), "{:?}", a.counts());
+    }
+
+    #[test]
+    fn single_node_and_single_part() {
+        let g = hex_grid(1, 1);
+        let p = Spectral::default().partition(&g, 1);
+        assert_eq!(p.as_slice(), &[0]);
+        let g2 = hex_grid(1, 2);
+        let p2 = Spectral::default().partition(&g2, 2);
+        let mut counts = p2.counts();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![1, 1]);
+    }
+}

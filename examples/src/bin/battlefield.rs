@@ -1,0 +1,64 @@
+//! The thesis's flagship application: the 32×32 battlefield management
+//! simulation, run across every static partitioning scheme of §5.3.
+//!
+//! ```text
+//! cargo run -p ic2-examples --release --bin battlefield
+//! ```
+
+use ic2_battlefield::{BattlefieldProgram, BattleStats, Scenario};
+use ic2_partition::bands::{ColumnBand, RectangularBand, RowBand};
+use ic2_partition::graycode::GrayCodeBf;
+use ic2mpi::prelude::*;
+
+fn main() {
+    let program = BattlefieldProgram::new(&Scenario::thesis());
+    let graph = program.terrain();
+    let steps = 25;
+
+    println!("32x32 battlefield, {steps} steps, 8 processors\n");
+    let partitioners: Vec<Box<dyn StaticPartitioner + Sync>> = vec![
+        Box::new(Metis::default()),
+        Box::new(GrayCodeBf),
+        Box::new(RowBand),
+        Box::new(ColumnBand),
+        Box::new(RectangularBand),
+    ];
+
+    let mut outcome = None;
+    for partitioner in &partitioners {
+        let report = run(
+            &graph,
+            &program,
+            partitioner.as_ref(),
+            || NoBalancer,
+            &RunConfig::new(8, steps),
+        );
+        let cut = ic2_graph::metrics::edge_cut(&graph, &report.initial_partition);
+        println!(
+            "  {:<12} time {:.3}s   edge-cut {cut:>5}   shadow bytes {:>9}",
+            partitioner.name(),
+            report.total_time,
+            report.comm.iter().map(|c| c.bytes_sent).sum::<u64>(),
+        );
+        // Every partitioner computes the identical battle.
+        match &outcome {
+            None => outcome = Some(report.final_data),
+            Some(prev) => assert_eq!(prev, &report.final_data, "{}", partitioner.name()),
+        }
+    }
+
+    let stats = BattleStats::from_cells(outcome.as_ref().unwrap());
+    println!("\nafter {steps} steps:");
+    println!(
+        "  red : {:>4} units, strength {:>6}, losses {}",
+        stats.units[0], stats.strength[0], stats.destroyed[0]
+    );
+    println!(
+        "  blue: {:>4} units, strength {:>6}, losses {}",
+        stats.units[1], stats.strength[1], stats.destroyed[1]
+    );
+    println!(
+        "  {} occupied cells, {} in contact, hottest cell holds {} units",
+        stats.occupied_cells, stats.contact_cells, stats.max_units_per_cell
+    );
+}
