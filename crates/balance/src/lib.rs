@@ -40,8 +40,8 @@ impl LoadReport {
         for (i, row) in self.edges.iter().enumerate() {
             assert_eq!(row.len(), n, "edge matrix column count");
             assert_eq!(row[i], 0, "diagonal must be zero");
-            for j in 0..n {
-                assert_eq!(row[j], self.edges[j][i], "edge matrix must be symmetric");
+            for (j, &e) in row.iter().enumerate() {
+                assert_eq!(e, self.edges[j][i], "edge matrix must be symmetric");
             }
         }
         n
@@ -139,7 +139,7 @@ impl DynamicBalancer for CentralizedHeuristic {
                     break;
                 }
                 // The idlest neighbour is the one `i` out-works the most.
-                if best_idle.map_or(true, |(r, _)| rel > r) {
+                if best_idle.is_none_or(|(r, _)| rel > r) {
                     best_idle = Some((rel, j));
                 }
             }
@@ -198,8 +198,7 @@ impl DynamicBalancer for Diffusion {
             if nbrs.is_empty() {
                 continue;
             }
-            let avg: f64 =
-                nbrs.iter().map(|&j| report.times[j]).sum::<f64>() / nbrs.len() as f64;
+            let avg: f64 = nbrs.iter().map(|&j| report.times[j]).sum::<f64>() / nbrs.len() as f64;
             if relative_load(report.times[i], avg) < self.threshold {
                 continue;
             }
@@ -307,6 +306,7 @@ mod tests {
         // 6-proc ring with two hot spots.
         let n = 6;
         let mut edges = vec![vec![0u64; n]; n];
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             let j = (i + 1) % n;
             edges[i][j] = 5;

@@ -2,8 +2,7 @@
 
 use crate::cell::HexCell;
 use crate::unit::Unit;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ic2_rng::SplitMix64;
 
 /// A deterministic initial battlefield: red deployed along the western
 /// columns, blue along the eastern columns, with seeded unit strengths.
@@ -53,21 +52,21 @@ impl Scenario {
             2 * self.deployment_depth <= self.cols,
             "deployment bands must not overlap"
         );
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::new(self.seed);
         let mut cells = vec![HexCell::new(); self.rows * self.cols];
         let mut next_id = 0u32;
         let place = |cells: &mut Vec<HexCell>,
-                         rng: &mut SmallRng,
-                         r: usize,
-                         c: usize,
-                         red: bool,
-                         next_id: &mut u32| {
-            let n = rng.gen_range(1..=self.max_units_per_cell);
+                     rng: &mut SplitMix64,
+                     r: usize,
+                     c: usize,
+                     red: bool,
+                     next_id: &mut u32| {
+            let n = rng.gen_range_incl(1..=self.max_units_per_cell);
             for _ in 0..n {
                 let unit = Unit::new(
                     *next_id,
-                    rng.gen_range(80..=120),
-                    rng.gen_range(8..=15),
+                    rng.gen_range_incl(80..=120) as u32,
+                    rng.gen_range_incl(8..=15) as u32,
                 );
                 *next_id += 1;
                 let cell = &mut cells[r * self.cols + c];

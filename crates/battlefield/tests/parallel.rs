@@ -1,7 +1,7 @@
 //! The battlefield simulation must run unchanged on the platform and match
 //! the sequential oracle exactly — units, strengths, positions, ledgers.
 
-use ic2_battlefield::{BattlefieldProgram, BattleStats, Scenario};
+use ic2_battlefield::{BattleStats, BattlefieldProgram, Scenario};
 use ic2mpi::prelude::*;
 use ic2mpi::seq;
 use std::time::Duration;
@@ -18,7 +18,13 @@ fn parallel_matches_sequential_battle() {
     let graph = program.terrain();
     let oracle = seq::run_sequential(&graph, &program, 10);
     for procs in [1, 2, 4, 8] {
-        let report = run(&graph, &program, &Metis::default(), || NoBalancer, &cfg(procs, 10));
+        let report = run(
+            &graph,
+            &program,
+            &Metis::default(),
+            || NoBalancer,
+            &cfg(procs, 10),
+        );
         assert_eq!(report.final_data, oracle, "{procs} procs");
     }
 }
@@ -27,7 +33,13 @@ fn parallel_matches_sequential_battle() {
 fn battle_actually_happens_in_parallel() {
     let program = BattlefieldProgram::new(&Scenario::skirmish(6, 12, 3));
     let graph = program.terrain();
-    let report = run(&graph, &program, &Metis::default(), || NoBalancer, &cfg(4, 14));
+    let report = run(
+        &graph,
+        &program,
+        &Metis::default(),
+        || NoBalancer,
+        &cfg(4, 14),
+    );
     let stats = BattleStats::from_cells(&report.final_data);
     assert!(stats.total_destroyed() > 0, "no combat occurred: {stats:?}");
     // Units never appear from nowhere.

@@ -1,79 +1,74 @@
-//! Property-based tests for the battlefield model.
+//! Randomised tests for the battlefield model, driven by the in-tree
+//! [`SplitMix64`] generator with fixed seeds (hermetic and reproducible).
 
-use ic2_battlefield::{BattlefieldProgram, BattleStats, HexCell, Scenario, Unit};
+use ic2_battlefield::{BattleStats, BattlefieldProgram, HexCell, Scenario, Unit};
+use ic2_rng::SplitMix64;
 use ic2mpi::seq;
 use mpisim::Wire;
-use proptest::prelude::*;
 
-fn arb_unit() -> impl Strategy<Value = Unit> {
-    (any::<u32>(), 1u32..500, 1u32..50).prop_map(|(id, s, a)| Unit::new(id, s, a))
-}
-
-fn arb_cell() -> impl Strategy<Value = HexCell> {
-    (
-        proptest::collection::vec(arb_unit(), 0..6),
-        proptest::collection::vec(arb_unit(), 0..6),
-        any::<u32>(),
-        any::<u32>(),
+fn arb_unit(rng: &mut SplitMix64) -> Unit {
+    Unit::new(
+        rng.next_u64() as u32,
+        rng.gen_range_incl(1..=499) as u32,
+        rng.gen_range_incl(1..=49) as u32,
     )
-        .prop_map(|(red, blue, d0, d1)| {
-            let mut c = HexCell::new();
-            c.red = red;
-            c.blue = blue;
-            c.destroyed = [d0, d1];
-            c.normalize();
-            c
-        })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn arb_cell(rng: &mut SplitMix64) -> HexCell {
+    let mut c = HexCell::new();
+    c.red = (0..rng.gen_range(0..6)).map(|_| arb_unit(rng)).collect();
+    c.blue = (0..rng.gen_range(0..6)).map(|_| arb_unit(rng)).collect();
+    c.destroyed = [rng.next_u64() as u32, rng.next_u64() as u32];
+    c.normalize();
+    c
+}
 
-    #[test]
-    fn hex_cells_roundtrip_the_wire(cell in arb_cell()) {
+#[test]
+fn hex_cells_roundtrip_the_wire() {
+    let mut rng = SplitMix64::new(0xBA771);
+    for _ in 0..64 {
+        let cell = arb_cell(&mut rng);
         let bytes = cell.to_bytes();
         let back = HexCell::from_bytes(&bytes).ok();
-        prop_assert_eq!(back.as_ref(), Some(&cell));
+        assert_eq!(back.as_ref(), Some(&cell));
     }
+}
 
-    #[test]
-    fn scenarios_place_disjoint_forces(
-        rows in 2usize..8,
-        cols in 4usize..12,
-        seed in any::<u64>(),
-    ) {
-        let s = Scenario::skirmish(rows, cols, seed);
+#[test]
+fn scenarios_place_disjoint_forces() {
+    let mut rng = SplitMix64::new(0xBA772);
+    for _ in 0..64 {
+        let rows = rng.gen_range(2..8);
+        let cols = rng.gen_range(4..12);
+        let s = Scenario::skirmish(rows, cols, rng.next_u64());
         let cells = s.generate();
-        prop_assert_eq!(cells.len(), rows * cols);
+        assert_eq!(cells.len(), rows * cols);
         for cell in &cells {
             // Nobody starts in contact.
-            prop_assert!(cell.red.is_empty() || cell.blue.is_empty());
+            assert!(cell.red.is_empty() || cell.blue.is_empty());
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    #[test]
-    fn units_conserved_for_arbitrary_scenarios(
-        rows in 2usize..6,
-        cols in 4usize..10,
-        seed in any::<u64>(),
-        steps in 1u32..10,
-    ) {
-        let program = BattlefieldProgram::new(&Scenario::skirmish(rows, cols, seed));
+#[test]
+fn units_conserved_for_arbitrary_scenarios() {
+    let mut rng = SplitMix64::new(0xBA773);
+    for _ in 0..8 {
+        let rows = rng.gen_range(2..6);
+        let cols = rng.gen_range(4..10);
+        let steps = rng.gen_range(1..10) as u32;
+        let program = BattlefieldProgram::new(&Scenario::skirmish(rows, cols, rng.next_u64()));
         let graph = program.terrain();
         let initial = BattleStats::from_cells(&seq::run_sequential(&graph, &program, 0));
         let after = BattleStats::from_cells(&seq::run_sequential(&graph, &program, steps));
         for side in 0..2 {
-            prop_assert_eq!(
+            assert_eq!(
                 after.units[side] + after.destroyed[side] as usize,
                 initial.units[side],
-                "side {} leaked units", side
+                "side {side} leaked units"
             );
             // Strength never grows.
-            prop_assert!(after.strength[side] <= initial.strength[side]);
+            assert!(after.strength[side] <= initial.strength[side]);
         }
     }
 }

@@ -1,133 +1,110 @@
-//! Ablation benches for the design choices DESIGN.md calls out. Criterion
-//! measures the simulator's real-time cost of each configuration; the
+//! Ablation benches for the design choices DESIGN.md calls out. These
+//! measure the simulator's real-time cost of each configuration; the
 //! *virtual-time* effect of each choice (what the thesis would measure) is
 //! reported by `repro ablations`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ic2_bench::harness::{bench, header};
 use ic2mpi::prelude::*;
 use ic2mpi::NodeTable;
 use std::hint::black_box;
 
 /// Figure 8 vs Figure 8a: post-communication vs overlapped exchange.
-fn ablation_overlap(c: &mut Criterion) {
+fn ablation_overlap() {
     let graph = ic2_graph::generators::hex_grid_n(64);
     let program = AvgProgram::fine();
-    let mut g = c.benchmark_group("ablation_overlap");
-    g.sample_size(10);
+    header("ablation_overlap");
     for (name, mode) in [
         ("postcomm", ExchangeMode::PostComm),
         ("overlap", ExchangeMode::Overlap),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                run(
-                    &graph,
-                    &program,
-                    &Metis::default(),
-                    || NoBalancer,
-                    &RunConfig::new(8, 20).with_exchange(mode),
-                )
-            })
+        bench(name, 10, || {
+            run(
+                &graph,
+                &program,
+                &Metis::default(),
+                || NoBalancer,
+                &RunConfig::new(8, 20).with_exchange(mode),
+            )
         });
     }
-    g.finish();
 }
 
 /// Balancer threshold sensitivity (thesis fixes 25%).
-fn ablation_threshold(c: &mut Criterion) {
+fn ablation_threshold() {
     let graph = ic2_graph::generators::hex_grid_n(64);
     let program = AvgProgram::persistent();
-    let mut g = c.benchmark_group("ablation_threshold");
-    g.sample_size(10);
+    header("ablation_threshold");
     for (name, threshold) in [("t10", 0.10), ("t25", 0.25), ("t50", 0.50)] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                run(
-                    &graph,
-                    &program,
-                    &Metis::default(),
-                    || Diffusion { threshold },
-                    &RunConfig::new(8, 25)
-                        .with_balancing(10)
-                        .with_balance_offset(5)
-                        .with_migration_batch(8)
-                        .with_migrant_policy(MigrantPolicy::LoadAware),
-                )
-            })
+        bench(name, 10, || {
+            run(
+                &graph,
+                &program,
+                &Metis::default(),
+                || Diffusion { threshold },
+                &RunConfig::new(8, 25)
+                    .with_balancing(10)
+                    .with_balance_offset(5)
+                    .with_migration_batch(8)
+                    .with_migrant_policy(MigrantPolicy::LoadAware),
+            )
         });
     }
-    g.finish();
 }
 
 /// One task per pair per round (thesis) vs multi-task batches (§7).
-fn ablation_batch(c: &mut Criterion) {
+fn ablation_batch() {
     let graph = ic2_graph::generators::hex_grid_n(64);
     let program = AvgProgram::persistent();
-    let mut g = c.benchmark_group("ablation_batch");
-    g.sample_size(10);
+    header("ablation_batch");
     for (name, batch) in [("batch1", 1u32), ("batch4", 4), ("batch12", 12)] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                run(
-                    &graph,
-                    &program,
-                    &Metis::default(),
-                    || Diffusion { threshold: 0.10 },
-                    &RunConfig::new(8, 25)
-                        .with_balancing(10)
-                        .with_balance_offset(5)
-                        .with_migration_batch(batch)
-                        .with_migrant_policy(MigrantPolicy::LoadAware),
-                )
-            })
+        bench(name, 10, || {
+            run(
+                &graph,
+                &program,
+                &Metis::default(),
+                || Diffusion { threshold: 0.10 },
+                &RunConfig::new(8, 25)
+                    .with_balancing(10)
+                    .with_balance_offset(5)
+                    .with_migration_batch(batch)
+                    .with_migrant_policy(MigrantPolicy::LoadAware),
+            )
         });
     }
-    g.finish();
 }
 
 /// The [PSC95] claim behind the thesis's hash table: bucketed access vs a
 /// linear scan of the data-node list.
-fn ablation_hashtab(c: &mut Criterion) {
+fn ablation_hashtab() {
     let n = 1024u32;
-    let mut g = c.benchmark_group("ablation_hashtab");
+    header("ablation_hashtab");
     for buckets in [1usize, 10, 64, 512] {
         let mut table = NodeTable::new(buckets);
         for id in 0..n {
             table.insert(id, id as i64);
         }
-        g.bench_function(format!("lookup_1024_buckets{buckets}"), |b| {
-            b.iter(|| {
-                let mut acc = 0i64;
-                for id in 0..n {
-                    acc += *table.get(black_box(id)).unwrap();
-                }
-                acc
-            })
+        bench(&format!("lookup_1024_buckets{buckets}"), 100, || {
+            let mut acc = 0i64;
+            for id in 0..n {
+                acc += *table.get(black_box(id)).unwrap();
+            }
+            acc
         });
     }
     // The true linear-scan baseline: an unindexed data-node list.
     let list: Vec<(u32, i64)> = (0..n).map(|id| (id, id as i64)).collect();
-    g.bench_function("lookup_1024_linear_scan", |b| {
-        b.iter(|| {
-            let mut acc = 0i64;
-            for id in 0..n {
-                acc += list
-                    .iter()
-                    .find(|(k, _)| *k == black_box(id))
-                    .unwrap()
-                    .1;
-            }
-            acc
-        })
+    bench("lookup_1024_linear_scan", 100, || {
+        let mut acc = 0i64;
+        for id in 0..n {
+            acc += list.iter().find(|(k, _)| *k == black_box(id)).unwrap().1;
+        }
+        acc
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    ablation_overlap,
-    ablation_threshold,
-    ablation_batch,
-    ablation_hashtab
-);
-criterion_main!(benches);
+fn main() {
+    ablation_overlap();
+    ablation_threshold();
+    ablation_batch();
+    ablation_hashtab();
+}

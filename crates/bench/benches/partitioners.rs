@@ -1,6 +1,6 @@
 //! Partitioner throughput on thesis-scale and larger graphs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ic2_bench::harness::{bench, header};
 use ic2_graph::generators;
 use ic2_partition::bands::{RectangularBand, RowBand};
 use ic2_partition::graycode::GrayCodeBf;
@@ -9,47 +9,44 @@ use ic2_partition::pagrid::PaGrid;
 use ic2_partition::StaticPartitioner;
 use std::hint::black_box;
 
-fn bench_partitioners(c: &mut Criterion) {
+fn bench_partitioners() {
     let battlefield = generators::hex_grid(32, 32);
     let big_random = generators::random_connected(1024, 4.0, 10, 7);
     let hex64 = generators::hex_grid_n(64);
 
-    let mut g = c.benchmark_group("partition");
-    g.sample_size(20);
-    g.bench_function("metis_hex64_k8", |b| {
-        b.iter(|| Metis::default().partition(black_box(&hex64), 8))
+    header("partition");
+    bench("metis_hex64_k8", 20, || {
+        Metis::default().partition(black_box(&hex64), 8)
     });
-    g.bench_function("metis_battlefield_k16", |b| {
-        b.iter(|| Metis::default().partition(black_box(&battlefield), 16))
+    bench("metis_battlefield_k16", 20, || {
+        Metis::default().partition(black_box(&battlefield), 16)
     });
-    g.bench_function("metis_random1024_k16", |b| {
-        b.iter(|| Metis::default().partition(black_box(&big_random), 16))
+    bench("metis_random1024_k16", 20, || {
+        Metis::default().partition(black_box(&big_random), 16)
     });
-    g.bench_function("pagrid_battlefield_k16", |b| {
-        b.iter(|| PaGrid::default().partition(black_box(&battlefield), 16))
+    bench("pagrid_battlefield_k16", 20, || {
+        PaGrid::default().partition(black_box(&battlefield), 16)
     });
-    g.bench_function("rowband_battlefield_k16", |b| {
-        b.iter(|| RowBand.partition(black_box(&battlefield), 16))
+    bench("rowband_battlefield_k16", 20, || {
+        RowBand.partition(black_box(&battlefield), 16)
     });
-    g.bench_function("rect_battlefield_k16", |b| {
-        b.iter(|| RectangularBand.partition(black_box(&battlefield), 16))
+    bench("rect_battlefield_k16", 20, || {
+        RectangularBand.partition(black_box(&battlefield), 16)
     });
-    g.bench_function("graycode_battlefield_k16", |b| {
-        b.iter(|| GrayCodeBf.partition(black_box(&battlefield), 16))
+    bench("graycode_battlefield_k16", 20, || {
+        GrayCodeBf.partition(black_box(&battlefield), 16)
     });
-    g.finish();
 }
 
-fn bench_generators(c: &mut Criterion) {
-    let mut g = c.benchmark_group("generate");
-    g.bench_function("hex_grid_32x32", |b| {
-        b.iter(|| generators::hex_grid(32, 32))
+fn bench_generators() {
+    header("generate");
+    bench("hex_grid_32x32", 100, || generators::hex_grid(32, 32));
+    bench("random_1024_deg4", 100, || {
+        generators::random_connected(1024, 4.0, 10, 7)
     });
-    g.bench_function("random_1024_deg4", |b| {
-        b.iter(|| generators::random_connected(1024, 4.0, 10, 7))
-    });
-    g.finish();
 }
 
-criterion_group!(benches, bench_partitioners, bench_generators);
-criterion_main!(benches);
+fn main() {
+    bench_partitioners();
+    bench_generators();
+}

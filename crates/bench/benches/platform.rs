@@ -1,69 +1,62 @@
 //! End-to-end platform throughput: how fast the simulator executes the
 //! thesis workloads (real time, not virtual time).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ic2_battlefield::{BattlefieldProgram, Scenario};
+use ic2_bench::harness::{bench, header};
 use ic2mpi::prelude::*;
 use ic2mpi::NodeStore;
 
-fn bench_runs(c: &mut Criterion) {
+fn bench_runs() {
     let hex64 = ic2_graph::generators::hex_grid_n(64);
     let fine = AvgProgram::fine();
-    let mut g = c.benchmark_group("platform");
-    g.sample_size(10);
-    g.bench_function("hex64_fine_20iters_8procs", |b| {
-        b.iter(|| {
-            run(
-                &hex64,
-                &fine,
-                &Metis::default(),
-                || NoBalancer,
-                &RunConfig::new(8, 20),
-            )
-        })
+    header("platform");
+    bench("hex64_fine_20iters_8procs", 10, || {
+        run(
+            &hex64,
+            &fine,
+            &Metis::default(),
+            || NoBalancer,
+            &RunConfig::new(8, 20),
+        )
     });
     let shifting = AvgProgram::shifting();
-    g.bench_function("hex64_dynamic_25iters_8procs", |b| {
-        b.iter(|| {
-            run(
-                &hex64,
-                &shifting,
-                &Metis::default(),
-                CentralizedHeuristic::default,
-                &RunConfig::new(8, 25).with_balancing(10),
-            )
-        })
+    bench("hex64_dynamic_25iters_8procs", 10, || {
+        run(
+            &hex64,
+            &shifting,
+            &Metis::default(),
+            CentralizedHeuristic::default,
+            &RunConfig::new(8, 25).with_balancing(10),
+        )
     });
     let bf = BattlefieldProgram::new(&Scenario::thesis());
     let terrain = bf.terrain();
-    g.bench_function("battlefield_5steps_8procs", |b| {
-        b.iter(|| {
-            run(
-                &terrain,
-                &bf,
-                &Metis::default(),
-                || NoBalancer,
-                &RunConfig::new(8, 5),
-            )
-        })
+    bench("battlefield_5steps_8procs", 10, || {
+        run(
+            &terrain,
+            &bf,
+            &Metis::default(),
+            || NoBalancer,
+            &RunConfig::new(8, 5),
+        )
     });
-    g.finish();
 }
 
-fn bench_store(c: &mut Criterion) {
+fn bench_store() {
     let battlefield = ic2_graph::generators::hex_grid(32, 32);
     let part = Metis::default().partition(&battlefield, 8);
     let program = AvgProgram::fine();
-    let mut g = c.benchmark_group("store");
-    g.bench_function("build_1024_nodes_8procs", |b| {
-        b.iter(|| NodeStore::build(&battlefield, &part, 0, &program, 64))
+    header("store");
+    bench("build_1024_nodes_8procs", 100, || {
+        NodeStore::build(&battlefield, &part, 0, &program, 64)
     });
     let mut store = NodeStore::build(&battlefield, &part, 0, &program, 64);
-    g.bench_function("rebuild_lists_1024", |b| {
-        b.iter(|| store.rebuild_lists(&battlefield))
+    bench("rebuild_lists_1024", 100, || {
+        store.rebuild_lists(&battlefield)
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_runs, bench_store);
-criterion_main!(benches);
+fn main() {
+    bench_runs();
+    bench_store();
+}

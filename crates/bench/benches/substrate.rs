@@ -1,7 +1,7 @@
 //! Microbenchmarks of the message-passing substrate: codec throughput,
 //! world spin-up, point-to-point and collective operations.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ic2_bench::harness::{bench, header};
 use mpisim::{Config, NetModel, Wire, World};
 use std::hint::black_box;
 
@@ -9,91 +9,77 @@ fn shadow_buffer(n: usize) -> Vec<(u32, i64)> {
     (0..n as u32).map(|i| (i, i as i64 * 31)).collect()
 }
 
-fn bench_wire(c: &mut Criterion) {
-    let mut g = c.benchmark_group("wire");
+fn bench_wire() {
+    header("wire");
     let buf = shadow_buffer(64);
-    g.bench_function("encode_shadow_buffer_64", |b| {
-        b.iter(|| black_box(&buf).to_bytes())
+    bench("encode_shadow_buffer_64", 1000, || {
+        black_box(&buf).to_bytes()
     });
     let bytes = buf.to_bytes();
-    g.bench_function("decode_shadow_buffer_64", |b| {
-        b.iter(|| Vec::<(u32, i64)>::from_bytes(black_box(&bytes)).unwrap())
+    bench("decode_shadow_buffer_64", 1000, || {
+        Vec::<(u32, i64)>::from_bytes(black_box(&bytes)).unwrap()
     });
-    g.finish();
 }
 
-fn bench_world(c: &mut Criterion) {
-    let mut g = c.benchmark_group("world");
-    g.sample_size(20);
+fn bench_world() {
+    header("world");
     let cfg = Config::virtual_time(NetModel::origin2000());
-    g.bench_function("spawn_join_8_ranks", |b| {
-        b.iter(|| World::new(cfg.clone()).run(8, |rank| rank.rank()))
+    bench("spawn_join_8_ranks", 20, || {
+        World::new(cfg.clone()).run(8, |rank| rank.rank())
     });
-    g.bench_function("ring_100_messages_4_ranks", |b| {
-        b.iter(|| {
-            World::new(cfg.clone()).run(4, |rank| {
-                let right = (rank.rank() + 1) % rank.size();
-                let left = (rank.rank() + rank.size() - 1) % rank.size();
-                let mut acc = 0u64;
-                for i in 0..100u32 {
-                    rank.send(right, i, &(i as u64));
-                    acc += rank.recv::<u64>(left, i);
-                }
-                acc
-            })
+    bench("ring_100_messages_4_ranks", 20, || {
+        World::new(cfg.clone()).run(4, |rank| {
+            let right = (rank.rank() + 1) % rank.size();
+            let left = (rank.rank() + rank.size() - 1) % rank.size();
+            let mut acc = 0u64;
+            for i in 0..100u32 {
+                rank.send(right, i, &(i as u64));
+                acc += rank.recv::<u64>(left, i);
+            }
+            acc
         })
     });
-    g.bench_function("barrier_100x_8_ranks", |b| {
-        b.iter(|| {
-            World::new(cfg.clone()).run(8, |rank| {
-                for _ in 0..100 {
-                    rank.barrier();
-                }
-            })
+    bench("barrier_100x_8_ranks", 20, || {
+        World::new(cfg.clone()).run(8, |rank| {
+            for _ in 0..100 {
+                rank.barrier();
+            }
         })
     });
-    g.bench_function("bcast_gather_50x_8_ranks", |b| {
-        b.iter(|| {
-            World::new(cfg.clone()).run(8, |rank| {
-                let mut acc = 0u64;
-                for i in 0..50u64 {
-                    let mut v = if rank.rank() == 0 { i } else { 0 };
-                    rank.bcast(0, &mut v);
-                    if let Some(all) = rank.gather(0, &v) {
-                        acc += all.iter().sum::<u64>();
-                    }
+    bench("bcast_gather_50x_8_ranks", 20, || {
+        World::new(cfg.clone()).run(8, |rank| {
+            let mut acc = 0u64;
+            for i in 0..50u64 {
+                let mut v = if rank.rank() == 0 { i } else { 0 };
+                rank.bcast(0, &mut v);
+                if let Some(all) = rank.gather(0, &v) {
+                    acc += all.iter().sum::<u64>();
                 }
-                acc
-            })
+            }
+            acc
         })
     });
-    g.finish();
 }
 
-fn bench_mailbox(c: &mut Criterion) {
-    let mut g = c.benchmark_group("selfsend");
+fn bench_mailbox() {
+    header("selfsend");
     let cfg = Config::virtual_time(NetModel::zero());
-    g.sample_size(20);
-    g.bench_function("send_recv_1000_self", |b| {
-        b.iter_batched(
-            || World::new(cfg.clone()),
-            |world| {
-                world.run(1, |rank| {
-                    for i in 0..1000u32 {
-                        rank.send(0, i % 7, &(i as u64));
-                    }
-                    let mut acc = 0u64;
-                    for i in 0..1000u32 {
-                        acc += rank.recv::<u64>(0, i % 7);
-                    }
-                    acc
-                })
-            },
-            BatchSize::SmallInput,
-        )
+    bench("send_recv_1000_self", 20, || {
+        World::new(cfg.clone()).run(1, |rank| {
+            for i in 0..1000u32 {
+                rank.send(0, i % 7, &(i as u64));
+            }
+            let mut acc = 0u64;
+            for i in 0..1000u32 {
+                acc += rank.recv::<u64>(0, i % 7);
+            }
+            acc
+        })
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_wire, bench_world, bench_mailbox);
-criterion_main!(benches);
+fn main() {
+    bench_wire();
+    bench_world();
+    bench_mailbox();
+}

@@ -492,7 +492,11 @@ pub fn ablations() -> Table {
                 .with_migration_batch(batch)
                 .with_migrant_policy(MigrantPolicy::LoadAware),
         );
-        t.row(vec![name.into(), secs(r.total_time), r.migrations.to_string()]);
+        t.row(vec![
+            name.into(),
+            secs(r.total_time),
+            r.migrations.to_string(),
+        ]);
     }
     let r = run(
         &graph,
@@ -501,16 +505,41 @@ pub fn ablations() -> Table {
         || NoBalancer,
         &w::static_cfg(8, 25),
     );
-    t.row(vec!["balance: none (static)".into(), secs(r.total_time), "0".into()]);
+    t.row(vec![
+        "balance: none (static)".into(),
+        secs(r.total_time),
+        "0".into(),
+    ]);
     t
 }
 
 /// All experiment ids in thesis order.
 pub fn all_ids() -> Vec<&'static str> {
     vec![
-        "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
-        "table10", "table11", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-        "fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "ablations",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "table6",
+        "table7",
+        "table8",
+        "table9",
+        "table10",
+        "table11",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "fig19",
+        "fig20",
+        "fig21",
+        "fig22",
+        "fig23",
+        "ablations",
     ]
 }
 

@@ -1,0 +1,78 @@
+//! A small wall-clock measurement harness for the `benches/` binaries.
+//!
+//! The workspace builds offline with no registry dependencies, so the
+//! microbenches use this plain-`Instant` harness instead of criterion:
+//! each benchmark runs a fixed number of timed samples (after a couple of
+//! warmup runs) and prints min / mean / max. No statistics beyond that —
+//! these numbers are for eyeballing regressions, not for papers.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Run `f` `samples` times (after `samples / 10 + 1` warmups) and print a
+/// one-line timing summary. The closure's result is passed through
+/// [`black_box`] so the optimiser cannot delete the work.
+pub fn bench<R>(name: &str, samples: usize, mut f: impl FnMut() -> R) {
+    assert!(samples > 0, "need at least one sample");
+    for _ in 0..samples / 10 + 1 {
+        black_box(f());
+    }
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        black_box(f());
+        times.push(start.elapsed());
+    }
+    let min = *times.iter().min().unwrap();
+    let max = *times.iter().max().unwrap();
+    let mean = times.iter().sum::<Duration>() / samples as u32;
+    println!(
+        "{name:<44} {:>12} {:>12} {:>12}  ({samples} samples)",
+        fmt(min),
+        fmt(mean),
+        fmt(max)
+    );
+}
+
+/// Print the header row matching [`bench`]'s output columns.
+pub fn header(group: &str) {
+    println!("\n== {group} ==");
+    println!(
+        "{:<44} {:>12} {:>12} {:>12}",
+        "benchmark", "min", "mean", "max"
+    );
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut calls = 0;
+        bench("noop", 3, || calls += 1);
+        // 3 samples + 1 warmup.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn durations_format_in_sane_units() {
+        assert_eq!(fmt(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(fmt(Duration::from_micros(50)), "50.0 µs");
+        assert_eq!(fmt(Duration::from_millis(50)), "50.00 ms");
+        assert_eq!(fmt(Duration::from_secs(50)), "50.00 s");
+    }
+}

@@ -3,8 +3,10 @@
 //! One function per table and figure of the thesis's evaluation
 //! (Section 5), each regenerating the artifact's rows/series on the
 //! simulated substrate. The `repro` binary dispatches on experiment id;
-//! criterion microbenches live under `benches/`.
+//! microbenches live under `benches/` and use the in-tree [`harness`]
+//! (the workspace builds offline, with no registry dependencies).
 
 pub mod experiments;
+pub mod harness;
 pub mod report;
 pub mod workloads;

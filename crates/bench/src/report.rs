@@ -71,7 +71,11 @@ impl Table {
         out.push_str(&format!("| {} |\n", self.header.join(" | ")));
         out.push_str(&format!(
             "|{}|\n",
-            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.header
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         ));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
@@ -101,12 +105,7 @@ mod tests {
 
     #[test]
     fn render_aligns_columns() {
-        let mut t = Table::new(
-            "t",
-            "demo",
-            "none",
-            vec!["a".into(), "long-header".into()],
-        );
+        let mut t = Table::new("t", "demo", "none", vec!["a".into(), "long-header".into()]);
         t.row(vec!["1".into(), "2".into()]);
         let text = t.render();
         assert!(text.contains("demo"));

@@ -70,10 +70,7 @@ pub fn run_static(graph: &Graph, program: &AvgProgram, procs: usize, iters: u32)
 
 /// Average a closure over the five random-graph seeds.
 pub fn mean_over_seeds(n: usize, mut f: impl FnMut(&Graph) -> f64) -> f64 {
-    let total: f64 = RANDOM_SEEDS
-        .iter()
-        .map(|&s| f(&random(n, s)))
-        .sum();
+    let total: f64 = RANDOM_SEEDS.iter().map(|&s| f(&random(n, s))).sum();
     total / RANDOM_SEEDS.len() as f64
 }
 

@@ -7,10 +7,7 @@ use ic2_bench::experiments;
 fn every_id_resolves_and_unknown_ids_do_not() {
     for id in experiments::all_ids() {
         // Only run the cheap ones here; existence is checked for all.
-        assert!(
-            experiments::all_ids().contains(&id),
-            "id list inconsistent"
-        );
+        assert!(experiments::all_ids().contains(&id), "id list inconsistent");
     }
     assert!(experiments::run_experiment("no-such-id").is_none());
 }

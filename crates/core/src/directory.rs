@@ -76,11 +76,7 @@ where
         if owner == me {
             by_id.insert(
                 id,
-                store
-                    .table
-                    .get(id)
-                    .expect("own node data present")
-                    .clone(),
+                store.table.get(id).expect("own node data present").clone(),
             );
         } else if !remote_owners.contains(&owner) {
             remote_owners.push(owner);

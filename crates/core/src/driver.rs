@@ -1,8 +1,10 @@
 //! The platform driver: system flow of control (thesis Figure 6).
 
 use crate::costs::CostModel;
+use crate::error::PlatformError;
 use crate::exchange;
 pub use crate::exchange::ExchangeMode;
+use crate::imbalance::StragglerDetector;
 use crate::migrate;
 use crate::program::{ComputeCtx, NodeProgram};
 use crate::store::NodeStore;
@@ -10,7 +12,7 @@ use crate::timers::{Phase, PhaseTimers};
 use ic2_balance::DynamicBalancer;
 use ic2_graph::{Graph, Partition};
 use ic2_partition::StaticPartitioner;
-use mpisim::{CommStats, World};
+use mpisim::{CommStats, FaultStats, World};
 
 /// Everything configurable about a platform run.
 #[derive(Debug, Clone)]
@@ -46,6 +48,12 @@ pub struct RunConfig {
     /// Run full store-invariant validation after every balancing round
     /// (slow; for tests).
     pub validate: bool,
+    /// Straggler detection `(threshold, patience)`: when one rank's
+    /// per-iteration compute time exceeds `threshold ×` the mean for
+    /// `patience` consecutive iterations, an emergency balancing round
+    /// runs immediately instead of waiting for the periodic trigger.
+    /// `None` (the default) keeps the thesis's purely periodic protocol.
+    pub straggler: Option<(f64, u32)>,
 }
 
 impl RunConfig {
@@ -64,6 +72,7 @@ impl RunConfig {
             migrant_policy: migrate::MigrantPolicy::MinCut,
             hash_buckets: 64,
             validate: false,
+            straggler: None,
         }
     }
 
@@ -109,6 +118,12 @@ impl RunConfig {
         self.validate = true;
         self
     }
+
+    /// Enable straggler detection (see [`RunConfig::straggler`]).
+    pub fn with_straggler_detection(mut self, threshold: f64, patience: u32) -> Self {
+        self.straggler = Some((threshold, patience));
+        self
+    }
 }
 
 /// Result of a platform run.
@@ -131,6 +146,19 @@ pub struct RunReport<D> {
     /// Owner map after the run (differs from the initial partition iff
     /// migrations happened).
     pub final_owner: Vec<u32>,
+    /// Injected-fault and recovery counters summed over all ranks (all
+    /// zero in a fault-free run).
+    pub faults: FaultStats,
+    /// Ranks that died (per the fault plan) during the run, in death
+    /// order.
+    pub ranks_died: Vec<u32>,
+    /// Tasks evacuated off dying ranks.
+    pub evacuated: usize,
+    /// Emergency balancing rounds fired by the straggler detector.
+    pub emergency_balances: usize,
+    /// Planned pair migrations abandoned because their payload was lost
+    /// despite retries.
+    pub skipped_migrations: usize,
 }
 
 impl<D> RunReport<D> {
@@ -178,10 +206,48 @@ where
     B: DynamicBalancer,
     F: Fn() -> B + Sync,
 {
-    assert!(cfg.nprocs > 0, "need at least one processor");
-    assert!(cfg.hash_buckets > 0, "need at least one hash bucket");
+    try_run(graph, program, partitioner, make_balancer, cfg)
+        .unwrap_or_else(|e| panic!("ic2mpi: {e}"))
+}
+
+/// [`run`], but configuration problems come back as a typed
+/// [`PlatformError`] instead of a panic. (A rank panic or a store-invariant
+/// violation mid-run still panics: those are platform bugs, not caller
+/// mistakes.)
+pub fn try_run<P, S, B, F>(
+    graph: &Graph,
+    program: &P,
+    partitioner: &S,
+    make_balancer: F,
+    cfg: &RunConfig,
+) -> Result<RunReport<P::Data>, PlatformError>
+where
+    P: NodeProgram,
+    S: StaticPartitioner + ?Sized,
+    B: DynamicBalancer,
+    F: Fn() -> B + Sync,
+{
+    if cfg.nprocs == 0 {
+        return Err(PlatformError::NoProcessors);
+    }
+    if cfg.hash_buckets == 0 {
+        return Err(PlatformError::NoHashBuckets);
+    }
+    if let Some((threshold, patience)) = cfg.straggler {
+        if threshold < 1.0 || threshold.is_nan() {
+            return Err(PlatformError::BadStragglerThreshold(threshold));
+        }
+        if patience == 0 {
+            return Err(PlatformError::ZeroStragglerPatience);
+        }
+    }
     let partition = partitioner.partition(graph, cfg.nprocs);
-    assert_eq!(partition.len(), graph.num_nodes());
+    if partition.len() != graph.num_nodes() {
+        return Err(PlatformError::PartitionLengthMismatch {
+            nodes: graph.num_nodes(),
+            partition: partition.len(),
+        });
+    }
     let num_nodes = graph.num_nodes();
     let world = World::new(cfg.world.clone());
 
@@ -190,6 +256,10 @@ where
         timers: PhaseTimers,
         comm: CommStats,
         migrations: usize,
+        skipped: usize,
+        evacuated: usize,
+        emergency_balances: usize,
+        ranks_died: Vec<u32>,
         gathered: Option<Vec<(u32, D)>>,
         owner: Vec<u32>,
     }
@@ -214,7 +284,20 @@ where
         let mut balancer = make_balancer();
         let mut comp_since_balance = 0.0;
         let mut migrations = 0usize;
+        let mut skipped = 0usize;
+        let mut evacuated = 0usize;
+        let mut emergency_balances = 0usize;
+        let mut ranks_died: Vec<u32> = Vec::new();
+        // Replicated failure state: which ranks have died and been
+        // evacuated. A dead rank keeps running this loop as a zombie —
+        // owning zero nodes, every phase degenerates to the collectives —
+        // so barriers and broadcasts stay aligned across the world.
+        let mut dead = vec![false; cfg.nprocs];
+        let plan_kills = cfg.world.faults.has_kills();
+        let my_kill = cfg.world.faults.kill_time(me as usize);
+        let mut detector = cfg.straggler.map(|(t, p)| StragglerDetector::new(t, p));
         for iter in 1..=cfg.iterations {
+            let mut comp_this_iter = 0.0;
             for phase in 0..program.phases() {
                 let ctx = ComputeCtx {
                     iter,
@@ -231,13 +314,57 @@ where
                     cfg.exchange,
                     &cfg.costs,
                     &mut timers,
-                    &mut comp_since_balance,
+                    &mut comp_this_iter,
                 );
             }
+            comp_since_balance += comp_this_iter;
+
+            // ---- Failure detection & evacuation (fault plans only) -----
+            if plan_kills {
+                // Cooperative fail-stop: a rank whose virtual clock passed
+                // its kill time announces the failure at the iteration
+                // boundary (shadow copies are in sync here), its tasks are
+                // evacuated to survivors, and it degenerates to a zombie.
+                let i_died = !dead[me as usize] && my_kill.is_some_and(|t| rank.wtime() >= t);
+                let announcements: Vec<bool> = rank.allgather(&i_died);
+                let newly: Vec<u32> = announcements
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &d)| d)
+                    .map(|(r, _)| r as u32)
+                    .collect();
+                for &d in &newly {
+                    dead[d as usize] = true;
+                    ranks_died.push(d);
+                }
+                for &d in &newly {
+                    evacuated += migrate::evacuate_rank(
+                        rank,
+                        graph,
+                        &mut store,
+                        d,
+                        &dead,
+                        &cfg.costs,
+                        &mut timers,
+                    );
+                }
+                if !newly.is_empty() {
+                    comp_since_balance = 0.0;
+                    store.node_load.clear();
+                    if cfg.validate {
+                        store.validate(graph).unwrap_or_else(|e| {
+                            panic!("rank {me}: post-evacuation invariant: {e}")
+                        });
+                    }
+                }
+            }
+
+            // ---- Periodic load balancing -------------------------------
+            let mut balanced_this_iter = false;
             if iter >= cfg.balance_offset.max(1)
                 && migrate::is_balance_iteration(iter - cfg.balance_offset, cfg.balance_every)
             {
-                migrations += migrate::balance_round(
+                let out = migrate::balance_round(
                     rank,
                     graph,
                     &mut store,
@@ -245,15 +372,59 @@ where
                     comp_since_balance,
                     cfg.migration_batch,
                     cfg.migrant_policy,
+                    &dead,
                     &cfg.costs,
                     &mut timers,
                 );
+                migrations += out.migrated;
+                skipped += out.skipped;
                 comp_since_balance = 0.0;
                 store.node_load.clear();
+                balanced_this_iter = true;
                 if cfg.validate {
                     store
                         .validate(graph)
                         .unwrap_or_else(|e| panic!("rank {me}: post-migration invariant: {e}"));
+                }
+            }
+
+            // ---- Straggler detection -----------------------------------
+            if let Some(det) = detector.as_mut() {
+                // Fed the same allgathered times everywhere, the strike
+                // counter is replicated: every rank reaches the identical
+                // fire/hold decision with one collective.
+                let all_times: Vec<f64> = rank.allgather(&comp_this_iter);
+                let alive: Vec<f64> = all_times
+                    .iter()
+                    .zip(&dead)
+                    .filter(|&(_, &d)| !d)
+                    .map(|(&t, _)| t)
+                    .collect();
+                let max = alive.iter().cloned().fold(0.0f64, f64::max);
+                let mean = alive.iter().sum::<f64>() / alive.len().max(1) as f64;
+                if det.observe(max, mean) && !balanced_this_iter {
+                    let out = migrate::balance_round(
+                        rank,
+                        graph,
+                        &mut store,
+                        &mut balancer,
+                        comp_since_balance,
+                        cfg.migration_batch,
+                        cfg.migrant_policy,
+                        &dead,
+                        &cfg.costs,
+                        &mut timers,
+                    );
+                    migrations += out.migrated;
+                    skipped += out.skipped;
+                    emergency_balances += 1;
+                    comp_since_balance = 0.0;
+                    store.node_load.clear();
+                    if cfg.validate {
+                        store.validate(graph).unwrap_or_else(|e| {
+                            panic!("rank {me}: post-emergency-balance invariant: {e}")
+                        });
+                    }
                 }
             }
         }
@@ -285,15 +456,27 @@ where
             timers,
             comm: rank.stats(),
             migrations,
+            skipped,
+            evacuated,
+            emergency_balances,
+            ranks_died,
             gathered,
             owner: store.owner.clone(),
         }
     });
 
-    // Assemble the report.
+    // Assemble the report. The recovery counters are replicated state, so
+    // rank 0's copy is canonical; the fault counters are per-rank and sum.
     let total_time = results.iter().map(|r| r.total).fold(0.0f64, f64::max);
     let migrations = results[0].migrations;
     debug_assert!(results.iter().all(|r| r.migrations == migrations));
+    debug_assert!(results
+        .iter()
+        .all(|r| r.ranks_died == results[0].ranks_died));
+    let mut faults = FaultStats::default();
+    for r in &results {
+        faults.merge(&r.comm.faults);
+    }
     let final_owner = results[0].owner.clone();
     let mut slots: Vec<Option<P::Data>> = (0..num_nodes).map(|_| None).collect();
     if let Some(gathered) = &results[0].gathered {
@@ -309,7 +492,7 @@ where
         .map(|(id, s)| s.unwrap_or_else(|| panic!("node {id} missing from gather")))
         .collect();
 
-    RunReport {
+    Ok(RunReport {
         total_time,
         timers: results.iter().map(|r| r.timers.clone()).collect(),
         comm: results.iter().map(|r| r.comm.clone()).collect(),
@@ -317,7 +500,12 @@ where
         final_data,
         initial_partition: partition,
         final_owner,
-    }
+        faults,
+        ranks_died: results[0].ranks_died.clone(),
+        evacuated: results[0].evacuated,
+        emergency_balances: results[0].emergency_balances,
+        skipped_migrations: results[0].skipped,
+    })
 }
 
 #[cfg(test)]
@@ -333,6 +521,7 @@ mod tests {
             .with_migration_batch(4)
             .with_migrant_policy(migrate::MigrantPolicy::LoadAware)
             .with_exchange(ExchangeMode::Overlap)
+            .with_straggler_detection(2.0, 3)
             .with_validation();
         assert_eq!(cfg.nprocs, 8);
         assert_eq!(cfg.iterations, 25);
@@ -341,6 +530,7 @@ mod tests {
         assert_eq!(cfg.migration_batch, 4);
         assert_eq!(cfg.migrant_policy, migrate::MigrantPolicy::LoadAware);
         assert_eq!(cfg.exchange, ExchangeMode::Overlap);
+        assert_eq!(cfg.straggler, Some((2.0, 3)));
         assert!(cfg.validate);
     }
 
@@ -352,6 +542,7 @@ mod tests {
         assert_eq!(cfg.migration_batch, 1);
         assert_eq!(cfg.migrant_policy, migrate::MigrantPolicy::MinCut);
         assert_eq!(cfg.exchange, ExchangeMode::PostComm);
+        assert_eq!(cfg.straggler, None);
     }
 
     #[test]
@@ -368,6 +559,11 @@ mod tests {
             final_data: Vec::new(),
             initial_partition: Partition::all_on_one(0, 1),
             final_owner: Vec::new(),
+            faults: FaultStats::default(),
+            ranks_died: Vec::new(),
+            evacuated: 0,
+            emergency_balances: 0,
+            skipped_migrations: 0,
         };
         assert_eq!(report.speedup_vs(8.0), 4.0);
         assert_eq!(report.mean_timers().get(Phase::Compute), 3.0);

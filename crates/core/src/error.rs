@@ -1,0 +1,68 @@
+//! Typed configuration errors for the platform driver.
+
+use std::fmt;
+
+/// A caller mistake [`crate::driver::try_run`] reports instead of
+/// panicking: an impossible world shape, a partition that does not cover
+/// the graph, or nonsensical recovery knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// `nprocs == 0`: the world needs at least one processor.
+    NoProcessors,
+    /// `hash_buckets == 0`: the data-node table needs at least one bucket.
+    NoHashBuckets,
+    /// The partitioner returned an assignment for the wrong number of
+    /// nodes.
+    PartitionLengthMismatch {
+        /// Nodes in the application graph.
+        nodes: usize,
+        /// Entries in the returned partition.
+        partition: usize,
+    },
+    /// A straggler threshold below 1.0 would flag every iteration.
+    BadStragglerThreshold(f64),
+    /// A straggler patience of zero could never accumulate a strike.
+    ZeroStragglerPatience,
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::NoProcessors => write!(f, "need at least one processor"),
+            PlatformError::NoHashBuckets => write!(f, "need at least one hash bucket"),
+            PlatformError::PartitionLengthMismatch { nodes, partition } => write!(
+                f,
+                "partition covers {partition} nodes but the graph has {nodes}"
+            ),
+            PlatformError::BadStragglerThreshold(t) => write!(
+                f,
+                "straggler threshold {t} is below 1.0 and would always fire"
+            ),
+            PlatformError::ZeroStragglerPatience => {
+                write!(f, "straggler patience must be at least 1 iteration")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offending_value() {
+        let e = PlatformError::PartitionLengthMismatch {
+            nodes: 64,
+            partition: 60,
+        };
+        assert_eq!(
+            e.to_string(),
+            "partition covers 60 nodes but the graph has 64"
+        );
+        assert!(PlatformError::BadStragglerThreshold(0.5)
+            .to_string()
+            .contains("0.5"));
+    }
+}

@@ -5,10 +5,14 @@ use crate::program::{ComputeCtx, NeighborData, NodeProgram};
 use crate::store::{LocalNode, NodeStore};
 use crate::timers::{Phase, PhaseTimers};
 use ic2_graph::Graph;
-use mpisim::Rank;
+use mpisim::{Rank, RetryPolicy};
 
 /// Message tag for shadow-buffer exchange.
 pub const TAG_SHADOW: u32 = 1;
+
+/// Per-destination shadow-update buffers (the thesis's array of buffer
+/// arrays, one per neighbouring processor).
+type ShadowBuffers<D> = Vec<Vec<(u32, D)>>;
 
 /// How computation and communication are sequenced each iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -42,12 +46,10 @@ pub fn step<P: NodeProgram>(
     comp_time_out: &mut f64,
 ) {
     let comp_t0 = rank.wtime();
-    // Per-destination shadow buffers (the thesis's array of buffer arrays,
-    // one per neighbouring processor).
-    let mut buffers: Vec<Vec<(u32, P::Data)>> = vec![Vec::new(); store.nprocs];
-    for p in 0..store.nprocs {
+    let mut buffers: ShadowBuffers<P::Data> = vec![Vec::new(); store.nprocs];
+    for (p, buf) in buffers.iter_mut().enumerate() {
         if store.send_counts[p] > 0 {
-            buffers[p].reserve(store.send_counts[p]);
+            buf.reserve(store.send_counts[p]);
         }
     }
 
@@ -96,7 +98,8 @@ pub fn step<P: NodeProgram>(
                 Some(&mut buffers),
             );
             send_buffers(rank, store, &buffers, timers, costs);
-            let reqs: Vec<(u32, mpisim::RecvRequest<Vec<(u32, P::Data)>>)> = store
+            type ShadowRecv<D> = (u32, mpisim::RecvRequest<Vec<(u32, D)>>);
+            let reqs: Vec<ShadowRecv<P::Data>> = store
                 .recv_procs()
                 .into_iter()
                 .map(|p| (p, rank.irecv(p as usize, TAG_SHADOW)))
@@ -147,7 +150,7 @@ fn compute_list<P: NodeProgram>(
     ctx: &ComputeCtx,
     costs: &CostModel,
     timers: &mut PhaseTimers,
-    mut buffers: Option<&mut Vec<Vec<(u32, P::Data)>>>,
+    mut buffers: Option<&mut ShadowBuffers<P::Data>>,
 ) {
     for node in list {
         // Computation overhead: form the list of the node and its
@@ -163,7 +166,10 @@ fn compute_list<P: NodeProgram>(
             .map(|&w| NeighborData {
                 id: w,
                 data: table.get(w).unwrap_or_else(|| {
-                    panic!("rank {}: no data for neighbour {w} of {}", ctx.rank, node.id)
+                    panic!(
+                        "rank {}: no data for neighbour {w} of {}",
+                        ctx.rank, node.id
+                    )
                 }),
             })
             .collect();
@@ -196,7 +202,12 @@ fn compute_list<P: NodeProgram>(
     }
 }
 
-/// `MPI_Isend` every non-empty buffer to its neighbouring processor.
+/// Send every non-empty buffer to its neighbouring processor. Shadow
+/// buffers travel reliably: a receiver that never gets its buffer would
+/// deadlock the whole BSP round, so under fault injection each lost send is
+/// retransmitted (charging the ack timeout to virtual time) and the final
+/// attempt is escalated through. Without faults this is the thesis's plain
+/// buffered `MPI_Isend`.
 fn send_buffers<D: mpisim::Wire>(
     rank: &Rank,
     store: &NodeStore<D>,
@@ -205,11 +216,10 @@ fn send_buffers<D: mpisim::Wire>(
     _costs: &CostModel,
 ) {
     let t0 = rank.wtime();
-    for p in 0..store.nprocs {
+    for (p, buf) in buffers.iter().enumerate() {
         if store.send_counts[p] > 0 {
-            debug_assert_eq!(buffers[p].len(), store.send_counts[p]);
-            let req = rank.isend(p, TAG_SHADOW, &buffers[p]);
-            req.wait(rank); // buffered send: completes immediately
+            debug_assert_eq!(buf.len(), store.send_counts[p]);
+            rank.send_reliable(p, TAG_SHADOW, buf, RetryPolicy::Escalate);
         }
     }
     timers.add(Phase::Communicate, rank.wtime() - t0);

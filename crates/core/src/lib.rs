@@ -46,6 +46,7 @@
 pub mod costs;
 pub mod directory;
 pub mod driver;
+pub mod error;
 pub mod exchange;
 pub mod hashtab;
 pub mod imbalance;
@@ -56,10 +57,11 @@ pub mod store;
 pub mod timers;
 
 pub use costs::CostModel;
-pub use driver::{run, ExchangeMode, RunConfig, RunReport};
+pub use driver::{run, try_run, ExchangeMode, RunConfig, RunReport};
+pub use error::PlatformError;
 pub use hashtab::NodeTable;
-pub use imbalance::{GrainSchedule, ShiftingWindowLoad};
-pub use migrate::MigrantPolicy;
+pub use imbalance::{GrainSchedule, ShiftingWindowLoad, StragglerDetector};
+pub use migrate::{BalanceOutcome, MigrantPolicy};
 pub use program::{AvgProgram, ComputeCtx, NeighborData, NodeProgram};
 pub use store::{LocalNode, NodeStore};
 pub use timers::{Phase, PhaseTimers};
@@ -67,8 +69,9 @@ pub use timers::{Phase, PhaseTimers};
 /// Convenient glob-import surface for applications.
 pub mod prelude {
     pub use crate::{
-        run, AvgProgram, ComputeCtx, CostModel, ExchangeMode, GrainSchedule, MigrantPolicy,
-        NeighborData, NodeProgram, RunConfig, RunReport, ShiftingWindowLoad,
+        run, try_run, AvgProgram, ComputeCtx, CostModel, ExchangeMode, GrainSchedule,
+        MigrantPolicy, NeighborData, NodeProgram, PlatformError, RunConfig, RunReport,
+        ShiftingWindowLoad,
     };
     pub use ic2_balance::{CentralizedHeuristic, Diffusion, DynamicBalancer, NoBalancer};
     pub use ic2_graph::{Graph, Partition};

@@ -26,13 +26,26 @@ use crate::store::NodeStore;
 use crate::timers::{Phase, PhaseTimers};
 use ic2_balance::{DynamicBalancer, LoadReport};
 use ic2_graph::{Graph, NodeId};
-use mpisim::Rank;
+use mpisim::{Rank, RetryPolicy};
 
 /// Message tag for migrated task data.
 pub const TAG_MIGRATE: u32 = 2;
 
+/// Message tag for evacuation payloads shipped off a dying rank.
+pub const TAG_EVACUATE: u32 = 3;
+
 /// Sentinel broadcast when a busy processor has no migratable candidate.
 const NO_CANDIDATE: u32 = u32::MAX;
+
+/// What one balancing round accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BalanceOutcome {
+    /// Tasks whose ownership actually moved.
+    pub migrated: usize,
+    /// Planned pair migrations abandoned because the payload was lost
+    /// despite retries — the round degrades instead of deadlocking.
+    pub skipped: usize,
+}
 
 /// How the busy processor picks the task to migrate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -47,7 +60,7 @@ pub enum MigrantPolicy {
     LoadAware,
 }
 
-/// Execute one balancing round; returns the number of tasks migrated.
+/// Execute one balancing round; returns what moved (and what was skipped).
 ///
 /// A round runs up to `batch` planning sub-rounds. The first sub-round is
 /// exactly the thesis's protocol: gather the runtime processor graph at the
@@ -58,6 +71,11 @@ pub enum MigrantPolicy {
 /// (per-node load = processor time / owned nodes) and the balancer re-plans
 /// against the updated processor graph, so a large imbalance drains over
 /// several tasks instead of one. `batch = 1` reproduces the thesis.
+///
+/// `dead` marks ranks that have failed and been evacuated: they are never
+/// planned as busy or idle, and their (zero) measured times are masked with
+/// the surviving mean so a dead rank does not read as an attractive
+/// migration target.
 #[allow(clippy::too_many_arguments)]
 pub fn balance_round<D, B>(
     rank: &Rank,
@@ -67,9 +85,10 @@ pub fn balance_round<D, B>(
     comp_time: f64,
     batch: u32,
     policy: MigrantPolicy,
+    dead: &[bool],
     costs: &CostModel,
     timers: &mut PhaseTimers,
-) -> usize
+) -> BalanceOutcome
 where
     D: Clone + mpisim::Wire + Send + 'static,
     B: DynamicBalancer,
@@ -79,11 +98,27 @@ where
     rank.advance(costs.lb_per_proc * nprocs as f64);
 
     // Measured execution times, replicated so every rank can update the
-    // estimates identically across sub-rounds.
+    // estimates identically across sub-rounds. Dead ranks are masked with
+    // the surviving mean: the balancer sees them as perfectly average, so
+    // it neither drains them nor feeds them.
     let mut times: Vec<f64> = rank.gather(0, &comp_time).unwrap_or_default();
     rank.bcast(0, &mut times);
+    if dead.iter().any(|&d| d) {
+        let alive: Vec<f64> = times
+            .iter()
+            .zip(dead)
+            .filter(|&(_, &d)| !d)
+            .map(|(&t, _)| t)
+            .collect();
+        let mean = alive.iter().sum::<f64>() / alive.len().max(1) as f64;
+        for (t, &d) in times.iter_mut().zip(dead) {
+            if d {
+                *t = mean;
+            }
+        }
+    }
 
-    let mut migrated = 0;
+    let mut outcome = BalanceOutcome::default();
     for _sub in 0..batch.max(1) {
         // 1. Refresh the communication-volume edges (they change as tasks
         //    move) and plan at the designated processor.
@@ -107,6 +142,7 @@ where
                 .plan(&report)
                 .into_iter()
                 .map(|p| (p.busy, p.idle))
+                .filter(|&(b, i)| !dead[b as usize] && !dead[i as usize])
                 .collect();
         }
 
@@ -133,6 +169,7 @@ where
                 continue;
             }
 
+            let mut delivered = true;
             if rank.rank() as u32 == busy {
                 // Ship the migrating node's neighbours' data: they become
                 // shadows on the idle processor, needed before its next
@@ -151,8 +188,21 @@ where
                     })
                     .collect();
                 rank.advance(costs.migrate_per_entry * payload.len() as f64);
-                rank.send(idle as usize, TAG_MIGRATE, &payload);
-            } else if rank.rank() as u32 == idle {
+                // A lost payload degrades to skipping this pair rather
+                // than committing an ownership change the idle processor
+                // can never honour.
+                delivered =
+                    rank.send_reliable(idle as usize, TAG_MIGRATE, &payload, RetryPolicy::GiveUp);
+            }
+            // Commit protocol: every rank learns whether the payload made
+            // it before anyone touches the owner map, so the replicated
+            // state never diverges.
+            rank.bcast(busy as usize, &mut delivered);
+            if !delivered {
+                outcome.skipped += 1;
+                continue;
+            }
+            if rank.rank() as u32 == idle {
                 let payload: Vec<(u32, D)> = rank.recv(busy as usize, TAG_MIGRATE);
                 rank.advance(costs.migrate_per_entry * payload.len() as f64);
                 for (id, data) in payload {
@@ -172,12 +222,7 @@ where
             let shift = if moved_load > 0.0 {
                 moved_load
             } else {
-                let busy_count = store
-                    .owner
-                    .iter()
-                    .filter(|&&p| p == busy)
-                    .count()
-                    .max(1);
+                let busy_count = store.owner.iter().filter(|&&p| p == busy).count().max(1);
                 times[busy as usize] / busy_count as f64
             };
             times[busy as usize] -= shift;
@@ -187,7 +232,7 @@ where
             // shadow_for sets and the buffer plan.
             store.owner[migrating as usize] = idle;
             store.rebuild_lists(graph);
-            migrated += 1;
+            outcome.migrated += 1;
             moved_this_sub += 1;
         }
         if moved_this_sub == 0 {
@@ -196,7 +241,123 @@ where
     }
 
     timers.add(Phase::LoadBalancing, rank.wtime() - t0);
-    migrated
+    outcome
+}
+
+/// Replicated evacuation plan for a failed rank: every node it owns is
+/// assigned to the surviving rank owning the most of its neighbours
+/// (locality first — ties go to the lowest rank), falling back to the
+/// least-loaded survivor for nodes with no surviving neighbour owner.
+/// Deterministic and computed from replicated state only, so every rank
+/// derives the identical plan without communication.
+pub fn plan_evacuation(
+    graph: &Graph,
+    owner: &[u32],
+    dead_rank: u32,
+    dead: &[bool],
+) -> Vec<(NodeId, u32)> {
+    // Running owned-node counts, updated as nodes are assigned so the
+    // least-loaded fallback spreads orphans instead of piling them up.
+    let mut load = vec![0usize; dead.len()];
+    for &p in owner {
+        load[p as usize] += 1;
+    }
+    let survivor = |p: u32| p != dead_rank && !dead[p as usize];
+    let mut plan = Vec::new();
+    for v in graph.nodes() {
+        if owner[v as usize] != dead_rank {
+            continue;
+        }
+        let mut votes = vec![0usize; dead.len()];
+        for &w in graph.neighbors(v) {
+            let p = owner[w as usize];
+            if survivor(p) {
+                votes[p as usize] += 1;
+            }
+        }
+        let by_neighbours = (0..dead.len() as u32)
+            .filter(|&p| survivor(p) && votes[p as usize] > 0)
+            .max_by_key(|&p| (votes[p as usize], std::cmp::Reverse(p)));
+        let target = by_neighbours.or_else(|| {
+            (0..dead.len() as u32)
+                .filter(|&p| survivor(p))
+                .min_by_key(|&p| (load[p as usize], p))
+        });
+        let target = target.expect("at least one rank must survive to evacuate to");
+        load[dead_rank as usize] -= 1;
+        load[target as usize] += 1;
+        plan.push((v, target));
+    }
+    plan
+}
+
+/// Evacuate every task off `dead_rank` onto survivors. Called
+/// synchronously on **all** ranks (including the dying one, which is still
+/// cooperative — see DESIGN.md's fault model) once the failure is agreed.
+/// The dying rank ships each receiving survivor the assigned nodes' data
+/// plus their neighbours' data (it holds all of it: owned data plus shadow
+/// copies, in sync at the iteration boundary); shipping uses escalated
+/// reliable sends, because evacuation must not itself be lost to the fault
+/// plan. Returns the number of nodes evacuated.
+pub fn evacuate_rank<D>(
+    rank: &Rank,
+    graph: &Graph,
+    store: &mut NodeStore<D>,
+    dead_rank: u32,
+    dead: &[bool],
+    costs: &CostModel,
+    timers: &mut PhaseTimers,
+) -> usize
+where
+    D: Clone + mpisim::Wire + Send + 'static,
+{
+    let t0 = rank.wtime();
+    let plan = plan_evacuation(graph, &store.owner, dead_rank, dead);
+    let me = rank.rank() as u32;
+
+    // Receivers in ascending order, so the point-to-point traffic pairs up
+    // deterministically on both sides.
+    let mut receivers: Vec<u32> = plan.iter().map(|&(_, p)| p).collect();
+    receivers.sort_unstable();
+    receivers.dedup();
+
+    for &s in &receivers {
+        if me == dead_rank {
+            let mut payload: Vec<(u32, D)> = Vec::new();
+            let mut packed = std::collections::HashSet::new();
+            for &(v, target) in &plan {
+                if target != s {
+                    continue;
+                }
+                for id in std::iter::once(v).chain(graph.neighbors(v).iter().copied()) {
+                    if packed.insert(id) {
+                        let data = store.table.get(id).unwrap_or_else(|| {
+                            panic!("dying rank {dead_rank} lacks data for {id}")
+                        });
+                        payload.push((id, data.clone()));
+                    }
+                }
+            }
+            rank.advance(costs.migrate_per_entry * payload.len() as f64);
+            rank.send_reliable(s as usize, TAG_EVACUATE, &payload, RetryPolicy::Escalate);
+        } else if me == s {
+            let payload: Vec<(u32, D)> = rank.recv(dead_rank as usize, TAG_EVACUATE);
+            rank.advance(costs.migrate_per_entry * payload.len() as f64);
+            for (id, data) in payload {
+                store.table.insert(id, data);
+            }
+        }
+    }
+
+    // Every rank commits the identical ownership change and re-derives its
+    // lists; the dead rank ends up owning nothing and degenerates to a
+    // zombie that only participates in collectives.
+    for &(v, target) in &plan {
+        store.owner[v as usize] = target;
+    }
+    store.rebuild_lists(graph);
+    timers.add(Phase::LoadBalancing, rank.wtime() - t0);
+    plan.len()
 }
 
 /// The thesis's `GetMigratingNode`: among the busy processor's peripheral
@@ -277,7 +438,7 @@ pub fn select_migrant<D>(
 /// trigger (`iter % every == 0`).
 pub fn is_balance_iteration(iter: u32, every: Option<u32>) -> bool {
     match every {
-        Some(e) if e > 0 => iter % e == 0,
+        Some(e) if e > 0 => iter.is_multiple_of(e),
         _ => false,
     }
 }

@@ -11,11 +11,7 @@ use ic2_graph::Graph;
 
 /// Run `iterations` time steps sequentially; returns final node data
 /// indexed by node id.
-pub fn run_sequential<P: NodeProgram>(
-    graph: &Graph,
-    program: &P,
-    iterations: u32,
-) -> Vec<P::Data> {
+pub fn run_sequential<P: NodeProgram>(graph: &Graph, program: &P, iterations: u32) -> Vec<P::Data> {
     let n = graph.num_nodes();
     let mut cur: Vec<P::Data> = graph.nodes().map(|v| program.init(v, graph)).collect();
     for iter in 1..=iterations {

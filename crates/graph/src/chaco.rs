@@ -140,7 +140,9 @@ pub fn parse(text: &str) -> Result<Graph, ChacoError> {
         node += 1;
     }
     if node != n {
-        return Err(ChacoError::Shape(format!("expected {n} node lines, got {node}")));
+        return Err(ChacoError::Shape(format!(
+            "expected {n} node lines, got {node}"
+        )));
     }
     for (&(u, v), &(w, count)) in &seen_pairs {
         if count != 2 {
@@ -218,11 +220,7 @@ pub fn read_file(path: &std::path::Path) -> Result<Graph, Box<dyn std::error::Er
 }
 
 /// Write a Chaco graph to a file.
-pub fn write_file(
-    graph: &Graph,
-    fmt: u8,
-    path: &std::path::Path,
-) -> Result<(), std::io::Error> {
+pub fn write_file(graph: &Graph, fmt: u8, path: &std::path::Path) -> Result<(), std::io::Error> {
     std::fs::write(path, render(graph, fmt))
 }
 
@@ -275,7 +273,10 @@ mod tests {
     fn rejects_bad_headers() {
         assert!(matches!(parse(""), Err(ChacoError::BadHeader(_))));
         assert!(matches!(parse("1\n"), Err(ChacoError::BadHeader(_))));
-        assert!(matches!(parse("2 1 7\n2\n1\n"), Err(ChacoError::BadHeader(_))));
+        assert!(matches!(
+            parse("2 1 7\n2\n1\n"),
+            Err(ChacoError::BadHeader(_))
+        ));
     }
 
     #[test]
@@ -304,8 +305,14 @@ mod tests {
 
     #[test]
     fn rejects_out_of_range_neighbor_and_self_loop() {
-        assert!(matches!(parse("2 1\n3\n1\n"), Err(ChacoError::Structure(_))));
-        assert!(matches!(parse("2 1\n1\n2\n"), Err(ChacoError::Structure(_))));
+        assert!(matches!(
+            parse("2 1\n3\n1\n"),
+            Err(ChacoError::Structure(_))
+        ));
+        assert!(matches!(
+            parse("2 1\n1\n2\n"),
+            Err(ChacoError::Structure(_))
+        ));
     }
 
     #[test]

@@ -1,8 +1,7 @@
 //! Deterministic workload generators for every graph the thesis evaluates.
 
 use crate::graph::{Graph, GraphBuilder, NodeId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ic2_rng::SplitMix64;
 
 /// A hexagonal grid of `rows × cols` cells in "odd-r" offset layout: every
 /// interior cell has six neighbours (E, W, NE, NW, SE, SW). This is the
@@ -69,7 +68,7 @@ fn squarish_dims(n: usize) -> (usize, usize) {
     let mut best = (1, n);
     let mut r = 1;
     while r * r <= n {
-        if n % r == 0 {
+        if n.is_multiple_of(r) {
             best = (r, n / r);
         }
         r += 1;
@@ -88,7 +87,7 @@ fn squarish_dims(n: usize) -> (usize, usize) {
 pub fn random_connected(n: usize, avg_degree: f64, max_degree: usize, seed: u64) -> Graph {
     assert!(n > 0, "graph needs at least one node");
     assert!(max_degree >= 2 || n <= 2, "degree cap too small to connect");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut degree = vec![0usize; n];
     let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
     let mut has_edge = std::collections::HashSet::new();
@@ -96,10 +95,7 @@ pub fn random_connected(n: usize, avg_degree: f64, max_degree: usize, seed: u64)
     // Random spanning tree: attach each node (in shuffled order) to a
     // uniformly random, not-yet-saturated earlier node.
     let mut order: Vec<usize> = (0..n).collect();
-    for i in (1..n).rev() {
-        let j = rng.gen_range(0..=i);
-        order.swap(i, j);
-    }
+    rng.shuffle(&mut order);
     for i in 1..n {
         // Candidates: previously placed nodes with spare degree.
         let candidates: Vec<usize> = order[..i]
@@ -107,8 +103,13 @@ pub fn random_connected(n: usize, avg_degree: f64, max_degree: usize, seed: u64)
             .copied()
             .filter(|&v| degree[v] < max_degree)
             .collect();
-        let parent = candidates[rng.gen_range(0..candidates.len())];
-        let (u, v) = (order[i].min(parent) as NodeId, order[i].max(parent) as NodeId);
+        let parent = *rng
+            .choose(&candidates)
+            .expect("tree always has a candidate");
+        let (u, v) = (
+            order[i].min(parent) as NodeId,
+            order[i].max(parent) as NodeId,
+        );
         has_edge.insert((u, v));
         edges.push((u, v));
         degree[order[i]] += 1;
@@ -174,7 +175,7 @@ mod tests {
         assert_eq!(g.validate(), Ok(()));
         assert!(g.max_degree() <= 6);
         // Interior cells have exactly 6 neighbours.
-        let interior_deg = g.degree(1 * 8 + 4);
+        let interior_deg = g.degree(8 + 4); // row 1, col 4
         assert_eq!(interior_deg, 6);
         assert!(g.coords().is_some());
     }

@@ -65,9 +65,7 @@ impl Graph {
     /// Weight of the edge `(u, v)`, if present.
     pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<i64> {
         let nbrs = self.neighbors(u);
-        nbrs.binary_search(&v)
-            .ok()
-            .map(|i| self.edge_weights(u)[i])
+        nbrs.binary_search(&v).ok().map(|i| self.edge_weights(u)[i])
     }
 
     /// Whether `(u, v)` is an edge.
@@ -161,9 +159,7 @@ impl Graph {
                 match self.edge_weight(w, v) {
                     Some(back) if back == ew => {}
                     Some(back) => {
-                        return Err(format!(
-                            "edge ({v},{w}): asymmetric weights {ew} vs {back}"
-                        ))
+                        return Err(format!("edge ({v},{w}): asymmetric weights {ew} vs {back}"))
                     }
                     None => return Err(format!("edge ({v},{w}) missing reverse direction")),
                 }

@@ -1,117 +1,146 @@
-//! Property-based tests for the graph substrate.
+//! Randomised tests for the graph substrate, driven by the in-tree
+//! [`SplitMix64`] generator with fixed seeds (hermetic and reproducible).
 
 use ic2_graph::{chaco, generators, metrics, Graph, GraphBuilder, Partition};
-use proptest::prelude::*;
+use ic2_rng::SplitMix64;
 
-/// Strategy: a connected random graph plus a valid partition of it.
-fn graph_and_partition() -> impl Strategy<Value = (Graph, Partition)> {
-    (2usize..40, 1usize..6, any::<u64>()).prop_flat_map(|(n, k, seed)| {
-        let g = generators::random_connected(n, 3.0, 10, seed);
-        let parts = proptest::collection::vec(0..k as u32, n);
-        (Just(g), parts, Just(k))
-            .prop_map(|(g, assign, k)| (g, Partition::new(assign, k)))
-    })
+/// A connected random graph plus a valid partition of it.
+fn graph_and_partition(rng: &mut SplitMix64) -> (Graph, Partition) {
+    let n = rng.gen_range(2..40);
+    let k = rng.gen_range(1..6);
+    let g = generators::random_connected(n, 3.0, 10, rng.next_u64());
+    let assign: Vec<u32> = (0..n).map(|_| rng.gen_range(0..k) as u32).collect();
+    (g, Partition::new(assign, k))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn generated_graphs_always_validate(
-        n in 1usize..60,
-        deg in 2.0f64..6.0,
-        seed in any::<u64>(),
-    ) {
-        let g = generators::random_connected(n, deg, 10, seed);
-        prop_assert_eq!(g.validate(), Ok(()));
-        prop_assert!(g.is_connected());
-        prop_assert!(g.max_degree() <= 10);
-        prop_assert_eq!(g.num_nodes(), n);
+#[test]
+fn generated_graphs_always_validate() {
+    let mut rng = SplitMix64::new(0x6A1);
+    for _ in 0..64 {
+        let n = rng.gen_range(1..60);
+        let deg = 2.0 + 4.0 * rng.next_f64();
+        let g = generators::random_connected(n, deg, 10, rng.next_u64());
+        assert_eq!(g.validate(), Ok(()));
+        assert!(g.is_connected());
+        assert!(g.max_degree() <= 10);
+        assert_eq!(g.num_nodes(), n);
     }
+}
 
-    #[test]
-    fn hex_grids_always_validate(rows in 1usize..10, cols in 1usize..10) {
-        let g = generators::hex_grid(rows, cols);
-        prop_assert_eq!(g.validate(), Ok(()));
-        prop_assert!(g.is_connected());
-        prop_assert!(g.max_degree() <= 6);
-    }
-
-    #[test]
-    fn chaco_roundtrip_any_graph(n in 2usize..40, seed in any::<u64>(), fmt in prop_oneof![Just(0u8), Just(1), Just(10), Just(11)]) {
-        let g = generators::random_connected(n, 3.0, 10, seed);
-        let text = chaco::render(&g, fmt);
-        let back = chaco::parse(&text).unwrap();
-        prop_assert_eq!(back.num_nodes(), g.num_nodes());
-        prop_assert_eq!(back.num_edges(), g.num_edges());
-        for v in g.nodes() {
-            prop_assert_eq!(back.neighbors(v), g.neighbors(v));
+#[test]
+fn hex_grids_always_validate() {
+    for rows in 1..10 {
+        for cols in 1..10 {
+            let g = generators::hex_grid(rows, cols);
+            assert_eq!(g.validate(), Ok(()));
+            assert!(g.is_connected());
+            assert!(g.max_degree() <= 6);
         }
     }
+}
 
-    #[test]
-    fn edge_cut_is_bounded_and_zero_for_trivial((g, p) in graph_and_partition()) {
+#[test]
+fn chaco_roundtrip_any_graph() {
+    let mut rng = SplitMix64::new(0x6A2);
+    for _ in 0..64 {
+        let n = rng.gen_range(2..40);
+        let g = generators::random_connected(n, 3.0, 10, rng.next_u64());
+        let fmt = *rng.choose(&[0u8, 1, 10, 11]).unwrap();
+        let text = chaco::render(&g, fmt);
+        let back = chaco::parse(&text).unwrap();
+        assert_eq!(back.num_nodes(), g.num_nodes());
+        assert_eq!(back.num_edges(), g.num_edges());
+        for v in g.nodes() {
+            assert_eq!(back.neighbors(v), g.neighbors(v));
+        }
+    }
+}
+
+#[test]
+fn edge_cut_is_bounded_and_zero_for_trivial() {
+    let mut rng = SplitMix64::new(0x6A3);
+    for _ in 0..64 {
+        let (g, p) = graph_and_partition(&mut rng);
         let cut = metrics::edge_cut(&g, &p);
         let total: i64 = g.edges().map(|(_, _, w)| w).sum();
-        prop_assert!(cut >= 0);
-        prop_assert!(cut <= total);
+        assert!(cut >= 0);
+        assert!(cut <= total);
         let trivial = Partition::all_on_one(g.num_nodes(), p.num_parts());
-        prop_assert_eq!(metrics::edge_cut(&g, &trivial), 0);
+        assert_eq!(metrics::edge_cut(&g, &trivial), 0);
     }
+}
 
-    #[test]
-    fn move_gain_predicts_cut_change((g, p) in graph_and_partition()) {
+#[test]
+fn move_gain_predicts_cut_change() {
+    let mut rng = SplitMix64::new(0x6A4);
+    for _ in 0..64 {
+        let (g, p) = graph_and_partition(&mut rng);
         let before = metrics::edge_cut(&g, &p);
         for v in g.nodes().take(5) {
             for to in 0..p.num_parts() as u32 {
                 let mut moved = p.clone();
                 moved.assign(v, to);
-                prop_assert_eq!(
+                assert_eq!(
                     metrics::edge_cut(&g, &moved) - before,
                     metrics::move_gain(&g, &p, v, to)
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn comm_matrix_row_sums_equal_comm_volume((g, p) in graph_and_partition()) {
+#[test]
+fn comm_matrix_row_sums_equal_comm_volume() {
+    let mut rng = SplitMix64::new(0x6A5);
+    for _ in 0..64 {
+        let (g, p) = graph_and_partition(&mut rng);
         let matrix = metrics::comm_matrix(&g, &p);
         let total: usize = matrix.iter().flatten().sum();
-        prop_assert_eq!(total, metrics::comm_volume(&g, &p));
+        assert_eq!(total, metrics::comm_volume(&g, &p));
     }
+}
 
-    #[test]
-    fn boundary_nodes_zero_iff_cut_zero((g, p) in graph_and_partition()) {
+#[test]
+fn boundary_nodes_zero_iff_cut_zero() {
+    let mut rng = SplitMix64::new(0x6A6);
+    for _ in 0..64 {
+        let (g, p) = graph_and_partition(&mut rng);
         let cut = metrics::edge_cut(&g, &p);
         let boundary = metrics::boundary_nodes(&g, &p);
-        prop_assert_eq!(cut == 0, boundary == 0);
+        assert_eq!(cut == 0, boundary == 0);
     }
+}
 
-    #[test]
-    fn loads_sum_to_total_weight((g, p) in graph_and_partition()) {
+#[test]
+fn loads_sum_to_total_weight() {
+    let mut rng = SplitMix64::new(0x6A7);
+    for _ in 0..64 {
+        let (g, p) = graph_and_partition(&mut rng);
         let loads = p.loads(&g);
-        prop_assert_eq!(loads.iter().sum::<i64>(), g.total_vertex_weight());
+        assert_eq!(loads.iter().sum::<i64>(), g.total_vertex_weight());
     }
+}
 
-    #[test]
-    fn builder_neighbors_are_sorted_and_symmetric(
-        n in 2usize..30,
-        edges in proptest::collection::vec((0u32..30, 0u32..30), 1..60),
-    ) {
+#[test]
+fn builder_neighbors_are_sorted_and_symmetric() {
+    let mut rng = SplitMix64::new(0x6A8);
+    for _ in 0..64 {
+        let n = rng.gen_range(2..30);
+        let num_edges = rng.gen_range(1..60);
         let mut b = GraphBuilder::new(n);
         let mut seen = std::collections::HashSet::new();
-        for (u, v) in edges {
-            let (u, v) = (u % n as u32, v % n as u32);
+        for _ in 0..num_edges {
+            let u = rng.gen_range(0..n) as u32;
+            let v = rng.gen_range(0..n) as u32;
             if u != v && seen.insert((u.min(v), u.max(v))) {
                 b.edge(u.min(v), u.max(v));
             }
         }
         let g = b.build();
-        prop_assert_eq!(g.validate(), Ok(()));
+        assert_eq!(g.validate(), Ok(()));
         for v in g.nodes() {
             let nbrs = g.neighbors(v);
-            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
+            assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
         }
     }
 }

@@ -5,8 +5,9 @@ use crate::net::TimingMode;
 use crate::request::{RecvRequest, SendRequest};
 use crate::stats::CommStats;
 use crate::wire::Wire;
-use crate::world::Shared;
+use crate::world::{BlockedOp, Config, Shared};
 use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::marker::PhantomData;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -19,6 +20,16 @@ pub type Tag = u32;
 
 /// Wildcard source for [`Rank::recv_any`] (`MPI_ANY_SOURCE`).
 pub const ANY_SOURCE: Option<usize> = None;
+
+/// What [`Rank::send_reliable`] does when every retransmission is lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryPolicy {
+    /// Force the final attempt through (models an out-of-band recovery
+    /// path). Use for traffic the protocol cannot make progress without.
+    Escalate,
+    /// Report the loss to the caller, who must degrade gracefully.
+    GiveUp,
+}
 
 /// One rank's endpoint into the simulated world — the analogue of an
 /// `MPI_Comm` plus the rank's identity.
@@ -34,10 +45,20 @@ pub struct Rank {
     coll_seq: Cell<i64>,
     stats: RefCell<CommStats>,
     epoch: Instant,
+    /// Per-(dest, tag) sequence counters for fault-aware sends. Only
+    /// touched when message faults are active, so the map stays bounded
+    /// by the set of live user tags.
+    send_seq: RefCell<HashMap<(usize, i64), u64>>,
+    /// Cached [`crate::FaultPlan::message_faults`] for the hot send path.
+    msg_faults: bool,
+    /// Cached straggler multiplier for [`advance`](Self::advance).
+    compute_factor: f64,
 }
 
 impl Rank {
     pub(crate) fn new(id: usize, n: usize, shared: Arc<Shared>, epoch: Instant) -> Self {
+        let msg_faults = shared.cfg.faults.message_faults();
+        let compute_factor = shared.cfg.faults.compute_factor(id);
         Rank {
             id,
             n,
@@ -46,6 +67,9 @@ impl Rank {
             coll_seq: Cell::new(0),
             stats: RefCell::new(CommStats::new(n)),
             epoch,
+            send_seq: RefCell::new(HashMap::new()),
+            msg_faults,
+            compute_factor,
         }
     }
 
@@ -57,6 +81,12 @@ impl Rank {
     /// Number of ranks in the world (`MPI_Comm_size`).
     pub fn size(&self) -> usize {
         self.n
+    }
+
+    /// The configuration this rank's world runs with (timing model,
+    /// watchdog, fault plan).
+    pub fn config(&self) -> &Config {
+        &self.shared.cfg
     }
 
     /// Current time in seconds (`MPI_Wtime`): the virtual clock in
@@ -72,9 +102,10 @@ impl Rank {
     ///
     /// In virtual mode this advances the clock; in real mode it busy-spins
     /// (the thesis injects grain sizes with a dummy `for` loop — this is
-    /// that loop).
+    /// that loop). A straggler fault multiplies the charge.
     pub fn advance(&self, seconds: f64) {
         debug_assert!(seconds >= 0.0, "cannot advance time backwards");
+        let seconds = seconds * self.compute_factor;
         match self.shared.cfg.timing {
             TimingMode::Virtual(_) => self.clock.set(self.clock.get() + seconds),
             TimingMode::Real => {
@@ -86,15 +117,21 @@ impl Rank {
         }
     }
 
-    /// Snapshot of this rank's communication counters.
+    /// Snapshot of this rank's communication counters, including
+    /// receiver-side fault bookkeeping.
     pub fn stats(&self) -> CommStats {
-        self.stats.borrow().clone()
+        let mut s = self.stats.borrow().clone();
+        s.faults.stale_discarded = self.shared.mailboxes[self.id].stale_discarded();
+        s
     }
 
     // ---- point to point -------------------------------------------------
 
     /// Buffered send (`MPI_Send`/`MPI_Isend` with buffering): copies the
     /// encoded payload into `dest`'s mailbox and returns immediately.
+    ///
+    /// Under an active fault plan this is the *unreliable* datagram path:
+    /// the message may be dropped, delayed, duplicated or reordered.
     pub fn send<T: Wire>(&self, dest: usize, tag: Tag, value: &T) {
         self.send_tagged(dest, tag as i64, value);
     }
@@ -104,6 +141,48 @@ impl Rank {
     pub fn isend<T: Wire>(&self, dest: usize, tag: Tag, value: &T) -> SendRequest {
         self.send_tagged(dest, tag as i64, value);
         SendRequest { _private: () }
+    }
+
+    /// Reliable send: retransmit on (simulated) ack timeout, up to the
+    /// fault plan's retry budget. Every lost attempt charges the plan's
+    /// `retry_timeout` to this rank's virtual clock and counts a retry.
+    ///
+    /// Returns `true` once an attempt is delivered. With
+    /// [`RetryPolicy::GiveUp`] the send can return `false` (all attempts
+    /// lost); with [`RetryPolicy::Escalate`] the final attempt is forced
+    /// through, so the send always succeeds eventually.
+    ///
+    /// Without message faults this is exactly [`send`](Self::send).
+    pub fn send_reliable<T: Wire>(
+        &self,
+        dest: usize,
+        tag: Tag,
+        value: &T,
+        policy: RetryPolicy,
+    ) -> bool {
+        let t = tag as i64;
+        let bytes = value.to_bytes();
+        if !self.msg_faults {
+            self.transmit(dest, t, 0, 0, bytes, false);
+            return true;
+        }
+        let seq = self.alloc_seq(dest, t);
+        let max = self.shared.cfg.faults.max_retries;
+        for attempt in 0..=max {
+            let force = attempt == max && policy == RetryPolicy::Escalate;
+            if self.transmit(dest, t, seq, attempt, bytes.clone(), force) {
+                return true;
+            }
+            // Lost: we waited a full ack timeout before concluding that.
+            if let TimingMode::Virtual(_) = self.shared.cfg.timing {
+                self.clock
+                    .set(self.clock.get() + self.shared.cfg.faults.retry_timeout);
+            }
+            if attempt < max {
+                self.stats.borrow_mut().faults.retries += 1;
+            }
+        }
+        false
     }
 
     /// Blocking receive from a specific source (`MPI_Recv`).
@@ -147,15 +226,27 @@ impl Rank {
     // Every rank must call each collective in the same order (the standard
     // MPI requirement); an internal per-rank sequence number keyed to the
     // negative tag space keeps successive collectives from interfering.
+    // Collective traffic is never faulted: it models a reliable control
+    // plane (see the `faults` module).
 
     /// Barrier (`MPI_Barrier`): blocks until all ranks arrive; in virtual
     /// mode every clock is synchronised to the maximum plus the model's
     /// barrier cost.
     pub fn barrier(&self) {
         self.stats.borrow_mut().barriers += 1;
+        self.shared.set_blocked(
+            self.id,
+            Some(BlockedOp {
+                what: "barrier",
+                src: None,
+                tag: None,
+                vtime: self.clock.get(),
+            }),
+        );
         let synced = self.shared.barrier.wait(self.n, self.clock.get(), || {
             self.check_poison();
         });
+        self.shared.set_blocked(self.id, None);
         if let TimingMode::Virtual(net) = self.shared.cfg.timing {
             self.clock.set(synced + net.barrier_cost);
         }
@@ -293,29 +384,97 @@ impl Rank {
         -1 - seq
     }
 
+    /// Next sequence number for the `(dest, tag)` stream. Always 0 when
+    /// message faults are off (receivers then don't reorder by sequence,
+    /// so numbering would be wasted work).
+    fn alloc_seq(&self, dest: usize, tag: i64) -> u64 {
+        if !self.msg_faults || tag < 0 {
+            return 0;
+        }
+        let mut map = self.send_seq.borrow_mut();
+        let ctr = map.entry((dest, tag)).or_insert(0);
+        let seq = *ctr;
+        *ctr += 1;
+        seq
+    }
+
     fn send_tagged<T: Wire>(&self, dest: usize, tag: i64, value: &T) {
+        let bytes = value.to_bytes();
+        let seq = self.alloc_seq(dest, tag);
+        self.transmit(dest, tag, seq, 0, bytes, false);
+    }
+
+    /// Charge the send cost, consult the fault plan, and (maybe) deposit
+    /// the message. Returns whether the message was delivered. `force`
+    /// overrides a drop decision ([`RetryPolicy::Escalate`]'s last resort).
+    fn transmit(
+        &self,
+        dest: usize,
+        tag: i64,
+        seq: u64,
+        attempt: u32,
+        bytes: Vec<u8>,
+        force: bool,
+    ) -> bool {
         assert!(
             dest < self.n,
             "rank {}: send to invalid destination {dest} (world size {})",
             self.id,
             self.n
         );
-        let bytes = value.to_bytes();
-        let arrival = match self.shared.cfg.timing {
+        let len = bytes.len();
+        let mut arrival = match self.shared.cfg.timing {
             TimingMode::Virtual(net) => {
                 let clock = self.clock.get() + net.send_overhead;
                 self.clock.set(clock);
-                net.arrival(clock, bytes.len())
+                net.arrival(clock, len)
             }
             TimingMode::Real => 0.0,
         };
-        self.stats.borrow_mut().on_send(dest, bytes.len());
-        self.shared.mailboxes[dest].deliver(Envelope {
-            src: self.id,
-            tag,
-            arrival,
-            bytes,
-        });
+        self.stats.borrow_mut().on_send(dest, len);
+        let plan = &self.shared.cfg.faults;
+        let decision = plan.decide(self.id, dest, tag, seq, attempt);
+        if decision.dropped {
+            if !force {
+                self.stats.borrow_mut().faults.dropped += 1;
+                return false;
+            }
+            self.stats.borrow_mut().faults.escalations += 1;
+        }
+        if decision.delayed {
+            self.stats.borrow_mut().faults.delayed += 1;
+            arrival += plan.delay_seconds;
+        }
+        if decision.duplicated {
+            // The copy is byte- and time-identical to the original, so the
+            // receiver's dedup sees exactly one of them whichever is
+            // scanned first — determinism is preserved for free.
+            self.stats.borrow_mut().faults.duplicated += 1;
+            self.shared.mailboxes[dest].deliver(
+                Envelope {
+                    src: self.id,
+                    tag,
+                    arrival,
+                    seq,
+                    bytes: bytes.clone(),
+                },
+                false,
+            );
+        }
+        if decision.reordered {
+            self.stats.borrow_mut().faults.reordered += 1;
+        }
+        self.shared.mailboxes[dest].deliver(
+            Envelope {
+                src: self.id,
+                tag,
+                arrival,
+                seq,
+                bytes,
+            },
+            decision.reordered,
+        );
+        true
     }
 
     pub(crate) fn complete_recv<T: Wire>(&self, pattern: Pattern) -> T {
@@ -323,25 +482,38 @@ impl Rank {
     }
 
     pub(crate) fn complete_recv_with_source<T: Wire>(&self, pattern: Pattern) -> (usize, T) {
+        // Under message faults, user-tag receives go through the ordered
+        // path: lowest sequence number first, duplicates discarded.
+        let ordered = self.msg_faults && pattern.tag >= 0;
+        self.shared.set_blocked(
+            self.id,
+            Some(BlockedOp {
+                what: "recv",
+                src: pattern.src,
+                tag: Some(pattern.tag),
+                vtime: self.clock.get(),
+            }),
+        );
         let deadline = Instant::now() + self.shared.cfg.watchdog;
         let env = loop {
             self.check_poison();
-            let slice = Duration::from_millis(50)
-                .min(deadline.saturating_duration_since(Instant::now()));
-            if let Some(env) = self.shared.mailboxes[self.id].recv(pattern, slice) {
+            let slice =
+                Duration::from_millis(50).min(deadline.saturating_duration_since(Instant::now()));
+            if let Some(env) = self.shared.mailboxes[self.id].recv(pattern, slice, ordered) {
                 break env;
             }
             if Instant::now() >= deadline {
                 panic!(
                     "rank {}: receive matching {:?} timed out after {:?} (likely deadlock); \
-                     mailbox holds {:?}",
+                     world state:\n{}",
                     self.id,
                     pattern,
                     self.shared.cfg.watchdog,
-                    self.shared.mailboxes[self.id].pending()
+                    self.shared.deadlock_report()
                 );
             }
         };
+        self.shared.set_blocked(self.id, None);
         if let TimingMode::Virtual(net) = self.shared.cfg.timing {
             let clock = self.clock.get().max(env.arrival) + net.recv_overhead;
             self.clock.set(clock);
@@ -365,10 +537,7 @@ impl Rank {
 
     fn check_poison(&self) {
         if self.shared.poisoned.load(Ordering::Relaxed) {
-            panic!(
-                "rank {}: aborting because another rank panicked",
-                self.id
-            );
+            panic!("rank {}: aborting because another rank panicked", self.id);
         }
     }
 }

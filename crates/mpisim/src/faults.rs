@@ -1,0 +1,311 @@
+//! Deterministic fault injection ("chaos mode") for the simulated network.
+//!
+//! A [`FaultPlan`] describes which messages misbehave and which ranks are
+//! slow or doomed. Every per-message decision is a pure hash of the
+//! message's identity — `(seed, src, dest, tag, sequence number, attempt)`
+//! — via [`mix64`], **never** a shared mutable RNG. That makes the plan
+//! independent of thread interleaving: the same seed and plan produce the
+//! same faults on every run, no matter how the OS schedules the rank
+//! threads. All fault costs (delays, retry timeouts, straggler slowdowns)
+//! are charged through the virtual clock, so a chaos run is exactly as
+//! reproducible as a clean one.
+//!
+//! Faults apply only to *data-plane* traffic (non-negative user tags).
+//! Collectives use the negative tag space and model a reliable control
+//! plane: dropping a broadcast fragment would deadlock the binomial tree,
+//! which is a failure mode of the transport model, not of the application
+//! under test.
+
+use ic2_rng::mix64;
+
+/// What the fault plan decided for one transmission attempt.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultDecision {
+    /// The message is silently lost (sender is still charged for sending).
+    pub dropped: bool,
+    /// The message arrives [`FaultPlan::delay_seconds`] late.
+    pub delayed: bool,
+    /// A second, identical copy is delivered.
+    pub duplicated: bool,
+    /// The message is delivered at the *front* of the receiver's queue,
+    /// overtaking earlier traffic.
+    pub reordered: bool,
+}
+
+/// A seeded, deterministic schedule of network and process faults.
+///
+/// The default plan is a no-op. Build one with the `with_*` methods:
+///
+/// ```
+/// use mpisim::FaultPlan;
+/// let plan = FaultPlan::new(42)
+///     .with_drop(0.05)
+///     .with_delay(0.10, 2e-3)
+///     .with_straggler(1, 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every per-message hash decision.
+    pub seed: u64,
+    /// Probability a data message is dropped.
+    pub drop_prob: f64,
+    /// Probability a data message is delayed.
+    pub delay_prob: f64,
+    /// Extra virtual latency added to a delayed message, in seconds.
+    pub delay_seconds: f64,
+    /// Probability a data message is delivered twice.
+    pub dup_prob: f64,
+    /// Probability a data message overtakes queued traffic at the receiver.
+    pub reorder_prob: f64,
+    /// `(rank, factor)`: rank's compute time is multiplied by `factor`.
+    pub stragglers: Vec<(usize, f64)>,
+    /// `(rank, virtual_time)`: rank fail-stops once its clock passes the
+    /// given virtual time (cooperative fail-stop — the platform detects it
+    /// at the next iteration boundary and evacuates).
+    pub kills: Vec<(usize, f64)>,
+    /// Virtual seconds a reliable send waits for a (simulated) ack before
+    /// retransmitting.
+    pub retry_timeout: f64,
+    /// Retransmissions a reliable send attempts beyond the first try.
+    pub max_retries: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_prob: 0.0,
+            delay_prob: 0.0,
+            delay_seconds: 0.0,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            stragglers: Vec::new(),
+            kills: Vec::new(),
+            retry_timeout: 1e-3,
+            max_retries: 8,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A no-op plan with the given decision seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Drop each data message with probability `p`.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.drop_prob = p;
+        self
+    }
+
+    /// Delay each data message with probability `p` by `seconds` of
+    /// virtual latency.
+    pub fn with_delay(mut self, p: f64, seconds: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        assert!(seconds >= 0.0, "delay must be non-negative");
+        self.delay_prob = p;
+        self.delay_seconds = seconds;
+        self
+    }
+
+    /// Duplicate each data message with probability `p`.
+    pub fn with_dup(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.dup_prob = p;
+        self
+    }
+
+    /// Let each data message overtake queued traffic with probability `p`.
+    pub fn with_reorder(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.reorder_prob = p;
+        self
+    }
+
+    /// Multiply `rank`'s compute time by `factor` (a straggler; `factor`
+    /// below 1.0 makes it a speed demon, which is also legal).
+    pub fn with_straggler(mut self, rank: usize, factor: f64) -> Self {
+        assert!(factor > 0.0, "compute factor must be positive");
+        self.stragglers.retain(|&(r, _)| r != rank);
+        self.stragglers.push((rank, factor));
+        self
+    }
+
+    /// Fail-stop `rank` once its virtual clock reaches `at`.
+    pub fn with_kill(mut self, rank: usize, at: f64) -> Self {
+        assert!(at >= 0.0, "kill time must be non-negative");
+        self.kills.retain(|&(r, _)| r != rank);
+        self.kills.push((rank, at));
+        self
+    }
+
+    /// Tune the reliable-send retransmission policy.
+    pub fn with_retry(mut self, timeout: f64, max_retries: u32) -> Self {
+        assert!(timeout >= 0.0, "timeout must be non-negative");
+        self.retry_timeout = timeout;
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Does this plan perturb messages at all?
+    pub fn message_faults(&self) -> bool {
+        self.drop_prob > 0.0
+            || self.delay_prob > 0.0
+            || self.dup_prob > 0.0
+            || self.reorder_prob > 0.0
+    }
+
+    /// Does this plan do anything at all?
+    pub fn is_noop(&self) -> bool {
+        !self.message_faults() && self.stragglers.is_empty() && self.kills.is_empty()
+    }
+
+    /// Compute-time multiplier for `rank` (1.0 unless it straggles).
+    pub fn compute_factor(&self, rank: usize) -> f64 {
+        self.stragglers
+            .iter()
+            .find(|&&(r, _)| r == rank)
+            .map_or(1.0, |&(_, f)| f)
+    }
+
+    /// Virtual time at which `rank` fail-stops, if scheduled to.
+    pub fn kill_time(&self, rank: usize) -> Option<f64> {
+        self.kills
+            .iter()
+            .find(|&&(r, _)| r == rank)
+            .map(|&(_, t)| t)
+    }
+
+    /// Whether any rank is scheduled to die.
+    pub fn has_kills(&self) -> bool {
+        !self.kills.is_empty()
+    }
+
+    /// The fate of transmission `attempt` of the message identified by
+    /// `(src, dest, tag, seq)`. Pure function of the plan and the message
+    /// identity; collective traffic (`tag < 0`) is never faulted.
+    pub fn decide(
+        &self,
+        src: usize,
+        dest: usize,
+        tag: i64,
+        seq: u64,
+        attempt: u32,
+    ) -> FaultDecision {
+        if tag < 0 || !self.message_faults() {
+            return FaultDecision::default();
+        }
+        let mut h = mix64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        h = mix64(h ^ src as u64);
+        h = mix64(h ^ dest as u64);
+        h = mix64(h ^ tag as u64);
+        h = mix64(h ^ seq);
+        h = mix64(h ^ attempt as u64);
+        FaultDecision {
+            dropped: unit(mix64(h ^ 1)) < self.drop_prob,
+            delayed: unit(mix64(h ^ 2)) < self.delay_prob,
+            duplicated: unit(mix64(h ^ 3)) < self.dup_prob,
+            reordered: unit(mix64(h ^ 4)) < self.reorder_prob,
+        }
+    }
+}
+
+/// Map a hash to a uniform float in [0, 1).
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_noop() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_noop());
+        assert!(!plan.message_faults());
+        assert_eq!(plan.decide(0, 1, 5, 0, 0), FaultDecision::default());
+        assert_eq!(plan.compute_factor(3), 1.0);
+        assert_eq!(plan.kill_time(3), None);
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let plan = FaultPlan::new(7).with_drop(0.3).with_delay(0.3, 1e-3);
+        for seq in 0..100 {
+            assert_eq!(plan.decide(0, 1, 5, seq, 0), plan.decide(0, 1, 5, seq, 0));
+        }
+    }
+
+    #[test]
+    fn decisions_depend_on_identity() {
+        let plan = FaultPlan::new(7).with_drop(0.5);
+        let base: Vec<bool> = (0..64)
+            .map(|s| plan.decide(0, 1, 5, s, 0).dropped)
+            .collect();
+        let other_src: Vec<bool> = (0..64)
+            .map(|s| plan.decide(2, 1, 5, s, 0).dropped)
+            .collect();
+        let other_attempt: Vec<bool> = (0..64)
+            .map(|s| plan.decide(0, 1, 5, s, 1).dropped)
+            .collect();
+        assert_ne!(base, other_src);
+        assert_ne!(base, other_attempt);
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_calibrated() {
+        let plan = FaultPlan::new(99).with_drop(0.2);
+        let n = 10_000;
+        let dropped = (0..n)
+            .filter(|&s| plan.decide(0, 1, 5, s, 0).dropped)
+            .count();
+        let rate = dropped as f64 / n as f64;
+        assert!((0.17..0.23).contains(&rate), "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn collective_tags_are_never_faulted() {
+        let plan = FaultPlan::new(1)
+            .with_drop(1.0)
+            .with_dup(1.0)
+            .with_reorder(1.0);
+        for tag in [-1i64, -2, -1000] {
+            assert_eq!(plan.decide(0, 1, tag, 0, 0), FaultDecision::default());
+        }
+        // While a user tag at p=1.0 always drops.
+        assert!(plan.decide(0, 1, 0, 0, 0).dropped);
+    }
+
+    #[test]
+    fn straggler_and_kill_lookup() {
+        let plan = FaultPlan::new(0).with_straggler(2, 3.0).with_kill(1, 0.5);
+        assert_eq!(plan.compute_factor(2), 3.0);
+        assert_eq!(plan.compute_factor(0), 1.0);
+        assert_eq!(plan.kill_time(1), Some(0.5));
+        assert_eq!(plan.kill_time(2), None);
+        assert!(plan.has_kills());
+        assert!(!plan.is_noop());
+        assert!(!plan.message_faults());
+    }
+
+    #[test]
+    fn builders_replace_existing_entries() {
+        let plan = FaultPlan::new(0)
+            .with_straggler(2, 3.0)
+            .with_straggler(2, 5.0);
+        assert_eq!(plan.compute_factor(2), 5.0);
+        assert_eq!(plan.stragglers.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn rejects_bad_probability() {
+        let _ = FaultPlan::new(0).with_drop(1.5);
+    }
+}

@@ -40,6 +40,7 @@
 //! ```
 
 pub mod comm;
+pub mod faults;
 pub mod mailbox;
 pub mod net;
 pub mod request;
@@ -47,9 +48,10 @@ pub mod stats;
 pub mod wire;
 pub mod world;
 
-pub use comm::{Rank, Tag, ANY_SOURCE};
+pub use comm::{Rank, RetryPolicy, Tag, ANY_SOURCE};
+pub use faults::{FaultDecision, FaultPlan};
 pub use net::{NetModel, TimingMode};
 pub use request::{RecvRequest, SendRequest};
-pub use stats::CommStats;
+pub use stats::{CommStats, FaultStats};
 pub use wire::{Wire, WireError};
 pub use world::{Config, World};

@@ -1,6 +1,6 @@
 //! Per-rank mailboxes with MPI-style (source, tag) matching.
 
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
 /// A message in flight or waiting in a mailbox.
@@ -12,6 +12,10 @@ pub struct Envelope {
     pub tag: i64,
     /// Virtual arrival time at the receiver (ignored in real-time mode).
     pub arrival: f64,
+    /// Per-(source, tag) sequence number assigned at send time. Always 0
+    /// when fault injection is off; under fault injection it lets the
+    /// receiver restore send order and discard duplicates.
+    pub seq: u64,
     /// Encoded payload.
     pub bytes: Vec<u8>,
 }
@@ -27,20 +31,30 @@ pub struct Pattern {
 
 impl Pattern {
     fn matches(&self, env: &Envelope) -> bool {
-        self.tag == env.tag && self.src.map_or(true, |s| s == env.src)
+        self.tag == env.tag && self.src.is_none_or(|s| s == env.src)
     }
 }
 
 #[derive(Default)]
 struct Inner {
     queue: Vec<Envelope>,
+    /// Per-(source, tag) count of consumed in-order messages — the next
+    /// expected sequence number. Only populated by ordered receives (fault
+    /// injection); bounded by the set of live user tags.
+    consumed: std::collections::HashMap<(usize, i64), u64>,
+    /// Stale duplicates discarded by ordered receives.
+    stale_discarded: u64,
 }
 
 /// One rank's incoming-message queue.
 ///
 /// Messages from a given source with a given tag are delivered in send
 /// order (the queue is scanned front to back), matching MPI's
-/// non-overtaking guarantee.
+/// non-overtaking guarantee. Under fault injection the queue order can be
+/// perturbed (reordered or duplicated deliveries); [`Mailbox::recv`] with
+/// `ordered = true` then matches by lowest sequence number and silently
+/// discards duplicates of already-consumed messages, restoring exactly-once
+/// in-order semantics at the receiver.
 #[derive(Default)]
 pub struct Mailbox {
     inner: Mutex<Inner>,
@@ -53,24 +67,69 @@ impl Mailbox {
         Self::default()
     }
 
-    /// Deposit a message and wake any waiting receiver.
-    pub fn deliver(&self, env: Envelope) {
-        let mut inner = self.inner.lock();
-        inner.queue.push(env);
+    /// Lock, tolerating poison: a rank that panics while delivering must
+    /// not cascade into secondary lock panics — the world has its own
+    /// poisoning protocol with better diagnostics.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Deposit a message and wake any waiting receiver. `front` injects
+    /// the message at the head of the queue (fault injection's reordering),
+    /// violating the non-overtaking guarantee on purpose.
+    pub fn deliver(&self, env: Envelope, front: bool) {
+        let mut inner = self.lock();
+        if front {
+            inner.queue.insert(0, env);
+        } else {
+            inner.queue.push(env);
+        }
         self.cond.notify_all();
     }
 
     /// Blocking receive of the first message matching `pat`.
     ///
+    /// With `ordered` set, the *lowest-sequence* matching message is taken
+    /// instead of the first queued one, and stale duplicates (sequence
+    /// numbers already consumed for their `(source, tag)` stream) are
+    /// dropped on the floor — the receiver-side half of the reliable
+    /// channel under fault injection.
+    ///
     /// `watchdog` bounds the real-time wait; on expiry this returns `None`
     /// so the caller can panic with a useful deadlock diagnosis.
-    pub fn recv(&self, pat: Pattern, watchdog: Duration) -> Option<Envelope> {
-        let mut inner = self.inner.lock();
+    pub fn recv(&self, pat: Pattern, watchdog: Duration, ordered: bool) -> Option<Envelope> {
+        let mut inner = self.lock();
         loop {
-            if let Some(idx) = inner.queue.iter().position(|e| pat.matches(e)) {
-                return Some(inner.queue.remove(idx));
+            if ordered {
+                inner.drop_stale(pat);
             }
-            if self.cond.wait_for(&mut inner, watchdog).timed_out() {
+            let found = if ordered {
+                // Lowest (seq, src) among matches: deterministic given the
+                // set of queued messages, regardless of delivery order.
+                inner
+                    .queue
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| pat.matches(e))
+                    .min_by_key(|(_, e)| (e.seq, e.src))
+                    .map(|(i, _)| i)
+            } else {
+                inner.queue.iter().position(|e| pat.matches(e))
+            };
+            if let Some(idx) = found {
+                let env = inner.queue.remove(idx);
+                if ordered {
+                    let next = inner.consumed.entry((env.src, env.tag)).or_insert(0);
+                    *next = (*next).max(env.seq + 1);
+                }
+                return Some(env);
+            }
+            let (guard, timeout) = self
+                .cond
+                .wait_timeout(inner, watchdog)
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+            if timeout.timed_out() {
                 return None;
             }
         }
@@ -78,12 +137,12 @@ impl Mailbox {
 
     /// Nonblocking probe: would `recv` with this pattern complete now?
     pub fn probe(&self, pat: Pattern) -> bool {
-        self.inner.lock().queue.iter().any(|e| pat.matches(e))
+        self.lock().queue.iter().any(|e| pat.matches(e))
     }
 
     /// Number of queued messages (for diagnostics).
     pub fn len(&self) -> usize {
-        self.inner.lock().queue.len()
+        self.lock().queue.len()
     }
 
     /// Whether no messages are queued.
@@ -91,14 +150,31 @@ impl Mailbox {
         self.len() == 0
     }
 
+    /// Stale duplicates discarded so far by ordered receives.
+    pub fn stale_discarded(&self) -> u64 {
+        self.lock().stale_discarded
+    }
+
     /// Snapshot of queued (src, tag) pairs, for deadlock diagnostics.
     pub fn pending(&self) -> Vec<(usize, i64)> {
-        self.inner
-            .lock()
-            .queue
-            .iter()
-            .map(|e| (e.src, e.tag))
-            .collect()
+        self.lock().queue.iter().map(|e| (e.src, e.tag)).collect()
+    }
+}
+
+impl Inner {
+    /// Remove queued messages whose sequence number was already consumed
+    /// for their (source, tag) stream — duplicates injected by the fault
+    /// plan whose original has been received.
+    fn drop_stale(&mut self, pat: Pattern) {
+        let consumed = &self.consumed;
+        let before = self.queue.len();
+        self.queue.retain(|e| {
+            !(pat.matches(e)
+                && consumed
+                    .get(&(e.src, e.tag))
+                    .is_some_and(|&next| e.seq < next))
+        });
+        self.stale_discarded += (before - self.queue.len()) as u64;
     }
 }
 
@@ -111,10 +187,15 @@ mod tests {
     const WD: Duration = Duration::from_secs(5);
 
     fn env(src: usize, tag: i64, byte: u8) -> Envelope {
+        env_seq(src, tag, 0, byte)
+    }
+
+    fn env_seq(src: usize, tag: i64, seq: u64, byte: u8) -> Envelope {
         Envelope {
             src,
             tag,
             arrival: 0.0,
+            seq,
             bytes: vec![byte],
         }
     }
@@ -122,9 +203,9 @@ mod tests {
     #[test]
     fn matches_by_src_and_tag() {
         let mb = Mailbox::new();
-        mb.deliver(env(1, 10, 0xa));
-        mb.deliver(env(2, 10, 0xb));
-        mb.deliver(env(1, 20, 0xc));
+        mb.deliver(env(1, 10, 0xa), false);
+        mb.deliver(env(2, 10, 0xb), false);
+        mb.deliver(env(1, 20, 0xc), false);
         let got = mb
             .recv(
                 Pattern {
@@ -132,6 +213,7 @@ mod tests {
                     tag: 10,
                 },
                 WD,
+                false,
             )
             .unwrap();
         assert_eq!(got.bytes, vec![0xb]);
@@ -142,18 +224,20 @@ mod tests {
                     tag: 20,
                 },
                 WD,
+                false,
             )
             .unwrap();
         assert_eq!(got.bytes, vec![0xc]);
+        assert_eq!(got.seq, 0);
         assert_eq!(mb.len(), 1);
     }
 
     #[test]
     fn any_source_takes_first_matching() {
         let mb = Mailbox::new();
-        mb.deliver(env(3, 5, 1));
-        mb.deliver(env(1, 5, 2));
-        let got = mb.recv(Pattern { src: None, tag: 5 }, WD).unwrap();
+        mb.deliver(env(3, 5, 1), false);
+        mb.deliver(env(1, 5, 2), false);
+        let got = mb.recv(Pattern { src: None, tag: 5 }, WD, false).unwrap();
         assert_eq!(got.src, 3);
     }
 
@@ -161,7 +245,7 @@ mod tests {
     fn per_source_fifo_order_preserved() {
         let mb = Mailbox::new();
         for i in 0..5u8 {
-            mb.deliver(env(1, 9, i));
+            mb.deliver(env(1, 9, i), false);
         }
         for i in 0..5u8 {
             let got = mb
@@ -171,6 +255,7 @@ mod tests {
                         tag: 9,
                     },
                     WD,
+                    false,
                 )
                 .unwrap();
             assert_eq!(got.bytes, vec![i]);
@@ -188,12 +273,13 @@ mod tests {
                     tag: 1,
                 },
                 WD,
+                false,
             )
             .unwrap()
             .bytes
         });
         std::thread::sleep(Duration::from_millis(20));
-        mb.deliver(env(0, 1, 42));
+        mb.deliver(env(0, 1, 42), false);
         assert_eq!(handle.join().unwrap(), vec![42]);
     }
 
@@ -203,6 +289,7 @@ mod tests {
         let got = mb.recv(
             Pattern { src: None, tag: 1 },
             Duration::from_millis(10),
+            false,
         );
         assert!(got.is_none());
     }
@@ -210,7 +297,7 @@ mod tests {
     #[test]
     fn probe_does_not_consume() {
         let mb = Mailbox::new();
-        mb.deliver(env(0, 1, 7));
+        mb.deliver(env(0, 1, 7), false);
         let pat = Pattern {
             src: Some(0),
             tag: 1,
@@ -218,5 +305,51 @@ mod tests {
         assert!(mb.probe(pat));
         assert!(mb.probe(pat));
         assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    fn ordered_recv_restores_send_order() {
+        let mb = Mailbox::new();
+        // Delivered out of order (a reorder fault put seq 2 in front).
+        mb.deliver(env_seq(0, 1, 2, 0xc), false);
+        mb.deliver(env_seq(0, 1, 0, 0xa), false);
+        mb.deliver(env_seq(0, 1, 1, 0xb), false);
+        let pat = Pattern {
+            src: Some(0),
+            tag: 1,
+        };
+        for want in [0xa, 0xb, 0xc] {
+            assert_eq!(mb.recv(pat, WD, true).unwrap().bytes, vec![want]);
+        }
+    }
+
+    #[test]
+    fn ordered_recv_discards_duplicates() {
+        let mb = Mailbox::new();
+        mb.deliver(env_seq(0, 1, 0, 0xa), false);
+        mb.deliver(env_seq(0, 1, 0, 0xa), false); // duplicate
+        mb.deliver(env_seq(0, 1, 1, 0xb), false);
+        let pat = Pattern {
+            src: Some(0),
+            tag: 1,
+        };
+        assert_eq!(mb.recv(pat, WD, true).unwrap().bytes, vec![0xa]);
+        assert_eq!(mb.recv(pat, WD, true).unwrap().bytes, vec![0xb]);
+        assert!(mb.is_empty(), "duplicate must have been discarded");
+        assert_eq!(mb.stale_discarded(), 1);
+    }
+
+    #[test]
+    fn front_delivery_overtakes() {
+        let mb = Mailbox::new();
+        mb.deliver(env_seq(0, 1, 0, 0xa), false);
+        mb.deliver(env_seq(0, 1, 1, 0xb), true); // reorder fault
+                                                 // Unordered recv sees the overtaking message first...
+        let pat = Pattern {
+            src: Some(0),
+            tag: 1,
+        };
+        assert_eq!(mb.recv(pat, WD, false).unwrap().bytes, vec![0xb]);
+        // ...which is exactly what ordered recv protects against.
     }
 }

@@ -1,5 +1,47 @@
 //! Per-rank communication counters.
 
+/// Fault-injection bookkeeping, accumulated alongside [`CommStats`].
+///
+/// Sender-side counters record *injected* events (a duplicated message
+/// counts once here however the receiver handles it); `stale_discarded`
+/// is the receiver-side count of duplicate copies thrown away by ordered
+/// receives.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Data messages silently lost by the fault plan.
+    pub dropped: u64,
+    /// Data messages delivered late.
+    pub delayed: u64,
+    /// Data messages delivered twice.
+    pub duplicated: u64,
+    /// Data messages injected at the front of the receiver's queue.
+    pub reordered: u64,
+    /// Retransmissions performed by reliable sends.
+    pub retries: u64,
+    /// Reliable sends whose final attempt had to be forced through.
+    pub escalations: u64,
+    /// Duplicate copies discarded by this rank's ordered receives.
+    pub stale_discarded: u64,
+}
+
+impl FaultStats {
+    /// Element-wise sum.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.dropped += other.dropped;
+        self.delayed += other.delayed;
+        self.duplicated += other.duplicated;
+        self.reordered += other.reordered;
+        self.retries += other.retries;
+        self.escalations += other.escalations;
+        self.stale_discarded += other.stale_discarded;
+    }
+
+    /// Did any fault actually fire?
+    pub fn any(&self) -> bool {
+        *self != FaultStats::default()
+    }
+}
+
 /// Counters accumulated by a [`crate::Rank`] over its lifetime.
 ///
 /// The iC2mpi load balancer weights processor-graph edges by communication
@@ -19,6 +61,8 @@ pub struct CommStats {
     pub barriers: u64,
     /// Payload bytes sent to each destination rank.
     pub bytes_to: Vec<u64>,
+    /// Fault-injection events observed by this rank.
+    pub faults: FaultStats,
 }
 
 impl CommStats {
@@ -58,5 +102,25 @@ mod tests {
         assert_eq!(s.bytes_to, vec![0, 15, 7]);
         assert_eq!(s.msgs_recv, 1);
         assert_eq!(s.bytes_recv, 4);
+        assert!(!s.faults.any());
+    }
+
+    #[test]
+    fn fault_stats_merge() {
+        let mut a = FaultStats {
+            dropped: 1,
+            retries: 2,
+            ..Default::default()
+        };
+        let b = FaultStats {
+            dropped: 3,
+            stale_discarded: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.dropped, 4);
+        assert_eq!(a.retries, 2);
+        assert_eq!(a.stale_discarded, 1);
+        assert!(a.any());
     }
 }

@@ -1,11 +1,11 @@
 //! World construction and the SPMD runner.
 
 use crate::comm::Rank;
+use crate::faults::FaultPlan;
 use crate::mailbox::Mailbox;
 use crate::net::{NetModel, TimingMode};
-use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// World configuration.
@@ -16,6 +16,8 @@ pub struct Config {
     /// How long a blocked receive or barrier may wait (real time) before
     /// the world is declared deadlocked and panics with diagnostics.
     pub watchdog: Duration,
+    /// Deterministic fault-injection schedule (no-op by default).
+    pub faults: FaultPlan,
 }
 
 impl Default for Config {
@@ -23,6 +25,7 @@ impl Default for Config {
         Config {
             timing: TimingMode::Virtual(NetModel::origin2000()),
             watchdog: Duration::from_secs(30),
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -49,6 +52,19 @@ impl Config {
         self.watchdog = watchdog;
         self
     }
+
+    /// Install a fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+}
+
+/// Lock a mutex, tolerating poison: the world has its own poisoning
+/// protocol with better diagnostics than a cascade of secondary
+/// `PoisonError` panics.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// Generation barrier that also computes the maximum virtual clock of the
@@ -82,7 +98,7 @@ impl ClockBarrier {
     /// (maximum) clock once all `n` ranks have arrived. `check` is polled
     /// while waiting so a poisoned world aborts promptly.
     pub(crate) fn wait(&self, n: usize, clock: f64, check: impl Fn()) -> f64 {
-        let mut g = self.inner.lock();
+        let mut g = lock_unpoisoned(&self.inner);
         g.max_clock = g.max_clock.max(clock);
         g.count += 1;
         if g.count == n {
@@ -95,17 +111,34 @@ impl ClockBarrier {
         } else {
             let my_gen = g.gen;
             while g.gen == my_gen {
-                self.cond.wait_for(&mut g, Duration::from_millis(50));
+                let (guard, _timeout) = self
+                    .cond
+                    .wait_timeout(g, Duration::from_millis(50))
+                    .unwrap_or_else(|e| e.into_inner());
+                g = guard;
                 if g.gen != my_gen {
                     break;
                 }
                 drop(g);
                 check();
-                g = self.inner.lock();
+                g = lock_unpoisoned(&self.inner);
             }
             g.resolved_clock
         }
     }
+}
+
+/// Where a rank is currently blocked, for watchdog diagnostics.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BlockedOp {
+    /// The blocking operation ("recv", "barrier").
+    pub(crate) what: &'static str,
+    /// Peer being waited on (`None` for any-source or barriers).
+    pub(crate) src: Option<usize>,
+    /// Tag being matched (`None` for barriers).
+    pub(crate) tag: Option<i64>,
+    /// The rank's virtual clock when it blocked.
+    pub(crate) vtime: f64,
 }
 
 /// State shared by every rank of a running world.
@@ -118,6 +151,48 @@ pub(crate) struct Shared {
     /// failure (not the secondary "world poisoned" aborts) reaches the
     /// caller.
     first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Per-rank blocked-state registry: what each rank is currently
+    /// blocked on, if anything. Feeds the watchdog's deadlock report.
+    blocked: Vec<Mutex<Option<BlockedOp>>>,
+}
+
+impl Shared {
+    /// Record (or clear, with `None`) what `rank` is blocked on.
+    pub(crate) fn set_blocked(&self, rank: usize, op: Option<BlockedOp>) {
+        *lock_unpoisoned(&self.blocked[rank]) = op;
+    }
+
+    /// Multi-line snapshot of every rank's blocked state and mailbox
+    /// contents — the body of the watchdog's deadlock panic.
+    pub(crate) fn deadlock_report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (r, slot) in self.blocked.iter().enumerate() {
+            let state = *lock_unpoisoned(slot);
+            let pending = self.mailboxes[r].pending();
+            match state {
+                Some(b) => {
+                    let peer = match b.src {
+                        Some(s) => format!("rank {s}"),
+                        None => "any".to_string(),
+                    };
+                    let tag = match b.tag {
+                        Some(t) => format!("{t}"),
+                        None => "-".to_string(),
+                    };
+                    let _ = writeln!(
+                        out,
+                        "  rank {r}: blocked in {} (peer {peer}, tag {tag}) since vtime {:.6}; mailbox holds {pending:?}",
+                        b.what, b.vtime
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "  rank {r}: running; mailbox holds {pending:?}");
+                }
+            }
+        }
+        out
+    }
 }
 
 /// Factory for SPMD executions.
@@ -162,6 +237,7 @@ impl World {
             cfg: self.cfg.clone(),
             poisoned: AtomicBool::new(false),
             first_panic: Mutex::new(None),
+            blocked: (0..n).map(|_| Mutex::new(None)).collect(),
         });
         let epoch = Instant::now();
         let results: Vec<Option<R>> = std::thread::scope(|scope| {
@@ -171,11 +247,10 @@ impl World {
                     let f = &f;
                     scope.spawn(move || {
                         let rank = Rank::new(id, n, Arc::clone(&shared), epoch);
-                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&rank)))
-                        {
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&rank))) {
                             Ok(v) => Some(v),
                             Err(payload) => {
-                                let mut slot = shared.first_panic.lock();
+                                let mut slot = lock_unpoisoned(&shared.first_panic);
                                 if slot.is_none() {
                                     *slot = Some(payload);
                                 }
@@ -191,7 +266,7 @@ impl World {
                 .map(|h| h.join().expect("rank thread itself must not die"))
                 .collect()
         });
-        if let Some(payload) = shared.first_panic.lock().take() {
+        if let Some(payload) = lock_unpoisoned(&shared.first_panic).take() {
             std::panic::resume_unwind(payload);
         }
         results
@@ -226,15 +301,39 @@ mod tests {
     #[test]
     #[should_panic(expected = "deliberate")]
     fn rank_panic_propagates() {
-        let _ = World::new(Config::default().with_watchdog(Duration::from_secs(2))).run(
-            2,
-            |rank| {
+        let _ =
+            World::new(Config::default().with_watchdog(Duration::from_secs(2))).run(2, |rank| {
                 if rank.rank() == 1 {
                     panic!("deliberate");
                 }
                 // rank 0 blocks forever; poisoning must release it.
                 let _: u32 = rank.recv(1, 0);
-            },
+            });
+    }
+
+    #[test]
+    fn watchdog_report_names_the_blocked_peer() {
+        let err = std::panic::catch_unwind(|| {
+            World::new(Config::default().with_watchdog(Duration::from_millis(200))).run(2, |rank| {
+                if rank.rank() == 0 {
+                    // Blocks forever: rank 1 never sends on tag 7.
+                    let _: u32 = rank.recv(1, 7);
+                } else {
+                    // Rank 1 parks in a barrier rank 0 never reaches.
+                    rank.barrier();
+                }
+            })
+        })
+        .expect_err("world must deadlock");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()).unwrap());
+        assert!(msg.contains("deadlock"), "got: {msg}");
+        assert!(msg.contains("tag 7"), "report should name the tag: {msg}");
+        assert!(
+            msg.contains("barrier"),
+            "report should show rank 1 in barrier: {msg}"
         );
     }
 }

@@ -1,63 +1,98 @@
-//! Property-based tests for the substrate: wire codecs and virtual-time
+//! Randomised tests for the substrate: wire codecs and virtual-time
 //! invariants under arbitrary programs.
+//!
+//! Inputs are drawn from the in-tree [`SplitMix64`] generator with fixed
+//! seeds, so every run explores the same cases — hermetic and
+//! reproducible with no external dependencies.
 
+use ic2_rng::SplitMix64;
 use mpisim::{Config, NetModel, Wire, World};
-use proptest::prelude::*;
 use std::time::Duration;
 
-fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) -> Result<(), TestCaseError> {
+fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
     let bytes = v.to_bytes();
     let back = T::from_bytes(&bytes);
-    prop_assert_eq!(back.as_ref().ok(), Some(v));
-    Ok(())
+    assert_eq!(back.as_ref().ok(), Some(v));
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn arb_string(rng: &mut SplitMix64) -> String {
+    let len = rng.gen_range(0..40);
+    (0..len)
+        .map(|_| char::from_u32(rng.next_u64() as u32 % 0xD7FF).unwrap_or('?'))
+        .collect()
+}
 
-    #[test]
-    fn wire_roundtrips_scalars(a in any::<u64>(), b in any::<i64>(), c in any::<f64>(), d in any::<bool>()) {
-        roundtrip(&a)?;
-        roundtrip(&b)?;
-        if !c.is_nan() {
-            roundtrip(&c)?;
+#[test]
+fn wire_roundtrips_scalars() {
+    let mut rng = SplitMix64::new(0xA11CE);
+    for _ in 0..256 {
+        roundtrip(&rng.next_u64());
+        roundtrip(&(rng.next_u64() as i64));
+        let f = f64::from_bits(rng.next_u64());
+        if !f.is_nan() {
+            roundtrip(&f);
         }
-        roundtrip(&d)?;
+        roundtrip(&rng.chance(0.5));
     }
-
-    #[test]
-    fn wire_roundtrips_compounds(
-        v in proptest::collection::vec((any::<u32>(), any::<i64>()), 0..50),
-        s in ".{0,40}",
-        o in proptest::option::of(any::<u32>()),
-    ) {
-        roundtrip(&v)?;
-        roundtrip(&s.to_string())?;
-        roundtrip(&o)?;
-        roundtrip(&vec![(s.to_string(), o)])?;
+    // Edges the generator may miss.
+    for v in [0u64, 1, u64::MAX] {
+        roundtrip(&v);
     }
+    for v in [i64::MIN, -1, 0, i64::MAX] {
+        roundtrip(&v);
+    }
+    for v in [
+        0.0f64,
+        -0.0,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::MIN_POSITIVE,
+    ] {
+        roundtrip(&v);
+    }
+}
 
-    #[test]
-    fn wire_rejects_truncation(v in proptest::collection::vec(any::<u64>(), 1..20)) {
+#[test]
+fn wire_roundtrips_compounds() {
+    let mut rng = SplitMix64::new(0xB0B);
+    for _ in 0..128 {
+        let v: Vec<(u32, i64)> = (0..rng.gen_range(0..50))
+            .map(|_| (rng.next_u64() as u32, rng.next_u64() as i64))
+            .collect();
+        roundtrip(&v);
+        let s = arb_string(&mut rng);
+        roundtrip(&s);
+        let o = if rng.chance(0.5) {
+            Some(rng.next_u64() as u32)
+        } else {
+            None
+        };
+        roundtrip(&o);
+        roundtrip(&vec![(s, o)]);
+    }
+}
+
+#[test]
+fn wire_rejects_truncation() {
+    let mut rng = SplitMix64::new(0xC0FFEE);
+    for _ in 0..128 {
+        let v: Vec<u64> = (0..rng.gen_range(1..20)).map(|_| rng.next_u64()).collect();
         let bytes = v.to_bytes();
         // Chop off the tail: must error, never panic or wrap.
         let cut = &bytes[..bytes.len() - 1];
-        prop_assert!(Vec::<u64>::from_bytes(cut).is_err());
+        assert!(Vec::<u64>::from_bytes(cut).is_err());
     }
 }
 
-proptest! {
-    // World-spawning cases are heavier; fewer of them.
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn clocks_never_regress_and_end_synced(
-        n in 2usize..6,
-        grains in proptest::collection::vec(1u32..200, 6),
-        rounds in 1u32..6,
-    ) {
-        let cfg = Config::virtual_time(NetModel::origin2000())
-            .with_watchdog(Duration::from_secs(10));
+#[test]
+fn clocks_never_regress_and_end_synced() {
+    let mut rng = SplitMix64::new(0xD0C);
+    for _ in 0..12 {
+        let n = rng.gen_range(2..6);
+        let grains: Vec<u32> = (0..6).map(|_| rng.gen_range(1..200) as u32).collect();
+        let rounds = rng.gen_range(1..6) as u32;
+        let cfg =
+            Config::virtual_time(NetModel::origin2000()).with_watchdog(Duration::from_secs(10));
         let out = World::new(cfg).run(n, |rank| {
             let mut last = rank.wtime();
             for round in 0..rounds {
@@ -68,27 +103,29 @@ proptest! {
                 rank.send(right, round, &(rank.rank() as u64));
                 let _: u64 = rank.recv(left, round);
                 let now = rank.wtime();
-                prop_assert!(now >= last, "clock regressed {last} -> {now}");
+                assert!(now >= last, "clock regressed {last} -> {now}");
                 last = now;
             }
             rank.barrier();
-            Ok(rank.wtime())
-        }).into_iter().collect::<Result<Vec<f64>, TestCaseError>>()?;
+            rank.wtime()
+        });
         // After the final barrier every clock agrees.
         for t in &out {
-            prop_assert!((t - out[0]).abs() < 1e-12, "clocks diverge: {out:?}");
+            assert!((t - out[0]).abs() < 1e-12, "clocks diverge: {out:?}");
         }
     }
+}
 
-    #[test]
-    fn collectives_agree_with_direct_computation(
-        n in 2usize..7,
-        values in proptest::collection::vec(any::<i64>(), 7),
-    ) {
-        let cfg = Config::virtual_time(NetModel::zero())
-            .with_watchdog(Duration::from_secs(10));
+#[test]
+fn collectives_agree_with_direct_computation() {
+    let mut rng = SplitMix64::new(0xE1E);
+    for _ in 0..12 {
+        let n = rng.gen_range(2..7);
+        let values: Vec<i64> = (0..7).map(|_| rng.next_u64() as i64).collect();
+        let cfg = Config::virtual_time(NetModel::zero()).with_watchdog(Duration::from_secs(10));
+        let values_ref = &values;
         let out = World::new(cfg).run(n, |rank| {
-            let mine = values[rank.rank()];
+            let mine = values_ref[rank.rank()];
             let gathered = rank.gather(0, &mine);
             let max = rank.allreduce(mine, i64::max);
             let mut from_root = if rank.rank() == 0 { 99i64 } else { 0 };
@@ -96,21 +133,25 @@ proptest! {
             (gathered, max, from_root)
         });
         let expect_max = values[..n].iter().copied().max().unwrap();
-        prop_assert_eq!(out[0].0.as_ref().unwrap(), &values[..n].to_vec());
+        assert_eq!(out[0].0.as_ref().unwrap(), &values[..n].to_vec());
         for (i, (g, max, root_val)) in out.iter().enumerate() {
             if i != 0 {
-                prop_assert!(g.is_none());
+                assert!(g.is_none());
             }
-            prop_assert_eq!(*max, expect_max);
-            prop_assert_eq!(*root_val, 99);
+            assert_eq!(*max, expect_max);
+            assert_eq!(*root_val, 99);
         }
     }
+}
 
-    #[test]
-    fn arbitrary_roots_work_for_collectives(n in 1usize..8, root_pick in any::<usize>()) {
-        let root = root_pick % n;
-        let cfg = Config::virtual_time(NetModel::origin2000())
-            .with_watchdog(Duration::from_secs(10));
+#[test]
+fn arbitrary_roots_work_for_collectives() {
+    let mut rng = SplitMix64::new(0xF00);
+    for _ in 0..12 {
+        let n = rng.gen_range(1..8);
+        let root = rng.gen_range(0..n);
+        let cfg =
+            Config::virtual_time(NetModel::origin2000()).with_watchdog(Duration::from_secs(10));
         let out = World::new(cfg).run(n, |rank| {
             let mut v = if rank.rank() == root { 4242u32 } else { 0 };
             rank.bcast(root, &mut v);
@@ -118,10 +159,10 @@ proptest! {
             (v, g)
         });
         for (i, (v, g)) in out.iter().enumerate() {
-            prop_assert_eq!(*v, 4242);
-            prop_assert_eq!(g.is_some(), i == root);
+            assert_eq!(*v, 4242);
+            assert_eq!(g.is_some(), i == root);
         }
-        prop_assert_eq!(
+        assert_eq!(
             out[root].1.as_ref().unwrap(),
             &(0..n as u32).collect::<Vec<_>>()
         );

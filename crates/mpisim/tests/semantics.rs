@@ -64,9 +64,8 @@ fn bcast_reaches_everyone() {
 
 #[test]
 fn gather_collects_in_rank_order() {
-    let out = World::new(cfg(NetModel::origin2000())).run(5, |rank| {
-        rank.gather(0, &(rank.rank() as u32 * 2))
-    });
+    let out = World::new(cfg(NetModel::origin2000()))
+        .run(5, |rank| rank.gather(0, &(rank.rank() as u32 * 2)));
     assert_eq!(out[0].as_ref().unwrap(), &vec![0, 2, 4, 6, 8]);
     assert!(out[1..].iter().all(|o| o.is_none()));
 }
@@ -265,9 +264,8 @@ fn real_time_mode_advances_wall_clock() {
 
 #[test]
 fn allgather_replicates_everywhere() {
-    let out = World::new(cfg(NetModel::origin2000())).run(5, |rank| {
-        rank.allgather(&(rank.rank() as u32 * 3))
-    });
+    let out = World::new(cfg(NetModel::origin2000()))
+        .run(5, |rank| rank.allgather(&(rank.rank() as u32 * 3)));
     for got in out {
         assert_eq!(got, vec![0, 3, 6, 9, 12]);
     }
@@ -275,9 +273,8 @@ fn allgather_replicates_everywhere() {
 
 #[test]
 fn scan_computes_inclusive_prefixes() {
-    let out = World::new(cfg(NetModel::origin2000())).run(6, |rank| {
-        rank.scan(rank.rank() as u64 + 1, |a, b| a + b)
-    });
+    let out = World::new(cfg(NetModel::origin2000()))
+        .run(6, |rank| rank.scan(rank.rank() as u64 + 1, |a, b| a + b));
     assert_eq!(out, vec![1, 3, 6, 10, 15, 21]);
 }
 

@@ -31,11 +31,7 @@ fn coords_of(graph: &Graph) -> &[(f64, f64)] {
 
 /// Sort node ids by a key and slice them into `nparts` contiguous groups of
 /// equal vertex weight.
-fn banded_by<K: Fn(NodeId) -> f64>(
-    graph: &Graph,
-    nparts: usize,
-    key: K,
-) -> Vec<(NodeId, u32)> {
+fn banded_by<K: Fn(NodeId) -> f64>(graph: &Graph, nparts: usize, key: K) -> Vec<(NodeId, u32)> {
     let mut order: Vec<NodeId> = graph.nodes().collect();
     order.sort_by(|&a, &b| {
         key(a)
@@ -91,7 +87,7 @@ impl StaticPartitioner for ColumnBand {
 /// Factor `n` as `a × b` with `a ≤ b` and `a` maximal ("squarish").
 pub(crate) fn squarish_factors(n: usize) -> (usize, usize) {
     let mut a = (n as f64).sqrt() as usize;
-    while a > 1 && n % a != 0 {
+    while a > 1 && !n.is_multiple_of(a) {
         a -= 1;
     }
     (a.max(1), n / a.max(1))

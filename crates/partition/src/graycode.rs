@@ -107,10 +107,7 @@ mod tests {
         for k in [2, 4, 8, 16] {
             let p = GrayCodeBf.partition(&g, k);
             let counts = p.counts();
-            let (min, max) = (
-                counts.iter().min().unwrap(),
-                counts.iter().max().unwrap(),
-            );
+            let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
             assert_eq!(min, max, "k={k}: {counts:?}");
         }
     }

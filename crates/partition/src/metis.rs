@@ -15,8 +15,7 @@
 
 use crate::StaticPartitioner;
 use ic2_graph::{metrics, Graph, GraphBuilder, NodeId, Partition};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ic2_rng::SplitMix64;
 
 /// Multilevel recursive-bisection partitioner.
 #[derive(Debug, Clone, Copy)]
@@ -53,7 +52,7 @@ impl StaticPartitioner for Metis {
         let mut assignment = vec![0u32; n];
         if nparts > 1 && n > 0 {
             let nodes: Vec<NodeId> = graph.nodes().collect();
-            let mut rng = SmallRng::seed_from_u64(self.seed);
+            let mut rng = SplitMix64::new(self.seed);
             // Per-level balance windows compound over log2(k) bisection
             // levels, so shrink each level's ε to keep the final k-way
             // imbalance near the configured budget.
@@ -79,7 +78,7 @@ impl Metis {
         k: usize,
         eps: f64,
         assignment: &mut [u32],
-        rng: &mut SmallRng,
+        rng: &mut SplitMix64,
     ) {
         if k == 1 || nodes.is_empty() {
             for &v in nodes {
@@ -128,7 +127,7 @@ impl Metis {
         eps: f64,
         ml: usize,
         mr: usize,
-        rng: &mut SmallRng,
+        rng: &mut SplitMix64,
     ) -> Vec<bool> {
         let n = graph.num_nodes();
         if n == 0 {
@@ -146,9 +145,7 @@ impl Metis {
                 let cml = ml.min(cn / 2);
                 let cmr = mr.min(cn - cml);
                 let coarse_side = self.bisect(&coarse, frac, eps, cml, cmr, rng);
-                let mut side: Vec<bool> = (0..n)
-                    .map(|v| coarse_side[map[v] as usize])
-                    .collect();
+                let mut side: Vec<bool> = (0..n).map(|v| coarse_side[map[v] as usize]).collect();
                 fm_refine(graph, &mut side, frac, eps, ml, mr);
                 return side;
             }
@@ -163,7 +160,7 @@ impl Metis {
             let dev = balance_deviation(graph, &side, frac);
             if best
                 .as_ref()
-                .map_or(true, |(bc, bd, _)| (cut, dev) < (*bc, *bd))
+                .is_none_or(|(bc, bd, _)| (cut, dev) < (*bc, *bd))
             {
                 best = Some((cut, dev, side));
             }
@@ -204,7 +201,7 @@ impl Metis {
                     let vw = graph.vertex_weight(v);
                     let fits = loads[p as usize] + vw <= cap
                         || loads[p as usize] + vw < loads[home as usize];
-                    if gain < 0 && fits && best.map_or(true, |(bg, _)| gain < bg) {
+                    if gain < 0 && fits && best.is_none_or(|(bg, _)| gain < bg) {
                         best = Some((gain, p));
                     }
                 }
@@ -242,7 +239,7 @@ impl Metis {
                     }
                     let gain = metrics::move_gain(graph, part, v, p);
                     let key = (gain, loads[p as usize]);
-                    if best.map_or(true, |(bg, bl, _)| key < (bg, bl)) {
+                    if best.is_none_or(|(bg, bl, _)| key < (bg, bl)) {
                         best = Some((gain, loads[p as usize], p));
                     }
                 }
@@ -286,12 +283,10 @@ fn induce(graph: &Graph, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
 
 /// One level of heavy-edge matching coarsening. Returns the coarse graph
 /// and the fine-to-coarse vertex map.
-fn coarsen(graph: &Graph, rng: &mut SmallRng) -> (Graph, Vec<u32>) {
+fn coarsen(graph: &Graph, rng: &mut SplitMix64) -> (Graph, Vec<u32>) {
     let n = graph.num_nodes();
     let mut order: Vec<NodeId> = graph.nodes().collect();
-    for i in (1..n).rev() {
-        order.swap(i, rng.gen_range(0..=i));
-    }
+    rng.shuffle(&mut order);
     let mut matched = vec![u32::MAX; n];
     let mut coarse_id = vec![u32::MAX; n];
     let mut next = 0u32;
@@ -303,7 +298,8 @@ fn coarsen(graph: &Graph, rng: &mut SmallRng) -> (Graph, Vec<u32>) {
         let mut best: Option<(i64, NodeId)> = None;
         for (&w, &ew) in graph.neighbors(v).iter().zip(graph.edge_weights(v)) {
             if matched[w as usize] == u32::MAX
-                && best.map_or(true, |(bw, bn)| (ew, std::cmp::Reverse(w)) > (bw, std::cmp::Reverse(bn)))
+                && best
+                    .is_none_or(|(bw, bn)| (ew, std::cmp::Reverse(w)) > (bw, std::cmp::Reverse(bn)))
             {
                 best = Some((ew, w));
             }
@@ -328,8 +324,7 @@ fn coarsen(graph: &Graph, rng: &mut SmallRng) -> (Graph, Vec<u32>) {
     for v in graph.nodes() {
         vwgt[coarse_id[v as usize] as usize] += graph.vertex_weight(v);
     }
-    let mut edge_acc: std::collections::HashMap<(u32, u32), i64> =
-        std::collections::HashMap::new();
+    let mut edge_acc: std::collections::HashMap<(u32, u32), i64> = std::collections::HashMap::new();
     for (u, v, w) in graph.edges() {
         let cu = coarse_id[u as usize];
         let cv = coarse_id[v as usize];
@@ -357,7 +352,7 @@ fn grow_bisection(
     frac: f64,
     ml: usize,
     mr: usize,
-    rng: &mut SmallRng,
+    rng: &mut SplitMix64,
 ) -> Vec<bool> {
     let n = graph.num_nodes();
     let total = graph.total_vertex_weight();
@@ -373,16 +368,13 @@ fn grow_bisection(
             // Pick the best-gain frontier vertex; gain = (edges into the
             // region) - (edges out), higher absorbs first.
             frontier.retain(|&f| !side[f as usize]);
-            match frontier
-                .iter()
-                .copied()
-                .max_by_key(|&f| {
-                    let mut gain = 0i64;
-                    for (&w, &ew) in graph.neighbors(f).iter().zip(graph.edge_weights(f)) {
-                        gain += if side[w as usize] { ew } else { -ew };
-                    }
-                    (gain, std::cmp::Reverse(f))
-                }) {
+            match frontier.iter().copied().max_by_key(|&f| {
+                let mut gain = 0i64;
+                for (&w, &ew) in graph.neighbors(f).iter().zip(graph.edge_weights(f)) {
+                    gain += if side[w as usize] { ew } else { -ew };
+                }
+                (gain, std::cmp::Reverse(f))
+            }) {
                 Some(f) => f,
                 None => {
                     // Disconnected remainder: jump to any unassigned node.
@@ -495,7 +487,7 @@ fn fm_refine(graph: &Graph, side: &mut [bool], frac: f64, eps: f64, ml: usize, m
                 if new_dev > move_slack && new_dev >= cur_dev {
                     continue;
                 }
-                if pick.map_or(true, |(g, pv)| {
+                if pick.is_none_or(|(g, pv)| {
                     (gain[v as usize], std::cmp::Reverse(v)) > (g, std::cmp::Reverse(pv))
                 }) {
                     pick = Some((gain[v as usize], v));
@@ -678,10 +670,7 @@ mod tests {
         let g = b.build();
         let p = Metis::default().partition(&g, 2);
         let loads = p.loads(&g);
-        assert!(
-            (loads[0] - loads[1]).abs() <= 4,
-            "weighted loads {loads:?}"
-        );
+        assert!((loads[0] - loads[1]).abs() <= 4, "weighted loads {loads:?}");
     }
 
     #[test]
@@ -694,7 +683,7 @@ mod tests {
     #[test]
     fn coarsening_halves_and_preserves_weight() {
         let g = hex_grid(8, 8);
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = SplitMix64::new(1);
         let (coarse, map) = coarsen(&g, &mut rng);
         assert!(coarse.num_nodes() < g.num_nodes());
         assert!(coarse.num_nodes() >= g.num_nodes() / 2);

@@ -95,7 +95,12 @@ impl<'a> CostState<'a> {
     /// Communication contribution of `v` if it lived on `home`.
     fn node_comm(&self, v: NodeId, part: &Partition, home: u32) -> f64 {
         let mut c = 0.0;
-        for (&w, &ew) in self.graph.neighbors(v).iter().zip(self.graph.edge_weights(v)) {
+        for (&w, &ew) in self
+            .graph
+            .neighbors(v)
+            .iter()
+            .zip(self.graph.edge_weights(v))
+        {
             let pw = if w == v { home } else { part.part_of(w) };
             if pw != home {
                 c += ew as f64 * self.dist[home as usize][pw as usize] as f64;
@@ -207,7 +212,7 @@ impl StaticPartitioner for PaGrid {
                     state.apply(&mut part, v, q);
                     let after = state.objective();
                     state.apply(&mut part, v, home);
-                    if after < before && best.map_or(true, |(b, _)| after < b) {
+                    if after < before && best.is_none_or(|(b, _)| after < b) {
                         best = Some((after, q));
                     }
                 }
@@ -228,7 +233,11 @@ impl StaticPartitioner for PaGrid {
 
 impl PaGrid {
     fn candidate_parts(&self, graph: &Graph, part: &Partition, v: NodeId) -> Vec<u32> {
-        graph.neighbors(v).iter().map(|&w| part.part_of(w)).collect()
+        graph
+            .neighbors(v)
+            .iter()
+            .map(|&w| part.part_of(w))
+            .collect()
     }
 }
 

@@ -48,10 +48,9 @@ impl ProcessorGraph {
     pub fn hypercube(dim: u32) -> Self {
         let n = 1usize << dim;
         let mut links = vec![vec![0.0; n]; n];
-        for i in 0..n {
+        for (i, row) in links.iter_mut().enumerate() {
             for b in 0..dim {
-                let j = i ^ (1usize << b);
-                links[i][j] = 1.0;
+                row[i ^ (1usize << b)] = 1.0;
             }
         }
         ProcessorGraph::new(vec![1.0; n], links)
@@ -112,13 +111,13 @@ impl ProcessorGraph {
     pub fn distances(&self) -> Vec<Vec<usize>> {
         let n = self.n;
         let mut dist = vec![vec![usize::MAX; n]; n];
-        for start in 0..n {
-            dist[start][start] = 0;
+        for (start, row) in dist.iter_mut().enumerate() {
+            row[start] = 0;
             let mut queue = std::collections::VecDeque::from([start]);
             while let Some(u) = queue.pop_front() {
                 for v in 0..n {
-                    if self.links[u][v] > 0.0 && dist[start][v] == usize::MAX {
-                        dist[start][v] = dist[start][u] + 1;
+                    if self.links[u][v] > 0.0 && row[v] == usize::MAX {
+                        row[v] = row[u] + 1;
                         queue.push_back(v);
                     }
                 }
@@ -170,7 +169,10 @@ impl ProcessorGraph {
                 .map(|t| t.parse().map_err(|e| format!("bad link {t:?}: {e}")))
                 .collect::<Result<_, _>>()?;
             if row.len() != n {
-                return Err(format!("link row {i} has {} entries, expected {n}", row.len()));
+                return Err(format!(
+                    "link row {i} has {} entries, expected {n}",
+                    row.len()
+                ));
             }
             links.push(row);
         }
@@ -199,9 +201,9 @@ mod tests {
     fn hypercube_distances_are_hamming() {
         let h = ProcessorGraph::hypercube(4);
         let d = h.distances();
-        for i in 0..16usize {
-            for j in 0..16usize {
-                assert_eq!(d[i][j], (i ^ j).count_ones() as usize);
+        for (i, row) in d.iter().enumerate() {
+            for (j, &hops) in row.iter().enumerate() {
+                assert_eq!(hops, (i ^ j).count_ones() as usize);
             }
         }
     }
@@ -218,9 +220,9 @@ mod tests {
     fn complete_machine_is_diameter_one() {
         let c = ProcessorGraph::complete(6);
         let d = c.distances();
-        for i in 0..6 {
-            for j in 0..6 {
-                assert_eq!(d[i][j], usize::from(i != j));
+        for (i, row) in d.iter().enumerate() {
+            for (j, &hops) in row.iter().enumerate() {
+                assert_eq!(hops, usize::from(i != j));
             }
         }
     }

@@ -82,11 +82,7 @@ impl StaticPartitioner for HilbertCurve {
             .map(|v| {
                 let (x, y) = coords[v as usize];
                 (
-                    hilbert_d(
-                        self.order,
-                        scale(x, min_x, max_x),
-                        scale(y, min_y, max_y),
-                    ),
+                    hilbert_d(self.order, scale(x, min_x, max_x), scale(y, min_y, max_y)),
                     v,
                 )
             })

@@ -7,8 +7,7 @@
 
 use crate::StaticPartitioner;
 use ic2_graph::{Graph, Partition};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ic2_rng::SplitMix64;
 
 /// Assign node `v` to part `v % nparts`.
 #[derive(Debug, Clone, Copy, Default)]
@@ -40,7 +39,7 @@ impl StaticPartitioner for RandomPartition {
     }
     fn partition(&self, graph: &Graph, nparts: usize) -> Partition {
         assert!(nparts > 0);
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::new(self.seed);
         let assignment = (0..graph.num_nodes())
             .map(|_| rng.gen_range(0..nparts) as u32)
             .collect();
@@ -130,7 +129,11 @@ mod tests {
             &RandomPartition { seed: 0 },
         ] {
             let p = partitioner.partition(&g, 1);
-            assert!(p.as_slice().iter().all(|&x| x == 0), "{}", partitioner.name());
+            assert!(
+                p.as_slice().iter().all(|&x| x == 0),
+                "{}",
+                partitioner.name()
+            );
         }
     }
 

@@ -36,9 +36,7 @@ fn fiedler_vector(graph: &Graph, iterations: usize) -> Vec<f64> {
             .fold(0.0f64, f64::max)
         + 1.0;
     // Deterministic, non-constant start vector.
-    let mut x: Vec<f64> = (0..n)
-        .map(|i| (i as f64 * 0.754_877 + 0.1).sin())
-        .collect();
+    let mut x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.754_877 + 0.1).sin()).collect();
     let mut next = vec![0.0f64; n];
     for _ in 0..iterations {
         // Deflate the constant component, then normalise.
@@ -144,8 +142,7 @@ impl Spectral {
             let remaining = n_sub - pos;
             // Taking this node left must still leave `mr` nodes for the
             // right side.
-            let take_left =
-                left.len() < ml || (acc < target && remaining > mr);
+            let take_left = left.len() < ml || (acc < target && remaining > mr);
             if take_left && remaining > mr || left.len() < ml {
                 left.push(nodes[i]);
                 acc += sub.vertex_weight(i as u32);
@@ -154,7 +151,13 @@ impl Spectral {
             }
         }
         self.split(graph, &left, first_part, k_left, assignment);
-        self.split(graph, &right, first_part + k_left as u32, k - k_left, assignment);
+        self.split(
+            graph,
+            &right,
+            first_part + k_left as u32,
+            k - k_left,
+            assignment,
+        );
     }
 }
 

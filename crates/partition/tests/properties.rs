@@ -1,5 +1,8 @@
-//! Property-based tests for the partitioners: every plug-in must produce a
+//! Randomised tests for the partitioners: every plug-in must produce a
 //! valid, reasonably balanced partition on arbitrary workloads.
+//!
+//! Inputs come from the in-tree [`SplitMix64`] generator with fixed seeds,
+//! so runs are hermetic and reproducible.
 
 use ic2_graph::{generators, metrics, Graph};
 use ic2_partition::bands::{ColumnBand, RectangularBand, RowBand};
@@ -8,17 +11,17 @@ use ic2_partition::metis::Metis;
 use ic2_partition::pagrid::PaGrid;
 use ic2_partition::simple::{BlockPartition, RandomPartition, RoundRobin};
 use ic2_partition::StaticPartitioner;
-use proptest::prelude::*;
+use ic2_rng::SplitMix64;
 
-fn check_valid(g: &Graph, p: &(dyn StaticPartitioner + Sync), k: usize) -> Result<(), TestCaseError> {
+fn check_valid(g: &Graph, p: &(dyn StaticPartitioner + Sync), k: usize) {
     let part = p.partition(g, k);
-    prop_assert_eq!(part.len(), g.num_nodes(), "{} coverage", p.name());
-    prop_assert_eq!(part.num_parts(), k);
+    assert_eq!(part.len(), g.num_nodes(), "{} coverage", p.name());
+    assert_eq!(part.num_parts(), k);
     // Every part id in range is guaranteed by Partition::new; check
     // non-empty parts when there are enough nodes.
     if g.num_nodes() >= k {
         let counts = part.counts();
-        prop_assert!(
+        assert!(
             counts.iter().all(|&c| c > 0),
             "{}: empty part with n={} k={k}: {:?}",
             p.name(),
@@ -26,82 +29,124 @@ fn check_valid(g: &Graph, p: &(dyn StaticPartitioner + Sync), k: usize) -> Resul
             counts
         );
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn metis_valid_on_random_graphs(n in 2usize..80, k in 1usize..9, seed in any::<u64>()) {
-        let g = generators::random_connected(n, 3.5, 10, seed);
-        check_valid(&g, &Metis::default(), k)?;
+#[test]
+fn metis_valid_on_random_graphs() {
+    let mut rng = SplitMix64::new(0x9A1);
+    for _ in 0..48 {
+        let n = rng.gen_range(2..80);
+        let k = rng.gen_range(1..9);
+        let g = generators::random_connected(n, 3.5, 10, rng.next_u64());
+        check_valid(&g, &Metis::default(), k);
     }
+}
 
-    #[test]
-    fn metis_balance_bounded(n in 16usize..100, k in 2usize..9, seed in any::<u64>()) {
-        let g = generators::random_connected(n, 3.5, 10, seed);
+#[test]
+fn metis_balance_bounded() {
+    let mut rng = SplitMix64::new(0x9A2);
+    for _ in 0..48 {
+        let n = rng.gen_range(16..100);
+        let k = rng.gen_range(2..9);
+        let g = generators::random_connected(n, 3.5, 10, rng.next_u64());
         let part = Metis::default().partition(&g, k);
         let imb = metrics::imbalance(&g, &part);
         // Generous bound: one node of slack per part on top of the
         // configured epsilon.
         let bound = 1.05 + k as f64 / n as f64 + 0.15;
-        prop_assert!(imb <= bound, "imbalance {imb} > {bound} (n={n}, k={k})");
+        assert!(imb <= bound, "imbalance {imb} > {bound} (n={n}, k={k})");
     }
+}
 
-    #[test]
-    fn metis_deterministic(n in 4usize..50, k in 2usize..6, seed in any::<u64>()) {
-        let g = generators::random_connected(n, 3.0, 10, seed);
+#[test]
+fn metis_deterministic() {
+    let mut rng = SplitMix64::new(0x9A3);
+    for _ in 0..48 {
+        let n = rng.gen_range(4..50);
+        let k = rng.gen_range(2..6);
+        let g = generators::random_connected(n, 3.0, 10, rng.next_u64());
         let a = Metis::default().partition(&g, k);
         let b = Metis::default().partition(&g, k);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    #[test]
-    fn pagrid_valid_and_no_worse_bottleneck(n in 8usize..60, k in 2usize..6, seed in any::<u64>()) {
-        let g = generators::random_connected(n, 3.5, 10, seed);
-        check_valid(&g, &PaGrid::default(), k)?;
+#[test]
+fn pagrid_valid_and_no_worse_bottleneck() {
+    let mut rng = SplitMix64::new(0x9A4);
+    for _ in 0..48 {
+        let n = rng.gen_range(8..60);
+        let k = rng.gen_range(2..6);
+        let g = generators::random_connected(n, 3.5, 10, rng.next_u64());
+        check_valid(&g, &PaGrid::default(), k);
     }
+}
 
-    #[test]
-    fn bands_valid_on_meshes(rows in 2usize..9, cols in 2usize..9, k in 1usize..9) {
+#[test]
+fn bands_valid_on_meshes() {
+    let mut rng = SplitMix64::new(0x9A5);
+    for _ in 0..48 {
+        let rows = rng.gen_range(2..9);
+        let cols = rng.gen_range(2..9);
+        let k = rng.gen_range(1..9);
         let g = generators::hex_grid(rows, cols);
-        check_valid(&g, &RowBand, k)?;
-        check_valid(&g, &ColumnBand, k)?;
-        check_valid(&g, &RectangularBand, k)?;
+        check_valid(&g, &RowBand, k);
+        check_valid(&g, &ColumnBand, k);
+        check_valid(&g, &RectangularBand, k);
     }
+}
 
-    #[test]
-    fn graycode_valid_on_meshes(rows in 2usize..9, cols in 2usize..9, k in 1usize..9) {
+#[test]
+fn graycode_valid_on_meshes() {
+    let mut rng = SplitMix64::new(0x9A6);
+    for _ in 0..48 {
+        let rows = rng.gen_range(2..9);
+        let cols = rng.gen_range(2..9);
+        let k = rng.gen_range(1..9);
         let g = generators::hex_grid(rows, cols);
         let part = GrayCodeBf.partition(&g, k);
-        prop_assert_eq!(part.len(), g.num_nodes());
+        assert_eq!(part.len(), g.num_nodes());
     }
+}
 
-    #[test]
-    fn simple_partitioners_always_valid(n in 1usize..60, k in 1usize..9, seed in any::<u64>()) {
+#[test]
+fn simple_partitioners_always_valid() {
+    let mut rng = SplitMix64::new(0x9A7);
+    for _ in 0..48 {
+        let n = rng.gen_range(1..60);
+        let k = rng.gen_range(1..9);
+        let seed = rng.next_u64();
         let g = generators::random_connected(n, 3.0, 10, seed);
         let _ = RoundRobin.partition(&g, k);
         let _ = BlockPartition.partition(&g, k);
         let _ = RandomPartition { seed }.partition(&g, k);
     }
+}
 
-    #[test]
-    fn metis_beats_random_partition_on_cut(n in 24usize..80, seed in any::<u64>()) {
+#[test]
+fn metis_beats_random_partition_on_cut() {
+    let mut rng = SplitMix64::new(0x9A8);
+    for _ in 0..48 {
+        let n = rng.gen_range(24..80);
+        let seed = rng.next_u64();
         let g = generators::random_connected(n, 4.0, 10, seed);
         let k = 4;
         let metis_cut = metrics::edge_cut(&g, &Metis::default().partition(&g, k));
         let random_cut = metrics::edge_cut(&g, &RandomPartition { seed }.partition(&g, k));
-        prop_assert!(
+        assert!(
             metis_cut <= random_cut,
             "metis {metis_cut} must not lose to random {random_cut}"
         );
     }
+}
 
-    #[test]
-    fn weighted_graphs_balance_by_weight(n in 12usize..50, seed in any::<u64>()) {
+#[test]
+fn weighted_graphs_balance_by_weight() {
+    let mut rng = SplitMix64::new(0x9A9);
+    for _ in 0..48 {
+        let n = rng.gen_range(12..50);
         // Build a weighted variant: node i has weight 1 + (i % 5).
-        let base = generators::random_connected(n, 3.0, 10, seed);
+        let base = generators::random_connected(n, 3.0, 10, rng.next_u64());
         let mut b = ic2_graph::GraphBuilder::new(n);
         for (u, v, w) in base.edges() {
             b.weighted_edge(u, v, w);
@@ -110,6 +155,6 @@ proptest! {
         let g = b.build();
         let part = Metis::default().partition(&g, 4);
         let imb = metrics::imbalance(&g, &part);
-        prop_assert!(imb < 1.6, "weighted imbalance {imb}");
+        assert!(imb < 1.6, "weighted imbalance {imb}");
     }
 }

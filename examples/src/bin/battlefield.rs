@@ -5,7 +5,7 @@
 //! cargo run -p ic2-examples --release --bin battlefield
 //! ```
 
-use ic2_battlefield::{BattlefieldProgram, BattleStats, Scenario};
+use ic2_battlefield::{BattleStats, BattlefieldProgram, Scenario};
 use ic2_partition::bands::{ColumnBand, RectangularBand, RowBand};
 use ic2_partition::graycode::GrayCodeBf;
 use ic2mpi::prelude::*;

@@ -104,7 +104,10 @@ fn main() {
         || NoBalancer,
         &RunConfig::new(8, steps),
     );
-    assert_eq!(report.final_data, oracle, "parallel Life must match sequential");
+    assert_eq!(
+        report.final_data, oracle,
+        "parallel Life must match sequential"
+    );
 
     println!("glider after {steps} steps on 8 simulated processors:");
     println!("{}", render(&report.final_data, rows, cols));

@@ -40,7 +40,11 @@ impl NodeProgram for Diffusion2D {
     type Data = Heat;
 
     fn init(&self, node: NodeId, _graph: &Graph) -> Heat {
-        Heat(if node == self.source { self.source_temp } else { 0 })
+        Heat(if node == self.source {
+            self.source_temp
+        } else {
+            0
+        })
     }
 
     fn compute(
@@ -56,8 +60,7 @@ impl NodeProgram for Diffusion2D {
         if neighbors.is_empty() {
             return *own;
         }
-        let mean: i64 =
-            neighbors.iter().map(|n| n.data.0).sum::<i64>() / neighbors.len() as i64;
+        let mean: i64 = neighbors.iter().map(|n| n.data.0).sum::<i64>() / neighbors.len() as i64;
         Heat(own.0 + (mean - own.0) / 4)
     }
 
@@ -88,13 +91,12 @@ fn main() {
     println!("heat along row 8 after {steps} steps (mK):");
     for c in 0..16 {
         let t = report.final_data[8 * 16 + c].0;
-        println!("  col {c:>2}: {t:>8}  {}", "#".repeat((t / 12_000) as usize));
+        println!(
+            "  col {c:>2}: {t:>8}  {}",
+            "#".repeat((t / 12_000) as usize)
+        );
     }
-    let warmed = report
-        .final_data
-        .iter()
-        .filter(|h| h.0 > 0)
-        .count();
+    let warmed = report.final_data.iter().filter(|h| h.0 > 0).count();
     println!(
         "{warmed}/{} cells warmed; simulated time {:.3}s on 8 processors",
         graph.num_nodes(),

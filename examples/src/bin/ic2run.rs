@@ -46,10 +46,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match arg.as_str() {
             "--procs" => args.procs = value("--procs")?.parse().map_err(|e| format!("{e}"))?,
             "--iters" => args.iters = value("--iters")?.parse().map_err(|e| format!("{e}"))?,
@@ -113,11 +110,7 @@ fn make_partitioner(name: &str) -> Result<Box<dyn StaticPartitioner + Sync>, Str
 fn report<D>(args: &Args, report: &RunReport<D>) {
     println!(
         "time elapsed = {:.6}s  ({} procs, {} iters, {} partitioner, {} migrations)",
-        report.total_time,
-        args.procs,
-        args.iters,
-        args.partitioner,
-        report.migrations
+        report.total_time, args.procs, args.iters, args.partitioner, report.migrations
     );
     let bytes: u64 = report.comm.iter().map(|c| c.bytes_sent).sum();
     let msgs: u64 = report.comm.iter().map(|c| c.msgs_sent).sum();
@@ -172,13 +165,7 @@ fn run_battlefield(args: &Args) -> Result<(), String> {
     if args.overlap {
         cfg = cfg.with_exchange(ExchangeMode::Overlap);
     }
-    let r = run(
-        &graph,
-        &program,
-        partitioner.as_ref(),
-        || NoBalancer,
-        &cfg,
-    );
+    let r = run(&graph, &program, partitioner.as_ref(), || NoBalancer, &cfg);
     let stats = ic2_battlefield::BattleStats::from_cells(&r.final_data);
     report(args, &r);
     println!(

@@ -55,9 +55,7 @@ fn main() {
     let procs = 8;
     let iters = 20;
 
-    println!(
-        "256-node hex grid, {procs} processors, {iters} iterations, fine grain\n"
-    );
+    println!("256-node hex grid, {procs} processors, {iters} iterations, fine grain\n");
     println!(
         "  {:<12} {:>8} {:>10} {:>10} {:>12}",
         "partitioner", "cut", "imbalance", "time (s)", "vs metis"
@@ -77,8 +75,8 @@ fn main() {
         let part = p.partition(&graph, procs);
         // A slow (grid/WAN-like) interconnect makes partition quality the
         // first-order effect, as on the thesis's target platforms.
-        let cfg = RunConfig::new(procs, iters)
-            .with_world(mpisim::Config::virtual_time(NetModel::wan()));
+        let cfg =
+            RunConfig::new(procs, iters).with_world(mpisim::Config::virtual_time(NetModel::wan()));
         let report = run(&graph, &program, p.as_ref(), || NoBalancer, &cfg);
         let base = *metis_time.get_or_insert(report.total_time);
         println!(

@@ -22,12 +22,21 @@ fn main() {
 
     // 4. Parallel run: pick a processor count and a static partitioner —
     //    no MPI code, no changes to the node computation.
-    let t1 = run(&graph, &program, &Metis::default(), || NoBalancer, &RunConfig::new(1, 20));
+    let t1 = run(
+        &graph,
+        &program,
+        &Metis::default(),
+        || NoBalancer,
+        &RunConfig::new(1, 20),
+    );
     println!("  1 processor : {:.4}s", t1.total_time);
     for procs in [2, 4, 8, 16] {
         let cfg = RunConfig::new(procs, 20);
         let report = run(&graph, &program, &Metis::default(), || NoBalancer, &cfg);
-        assert_eq!(report.final_data, sequential, "parallel must match sequential");
+        assert_eq!(
+            report.final_data, sequential,
+            "parallel must match sequential"
+        );
         println!(
             "  {procs:>2} processors: {:.4}s  (speedup {:.2}, {} shadow bytes moved)",
             report.total_time,

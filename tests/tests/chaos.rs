@@ -1,0 +1,214 @@
+//! Chaos-mode tests: deterministic fault injection in the substrate and
+//! the platform's self-healing responses — retries, skipped migrations,
+//! emergency rebalancing, and rank-death evacuation.
+
+use ic2_battlefield::{BattlefieldProgram, Scenario};
+use ic2mpi::prelude::*;
+use ic2mpi::seq;
+use mpisim::{FaultPlan, NetModel};
+use std::time::Duration;
+
+fn world(plan: FaultPlan) -> mpisim::Config {
+    mpisim::Config::virtual_time(NetModel::origin2000())
+        .with_watchdog(Duration::from_secs(30))
+        .with_faults(plan)
+}
+
+fn clean_world() -> mpisim::Config {
+    mpisim::Config::virtual_time(NetModel::origin2000()).with_watchdog(Duration::from_secs(30))
+}
+
+#[test]
+fn fault_injection_is_fully_deterministic() {
+    // Same seed, same plan ⇒ byte-identical final states, identical fault
+    // counters, and bit-identical virtual-time totals — across drops,
+    // delays, duplicates, reorders, a straggler, and active migration.
+    let graph = ic2_graph::generators::hex_grid_n(64);
+    let program = AvgProgram::shifting();
+    let plan = || {
+        FaultPlan::new(42)
+            .with_drop(0.05)
+            .with_delay(0.05, 2e-4)
+            .with_dup(0.05)
+            .with_reorder(0.05)
+            .with_straggler(3, 2.0)
+    };
+    let cfg = RunConfig::new(8, 25)
+        .with_balancing(10)
+        .with_world(world(plan()))
+        .with_validation();
+    let runs: Vec<_> = (0..2)
+        .map(|_| {
+            run(
+                &graph,
+                &program,
+                &Metis::default(),
+                || CentralizedHeuristic { threshold: 0.05 },
+                &cfg,
+            )
+        })
+        .collect();
+    let (a, b) = (&runs[0], &runs[1]);
+    assert!(a.faults.any(), "the plan must actually inject faults");
+    assert_eq!(a.final_data, b.final_data);
+    assert_eq!(a.final_owner, b.final_owner);
+    assert_eq!(a.migrations, b.migrations);
+    assert_eq!(a.skipped_migrations, b.skipped_migrations);
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(
+        a.total_time.to_bits(),
+        b.total_time.to_bits(),
+        "virtual time must be bit-identical under the same fault seed"
+    );
+}
+
+#[test]
+fn chaos_battlefield_converges_to_the_fault_free_answer() {
+    // 5% drops, 5% delays, and one 3× straggler on the thesis battlefield:
+    // the run must complete without deadlock and compute exactly what the
+    // fault-free run computes, with the recovery visible in the counters.
+    let bf = BattlefieldProgram::new(&Scenario::thesis());
+    let terrain = bf.terrain();
+    let clean = run(
+        &terrain,
+        &bf,
+        &Metis::default(),
+        || NoBalancer,
+        &RunConfig::new(8, 5).with_world(clean_world()),
+    );
+    assert!(!clean.faults.any());
+
+    let plan = FaultPlan::new(7)
+        .with_drop(0.05)
+        .with_delay(0.05, 2e-4)
+        .with_straggler(2, 3.0);
+    let chaotic = run(
+        &terrain,
+        &bf,
+        &Metis::default(),
+        || NoBalancer,
+        &RunConfig::new(8, 5).with_world(world(plan)),
+    );
+    assert_eq!(chaotic.final_data, clean.final_data);
+    assert!(chaotic.faults.dropped > 0, "{:?}", chaotic.faults);
+    assert!(chaotic.faults.delayed > 0, "{:?}", chaotic.faults);
+    assert!(chaotic.faults.retries > 0, "{:?}", chaotic.faults);
+    // Retransmissions and the straggler cost real (virtual) time.
+    assert!(chaotic.total_time > clean.total_time);
+}
+
+#[test]
+fn lost_migration_payloads_degrade_to_skipped_rounds() {
+    // Drown the data plane: 95% drops with no retry budget. Shadow buffers
+    // escalate their only attempt through (the BSP round must not
+    // deadlock), but migration payloads give up and the planned pair is
+    // skipped — and the answer must still be exact.
+    let graph = ic2_graph::generators::hex_grid_n(64);
+    let program = AvgProgram::shifting();
+    let oracle = seq::run_sequential(&graph, &program, 25);
+    let plan = FaultPlan::new(11).with_drop(0.95).with_retry(1e-4, 0);
+    let cfg = RunConfig::new(8, 25)
+        .with_balancing(10)
+        .with_world(world(plan))
+        .with_validation();
+    let report = run(
+        &graph,
+        &program,
+        &Metis::default(),
+        || CentralizedHeuristic { threshold: 0.05 },
+        &cfg,
+    );
+    assert_eq!(report.final_data, oracle);
+    assert!(report.faults.escalations > 0, "{:?}", report.faults);
+    assert!(
+        report.skipped_migrations > 0,
+        "migrations {} skipped {}: at 90% drop some payload must be lost",
+        report.migrations,
+        report.skipped_migrations
+    );
+}
+
+#[test]
+fn straggler_detector_fires_emergency_rebalancing() {
+    let graph = ic2_graph::generators::hex_grid_n(64);
+    let program = AvgProgram::fine();
+    let oracle = seq::run_sequential(&graph, &program, 20);
+    let plan = FaultPlan::new(3).with_straggler(1, 4.0);
+    let cfg = RunConfig::new(8, 20)
+        .with_world(world(plan))
+        .with_straggler_detection(2.0, 2)
+        .with_validation();
+    let report = run(
+        &graph,
+        &program,
+        &Metis::default(),
+        CentralizedHeuristic::default,
+        &cfg,
+    );
+    assert_eq!(report.final_data, oracle);
+    assert!(
+        report.emergency_balances > 0,
+        "a persistent 4× straggler must trip the detector"
+    );
+    assert!(report.migrations > 0, "the emergency rounds must move load");
+    // The straggler (rank 1) must have shed work relative to its static
+    // share.
+    let owned = |owner: &[u32]| owner.iter().filter(|&&p| p == 1).count();
+    assert!(owned(&report.final_owner) < owned(report.initial_partition.as_slice()));
+}
+
+#[test]
+fn killed_rank_is_evacuated_and_the_run_completes() {
+    let graph = ic2_graph::generators::hex_grid_n(64);
+    let program = AvgProgram::fine();
+    let oracle = seq::run_sequential(&graph, &program, 20);
+    let clean_total = run(
+        &graph,
+        &program,
+        &Metis::default(),
+        || NoBalancer,
+        &RunConfig::new(8, 20).with_world(clean_world()),
+    )
+    .total_time;
+
+    // Kill rank 2 at ~40% of the fault-free run: it evacuates its tasks
+    // at the next iteration boundary and zombies through the rest. The
+    // periodic balancer keeps running and must never plan the dead rank.
+    let plan = FaultPlan::new(1).with_kill(2, clean_total * 0.4);
+    let cfg = RunConfig::new(8, 20)
+        .with_balancing(10)
+        .with_world(world(plan))
+        .with_validation();
+    let report = run(
+        &graph,
+        &program,
+        &Metis::default(),
+        CentralizedHeuristic::default,
+        &cfg,
+    );
+    assert_eq!(report.final_data, oracle);
+    assert_eq!(report.ranks_died, vec![2]);
+    assert!(report.evacuated > 0, "rank 2 owned tasks to evacuate");
+    assert!(
+        !report.final_owner.contains(&2),
+        "a dead rank must own nothing"
+    );
+}
+
+#[test]
+fn kill_determinism_and_virtual_times_match() {
+    // The evacuation path itself must be deterministic.
+    let graph = ic2_graph::generators::hex_grid_n(64);
+    let program = AvgProgram::fine();
+    let plan = FaultPlan::new(5).with_drop(0.03).with_kill(4, 0.02);
+    let cfg = RunConfig::new(8, 15)
+        .with_world(world(plan))
+        .with_validation();
+    let a = run(&graph, &program, &Metis::default(), || NoBalancer, &cfg);
+    let b = run(&graph, &program, &Metis::default(), || NoBalancer, &cfg);
+    assert_eq!(a.final_data, b.final_data);
+    assert_eq!(a.ranks_died, b.ranks_died);
+    assert_eq!(a.evacuated, b.evacuated);
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.total_time.to_bits(), b.total_time.to_bits());
+}

@@ -179,7 +179,13 @@ fn processor_network_plugs_into_pagrid() {
     let program = AvgProgram::fine();
     let pagrid = PaGrid::on_machine(parsed).with_rref(0.45);
     let oracle = seq::run_sequential(&graph, &program, 10);
-    let report = run(&graph, &program, &pagrid, || NoBalancer, &RunConfig::new(8, 10));
+    let report = run(
+        &graph,
+        &program,
+        &pagrid,
+        || NoBalancer,
+        &RunConfig::new(8, 10),
+    );
     assert_eq!(report.final_data, oracle);
 }
 
