@@ -82,6 +82,19 @@ pub trait DynamicBalancer {
     /// Nominate migrations from the runtime processor graph. An empty plan
     /// means the load is considered balanced.
     fn plan(&mut self, report: &LoadReport) -> Vec<MigrationPair>;
+
+    /// Serialize any internal state into a crash-recovery checkpoint.
+    /// Stateless balancers (every balancer in this crate) keep the default
+    /// empty encoding; stateful plug-ins must round-trip through
+    /// [`DynamicBalancer::restore_state`] so rollback recovery can rewind
+    /// them together with the rest of the platform.
+    fn checkpoint_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restore internal state captured by
+    /// [`DynamicBalancer::checkpoint_state`]. The default is a no-op.
+    fn restore_state(&mut self, _state: &[u8]) {}
 }
 
 /// Never migrates; the "Static Partition" baseline in Figures 13–15/18–19.

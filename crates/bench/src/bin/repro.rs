@@ -4,6 +4,7 @@
 //! repro all             # every artifact, thesis order
 //! repro table3 fig20    # specific artifacts
 //! repro --markdown all  # markdown output (EXPERIMENTS.md building block)
+//! repro --json all      # one JSON object per artifact, one per line
 //! repro --list          # available ids
 //! ```
 
@@ -12,6 +13,7 @@ use ic2_bench::experiments;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let markdown = args.iter().any(|a| a == "--markdown");
+    let json = args.iter().any(|a| a == "--json");
     let ids: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -19,7 +21,7 @@ fn main() {
         .collect();
 
     if args.iter().any(|a| a == "--list") || ids.is_empty() {
-        eprintln!("usage: repro [--markdown] <id...|all>");
+        eprintln!("usage: repro [--markdown|--json] <id...|all>");
         eprintln!("available experiments:");
         for id in experiments::all_ids() {
             eprintln!("  {id}");
@@ -39,7 +41,9 @@ fn main() {
     for id in selected {
         match experiments::run_experiment(id) {
             Some(table) => {
-                if markdown {
+                if json {
+                    println!("{}", table.render_json());
+                } else if markdown {
                     println!("{}", table.render_markdown());
                 } else {
                     println!("{}", table.render());

@@ -79,7 +79,7 @@ pub fn table_battlefield(
     for steps in BF_STEPS {
         let mut row = vec![steps.to_string()];
         for procs in PROCS {
-            let report = run(
+            let report = w::run_reported(
                 &graph,
                 &program,
                 partitioner,
@@ -173,15 +173,19 @@ fn metis_vs_pagrid(id: &str, title: &str, expectation: &str, graphs: Vec<Graph>)
             for g in &graphs {
                 let (t1, tp) = if use_pagrid {
                     let p = PaGrid::default();
-                    let t1 = run(g, program, &p, || NoBalancer, &w::static_cfg(1, 20)).total_time;
+                    let t1 = w::run_reported(g, program, &p, || NoBalancer, &w::static_cfg(1, 20))
+                        .total_time;
                     let tp =
-                        run(g, program, &p, || NoBalancer, &w::static_cfg(procs, 20)).total_time;
+                        w::run_reported(g, program, &p, || NoBalancer, &w::static_cfg(procs, 20))
+                            .total_time;
                     (t1, tp)
                 } else {
                     let p = Metis::default();
-                    let t1 = run(g, program, &p, || NoBalancer, &w::static_cfg(1, 20)).total_time;
+                    let t1 = w::run_reported(g, program, &p, || NoBalancer, &w::static_cfg(1, 20))
+                        .total_time;
                     let tp =
-                        run(g, program, &p, || NoBalancer, &w::static_cfg(procs, 20)).total_time;
+                        w::run_reported(g, program, &p, || NoBalancer, &w::static_cfg(procs, 20))
+                            .total_time;
                     (t1, tp)
                 };
                 acc += t1 / tp;
@@ -236,7 +240,7 @@ pub fn fig_static_vs_dynamic(id: &str, title: &str, graph: &Graph) -> Table {
     ] {
         let dynamic = label.ends_with("dynamic");
         let mut row = vec![label.to_string()];
-        let t1 = run(
+        let t1 = w::run_reported(
             graph,
             &program,
             &Metis::default(),
@@ -246,7 +250,7 @@ pub fn fig_static_vs_dynamic(id: &str, title: &str, graph: &Graph) -> Table {
         .total_time;
         for procs in PROCS {
             let time = if dynamic {
-                run(
+                w::run_reported(
                     graph,
                     &program,
                     &Metis::default(),
@@ -255,7 +259,7 @@ pub fn fig_static_vs_dynamic(id: &str, title: &str, graph: &Graph) -> Table {
                 )
                 .total_time
             } else {
-                run(
+                w::run_reported(
                     graph,
                     &program,
                     &Metis::default(),
@@ -330,7 +334,7 @@ pub fn fig20() -> Table {
         procs_header("partitioner"),
     );
     for (_, partitioner) in battlefield_partitioners() {
-        let t1 = run(
+        let t1 = w::run_reported(
             &graph,
             &program,
             partitioner.as_ref(),
@@ -340,7 +344,7 @@ pub fn fig20() -> Table {
         .total_time;
         let mut row = vec![partitioner.name().to_string()];
         for procs in PROCS {
-            let tp = run(
+            let tp = w::run_reported(
                 &graph,
                 &program,
                 partitioner.as_ref(),
@@ -372,7 +376,7 @@ pub fn fig_overheads(id: &str, title: &str, graph: &Graph) -> Table {
     );
     let mut columns = Vec::new();
     for procs in [2usize, 4, 8, 16] {
-        let report = run(
+        let report = w::run_reported(
             graph,
             &program,
             &Metis::default(),
@@ -463,7 +467,7 @@ pub fn ablations() -> Table {
         ("exchange: postcomm (Fig 8)", ExchangeMode::PostComm),
         ("exchange: overlap (Fig 8a)", ExchangeMode::Overlap),
     ] {
-        let r = run(
+        let r = w::run_reported(
             &graph,
             &fine,
             &Metis::default(),
@@ -481,7 +485,7 @@ pub fn ablations() -> Table {
         ("balance: threshold 10%, batch 1 (thesis)", 0.10, 1),
         ("balance: threshold 10%, batch 4", 0.10, 4),
     ] {
-        let r = run(
+        let r = w::run_reported(
             &graph,
             &persistent,
             &Metis::default(),
@@ -498,7 +502,7 @@ pub fn ablations() -> Table {
             r.migrations.to_string(),
         ]);
     }
-    let r = run(
+    let r = w::run_reported(
         &graph,
         &persistent,
         &Metis::default(),
@@ -510,6 +514,153 @@ pub fn ablations() -> Table {
         secs(r.total_time),
         "0".into(),
     ]);
+    t
+}
+
+// ---- Chaos & recovery (this reproduction's robustness extensions) --------
+
+fn chaos_world(plan: mpisim::FaultPlan) -> mpisim::Config {
+    mpisim::Config::virtual_time(mpisim::NetModel::origin2000())
+        .with_watchdog(std::time::Duration::from_secs(60))
+        .with_faults(plan)
+}
+
+/// Per-mechanism fault breakdown under increasing chaos: every column is
+/// one `FaultStats` counter (no aggregate hiding which mechanism fired),
+/// exactly as `RunReport::faults` exposes them.
+pub fn chaos_faults() -> Table {
+    let graph = w::hex(64);
+    let program = AvgProgram::fine();
+    let mut t = Table::new(
+        "chaos_faults",
+        "Injected-fault breakdown, 64-node hex grid, 8 procs, 20 iters, seed 42",
+        "each scenario fires only its own mechanisms; time grows with recovery work",
+        vec![
+            "scenario".into(),
+            "time (s)".into(),
+            "dropped".into(),
+            "delayed".into(),
+            "duplicated".into(),
+            "reordered".into(),
+            "retries".into(),
+            "escalations".into(),
+            "stale".into(),
+            "crash timeouts".into(),
+        ],
+    );
+    let scenarios: Vec<(&str, mpisim::FaultPlan)> = vec![
+        ("clean", mpisim::FaultPlan::new(42)),
+        ("drops 5%", mpisim::FaultPlan::new(42).with_drop(0.05)),
+        (
+            "drops+delays 5%",
+            mpisim::FaultPlan::new(42)
+                .with_drop(0.05)
+                .with_delay(0.05, 2e-4),
+        ),
+        (
+            "full mix 5%",
+            mpisim::FaultPlan::new(42)
+                .with_drop(0.05)
+                .with_delay(0.05, 2e-4)
+                .with_dup(0.05)
+                .with_reorder(0.05),
+        ),
+        (
+            "mix + crash r3",
+            mpisim::FaultPlan::new(42)
+                .with_drop(0.05)
+                .with_delay(0.05, 2e-4)
+                .with_dup(0.05)
+                .with_reorder(0.05)
+                .with_crash(3, 0.05),
+        ),
+    ];
+    for (name, plan) in scenarios {
+        let r = w::run_reported(
+            &graph,
+            &program,
+            &Metis::default(),
+            || NoBalancer,
+            &w::static_cfg(8, 20).with_world(chaos_world(plan)),
+        );
+        let f = &r.faults;
+        t.row(vec![
+            name.into(),
+            secs(r.total_time),
+            f.dropped.to_string(),
+            f.delayed.to_string(),
+            f.duplicated.to_string(),
+            f.reordered.to_string(),
+            f.retries.to_string(),
+            f.escalations.to_string(),
+            f.stale_discarded.to_string(),
+            f.crash_timeouts.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Recovery overhead vs checkpoint interval `k`: one uncooperative crash
+/// on the battlefield, swept over checkpoint cadences. Small `k` pays
+/// steady checkpointing cost but replays little; large `k` checkpoints
+/// cheaply but replays a long tail.
+pub fn recovery_overhead() -> Table {
+    let program = w::battlefield();
+    let terrain = program.terrain();
+    let iters = 12u32;
+    let clean = w::run_reported(
+        &terrain,
+        &program,
+        &Metis::default(),
+        || NoBalancer,
+        &w::static_cfg(8, iters).with_world(chaos_world(mpisim::FaultPlan::new(0))),
+    );
+    let mut t = Table::new(
+        "recovery_overhead",
+        "Crash-recovery overhead vs checkpoint interval k (battlefield, 8 procs, \
+         12 steps, rank 3 crashes at 55% of the clean run)",
+        "overhead falls then rises: frequent checkpoints cost bandwidth, rare ones cost replay",
+        vec![
+            "k".into(),
+            "time (s)".into(),
+            "overhead vs clean".into(),
+            "checkpoint KiB".into(),
+            "rollbacks".into(),
+            "iters replayed".into(),
+        ],
+    );
+    t.row(vec![
+        "no crash".into(),
+        secs(clean.total_time),
+        "—".into(),
+        "0".into(),
+        "0".into(),
+        "0".into(),
+    ]);
+    for k in [1u32, 2, 4, 8, 12] {
+        let plan = mpisim::FaultPlan::new(0).with_crash(3, clean.total_time * 0.55);
+        let r = w::run_reported(
+            &terrain,
+            &program,
+            &Metis::default(),
+            || NoBalancer,
+            &w::static_cfg(8, iters)
+                .with_checkpointing(k)
+                .with_world(chaos_world(plan)),
+        );
+        assert_eq!(
+            r.final_data, clean.final_data,
+            "recovery must reproduce the clean answer"
+        );
+        t.row(vec![
+            k.to_string(),
+            secs(r.total_time),
+            format!("{:+.1}%", (r.total_time / clean.total_time - 1.0) * 100.0),
+            format!("{:.1}", r.checkpoint_bytes as f64 / 1024.0),
+            r.rollbacks.to_string(),
+            r.iterations_replayed.to_string(),
+        ]);
+    }
     t
 }
 
@@ -540,6 +691,8 @@ pub fn all_ids() -> Vec<&'static str> {
         "fig22",
         "fig23",
         "ablations",
+        "chaos_faults",
+        "recovery_overhead",
     ]
 }
 
@@ -577,6 +730,8 @@ pub fn run_experiment(id: &str) -> Option<Table> {
         "fig22" => fig22(),
         "fig23" => fig23(),
         "ablations" => ablations(),
+        "chaos_faults" => chaos_faults(),
+        "recovery_overhead" => recovery_overhead(),
         _ => return None,
     })
 }

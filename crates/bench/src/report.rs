@@ -62,6 +62,41 @@ impl Table {
         out
     }
 
+    /// Render as a JSON object (`{"id", "title", "expectation", "header",
+    /// "rows"}`) for machine consumption — the workspace builds offline,
+    /// so this is a small hand-rolled encoder rather than a serde
+    /// dependency.
+    pub fn render_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn arr(cells: &[String]) -> String {
+            let quoted: Vec<String> = cells.iter().map(|c| format!("\"{}\"", esc(c))).collect();
+            format!("[{}]", quoted.join(","))
+        }
+        let rows: Vec<String> = self.rows.iter().map(|r| arr(r)).collect();
+        format!(
+            "{{\"id\":\"{}\",\"title\":\"{}\",\"expectation\":\"{}\",\"header\":{},\"rows\":[{}]}}",
+            esc(&self.id),
+            esc(&self.title),
+            esc(&self.expectation),
+            arr(&self.header),
+            rows.join(",")
+        )
+    }
+
     /// Render as GitHub-flavoured markdown (used to assemble
     /// EXPERIMENTS.md).
     pub fn render_markdown(&self) -> String {
@@ -117,6 +152,24 @@ mod tests {
     fn row_width_checked() {
         let mut t = Table::new("t", "demo", "none", vec!["a".into()]);
         t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn json_is_escaped_and_well_formed() {
+        let mut t = Table::new(
+            "t1",
+            "a \"quoted\"\ttitle",
+            "line\nbreak",
+            vec!["a".into(), "b".into()],
+        );
+        t.row(vec!["1".into(), "x\\y".into()]);
+        let json = t.render_json();
+        assert_eq!(
+            json,
+            "{\"id\":\"t1\",\"title\":\"a \\\"quoted\\\"\\ttitle\",\
+             \"expectation\":\"line\\nbreak\",\"header\":[\"a\",\"b\"],\
+             \"rows\":[[\"1\",\"x\\\\y\"]]}"
+        );
     }
 
     #[test]

@@ -56,9 +56,32 @@ pub fn figure_balancer() -> Diffusion {
     Diffusion { threshold: 0.10 }
 }
 
+/// Run the platform like [`ic2mpi::run`], but report configuration
+/// mistakes as the typed [`PlatformError`] on stderr and exit 2 instead of
+/// unwinding with a panic backtrace. Every experiment goes through this
+/// wrapper so `repro` fails cleanly on bad configurations.
+pub fn run_reported<P, S, B, F>(
+    graph: &Graph,
+    program: &P,
+    partitioner: &S,
+    make_balancer: F,
+    cfg: &RunConfig,
+) -> RunReport<P::Data>
+where
+    P: NodeProgram,
+    S: ic2_partition::StaticPartitioner + ?Sized,
+    B: DynamicBalancer,
+    F: Fn() -> B + Sync,
+{
+    try_run(graph, program, partitioner, make_balancer, cfg).unwrap_or_else(|e| {
+        eprintln!("error: {e:?}: {e}");
+        std::process::exit(2);
+    })
+}
+
 /// Run a static AvgProgram workload and return total execution time.
 pub fn run_static(graph: &Graph, program: &AvgProgram, procs: usize, iters: u32) -> f64 {
-    run(
+    run_reported(
         graph,
         program,
         &Metis::default(),

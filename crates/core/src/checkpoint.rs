@@ -1,0 +1,815 @@
+//! Crash-consistent checkpointing and rollback recovery.
+//!
+//! The cooperative fail-stop protocol (see `migrate::evacuate_rank`)
+//! assumes a dying rank announces its death and helps evacuate its tasks.
+//! This module handles the *uncooperative* case — a rank that simply stops
+//! (`FaultPlan::with_crash`): mailbox sealed, in-flight messages dropped,
+//! nothing drained.
+//!
+//! ## Protocol
+//!
+//! * **Coordinated snapshots.** Every `k` iterations (`RunConfig::
+//!   checkpoint_every`) each rank snapshots its complete state at the
+//!   iteration boundary — full data-node table (owned nodes *and* shadows,
+//!   so the image is self-contained), the replicated owner map, the
+//!   replicated recovery counters, and the balancer's serialized state —
+//!   and mirrors the table snapshot to a deterministic *buddy*: its
+//!   successor in the ring of live ranks sorted by id. One crash between
+//!   consecutive checkpoints can never lose both copies of a partition;
+//!   only the simultaneous loss of a rank *and* its buddy in the same
+//!   inter-checkpoint window is unrecoverable (and reported as such).
+//!   A snapshot is *staged* first and only *committed* if the closing
+//!   control exchange reports no new deaths, so a crash mid-checkpoint
+//!   can never install a torn snapshot.
+//!
+//! * **Deterministic failure detection.** All agreement goes through
+//!   [`mpisim::Rank::ctl_exchange`]: a barrier-shaped collective that
+//!   resolves once every rank has either arrived or died, and whose
+//!   verdict (dead set + per-rank slots) is snapshotted once at
+//!   resolution — every survivor receives a bit-identical copy.
+//!
+//! * **Never-skip schedule.** Between detections, survivors run their
+//!   normal schedule with crash-aware receives
+//!   ([`crate::exchange::step_crash_aware`]): a receive whose sender died
+//!   substitutes the stale shadow value and carries on, so every survivor
+//!   still executes the identical sequence of barriers and control
+//!   exchanges. The numerically garbage iteration this produces is
+//!   discarded wholesale by rollback.
+//!
+//! * **Rollback recovery.** On a new death every survivor purges its
+//!   mailbox, synchronises, restores the last committed checkpoint,
+//!   adopts the dead rank's nodes per the pure replicated
+//!   [`crate::migrate::plan_adoption`] (data shipped out of the buddy
+//!   copy), immediately re-mirrors the adopted partition, and re-runs the
+//!   lost iterations. Replay is bit-deterministic, the virtual clock keeps
+//!   running forward (re-execution is *charged*, not hidden), and the
+//!   final answer is byte-identical to the sequential oracle.
+
+use crate::costs::CostModel;
+use crate::driver::{RankOutcome, RunConfig};
+use crate::exchange;
+use crate::imbalance::StragglerDetector;
+use crate::migrate;
+use crate::program::{ComputeCtx, NodeProgram};
+use crate::store::NodeStore;
+use crate::timers::{Phase, PhaseTimers};
+use ic2_balance::DynamicBalancer;
+use ic2_graph::{Graph, Partition};
+use mpisim::{CtlSlot, CtlVerdict, Rank, RetryPolicy, Wire};
+
+/// Message tag for checkpoint snapshots mirrored to buddy ranks.
+pub const TAG_MIRROR: u32 = 4;
+
+/// Message tag for adopted-node data shipped out of a buddy copy.
+pub const TAG_ADOPT: u32 = 5;
+
+/// Message tag for the crash-tolerant final gather.
+pub const TAG_GATHER: u32 = 6;
+
+/// Does `verdict` report any crash beyond those in `known`? The one
+/// question every step of the crash-mode protocol asks before committing.
+pub fn has_new_crash(verdict: &CtlVerdict, known: &[bool]) -> bool {
+    verdict.dead.iter().zip(known).any(|(&d, &k)| d && !k)
+}
+
+/// The replicated recovery counters a checkpoint rewinds together with the
+/// node data. Fault statistics, timers and the virtual clock are
+/// deliberately *not* here: recovery overhead must stay visible in the
+/// run report rather than be rolled back out of existence.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Counters {
+    pub(crate) migrations: usize,
+    pub(crate) skipped: usize,
+    pub(crate) evacuated: usize,
+    pub(crate) emergency_balances: usize,
+    pub(crate) comp_since_balance: f64,
+}
+
+/// One rank's committed checkpoint: everything needed to rewind the rank —
+/// and, via the buddy copy, one crashed peer — to an iteration boundary.
+#[derive(Debug, Clone)]
+pub struct Checkpoint<D> {
+    /// Genesis checkpoints (iteration 0) are reconstructed locally from
+    /// the program's initial data instead of from `mine`/`ward` — no
+    /// mirroring traffic is needed for them.
+    pub genesis: bool,
+    /// Completed iterations at the snapshot (0 = before the first).
+    pub iter: u32,
+    /// The replicated owner map at the snapshot.
+    pub owner: Vec<u32>,
+    /// This rank's full table snapshot (owned + shadows), ascending by id.
+    pub mine: Vec<(u32, D)>,
+    /// The buddy copy this rank holds: predecessor rank in the ring and
+    /// its full table snapshot.
+    pub ward: Option<(u32, Vec<(u32, D)>)>,
+    /// Live (non-crashed) ranks at commit time, ascending. The buddy of
+    /// ring member `r` is its successor in this ring.
+    pub ring: Vec<u32>,
+    /// Cooperative (fail-stop) deaths at the snapshot.
+    pub dead: Vec<bool>,
+    /// Death log at the snapshot.
+    pub ranks_died: Vec<u32>,
+    /// Replicated recovery counters at the snapshot.
+    pub(crate) counters: Counters,
+    /// The balancer's serialized state at the snapshot.
+    pub balancer_state: Vec<u8>,
+    /// Virtual clock at commit (bookkeeping: recovery overhead analysis).
+    pub clock: f64,
+}
+
+impl<D> Checkpoint<D> {
+    /// The communication-free checkpoint every rank starts from: iteration
+    /// 0 state is reconstructible from the program's init function and the
+    /// initial partition alone.
+    pub(crate) fn genesis(owner: Vec<u32>, nprocs: usize, balancer_state: Vec<u8>) -> Self {
+        Checkpoint {
+            genesis: true,
+            iter: 0,
+            owner,
+            mine: Vec::new(),
+            ward: None,
+            ring: (0..nprocs as u32).collect(),
+            dead: vec![false; nprocs],
+            ranks_died: Vec::new(),
+            counters: Counters::default(),
+            balancer_state,
+            clock: 0.0,
+        }
+    }
+
+    /// Which ring member holds `c`'s buddy copy (its ring successor);
+    /// `None` if `c` was not in the ring or the ring has no other member.
+    pub fn holder_of(&self, c: u32) -> Option<u32> {
+        if self.ring.len() < 2 {
+            return None;
+        }
+        let pos = self.ring.iter().position(|&r| r == c)?;
+        Some(self.ring[(pos + 1) % self.ring.len()])
+    }
+}
+
+/// Stage a coordinated snapshot, mirror it to the buddy, and commit it iff
+/// the closing control exchange reports no new death. `Err(())` means the
+/// caller must roll back (to its *previous* checkpoint — the staged one is
+/// discarded).
+#[allow(clippy::too_many_arguments)]
+fn take_checkpoint<D, B>(
+    rank: &Rank,
+    store: &NodeStore<D>,
+    iter: u32,
+    dead: &[bool],
+    ranks_died: &[u32],
+    counters: &Counters,
+    balancer: &B,
+    crashed: &[bool],
+    costs: &CostModel,
+    timers: &mut PhaseTimers,
+    checkpoint_bytes: &mut u64,
+) -> Result<Checkpoint<D>, ()>
+where
+    D: Clone + Wire + Send + 'static,
+    B: DynamicBalancer + ?Sized,
+{
+    let t0 = rank.wtime();
+    let me = rank.rank() as u32;
+    let mine = store.snapshot_table();
+    rank.advance(costs.checkpoint_per_entry * mine.len() as f64);
+    *checkpoint_bytes += mine.to_bytes().len() as u64;
+    let ring: Vec<u32> = (0..store.nprocs as u32)
+        .filter(|&r| !crashed[r as usize])
+        .collect();
+    let mut ward = None;
+    let staged = (|| {
+        if ring.len() > 1 {
+            let pos = ring
+                .iter()
+                .position(|&r| r == me)
+                .expect("a live rank is in its own ring");
+            let buddy = ring[(pos + 1) % ring.len()];
+            let prev = ring[(pos + ring.len() - 1) % ring.len()];
+            rank.send_reliable(buddy as usize, TAG_MIRROR, &mine, RetryPolicy::Escalate);
+            match rank.try_recv::<Vec<(u32, D)>>(prev as usize, TAG_MIRROR) {
+                Ok(entries) => {
+                    rank.advance(costs.checkpoint_per_entry * entries.len() as f64);
+                    ward = Some((prev, entries));
+                }
+                Err(_) => return Err(()),
+            }
+        }
+        // Commit barrier: everyone holds a staged snapshot; it becomes
+        // the recovery point only if nobody died while staging.
+        let verdict = rank.ctl_exchange(CtlSlot::default());
+        if has_new_crash(&verdict, crashed) {
+            return Err(());
+        }
+        Ok(())
+    })();
+    timers.add(Phase::Checkpoint, rank.wtime() - t0);
+    staged?;
+    Ok(Checkpoint {
+        genesis: false,
+        iter,
+        owner: store.owner.clone(),
+        mine,
+        ward,
+        ring,
+        dead: dead.to_vec(),
+        ranks_died: ranks_died.to_vec(),
+        counters: counters.clone(),
+        balancer_state: balancer.checkpoint_state(),
+        clock: rank.wtime(),
+    })
+}
+
+/// The subset of a buddy copy one adopter needs: the nodes of crashed rank
+/// `c` assigned to adopter `a` by `plan`, plus their neighbours (they
+/// become the adopter's shadows). `ward` is `c`'s full table snapshot, so
+/// every wanted entry is guaranteed present.
+fn package_for<D: Clone>(
+    graph: &Graph,
+    plan: &[(u32, u32)],
+    owner: &[u32],
+    c: u32,
+    a: u32,
+    ward: &[(u32, D)],
+) -> Vec<(u32, D)> {
+    let mut wanted: Vec<u32> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for &(v, t) in plan {
+        if owner[v as usize] != c || t != a {
+            continue;
+        }
+        for id in std::iter::once(v).chain(graph.neighbors(v).iter().copied()) {
+            if seen.insert(id) {
+                wanted.push(id);
+            }
+        }
+    }
+    wanted
+        .into_iter()
+        .map(|id| {
+            let idx = ward
+                .binary_search_by_key(&id, |&(i, _)| i)
+                .unwrap_or_else(|_| panic!("buddy copy of rank {c} lacks node {id}"));
+            (id, ward[idx].1.clone())
+        })
+        .collect()
+}
+
+/// Roll every survivor back to the last committed checkpoint after the
+/// failure detector reports a new crash. Loops until an attempt completes
+/// with no further deaths; on return the world state (store, counters,
+/// dead sets, balancer) is the checkpoint state with the crashed ranks'
+/// nodes adopted by survivors, and `ckpt` has been re-mirrored over the
+/// shrunken ring.
+///
+/// # Panics
+/// Panics if a crashed rank's buddy also crashed in the same
+/// inter-checkpoint window (both copies of a partition lost — the one
+/// failure mode buddy replication cannot cover).
+#[allow(clippy::too_many_arguments)]
+fn roll_back<P, B>(
+    rank: &Rank,
+    graph: &Graph,
+    program: &P,
+    cfg: &RunConfig,
+    store: &mut NodeStore<P::Data>,
+    balancer: &mut B,
+    ckpt: &mut Checkpoint<P::Data>,
+    crashed: &mut [bool],
+    dead: &mut [bool],
+    ranks_died: &mut Vec<u32>,
+    counters: &mut Counters,
+    timers: &mut PhaseTimers,
+    checkpoint_bytes: &mut u64,
+) where
+    P: NodeProgram,
+    P::Data: Clone + Wire + Send + 'static,
+    B: DynamicBalancer,
+{
+    let me = rank.rank() as u32;
+    let nprocs = store.nprocs;
+    'attempt: loop {
+        let t0 = rank.wtime();
+        // 1. Discard every in-flight message from the aborted epoch, then
+        //    synchronise: nobody proceeds (and starts sending recovery or
+        //    replay traffic) until everyone has purged. The verdict also
+        //    refreshes the agreed cumulative crash set.
+        rank.purge_mailbox();
+        let verdict = rank.ctl_exchange(CtlSlot::default());
+        for r in verdict.dead_ranks() {
+            crashed[r] = true;
+        }
+
+        // 2. Replicated adoption plan: a pure function of the checkpointed
+        //    owner map and the agreed dead set, so every survivor derives
+        //    it identically with no communication.
+        let plan = migrate::plan_adoption(graph, &ckpt.owner, crashed, &ckpt.dead);
+        let mut owner = ckpt.owner.clone();
+        for &(v, t) in &plan {
+            owner[v as usize] = t;
+        }
+
+        // 3. Restore node data under the post-adoption ownership.
+        let restore = (|| -> Result<(), ()> {
+            if ckpt.genesis {
+                // Iteration-0 state is reconstructible locally.
+                let part = Partition::new(owner.clone(), nprocs);
+                *store = NodeStore::build(graph, &part, me, program, cfg.hash_buckets);
+                rank.advance(cfg.costs.init_per_node * store.stored_count() as f64);
+                return Ok(());
+            }
+            let mut entries = ckpt.mine.clone();
+            rank.advance(cfg.costs.checkpoint_per_entry * entries.len() as f64);
+            // Ship adopted data out of the buddy copies, one crashed
+            // owner at a time, ascending — a deterministic traffic
+            // pattern both sides derive from the plan.
+            let mut lost_owners: Vec<u32> =
+                plan.iter().map(|&(v, _)| ckpt.owner[v as usize]).collect();
+            lost_owners.sort_unstable();
+            lost_owners.dedup();
+            for &c in &lost_owners {
+                let holder = match ckpt.holder_of(c) {
+                    Some(h) if !crashed[h as usize] => h,
+                    _ => panic!(
+                        "unrecoverable: rank {c} and its checkpoint buddy both crashed \
+                         in the same inter-checkpoint window; both copies of its \
+                         partition are lost"
+                    ),
+                };
+                let mut adopters: Vec<u32> = plan
+                    .iter()
+                    .filter(|&&(v, _)| ckpt.owner[v as usize] == c)
+                    .map(|&(_, t)| t)
+                    .collect();
+                adopters.sort_unstable();
+                adopters.dedup();
+                if me == holder {
+                    let ward = ckpt
+                        .ward
+                        .as_ref()
+                        .filter(|(w, _)| *w == c)
+                        .expect("holder has the buddy copy of its ring predecessor");
+                    for &a in &adopters {
+                        let package = package_for(graph, &plan, &ckpt.owner, c, a, &ward.1);
+                        rank.advance(cfg.costs.checkpoint_per_entry * package.len() as f64);
+                        if a == me {
+                            entries.extend(package);
+                        } else {
+                            rank.send_reliable(
+                                a as usize,
+                                TAG_ADOPT,
+                                &package,
+                                RetryPolicy::Escalate,
+                            );
+                        }
+                    }
+                } else if adopters.contains(&me) {
+                    match rank.try_recv::<Vec<(u32, P::Data)>>(holder as usize, TAG_ADOPT) {
+                        Ok(package) => {
+                            rank.advance(cfg.costs.checkpoint_per_entry * package.len() as f64);
+                            entries.extend(package);
+                        }
+                        // The holder crashed mid-recovery: restart the
+                        // attempt with the refreshed dead set.
+                        Err(_) => return Err(()),
+                    }
+                }
+            }
+            // Installing the owner map rebuilds the replicated directory;
+            // restore() keeps only what this rank needs under it.
+            store.restore(graph, owner.clone(), entries);
+            Ok(())
+        })();
+        if restore.is_err() {
+            timers.add(Phase::Recovery, rank.wtime() - t0);
+            continue 'attempt;
+        }
+
+        // 4. Rewind the replicated bookkeeping. Crashes are permanent:
+        //    they are re-overlaid on the checkpointed cooperative state.
+        *counters = ckpt.counters.clone();
+        for (d, &cd) in dead.iter_mut().zip(&ckpt.dead) {
+            *d = cd;
+        }
+        for r in 0..nprocs {
+            if crashed[r] {
+                dead[r] = true;
+            }
+        }
+        ranks_died.clear();
+        ranks_died.extend(ckpt.ranks_died.iter().copied());
+        for r in 0..nprocs as u32 {
+            if crashed[r as usize] && !ranks_died.contains(&r) {
+                ranks_died.push(r);
+            }
+        }
+        balancer.restore_state(&ckpt.balancer_state);
+        if cfg.validate {
+            store
+                .validate(graph)
+                .unwrap_or_else(|e| panic!("rank {me}: post-recovery invariant: {e}"));
+        }
+
+        // 5. Agree the restore completed without further deaths.
+        let verdict = rank.ctl_exchange(CtlSlot::default());
+        timers.add(Phase::Recovery, rank.wtime() - t0);
+        if has_new_crash(&verdict, crashed) {
+            continue 'attempt;
+        }
+
+        // 6. Re-mirror immediately: the adopted partition must itself be
+        //    crash-safe before replay resumes, otherwise a second crash
+        //    could orphan the adopted nodes with no copy anywhere.
+        match take_checkpoint(
+            rank,
+            store,
+            ckpt.iter,
+            dead,
+            ranks_died,
+            counters,
+            balancer,
+            crashed,
+            &cfg.costs,
+            timers,
+            checkpoint_bytes,
+        ) {
+            Ok(c) => {
+                *ckpt = c;
+                return;
+            }
+            Err(()) => continue 'attempt,
+        }
+    }
+}
+
+/// The crash-mode SPMD body: the platform driver's normal flow of control
+/// (thesis Figure 6) re-expressed over the failure-detecting control plane,
+/// with coordinated checkpoints and rollback recovery wrapped around it.
+/// Run under [`mpisim::World::run_fallible`], which converts a crashed
+/// rank's unwind into a `None` outcome.
+pub(crate) fn run_rank_with_recovery<P, B>(
+    rank: &Rank,
+    graph: &Graph,
+    program: &P,
+    partition: &Partition,
+    balancer: &mut B,
+    cfg: &RunConfig,
+) -> RankOutcome<P::Data>
+where
+    P: NodeProgram,
+    P::Data: Clone + Wire + Send + 'static,
+    B: DynamicBalancer,
+{
+    let me = rank.rank() as u32;
+    let nprocs = cfg.nprocs;
+    let num_nodes = graph.num_nodes();
+    let mut timers = PhaseTimers::new();
+
+    // ---- Initialization (identical to the fault-free path) -------------
+    let t0 = rank.wtime();
+    let mut store = NodeStore::build(graph, partition, me, program, cfg.hash_buckets);
+    rank.advance(cfg.costs.init_per_node * store.stored_count() as f64);
+    timers.add(Phase::Initialization, rank.wtime() - t0);
+    if cfg.validate {
+        store
+            .validate(graph)
+            .unwrap_or_else(|e| panic!("rank {me}: init invariant: {e}"));
+    }
+    rank.barrier();
+
+    let mut ckpt: Checkpoint<P::Data> = Checkpoint::genesis(
+        partition.as_slice().to_vec(),
+        nprocs,
+        balancer.checkpoint_state(),
+    );
+    let mut counters = Counters::default();
+    let mut dead = vec![false; nprocs];
+    let mut crashed = vec![false; nprocs];
+    let mut ranks_died: Vec<u32> = Vec::new();
+    let mut detector = cfg.straggler.map(|(t, p)| StragglerDetector::new(t, p));
+    let mut rollbacks = 0u32;
+    let mut iterations_replayed = 0u32;
+    let mut checkpoint_bytes = 0u64;
+    let plan_kills = cfg.world.faults.has_kills();
+    let my_kill = cfg.world.faults.kill_time(me as usize);
+    let k = cfg.checkpoint_every.max(1);
+
+    // One rollback sequence, repeated at every detection point: account the
+    // replay (`$completed` = iterations whose work the rewind discards),
+    // rewind, and resume from the checkpoint.
+    macro_rules! recover {
+        ($completed:expr, $iter:ident) => {{
+            iterations_replayed += $completed - ckpt.iter;
+            rollbacks += 1;
+            roll_back(
+                rank,
+                graph,
+                program,
+                cfg,
+                &mut store,
+                balancer,
+                &mut ckpt,
+                &mut crashed,
+                &mut dead,
+                &mut ranks_died,
+                &mut counters,
+                &mut timers,
+                &mut checkpoint_bytes,
+            );
+            // Detector state is replicated-but-unsnapshotted: reset it
+            // identically everywhere and let replay re-feed it.
+            detector = cfg.straggler.map(|(t, p)| StragglerDetector::new(t, p));
+            $iter = ckpt.iter + 1;
+        }};
+    }
+
+    // Mid-iteration detections discard the current (garbage) iteration
+    // too; gather-phase detections only discard what ran past the last
+    // checkpoint.
+
+    let mut iter: u32 = 1;
+    let (total, gathered) = 'run: loop {
+        while iter <= cfg.iterations {
+            let mut comp_this_iter = 0.0;
+            for phase in 0..program.phases() {
+                let ctx = ComputeCtx {
+                    iter,
+                    phase,
+                    rank: me,
+                    num_nodes,
+                };
+                exchange::step_crash_aware(
+                    rank,
+                    graph,
+                    program,
+                    &mut store,
+                    &ctx,
+                    &cfg.costs,
+                    &mut timers,
+                    &mut comp_this_iter,
+                );
+            }
+            counters.comp_since_balance += comp_this_iter;
+
+            // ---- Iteration-end detection point -------------------------
+            // One control exchange carries everything the boundary needs:
+            // the failure detector's verdict, each rank's compute time
+            // (straggler sample), and cooperative kill announcements.
+            let i_died =
+                plan_kills && !dead[me as usize] && my_kill.is_some_and(|t| rank.wtime() >= t);
+            let verdict = rank.ctl_exchange(CtlSlot {
+                word: 0,
+                load: comp_this_iter,
+                flag: i_died,
+            });
+            if has_new_crash(&verdict, &crashed) {
+                recover!(iter, iter);
+                continue;
+            }
+
+            // ---- Cooperative fail-stop (announced via the flag bits) ----
+            if plan_kills {
+                let newly: Vec<u32> = (0..nprocs as u32)
+                    .filter(|&r| verdict.flag(r as usize) == Some(true) && !dead[r as usize])
+                    .collect();
+                for &d in &newly {
+                    dead[d as usize] = true;
+                    ranks_died.push(d);
+                }
+                for &d in &newly {
+                    counters.evacuated += migrate::evacuate_rank(
+                        rank,
+                        graph,
+                        &mut store,
+                        d,
+                        &dead,
+                        &cfg.costs,
+                        &mut timers,
+                    );
+                }
+                if !newly.is_empty() {
+                    counters.comp_since_balance = 0.0;
+                    store.node_load.clear();
+                    if cfg.validate {
+                        store.validate(graph).unwrap_or_else(|e| {
+                            panic!("rank {me}: post-evacuation invariant: {e}")
+                        });
+                    }
+                }
+            }
+
+            // ---- Periodic load balancing (control-plane protocol) -------
+            let mut balanced_this_iter = false;
+            if iter >= cfg.balance_offset.max(1)
+                && migrate::is_balance_iteration(iter - cfg.balance_offset, cfg.balance_every)
+            {
+                match migrate::balance_round_crash(
+                    rank,
+                    graph,
+                    &mut store,
+                    balancer,
+                    counters.comp_since_balance,
+                    cfg.migration_batch,
+                    cfg.migrant_policy,
+                    &dead,
+                    &crashed,
+                    &cfg.costs,
+                    &mut timers,
+                ) {
+                    Ok(out) => {
+                        counters.migrations += out.migrated;
+                        counters.skipped += out.skipped;
+                        counters.comp_since_balance = 0.0;
+                        store.node_load.clear();
+                        balanced_this_iter = true;
+                        if cfg.validate {
+                            store.validate(graph).unwrap_or_else(|e| {
+                                panic!("rank {me}: post-migration invariant: {e}")
+                            });
+                        }
+                    }
+                    Err(()) => {
+                        recover!(iter, iter);
+                        continue;
+                    }
+                }
+            }
+
+            // ---- Straggler detection (from the boundary verdict) --------
+            if let Some(det) = detector.as_mut() {
+                let alive: Vec<f64> = (0..nprocs)
+                    .filter(|&r| !dead[r])
+                    .map(|r| verdict.load(r).unwrap_or(0.0))
+                    .collect();
+                let max = alive.iter().cloned().fold(0.0f64, f64::max);
+                let mean = alive.iter().sum::<f64>() / alive.len().max(1) as f64;
+                if det.observe(max, mean) && !balanced_this_iter {
+                    match migrate::balance_round_crash(
+                        rank,
+                        graph,
+                        &mut store,
+                        balancer,
+                        counters.comp_since_balance,
+                        cfg.migration_batch,
+                        cfg.migrant_policy,
+                        &dead,
+                        &crashed,
+                        &cfg.costs,
+                        &mut timers,
+                    ) {
+                        Ok(out) => {
+                            counters.migrations += out.migrated;
+                            counters.skipped += out.skipped;
+                            counters.emergency_balances += 1;
+                            counters.comp_since_balance = 0.0;
+                            store.node_load.clear();
+                            if cfg.validate {
+                                store.validate(graph).unwrap_or_else(|e| {
+                                    panic!("rank {me}: post-emergency-balance invariant: {e}")
+                                });
+                            }
+                        }
+                        Err(()) => {
+                            recover!(iter, iter);
+                            continue;
+                        }
+                    }
+                }
+            }
+
+            // ---- Coordinated checkpoint --------------------------------
+            if iter.is_multiple_of(k) {
+                match take_checkpoint(
+                    rank,
+                    &store,
+                    iter,
+                    &dead,
+                    &ranks_died,
+                    &counters,
+                    balancer,
+                    &crashed,
+                    &cfg.costs,
+                    &mut timers,
+                    &mut checkpoint_bytes,
+                ) {
+                    Ok(c) => ckpt = c,
+                    Err(()) => {
+                        recover!(iter, iter);
+                        continue;
+                    }
+                }
+            }
+            iter += 1;
+        }
+
+        // ---- Crash-tolerant final gather ------------------------------
+        // Survivors agree the iterations are done, ship their owned data
+        // point-to-point to the lowest live rank, and agree once more that
+        // nobody died during the gather. A death at any point here rolls
+        // back and re-runs the tail of the computation.
+        let verdict = rank.ctl_exchange(CtlSlot::default());
+        if has_new_crash(&verdict, &crashed) {
+            recover!(iter - 1, iter);
+            continue 'run;
+        }
+        let designated = (0..nprocs)
+            .find(|&r| !crashed[r])
+            .expect("at least one rank survives") as u32;
+        let owned: Vec<(u32, P::Data)> = store
+            .internal
+            .iter()
+            .chain(store.peripheral.iter())
+            .map(|node| {
+                (
+                    node.id,
+                    store
+                        .table
+                        .get(node.id)
+                        .expect("owned node has data")
+                        .clone(),
+                )
+            })
+            .collect();
+        let mut gathered: Option<Vec<(u32, P::Data)>> = None;
+        if me == designated {
+            let mut all = owned;
+            let mut complete = true;
+            for r in (0..nprocs).filter(|&r| !crashed[r] && r != me as usize) {
+                match rank.try_recv::<Vec<(u32, P::Data)>>(r, TAG_GATHER) {
+                    Ok(chunk) => all.extend(chunk),
+                    Err(_) => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            if complete {
+                gathered = Some(all);
+            }
+        } else {
+            rank.send_reliable(
+                designated as usize,
+                TAG_GATHER,
+                &owned,
+                RetryPolicy::Escalate,
+            );
+        }
+        let verdict = rank.ctl_exchange(CtlSlot::default());
+        if has_new_crash(&verdict, &crashed) {
+            recover!(iter - 1, iter);
+            continue 'run;
+        }
+        break (rank.wtime(), gathered);
+    };
+
+    RankOutcome {
+        total,
+        timers,
+        comm: rank.stats(),
+        migrations: counters.migrations,
+        skipped: counters.skipped,
+        evacuated: counters.evacuated,
+        emergency_balances: counters.emergency_balances,
+        ranks_died,
+        gathered,
+        owner: store.owner.clone(),
+        checkpoint_bytes,
+        rollbacks,
+        iterations_replayed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holder_is_the_ring_successor() {
+        let ckpt: Checkpoint<i64> = Checkpoint {
+            ring: vec![0, 2, 3],
+            ..Checkpoint::genesis(vec![0, 2, 3], 4, Vec::new())
+        };
+        assert_eq!(ckpt.holder_of(0), Some(2));
+        assert_eq!(ckpt.holder_of(2), Some(3));
+        assert_eq!(ckpt.holder_of(3), Some(0), "the ring wraps");
+        assert_eq!(ckpt.holder_of(1), None, "rank 1 is not in the ring");
+    }
+
+    #[test]
+    fn singleton_ring_has_no_holder() {
+        let ckpt: Checkpoint<i64> = Checkpoint::genesis(vec![0, 0], 1, Vec::new());
+        assert_eq!(ckpt.holder_of(0), None);
+    }
+
+    #[test]
+    fn new_crash_detection_compares_against_known_set() {
+        let verdict = CtlVerdict {
+            dead: vec![false, true, false],
+            slots: vec![None; 3],
+        };
+        assert!(has_new_crash(&verdict, &[false, false, false]));
+        assert!(!has_new_crash(&verdict, &[false, true, false]));
+        assert!(!has_new_crash(&verdict, &[true, true, false]));
+    }
+}

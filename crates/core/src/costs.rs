@@ -33,6 +33,9 @@ pub struct CostModel {
     /// Task-migration cost per migrated data entry (list surgery on the
     /// busy/idle processors).
     pub migrate_per_entry: f64,
+    /// Checkpointing cost per snapshot entry staged, mirrored, or restored
+    /// (crash-recovery bookkeeping).
+    pub checkpoint_per_entry: f64,
 }
 
 impl Default for CostModel {
@@ -45,6 +48,7 @@ impl Default for CostModel {
             init_per_node: 110e-6,
             lb_per_proc: 18e-6,
             migrate_per_entry: 25e-6,
+            checkpoint_per_entry: 4e-6,
         }
     }
 }
@@ -61,6 +65,7 @@ impl CostModel {
             init_per_node: 0.0,
             lb_per_proc: 0.0,
             migrate_per_entry: 0.0,
+            checkpoint_per_entry: 0.0,
         }
     }
 }
@@ -80,6 +85,7 @@ mod tests {
             c.init_per_node,
             c.lb_per_proc,
             c.migrate_per_entry,
+            c.checkpoint_per_entry,
         ] {
             assert!(v > 0.0 && v < 1e-3, "cost {v} out of range");
         }

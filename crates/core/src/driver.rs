@@ -54,6 +54,10 @@ pub struct RunConfig {
     /// runs immediately instead of waiting for the periodic trigger.
     /// `None` (the default) keeps the thesis's purely periodic protocol.
     pub straggler: Option<(f64, u32)>,
+    /// Coordinated-checkpoint interval in iterations (the rollback
+    /// distance bound when an uncooperative crash is injected). Only
+    /// consulted when the fault plan contains crashes; must be ≥ 1.
+    pub checkpoint_every: u32,
 }
 
 impl RunConfig {
@@ -73,6 +77,7 @@ impl RunConfig {
             hash_buckets: 64,
             validate: false,
             straggler: None,
+            checkpoint_every: 5,
         }
     }
 
@@ -124,6 +129,13 @@ impl RunConfig {
         self.straggler = Some((threshold, patience));
         self
     }
+
+    /// Set the coordinated-checkpoint interval (iterations between
+    /// snapshots when crashes may be injected).
+    pub fn with_checkpointing(mut self, every: u32) -> Self {
+        self.checkpoint_every = every;
+        self
+    }
 }
 
 /// Result of a platform run.
@@ -159,6 +171,13 @@ pub struct RunReport<D> {
     /// Planned pair migrations abandoned because their payload was lost
     /// despite retries.
     pub skipped_migrations: usize,
+    /// Total bytes of checkpoint snapshots taken by the surviving ranks
+    /// (0 when crash checkpointing never ran).
+    pub checkpoint_bytes: u64,
+    /// Rollback recoveries performed after uncooperative crashes.
+    pub rollbacks: u32,
+    /// Iterations whose work was discarded by rollbacks and re-executed.
+    pub iterations_replayed: u32,
 }
 
 impl<D> RunReport<D> {
@@ -181,6 +200,80 @@ impl<D> RunReport<D> {
             out.add(phase, merged.get(phase) / n);
         }
         out
+    }
+}
+
+/// What one rank hands back from its SPMD body. Crashed ranks produce no
+/// outcome at all (`World::run_fallible` yields `None` for them), so the
+/// report is assembled from whichever ranks survived.
+pub(crate) struct RankOutcome<D> {
+    pub(crate) total: f64,
+    pub(crate) timers: PhaseTimers,
+    pub(crate) comm: CommStats,
+    pub(crate) migrations: usize,
+    pub(crate) skipped: usize,
+    pub(crate) evacuated: usize,
+    pub(crate) emergency_balances: usize,
+    pub(crate) ranks_died: Vec<u32>,
+    pub(crate) gathered: Option<Vec<(u32, D)>>,
+    pub(crate) owner: Vec<u32>,
+    pub(crate) checkpoint_bytes: u64,
+    pub(crate) rollbacks: u32,
+    pub(crate) iterations_replayed: u32,
+}
+
+/// Assemble the run report from the per-rank outcomes. The recovery
+/// counters are replicated state, so the lowest surviving rank's copy is
+/// canonical; the fault counters are per-rank and sum; timers and comm
+/// stats cover the surviving ranks.
+fn assemble<D: Clone>(
+    results: Vec<Option<RankOutcome<D>>>,
+    partition: Partition,
+    num_nodes: usize,
+) -> RunReport<D> {
+    let live: Vec<&RankOutcome<D>> = results.iter().flatten().collect();
+    let designated = *live.first().expect("at least one rank survives the run");
+    let total_time = live.iter().map(|r| r.total).fold(0.0f64, f64::max);
+    let migrations = designated.migrations;
+    debug_assert!(live.iter().all(|r| r.migrations == migrations));
+    debug_assert!(live.iter().all(|r| r.ranks_died == designated.ranks_died));
+    let mut faults = FaultStats::default();
+    let mut checkpoint_bytes = 0u64;
+    for r in &live {
+        faults.merge(&r.comm.faults);
+        checkpoint_bytes += r.checkpoint_bytes;
+    }
+    let final_owner = designated.owner.clone();
+    let mut slots: Vec<Option<D>> = (0..num_nodes).map(|_| None).collect();
+    if let Some(gathered) = &designated.gathered {
+        for (id, data) in gathered {
+            let slot = &mut slots[*id as usize];
+            assert!(slot.is_none(), "node {id} gathered twice");
+            *slot = Some(data.clone());
+        }
+    }
+    let final_data: Vec<D> = slots
+        .into_iter()
+        .enumerate()
+        .map(|(id, s)| s.unwrap_or_else(|| panic!("node {id} missing from gather")))
+        .collect();
+
+    RunReport {
+        total_time,
+        timers: live.iter().map(|r| r.timers.clone()).collect(),
+        comm: live.iter().map(|r| r.comm.clone()).collect(),
+        migrations,
+        final_data,
+        initial_partition: partition,
+        final_owner,
+        faults,
+        ranks_died: designated.ranks_died.clone(),
+        evacuated: designated.evacuated,
+        emergency_balances: designated.emergency_balances,
+        skipped_migrations: designated.skipped,
+        checkpoint_bytes,
+        rollbacks: designated.rollbacks,
+        iterations_replayed: designated.iterations_replayed,
     }
 }
 
@@ -248,20 +341,27 @@ where
             partition: partition.len(),
         });
     }
+    if cfg.checkpoint_every == 0 {
+        return Err(PlatformError::ZeroCheckpointInterval);
+    }
     let num_nodes = graph.num_nodes();
     let world = World::new(cfg.world.clone());
 
-    struct RankOutcome<D> {
-        total: f64,
-        timers: PhaseTimers,
-        comm: CommStats,
-        migrations: usize,
-        skipped: usize,
-        evacuated: usize,
-        emergency_balances: usize,
-        ranks_died: Vec<u32>,
-        gathered: Option<Vec<(u32, D)>>,
-        owner: Vec<u32>,
+    // Uncooperative crashes need the failure-detecting control plane,
+    // coordinated checkpoints, and a world that tolerates rank death.
+    if cfg.world.faults.has_crashes() {
+        let results: Vec<Option<RankOutcome<P::Data>>> = world.run_fallible(cfg.nprocs, |rank| {
+            let mut balancer = make_balancer();
+            crate::checkpoint::run_rank_with_recovery(
+                rank,
+                graph,
+                program,
+                &partition,
+                &mut balancer,
+                cfg,
+            )
+        });
+        return Ok(assemble(results, partition, num_nodes));
     }
 
     let results: Vec<RankOutcome<P::Data>> = world.run(cfg.nprocs, |rank| {
@@ -462,50 +562,17 @@ where
             ranks_died,
             gathered,
             owner: store.owner.clone(),
+            checkpoint_bytes: 0,
+            rollbacks: 0,
+            iterations_replayed: 0,
         }
     });
 
-    // Assemble the report. The recovery counters are replicated state, so
-    // rank 0's copy is canonical; the fault counters are per-rank and sum.
-    let total_time = results.iter().map(|r| r.total).fold(0.0f64, f64::max);
-    let migrations = results[0].migrations;
-    debug_assert!(results.iter().all(|r| r.migrations == migrations));
-    debug_assert!(results
-        .iter()
-        .all(|r| r.ranks_died == results[0].ranks_died));
-    let mut faults = FaultStats::default();
-    for r in &results {
-        faults.merge(&r.comm.faults);
-    }
-    let final_owner = results[0].owner.clone();
-    let mut slots: Vec<Option<P::Data>> = (0..num_nodes).map(|_| None).collect();
-    if let Some(gathered) = &results[0].gathered {
-        for (id, data) in gathered {
-            let slot = &mut slots[*id as usize];
-            assert!(slot.is_none(), "node {id} gathered twice");
-            *slot = Some(data.clone());
-        }
-    }
-    let final_data: Vec<P::Data> = slots
-        .into_iter()
-        .enumerate()
-        .map(|(id, s)| s.unwrap_or_else(|| panic!("node {id} missing from gather")))
-        .collect();
-
-    Ok(RunReport {
-        total_time,
-        timers: results.iter().map(|r| r.timers.clone()).collect(),
-        comm: results.iter().map(|r| r.comm.clone()).collect(),
-        migrations,
-        final_data,
-        initial_partition: partition,
-        final_owner,
-        faults,
-        ranks_died: results[0].ranks_died.clone(),
-        evacuated: results[0].evacuated,
-        emergency_balances: results[0].emergency_balances,
-        skipped_migrations: results[0].skipped,
-    })
+    Ok(assemble(
+        results.into_iter().map(Some).collect(),
+        partition,
+        num_nodes,
+    ))
 }
 
 #[cfg(test)]
@@ -543,6 +610,24 @@ mod tests {
         assert_eq!(cfg.migrant_policy, migrate::MigrantPolicy::MinCut);
         assert_eq!(cfg.exchange, ExchangeMode::PostComm);
         assert_eq!(cfg.straggler, None);
+        assert_eq!(cfg.checkpoint_every, 5);
+    }
+
+    #[test]
+    fn checkpoint_interval_builder_and_validation() {
+        let cfg = RunConfig::new(4, 10).with_checkpointing(3);
+        assert_eq!(cfg.checkpoint_every, 3);
+        let bad = RunConfig::new(2, 5).with_checkpointing(0);
+        let graph = ic2_graph::generators::hex_grid_n(16);
+        let err = try_run(
+            &graph,
+            &crate::program::AvgProgram::fine(),
+            &ic2_partition::metis::Metis::default(),
+            || ic2_balance::NoBalancer,
+            &bad,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PlatformError::ZeroCheckpointInterval));
     }
 
     #[test]
@@ -564,6 +649,9 @@ mod tests {
             evacuated: 0,
             emergency_balances: 0,
             skipped_migrations: 0,
+            checkpoint_bytes: 0,
+            rollbacks: 0,
+            iterations_replayed: 0,
         };
         assert_eq!(report.speedup_vs(8.0), 4.0);
         assert_eq!(report.mean_timers().get(Phase::Compute), 3.0);

@@ -23,6 +23,9 @@ pub enum PlatformError {
     BadStragglerThreshold(f64),
     /// A straggler patience of zero could never accumulate a strike.
     ZeroStragglerPatience,
+    /// A checkpoint interval of zero iterations is meaningless: crash
+    /// recovery needs at least one iteration between snapshots.
+    ZeroCheckpointInterval,
 }
 
 impl fmt::Display for PlatformError {
@@ -40,6 +43,9 @@ impl fmt::Display for PlatformError {
             ),
             PlatformError::ZeroStragglerPatience => {
                 write!(f, "straggler patience must be at least 1 iteration")
+            }
+            PlatformError::ZeroCheckpointInterval => {
+                write!(f, "checkpoint interval must be at least 1 iteration")
             }
         }
     }

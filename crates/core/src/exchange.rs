@@ -137,6 +137,88 @@ pub fn step<P: NodeProgram>(
     timers.add(Phase::Communicate, rank.wtime() - t0);
 }
 
+/// Crash-aware variant of [`step`]: identical schedule to
+/// [`ExchangeMode::PostComm`], but every shadow receive goes through
+/// [`Rank::try_recv`] so a crashed neighbour cannot wedge the round.
+///
+/// The *never-skip* rule: a receive whose sender has died simply keeps the
+/// stale shadow value from the previous iteration and the rank runs the
+/// rest of its schedule unchanged — every survivor still executes the
+/// identical sequence of barriers and control exchanges, which is what
+/// keeps the failure detector's verdicts aligned. The numerically garbage
+/// iteration this produces is discarded wholesale by rollback recovery, so
+/// it never reaches the final answer.
+///
+/// Returns `true` if any awaited sender turned out to be dead.
+#[allow(clippy::too_many_arguments)]
+pub fn step_crash_aware<P: NodeProgram>(
+    rank: &Rank,
+    _graph: &Graph,
+    program: &P,
+    store: &mut NodeStore<P::Data>,
+    ctx: &ComputeCtx,
+    costs: &CostModel,
+    timers: &mut PhaseTimers,
+    comp_time_out: &mut f64,
+) -> bool {
+    let comp_t0 = rank.wtime();
+    let mut buffers: ShadowBuffers<P::Data> = vec![Vec::new(); store.nprocs];
+    for (p, buf) in buffers.iter_mut().enumerate() {
+        if store.send_counts[p] > 0 {
+            buf.reserve(store.send_counts[p]);
+        }
+    }
+    compute_list(
+        rank,
+        program,
+        &store.internal,
+        &mut store.table,
+        &mut store.node_load,
+        ctx,
+        costs,
+        timers,
+        None,
+    );
+    compute_list(
+        rank,
+        program,
+        &store.peripheral,
+        &mut store.table,
+        &mut store.node_load,
+        ctx,
+        costs,
+        timers,
+        Some(&mut buffers),
+    );
+    *comp_time_out += rank.wtime() - comp_t0;
+    send_buffers(rank, store, &buffers, timers, costs);
+
+    let mut saw_death = false;
+    for p in store.recv_procs() {
+        let t0 = rank.wtime();
+        match rank.try_recv::<Vec<(u32, P::Data)>>(p as usize, TAG_SHADOW) {
+            Ok(msg) => {
+                timers.add(Phase::Communicate, rank.wtime() - t0);
+                unpack(rank, store, msg, timers, costs);
+            }
+            Err(_) => {
+                // Stale shadow values stand in for the dead sender.
+                timers.add(Phase::Communicate, rank.wtime() - t0);
+                saw_death = true;
+            }
+        }
+    }
+
+    let t0 = rank.wtime();
+    rank.advance(costs.per_node_update * store.owned_count() as f64);
+    store.table.promote_all();
+    timers.add(Phase::ComputationOverhead, rank.wtime() - t0);
+    let t0 = rank.wtime();
+    rank.barrier();
+    timers.add(Phase::Communicate, rank.wtime() - t0);
+    saw_death
+}
+
 /// Update every node in `list`: build the node+neighbours list, invoke the
 /// application node function, stage the result, and (for peripherals) pack
 /// the update into the outgoing buffers.

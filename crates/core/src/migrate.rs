@@ -21,12 +21,13 @@
 //! processor receiving two tasks simply handles them sequentially
 //! (Figure 10's P0).
 
+use crate::checkpoint::has_new_crash;
 use crate::costs::CostModel;
 use crate::store::NodeStore;
 use crate::timers::{Phase, PhaseTimers};
 use ic2_balance::{DynamicBalancer, LoadReport};
 use ic2_graph::{Graph, NodeId};
-use mpisim::{Rank, RetryPolicy};
+use mpisim::{CtlSlot, Rank, RetryPolicy};
 
 /// Message tag for migrated task data.
 pub const TAG_MIGRATE: u32 = 2;
@@ -256,39 +257,271 @@ pub fn plan_evacuation(
     dead_rank: u32,
     dead: &[bool],
 ) -> Vec<(NodeId, u32)> {
+    let mut lost = vec![false; dead.len()];
+    lost[dead_rank as usize] = true;
+    plan_adoption(graph, owner, &lost, dead)
+}
+
+/// The multi-failure generalization of [`plan_evacuation`]: assign every
+/// node owned by a `lost` rank to a survivor (neither lost nor `excluded`),
+/// preferring the survivor owning the most of the node's neighbours —
+/// the pure-replication adoption rule that minimizes new edge-cut — with
+/// the least-loaded survivor as the fallback for isolated orphans.
+/// A pure function of replicated inputs, so every rank derives the
+/// identical plan with no communication; rollback recovery relies on that.
+pub fn plan_adoption(
+    graph: &Graph,
+    owner: &[u32],
+    lost: &[bool],
+    excluded: &[bool],
+) -> Vec<(NodeId, u32)> {
+    let nprocs = lost.len();
     // Running owned-node counts, updated as nodes are assigned so the
     // least-loaded fallback spreads orphans instead of piling them up.
-    let mut load = vec![0usize; dead.len()];
+    let mut load = vec![0usize; nprocs];
     for &p in owner {
         load[p as usize] += 1;
     }
-    let survivor = |p: u32| p != dead_rank && !dead[p as usize];
+    let survivor = |p: u32| !lost[p as usize] && !excluded[p as usize];
     let mut plan = Vec::new();
     for v in graph.nodes() {
-        if owner[v as usize] != dead_rank {
+        if !lost[owner[v as usize] as usize] {
             continue;
         }
-        let mut votes = vec![0usize; dead.len()];
+        let mut votes = vec![0usize; nprocs];
         for &w in graph.neighbors(v) {
             let p = owner[w as usize];
             if survivor(p) {
                 votes[p as usize] += 1;
             }
         }
-        let by_neighbours = (0..dead.len() as u32)
+        let by_neighbours = (0..nprocs as u32)
             .filter(|&p| survivor(p) && votes[p as usize] > 0)
             .max_by_key(|&p| (votes[p as usize], std::cmp::Reverse(p)));
         let target = by_neighbours.or_else(|| {
-            (0..dead.len() as u32)
+            (0..nprocs as u32)
                 .filter(|&p| survivor(p))
                 .min_by_key(|&p| (load[p as usize], p))
         });
-        let target = target.expect("at least one rank must survive to evacuate to");
-        load[dead_rank as usize] -= 1;
+        let target = target.expect("at least one rank must survive to adopt the orphans");
+        load[owner[v as usize] as usize] -= 1;
         load[target as usize] += 1;
         plan.push((v, target));
     }
     plan
+}
+
+/// Symmetric communication-volume matrix derived *locally* from the
+/// replicated owner map: `edges[i][j]` counts the shadow entries exchanged
+/// between processors `i` and `j` each iteration (both directions).
+/// Equals the matrix [`balance_round`] gathers from per-rank
+/// `send_counts`, but needs no communication — crash-mode balancing uses
+/// it so the planning inputs stay replicated even while ranks are dying.
+pub fn comm_edges(graph: &Graph, owner: &[u32], nprocs: usize) -> Vec<Vec<u64>> {
+    let mut counts = vec![vec![0u64; nprocs]; nprocs];
+    for v in graph.nodes() {
+        let i = owner[v as usize] as usize;
+        let mut seen: Vec<u32> = Vec::new();
+        for &w in graph.neighbors(v) {
+            let p = owner[w as usize];
+            if p as usize != i && !seen.contains(&p) {
+                seen.push(p);
+                counts[i][p as usize] += 1;
+            }
+        }
+    }
+    let mut edges = vec![vec![0u64; nprocs]; nprocs];
+    for (i, row) in edges.iter_mut().enumerate() {
+        for (j, e) in row.iter_mut().enumerate() {
+            if i != j {
+                *e = counts[i][j] + counts[j][i];
+            }
+        }
+    }
+    edges
+}
+
+/// Crash-tolerant balancing round. Protocol-equivalent to
+/// [`balance_round`], but every collective is replaced by a
+/// failure-detecting control-plane exchange and every planning input is
+/// replicated:
+///
+/// * execution times travel in the entry exchange's load slots;
+/// * communication edges come from [`comm_edges`] (no gather);
+/// * the plan is computed *locally on every rank* from those replicated
+///   inputs (the balancer itself is replicated state);
+/// * the busy processor announces its chosen migrant through a control
+///   word and commits delivery through a control flag.
+///
+/// If any exchange's verdict reports a crash not already in
+/// `known_crashes`, the round aborts with `Err(())` and the caller rolls
+/// back to the last checkpoint — a half-executed round is exactly the kind
+/// of torn state rollback recovery exists to discard.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn balance_round_crash<D, B>(
+    rank: &Rank,
+    graph: &Graph,
+    store: &mut NodeStore<D>,
+    balancer: &mut B,
+    comp_time: f64,
+    batch: u32,
+    policy: MigrantPolicy,
+    dead: &[bool],
+    known_crashes: &[bool],
+    costs: &CostModel,
+    timers: &mut PhaseTimers,
+) -> Result<BalanceOutcome, ()>
+where
+    D: Clone + mpisim::Wire + Send + 'static,
+    B: DynamicBalancer,
+{
+    let t0 = rank.wtime();
+    let nprocs = store.nprocs;
+    let me = rank.rank() as u32;
+    let result = (|| {
+        rank.advance(costs.lb_per_proc * nprocs as f64);
+
+        // Entry exchange doubles as the times allgather.
+        let verdict = rank.ctl_exchange(CtlSlot {
+            word: 0,
+            load: comp_time,
+            flag: false,
+        });
+        if has_new_crash(&verdict, known_crashes) {
+            return Err(());
+        }
+        let mut times: Vec<f64> = (0..nprocs)
+            .map(|r| verdict.load(r).unwrap_or(0.0))
+            .collect();
+        if dead.iter().any(|&d| d) {
+            let alive: Vec<f64> = times
+                .iter()
+                .zip(dead)
+                .filter(|&(_, &d)| !d)
+                .map(|(&t, _)| t)
+                .collect();
+            let mean = alive.iter().sum::<f64>() / alive.len().max(1) as f64;
+            for (t, &d) in times.iter_mut().zip(dead) {
+                if d {
+                    *t = mean;
+                }
+            }
+        }
+
+        let mut outcome = BalanceOutcome::default();
+        for _sub in 0..batch.max(1) {
+            let report = LoadReport {
+                times: times.clone(),
+                edges: comm_edges(graph, &store.owner, nprocs),
+            };
+            let plan: Vec<(u32, u32)> = balancer
+                .plan(&report)
+                .into_iter()
+                .map(|p| (p.busy, p.idle))
+                .filter(|&(b, i)| !dead[b as usize] && !dead[i as usize])
+                .collect();
+            if plan.is_empty() {
+                break;
+            }
+
+            let mut moved_this_sub = 0;
+            for &(busy, idle) in &plan {
+                let mut chosen: (u32, f64) = (NO_CANDIDATE, 0.0);
+                if me == busy {
+                    chosen = select_migrant(graph, store, busy, idle, policy, &times)
+                        .unwrap_or((NO_CANDIDATE, 0.0));
+                }
+                let verdict = rank.ctl_exchange(CtlSlot {
+                    word: chosen.0 as u64,
+                    load: chosen.1,
+                    flag: false,
+                });
+                if has_new_crash(&verdict, known_crashes) {
+                    return Err(());
+                }
+                let migrating = match verdict.word(busy as usize) {
+                    Some(w) => w as u32,
+                    None => return Err(()),
+                };
+                let moved_load = verdict.load(busy as usize).unwrap_or(0.0);
+                if migrating == NO_CANDIDATE {
+                    continue;
+                }
+
+                let mut delivered = true;
+                if me == busy {
+                    let payload: Vec<(u32, D)> = graph
+                        .neighbors(migrating)
+                        .iter()
+                        .map(|&w| {
+                            let data = store
+                                .table
+                                .get(w)
+                                .unwrap_or_else(|| panic!("busy rank lacks data for neighbour {w}"))
+                                .clone();
+                            (w, data)
+                        })
+                        .collect();
+                    rank.advance(costs.migrate_per_entry * payload.len() as f64);
+                    delivered = rank.send_reliable(
+                        idle as usize,
+                        TAG_MIGRATE,
+                        &payload,
+                        RetryPolicy::GiveUp,
+                    );
+                }
+                // Commit: the busy processor's flag says whether the
+                // payload made it, agreed by everyone before the owner map
+                // changes.
+                let verdict = rank.ctl_exchange(CtlSlot {
+                    word: 0,
+                    load: 0.0,
+                    flag: delivered,
+                });
+                if has_new_crash(&verdict, known_crashes) {
+                    return Err(());
+                }
+                if !verdict.flag(busy as usize).unwrap_or(false) {
+                    outcome.skipped += 1;
+                    continue;
+                }
+                if me == idle {
+                    // The payload was deposited before the commit exchange
+                    // resolved, so this receive cannot block; `Died` here
+                    // means a crash slipped in and the round must abort.
+                    match rank.try_recv::<Vec<(u32, D)>>(busy as usize, TAG_MIGRATE) {
+                        Ok(payload) => {
+                            rank.advance(costs.migrate_per_entry * payload.len() as f64);
+                            for (id, data) in payload {
+                                store.table.insert(id, data);
+                            }
+                        }
+                        Err(_) => return Err(()),
+                    }
+                }
+
+                let shift = if moved_load > 0.0 {
+                    moved_load
+                } else {
+                    let busy_count = store.owner.iter().filter(|&&p| p == busy).count().max(1);
+                    times[busy as usize] / busy_count as f64
+                };
+                times[busy as usize] -= shift;
+                times[idle as usize] += shift;
+
+                store.owner[migrating as usize] = idle;
+                store.rebuild_lists(graph);
+                outcome.migrated += 1;
+                moved_this_sub += 1;
+            }
+            if moved_this_sub == 0 {
+                break;
+            }
+        }
+        Ok(outcome)
+    })();
+    timers.add(Phase::LoadBalancing, rank.wtime() - t0);
+    result
 }
 
 /// Evacuate every task off `dead_rank` onto survivors. Called

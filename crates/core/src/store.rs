@@ -166,6 +166,52 @@ impl<D> NodeStore<D> {
         }
     }
 
+    /// Snapshot every locally stored entry — owned nodes *and* shadows —
+    /// as `(id, current value)` pairs in ascending id order. Taken at an
+    /// iteration boundary (shadows in sync, nothing pending) this is a
+    /// complete, self-contained image of the rank's state: together with
+    /// the owner map it is everything checkpoint recovery needs, including
+    /// the neighbour data a rank adopting these nodes will want as its own
+    /// shadows.
+    pub fn snapshot_table(&self) -> Vec<(NodeId, D)>
+    where
+        D: Clone,
+    {
+        let mut entries: Vec<(NodeId, D)> =
+            self.table.iter().map(|(id, d)| (id, d.clone())).collect();
+        entries.sort_unstable_by_key(|&(id, _)| id);
+        entries
+    }
+
+    /// Reset this rank's entire state from a checkpoint: install the
+    /// restored owner map, repopulate the table from snapshot `entries`
+    /// (keeping only what this rank needs under the new ownership — its
+    /// owned nodes and their neighbours), and re-derive every list.
+    pub fn restore(&mut self, graph: &Graph, owner: Vec<u32>, entries: Vec<(NodeId, D)>)
+    where
+        D: Clone,
+    {
+        assert_eq!(owner.len(), graph.num_nodes(), "owner map must cover graph");
+        self.owner = owner;
+        let mut needed = vec![false; graph.num_nodes()];
+        for v in graph.nodes() {
+            if self.owner[v as usize] == self.rank {
+                needed[v as usize] = true;
+                for &w in graph.neighbors(v) {
+                    needed[w as usize] = true;
+                }
+            }
+        }
+        self.table = crate::hashtab::NodeTable::new(self.table.bucket_count());
+        for (id, d) in entries {
+            if needed[id as usize] {
+                self.table.insert(id, d);
+            }
+        }
+        self.node_load.clear();
+        self.rebuild_lists(graph);
+    }
+
     /// Processors this rank must *receive* shadow data from: owners of the
     /// remote neighbours of its owned nodes, ascending.
     pub fn recv_procs(&self) -> Vec<u32> {

@@ -1,6 +1,8 @@
 //! Per-phase time accounting (the thesis's §5.4 overhead breakdown).
 
-/// The six phases the thesis reports in Figures 21–22.
+/// The six phases the thesis reports in Figures 21–22, plus the two
+/// fault-tolerance phases added by crash recovery (checkpointing and
+/// rollback/re-execution overhead).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
     /// Setting up node lists, data lists, hash tables, buffer plans.
@@ -16,17 +18,25 @@ pub enum Phase {
     Communicate,
     /// Gathering load statistics, planning, and migrating tasks.
     LoadBalancing,
+    /// Taking coordinated snapshots and mirroring them to buddy ranks.
+    Checkpoint,
+    /// Rolling back after a crash: restoring state, adopting orphaned
+    /// nodes, and rebuilding the directory (re-run iterations are charged
+    /// to their own phases).
+    Recovery,
 }
 
 impl Phase {
     /// All phases, in report order.
-    pub const ALL: [Phase; 6] = [
+    pub const ALL: [Phase; 8] = [
         Phase::Initialization,
         Phase::ComputationOverhead,
         Phase::Compute,
         Phase::CommunicationOverhead,
         Phase::Communicate,
         Phase::LoadBalancing,
+        Phase::Checkpoint,
+        Phase::Recovery,
     ];
 
     /// Human-readable label matching the thesis figures.
@@ -38,6 +48,8 @@ impl Phase {
             Phase::CommunicationOverhead => "Communication Overhead",
             Phase::Communicate => "Communicate",
             Phase::LoadBalancing => "Load Balancing & Task Migration",
+            Phase::Checkpoint => "Checkpointing",
+            Phase::Recovery => "Crash Recovery",
         }
     }
 
@@ -49,6 +61,8 @@ impl Phase {
             Phase::CommunicationOverhead => 3,
             Phase::Communicate => 4,
             Phase::LoadBalancing => 5,
+            Phase::Checkpoint => 6,
+            Phase::Recovery => 7,
         }
     }
 }
@@ -56,7 +70,7 @@ impl Phase {
 /// Accumulated seconds per phase for one rank.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PhaseTimers {
-    totals: [f64; 6],
+    totals: [f64; 8],
 }
 
 impl PhaseTimers {
@@ -84,7 +98,7 @@ impl PhaseTimers {
     /// Element-wise sum with another rank's timers.
     pub fn merged(&self, other: &PhaseTimers) -> PhaseTimers {
         let mut out = self.clone();
-        for i in 0..6 {
+        for i in 0..8 {
             out.totals[i] += other.totals[i];
         }
         out

@@ -5,7 +5,7 @@ use crate::net::TimingMode;
 use crate::request::{RecvRequest, SendRequest};
 use crate::stats::CommStats;
 use crate::wire::Wire;
-use crate::world::{BlockedOp, Config, Shared};
+use crate::world::{BlockedOp, Config, CtlSlot, CtlVerdict, RankCrashed, Shared};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::marker::PhantomData;
@@ -20,6 +20,12 @@ pub type Tag = u32;
 
 /// Wildcard source for [`Rank::recv_any`] (`MPI_ANY_SOURCE`).
 pub const ANY_SOURCE: Option<usize> = None;
+
+/// Verdict of a crash-aware receive: the awaited peer has crashed and its
+/// message will never arrive. Returned by [`Rank::try_recv`]; the contained
+/// rank is the dead peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Died(pub usize);
 
 /// What [`Rank::send_reliable`] does when every retransmission is lost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,12 +59,16 @@ pub struct Rank {
     msg_faults: bool,
     /// Cached straggler multiplier for [`advance`](Self::advance).
     compute_factor: f64,
+    /// Cached [`crate::FaultPlan::crash_time`] for this rank: the virtual
+    /// time past which its next substrate operation kills it.
+    crash_time: Option<f64>,
 }
 
 impl Rank {
     pub(crate) fn new(id: usize, n: usize, shared: Arc<Shared>, epoch: Instant) -> Self {
         let msg_faults = shared.cfg.faults.message_faults();
         let compute_factor = shared.cfg.faults.compute_factor(id);
+        let crash_time = shared.cfg.faults.crash_time(id);
         Rank {
             id,
             n,
@@ -70,6 +80,23 @@ impl Rank {
             send_seq: RefCell::new(HashMap::new()),
             msg_faults,
             compute_factor,
+            crash_time,
+        }
+    }
+
+    /// Die here if this rank's scheduled crash time has passed. The check
+    /// sits at every substrate operation, so the crash point is a
+    /// deterministic position in the rank's own instruction stream —
+    /// independent of OS scheduling. The full death protocol (mailbox
+    /// sealed, dead flag published, failure detector notified) runs
+    /// *before* the unwind, so survivors can already observe the death
+    /// while this thread is still unwinding.
+    fn maybe_crash(&self) {
+        if let Some(t) = self.crash_time {
+            if self.wtime() >= t {
+                self.shared.declare_dead(self.id);
+                std::panic::panic_any(RankCrashed(self.id));
+            }
         }
     }
 
@@ -115,6 +142,7 @@ impl Rank {
                 }
             }
         }
+        self.maybe_crash();
     }
 
     /// Snapshot of this rank's communication counters, including
@@ -201,6 +229,91 @@ impl Rank {
         })
     }
 
+    /// Crash-aware blocking receive: wait for a message from `src`, but if
+    /// `src` has crashed and its message will never come, give up after the
+    /// fault plan's `detect_timeout` (charged to the virtual clock) and
+    /// return [`Died`].
+    ///
+    /// The outcome is deterministic: every message a rank sends
+    /// happens-before its death is published, so once the dead flag is
+    /// observed *and* a subsequent mailbox check comes up empty, the
+    /// message provably was never sent. Whether `src` sent before crashing
+    /// is a pure function of its own (deterministic) instruction stream.
+    pub fn try_recv<T: Wire>(&self, src: usize, tag: Tag) -> Result<T, Died> {
+        self.maybe_crash();
+        let pattern = Pattern {
+            src: Some(src),
+            tag: tag as i64,
+        };
+        let ordered = self.msg_faults && pattern.tag >= 0;
+        self.shared.set_blocked(
+            self.id,
+            Some(BlockedOp {
+                what: "try_recv",
+                src: pattern.src,
+                tag: Some(pattern.tag),
+                vtime: self.clock.get(),
+            }),
+        );
+        let deadline = Instant::now() + self.shared.cfg.watchdog;
+        let env = loop {
+            self.check_poison();
+            // Read the dead flag *before* the mailbox check: deliveries
+            // happen-before the flag is set, so flag-then-empty is a
+            // definitive "never coming".
+            let dead = self.shared.is_dead(src);
+            let slice =
+                Duration::from_millis(5).min(deadline.saturating_duration_since(Instant::now()));
+            if let Some(env) = self.shared.mailboxes[self.id].recv(pattern, slice, ordered) {
+                break env;
+            }
+            if dead {
+                self.shared.set_blocked(self.id, None);
+                if let TimingMode::Virtual(_) = self.shared.cfg.timing {
+                    self.clock
+                        .set(self.clock.get() + self.shared.cfg.faults.detect_timeout);
+                }
+                self.stats.borrow_mut().faults.crash_timeouts += 1;
+                return Err(Died(src));
+            }
+            if Instant::now() >= deadline {
+                panic!(
+                    "rank {}: crash-aware receive matching {:?} timed out after {:?} \
+                     (likely deadlock); world state:\n{}",
+                    self.id,
+                    pattern,
+                    self.shared.cfg.watchdog,
+                    self.shared.deadlock_report()
+                );
+            }
+        };
+        self.shared.set_blocked(self.id, None);
+        if let TimingMode::Virtual(net) = self.shared.cfg.timing {
+            let clock = self.clock.get().max(env.arrival) + net.recv_overhead;
+            self.clock.set(clock);
+        }
+        self.stats.borrow_mut().on_recv(env.bytes.len());
+        let value = T::from_bytes(&env.bytes).unwrap_or_else(|e| {
+            panic!(
+                "rank {}: message from rank {} tag {} failed to decode as {}: {e}",
+                self.id,
+                env.src,
+                env.tag,
+                std::any::type_name::<T>()
+            )
+        });
+        Ok(value)
+    }
+
+    /// Discard every message currently queued in this rank's own mailbox.
+    /// Crash-recovery rollback calls this so in-flight traffic from the
+    /// aborted epoch cannot leak into the replayed one. Duplicate-detection
+    /// bookkeeping survives the purge, so reliable streams that straddle a
+    /// rollback still deduplicate correctly.
+    pub fn purge_mailbox(&self) {
+        self.shared.mailboxes[self.id].purge();
+    }
+
     /// Post a nonblocking receive (`MPI_Irecv`); complete it with
     /// [`RecvRequest::wait`].
     pub fn irecv<T: Wire>(&self, src: usize, tag: Tag) -> RecvRequest<T> {
@@ -233,6 +346,7 @@ impl Rank {
     /// mode every clock is synchronised to the maximum plus the model's
     /// barrier cost.
     pub fn barrier(&self) {
+        self.maybe_crash();
         self.stats.borrow_mut().barriers += 1;
         self.shared.set_blocked(
             self.id,
@@ -250,6 +364,42 @@ impl Rank {
         if let TimingMode::Virtual(net) = self.shared.cfg.timing {
             self.clock.set(synced + net.barrier_cost);
         }
+    }
+
+    /// Control-plane exchange with failure detection: a barrier that also
+    /// allgathers one [`CtlSlot`] per rank and returns the failure
+    /// detector's [`CtlVerdict`].
+    ///
+    /// Unlike the tree-structured collectives (which deadlock if a peer
+    /// crashes mid-tree), this goes through the shared barrier, which
+    /// resolves as soon as every rank has either arrived or died. The
+    /// verdict — dead set and slot vector — is snapshotted once at
+    /// resolution, so **every survivor receives a bit-identical copy**:
+    /// this is the agreement property crash recovery builds on. Costs one
+    /// barrier in virtual time.
+    pub fn ctl_exchange(&self, slot: CtlSlot) -> CtlVerdict {
+        self.maybe_crash();
+        self.stats.borrow_mut().barriers += 1;
+        self.shared.set_blocked(
+            self.id,
+            Some(BlockedOp {
+                what: "ctl_exchange",
+                src: None,
+                tag: None,
+                vtime: self.clock.get(),
+            }),
+        );
+        let (synced, verdict) =
+            self.shared
+                .barrier
+                .wait_ctl(self.n, self.id, self.clock.get(), slot, || {
+                    self.check_poison();
+                });
+        self.shared.set_blocked(self.id, None);
+        if let TimingMode::Virtual(net) = self.shared.cfg.timing {
+            self.clock.set(synced + net.barrier_cost);
+        }
+        verdict
     }
 
     /// Broadcast `value` from `root` to every rank (`MPI_Bcast`),
@@ -416,6 +566,7 @@ impl Rank {
         bytes: Vec<u8>,
         force: bool,
     ) -> bool {
+        self.maybe_crash();
         assert!(
             dest < self.n,
             "rank {}: send to invalid destination {dest} (world size {})",
@@ -482,6 +633,7 @@ impl Rank {
     }
 
     pub(crate) fn complete_recv_with_source<T: Wire>(&self, pattern: Pattern) -> (usize, T) {
+        self.maybe_crash();
         // Under message faults, user-tag receives go through the ordered
         // path: lowest sequence number first, duplicates discarded.
         let ordered = self.msg_faults && pattern.tag >= 0;

@@ -63,11 +63,23 @@ pub struct FaultPlan {
     /// given virtual time (cooperative fail-stop — the platform detects it
     /// at the next iteration boundary and evacuates).
     pub kills: Vec<(usize, f64)>,
+    /// `(rank, virtual_time)`: rank *crashes* once its clock passes the
+    /// given virtual time — uncooperative death. The rank dies instantly at
+    /// its next substrate operation: its mailbox is sealed, anything still
+    /// queued for it is dropped, nothing it would have sent after the crash
+    /// point is ever sent, and it does not drain or evacuate. Survivors
+    /// learn of the death through the control plane's failure detector
+    /// ([`crate::Rank::ctl_exchange`]) and must recover on their own.
+    pub crashes: Vec<(usize, f64)>,
     /// Virtual seconds a reliable send waits for a (simulated) ack before
     /// retransmitting.
     pub retry_timeout: f64,
     /// Retransmissions a reliable send attempts beyond the first try.
     pub max_retries: u32,
+    /// Virtual seconds a receiver waits out before concluding that a
+    /// crashed peer will never send (charged to the clock each time a
+    /// receive is abandoned on a dead peer).
+    pub detect_timeout: f64,
 }
 
 impl Default for FaultPlan {
@@ -81,8 +93,10 @@ impl Default for FaultPlan {
             reorder_prob: 0.0,
             stragglers: Vec::new(),
             kills: Vec::new(),
+            crashes: Vec::new(),
             retry_timeout: 1e-3,
             max_retries: 8,
+            detect_timeout: 5e-3,
         }
     }
 }
@@ -144,11 +158,28 @@ impl FaultPlan {
         self
     }
 
+    /// Crash `rank` (uncooperatively) once its virtual clock reaches `at`:
+    /// the rank dies at its next substrate operation without draining or
+    /// handing anything off. Survivors must detect the death and recover.
+    pub fn with_crash(mut self, rank: usize, at: f64) -> Self {
+        assert!(at >= 0.0, "crash time must be non-negative");
+        self.crashes.retain(|&(r, _)| r != rank);
+        self.crashes.push((rank, at));
+        self
+    }
+
     /// Tune the reliable-send retransmission policy.
     pub fn with_retry(mut self, timeout: f64, max_retries: u32) -> Self {
         assert!(timeout >= 0.0, "timeout must be non-negative");
         self.retry_timeout = timeout;
         self.max_retries = max_retries;
+        self
+    }
+
+    /// Tune the failure detector's per-receive abandonment timeout.
+    pub fn with_detect_timeout(mut self, timeout: f64) -> Self {
+        assert!(timeout >= 0.0, "timeout must be non-negative");
+        self.detect_timeout = timeout;
         self
     }
 
@@ -162,7 +193,10 @@ impl FaultPlan {
 
     /// Does this plan do anything at all?
     pub fn is_noop(&self) -> bool {
-        !self.message_faults() && self.stragglers.is_empty() && self.kills.is_empty()
+        !self.message_faults()
+            && self.stragglers.is_empty()
+            && self.kills.is_empty()
+            && self.crashes.is_empty()
     }
 
     /// Compute-time multiplier for `rank` (1.0 unless it straggles).
@@ -184,6 +218,19 @@ impl FaultPlan {
     /// Whether any rank is scheduled to die.
     pub fn has_kills(&self) -> bool {
         !self.kills.is_empty()
+    }
+
+    /// Virtual time at which `rank` crashes uncooperatively, if scheduled.
+    pub fn crash_time(&self, rank: usize) -> Option<f64> {
+        self.crashes
+            .iter()
+            .find(|&&(r, _)| r == rank)
+            .map(|&(_, t)| t)
+    }
+
+    /// Whether any rank is scheduled to crash uncooperatively.
+    pub fn has_crashes(&self) -> bool {
+        !self.crashes.is_empty()
     }
 
     /// The fate of transmission `attempt` of the message identified by
@@ -307,5 +354,17 @@ mod tests {
     #[should_panic(expected = "probability out of range")]
     fn rejects_bad_probability() {
         let _ = FaultPlan::new(0).with_drop(1.5);
+    }
+
+    #[test]
+    fn crash_lookup_and_replacement() {
+        let plan = FaultPlan::new(0).with_crash(3, 0.25).with_crash(3, 0.5);
+        assert_eq!(plan.crash_time(3), Some(0.5));
+        assert_eq!(plan.crash_time(0), None);
+        assert_eq!(plan.crashes.len(), 1);
+        assert!(plan.has_crashes());
+        assert!(!plan.has_kills());
+        assert!(!plan.is_noop());
+        assert!(!plan.message_faults());
     }
 }

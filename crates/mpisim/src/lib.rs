@@ -48,10 +48,10 @@ pub mod stats;
 pub mod wire;
 pub mod world;
 
-pub use comm::{Rank, RetryPolicy, Tag, ANY_SOURCE};
+pub use comm::{Died, Rank, RetryPolicy, Tag, ANY_SOURCE};
 pub use faults::{FaultDecision, FaultPlan};
 pub use net::{NetModel, TimingMode};
 pub use request::{RecvRequest, SendRequest};
 pub use stats::{CommStats, FaultStats};
 pub use wire::{Wire, WireError};
-pub use world::{Config, World};
+pub use world::{Config, CtlSlot, CtlVerdict, World};

@@ -44,6 +44,10 @@ struct Inner {
     consumed: std::collections::HashMap<(usize, i64), u64>,
     /// Stale duplicates discarded by ordered receives.
     stale_discarded: u64,
+    /// Set when the owning rank crashes: further deliveries are dropped on
+    /// the floor (the rank will never read them), modelling in-flight
+    /// message loss to a dead peer.
+    sealed: bool,
 }
 
 /// One rank's incoming-message queue.
@@ -79,11 +83,39 @@ impl Mailbox {
     /// violating the non-overtaking guarantee on purpose.
     pub fn deliver(&self, env: Envelope, front: bool) {
         let mut inner = self.lock();
+        if inner.sealed {
+            return;
+        }
         if front {
             inner.queue.insert(0, env);
         } else {
             inner.queue.push(env);
         }
+        self.cond.notify_all();
+    }
+
+    /// Seal the mailbox (the owning rank crashed): drop everything queued
+    /// and refuse all future deliveries.
+    pub fn seal(&self) {
+        let mut inner = self.lock();
+        inner.sealed = true;
+        inner.queue.clear();
+        self.cond.notify_all();
+    }
+
+    /// Discard all queued messages (rollback recovery: traffic from before
+    /// the rollback point must not be mistaken for replayed traffic). The
+    /// consumed-sequence map is kept — send sequence numbers are monotonic,
+    /// so replayed messages always look fresh to ordered receives.
+    pub fn purge(&self) {
+        let mut inner = self.lock();
+        inner.queue.clear();
+    }
+
+    /// Wake any receiver blocked on this mailbox so it can re-check
+    /// world state (a peer just died).
+    pub fn poke(&self) {
+        let _inner = self.lock();
         self.cond.notify_all();
     }
 
@@ -337,6 +369,34 @@ mod tests {
         assert_eq!(mb.recv(pat, WD, true).unwrap().bytes, vec![0xb]);
         assert!(mb.is_empty(), "duplicate must have been discarded");
         assert_eq!(mb.stale_discarded(), 1);
+    }
+
+    #[test]
+    fn sealed_mailbox_drops_everything() {
+        let mb = Mailbox::new();
+        mb.deliver(env(0, 1, 7), false);
+        mb.seal();
+        assert!(mb.is_empty(), "sealing discards queued traffic");
+        mb.deliver(env(0, 1, 8), false);
+        assert!(mb.is_empty(), "a sealed mailbox refuses new deliveries");
+    }
+
+    #[test]
+    fn purge_clears_queue_but_keeps_consumed_seqs() {
+        let mb = Mailbox::new();
+        let pat = Pattern {
+            src: Some(0),
+            tag: 1,
+        };
+        mb.deliver(env_seq(0, 1, 0, 0xa), false);
+        assert_eq!(mb.recv(pat, WD, true).unwrap().bytes, vec![0xa]);
+        mb.deliver(env_seq(0, 1, 0, 0xa), false); // stale duplicate
+        mb.deliver(env_seq(0, 1, 1, 0xb), false);
+        mb.purge();
+        assert!(mb.is_empty());
+        // A replayed (fresh, higher-seq) message still gets through.
+        mb.deliver(env_seq(0, 1, 2, 0xc), false);
+        assert_eq!(mb.recv(pat, WD, true).unwrap().bytes, vec![0xc]);
     }
 
     #[test]

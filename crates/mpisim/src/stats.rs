@@ -22,6 +22,9 @@ pub struct FaultStats {
     pub escalations: u64,
     /// Duplicate copies discarded by this rank's ordered receives.
     pub stale_discarded: u64,
+    /// Crash-aware receives abandoned because the peer was dead
+    /// (each one charged the fault plan's `detect_timeout`).
+    pub crash_timeouts: u64,
 }
 
 impl FaultStats {
@@ -34,6 +37,7 @@ impl FaultStats {
         self.retries += other.retries;
         self.escalations += other.escalations;
         self.stale_discarded += other.stale_discarded;
+        self.crash_timeouts += other.crash_timeouts;
     }
 
     /// Did any fault actually fire?

@@ -67,8 +67,87 @@ fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// One rank's contribution to a control-plane exchange
+/// ([`crate::Rank::ctl_exchange`]): a word of metadata, a load figure, and
+/// a vote flag. Aggregated through the shared barrier so every survivor
+/// sees the identical resolved vector.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CtlSlot {
+    /// Opaque per-rank metadata word (e.g. a chosen node id).
+    pub word: u64,
+    /// Per-rank load or timing figure.
+    pub load: f64,
+    /// Per-rank boolean vote.
+    pub flag: bool,
+}
+
+/// Resolved outcome of a control-plane exchange: the failure detector's
+/// verdict plus every surviving rank's [`CtlSlot`] contribution.
+///
+/// The verdict is *agreed*: every survivor of the same exchange receives a
+/// bit-identical copy, because it is snapshotted once, under the barrier
+/// lock, at the instant the exchange resolves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CtlVerdict {
+    /// Which ranks the failure detector has declared dead (crashed ranks
+    /// only; cooperative kills are not in here).
+    pub dead: Vec<bool>,
+    /// Each rank's contribution; `None` for ranks that died before
+    /// contributing to this exchange.
+    pub slots: Vec<Option<CtlSlot>>,
+}
+
+impl CtlVerdict {
+    /// Ranks declared dead, in ascending order.
+    pub fn dead_ranks(&self) -> Vec<usize> {
+        (0..self.dead.len()).filter(|&r| self.dead[r]).collect()
+    }
+
+    /// Did the failure detector declare anyone dead?
+    pub fn any_dead(&self) -> bool {
+        self.dead.iter().any(|&d| d)
+    }
+
+    /// Is `rank` declared dead?
+    pub fn is_dead(&self, rank: usize) -> bool {
+        self.dead.get(rank).copied().unwrap_or(false)
+    }
+
+    /// `rank`'s metadata word, if it contributed.
+    pub fn word(&self, rank: usize) -> Option<u64> {
+        self.slots.get(rank).copied().flatten().map(|s| s.word)
+    }
+
+    /// `rank`'s load figure, if it contributed.
+    pub fn load(&self, rank: usize) -> Option<f64> {
+        self.slots.get(rank).copied().flatten().map(|s| s.load)
+    }
+
+    /// `rank`'s vote flag, if it contributed.
+    pub fn flag(&self, rank: usize) -> Option<bool> {
+        self.slots.get(rank).copied().flatten().map(|s| s.flag)
+    }
+}
+
+/// Panic payload thrown by a rank that hits its scheduled crash point.
+/// [`World::run_fallible`] catches it without poisoning the world; the
+/// plain [`World::run`] treats it like any other rank panic.
+pub(crate) struct RankCrashed(pub(crate) usize);
+
 /// Generation barrier that also computes the maximum virtual clock of the
-/// arriving ranks.
+/// arriving ranks, aggregates per-rank control slots, and doubles as the
+/// deterministic failure detector: a barrier generation resolves once every
+/// rank has either *arrived* or *been declared dead*, and the set of dead
+/// ranks is snapshotted under the lock at that instant, so all waiters of
+/// the generation read the identical verdict.
+///
+/// Determinism argument: a rank's crash point is a deterministic point in
+/// its own instruction stream (it self-checks its virtual clock at substrate
+/// operations), and a generation cannot resolve while a rank that will die
+/// before reaching this barrier is still counted as expected — resolution
+/// needs `count + deaths == n`, and such a rank neither arrives nor is yet
+/// dead. Hence the snapshot at resolution always reflects exactly the
+/// deaths that causally precede the barrier, independent of OS scheduling.
 pub(crate) struct ClockBarrier {
     inner: Mutex<BarrierInner>,
     cond: Condvar,
@@ -78,7 +157,35 @@ struct BarrierInner {
     gen: u64,
     count: usize,
     max_clock: f64,
+    /// Ranks declared dead (persists across generations; lazily sized).
+    dead: Vec<bool>,
+    deaths: usize,
+    /// Control contributions of the in-progress generation.
+    slots: Vec<Option<CtlSlot>>,
     resolved_clock: f64,
+    resolved_dead: Vec<bool>,
+    resolved_slots: Vec<Option<CtlSlot>>,
+}
+
+impl BarrierInner {
+    fn ensure(&mut self, n: usize) {
+        if self.dead.len() < n {
+            self.dead.resize(n, false);
+        }
+        if self.slots.len() < n {
+            self.slots.resize(n, None);
+        }
+    }
+
+    fn resolve(&mut self) {
+        self.resolved_clock = self.max_clock;
+        self.resolved_dead = self.dead.clone();
+        self.resolved_slots = std::mem::take(&mut self.slots);
+        self.slots = vec![None; self.resolved_slots.len()];
+        self.max_clock = 0.0;
+        self.count = 0;
+        self.gen += 1;
+    }
 }
 
 impl ClockBarrier {
@@ -88,26 +195,56 @@ impl ClockBarrier {
                 gen: 0,
                 count: 0,
                 max_clock: 0.0,
+                dead: Vec::new(),
+                deaths: 0,
+                slots: Vec::new(),
                 resolved_clock: 0.0,
+                resolved_dead: Vec::new(),
+                resolved_slots: Vec::new(),
             }),
             cond: Condvar::new(),
         }
     }
 
     /// Enter the barrier with this rank's clock; returns the synchronised
-    /// (maximum) clock once all `n` ranks have arrived. `check` is polled
-    /// while waiting so a poisoned world aborts promptly.
+    /// (maximum) clock once every rank has arrived or died. `check` is
+    /// polled while waiting so a poisoned world aborts promptly.
     pub(crate) fn wait(&self, n: usize, clock: f64, check: impl Fn()) -> f64 {
+        self.arrive(n, None, clock, &check).0
+    }
+
+    /// Enter a control-plane exchange: like [`wait`](Self::wait), but also
+    /// deposits this rank's [`CtlSlot`] and returns the resolved verdict
+    /// (dead set + everyone's slots) alongside the synchronised clock.
+    pub(crate) fn wait_ctl(
+        &self,
+        n: usize,
+        rank: usize,
+        clock: f64,
+        slot: CtlSlot,
+        check: impl Fn(),
+    ) -> (f64, CtlVerdict) {
+        let (clock, dead, slots) = self.arrive(n, Some((rank, slot)), clock, &check);
+        (clock, CtlVerdict { dead, slots })
+    }
+
+    fn arrive(
+        &self,
+        n: usize,
+        entry: Option<(usize, CtlSlot)>,
+        clock: f64,
+        check: &dyn Fn(),
+    ) -> (f64, Vec<bool>, Vec<Option<CtlSlot>>) {
         let mut g = lock_unpoisoned(&self.inner);
+        g.ensure(n);
         g.max_clock = g.max_clock.max(clock);
+        if let Some((rank, slot)) = entry {
+            g.slots[rank] = Some(slot);
+        }
         g.count += 1;
-        if g.count == n {
-            g.resolved_clock = g.max_clock;
-            g.max_clock = 0.0;
-            g.count = 0;
-            g.gen += 1;
+        if g.count + g.deaths >= n {
+            g.resolve();
             self.cond.notify_all();
-            g.resolved_clock
         } else {
             let my_gen = g.gen;
             while g.gen == my_gen {
@@ -123,7 +260,27 @@ impl ClockBarrier {
                 check();
                 g = lock_unpoisoned(&self.inner);
             }
-            g.resolved_clock
+        }
+        (
+            g.resolved_clock,
+            g.resolved_dead.clone(),
+            g.resolved_slots.clone(),
+        )
+    }
+
+    /// Register `rank` as crashed. If the in-progress generation is now
+    /// complete (every other rank already arrived), it resolves here, with
+    /// this death included in the snapshot.
+    pub(crate) fn declare_dead(&self, rank: usize, n: usize) {
+        let mut g = lock_unpoisoned(&self.inner);
+        g.ensure(n);
+        if !g.dead[rank] {
+            g.dead[rank] = true;
+            g.deaths += 1;
+            if g.count > 0 && g.count + g.deaths >= n {
+                g.resolve();
+            }
+            self.cond.notify_all();
         }
     }
 }
@@ -154,12 +311,37 @@ pub(crate) struct Shared {
     /// Per-rank blocked-state registry: what each rank is currently
     /// blocked on, if anything. Feeds the watchdog's deadlock report.
     blocked: Vec<Mutex<Option<BlockedOp>>>,
+    /// Lock-free "rank r has crashed" flags. Set *after* the crashed rank's
+    /// mailbox is sealed, and after every message it ever sent was
+    /// delivered (sends happen-before the crash on the dying thread), so a
+    /// receiver that observes the flag and then finds its mailbox empty
+    /// knows the message will never come.
+    dead_flags: Vec<AtomicBool>,
 }
 
 impl Shared {
     /// Record (or clear, with `None`) what `rank` is blocked on.
     pub(crate) fn set_blocked(&self, rank: usize, op: Option<BlockedOp>) {
         *lock_unpoisoned(&self.blocked[rank]) = op;
+    }
+
+    /// Has `rank` crashed?
+    pub(crate) fn is_dead(&self, rank: usize) -> bool {
+        self.dead_flags[rank].load(Ordering::Acquire)
+    }
+
+    /// Full crash-death protocol for `rank`: seal its mailbox (dropping
+    /// queued and future traffic), publish the dead flag, register the
+    /// death with the failure detector, and wake every blocked receiver so
+    /// it can re-check.
+    pub(crate) fn declare_dead(&self, rank: usize) {
+        let n = self.mailboxes.len();
+        self.mailboxes[rank].seal();
+        self.dead_flags[rank].store(true, Ordering::Release);
+        self.barrier.declare_dead(rank, n);
+        for mb in &self.mailboxes {
+            mb.poke();
+        }
     }
 
     /// Multi-line snapshot of every rank's blocked state and mailbox
@@ -230,7 +412,34 @@ impl World {
         F: Fn(&Rank) -> R + Send + Sync,
         R: Send,
     {
+        self.run_inner(n, f, false)
+            .into_iter()
+            .map(|r| r.expect("no panic recorded, so every rank must have a result"))
+            .collect()
+    }
+
+    /// Run `f` as an SPMD program on `n` ranks, tolerating scheduled
+    /// crashes: a rank that dies at its [`FaultPlan::with_crash`] point
+    /// yields `None` in its slot instead of poisoning the world, and the
+    /// survivors keep running. Any *other* rank panic still poisons the
+    /// world and propagates.
+    pub fn run_fallible<F, R>(&self, n: usize, f: F) -> Vec<Option<R>>
+    where
+        F: Fn(&Rank) -> R + Send + Sync,
+        R: Send,
+    {
+        self.run_inner(n, f, true)
+    }
+
+    fn run_inner<F, R>(&self, n: usize, f: F, tolerate_crashes: bool) -> Vec<Option<R>>
+    where
+        F: Fn(&Rank) -> R + Send + Sync,
+        R: Send,
+    {
         assert!(n > 0, "world must have at least one rank");
+        if tolerate_crashes && self.cfg.faults.has_crashes() {
+            install_crash_quiet_hook();
+        }
         let shared = Arc::new(Shared {
             mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
             barrier: ClockBarrier::new(),
@@ -238,6 +447,7 @@ impl World {
             poisoned: AtomicBool::new(false),
             first_panic: Mutex::new(None),
             blocked: (0..n).map(|_| Mutex::new(None)).collect(),
+            dead_flags: (0..n).map(|_| AtomicBool::new(false)).collect(),
         });
         let epoch = Instant::now();
         let results: Vec<Option<R>> = std::thread::scope(|scope| {
@@ -250,6 +460,15 @@ impl World {
                         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&rank))) {
                             Ok(v) => Some(v),
                             Err(payload) => {
+                                if tolerate_crashes {
+                                    if let Some(c) = payload.downcast_ref::<RankCrashed>() {
+                                        // The rank already ran the full death
+                                        // protocol before unwinding; survivors
+                                        // continue without it.
+                                        debug_assert_eq!(c.0, id);
+                                        return None;
+                                    }
+                                }
                                 let mut slot = lock_unpoisoned(&shared.first_panic);
                                 if slot.is_none() {
                                     *slot = Some(payload);
@@ -270,10 +489,23 @@ impl World {
             std::panic::resume_unwind(payload);
         }
         results
-            .into_iter()
-            .map(|r| r.expect("no panic recorded, so every rank must have a result"))
-            .collect()
     }
+}
+
+/// Silence the default "thread panicked" report for the controlled
+/// [`RankCrashed`] unwind — it is the crash substrate's flow control, not a
+/// failure. Installed once, process-wide; every other panic is delegated to
+/// the previously installed hook.
+fn install_crash_quiet_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<RankCrashed>().is_none() {
+                prev(info);
+            }
+        }));
+    });
 }
 
 #[cfg(test)]
@@ -309,6 +541,78 @@ mod tests {
                 // rank 0 blocks forever; poisoning must release it.
                 let _: u32 = rank.recv(1, 0);
             });
+    }
+
+    #[test]
+    fn crashed_rank_yields_none_and_survivors_agree_on_the_verdict() {
+        let cfg = Config::default()
+            .with_watchdog(Duration::from_secs(5))
+            .with_faults(FaultPlan::new(0).with_crash(1, 0.5));
+        let out = World::new(cfg).run_fallible(4, |rank| {
+            // Everyone computes past the crash point, then exchanges.
+            rank.advance(1.0);
+            let v = rank.ctl_exchange(CtlSlot {
+                word: rank.rank() as u64,
+                load: rank.rank() as f64,
+                flag: true,
+            });
+            (rank.rank(), v)
+        });
+        assert!(out[1].is_none(), "rank 1 must have crashed");
+        let survivors: Vec<_> = out.into_iter().flatten().collect();
+        assert_eq!(survivors.len(), 3);
+        let verdict = &survivors[0].1;
+        assert_eq!(verdict.dead_ranks(), vec![1]);
+        assert!(
+            verdict.slots[1].is_none(),
+            "the dead rank contributed nothing"
+        );
+        assert_eq!(verdict.word(0), Some(0));
+        assert_eq!(verdict.word(2), Some(2));
+        for (_, v) in &survivors {
+            assert_eq!(v, verdict, "all survivors must agree bit-for-bit");
+        }
+    }
+
+    #[test]
+    fn try_recv_detects_a_dead_sender() {
+        let cfg = Config::default()
+            .with_watchdog(Duration::from_secs(5))
+            .with_faults(FaultPlan::new(0).with_crash(1, 0.5));
+        let out = World::new(cfg).run_fallible(2, |rank| {
+            if rank.rank() == 1 {
+                // Sent before the crash point: must arrive.
+                rank.send(0, 7, &11u32);
+                rank.advance(1.0); // dies here
+                rank.send(0, 8, &22u32); // never happens
+                unreachable!();
+            }
+            let early: Result<u32, _> = rank.try_recv(1, 7);
+            let late: Result<u32, _> = rank.try_recv(1, 8);
+            (early, late)
+        });
+        let (early, late) = out[0].expect("rank 0 survives");
+        assert_eq!(early, Ok(11));
+        assert_eq!(late, Err(crate::Died(1)));
+        assert!(out[1].is_none());
+    }
+
+    #[test]
+    fn crash_verdicts_are_deterministic_across_runs() {
+        let run_once = || {
+            let cfg = Config::default()
+                .with_watchdog(Duration::from_secs(5))
+                .with_faults(FaultPlan::new(9).with_crash(2, 0.25));
+            World::new(cfg).run_fallible(4, |rank| {
+                rank.advance(0.1);
+                let a = rank.ctl_exchange(CtlSlot::default());
+                rank.advance(0.5);
+                let b = rank.ctl_exchange(CtlSlot::default());
+                let t: Result<u32, _> = rank.try_recv(2, 3);
+                (a, b, t, rank.wtime().to_bits())
+            })
+        };
+        assert_eq!(run_once()[0], run_once()[0]);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! ```
 
 use ic2_battlefield::{BattleStats, BattlefieldProgram, Scenario};
+use ic2_examples::run_reported;
 use ic2_partition::bands::{ColumnBand, RectangularBand, RowBand};
 use ic2_partition::graycode::GrayCodeBf;
 use ic2mpi::prelude::*;
@@ -26,7 +27,7 @@ fn main() {
 
     let mut outcome = None;
     for partitioner in &partitioners {
-        let report = run(
+        let report = run_reported(
             &graph,
             &program,
             partitioner.as_ref(),

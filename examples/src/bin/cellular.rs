@@ -10,6 +10,7 @@
 //! cargo run -p ic2-examples --release --bin cellular
 //! ```
 
+use ic2_examples::run_reported;
 use ic2_graph::{Graph, GraphBuilder, NodeId};
 use ic2mpi::prelude::*;
 use ic2mpi::seq;
@@ -97,7 +98,7 @@ fn main() {
 
     let steps = 24; // a glider moves one diagonal cell every 4 steps
     let oracle = seq::run_sequential(&graph, &life, steps);
-    let report = run(
+    let report = run_reported(
         &graph,
         &life,
         &Metis::default(),

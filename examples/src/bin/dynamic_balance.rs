@@ -5,6 +5,7 @@
 //! cargo run -p ic2-examples --release --bin dynamic_balance
 //! ```
 
+use ic2_examples::run_reported;
 use ic2mpi::prelude::*;
 use ic2mpi::Phase;
 
@@ -21,7 +22,7 @@ fn main() {
         "procs", "static (s)", "dynamic (s)", "improvement", "migrations"
     );
     for procs in [2, 4, 8, 16] {
-        let static_run = run(
+        let static_run = run_reported(
             &graph,
             &program,
             &Metis::default(),
@@ -33,7 +34,7 @@ fn main() {
             .with_balance_offset(5)
             .with_migration_batch(12)
             .with_migrant_policy(MigrantPolicy::LoadAware);
-        let dynamic_run = run(
+        let dynamic_run = run_reported(
             &graph,
             &program,
             &Metis::default(),
@@ -50,14 +51,14 @@ fn main() {
     }
 
     // Show where the time goes with and without balancing at 8 procs.
-    let static_run = run(
+    let static_run = run_reported(
         &graph,
         &program,
         &Metis::default(),
         || NoBalancer,
         &RunConfig::new(8, iters),
     );
-    let dynamic_run = run(
+    let dynamic_run = run_reported(
         &graph,
         &program,
         &Metis::default(),

@@ -9,6 +9,7 @@
 //! cargo run -p ic2-examples --bin heat_diffusion
 //! ```
 
+use ic2_examples::run_reported;
 use ic2_graph::{Graph, NodeId};
 use ic2mpi::prelude::*;
 use ic2mpi::seq;
@@ -78,7 +79,7 @@ fn main() {
     let steps = 60;
 
     let oracle = seq::run_sequential(&graph, &program, steps);
-    let report = run(
+    let report = run_reported(
         &graph,
         &program,
         &Metis::default(),

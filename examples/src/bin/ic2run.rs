@@ -18,6 +18,7 @@
 //! ```
 
 use ic2_battlefield::{BattlefieldProgram, Scenario};
+use ic2_examples::run_reported;
 use ic2_graph::Graph;
 use ic2mpi::prelude::*;
 use ic2mpi::Phase;
@@ -146,7 +147,7 @@ fn run_generic(args: &Args, graph: &Graph) -> Result<(), String> {
     }
     // With `--balance` unset, `balance_every` is `None` and the balancer
     // is never consulted, so one balancer type covers both modes.
-    let r = run(
+    let r = run_reported(
         graph,
         &program,
         partitioner.as_ref(),
@@ -165,7 +166,7 @@ fn run_battlefield(args: &Args) -> Result<(), String> {
     if args.overlap {
         cfg = cfg.with_exchange(ExchangeMode::Overlap);
     }
-    let r = run(&graph, &program, partitioner.as_ref(), || NoBalancer, &cfg);
+    let r = run_reported(&graph, &program, partitioner.as_ref(), || NoBalancer, &cfg);
     let stats = ic2_battlefield::BattleStats::from_cells(&r.final_data);
     report(args, &r);
     println!(

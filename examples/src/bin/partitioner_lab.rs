@@ -7,6 +7,7 @@
 //! cargo run -p ic2-examples --release --bin partitioner_lab
 //! ```
 
+use ic2_examples::run_reported;
 use ic2_graph::{metrics, Graph, Partition};
 use ic2mpi::prelude::*;
 use mpisim::NetModel;
@@ -77,7 +78,7 @@ fn main() {
         // first-order effect, as on the thesis's target platforms.
         let cfg =
             RunConfig::new(procs, iters).with_world(mpisim::Config::virtual_time(NetModel::wan()));
-        let report = run(&graph, &program, p.as_ref(), || NoBalancer, &cfg);
+        let report = run_reported(&graph, &program, p.as_ref(), || NoBalancer, &cfg);
         let base = *metis_time.get_or_insert(report.total_time);
         println!(
             "  {:<12} {:>8} {:>10.3} {:>10.4} {:>11.2}x",

@@ -5,6 +5,7 @@
 //! cargo run -p ic2-examples --bin quickstart
 //! ```
 
+use ic2_examples::run_reported;
 use ic2mpi::prelude::*;
 use ic2mpi::seq;
 
@@ -22,7 +23,7 @@ fn main() {
 
     // 4. Parallel run: pick a processor count and a static partitioner —
     //    no MPI code, no changes to the node computation.
-    let t1 = run(
+    let t1 = run_reported(
         &graph,
         &program,
         &Metis::default(),
@@ -32,7 +33,7 @@ fn main() {
     println!("  1 processor : {:.4}s", t1.total_time);
     for procs in [2, 4, 8, 16] {
         let cfg = RunConfig::new(procs, 20);
-        let report = run(&graph, &program, &Metis::default(), || NoBalancer, &cfg);
+        let report = run_reported(&graph, &program, &Metis::default(), || NoBalancer, &cfg);
         assert_eq!(
             report.final_data, sequential,
             "parallel must match sequential"

@@ -1,1 +1,29 @@
 //! Example binaries live in `src/bin`.
+
+use ic2_balance::DynamicBalancer;
+use ic2_graph::Graph;
+use ic2_partition::StaticPartitioner;
+use ic2mpi::{try_run, NodeProgram, RunConfig, RunReport};
+
+/// Run the platform like [`ic2mpi::run`], but report configuration
+/// mistakes as the typed [`ic2mpi::PlatformError`] on stderr and exit 2
+/// instead of unwinding with a panic backtrace. Every example binary goes
+/// through this wrapper.
+pub fn run_reported<P, S, B, F>(
+    graph: &Graph,
+    program: &P,
+    partitioner: &S,
+    make_balancer: F,
+    cfg: &RunConfig,
+) -> RunReport<P::Data>
+where
+    P: NodeProgram,
+    S: StaticPartitioner + ?Sized,
+    B: DynamicBalancer,
+    F: Fn() -> B + Sync,
+{
+    try_run(graph, program, partitioner, make_balancer, cfg).unwrap_or_else(|e| {
+        eprintln!("error: {e:?}: {e}");
+        std::process::exit(2);
+    })
+}

@@ -18,6 +18,17 @@ fn clean_world() -> mpisim::Config {
     mpisim::Config::virtual_time(NetModel::origin2000()).with_watchdog(Duration::from_secs(30))
 }
 
+/// Fault-plan seed, overridable via `CHAOS_SEED` so CI can sweep the whole
+/// suite under several fixed seeds. Every assertion in this file is
+/// seed-agnostic (determinism is always checked pairwise under the *same*
+/// seed), so any override must pass.
+fn chaos_seed(default: u64) -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
 #[test]
 fn fault_injection_is_fully_deterministic() {
     // Same seed, same plan ⇒ byte-identical final states, identical fault
@@ -26,7 +37,7 @@ fn fault_injection_is_fully_deterministic() {
     let graph = ic2_graph::generators::hex_grid_n(64);
     let program = AvgProgram::shifting();
     let plan = || {
-        FaultPlan::new(42)
+        FaultPlan::new(chaos_seed(42))
             .with_drop(0.05)
             .with_delay(0.05, 2e-4)
             .with_dup(0.05)
@@ -78,7 +89,7 @@ fn chaos_battlefield_converges_to_the_fault_free_answer() {
     );
     assert!(!clean.faults.any());
 
-    let plan = FaultPlan::new(7)
+    let plan = FaultPlan::new(chaos_seed(7))
         .with_drop(0.05)
         .with_delay(0.05, 2e-4)
         .with_straggler(2, 3.0);
@@ -106,7 +117,9 @@ fn lost_migration_payloads_degrade_to_skipped_rounds() {
     let graph = ic2_graph::generators::hex_grid_n(64);
     let program = AvgProgram::shifting();
     let oracle = seq::run_sequential(&graph, &program, 25);
-    let plan = FaultPlan::new(11).with_drop(0.95).with_retry(1e-4, 0);
+    let plan = FaultPlan::new(chaos_seed(11))
+        .with_drop(0.95)
+        .with_retry(1e-4, 0);
     let cfg = RunConfig::new(8, 25)
         .with_balancing(10)
         .with_world(world(plan))
@@ -133,7 +146,7 @@ fn straggler_detector_fires_emergency_rebalancing() {
     let graph = ic2_graph::generators::hex_grid_n(64);
     let program = AvgProgram::fine();
     let oracle = seq::run_sequential(&graph, &program, 20);
-    let plan = FaultPlan::new(3).with_straggler(1, 4.0);
+    let plan = FaultPlan::new(chaos_seed(3)).with_straggler(1, 4.0);
     let cfg = RunConfig::new(8, 20)
         .with_world(world(plan))
         .with_straggler_detection(2.0, 2)
@@ -174,7 +187,7 @@ fn killed_rank_is_evacuated_and_the_run_completes() {
     // Kill rank 2 at ~40% of the fault-free run: it evacuates its tasks
     // at the next iteration boundary and zombies through the rest. The
     // periodic balancer keeps running and must never plan the dead rank.
-    let plan = FaultPlan::new(1).with_kill(2, clean_total * 0.4);
+    let plan = FaultPlan::new(chaos_seed(1)).with_kill(2, clean_total * 0.4);
     let cfg = RunConfig::new(8, 20)
         .with_balancing(10)
         .with_world(world(plan))
@@ -196,11 +209,173 @@ fn killed_rank_is_evacuated_and_the_run_completes() {
 }
 
 #[test]
+fn crashed_rank_rolls_back_and_recovers_exactly() {
+    // An uncooperative crash on the thesis battlefield: rank 3 simply
+    // stops mid-run — mailbox sealed, in-flight messages dropped, nothing
+    // evacuated. Survivors must detect it, roll back to the last
+    // coordinated checkpoint, adopt the dead rank's partition out of the
+    // buddy copy, replay the lost iterations, and still produce the exact
+    // fault-free answer.
+    let bf = BattlefieldProgram::new(&Scenario::thesis());
+    let terrain = bf.terrain();
+    let iterations = 8;
+    let clean = run(
+        &terrain,
+        &bf,
+        &Metis::default(),
+        || NoBalancer,
+        &RunConfig::new(8, iterations).with_world(clean_world()),
+    );
+
+    let plan = || FaultPlan::new(chaos_seed(9)).with_crash(3, clean.total_time * 0.55);
+    let cfg = |p| {
+        RunConfig::new(8, iterations)
+            .with_checkpointing(2)
+            .with_world(world(p))
+            .with_validation()
+    };
+    let a = run(
+        &terrain,
+        &bf,
+        &Metis::default(),
+        || NoBalancer,
+        &cfg(plan()),
+    );
+    assert_eq!(a.final_data, clean.final_data, "recovery must be exact");
+    assert!(a.rollbacks >= 1, "a crash must force a rollback");
+    assert!(a.iterations_replayed > 0, "lost iterations must be re-run");
+    assert!(a.checkpoint_bytes > 0, "snapshots were mirrored");
+    assert!(a.faults.crash_timeouts > 0, "{:?}", a.faults);
+    assert!(a.ranks_died.contains(&3));
+    assert!(!a.final_owner.contains(&3), "a crashed rank owns nothing");
+    assert!(
+        a.total_time > clean.total_time,
+        "re-run cost must be charged to the virtual clock"
+    );
+
+    // Bit-identical determinism, including the virtual-time total.
+    let b = run(
+        &terrain,
+        &bf,
+        &Metis::default(),
+        || NoBalancer,
+        &cfg(plan()),
+    );
+    assert_eq!(a.final_data, b.final_data);
+    assert_eq!(a.rollbacks, b.rollbacks);
+    assert_eq!(a.iterations_replayed, b.iterations_replayed);
+    assert_eq!(a.checkpoint_bytes, b.checkpoint_bytes);
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.total_time.to_bits(), b.total_time.to_bits());
+}
+
+#[test]
+fn crash_at_every_iteration_sweep_recovers_exactly() {
+    // Crash every rank at every iteration of a small workload: wherever
+    // the crash lands — mid-exchange, mid-balance, during a checkpoint, or
+    // in the final gather — the survivors must converge to the sequential
+    // oracle, and a same-seed re-run must be bit-identical.
+    let graph = ic2_graph::generators::hex_grid_n(16);
+    let program = AvgProgram::fine();
+    let nprocs = 4;
+    let iterations = 6u32;
+    let oracle = seq::run_sequential(&graph, &program, iterations);
+    let clean_total = run(
+        &graph,
+        &program,
+        &Metis::default(),
+        || NoBalancer,
+        &RunConfig::new(nprocs, iterations).with_world(clean_world()),
+    )
+    .total_time;
+
+    for r in 0..nprocs {
+        for i in 0..iterations {
+            let at = clean_total * (i as f64 + 0.5) / iterations as f64;
+            let plan = || FaultPlan::new(chaos_seed(13)).with_crash(r, at);
+            let cfg = |p| {
+                RunConfig::new(nprocs, iterations)
+                    .with_balancing(3)
+                    .with_checkpointing(2)
+                    .with_world(world(p))
+                    .with_validation()
+            };
+            let a = run(
+                &graph,
+                &program,
+                &Metis::default(),
+                CentralizedHeuristic::default,
+                &cfg(plan()),
+            );
+            assert_eq!(a.final_data, oracle, "crash rank {r} at iteration {i}");
+            assert!(a.rollbacks >= 1, "crash rank {r} at iteration {i}");
+            assert!(a.iterations_replayed > 0, "crash rank {r} at iteration {i}");
+            assert!(
+                !a.final_owner.contains(&(r as u32)),
+                "crash rank {r} at iteration {i}"
+            );
+            let b = run(
+                &graph,
+                &program,
+                &Metis::default(),
+                CentralizedHeuristic::default,
+                &cfg(plan()),
+            );
+            assert_eq!(
+                a.total_time.to_bits(),
+                b.total_time.to_bits(),
+                "crash rank {r} at iteration {i}: total time must be bit-identical"
+            );
+            assert_eq!(a.final_data, b.final_data);
+        }
+    }
+}
+
+#[test]
+fn kill_and_crash_together_still_recover() {
+    // A cooperative fail-stop and an uncooperative crash in one run, on a
+    // lossy network: the kill evacuates normally through the crash-mode
+    // control plane, the later crash rolls back and adopts, and the
+    // answer stays exact.
+    let graph = ic2_graph::generators::hex_grid_n(64);
+    let program = AvgProgram::fine();
+    let iterations = 12u32;
+    let oracle = seq::run_sequential(&graph, &program, iterations);
+    let clean_total = run(
+        &graph,
+        &program,
+        &Metis::default(),
+        || NoBalancer,
+        &RunConfig::new(8, iterations).with_world(clean_world()),
+    )
+    .total_time;
+
+    let plan = FaultPlan::new(chaos_seed(17))
+        .with_drop(0.03)
+        .with_kill(1, clean_total * 0.3)
+        .with_crash(5, clean_total * 0.65);
+    let cfg = RunConfig::new(8, iterations)
+        .with_checkpointing(3)
+        .with_world(world(plan))
+        .with_validation();
+    let report = run(&graph, &program, &Metis::default(), || NoBalancer, &cfg);
+    assert_eq!(report.final_data, oracle);
+    assert!(report.ranks_died.contains(&1), "{:?}", report.ranks_died);
+    assert!(report.ranks_died.contains(&5), "{:?}", report.ranks_died);
+    assert!(report.evacuated > 0, "the kill must evacuate cooperatively");
+    assert!(report.rollbacks >= 1, "the crash must roll back");
+    assert!(!report.final_owner.contains(&1));
+    assert!(!report.final_owner.contains(&5));
+}
+
+#[test]
 fn kill_determinism_and_virtual_times_match() {
     // The evacuation path itself must be deterministic.
     let graph = ic2_graph::generators::hex_grid_n(64);
     let program = AvgProgram::fine();
-    let plan = FaultPlan::new(5).with_drop(0.03).with_kill(4, 0.02);
+    let plan = FaultPlan::new(chaos_seed(5))
+        .with_drop(0.03)
+        .with_kill(4, 0.02);
     let cfg = RunConfig::new(8, 15)
         .with_world(world(plan))
         .with_validation();
