@@ -1,0 +1,33 @@
+//! Temporary review repro: crash a rank inside the checkpoint staging
+//! window (between the iteration-end ctl_exchange and its mirror send).
+
+use ic2mpi::prelude::*;
+use ic2mpi::seq;
+use mpisim::{FaultPlan, NetModel};
+use std::time::Duration;
+
+#[test]
+fn crash_during_checkpoint_staging_recovers() {
+    let graph = ic2_graph::generators::hex_grid_n(16);
+    let program = AvgProgram::fine();
+    let nprocs = 4;
+    let iterations = 2u32;
+    let oracle = seq::run_sequential(&graph, &program, iterations);
+
+    // Inflate the per-entry checkpoint cost so the staging advance at the
+    // end of iteration 1 spans several virtual seconds; a crash at t=0.5
+    // lands inside rank 1's staging advance, before its mirror send.
+    let mut cfg = RunConfig::new(nprocs, iterations)
+        .with_checkpointing(1)
+        .with_world(
+            mpisim::Config::virtual_time(NetModel::origin2000())
+                .with_watchdog(Duration::from_secs(10))
+                .with_faults(FaultPlan::new(1).with_crash(1, 0.5)),
+        )
+        .with_validation();
+    cfg.costs.checkpoint_per_entry = 1.0;
+
+    let report = run(&graph, &program, &Metis::default(), || NoBalancer, &cfg);
+    assert_eq!(report.final_data, oracle, "recovery must be exact");
+    assert!(report.rollbacks >= 1);
+}
