@@ -196,16 +196,20 @@ where
                 Err(_) => return Err(()),
             }
         }
-        // Commit barrier: everyone holds a staged snapshot; it becomes
-        // the recovery point only if nobody died while staging.
-        let verdict = rank.ctl_exchange(CtlSlot::default());
-        if has_new_crash(&verdict, crashed) {
-            return Err(());
-        }
         Ok(())
     })();
+    // Commit barrier: everyone holds a staged snapshot; it becomes the
+    // recovery point only if nobody died while staging. Every rank arrives
+    // here even when its own mirror receive failed — skipping the exchange
+    // would offset the collective count by one, and peers would match
+    // their *next* control exchange against this one and desynchronise
+    // the whole protocol. A failed receive means the predecessor died, so
+    // the verdict reports a new crash and every rank aborts together.
+    let verdict = rank.ctl_exchange(CtlSlot::default());
     timers.add(Phase::Checkpoint, rank.wtime() - t0);
-    staged?;
+    if staged.is_err() || has_new_crash(&verdict, crashed) {
+        return Err(());
+    }
     Ok(Checkpoint {
         genesis: false,
         iter,
@@ -381,40 +385,43 @@ fn roll_back<P, B>(
             store.restore(graph, owner.clone(), entries);
             Ok(())
         })();
-        if restore.is_err() {
-            timers.add(Phase::Recovery, rank.wtime() - t0);
-            continue 'attempt;
-        }
-
-        // 4. Rewind the replicated bookkeeping. Crashes are permanent:
-        //    they are re-overlaid on the checkpointed cooperative state.
-        *counters = ckpt.counters.clone();
-        for (d, &cd) in dead.iter_mut().zip(&ckpt.dead) {
-            *d = cd;
-        }
-        for r in 0..nprocs {
-            if crashed[r] {
-                dead[r] = true;
+        if restore.is_ok() {
+            // 4. Rewind the replicated bookkeeping. Crashes are permanent:
+            //    they are re-overlaid on the checkpointed cooperative state.
+            *counters = ckpt.counters.clone();
+            for (d, &cd) in dead.iter_mut().zip(&ckpt.dead) {
+                *d = cd;
+            }
+            for r in 0..nprocs {
+                if crashed[r] {
+                    dead[r] = true;
+                }
+            }
+            ranks_died.clear();
+            ranks_died.extend(ckpt.ranks_died.iter().copied());
+            for r in 0..nprocs as u32 {
+                if crashed[r as usize] && !ranks_died.contains(&r) {
+                    ranks_died.push(r);
+                }
+            }
+            balancer.restore_state(&ckpt.balancer_state);
+            if cfg.validate {
+                store
+                    .validate(graph)
+                    .unwrap_or_else(|e| panic!("rank {me}: post-recovery invariant: {e}"));
             }
         }
-        ranks_died.clear();
-        ranks_died.extend(ckpt.ranks_died.iter().copied());
-        for r in 0..nprocs as u32 {
-            if crashed[r as usize] && !ranks_died.contains(&r) {
-                ranks_died.push(r);
-            }
-        }
-        balancer.restore_state(&ckpt.balancer_state);
-        if cfg.validate {
-            store
-                .validate(graph)
-                .unwrap_or_else(|e| panic!("rank {me}: post-recovery invariant: {e}"));
-        }
 
-        // 5. Agree the restore completed without further deaths.
+        // 5. Agree the restore completed without further deaths. Every
+        //    rank arrives here even when its own restore aborted (a buddy
+        //    holder died mid-shipment): skipping the exchange would leave
+        //    the survivors' collective counts misaligned and deadlock the
+        //    next protocol step. The death that failed the restore is by
+        //    construction a new crash, so the verdict sends everyone back
+        //    around together.
         let verdict = rank.ctl_exchange(CtlSlot::default());
         timers.add(Phase::Recovery, rank.wtime() - t0);
-        if has_new_crash(&verdict, crashed) {
+        if restore.is_err() || has_new_crash(&verdict, crashed) {
             continue 'attempt;
         }
 

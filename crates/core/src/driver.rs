@@ -178,6 +178,11 @@ pub struct RunReport<D> {
     pub rollbacks: u32,
     /// Iterations whose work was discarded by rollbacks and re-executed.
     pub iterations_replayed: u32,
+    /// Sends that had to wait for a bounded-mailbox credit, summed over
+    /// ranks (0 when mailboxes are unbounded).
+    pub credit_stalls: u64,
+    /// Deepest any rank's mailbox ever got (envelopes queued at once).
+    pub peak_mailbox_depth: u64,
 }
 
 impl<D> RunReport<D> {
@@ -239,9 +244,13 @@ fn assemble<D: Clone>(
     debug_assert!(live.iter().all(|r| r.ranks_died == designated.ranks_died));
     let mut faults = FaultStats::default();
     let mut checkpoint_bytes = 0u64;
+    let mut credit_stalls = 0u64;
+    let mut peak_mailbox_depth = 0u64;
     for r in &live {
         faults.merge(&r.comm.faults);
         checkpoint_bytes += r.checkpoint_bytes;
+        credit_stalls += r.comm.credit_stalls;
+        peak_mailbox_depth = peak_mailbox_depth.max(r.comm.peak_mailbox_depth);
     }
     let final_owner = designated.owner.clone();
     let mut slots: Vec<Option<D>> = (0..num_nodes).map(|_| None).collect();
@@ -274,6 +283,22 @@ fn assemble<D: Clone>(
         checkpoint_bytes,
         rollbacks: designated.rollbacks,
         iterations_replayed: designated.iterations_replayed,
+        credit_stalls,
+        peak_mailbox_depth,
+    }
+}
+
+/// Run `f`, converting a flow-control deadlock panic (a cyclic credit wait
+/// among bounded mailboxes, detected by the substrate) into a typed
+/// [`PlatformError::FlowControlDeadlock`]. Any other panic resumes
+/// unwinding untouched.
+pub fn catch_flow_deadlock<R>(f: impl FnOnce() -> R) -> Result<R, PlatformError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => Ok(r),
+        Err(payload) => match payload.downcast::<mpisim::FlowDeadlock>() {
+            Ok(fd) => Err(PlatformError::FlowControlDeadlock { cycle: fd.cycle }),
+            Err(other) => std::panic::resume_unwind(other),
+        },
     }
 }
 
@@ -350,159 +375,123 @@ where
     // Uncooperative crashes need the failure-detecting control plane,
     // coordinated checkpoints, and a world that tolerates rank death.
     if cfg.world.faults.has_crashes() {
-        let results: Vec<Option<RankOutcome<P::Data>>> = world.run_fallible(cfg.nprocs, |rank| {
-            let mut balancer = make_balancer();
-            crate::checkpoint::run_rank_with_recovery(
-                rank,
-                graph,
-                program,
-                &partition,
-                &mut balancer,
-                cfg,
-            )
-        });
-        return Ok(assemble(results, partition, num_nodes));
-    }
-
-    let results: Vec<RankOutcome<P::Data>> = world.run(cfg.nprocs, |rank| {
-        let me = rank.rank() as u32;
-        let mut timers = PhaseTimers::new();
-
-        // ---- Initialization phase -------------------------------------
-        let t0 = rank.wtime();
-        let mut store = NodeStore::build(graph, &partition, me, program, cfg.hash_buckets);
-        rank.advance(cfg.costs.init_per_node * store.stored_count() as f64);
-        timers.add(Phase::Initialization, rank.wtime() - t0);
-        if cfg.validate {
-            store
-                .validate(graph)
-                .unwrap_or_else(|e| panic!("rank {me}: init invariant: {e}"));
-        }
-        rank.barrier();
-
-        // ---- Iterate ---------------------------------------------------
-        let mut balancer = make_balancer();
-        let mut comp_since_balance = 0.0;
-        let mut migrations = 0usize;
-        let mut skipped = 0usize;
-        let mut evacuated = 0usize;
-        let mut emergency_balances = 0usize;
-        let mut ranks_died: Vec<u32> = Vec::new();
-        // Replicated failure state: which ranks have died and been
-        // evacuated. A dead rank keeps running this loop as a zombie —
-        // owning zero nodes, every phase degenerates to the collectives —
-        // so barriers and broadcasts stay aligned across the world.
-        let mut dead = vec![false; cfg.nprocs];
-        let plan_kills = cfg.world.faults.has_kills();
-        let my_kill = cfg.world.faults.kill_time(me as usize);
-        let mut detector = cfg.straggler.map(|(t, p)| StragglerDetector::new(t, p));
-        for iter in 1..=cfg.iterations {
-            let mut comp_this_iter = 0.0;
-            for phase in 0..program.phases() {
-                let ctx = ComputeCtx {
-                    iter,
-                    phase,
-                    rank: me,
-                    num_nodes,
-                };
-                exchange::step(
+        let results: Vec<Option<RankOutcome<P::Data>>> = catch_flow_deadlock(|| {
+            world.run_fallible(cfg.nprocs, |rank| {
+                let mut balancer = make_balancer();
+                crate::checkpoint::run_rank_with_recovery(
                     rank,
                     graph,
                     program,
-                    &mut store,
-                    &ctx,
-                    cfg.exchange,
-                    &cfg.costs,
-                    &mut timers,
-                    &mut comp_this_iter,
-                );
-            }
-            comp_since_balance += comp_this_iter;
+                    &partition,
+                    &mut balancer,
+                    cfg,
+                )
+            })
+        })?;
+        return Ok(assemble(results, partition, num_nodes));
+    }
 
-            // ---- Failure detection & evacuation (fault plans only) -----
-            if plan_kills {
-                // Cooperative fail-stop: a rank whose virtual clock passed
-                // its kill time announces the failure at the iteration
-                // boundary (shadow copies are in sync here), its tasks are
-                // evacuated to survivors, and it degenerates to a zombie.
-                let i_died = !dead[me as usize] && my_kill.is_some_and(|t| rank.wtime() >= t);
-                let announcements: Vec<bool> = rank.allgather(&i_died);
-                let newly: Vec<u32> = announcements
-                    .iter()
-                    .enumerate()
-                    .filter(|&(_, &d)| d)
-                    .map(|(r, _)| r as u32)
-                    .collect();
-                for &d in &newly {
-                    dead[d as usize] = true;
-                    ranks_died.push(d);
-                }
-                for &d in &newly {
-                    evacuated += migrate::evacuate_rank(
+    let results: Vec<RankOutcome<P::Data>> = catch_flow_deadlock(|| {
+        world.run(cfg.nprocs, |rank| {
+            let me = rank.rank() as u32;
+            let mut timers = PhaseTimers::new();
+
+            // ---- Initialization phase -------------------------------------
+            let t0 = rank.wtime();
+            let mut store = NodeStore::build(graph, &partition, me, program, cfg.hash_buckets);
+            rank.advance(cfg.costs.init_per_node * store.stored_count() as f64);
+            timers.add(Phase::Initialization, rank.wtime() - t0);
+            if cfg.validate {
+                store
+                    .validate(graph)
+                    .unwrap_or_else(|e| panic!("rank {me}: init invariant: {e}"));
+            }
+            rank.barrier();
+
+            // ---- Iterate ---------------------------------------------------
+            let mut balancer = make_balancer();
+            let mut comp_since_balance = 0.0;
+            let mut migrations = 0usize;
+            let mut skipped = 0usize;
+            let mut evacuated = 0usize;
+            let mut emergency_balances = 0usize;
+            let mut ranks_died: Vec<u32> = Vec::new();
+            // Replicated failure state: which ranks have died and been
+            // evacuated. A dead rank keeps running this loop as a zombie —
+            // owning zero nodes, every phase degenerates to the collectives —
+            // so barriers and broadcasts stay aligned across the world.
+            let mut dead = vec![false; cfg.nprocs];
+            let plan_kills = cfg.world.faults.has_kills();
+            let my_kill = cfg.world.faults.kill_time(me as usize);
+            let mut detector = cfg.straggler.map(|(t, p)| StragglerDetector::new(t, p));
+            for iter in 1..=cfg.iterations {
+                let mut comp_this_iter = 0.0;
+                for phase in 0..program.phases() {
+                    let ctx = ComputeCtx {
+                        iter,
+                        phase,
+                        rank: me,
+                        num_nodes,
+                    };
+                    exchange::step(
                         rank,
                         graph,
+                        program,
                         &mut store,
-                        d,
-                        &dead,
+                        &ctx,
+                        cfg.exchange,
                         &cfg.costs,
                         &mut timers,
+                        &mut comp_this_iter,
                     );
                 }
-                if !newly.is_empty() {
-                    comp_since_balance = 0.0;
-                    store.node_load.clear();
-                    if cfg.validate {
-                        store.validate(graph).unwrap_or_else(|e| {
-                            panic!("rank {me}: post-evacuation invariant: {e}")
-                        });
+                comp_since_balance += comp_this_iter;
+
+                // ---- Failure detection & evacuation (fault plans only) -----
+                if plan_kills {
+                    // Cooperative fail-stop: a rank whose virtual clock passed
+                    // its kill time announces the failure at the iteration
+                    // boundary (shadow copies are in sync here), its tasks are
+                    // evacuated to survivors, and it degenerates to a zombie.
+                    let i_died = !dead[me as usize] && my_kill.is_some_and(|t| rank.wtime() >= t);
+                    let announcements: Vec<bool> = rank.allgather(&i_died);
+                    let newly: Vec<u32> = announcements
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &d)| d)
+                        .map(|(r, _)| r as u32)
+                        .collect();
+                    for &d in &newly {
+                        dead[d as usize] = true;
+                        ranks_died.push(d);
+                    }
+                    for &d in &newly {
+                        evacuated += migrate::evacuate_rank(
+                            rank,
+                            graph,
+                            &mut store,
+                            d,
+                            &dead,
+                            &cfg.costs,
+                            &mut timers,
+                        );
+                    }
+                    if !newly.is_empty() {
+                        comp_since_balance = 0.0;
+                        store.node_load.clear();
+                        if cfg.validate {
+                            store.validate(graph).unwrap_or_else(|e| {
+                                panic!("rank {me}: post-evacuation invariant: {e}")
+                            });
+                        }
                     }
                 }
-            }
 
-            // ---- Periodic load balancing -------------------------------
-            let mut balanced_this_iter = false;
-            if iter >= cfg.balance_offset.max(1)
-                && migrate::is_balance_iteration(iter - cfg.balance_offset, cfg.balance_every)
-            {
-                let out = migrate::balance_round(
-                    rank,
-                    graph,
-                    &mut store,
-                    &mut balancer,
-                    comp_since_balance,
-                    cfg.migration_batch,
-                    cfg.migrant_policy,
-                    &dead,
-                    &cfg.costs,
-                    &mut timers,
-                );
-                migrations += out.migrated;
-                skipped += out.skipped;
-                comp_since_balance = 0.0;
-                store.node_load.clear();
-                balanced_this_iter = true;
-                if cfg.validate {
-                    store
-                        .validate(graph)
-                        .unwrap_or_else(|e| panic!("rank {me}: post-migration invariant: {e}"));
-                }
-            }
-
-            // ---- Straggler detection -----------------------------------
-            if let Some(det) = detector.as_mut() {
-                // Fed the same allgathered times everywhere, the strike
-                // counter is replicated: every rank reaches the identical
-                // fire/hold decision with one collective.
-                let all_times: Vec<f64> = rank.allgather(&comp_this_iter);
-                let alive: Vec<f64> = all_times
-                    .iter()
-                    .zip(&dead)
-                    .filter(|&(_, &d)| !d)
-                    .map(|(&t, _)| t)
-                    .collect();
-                let max = alive.iter().cloned().fold(0.0f64, f64::max);
-                let mean = alive.iter().sum::<f64>() / alive.len().max(1) as f64;
-                if det.observe(max, mean) && !balanced_this_iter {
+                // ---- Periodic load balancing -------------------------------
+                let mut balanced_this_iter = false;
+                if iter >= cfg.balance_offset.max(1)
+                    && migrate::is_balance_iteration(iter - cfg.balance_offset, cfg.balance_every)
+                {
                     let out = migrate::balance_round(
                         rank,
                         graph,
@@ -517,56 +506,96 @@ where
                     );
                     migrations += out.migrated;
                     skipped += out.skipped;
-                    emergency_balances += 1;
                     comp_since_balance = 0.0;
                     store.node_load.clear();
+                    balanced_this_iter = true;
                     if cfg.validate {
-                        store.validate(graph).unwrap_or_else(|e| {
-                            panic!("rank {me}: post-emergency-balance invariant: {e}")
-                        });
+                        store
+                            .validate(graph)
+                            .unwrap_or_else(|e| panic!("rank {me}: post-migration invariant: {e}"));
+                    }
+                }
+
+                // ---- Straggler detection -----------------------------------
+                if let Some(det) = detector.as_mut() {
+                    // Fed the same allgathered times everywhere, the strike
+                    // counter is replicated: every rank reaches the identical
+                    // fire/hold decision with one collective.
+                    let all_times: Vec<f64> = rank.allgather(&comp_this_iter);
+                    let alive: Vec<f64> = all_times
+                        .iter()
+                        .zip(&dead)
+                        .filter(|&(_, &d)| !d)
+                        .map(|(&t, _)| t)
+                        .collect();
+                    let max = alive.iter().cloned().fold(0.0f64, f64::max);
+                    let mean = alive.iter().sum::<f64>() / alive.len().max(1) as f64;
+                    if det.observe(max, mean) && !balanced_this_iter {
+                        let out = migrate::balance_round(
+                            rank,
+                            graph,
+                            &mut store,
+                            &mut balancer,
+                            comp_since_balance,
+                            cfg.migration_batch,
+                            cfg.migrant_policy,
+                            &dead,
+                            &cfg.costs,
+                            &mut timers,
+                        );
+                        migrations += out.migrated;
+                        skipped += out.skipped;
+                        emergency_balances += 1;
+                        comp_since_balance = 0.0;
+                        store.node_load.clear();
+                        if cfg.validate {
+                            store.validate(graph).unwrap_or_else(|e| {
+                                panic!("rank {me}: post-emergency-balance invariant: {e}")
+                            });
+                        }
                     }
                 }
             }
-        }
-        rank.barrier();
-        let total = rank.wtime();
+            rank.barrier();
+            let total = rank.wtime();
 
-        // ---- Gather final data at rank 0 --------------------------------
-        let owned: Vec<(u32, P::Data)> = store
-            .internal
-            .iter()
-            .chain(store.peripheral.iter())
-            .map(|node| {
-                (
-                    node.id,
-                    store
-                        .table
-                        .get(node.id)
-                        .expect("owned node has data")
-                        .clone(),
-                )
-            })
-            .collect();
-        let gathered = rank
-            .gather(0, &owned)
-            .map(|per_rank| per_rank.into_iter().flatten().collect::<Vec<_>>());
+            // ---- Gather final data at rank 0 --------------------------------
+            let owned: Vec<(u32, P::Data)> = store
+                .internal
+                .iter()
+                .chain(store.peripheral.iter())
+                .map(|node| {
+                    (
+                        node.id,
+                        store
+                            .table
+                            .get(node.id)
+                            .expect("owned node has data")
+                            .clone(),
+                    )
+                })
+                .collect();
+            let gathered = rank
+                .gather(0, &owned)
+                .map(|per_rank| per_rank.into_iter().flatten().collect::<Vec<_>>());
 
-        RankOutcome {
-            total,
-            timers,
-            comm: rank.stats(),
-            migrations,
-            skipped,
-            evacuated,
-            emergency_balances,
-            ranks_died,
-            gathered,
-            owner: store.owner.clone(),
-            checkpoint_bytes: 0,
-            rollbacks: 0,
-            iterations_replayed: 0,
-        }
-    });
+            RankOutcome {
+                total,
+                timers,
+                comm: rank.stats(),
+                migrations,
+                skipped,
+                evacuated,
+                emergency_balances,
+                ranks_died,
+                gathered,
+                owner: store.owner.clone(),
+                checkpoint_bytes: 0,
+                rollbacks: 0,
+                iterations_replayed: 0,
+            }
+        })
+    })?;
 
     Ok(assemble(
         results.into_iter().map(Some).collect(),
@@ -652,6 +681,8 @@ mod tests {
             checkpoint_bytes: 0,
             rollbacks: 0,
             iterations_replayed: 0,
+            credit_stalls: 0,
+            peak_mailbox_depth: 0,
         };
         assert_eq!(report.speedup_vs(8.0), 4.0);
         assert_eq!(report.mean_timers().get(Phase::Compute), 3.0);

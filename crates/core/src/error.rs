@@ -26,6 +26,15 @@ pub enum PlatformError {
     /// A checkpoint interval of zero iterations is meaningless: crash
     /// recovery needs at least one iteration between snapshots.
     ZeroCheckpointInterval,
+    /// Bounded mailboxes produced a cyclic credit wait that could never
+    /// resolve: every rank in `cycle` was blocked sending to the next,
+    /// whose mailbox was at capacity. Detected and reported (rather than
+    /// hanging) by the flow-control deadlock detector; the cycle is
+    /// rotated so its smallest rank comes first.
+    FlowControlDeadlock {
+        /// The ranks forming the cyclic wait, in chase order.
+        cycle: Vec<usize>,
+    },
 }
 
 impl fmt::Display for PlatformError {
@@ -46,6 +55,13 @@ impl fmt::Display for PlatformError {
             }
             PlatformError::ZeroCheckpointInterval => {
                 write!(f, "checkpoint interval must be at least 1 iteration")
+            }
+            PlatformError::FlowControlDeadlock { cycle } => {
+                write!(f, "flow-control deadlock: cyclic credit wait ")?;
+                for r in cycle {
+                    write!(f, "rank {r} -> ")?;
+                }
+                write!(f, "rank {}", cycle.first().copied().unwrap_or(0))
             }
         }
     }

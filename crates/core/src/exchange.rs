@@ -5,7 +5,9 @@ use crate::program::{ComputeCtx, NeighborData, NodeProgram};
 use crate::store::{LocalNode, NodeStore};
 use crate::timers::{Phase, PhaseTimers};
 use ic2_graph::Graph;
-use mpisim::{Rank, RetryPolicy};
+use mpisim::{Envelope, Rank, RetryPolicy};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 /// Message tag for shadow-buffer exchange.
 pub const TAG_SHADOW: u32 = 1;
@@ -80,8 +82,13 @@ pub fn step<P: NodeProgram>(
                 Some(&mut buffers),
             );
             *comp_time_out += rank.wtime() - comp_t0;
-            send_buffers(rank, store, &buffers, timers, costs);
-            recv_and_unpack(rank, store, timers, costs);
+            if bounded(rank) {
+                let ex = bounded_send(rank, store, &buffers, timers);
+                bounded_collect(rank, store, ex, timers, costs, false);
+            } else {
+                send_buffers(rank, store, &buffers, timers, costs);
+                recv_and_unpack(rank, store, timers, costs);
+            }
         }
         ExchangeMode::Overlap => {
             // Figure 8a: peripherals first so their shadows can travel
@@ -97,30 +104,51 @@ pub fn step<P: NodeProgram>(
                 timers,
                 Some(&mut buffers),
             );
-            send_buffers(rank, store, &buffers, timers, costs);
-            type ShadowRecv<D> = (u32, mpisim::RecvRequest<Vec<(u32, D)>>);
-            let reqs: Vec<ShadowRecv<P::Data>> = store
-                .recv_procs()
-                .into_iter()
-                .map(|p| (p, rank.irecv(p as usize, TAG_SHADOW)))
-                .collect();
-            compute_list(
-                rank,
-                program,
-                &store.internal,
-                &mut store.table,
-                &mut store.node_load,
-                ctx,
-                costs,
-                timers,
-                None,
-            );
-            *comp_time_out += rank.wtime() - comp_t0;
-            for (_, req) in reqs {
-                let t0 = rank.wtime();
-                let msg = req.wait(rank);
-                timers.add(Phase::Communicate, rank.wtime() - t0);
-                unpack(rank, store, msg, timers, costs);
+            if bounded(rank) {
+                // Same virtual-time schedule as the unbounded overlap
+                // (send charges here, receive charges after the internal
+                // compute), but frames are drained opportunistically so a
+                // full mailbox can never wedge the send phase.
+                let ex = bounded_send(rank, store, &buffers, timers);
+                compute_list(
+                    rank,
+                    program,
+                    &store.internal,
+                    &mut store.table,
+                    &mut store.node_load,
+                    ctx,
+                    costs,
+                    timers,
+                    None,
+                );
+                *comp_time_out += rank.wtime() - comp_t0;
+                bounded_collect(rank, store, ex, timers, costs, false);
+            } else {
+                send_buffers(rank, store, &buffers, timers, costs);
+                type ShadowRecv<D> = (u32, mpisim::RecvRequest<Vec<(u32, D)>>);
+                let reqs: Vec<ShadowRecv<P::Data>> = store
+                    .recv_procs()
+                    .into_iter()
+                    .map(|p| (p, rank.irecv(p as usize, TAG_SHADOW)))
+                    .collect();
+                compute_list(
+                    rank,
+                    program,
+                    &store.internal,
+                    &mut store.table,
+                    &mut store.node_load,
+                    ctx,
+                    costs,
+                    timers,
+                    None,
+                );
+                *comp_time_out += rank.wtime() - comp_t0;
+                for (_, req) in reqs {
+                    let t0 = rank.wtime();
+                    let msg = req.wait(rank);
+                    timers.add(Phase::Communicate, rank.wtime() - t0);
+                    unpack(rank, store, msg, timers, costs);
+                }
             }
         }
     }
@@ -191,20 +219,25 @@ pub fn step_crash_aware<P: NodeProgram>(
         Some(&mut buffers),
     );
     *comp_time_out += rank.wtime() - comp_t0;
-    send_buffers(rank, store, &buffers, timers, costs);
 
     let mut saw_death = false;
-    for p in store.recv_procs() {
-        let t0 = rank.wtime();
-        match rank.try_recv::<Vec<(u32, P::Data)>>(p as usize, TAG_SHADOW) {
-            Ok(msg) => {
-                timers.add(Phase::Communicate, rank.wtime() - t0);
-                unpack(rank, store, msg, timers, costs);
-            }
-            Err(_) => {
-                // Stale shadow values stand in for the dead sender.
-                timers.add(Phase::Communicate, rank.wtime() - t0);
-                saw_death = true;
+    if bounded(rank) {
+        let ex = bounded_send(rank, store, &buffers, timers);
+        saw_death = bounded_collect(rank, store, ex, timers, costs, true);
+    } else {
+        send_buffers(rank, store, &buffers, timers, costs);
+        for p in store.recv_procs() {
+            let t0 = rank.wtime();
+            match rank.try_recv::<Vec<(u32, P::Data)>>(p as usize, TAG_SHADOW) {
+                Ok(msg) => {
+                    timers.add(Phase::Communicate, rank.wtime() - t0);
+                    unpack(rank, store, msg, timers, costs);
+                }
+                Err(_) => {
+                    // Stale shadow values stand in for the dead sender.
+                    timers.add(Phase::Communicate, rank.wtime() - t0);
+                    saw_death = true;
+                }
             }
         }
     }
@@ -284,12 +317,18 @@ fn compute_list<P: NodeProgram>(
     }
 }
 
+/// Does this world bound its mailboxes (credit-based flow control)?
+fn bounded(rank: &Rank) -> bool {
+    rank.config().mailbox_capacity.is_some()
+}
+
 /// Send every non-empty buffer to its neighbouring processor. Shadow
 /// buffers travel reliably: a receiver that never gets its buffer would
 /// deadlock the whole BSP round, so under fault injection each lost send is
 /// retransmitted (charging the ack timeout to virtual time) and the final
 /// attempt is escalated through. Without faults this is the thesis's plain
-/// buffered `MPI_Isend`.
+/// buffered `MPI_Isend`. Retry and NACK-backoff time is attributed to the
+/// integrity phase, the rest to communicate.
 fn send_buffers<D: mpisim::Wire>(
     rank: &Rank,
     store: &NodeStore<D>,
@@ -298,13 +337,155 @@ fn send_buffers<D: mpisim::Wire>(
     _costs: &CostModel,
 ) {
     let t0 = rank.wtime();
+    let r0 = rank.retry_seconds();
     for (p, buf) in buffers.iter().enumerate() {
         if store.send_counts[p] > 0 {
             debug_assert_eq!(buf.len(), store.send_counts[p]);
             rank.send_reliable(p, TAG_SHADOW, buf, RetryPolicy::Escalate);
         }
     }
-    timers.add(Phase::Communicate, rank.wtime() - t0);
+    let spent = rank.retry_seconds() - r0;
+    timers.add(Phase::Integrity, spent);
+    timers.add(Phase::Communicate, (rank.wtime() - t0 - spent).max(0.0));
+}
+
+/// In-flight state of a bounded shadow exchange: frames physically drained
+/// but not yet charged/unpacked, keyed by sender.
+struct BoundedExchange {
+    frames: HashMap<usize, Envelope>,
+    deadline: Instant,
+}
+
+/// The send half of the bounded-mailbox exchange schedule.
+///
+/// Sends run in the same canonical order (ascending destination, retries
+/// back-to-back) as the unbounded schedule, so the sequence of virtual-time
+/// charges is bit-identical; only the *head* send may wait for a credit,
+/// and while it waits the rank drains shadow frames already addressed to it
+/// — charge-free, the receive cost is applied canonically in
+/// [`bounded_collect`]. That mutual draining is what makes the BSP
+/// send-all-then-receive-all round deadlock-free at any capacity ≥ 1.
+fn bounded_send<D: mpisim::Wire>(
+    rank: &Rank,
+    store: &NodeStore<D>,
+    buffers: &[Vec<(u32, D)>],
+    timers: &mut PhaseTimers,
+) -> BoundedExchange {
+    let t0 = rank.wtime();
+    let r0 = rank.retry_seconds();
+    let mut frames: HashMap<usize, Envelope> = HashMap::new();
+    let deadline = Instant::now() + rank.config().watchdog;
+    for (p, buf) in buffers.iter().enumerate() {
+        if store.send_counts[p] == 0 {
+            continue;
+        }
+        debug_assert_eq!(buf.len(), store.send_counts[p]);
+        let mut stalled = false;
+        loop {
+            if rank.offer_credit(p) {
+                rank.send_reliable_granted(p, TAG_SHADOW, buf, RetryPolicy::Escalate);
+                break;
+            }
+            if !stalled {
+                stalled = true;
+                rank.count_credit_stall();
+            }
+            if let Some(env) = rank.drain_one(None, TAG_SHADOW) {
+                frames.insert(env.src, env);
+            } else if Instant::now() >= deadline {
+                rank.deadlock_panic("bounded shadow exchange (send phase)");
+            } else {
+                rank.wait_incoming(Duration::from_millis(2));
+            }
+        }
+    }
+    let spent = rank.retry_seconds() - r0;
+    timers.add(Phase::Integrity, spent);
+    timers.add(Phase::Communicate, (rank.wtime() - t0 - spent).max(0.0));
+    BoundedExchange { frames, deadline }
+}
+
+/// The receive half of the bounded-mailbox exchange schedule: collect the
+/// remaining expected frames (in whatever order they arrive), then charge
+/// and unpack them in the canonical `recv_procs` order — reproducing the
+/// unbounded schedule's virtual clocks exactly.
+///
+/// With `crash_aware`, a missing sender whose dead flag was observed
+/// *before* an empty drain pass is definitively never coming (deliveries
+/// happen-before the flag; same reasoning as [`Rank::try_recv`]); it is
+/// charged the detect timeout in canonical order and its stale shadow
+/// values stand in, mirroring the unbounded crash-aware path. Returns
+/// whether any awaited sender was dead.
+fn bounded_collect<D: mpisim::Wire + Clone>(
+    rank: &Rank,
+    store: &mut NodeStore<D>,
+    ex: BoundedExchange,
+    timers: &mut PhaseTimers,
+    costs: &CostModel,
+    crash_aware: bool,
+) -> bool {
+    let BoundedExchange {
+        mut frames,
+        deadline,
+    } = ex;
+    let expected: Vec<usize> = store.recv_procs().iter().map(|&p| p as usize).collect();
+    let mut dead_peers: Vec<usize> = Vec::new();
+    loop {
+        let missing: Vec<usize> = expected
+            .iter()
+            .copied()
+            .filter(|p| !frames.contains_key(p) && !dead_peers.contains(p))
+            .collect();
+        if missing.is_empty() {
+            break;
+        }
+        // Snapshot dead flags *before* draining: a flag set now plus an
+        // empty drain below proves the peer's frame was never sent.
+        let flagged: Vec<usize> = if crash_aware {
+            missing
+                .iter()
+                .copied()
+                .filter(|&p| rank.peer_dead(p))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut got = false;
+        while let Some(env) = rank.drain_one(None, TAG_SHADOW) {
+            frames.insert(env.src, env);
+            got = true;
+        }
+        let mut newly_dead = false;
+        for p in flagged {
+            if !frames.contains_key(&p) && !dead_peers.contains(&p) {
+                dead_peers.push(p);
+                newly_dead = true;
+            }
+        }
+        if got || newly_dead {
+            continue;
+        }
+        if Instant::now() >= deadline {
+            rank.deadlock_panic("bounded shadow exchange (receive phase)");
+        }
+        rank.wait_incoming(Duration::from_millis(2));
+    }
+    let mut saw_death = false;
+    for p in expected {
+        let t0 = rank.wtime();
+        if let Some(env) = frames.remove(&p) {
+            let msg: Vec<(u32, D)> = rank.absorb(env);
+            timers.add(Phase::Communicate, rank.wtime() - t0);
+            unpack(rank, store, msg, timers, costs);
+        } else {
+            // Dead sender: charge the detect timeout the blocking path
+            // would have paid; stale shadow values stand in.
+            rank.charge_crash_timeout();
+            timers.add(Phase::Communicate, rank.wtime() - t0);
+            saw_death = true;
+        }
+    }
+    saw_death
 }
 
 /// Blocking receive from every neighbouring processor, then unpack.

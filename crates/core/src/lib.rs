@@ -58,7 +58,7 @@ pub mod store;
 pub mod timers;
 
 pub use costs::CostModel;
-pub use driver::{run, try_run, ExchangeMode, RunConfig, RunReport};
+pub use driver::{catch_flow_deadlock, run, try_run, ExchangeMode, RunConfig, RunReport};
 pub use error::PlatformError;
 pub use hashtab::NodeTable;
 pub use imbalance::{GrainSchedule, ShiftingWindowLoad, StragglerDetector};
@@ -70,9 +70,9 @@ pub use timers::{Phase, PhaseTimers};
 /// Convenient glob-import surface for applications.
 pub mod prelude {
     pub use crate::{
-        run, try_run, AvgProgram, ComputeCtx, CostModel, ExchangeMode, GrainSchedule,
-        MigrantPolicy, NeighborData, NodeProgram, PlatformError, RunConfig, RunReport,
-        ShiftingWindowLoad,
+        catch_flow_deadlock, run, try_run, AvgProgram, ComputeCtx, CostModel, ExchangeMode,
+        GrainSchedule, MigrantPolicy, NeighborData, NodeProgram, PlatformError, RunConfig,
+        RunReport, ShiftingWindowLoad,
     };
     pub use ic2_balance::{CentralizedHeuristic, Diffusion, DynamicBalancer, NoBalancer};
     pub use ic2_graph::{Graph, Partition};

@@ -1,8 +1,8 @@
 //! Per-phase time accounting (the thesis's §5.4 overhead breakdown).
 
-/// The six phases the thesis reports in Figures 21–22, plus the two
-/// fault-tolerance phases added by crash recovery (checkpointing and
-/// rollback/re-execution overhead).
+/// The six phases the thesis reports in Figures 21–22, plus the
+/// robustness phases added on top: checkpointing, rollback/re-execution
+/// overhead, and message-integrity (retransmission) overhead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
     /// Setting up node lists, data lists, hash tables, buffer plans.
@@ -24,11 +24,15 @@ pub enum Phase {
     /// nodes, and rebuilding the directory (re-run iterations are charged
     /// to their own phases).
     Recovery,
+    /// Message-integrity overhead: virtual time spent in reliable-send
+    /// retry windows and NACK/retransmit exponential backoff. Split out of
+    /// `Communicate` so corruption-recovery cost is visible on its own.
+    Integrity,
 }
 
 impl Phase {
     /// All phases, in report order.
-    pub const ALL: [Phase; 8] = [
+    pub const ALL: [Phase; 9] = [
         Phase::Initialization,
         Phase::ComputationOverhead,
         Phase::Compute,
@@ -37,6 +41,7 @@ impl Phase {
         Phase::LoadBalancing,
         Phase::Checkpoint,
         Phase::Recovery,
+        Phase::Integrity,
     ];
 
     /// Human-readable label matching the thesis figures.
@@ -50,6 +55,7 @@ impl Phase {
             Phase::LoadBalancing => "Load Balancing & Task Migration",
             Phase::Checkpoint => "Checkpointing",
             Phase::Recovery => "Crash Recovery",
+            Phase::Integrity => "Message Integrity",
         }
     }
 
@@ -63,6 +69,7 @@ impl Phase {
             Phase::LoadBalancing => 5,
             Phase::Checkpoint => 6,
             Phase::Recovery => 7,
+            Phase::Integrity => 8,
         }
     }
 }
@@ -70,7 +77,7 @@ impl Phase {
 /// Accumulated seconds per phase for one rank.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PhaseTimers {
-    totals: [f64; 8],
+    totals: [f64; 9],
 }
 
 impl PhaseTimers {
@@ -98,7 +105,7 @@ impl PhaseTimers {
     /// Element-wise sum with another rank's timers.
     pub fn merged(&self, other: &PhaseTimers) -> PhaseTimers {
         let mut out = self.clone();
-        for i in 0..8 {
+        for i in 0..9 {
             out.totals[i] += other.totals[i];
         }
         out

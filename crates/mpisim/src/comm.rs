@@ -4,8 +4,8 @@ use crate::mailbox::{Envelope, Pattern};
 use crate::net::TimingMode;
 use crate::request::{RecvRequest, SendRequest};
 use crate::stats::CommStats;
-use crate::wire::Wire;
-use crate::world::{BlockedOp, Config, CtlSlot, CtlVerdict, RankCrashed, Shared};
+use crate::wire::{frame_checksum, Wire};
+use crate::world::{BlockedOp, Config, CtlSlot, CtlVerdict, FlowDeadlock, RankCrashed, Shared};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::marker::PhantomData;
@@ -36,6 +36,44 @@ pub enum RetryPolicy {
     /// Report the loss to the caller, who must degrade gracefully.
     GiveUp,
 }
+
+/// How an individual transmission fared, as the *sender* observes it.
+///
+/// `Mangled` means the frame physically reached the destination mailbox but
+/// was damaged in flight: the receiver's checksum verification will discard
+/// it and (in the modelled protocol) NACK it back to the sender.
+enum Delivery {
+    Delivered,
+    Dropped,
+    Mangled,
+}
+
+/// How a transmission pays for its slot in a bounded destination mailbox.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CreditMode {
+    /// No credit needed: control plane, retransmissions (attempt > 0), and
+    /// unbounded mailboxes. Retransmissions must bypass capacity — a
+    /// mailbox full of damaged frames would otherwise deadlock the very
+    /// retransmit that repairs it. The overflow is bounded by the retry
+    /// budget.
+    Bypass,
+    /// The caller already holds a credit from [`Rank::offer_credit`].
+    Held,
+    /// Block (wall-clock only — zero virtual time) until a credit frees up,
+    /// scavenging garbage frames from the destination and watching for
+    /// cyclic credit waits.
+    Acquire,
+}
+
+/// Consecutive identical cycle observations (50 ms apart) required before
+/// the flow-control deadlock detector convicts. A genuine credit cycle is
+/// stable — any progress at all changes some mailbox's epoch and resets the
+/// streak — so confirmation trades a few hundred milliseconds for zero
+/// false positives.
+const FLOW_DEADLOCK_CONFIRM: u32 = 5;
+
+/// How long a credit-stalled sender parks between retries.
+const FLOW_SLICE: Duration = Duration::from_millis(50);
 
 /// One rank's endpoint into the simulated world — the analogue of an
 /// `MPI_Comm` plus the rank's identity.
@@ -149,8 +187,18 @@ impl Rank {
     /// receiver-side fault bookkeeping.
     pub fn stats(&self) -> CommStats {
         let mut s = self.stats.borrow().clone();
-        s.faults.stale_discarded = self.shared.mailboxes[self.id].stale_discarded();
+        let mb = &self.shared.mailboxes[self.id];
+        s.faults.stale_discarded = mb.stale_discarded();
+        s.faults.corruptions_detected = mb.corruptions_detected();
+        s.peak_mailbox_depth = mb.peak_depth();
         s
+    }
+
+    /// Virtual seconds spent so far in integrity timeouts (retry windows
+    /// and NACK backoff). Cheap accessor for phase attribution in callers
+    /// that bracket a communication region.
+    pub fn retry_seconds(&self) -> f64 {
+        self.stats.borrow().retry_seconds
     }
 
     // ---- point to point -------------------------------------------------
@@ -171,14 +219,16 @@ impl Rank {
         SendRequest { _private: () }
     }
 
-    /// Reliable send: retransmit on (simulated) ack timeout, up to the
-    /// fault plan's retry budget. Every lost attempt charges the plan's
-    /// `retry_timeout` to this rank's virtual clock and counts a retry.
+    /// Reliable send: retransmit on (simulated) ack timeout or NACK, up to
+    /// the fault plan's retry budget. Every lost attempt charges the plan's
+    /// `retry_timeout` to this rank's virtual clock and counts a retry;
+    /// every NACKed (checksum-failed) attempt charges an exponential
+    /// backoff and counts a retransmit.
     ///
-    /// Returns `true` once an attempt is delivered. With
-    /// [`RetryPolicy::GiveUp`] the send can return `false` (all attempts
-    /// lost); with [`RetryPolicy::Escalate`] the final attempt is forced
-    /// through, so the send always succeeds eventually.
+    /// Returns `true` once an attempt is delivered intact. With
+    /// [`RetryPolicy::GiveUp`] the send can return `false` (every attempt
+    /// lost or damaged); with [`RetryPolicy::Escalate`] the final attempt
+    /// is forced through clean, so the send always succeeds eventually.
     ///
     /// Without message faults this is exactly [`send`](Self::send).
     pub fn send_reliable<T: Wire>(
@@ -188,29 +238,216 @@ impl Rank {
         value: &T,
         policy: RetryPolicy,
     ) -> bool {
+        self.send_reliable_inner(dest, tag, value, policy, CreditMode::Acquire)
+    }
+
+    /// [`Rank::send_reliable`] whose first attempt spends a credit already
+    /// obtained from [`Rank::offer_credit`]. Never blocks on flow control —
+    /// the building block for schedules that interleave receiving with
+    /// sending instead of stalling (see the exchange layer).
+    pub fn send_reliable_granted<T: Wire>(
+        &self,
+        dest: usize,
+        tag: Tag,
+        value: &T,
+        policy: RetryPolicy,
+    ) -> bool {
+        self.send_reliable_inner(dest, tag, value, policy, CreditMode::Held)
+    }
+
+    fn send_reliable_inner<T: Wire>(
+        &self,
+        dest: usize,
+        tag: Tag,
+        value: &T,
+        policy: RetryPolicy,
+        first_credit: CreditMode,
+    ) -> bool {
         let t = tag as i64;
         let bytes = value.to_bytes();
         if !self.msg_faults {
-            self.transmit(dest, t, 0, 0, bytes, false);
+            self.transmit(dest, t, 0, 0, bytes, false, first_credit);
             return true;
         }
         let seq = self.alloc_seq(dest, t);
         let max = self.shared.cfg.faults.max_retries;
         for attempt in 0..=max {
             let force = attempt == max && policy == RetryPolicy::Escalate;
-            if self.transmit(dest, t, seq, attempt, bytes.clone(), force) {
-                return true;
-            }
-            // Lost: we waited a full ack timeout before concluding that.
-            if let TimingMode::Virtual(_) = self.shared.cfg.timing {
-                self.clock
-                    .set(self.clock.get() + self.shared.cfg.faults.retry_timeout);
-            }
-            if attempt < max {
-                self.stats.borrow_mut().faults.retries += 1;
+            let credit = if attempt == 0 {
+                first_credit
+            } else {
+                CreditMode::Bypass
+            };
+            match self.transmit(dest, t, seq, attempt, bytes.clone(), force, credit) {
+                Delivery::Delivered => return true,
+                Delivery::Dropped => {
+                    // Lost: we waited a full ack timeout before concluding
+                    // that.
+                    self.charge_timeout(self.shared.cfg.faults.retry_timeout);
+                    if attempt < max {
+                        self.stats.borrow_mut().faults.retries += 1;
+                    }
+                }
+                Delivery::Mangled => {
+                    // The receiver's checksum caught the damage and NACKed
+                    // the frame; back off exponentially and retransmit.
+                    self.nack_backoff(attempt);
+                    if attempt < max {
+                        self.stats.borrow_mut().faults.retransmits += 1;
+                    }
+                }
             }
         }
         false
+    }
+
+    // ---- flow control ----------------------------------------------------
+
+    /// Try to obtain one delivery credit for `dest` without blocking,
+    /// scavenging the destination's garbage frames on a first failure.
+    /// Always succeeds for unbounded mailboxes. A granted credit must be
+    /// spent with [`Rank::send_reliable_granted`] (or returned with
+    /// [`Rank::refund_credit`]).
+    pub fn offer_credit(&self, dest: usize) -> bool {
+        if !self.shared.mailboxes[dest].is_bounded() {
+            return true;
+        }
+        if self.shared.try_acquire_credit(self.id, dest) {
+            return true;
+        }
+        self.shared.mailboxes[dest].scavenge();
+        self.shared.try_acquire_credit(self.id, dest)
+    }
+
+    /// Return a credit obtained from [`Rank::offer_credit`] that will not
+    /// be spent after all.
+    pub fn refund_credit(&self, dest: usize) {
+        if self.shared.mailboxes[dest].is_bounded() {
+            self.shared.mailboxes[dest].release_credit();
+        }
+    }
+
+    /// Count one credit stall (a send that had to wait for mailbox
+    /// capacity at least once). Nonblocking schedules built on
+    /// [`Rank::offer_credit`] call this when their first offer fails, so
+    /// the counter means the same thing on both the blocking and the
+    /// interleaved path.
+    pub fn count_credit_stall(&self) {
+        self.stats.borrow_mut().credit_stalls += 1;
+    }
+
+    /// Park briefly until something lands in (or drains from) this rank's
+    /// own mailbox. Used by interleaved send/receive schedules between
+    /// failed credit offers. Checks for world poisoning first.
+    pub fn wait_incoming(&self, slice: Duration) {
+        self.check_poison();
+        self.shared.mailboxes[self.id].wait_change(slice);
+    }
+
+    /// Panic with the world-state deadlock report — for callers running
+    /// their own watchdogged wait loops.
+    pub fn deadlock_panic(&self, what: &str) -> ! {
+        panic!(
+            "rank {}: {what} timed out after {:?} (likely deadlock); world state:\n{}",
+            self.id,
+            self.shared.cfg.watchdog,
+            self.shared.deadlock_report()
+        );
+    }
+
+    /// Block until a credit for `dest` frees up. Wall-clock only: credit
+    /// stalls model finite buffering, not link latency, so zero virtual
+    /// time is charged. While parked the sender scavenges garbage frames
+    /// from the destination (they hold capacity slots the owner may never
+    /// get to free — it could itself be blocked sending) and runs the
+    /// flow-control deadlock detector: a cyclic credit wait observed
+    /// unchanged [`FLOW_DEADLOCK_CONFIRM`] times panics with a
+    /// [`FlowDeadlock`] payload rather than hanging until the watchdog.
+    fn acquire_credit(&self, dest: usize, tag: i64) -> bool {
+        if tag < 0 || !self.shared.mailboxes[dest].is_bounded() {
+            return false;
+        }
+        if self.shared.try_acquire_credit(self.id, dest) {
+            return true;
+        }
+        self.stats.borrow_mut().credit_stalls += 1;
+        self.shared.set_blocked(
+            self.id,
+            Some(BlockedOp {
+                what: "send (awaiting credit)",
+                src: Some(dest),
+                tag: Some(tag),
+                vtime: self.clock.get(),
+            }),
+        );
+        let deadline = Instant::now() + self.shared.cfg.watchdog;
+        let mut last: Option<Vec<(usize, u64)>> = None;
+        let mut streak = 0u32;
+        loop {
+            if self.shared.poisoned.load(Ordering::Relaxed) {
+                self.shared.clear_credit_wait(self.id);
+                panic!("rank {}: aborting because another rank panicked", self.id);
+            }
+            self.shared.mailboxes[dest].scavenge();
+            if self.shared.try_acquire_credit(self.id, dest) {
+                break;
+            }
+            match self.shared.flow_cycle(self.id) {
+                Some(cycle) => {
+                    if last.as_ref() == Some(&cycle) {
+                        streak += 1;
+                    } else {
+                        streak = 1;
+                        last = Some(cycle.clone());
+                    }
+                    if streak >= FLOW_DEADLOCK_CONFIRM {
+                        let mut members: Vec<usize> = cycle.iter().map(|&(m, _)| m).collect();
+                        let lo = members
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|&(_, &m)| m)
+                            .map(|(i, _)| i)
+                            .unwrap_or(0);
+                        members.rotate_left(lo);
+                        self.shared.clear_credit_wait(self.id);
+                        std::panic::panic_any(FlowDeadlock { cycle: members });
+                    }
+                }
+                None => {
+                    streak = 0;
+                    last = None;
+                }
+            }
+            if Instant::now() >= deadline {
+                self.shared.clear_credit_wait(self.id);
+                panic!(
+                    "rank {}: send to rank {dest} starved waiting for a mailbox credit \
+                     for {:?}; world state:\n{}",
+                    self.id,
+                    self.shared.cfg.watchdog,
+                    self.shared.deadlock_report()
+                );
+            }
+            self.shared.mailboxes[dest].wait_change(FLOW_SLICE);
+        }
+        self.shared.set_blocked(self.id, None);
+        true
+    }
+
+    /// Charge an integrity timeout (virtual clock + bookkeeping).
+    fn charge_timeout(&self, seconds: f64) {
+        if let TimingMode::Virtual(_) = self.shared.cfg.timing {
+            self.clock.set(self.clock.get() + seconds);
+        }
+        self.stats.borrow_mut().retry_seconds += seconds;
+    }
+
+    /// Pay for one NACK round-trip: exponential backoff on the retry
+    /// timeout, capped at 2^10 windows.
+    fn nack_backoff(&self, attempt: u32) {
+        let backoff = self.shared.cfg.faults.retry_timeout * (1u64 << attempt.min(10)) as f64;
+        self.charge_timeout(backoff);
+        self.stats.borrow_mut().faults.nacks += 1;
     }
 
     /// Blocking receive from a specific source (`MPI_Recv`).
@@ -312,6 +549,66 @@ impl Rank {
     /// rollback still deduplicate correctly.
     pub fn purge_mailbox(&self) {
         self.shared.mailboxes[self.id].purge();
+    }
+
+    /// Nonblocking physical receipt for interleaved (bounded-mailbox)
+    /// schedules: remove and return one matching envelope if present,
+    /// without charging any receive cost. Ordered semantics apply exactly
+    /// as in a blocking receive (damaged and stale frames are discarded,
+    /// lowest sequence number wins). Pair with [`Rank::absorb`], which
+    /// applies the virtual-time charge — keeping charges in a canonical
+    /// order even when frames are drained in whatever order they arrive.
+    pub fn drain_one(&self, src: Option<usize>, tag: Tag) -> Option<Envelope> {
+        self.maybe_crash();
+        self.check_poison();
+        let pat = Pattern {
+            src,
+            tag: tag as i64,
+        };
+        let ordered = self.msg_faults && pat.tag >= 0;
+        self.shared.mailboxes[self.id].recv(pat, Duration::ZERO, ordered)
+    }
+
+    /// Account for and decode an envelope previously taken with
+    /// [`Rank::drain_one`]: charges the standard receive cost
+    /// (`max(clock, arrival) + recv_overhead`) exactly as the blocking
+    /// receive path would.
+    pub fn absorb<T: Wire>(&self, env: Envelope) -> T {
+        if let TimingMode::Virtual(net) = self.shared.cfg.timing {
+            let clock = self.clock.get().max(env.arrival) + net.recv_overhead;
+            self.clock.set(clock);
+        }
+        self.stats.borrow_mut().on_recv(env.bytes.len());
+        T::from_bytes(&env.bytes).unwrap_or_else(|e| {
+            panic!(
+                "rank {}: message from rank {} tag {} failed to decode as {}: {e}",
+                self.id,
+                env.src,
+                env.tag,
+                std::any::type_name::<T>()
+            )
+        })
+    }
+
+    /// Has `rank` been declared dead? For interleaved schedules that need
+    /// [`Rank::try_recv`]'s flag-then-empty reasoning without its blocking
+    /// loop. Read the flag *before* a final mailbox drain: deliveries
+    /// happen-before the flag is set, so flag-then-empty is a definitive
+    /// "never coming".
+    pub fn peer_dead(&self, rank: usize) -> bool {
+        self.shared.is_dead(rank)
+    }
+
+    /// Charge the fault plan's `detect_timeout` and count one crash
+    /// timeout — the cost [`Rank::try_recv`] pays when it concludes a peer
+    /// died. Interleaved schedules call this once per dead peer, in
+    /// canonical order, to stay bit-compatible with the blocking path.
+    pub fn charge_crash_timeout(&self) {
+        if let TimingMode::Virtual(_) = self.shared.cfg.timing {
+            self.clock
+                .set(self.clock.get() + self.shared.cfg.faults.detect_timeout);
+        }
+        self.stats.borrow_mut().faults.crash_timeouts += 1;
     }
 
     /// Post a nonblocking receive (`MPI_Irecv`); complete it with
@@ -551,12 +848,37 @@ impl Rank {
     fn send_tagged<T: Wire>(&self, dest: usize, tag: i64, value: &T) {
         let bytes = value.to_bytes();
         let seq = self.alloc_seq(dest, tag);
-        self.transmit(dest, tag, seq, 0, bytes, false);
+        if !self.msg_faults || tag < 0 {
+            self.transmit(dest, tag, seq, 0, bytes, false, CreditMode::Acquire);
+            return;
+        }
+        // Datagram semantics with integrity repair: drops stay lost (that
+        // is what send_reliable is for), but a frame the receiver NACKs as
+        // damaged is retransmitted within the retry budget — checksums must
+        // never silently turn a delivered message into a lost one.
+        let max = self.shared.cfg.faults.max_retries;
+        for attempt in 0..=max {
+            let credit = if attempt == 0 {
+                CreditMode::Acquire
+            } else {
+                CreditMode::Bypass
+            };
+            match self.transmit(dest, tag, seq, attempt, bytes.clone(), false, credit) {
+                Delivery::Delivered | Delivery::Dropped => return,
+                Delivery::Mangled => {
+                    self.nack_backoff(attempt);
+                    if attempt < max {
+                        self.stats.borrow_mut().faults.retransmits += 1;
+                    }
+                }
+            }
+        }
     }
 
     /// Charge the send cost, consult the fault plan, and (maybe) deposit
-    /// the message. Returns whether the message was delivered. `force`
-    /// overrides a drop decision ([`RetryPolicy::Escalate`]'s last resort).
+    /// the message. `force` overrides drop *and* damage decisions
+    /// ([`RetryPolicy::Escalate`]'s last resort).
+    #[allow(clippy::too_many_arguments)]
     fn transmit(
         &self,
         dest: usize,
@@ -565,7 +887,8 @@ impl Rank {
         attempt: u32,
         bytes: Vec<u8>,
         force: bool,
-    ) -> bool {
+        credit: CreditMode,
+    ) -> Delivery {
         self.maybe_crash();
         assert!(
             dest < self.n,
@@ -573,6 +896,15 @@ impl Rank {
             self.id,
             self.n
         );
+        // Flow control happens before any clock or stats side effect: a
+        // send that parks for a credit re-runs later with identical fault
+        // decisions and identical virtual-time charges, as if it had never
+        // been attempted.
+        let reserved = match credit {
+            CreditMode::Bypass => false,
+            CreditMode::Held => true,
+            CreditMode::Acquire => self.acquire_credit(dest, tag),
+        };
         let len = bytes.len();
         let mut arrival = match self.shared.cfg.timing {
             TimingMode::Virtual(net) => {
@@ -584,11 +916,20 @@ impl Rank {
         };
         self.stats.borrow_mut().on_send(dest, len);
         let plan = &self.shared.cfg.faults;
-        let decision = plan.decide(self.id, dest, tag, seq, attempt);
+        let mut decision = plan.decide(self.id, dest, tag, seq, attempt);
+        if force || bytes.is_empty() {
+            // An escalated attempt models an out-of-band clean path; empty
+            // payloads have no bits to damage.
+            decision.corrupted = false;
+            decision.truncated = false;
+        }
         if decision.dropped {
             if !force {
                 self.stats.borrow_mut().faults.dropped += 1;
-                return false;
+                if reserved {
+                    self.shared.mailboxes[dest].release_credit();
+                }
+                return Delivery::Dropped;
             }
             self.stats.borrow_mut().faults.escalations += 1;
         }
@@ -596,10 +937,28 @@ impl Rank {
             self.stats.borrow_mut().faults.delayed += 1;
             arrival += plan.delay_seconds;
         }
+        // The checksum covers the *pristine* payload: a frame damaged
+        // below keeps the original sum, which is exactly how the receiver
+        // catches it.
+        let checksum = if self.msg_faults && tag >= 0 {
+            frame_checksum(plan.seed, self.id, tag, seq, &bytes)
+        } else {
+            0
+        };
+        let mut wire_bytes = bytes;
+        if decision.mangled() {
+            {
+                let mut st = self.stats.borrow_mut();
+                st.faults.corrupted += decision.corrupted as u64;
+                st.faults.truncated += decision.truncated as u64;
+            }
+            plan.mangle(self.id, dest, tag, seq, attempt, decision, &mut wire_bytes);
+        }
         if decision.duplicated {
             // The copy is byte- and time-identical to the original, so the
             // receiver's dedup sees exactly one of them whichever is
-            // scanned first — determinism is preserved for free.
+            // scanned first — determinism is preserved for free. Duplicates
+            // bypass capacity like retransmissions do.
             self.stats.borrow_mut().faults.duplicated += 1;
             self.shared.mailboxes[dest].deliver(
                 Envelope {
@@ -607,7 +966,8 @@ impl Rank {
                     tag,
                     arrival,
                     seq,
-                    bytes: bytes.clone(),
+                    checksum,
+                    bytes: wire_bytes.clone(),
                 },
                 false,
             );
@@ -615,17 +975,24 @@ impl Rank {
         if decision.reordered {
             self.stats.borrow_mut().faults.reordered += 1;
         }
-        self.shared.mailboxes[dest].deliver(
-            Envelope {
-                src: self.id,
-                tag,
-                arrival,
-                seq,
-                bytes,
-            },
-            decision.reordered,
-        );
-        true
+        let env = Envelope {
+            src: self.id,
+            tag,
+            arrival,
+            seq,
+            checksum,
+            bytes: wire_bytes,
+        };
+        if reserved {
+            self.shared.mailboxes[dest].deliver_reserved(env, decision.reordered);
+        } else {
+            self.shared.mailboxes[dest].deliver(env, decision.reordered);
+        }
+        if decision.mangled() {
+            Delivery::Mangled
+        } else {
+            Delivery::Delivered
+        }
     }
 
     pub(crate) fn complete_recv<T: Wire>(&self, pattern: Pattern) -> T {

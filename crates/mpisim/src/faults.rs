@@ -30,6 +30,18 @@ pub struct FaultDecision {
     /// The message is delivered at the *front* of the receiver's queue,
     /// overtaking earlier traffic.
     pub reordered: bool,
+    /// One bit of the payload is flipped in flight. The frame checksum no
+    /// longer matches, so the receiver detects and discards it.
+    pub corrupted: bool,
+    /// The payload is shortened in flight. Also caught by the checksum.
+    pub truncated: bool,
+}
+
+impl FaultDecision {
+    /// Does this attempt arrive damaged (checksum will fail at the receiver)?
+    pub fn mangled(&self) -> bool {
+        self.corrupted || self.truncated
+    }
 }
 
 /// A seeded, deterministic schedule of network and process faults.
@@ -57,6 +69,10 @@ pub struct FaultPlan {
     pub dup_prob: f64,
     /// Probability a data message overtakes queued traffic at the receiver.
     pub reorder_prob: f64,
+    /// Probability a data message has one payload bit flipped in flight.
+    pub corrupt_prob: f64,
+    /// Probability a data message has its payload shortened in flight.
+    pub truncate_prob: f64,
     /// `(rank, factor)`: rank's compute time is multiplied by `factor`.
     pub stragglers: Vec<(usize, f64)>,
     /// `(rank, virtual_time)`: rank fail-stops once its clock passes the
@@ -91,6 +107,8 @@ impl Default for FaultPlan {
             delay_seconds: 0.0,
             dup_prob: 0.0,
             reorder_prob: 0.0,
+            corrupt_prob: 0.0,
+            truncate_prob: 0.0,
             stragglers: Vec::new(),
             kills: Vec::new(),
             crashes: Vec::new(),
@@ -138,6 +156,24 @@ impl FaultPlan {
     pub fn with_reorder(mut self, p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
         self.reorder_prob = p;
+        self
+    }
+
+    /// Flip one payload bit of each data message with probability `p`.
+    /// The damage is caught by the frame checksum at the receiver, which
+    /// NACKs the frame; the sender retransmits with exponential backoff.
+    pub fn with_corrupt(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.corrupt_prob = p;
+        self
+    }
+
+    /// Shorten each data message's payload with probability `p`. Like
+    /// corruption, truncation is caught by the frame checksum and repaired
+    /// by retransmission.
+    pub fn with_truncate(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.truncate_prob = p;
         self
     }
 
@@ -189,6 +225,8 @@ impl FaultPlan {
             || self.delay_prob > 0.0
             || self.dup_prob > 0.0
             || self.reorder_prob > 0.0
+            || self.corrupt_prob > 0.0
+            || self.truncate_prob > 0.0
     }
 
     /// Does this plan do anything at all?
@@ -258,6 +296,46 @@ impl FaultPlan {
             delayed: unit(mix64(h ^ 2)) < self.delay_prob,
             duplicated: unit(mix64(h ^ 3)) < self.dup_prob,
             reordered: unit(mix64(h ^ 4)) < self.reorder_prob,
+            corrupted: unit(mix64(h ^ 5)) < self.corrupt_prob,
+            truncated: unit(mix64(h ^ 6)) < self.truncate_prob,
+        }
+    }
+
+    /// Deterministically damage `bytes` in place according to `decision`.
+    ///
+    /// The mangle parameters (which bit flips, how much is cut) are a pure
+    /// hash of the same message identity that produced the decision, so a
+    /// mangled frame is byte-identical on every run. Empty payloads cannot
+    /// be damaged (there is nothing to flip or cut) — callers should treat
+    /// an empty payload's decision as clean.
+    #[allow(clippy::too_many_arguments)]
+    pub fn mangle(
+        &self,
+        src: usize,
+        dest: usize,
+        tag: i64,
+        seq: u64,
+        attempt: u32,
+        decision: FaultDecision,
+        bytes: &mut Vec<u8>,
+    ) {
+        if bytes.is_empty() || !decision.mangled() {
+            return;
+        }
+        let mut h = mix64(self.seed ^ 0x5851_f42d_4c95_7f2d);
+        h = mix64(h ^ src as u64);
+        h = mix64(h ^ dest as u64);
+        h = mix64(h ^ tag as u64);
+        h = mix64(h ^ seq);
+        h = mix64(h ^ attempt as u64);
+        if decision.truncated {
+            // Keep a strict prefix: anywhere from 0 to len-1 bytes survive.
+            let keep = (mix64(h ^ 7) % bytes.len() as u64) as usize;
+            bytes.truncate(keep);
+        }
+        if decision.corrupted && !bytes.is_empty() {
+            let bit = mix64(h ^ 8) % (bytes.len() as u64 * 8);
+            bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
         }
     }
 }
@@ -354,6 +432,53 @@ mod tests {
     #[should_panic(expected = "probability out of range")]
     fn rejects_bad_probability() {
         let _ = FaultPlan::new(0).with_drop(1.5);
+    }
+
+    #[test]
+    fn corruption_decisions_are_pure_and_calibrated() {
+        let plan = FaultPlan::new(4242).with_corrupt(0.2).with_truncate(0.1);
+        assert!(plan.message_faults());
+        let n = 10_000;
+        let (mut corrupted, mut truncated) = (0usize, 0usize);
+        for s in 0..n {
+            let d = plan.decide(0, 1, 5, s, 0);
+            assert_eq!(d, plan.decide(0, 1, 5, s, 0));
+            corrupted += d.corrupted as usize;
+            truncated += d.truncated as usize;
+        }
+        let cr = corrupted as f64 / n as f64;
+        let tr = truncated as f64 / n as f64;
+        assert!((0.17..0.23).contains(&cr), "observed corrupt rate {cr}");
+        assert!((0.08..0.12).contains(&tr), "observed truncate rate {tr}");
+        // Control-plane traffic is never damaged.
+        let sure = FaultPlan::new(1).with_corrupt(1.0).with_truncate(1.0);
+        assert_eq!(sure.decide(0, 1, -3, 0, 0), FaultDecision::default());
+    }
+
+    #[test]
+    fn mangle_is_deterministic_and_always_changes_the_payload() {
+        let plan = FaultPlan::new(9).with_corrupt(1.0).with_truncate(0.5);
+        for seq in 0..200u64 {
+            let original: Vec<u8> = (0u8..32)
+                .map(|i| i.wrapping_mul(7).wrapping_add(seq as u8) ^ 0x5a)
+                .collect();
+            let d = plan.decide(2, 3, 11, seq, 0);
+            assert!(d.corrupted);
+            let mut a = original.clone();
+            let mut b = original.clone();
+            plan.mangle(2, 3, 11, seq, 0, d, &mut a);
+            plan.mangle(2, 3, 11, seq, 0, d, &mut b);
+            assert_eq!(a, b, "mangle must be pure");
+            assert_ne!(a, original, "a mangled frame must differ");
+            if d.truncated {
+                assert!(a.len() < original.len());
+            }
+        }
+        // Empty payloads are left alone.
+        let mut empty: Vec<u8> = Vec::new();
+        let d = plan.decide(0, 1, 5, 0, 0);
+        plan.mangle(0, 1, 5, 0, 0, d, &mut empty);
+        assert!(empty.is_empty());
     }
 
     #[test]

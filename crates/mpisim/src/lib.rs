@@ -50,8 +50,9 @@ pub mod world;
 
 pub use comm::{Died, Rank, RetryPolicy, Tag, ANY_SOURCE};
 pub use faults::{FaultDecision, FaultPlan};
+pub use mailbox::Envelope;
 pub use net::{NetModel, TimingMode};
 pub use request::{RecvRequest, SendRequest};
 pub use stats::{CommStats, FaultStats};
-pub use wire::{Wire, WireError};
-pub use world::{Config, CtlSlot, CtlVerdict, World};
+pub use wire::{frame_checksum, Wire, WireError};
+pub use world::{Config, CtlSlot, CtlVerdict, FlowDeadlock, World};

@@ -1,5 +1,6 @@
 //! Per-rank mailboxes with MPI-style (source, tag) matching.
 
+use crate::wire::frame_checksum;
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
@@ -16,7 +17,11 @@ pub struct Envelope {
     /// when fault injection is off; under fault injection it lets the
     /// receiver restore send order and discard duplicates.
     pub seq: u64,
-    /// Encoded payload.
+    /// Seeded checksum over the *pristine* payload, computed at send time
+    /// (see [`frame_checksum`]). Always 0 when fault injection is off; the
+    /// receiver only verifies it on mailboxes built with a verify seed.
+    pub checksum: u64,
+    /// Encoded payload (possibly damaged in flight by the fault plan).
     pub bytes: Vec<u8>,
 }
 
@@ -44,10 +49,26 @@ struct Inner {
     consumed: std::collections::HashMap<(usize, i64), u64>,
     /// Stale duplicates discarded by ordered receives.
     stale_discarded: u64,
+    /// Damaged frames (checksum mismatch) discarded by ordered receives.
+    corruptions_detected: u64,
+    /// Largest queue depth ever observed.
+    peak_depth: u64,
+    /// Credits handed to senders that have not yet turned into deliveries.
+    /// Only nonzero on bounded mailboxes.
+    reserved: usize,
     /// Set when the owning rank crashes: further deliveries are dropped on
     /// the floor (the rank will never read them), modelling in-flight
     /// message loss to a dead peer.
     sealed: bool,
+}
+
+impl Inner {
+    /// Data-plane occupancy counted against a bounded mailbox's capacity.
+    /// Control-plane traffic (negative tags) is exempt so collectives and
+    /// the failure detector can never be throttled into a deadlock.
+    fn data_occupancy(&self) -> usize {
+        self.queue.iter().filter(|e| e.tag >= 0).count() + self.reserved
+    }
 }
 
 /// One rank's incoming-message queue.
@@ -63,12 +84,35 @@ struct Inner {
 pub struct Mailbox {
     inner: Mutex<Inner>,
     cond: Condvar,
+    /// When set, ordered receives verify each matching frame's checksum
+    /// against [`frame_checksum`] under this seed and discard damaged
+    /// frames (the receiver half of the NACK/retransmit protocol).
+    verify_seed: Option<u64>,
+    /// Data-plane envelope capacity. `None` is unbounded (the default);
+    /// `Some(c)` makes senders acquire one of `c` credits before
+    /// delivering, giving credit-based backpressure.
+    capacity: Option<usize>,
 }
 
 impl Mailbox {
-    /// Create an empty mailbox.
+    /// Create an empty, unbounded, non-verifying mailbox.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Create a mailbox with integrity checking and/or a bounded capacity.
+    pub fn configured(verify_seed: Option<u64>, capacity: Option<usize>) -> Self {
+        assert!(capacity != Some(0), "mailbox capacity must be at least 1");
+        Mailbox {
+            verify_seed,
+            capacity,
+            ..Self::default()
+        }
+    }
+
+    /// Whether this mailbox bounds its data-plane queue.
+    pub fn is_bounded(&self) -> bool {
+        self.capacity.is_some()
     }
 
     /// Lock, tolerating poison: a rank that panics while delivering must
@@ -81,17 +125,98 @@ impl Mailbox {
     /// Deposit a message and wake any waiting receiver. `front` injects
     /// the message at the head of the queue (fault injection's reordering),
     /// violating the non-overtaking guarantee on purpose.
+    ///
+    /// This path bypasses capacity accounting: it is used for control-plane
+    /// traffic and for fault-injected duplicate copies. Data-plane sends to
+    /// a bounded mailbox go through [`Mailbox::try_reserve`] +
+    /// [`Mailbox::deliver_reserved`].
     pub fn deliver(&self, env: Envelope, front: bool) {
         let mut inner = self.lock();
-        if inner.sealed {
-            return;
-        }
-        if front {
-            inner.queue.insert(0, env);
-        } else {
-            inner.queue.push(env);
-        }
+        inner.push(env, front);
         self.cond.notify_all();
+    }
+
+    /// Deposit a message using a credit previously obtained from
+    /// [`Mailbox::try_reserve`].
+    pub fn deliver_reserved(&self, env: Envelope, front: bool) {
+        let mut inner = self.lock();
+        inner.reserved = inner.reserved.saturating_sub(1);
+        inner.push(env, front);
+        self.cond.notify_all();
+    }
+
+    /// Try to acquire one delivery credit without blocking. Unbounded and
+    /// sealed mailboxes always grant (a sealed mailbox discards deliveries,
+    /// so holding senders hostage to a dead rank would be pointless).
+    /// A granted credit must be spent with [`Mailbox::deliver_reserved`] or
+    /// returned with [`Mailbox::release_credit`].
+    pub fn try_reserve(&self) -> bool {
+        let mut inner = self.lock();
+        self.grant(&mut inner)
+    }
+
+    /// Park until something changes in this mailbox (a delivery, removal,
+    /// credit release, or poke), or `slice` elapses. Used by credit-stalled
+    /// senders between [`Mailbox::try_reserve`] retries.
+    pub fn wait_change(&self, slice: Duration) {
+        let inner = self.lock();
+        let _ = self
+            .cond
+            .wait_timeout(inner, slice)
+            .unwrap_or_else(|e| e.into_inner());
+    }
+
+    fn grant(&self, inner: &mut Inner) -> bool {
+        match self.capacity {
+            None => true,
+            Some(_) if inner.sealed => true,
+            Some(cap) => {
+                if inner.data_occupancy() < cap {
+                    inner.reserved += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Return an unspent credit (the send was dropped by the fault plan).
+    pub fn release_credit(&self) {
+        let mut inner = self.lock();
+        inner.reserved = inner.reserved.saturating_sub(1);
+        self.cond.notify_all();
+    }
+
+    /// Discard damaged and stale frames from the whole queue, exactly as an
+    /// ordered receive would. Credit-stalled *senders* call this on the
+    /// destination mailbox: garbage frames hold capacity slots until the
+    /// owner's next receive, and the owner may itself be blocked sending —
+    /// remote scavenging breaks that dependency. Counters stay attributed
+    /// to this mailbox (the receiver), so totals are identical whoever
+    /// performs the cleanup.
+    pub fn scavenge(&self) {
+        let mut inner = self.lock();
+        let before = inner.queue.len();
+        if let Some(seed) = self.verify_seed {
+            inner.drop_corrupt(seed);
+        }
+        inner.drop_stale();
+        if inner.queue.len() < before {
+            self.cond.notify_all();
+        }
+    }
+
+    /// Is the data-plane queue (plus outstanding credits) at capacity?
+    /// Used by the flow-control deadlock detector; always false for
+    /// unbounded or sealed mailboxes.
+    pub fn at_capacity(&self) -> bool {
+        let inner = self.lock();
+        match self.capacity {
+            None => false,
+            Some(_) if inner.sealed => false,
+            Some(cap) => inner.data_occupancy() >= cap,
+        }
     }
 
     /// Seal the mailbox (the owning rank crashed): drop everything queued
@@ -110,6 +235,8 @@ impl Mailbox {
     pub fn purge(&self) {
         let mut inner = self.lock();
         inner.queue.clear();
+        // Purging frees credits: wake any sender blocked on one.
+        self.cond.notify_all();
     }
 
     /// Wake any receiver blocked on this mailbox so it can re-check
@@ -133,7 +260,15 @@ impl Mailbox {
         let mut inner = self.lock();
         loop {
             if ordered {
-                inner.drop_stale(pat);
+                let before = inner.queue.len();
+                if let Some(seed) = self.verify_seed {
+                    inner.drop_corrupt(seed);
+                }
+                inner.drop_stale();
+                if inner.queue.len() < before {
+                    // Discards free credits too.
+                    self.cond.notify_all();
+                }
             }
             let found = if ordered {
                 // Lowest (seq, src) among matches: deterministic given the
@@ -154,6 +289,9 @@ impl Mailbox {
                     let next = inner.consumed.entry((env.src, env.tag)).or_insert(0);
                     *next = (*next).max(env.seq + 1);
                 }
+                // Removing an envelope frees a credit on bounded mailboxes:
+                // wake any sender waiting for one.
+                self.cond.notify_all();
                 return Some(env);
             }
             let (guard, timeout) = self
@@ -187,6 +325,16 @@ impl Mailbox {
         self.lock().stale_discarded
     }
 
+    /// Damaged frames caught and discarded so far by checksum verification.
+    pub fn corruptions_detected(&self) -> u64 {
+        self.lock().corruptions_detected
+    }
+
+    /// Largest queue depth ever observed.
+    pub fn peak_depth(&self) -> u64 {
+        self.lock().peak_depth
+    }
+
     /// Snapshot of queued (src, tag) pairs, for deadlock diagnostics.
     pub fn pending(&self) -> Vec<(usize, i64)> {
         self.lock().queue.iter().map(|e| (e.src, e.tag)).collect()
@@ -194,17 +342,50 @@ impl Mailbox {
 }
 
 impl Inner {
+    /// Append (or front-insert) a message, tracking peak depth; sealed
+    /// mailboxes silently discard.
+    fn push(&mut self, env: Envelope, front: bool) {
+        if self.sealed {
+            return;
+        }
+        if front {
+            self.queue.insert(0, env);
+        } else {
+            self.queue.push(env);
+        }
+        self.peak_depth = self.peak_depth.max(self.queue.len() as u64);
+    }
+
+    /// Remove queued data-plane messages whose checksum does not verify —
+    /// frames damaged in flight by the fault plan. Cleanup is queue-wide
+    /// (not limited to the receive pattern): on bounded mailboxes a damaged
+    /// frame from *any* stream holds a capacity slot hostage, so every
+    /// cleanup pass must free all of them. Control-plane frames (negative
+    /// tags) carry no checksum and are never touched. Consumed-sequence
+    /// state is *not* advanced, so the sender's clean retransmission of the
+    /// same sequence number is accepted, not mistaken for a stale
+    /// duplicate. Runs before [`Inner::drop_stale`] so a damaged frame is
+    /// always counted as a detected corruption, never as a stale duplicate
+    /// (keeping both counters schedule-independent).
+    fn drop_corrupt(&mut self, seed: u64) {
+        let before = self.queue.len();
+        self.queue.retain(|e| {
+            e.tag < 0 || frame_checksum(seed, e.src, e.tag, e.seq, &e.bytes) == e.checksum
+        });
+        self.corruptions_detected += (before - self.queue.len()) as u64;
+    }
+
     /// Remove queued messages whose sequence number was already consumed
     /// for their (source, tag) stream — duplicates injected by the fault
-    /// plan whose original has been received.
-    fn drop_stale(&mut self, pat: Pattern) {
+    /// plan whose original has been received. Queue-wide for the same
+    /// capacity-slot reason as [`Inner::drop_corrupt`].
+    fn drop_stale(&mut self) {
         let consumed = &self.consumed;
         let before = self.queue.len();
         self.queue.retain(|e| {
-            !(pat.matches(e)
-                && consumed
-                    .get(&(e.src, e.tag))
-                    .is_some_and(|&next| e.seq < next))
+            consumed
+                .get(&(e.src, e.tag))
+                .is_none_or(|&next| e.seq >= next)
         });
         self.stale_discarded += (before - self.queue.len()) as u64;
     }
@@ -228,8 +409,16 @@ mod tests {
             tag,
             arrival: 0.0,
             seq,
+            checksum: 0,
             bytes: vec![byte],
         }
+    }
+
+    /// Like `env_seq` but with a valid checksum for `seed`.
+    fn env_ok(seed: u64, src: usize, tag: i64, seq: u64, byte: u8) -> Envelope {
+        let mut e = env_seq(src, tag, seq, byte);
+        e.checksum = frame_checksum(seed, src, tag, seq, &e.bytes);
+        e
     }
 
     #[test]
@@ -397,6 +586,87 @@ mod tests {
         // A replayed (fresh, higher-seq) message still gets through.
         mb.deliver(env_seq(0, 1, 2, 0xc), false);
         assert_eq!(mb.recv(pat, WD, true).unwrap().bytes, vec![0xc]);
+    }
+
+    #[test]
+    fn verifying_recv_discards_damaged_frames_without_burning_the_seq() {
+        let seed = 77;
+        let mb = Mailbox::configured(Some(seed), None);
+        let pat = Pattern {
+            src: Some(0),
+            tag: 1,
+        };
+        // A damaged frame (bad checksum) for seq 0 arrives first...
+        let mut bad = env_ok(seed, 0, 1, 0, 0xa);
+        bad.bytes[0] ^= 0x10;
+        mb.deliver(bad, false);
+        // ...then the clean retransmission of the same seq.
+        mb.deliver(env_ok(seed, 0, 1, 0, 0xa), false);
+        let got = mb.recv(pat, WD, true).unwrap();
+        assert_eq!(got.bytes, vec![0xa]);
+        assert_eq!(mb.corruptions_detected(), 1);
+        assert_eq!(mb.stale_discarded(), 0, "damage is not staleness");
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn bounded_mailbox_grants_and_returns_credits() {
+        let mb = Mailbox::configured(None, Some(2));
+        assert!(mb.is_bounded());
+        assert!(mb.try_reserve());
+        assert!(mb.try_reserve());
+        assert!(!mb.try_reserve(), "capacity 2 grants exactly 2 credits");
+        assert!(mb.at_capacity());
+        mb.deliver_reserved(env(0, 1, 0xa), false);
+        assert!(!mb.try_reserve(), "a spent credit occupies its slot");
+        mb.release_credit();
+        assert!(mb.try_reserve(), "a released credit frees its slot");
+        mb.release_credit();
+        // Draining the queue frees the occupied slot too.
+        let pat = Pattern {
+            src: Some(0),
+            tag: 1,
+        };
+        assert_eq!(mb.recv(pat, WD, false).unwrap().bytes, vec![0xa]);
+        assert!(!mb.at_capacity());
+        assert!(mb.try_reserve());
+    }
+
+    #[test]
+    fn control_plane_bypasses_capacity() {
+        let mb = Mailbox::configured(None, Some(1));
+        mb.deliver(env(0, -5, 1), false);
+        mb.deliver(env(0, -5, 2), false);
+        assert_eq!(mb.len(), 2);
+        assert!(!mb.at_capacity(), "negative tags do not consume credits");
+        assert!(mb.try_reserve());
+    }
+
+    #[test]
+    fn sealed_mailboxes_do_not_throttle_senders() {
+        let mb = Mailbox::configured(None, Some(1));
+        assert!(mb.try_reserve());
+        mb.seal();
+        assert!(mb.try_reserve(), "sealed mailboxes always grant");
+        assert!(!mb.at_capacity());
+    }
+
+    #[test]
+    fn peak_depth_tracks_high_water_mark() {
+        let mb = Mailbox::new();
+        assert_eq!(mb.peak_depth(), 0);
+        for i in 0..4u8 {
+            mb.deliver(env(0, 1, i), false);
+        }
+        let pat = Pattern {
+            src: Some(0),
+            tag: 1,
+        };
+        for _ in 0..4 {
+            mb.recv(pat, WD, false).unwrap();
+        }
+        assert!(mb.is_empty());
+        assert_eq!(mb.peak_depth(), 4, "peak survives draining");
     }
 
     #[test]

@@ -25,6 +25,19 @@ pub struct FaultStats {
     /// Crash-aware receives abandoned because the peer was dead
     /// (each one charged the fault plan's `detect_timeout`).
     pub crash_timeouts: u64,
+    /// Data messages whose payload had a bit flipped in flight.
+    pub corrupted: u64,
+    /// Data messages whose payload was shortened in flight.
+    pub truncated: u64,
+    /// Damaged frames caught by the receiver's checksum verification
+    /// (receiver-side; includes duplicates of damaged frames).
+    pub corruptions_detected: u64,
+    /// Retransmissions triggered by a NACKed (checksum-failed) frame,
+    /// each charged an exponential-backoff timeout on the virtual clock.
+    pub retransmits: u64,
+    /// NACKs raised by receivers for damaged frames (sender-side count of
+    /// the simulated NACK round-trips it honoured).
+    pub nacks: u64,
 }
 
 impl FaultStats {
@@ -38,6 +51,11 @@ impl FaultStats {
         self.escalations += other.escalations;
         self.stale_discarded += other.stale_discarded;
         self.crash_timeouts += other.crash_timeouts;
+        self.corrupted += other.corrupted;
+        self.truncated += other.truncated;
+        self.corruptions_detected += other.corruptions_detected;
+        self.retransmits += other.retransmits;
+        self.nacks += other.nacks;
     }
 
     /// Did any fault actually fire?
@@ -67,6 +85,14 @@ pub struct CommStats {
     pub bytes_to: Vec<u64>,
     /// Fault-injection events observed by this rank.
     pub faults: FaultStats,
+    /// Times a send by this rank had to wait for a credit (a free slot in
+    /// a bounded destination mailbox) before it could deliver.
+    pub credit_stalls: u64,
+    /// Largest number of envelopes ever queued in this rank's mailbox.
+    pub peak_mailbox_depth: u64,
+    /// Virtual seconds this rank spent in integrity timeouts: reliable-send
+    /// retry windows plus NACK/retransmit exponential backoff.
+    pub retry_seconds: f64,
 }
 
 impl CommStats {

@@ -8,7 +8,33 @@
 //! communication volume (the thesis weights processor-graph edges by buffer
 //! lengths).
 
+use ic2_rng::mix64;
 use std::fmt;
+
+/// Seeded 64-bit checksum over one framed payload.
+///
+/// Every data-plane envelope carries `frame_checksum(seed, src, tag, seq,
+/// payload)` computed by the sender over the *pristine* bytes; the receiver
+/// recomputes it on delivery and discards (NACKs) any frame that fails to
+/// verify. Built on [`mix64`] so the platform stays dependency-free: the
+/// payload is absorbed in 8-byte little-endian words (the tail zero-padded)
+/// with each word's offset mixed in, so bit flips, truncations, extensions
+/// and word swaps all change the sum. Binding `(src, tag, seq)` into the
+/// sum means a frame cannot be mistaken for a different message that
+/// happens to share its payload.
+pub fn frame_checksum(seed: u64, src: usize, tag: i64, seq: u64, bytes: &[u8]) -> u64 {
+    let mut h = mix64(seed ^ 0xa076_1d64_78bd_642f);
+    h = mix64(h ^ src as u64);
+    h = mix64(h ^ tag as u64);
+    h = mix64(h ^ seq);
+    h = mix64(h ^ bytes.len() as u64);
+    for (i, chunk) in bytes.chunks(8).enumerate() {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h = mix64(h ^ u64::from_le_bytes(word) ^ mix64(i as u64));
+    }
+    h
+}
 
 /// Error produced when decoding a malformed or truncated message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -111,6 +137,10 @@ impl Wire for () {
     }
 }
 
+/// Largest zero-width-element `Vec` a decoder will materialise; see
+/// `Vec::decode`.
+const ZERO_WIDTH_VEC_CAP: usize = 1 << 16;
+
 impl<T: Wire> Wire for Vec<T> {
     fn encode(&self, out: &mut Vec<u8>) {
         (self.len() as u64).encode(out);
@@ -124,7 +154,16 @@ impl<T: Wire> Wire for Vec<T> {
         // unless the element type is zero-sized on the wire.
         let mut v = Vec::with_capacity(len.min(buf.len().max(16)));
         for _ in 0..len {
+            let before = buf.len();
             v.push(T::decode(buf)?);
+            if buf.len() == before && len > ZERO_WIDTH_VEC_CAP {
+                // Zero-width elements consume no input, so a mutated length
+                // prefix would otherwise make this loop run for up to 2^64
+                // iterations. Cap how many we are willing to materialise.
+                return Err(WireError {
+                    what: "oversized zero-width Vec",
+                });
+            }
         }
         Ok(v)
     }
@@ -270,6 +309,49 @@ mod tests {
     fn invalid_enum_tags_error() {
         assert!(bool::from_bytes(&[2]).is_err());
         assert!(Option::<u8>::from_bytes(&[7]).is_err());
+    }
+
+    #[test]
+    fn zero_width_vec_roundtrips_but_hostile_lengths_error() {
+        roundtrip(vec![(); 5]);
+        roundtrip(vec![(); ZERO_WIDTH_VEC_CAP]);
+        // A mutated length prefix must error instead of looping ~forever.
+        let hostile = u64::MAX.to_bytes();
+        assert!(Vec::<()>::from_bytes(&hostile).is_err());
+        let nested = (u64::MAX / 2).to_bytes();
+        assert!(Vec::<[(); 4]>::from_bytes(&nested).is_err());
+    }
+
+    #[test]
+    fn frame_checksum_detects_damage() {
+        let payload: Vec<u8> = (0..67).map(|i| (i * 31) as u8).collect();
+        let sum = frame_checksum(42, 1, 7, 3, &payload);
+        // Pure in all inputs.
+        assert_eq!(sum, frame_checksum(42, 1, 7, 3, &payload));
+        // Sensitive to identity: seed, src, tag, seq.
+        assert_ne!(sum, frame_checksum(43, 1, 7, 3, &payload));
+        assert_ne!(sum, frame_checksum(42, 2, 7, 3, &payload));
+        assert_ne!(sum, frame_checksum(42, 1, 8, 3, &payload));
+        assert_ne!(sum, frame_checksum(42, 1, 7, 4, &payload));
+        // Every single-bit flip changes the sum.
+        for bit in 0..payload.len() * 8 {
+            let mut flipped = payload.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(sum, frame_checksum(42, 1, 7, 3, &flipped), "bit {bit}");
+        }
+        // Every truncation changes the sum.
+        for keep in 0..payload.len() {
+            assert_ne!(
+                sum,
+                frame_checksum(42, 1, 7, 3, &payload[..keep]),
+                "keep {keep}"
+            );
+        }
+        // The empty payload is still bound to its identity.
+        assert_ne!(
+            frame_checksum(42, 1, 7, 3, &[]),
+            frame_checksum(42, 1, 7, 4, &[])
+        );
     }
 
     #[test]

@@ -18,6 +18,12 @@ pub struct Config {
     pub watchdog: Duration,
     /// Deterministic fault-injection schedule (no-op by default).
     pub faults: FaultPlan,
+    /// Per-rank mailbox capacity in data-plane envelopes. `None` (the
+    /// default) is unbounded; `Some(c)` enables credit-based flow control:
+    /// senders block until the destination has a free slot, and a planted
+    /// cyclic wait is detected and escalated (see [`FlowDeadlock`]) instead
+    /// of hanging.
+    pub mailbox_capacity: Option<usize>,
 }
 
 impl Default for Config {
@@ -26,6 +32,7 @@ impl Default for Config {
             timing: TimingMode::Virtual(NetModel::origin2000()),
             watchdog: Duration::from_secs(30),
             faults: FaultPlan::default(),
+            mailbox_capacity: None,
         }
     }
 }
@@ -56,6 +63,14 @@ impl Config {
     /// Install a fault-injection plan.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Bound every mailbox to `capacity` data-plane envelopes, enabling
+    /// credit-based backpressure.
+    pub fn with_mailbox_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity >= 1, "mailbox capacity must be at least 1");
+        self.mailbox_capacity = Some(capacity);
         self
     }
 }
@@ -133,6 +148,28 @@ impl CtlVerdict {
 /// [`World::run_fallible`] catches it without poisoning the world; the
 /// plain [`World::run`] treats it like any other rank panic.
 pub(crate) struct RankCrashed(pub(crate) usize);
+
+/// Panic payload thrown when the flow-control deadlock detector confirms a
+/// cyclic credit wait among bounded mailboxes. Callers that run a world
+/// under `catch_unwind` can downcast the payload to this type to turn the
+/// hang-that-wasn't into a typed error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowDeadlock {
+    /// The ranks forming the cyclic wait, rotated so the smallest rank is
+    /// first; each waits for a mailbox credit from the next (the last waits
+    /// on the first).
+    pub cycle: Vec<usize>,
+}
+
+impl std::fmt::Display for FlowDeadlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "flow-control deadlock: cyclic credit wait ")?;
+        for r in &self.cycle {
+            write!(f, "rank {r} -> ")?;
+        }
+        write!(f, "rank {}", self.cycle.first().copied().unwrap_or(0))
+    }
+}
 
 /// Generation barrier that also computes the maximum virtual clock of the
 /// arriving ranks, aggregates per-rank control slots, and doubles as the
@@ -317,6 +354,28 @@ pub(crate) struct Shared {
     /// receiver that observes the flag and then finds its mailbox empty
     /// knows the message will never come.
     dead_flags: Vec<AtomicBool>,
+    /// Credit-wait registry for bounded mailboxes: `waits[r]` is the rank
+    /// whose mailbox `r` is currently blocked on for a credit; `epochs[r]`
+    /// counts how many distinct waits `r` has started (so the deadlock
+    /// detector can tell "continuously stuck" from "blocked, progressed,
+    /// blocked again"). Credit *grants* clear the entry under this same
+    /// lock, which is what makes a snapshot of the registry trustworthy.
+    credit_waits: Mutex<CreditWaits>,
+}
+
+#[derive(Default)]
+pub(crate) struct CreditWaits {
+    waits: Vec<Option<usize>>,
+    epochs: Vec<u64>,
+}
+
+impl CreditWaits {
+    fn ensure(&mut self, n: usize) {
+        if self.waits.len() < n {
+            self.waits.resize(n, None);
+            self.epochs.resize(n, 0);
+        }
+    }
 }
 
 impl Shared {
@@ -341,6 +400,71 @@ impl Shared {
         self.barrier.declare_dead(rank, n);
         for mb in &self.mailboxes {
             mb.poke();
+        }
+    }
+
+    /// Try to take one delivery credit on `dest`'s mailbox for `rank`.
+    ///
+    /// Registration and granting share the `credit_waits` lock: on failure
+    /// the rank is recorded as waiting on `dest` (starting a new wait epoch
+    /// unless it was already recorded), and on success any such record is
+    /// cleared. A snapshot of the registry therefore never shows a rank as
+    /// "waiting" when it in fact holds a freshly granted credit — the
+    /// property the deadlock detector's cycle check rests on.
+    pub(crate) fn try_acquire_credit(&self, rank: usize, dest: usize) -> bool {
+        let mut cw = lock_unpoisoned(&self.credit_waits);
+        cw.ensure(self.mailboxes.len());
+        if self.mailboxes[dest].try_reserve() {
+            cw.waits[rank] = None;
+            true
+        } else {
+            if cw.waits[rank] != Some(dest) {
+                cw.waits[rank] = Some(dest);
+                cw.epochs[rank] = cw.epochs[rank].wrapping_add(1);
+            }
+            false
+        }
+    }
+
+    /// Drop `rank`'s credit-wait registration (the send was abandoned, e.g.
+    /// because the rank is about to crash or the world poisoned).
+    pub(crate) fn clear_credit_wait(&self, rank: usize) {
+        let mut cw = lock_unpoisoned(&self.credit_waits);
+        cw.ensure(self.mailboxes.len());
+        cw.waits[rank] = None;
+    }
+
+    /// Look for a cyclic credit wait through `rank`.
+    ///
+    /// Follows the wait-for edges starting at `rank`; a cycle is only
+    /// reported if every rank on it is registered as waiting *and* every
+    /// mailbox waited on is at capacity. Returns the cycle as
+    /// `(member, wait_epoch)` pairs so the caller can require the *same*
+    /// stuck waits across consecutive checks before escalating (a member
+    /// that made progress in between starts a new epoch, which resets the
+    /// caller's confirmation streak).
+    pub(crate) fn flow_cycle(&self, rank: usize) -> Option<Vec<(usize, u64)>> {
+        let cw = lock_unpoisoned(&self.credit_waits);
+        if cw.waits.len() < self.mailboxes.len() {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = rank;
+        loop {
+            let dest = cw.waits[cur]?;
+            if !self.mailboxes[dest].at_capacity() {
+                return None;
+            }
+            path.push((cur, cw.epochs[cur]));
+            if dest == rank {
+                return Some(path);
+            }
+            if path.iter().any(|&(m, _)| m == dest) {
+                // A cycle that does not pass through `rank`: its own
+                // members will detect it.
+                return None;
+            }
+            cur = dest;
         }
     }
 
@@ -370,6 +494,18 @@ impl Shared {
                 }
                 None => {
                     let _ = writeln!(out, "  rank {r}: running; mailbox holds {pending:?}");
+                }
+            }
+        }
+        {
+            let cw = lock_unpoisoned(&self.credit_waits);
+            for (r, w) in cw.waits.iter().enumerate() {
+                if let Some(dest) = w {
+                    let _ = writeln!(
+                        out,
+                        "  rank {r}: credit-stalled on rank {dest} (mailbox at capacity: {})",
+                        self.mailboxes[*dest].at_capacity()
+                    );
                 }
             }
         }
@@ -440,14 +576,22 @@ impl World {
         if tolerate_crashes && self.cfg.faults.has_crashes() {
             install_crash_quiet_hook();
         }
+        let verify_seed = self
+            .cfg
+            .faults
+            .message_faults()
+            .then_some(self.cfg.faults.seed);
         let shared = Arc::new(Shared {
-            mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
+            mailboxes: (0..n)
+                .map(|_| Mailbox::configured(verify_seed, self.cfg.mailbox_capacity))
+                .collect(),
             barrier: ClockBarrier::new(),
             cfg: self.cfg.clone(),
             poisoned: AtomicBool::new(false),
             first_panic: Mutex::new(None),
             blocked: (0..n).map(|_| Mutex::new(None)).collect(),
             dead_flags: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            credit_waits: Mutex::new(CreditWaits::default()),
         });
         let epoch = Instant::now();
         let results: Vec<Option<R>> = std::thread::scope(|scope| {

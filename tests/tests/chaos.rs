@@ -369,6 +369,201 @@ fn kill_and_crash_together_still_recover() {
 }
 
 #[test]
+fn corruption_at_escalating_rates_stays_oracle_exact() {
+    // Bit-flip and truncation faults at escalating probabilities: the
+    // checksummed framing must catch every damaged frame, the NACK +
+    // retransmit loop must repair it within the retry budget, and the
+    // result must stay byte-identical to the sequential oracle with a
+    // bit-identical virtual-time total across repeated runs.
+    let graph = ic2_graph::generators::hex_grid_n(64);
+    let program = AvgProgram::shifting();
+    let oracle = seq::run_sequential(&graph, &program, 20);
+    let mut prev_retransmits = 0u64;
+    for (i, p) in [0.01, 0.05, 0.15].into_iter().enumerate() {
+        let plan = || {
+            FaultPlan::new(chaos_seed(23))
+                .with_corrupt(p)
+                .with_truncate(p * 0.4)
+        };
+        let cfg = RunConfig::new(8, 20)
+            .with_balancing(10)
+            .with_world(world(plan()))
+            .with_validation();
+        let a = run(
+            &graph,
+            &program,
+            &Metis::default(),
+            || CentralizedHeuristic { threshold: 0.05 },
+            &cfg,
+        );
+        assert_eq!(a.final_data, oracle, "p={p}: repair must be exact");
+        assert!(a.faults.corrupted > 0, "p={p}: {:?}", a.faults);
+        // A single decision can both truncate and bit-flip one frame, so
+        // the per-kind counters may double-count mangle events; detections
+        // must still cover every event at least once.
+        assert!(
+            a.faults.corruptions_detected >= a.faults.corrupted.max(a.faults.truncated),
+            "p={p}: every mangled frame must be caught at least once: {:?}",
+            a.faults
+        );
+        assert!(a.faults.retransmits > 0, "p={p}: {:?}", a.faults);
+        assert!(a.faults.nacks > 0, "p={p}: {:?}", a.faults);
+        // Fault decisions are pure threshold tests over the same hash
+        // stream, so escalating the probability only adds decisions.
+        assert!(
+            a.faults.retransmits >= prev_retransmits,
+            "retransmits must not shrink as corruption escalates: \
+             {} at step {i} after {prev_retransmits}",
+            a.faults.retransmits
+        );
+        prev_retransmits = a.faults.retransmits;
+
+        let b = run(
+            &graph,
+            &program,
+            &Metis::default(),
+            || CentralizedHeuristic { threshold: 0.05 },
+            &cfg,
+        );
+        assert_eq!(a.final_data, b.final_data, "p={p}");
+        assert_eq!(a.faults, b.faults, "p={p}");
+        assert_eq!(
+            a.total_time.to_bits(),
+            b.total_time.to_bits(),
+            "p={p}: virtual time must be bit-identical under the same seed"
+        );
+    }
+}
+
+#[test]
+fn corruption_on_the_battlefield_matches_the_clean_run() {
+    // The acceptance-criteria rates on the thesis battlefield: 5% bit
+    // flips plus 2% truncations must repair to exactly the fault-free
+    // answer, with the repair cost visible in the virtual clock.
+    let bf = BattlefieldProgram::new(&Scenario::thesis());
+    let terrain = bf.terrain();
+    let clean = run(
+        &terrain,
+        &bf,
+        &Metis::default(),
+        || NoBalancer,
+        &RunConfig::new(8, 5).with_world(clean_world()),
+    );
+    let plan = FaultPlan::new(chaos_seed(29))
+        .with_corrupt(0.05)
+        .with_truncate(0.02);
+    let chaotic = run(
+        &terrain,
+        &bf,
+        &Metis::default(),
+        || NoBalancer,
+        &RunConfig::new(8, 5).with_world(world(plan)),
+    );
+    assert_eq!(chaotic.final_data, clean.final_data);
+    assert!(chaotic.faults.corrupted > 0, "{:?}", chaotic.faults);
+    assert!(chaotic.faults.truncated > 0, "{:?}", chaotic.faults);
+    assert!(chaotic.faults.retransmits > 0, "{:?}", chaotic.faults);
+    assert!(
+        chaotic.total_time > clean.total_time,
+        "NACK backoff and retransmits must cost virtual time"
+    );
+}
+
+#[test]
+fn corruption_during_rollback_recovery_stays_exact() {
+    // The combined scenario: a lossy, corrupting network *and* an
+    // uncooperative crash. Retransmits must repair damage to checkpoint
+    // mirrors and adoption packages while the rollback protocol runs, and
+    // the recovered answer must still match the oracle bit-for-bit, twice.
+    let graph = ic2_graph::generators::hex_grid_n(64);
+    let program = AvgProgram::fine();
+    let iterations = 10u32;
+    let oracle = seq::run_sequential(&graph, &program, iterations);
+    let clean_total = run(
+        &graph,
+        &program,
+        &Metis::default(),
+        || NoBalancer,
+        &RunConfig::new(8, iterations).with_world(clean_world()),
+    )
+    .total_time;
+
+    let plan = || {
+        FaultPlan::new(chaos_seed(31))
+            .with_corrupt(0.05)
+            .with_truncate(0.02)
+            .with_crash(3, clean_total * 0.55)
+    };
+    let cfg = |p| {
+        RunConfig::new(8, iterations)
+            .with_checkpointing(2)
+            .with_world(world(p))
+            .with_validation()
+    };
+    let a = run(
+        &graph,
+        &program,
+        &Metis::default(),
+        || NoBalancer,
+        &cfg(plan()),
+    );
+    assert_eq!(
+        a.final_data, oracle,
+        "corrupt + crash recovery must be exact"
+    );
+    assert!(a.rollbacks >= 1, "the crash must roll back");
+    assert!(a.faults.corruptions_detected > 0, "{:?}", a.faults);
+    assert!(a.faults.retransmits > 0, "{:?}", a.faults);
+    assert!(a.ranks_died.contains(&3));
+    assert!(!a.final_owner.contains(&3));
+
+    let b = run(
+        &graph,
+        &program,
+        &Metis::default(),
+        || NoBalancer,
+        &cfg(plan()),
+    );
+    assert_eq!(a.final_data, b.final_data);
+    assert_eq!(a.rollbacks, b.rollbacks);
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.total_time.to_bits(), b.total_time.to_bits());
+}
+
+#[test]
+fn corruption_composes_with_drops_and_stragglers() {
+    // Every message-plane fault class at once. Drops and mangles interact
+    // (a frame can be dropped on one attempt and corrupted on the next);
+    // the reliable layer must still converge to the oracle.
+    let graph = ic2_graph::generators::hex_grid_n(64);
+    let program = AvgProgram::shifting();
+    let oracle = seq::run_sequential(&graph, &program, 20);
+    let plan = FaultPlan::new(chaos_seed(37))
+        .with_drop(0.04)
+        .with_delay(0.04, 2e-4)
+        .with_dup(0.04)
+        .with_reorder(0.04)
+        .with_corrupt(0.04)
+        .with_truncate(0.02)
+        .with_straggler(3, 2.0);
+    let cfg = RunConfig::new(8, 20)
+        .with_balancing(10)
+        .with_world(world(plan))
+        .with_validation();
+    let report = run(
+        &graph,
+        &program,
+        &Metis::default(),
+        || CentralizedHeuristic { threshold: 0.05 },
+        &cfg,
+    );
+    assert_eq!(report.final_data, oracle);
+    assert!(report.faults.dropped > 0, "{:?}", report.faults);
+    assert!(report.faults.corrupted > 0, "{:?}", report.faults);
+    assert!(report.faults.retransmits > 0, "{:?}", report.faults);
+}
+
+#[test]
 fn kill_determinism_and_virtual_times_match() {
     // The evacuation path itself must be deterministic.
     let graph = ic2_graph::generators::hex_grid_n(64);
