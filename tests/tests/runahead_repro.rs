@@ -1,0 +1,70 @@
+//! Throwaway repro: does a fast neighbour's next-round frame overwrite the
+//! still-unabsorbed current-round frame in the bounded drain schedule?
+
+use mpisim::{Config, Envelope, NetModel, RetryPolicy, World};
+use std::collections::HashMap;
+use std::time::Duration;
+
+#[test]
+fn runahead_overwrite() {
+    let cfg = Config::virtual_time(NetModel::origin2000())
+        .with_mailbox_capacity(4)
+        .with_watchdog(Duration::from_secs(5));
+    let out = World::new(cfg).run(3, |rank| {
+        let me = rank.rank();
+        let peers: Vec<usize> = match me {
+            0 => vec![1],
+            1 => vec![0, 2],
+            _ => vec![1],
+        };
+        let mut results = Vec::new();
+        for round in 0..3u32 {
+            if me == 2 {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            // send phase (mimics exchange::bounded_send)
+            let mut frames: HashMap<usize, Envelope> = HashMap::new();
+            for &p in &peers {
+                loop {
+                    if rank.offer_credit(p) {
+                        rank.send_reliable_granted(p, 1, &(me as u32, round), RetryPolicy::Escalate);
+                        break;
+                    }
+                    if let Some(env) = rank.drain_one(None, 1) {
+                        frames.insert(env.src, env);
+                    } else {
+                        rank.wait_incoming(Duration::from_millis(2));
+                    }
+                }
+            }
+            // collect phase (mimics exchange::bounded_collect)
+            loop {
+                let missing: Vec<usize> = peers
+                    .iter()
+                    .copied()
+                    .filter(|p| !frames.contains_key(p))
+                    .collect();
+                if missing.is_empty() {
+                    break;
+                }
+                let mut got = false;
+                while let Some(env) = rank.drain_one(None, 1) {
+                    frames.insert(env.src, env);
+                    got = true;
+                }
+                if !got {
+                    rank.wait_incoming(Duration::from_millis(2));
+                }
+            }
+            for &p in &peers {
+                let env = frames.remove(&p).unwrap();
+                let (src, r): (u32, u32) = rank.absorb(env);
+                assert_eq!(src as usize, p);
+                assert_eq!(r, round, "rank {me} absorbed a round-{r} frame in round {round}");
+                results.push((round, src, r));
+            }
+        }
+        results
+    });
+    drop(out);
+}
