@@ -1,32 +1,102 @@
 //! Reproduction harness: regenerate every table and figure of the thesis.
 //!
 //! ```text
-//! repro all             # every artifact, thesis order
-//! repro table3 fig20    # specific artifacts
-//! repro --markdown all  # markdown output (EXPERIMENTS.md building block)
-//! repro --json all      # one JSON object per artifact, one per line
-//! repro --list          # available ids
+//! repro all                   # every artifact, thesis order
+//! repro table3 fig20          # specific artifacts
+//! repro --markdown all        # markdown output (EXPERIMENTS.md building block)
+//! repro --json all            # one JSON object per artifact, one per line
+//! repro --list                # available ids
+//! repro --trace trace.json    # record the canonical chaos run (Perfetto)
+//! repro --timeline tl.json    # per-iteration metrics timeline of that run
+//! repro --check-trace t.json  # validate a recorded trace against the schema
 //! ```
 
-use ic2_bench::experiments;
+use ic2_bench::{experiments, trace_tools};
+
+fn usage() {
+    eprintln!(
+        "usage: repro [--markdown|--json] [--trace <path>] [--timeline <path>] \
+         [--check-trace <path>] <id...|all>"
+    );
+    eprintln!("available experiments:");
+    for id in experiments::all_ids() {
+        eprintln!("  {id}");
+    }
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let markdown = args.iter().any(|a| a == "--markdown");
-    let json = args.iter().any(|a| a == "--json");
-    let ids: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .cloned()
-        .collect();
+    let mut markdown = false;
+    let mut json = false;
+    let mut list = false;
+    let mut trace_path: Option<String> = None;
+    let mut timeline_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
 
-    if args.iter().any(|a| a == "--list") || ids.is_empty() {
-        eprintln!("usage: repro [--markdown|--json] <id...|all>");
-        eprintln!("available experiments:");
-        for id in experiments::all_ids() {
-            eprintln!("  {id}");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut path_flag = |slot: &mut Option<String>, flag: &str| match args.next() {
+            Some(p) => *slot = Some(p),
+            None => {
+                eprintln!("{flag} needs a file path");
+                std::process::exit(2);
+            }
+        };
+        match arg.as_str() {
+            "--markdown" => markdown = true,
+            "--json" => json = true,
+            "--list" => list = true,
+            "--trace" => path_flag(&mut trace_path, "--trace"),
+            "--timeline" => path_flag(&mut timeline_path, "--timeline"),
+            "--check-trace" => path_flag(&mut check_path, "--check-trace"),
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag: {other}");
+                usage();
+                std::process::exit(2);
+            }
+            _ => ids.push(arg),
         }
-        if ids.is_empty() {
+    }
+
+    let trace_work = check_path.is_some() || trace_path.is_some() || timeline_path.is_some();
+
+    if let Some(path) = check_path {
+        let content = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        match trace_tools::check_trace(&content) {
+            Ok(s) => eprintln!(
+                "{path}: ok — {} rank tracks, {} spans, {} instants",
+                s.ranks, s.spans, s.instants
+            ),
+            Err(e) => {
+                eprintln!("{path}: schema violation: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if trace_path.is_some() || timeline_path.is_some() {
+        let (trace, timeline) = trace_tools::traced_chaos_sinks();
+        for (path, content) in [(&trace_path, trace), (&timeline_path, timeline)] {
+            if let Some(path) = path {
+                std::fs::write(path, content).unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(2);
+                });
+                eprintln!("wrote {path}");
+            }
+        }
+    }
+
+    if list {
+        usage();
+        return;
+    }
+    if ids.is_empty() {
+        if !trace_work {
+            usage();
             std::process::exit(2);
         }
         return;

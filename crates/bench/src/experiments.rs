@@ -819,6 +819,73 @@ pub fn recovery_overhead() -> Table {
     t
 }
 
+/// Tracing overhead: the same chaos workload with the recorder off and on.
+/// The recorder never touches the virtual clock, so the simulated results
+/// must be **bit-identical** either way (asserted here); the only cost is
+/// host wall-clock, reported per run alongside the event volume. The
+/// `negative clamps` column surfaces `RunReport::negative_clamps` — zero
+/// means no phase window ever came out negative, even under chaos.
+pub fn tracing_overhead() -> Table {
+    let graph = w::hex(64);
+    let program = AvgProgram::fine();
+    let plan = || {
+        mpisim::FaultPlan::new(42)
+            .with_drop(0.05)
+            .with_corrupt(0.05)
+            .with_truncate(0.02)
+    };
+    let mut t = Table::new(
+        "tracing_overhead",
+        "Tracing overhead (64-node hex grid, 8 procs, 20 iters, drop 5% + corrupt 5% \
+         + truncate 2%, seed 42)",
+        "virtual time bit-identical with tracing on and off; overhead is host \
+         wall-clock only (varies run to run)",
+        vec![
+            "tracing".into(),
+            "time (s)".into(),
+            "events".into(),
+            "host ms".into(),
+            "negative clamps".into(),
+        ],
+    );
+    let mut run = |tracing: bool| {
+        let mut cfg = w::static_cfg(8, 20).with_world(chaos_world(plan()));
+        if tracing {
+            cfg = cfg.with_tracing();
+        }
+        let wall = std::time::Instant::now();
+        let r = w::run_reported(&graph, &program, &Metis::default(), || NoBalancer, &cfg);
+        let host_ms = wall.elapsed().as_secs_f64() * 1e3;
+        let events: usize = r
+            .trace
+            .as_ref()
+            .map(|t| t.iter().map(|(_, ev)| ev.len()).sum())
+            .unwrap_or(0);
+        t.row(vec![
+            if tracing { "on" } else { "off" }.into(),
+            secs(r.total_time),
+            events.to_string(),
+            format!("{host_ms:.1}"),
+            r.negative_clamps.to_string(),
+        ]);
+        r
+    };
+    let off = run(false);
+    let on = run(true);
+    assert_eq!(
+        off.total_time.to_bits(),
+        on.total_time.to_bits(),
+        "tracing must be invisible to the virtual clock"
+    );
+    assert_eq!(
+        off.final_data, on.final_data,
+        "tracing must not change the answer"
+    );
+    assert_eq!(off.negative_clamps, 0, "no negative phase windows");
+    assert_eq!(on.negative_clamps, 0, "no negative phase windows");
+    t
+}
+
 /// All experiment ids in thesis order.
 pub fn all_ids() -> Vec<&'static str> {
     vec![
@@ -850,6 +917,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "recovery_overhead",
         "corruption_overhead",
         "capacity_backpressure",
+        "tracing_overhead",
     ]
 }
 
@@ -891,6 +959,7 @@ pub fn run_experiment(id: &str) -> Option<Table> {
         "recovery_overhead" => recovery_overhead(),
         "corruption_overhead" => corruption_overhead(),
         "capacity_backpressure" => capacity_backpressure(),
+        "tracing_overhead" => tracing_overhead(),
         _ => return None,
     })
 }

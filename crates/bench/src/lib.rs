@@ -9,4 +9,5 @@
 pub mod experiments;
 pub mod harness;
 pub mod report;
+pub mod trace_tools;
 pub mod workloads;

@@ -46,7 +46,7 @@
 //!   final answer is byte-identical to the sequential oracle.
 
 use crate::costs::CostModel;
-use crate::driver::{RankOutcome, RunConfig};
+use crate::driver::{IterTracer, RankOutcome, RunConfig};
 use crate::exchange;
 use crate::imbalance::StragglerDetector;
 use crate::migrate;
@@ -55,7 +55,7 @@ use crate::store::NodeStore;
 use crate::timers::{Phase, PhaseTimers};
 use ic2_balance::DynamicBalancer;
 use ic2_graph::{Graph, Partition};
-use mpisim::{CtlSlot, CtlVerdict, Rank, RetryPolicy, Wire};
+use mpisim::{ArgValue, CtlSlot, CtlVerdict, Rank, RetryPolicy, Wire};
 
 /// Message tag for checkpoint snapshots mirrored to buddy ranks.
 pub const TAG_MIRROR: u32 = 4;
@@ -174,7 +174,8 @@ where
     let me = rank.rank() as u32;
     let mine = store.snapshot_table();
     rank.advance(costs.checkpoint_per_entry * mine.len() as f64);
-    *checkpoint_bytes += mine.to_bytes().len() as u64;
+    let bytes = mine.to_bytes().len() as u64;
+    *checkpoint_bytes += bytes;
     let ring: Vec<u32> = (0..store.nprocs as u32)
         .filter(|&r| !crashed[r as usize])
         .collect();
@@ -207,9 +208,18 @@ where
     // the verdict reports a new crash and every rank aborts together.
     let verdict = rank.ctl_exchange(CtlSlot::default());
     timers.add(Phase::Checkpoint, rank.wtime() - t0);
+    rank.trace_span("Checkpoint", "phase", t0, &[]);
     if staged.is_err() || has_new_crash(&verdict, crashed) {
         return Err(());
     }
+    rank.trace_instant(
+        "checkpoint",
+        "recovery",
+        &[
+            ("iter", ArgValue::U64(iter as u64)),
+            ("bytes", ArgValue::U64(bytes)),
+        ],
+    );
     Ok(Checkpoint {
         genesis: false,
         iter,
@@ -421,6 +431,7 @@ fn roll_back<P, B>(
         //    around together.
         let verdict = rank.ctl_exchange(CtlSlot::default());
         timers.add(Phase::Recovery, rank.wtime() - t0);
+        rank.trace_span("Recovery", "phase", t0, &[]);
         if restore.is_err() || has_new_crash(&verdict, crashed) {
             continue 'attempt;
         }
@@ -443,6 +454,11 @@ fn roll_back<P, B>(
         ) {
             Ok(c) => {
                 *ckpt = c;
+                rank.trace_instant(
+                    "rollback",
+                    "recovery",
+                    &[("to_iter", ArgValue::U64(ckpt.iter as u64))],
+                );
                 return;
             }
             Err(()) => continue 'attempt,
@@ -478,6 +494,7 @@ where
     let mut store = NodeStore::build(graph, partition, me, program, cfg.hash_buckets);
     rank.advance(cfg.costs.init_per_node * store.stored_count() as f64);
     timers.add(Phase::Initialization, rank.wtime() - t0);
+    rank.trace_span("Initialization", "phase", t0, &[]);
     if cfg.validate {
         store
             .validate(graph)
@@ -538,6 +555,10 @@ where
     let mut iter: u32 = 1;
     let (total, gathered) = 'run: loop {
         while iter <= cfg.iterations {
+            // Aborted iterations (a `recover!` path `continue`s) simply
+            // drop the tracer: no iteration span is emitted for garbage
+            // iterations, the rollback instant marks them instead.
+            let tracer = IterTracer::begin(rank, &timers);
             let mut comp_this_iter = 0.0;
             for phase in 0..program.phases() {
                 let ctx = ComputeCtx {
@@ -707,6 +728,9 @@ where
                     }
                 }
             }
+            if let Some(tracer) = tracer {
+                tracer.finish(rank, iter, &timers);
+            }
             iter += 1;
         }
 
@@ -770,6 +794,11 @@ where
         break (rank.wtime(), gathered);
     };
 
+    // Past the closing ctl_exchange every live rank's deliveries have
+    // landed: reconcile lingering stale/damaged frames into the fault
+    // counters before the final snapshot (else the totals depend on host
+    // scheduling).
+    rank.reconcile_faults();
     RankOutcome {
         total,
         timers,

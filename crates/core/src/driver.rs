@@ -12,7 +12,9 @@ use crate::timers::{Phase, PhaseTimers};
 use ic2_balance::DynamicBalancer;
 use ic2_graph::{Graph, Partition};
 use ic2_partition::StaticPartitioner;
-use mpisim::{CommStats, FaultStats, World};
+use mpisim::trace::{RankTrace, TraceCollector, ITERATION_SPAN};
+use mpisim::{ArgValue, CommStats, FaultStats, Rank, World};
+use std::sync::Arc;
 
 /// Everything configurable about a platform run.
 #[derive(Debug, Clone)]
@@ -58,6 +60,12 @@ pub struct RunConfig {
     /// distance bound when an uncooperative crash is injected). Only
     /// consulted when the fault plan contains crashes; must be ≥ 1.
     pub checkpoint_every: u32,
+    /// Record a structured virtual-time trace of the run (phase spans,
+    /// fault/migration/rollback instants, per-iteration metrics) into
+    /// [`RunReport::trace`]. Zero-cost when off; when on, results and
+    /// `total_time` are bit-identical to an untraced run — tracing never
+    /// touches the virtual clock.
+    pub tracing: bool,
 }
 
 impl RunConfig {
@@ -78,6 +86,7 @@ impl RunConfig {
             validate: false,
             straggler: None,
             checkpoint_every: 5,
+            tracing: false,
         }
     }
 
@@ -136,6 +145,15 @@ impl RunConfig {
         self.checkpoint_every = every;
         self
     }
+
+    /// Record a structured virtual-time trace into [`RunReport::trace`]
+    /// (see [`RunConfig::tracing`]). Render it with
+    /// [`mpisim::trace::chrome_trace_json`] (Perfetto / `chrome://tracing`)
+    /// or [`mpisim::trace::timeline_json`].
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
 }
 
 /// Result of a platform run.
@@ -183,6 +201,15 @@ pub struct RunReport<D> {
     pub credit_stalls: u64,
     /// Deepest any rank's mailbox ever got (envelopes queued at once).
     pub peak_mailbox_depth: u64,
+    /// Phase-timer additions that clamped a genuinely negative duration
+    /// up to zero, summed over ranks. Always 0 in a healthy run: anything
+    /// else means a clock window somewhere was measured backwards and
+    /// silently vanished from the §5.4 breakdown.
+    pub negative_clamps: u64,
+    /// The structured virtual-time trace, one entry per rank (crashed
+    /// ranks included, up to their crash instant). `None` unless the run
+    /// was configured with [`RunConfig::with_tracing`].
+    pub trace: Option<Vec<RankTrace>>,
 }
 
 impl<D> RunReport<D> {
@@ -245,12 +272,16 @@ fn assemble<D: Clone>(
     let mut faults = FaultStats::default();
     let mut checkpoint_bytes = 0u64;
     let mut credit_stalls = 0u64;
+    // Peaks max-merge across ranks (a sum would fabricate a depth no
+    // mailbox ever reached); everything else sums.
     let mut peak_mailbox_depth = 0u64;
+    let mut negative_clamps = 0u64;
     for r in &live {
         faults.merge(&r.comm.faults);
         checkpoint_bytes += r.checkpoint_bytes;
         credit_stalls += r.comm.credit_stalls;
         peak_mailbox_depth = peak_mailbox_depth.max(r.comm.peak_mailbox_depth);
+        negative_clamps += r.timers.negative_clamps();
     }
     let final_owner = designated.owner.clone();
     let mut slots: Vec<Option<D>> = (0..num_nodes).map(|_| None).collect();
@@ -285,19 +316,85 @@ fn assemble<D: Clone>(
         iterations_replayed: designated.iterations_replayed,
         credit_stalls,
         peak_mailbox_depth,
+        negative_clamps,
+        trace: None,
     }
 }
 
-/// Run `f`, converting a flow-control deadlock panic (a cyclic credit wait
-/// among bounded mailboxes, detected by the substrate) into a typed
-/// [`PlatformError::FlowControlDeadlock`]. Any other panic resumes
-/// unwinding untouched.
+/// Per-iteration trace bookkeeping for the metrics timeline. Constructed
+/// only when tracing is on (`None` otherwise), snapshotting the phase
+/// timers and the rank-local send/receive counters at the iteration start;
+/// [`IterTracer::finish`] emits the `iteration` span with the deltas.
+///
+/// Every field is rank-local and clock- or program-order-driven, so the
+/// emitted span is byte-reproducible across same-seed runs. (The
+/// *instantaneous* mailbox depth is deliberately absent: it depends on how
+/// far ahead other host threads ran, so it lives only in the run-level
+/// `peak_mailbox_depth` counter.)
+pub(crate) struct IterTracer {
+    timers_before: PhaseTimers,
+    sent_before: u64,
+    recv_before: u64,
+    start: f64,
+}
+
+impl IterTracer {
+    pub(crate) fn begin(rank: &Rank, timers: &PhaseTimers) -> Option<IterTracer> {
+        if !rank.trace_enabled() {
+            return None;
+        }
+        let s = rank.stats();
+        Some(IterTracer {
+            timers_before: timers.clone(),
+            sent_before: s.msgs_sent,
+            recv_before: s.msgs_recv,
+            start: rank.wtime(),
+        })
+    }
+
+    pub(crate) fn finish(self, rank: &Rank, iter: u32, timers: &PhaseTimers) {
+        let s = rank.stats();
+        let delta = |p: Phase| timers.get(p) - self.timers_before.get(p);
+        rank.trace_span(
+            ITERATION_SPAN,
+            "iter",
+            self.start,
+            &[
+                ("iter", ArgValue::U64(iter as u64)),
+                (
+                    "compute",
+                    ArgValue::F64(delta(Phase::Compute) + delta(Phase::ComputationOverhead)),
+                ),
+                (
+                    "comm",
+                    ArgValue::F64(delta(Phase::Communicate) + delta(Phase::CommunicationOverhead)),
+                ),
+                ("integrity", ArgValue::F64(delta(Phase::Integrity))),
+                ("balance", ArgValue::F64(delta(Phase::LoadBalancing))),
+                ("sent", ArgValue::U64(s.msgs_sent - self.sent_before)),
+                ("recv", ArgValue::U64(s.msgs_recv - self.recv_before)),
+            ],
+        );
+    }
+}
+
+/// Run `f`, converting the substrate's typed panic payloads — a
+/// flow-control deadlock (cyclic credit wait among bounded mailboxes) or a
+/// send addressed outside the world — into the matching
+/// [`PlatformError`]. Any other panic resumes unwinding untouched.
 pub fn catch_flow_deadlock<R>(f: impl FnOnce() -> R) -> Result<R, PlatformError> {
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
         Ok(r) => Ok(r),
         Err(payload) => match payload.downcast::<mpisim::FlowDeadlock>() {
             Ok(fd) => Err(PlatformError::FlowControlDeadlock { cycle: fd.cycle }),
-            Err(other) => std::panic::resume_unwind(other),
+            Err(other) => match other.downcast::<mpisim::InvalidRank>() {
+                Ok(ir) => Err(PlatformError::InvalidDestination {
+                    src: ir.src,
+                    dest: ir.dest,
+                    world_size: ir.world,
+                }),
+                Err(other) => std::panic::resume_unwind(other),
+            },
         },
     }
 }
@@ -370,7 +467,15 @@ where
         return Err(PlatformError::ZeroCheckpointInterval);
     }
     let num_nodes = graph.num_nodes();
-    let world = World::new(cfg.world.clone());
+    // Tracing hooks in below the driver: the substrate owns the collector,
+    // each rank buffers privately and flushes on drop (normal end or crash
+    // unwind alike), and the report harvests after the world joins.
+    let collector = cfg.tracing.then(|| Arc::new(TraceCollector::new()));
+    let mut world_cfg = cfg.world.clone();
+    if let Some(c) = &collector {
+        world_cfg = world_cfg.with_trace(Arc::clone(c));
+    }
+    let world = World::new(world_cfg);
 
     // Uncooperative crashes need the failure-detecting control plane,
     // coordinated checkpoints, and a world that tolerates rank death.
@@ -388,7 +493,9 @@ where
                 )
             })
         })?;
-        return Ok(assemble(results, partition, num_nodes));
+        let mut report = assemble(results, partition, num_nodes);
+        report.trace = collector.map(|c| c.take());
+        return Ok(report);
     }
 
     let results: Vec<RankOutcome<P::Data>> = catch_flow_deadlock(|| {
@@ -401,6 +508,7 @@ where
             let mut store = NodeStore::build(graph, &partition, me, program, cfg.hash_buckets);
             rank.advance(cfg.costs.init_per_node * store.stored_count() as f64);
             timers.add(Phase::Initialization, rank.wtime() - t0);
+            rank.trace_span("Initialization", "phase", t0, &[]);
             if cfg.validate {
                 store
                     .validate(graph)
@@ -425,6 +533,7 @@ where
             let my_kill = cfg.world.faults.kill_time(me as usize);
             let mut detector = cfg.straggler.map(|(t, p)| StragglerDetector::new(t, p));
             for iter in 1..=cfg.iterations {
+                let tracer = IterTracer::begin(rank, &timers);
                 let mut comp_this_iter = 0.0;
                 for phase in 0..program.phases() {
                     let ctx = ComputeCtx {
@@ -555,6 +664,10 @@ where
                         }
                     }
                 }
+
+                if let Some(tracer) = tracer {
+                    tracer.finish(rank, iter, &timers);
+                }
             }
             rank.barrier();
             let total = rank.wtime();
@@ -579,6 +692,11 @@ where
                 .gather(0, &owned)
                 .map(|per_rank| per_rank.into_iter().flatten().collect::<Vec<_>>());
 
+            // Everyone is past the closing barrier, so every delivery has
+            // landed: reconcile lingering stale/damaged frames into the
+            // fault counters before the final snapshot (else the totals
+            // depend on host scheduling).
+            rank.reconcile_faults();
             RankOutcome {
                 total,
                 timers,
@@ -597,11 +715,13 @@ where
         })
     })?;
 
-    Ok(assemble(
+    let mut report = assemble(
         results.into_iter().map(Some).collect(),
         partition,
         num_nodes,
-    ))
+    );
+    report.trace = collector.map(|c| c.take());
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -683,6 +803,8 @@ mod tests {
             iterations_replayed: 0,
             credit_stalls: 0,
             peak_mailbox_depth: 0,
+            negative_clamps: 0,
+            trace: None,
         };
         assert_eq!(report.speedup_vs(8.0), 4.0);
         assert_eq!(report.mean_timers().get(Phase::Compute), 3.0);

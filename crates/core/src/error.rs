@@ -35,6 +35,18 @@ pub enum PlatformError {
         /// The ranks forming the cyclic wait, in chase order.
         cycle: Vec<usize>,
     },
+    /// A rank addressed a message to a destination outside the world.
+    /// Raised by the substrate as a typed payload (see
+    /// [`mpisim::InvalidRank`]) instead of a bare out-of-bounds index
+    /// panic, and surfaced here by [`crate::catch_flow_deadlock`].
+    InvalidDestination {
+        /// The rank that attempted the send.
+        src: usize,
+        /// The out-of-range destination.
+        dest: usize,
+        /// The world size; valid destinations are `0..world_size`.
+        world_size: usize,
+    },
 }
 
 impl fmt::Display for PlatformError {
@@ -63,6 +75,14 @@ impl fmt::Display for PlatformError {
                 }
                 write!(f, "rank {}", cycle.first().copied().unwrap_or(0))
             }
+            PlatformError::InvalidDestination {
+                src,
+                dest,
+                world_size,
+            } => write!(
+                f,
+                "rank {src} addressed invalid destination rank {dest} (world size {world_size})"
+            ),
         }
     }
 }

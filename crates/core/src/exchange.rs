@@ -82,6 +82,7 @@ pub fn step<P: NodeProgram>(
                 Some(&mut buffers),
             );
             *comp_time_out += rank.wtime() - comp_t0;
+            rank.trace_span("Compute", "phase", comp_t0, &[]);
             if bounded(rank) {
                 let ex = bounded_send(rank, store, &buffers, timers);
                 bounded_collect(rank, store, ex, timers, costs, false);
@@ -122,6 +123,7 @@ pub fn step<P: NodeProgram>(
                     None,
                 );
                 *comp_time_out += rank.wtime() - comp_t0;
+                rank.trace_span("Compute", "phase", comp_t0, &[]);
                 bounded_collect(rank, store, ex, timers, costs, false);
             } else {
                 send_buffers(rank, store, &buffers, timers, costs);
@@ -143,12 +145,15 @@ pub fn step<P: NodeProgram>(
                     None,
                 );
                 *comp_time_out += rank.wtime() - comp_t0;
+                rank.trace_span("Compute", "phase", comp_t0, &[]);
+                let recv_t0 = rank.wtime();
                 for (_, req) in reqs {
                     let t0 = rank.wtime();
                     let msg = req.wait(rank);
                     timers.add(Phase::Communicate, rank.wtime() - t0);
                     unpack(rank, store, msg, timers, costs);
                 }
+                rank.trace_span("Communicate", "phase", recv_t0, &[]);
             }
         }
     }
@@ -219,6 +224,7 @@ pub fn step_crash_aware<P: NodeProgram>(
         Some(&mut buffers),
     );
     *comp_time_out += rank.wtime() - comp_t0;
+    rank.trace_span("Compute", "phase", comp_t0, &[]);
 
     let mut saw_death = false;
     if bounded(rank) {
@@ -226,6 +232,7 @@ pub fn step_crash_aware<P: NodeProgram>(
         saw_death = bounded_collect(rank, store, ex, timers, costs, true);
     } else {
         send_buffers(rank, store, &buffers, timers, costs);
+        let recv_t0 = rank.wtime();
         for p in store.recv_procs() {
             let t0 = rank.wtime();
             match rank.try_recv::<Vec<(u32, P::Data)>>(p as usize, TAG_SHADOW) {
@@ -240,6 +247,7 @@ pub fn step_crash_aware<P: NodeProgram>(
                 }
             }
         }
+        rank.trace_span("Communicate", "phase", recv_t0, &[]);
     }
 
     let t0 = rank.wtime();
@@ -345,8 +353,15 @@ fn send_buffers<D: mpisim::Wire>(
         }
     }
     let spent = rank.retry_seconds() - r0;
+    // No call-site clamp: PhaseTimers::add clamps *and counts* genuinely
+    // negative windows, so a sign-flipped measurement surfaces in
+    // `RunReport::negative_clamps` instead of silently vanishing.
     timers.add(Phase::Integrity, spent);
-    timers.add(Phase::Communicate, (rank.wtime() - t0 - spent).max(0.0));
+    timers.add(Phase::Communicate, rank.wtime() - t0 - spent);
+    if spent > 0.0 {
+        rank.trace_span("Integrity", "phase", rank.wtime() - spent, &[]);
+    }
+    rank.trace_span("Communicate", "phase", t0, &[]);
 }
 
 /// In-flight state of a bounded shadow exchange: frames physically drained
@@ -400,8 +415,14 @@ fn bounded_send<D: mpisim::Wire>(
         }
     }
     let spent = rank.retry_seconds() - r0;
+    // No call-site clamp (see `send_buffers`): genuinely negative windows
+    // are counted by `PhaseTimers::add` instead of silently erased.
     timers.add(Phase::Integrity, spent);
-    timers.add(Phase::Communicate, (rank.wtime() - t0 - spent).max(0.0));
+    timers.add(Phase::Communicate, rank.wtime() - t0 - spent);
+    if spent > 0.0 {
+        rank.trace_span("Integrity", "phase", rank.wtime() - spent, &[]);
+    }
+    rank.trace_span("Communicate", "phase", t0, &[]);
     BoundedExchange { frames, deadline }
 }
 
@@ -471,6 +492,7 @@ fn bounded_collect<D: mpisim::Wire + Clone>(
         rank.wait_incoming(Duration::from_millis(2));
     }
     let mut saw_death = false;
+    let recv_t0 = rank.wtime();
     for p in expected {
         let t0 = rank.wtime();
         if let Some(env) = frames.remove(&p) {
@@ -485,6 +507,7 @@ fn bounded_collect<D: mpisim::Wire + Clone>(
             saw_death = true;
         }
     }
+    rank.trace_span("Communicate", "phase", recv_t0, &[]);
     saw_death
 }
 
@@ -495,12 +518,14 @@ fn recv_and_unpack<D: mpisim::Wire + Clone>(
     timers: &mut PhaseTimers,
     costs: &CostModel,
 ) {
+    let recv_t0 = rank.wtime();
     for p in store.recv_procs() {
         let t0 = rank.wtime();
         let msg: Vec<(u32, D)> = rank.recv(p as usize, TAG_SHADOW);
         timers.add(Phase::Communicate, rank.wtime() - t0);
         unpack(rank, store, msg, timers, costs);
     }
+    rank.trace_span("Communicate", "phase", recv_t0, &[]);
 }
 
 /// Apply one received shadow buffer to the data-node table.

@@ -63,6 +63,7 @@ pub use error::PlatformError;
 pub use hashtab::NodeTable;
 pub use imbalance::{GrainSchedule, ShiftingWindowLoad, StragglerDetector};
 pub use migrate::{BalanceOutcome, MigrantPolicy};
+pub use mpisim::trace::{chrome_trace_json, timeline_json, RankTrace, TraceEvent};
 pub use program::{AvgProgram, ComputeCtx, NeighborData, NodeProgram};
 pub use store::{LocalNode, NodeStore};
 pub use timers::{Phase, PhaseTimers};

@@ -27,7 +27,7 @@ use crate::store::NodeStore;
 use crate::timers::{Phase, PhaseTimers};
 use ic2_balance::{DynamicBalancer, LoadReport};
 use ic2_graph::{Graph, NodeId};
-use mpisim::{CtlSlot, Rank, RetryPolicy};
+use mpisim::{ArgValue, CtlSlot, Rank, RetryPolicy};
 
 /// Message tag for migrated task data.
 pub const TAG_MIGRATE: u32 = 2;
@@ -233,6 +233,15 @@ where
             // shadow_for sets and the buffer plan.
             store.owner[migrating as usize] = idle;
             store.rebuild_lists(graph);
+            rank.trace_instant(
+                "migration",
+                "balance",
+                &[
+                    ("node", ArgValue::U64(migrating as u64)),
+                    ("from", ArgValue::U64(busy as u64)),
+                    ("to", ArgValue::U64(idle as u64)),
+                ],
+            );
             outcome.migrated += 1;
             moved_this_sub += 1;
         }
@@ -242,6 +251,7 @@ where
     }
 
     timers.add(Phase::LoadBalancing, rank.wtime() - t0);
+    rank.trace_span("LoadBalancing", "phase", t0, &[]);
     outcome
 }
 
@@ -511,6 +521,15 @@ where
 
                 store.owner[migrating as usize] = idle;
                 store.rebuild_lists(graph);
+                rank.trace_instant(
+                    "migration",
+                    "balance",
+                    &[
+                        ("node", ArgValue::U64(migrating as u64)),
+                        ("from", ArgValue::U64(busy as u64)),
+                        ("to", ArgValue::U64(idle as u64)),
+                    ],
+                );
                 outcome.migrated += 1;
                 moved_this_sub += 1;
             }
@@ -521,6 +540,7 @@ where
         Ok(outcome)
     })();
     timers.add(Phase::LoadBalancing, rank.wtime() - t0);
+    rank.trace_span("LoadBalancing", "phase", t0, &[]);
     result
 }
 
@@ -590,6 +610,15 @@ where
     }
     store.rebuild_lists(graph);
     timers.add(Phase::LoadBalancing, rank.wtime() - t0);
+    rank.trace_instant(
+        "evacuation",
+        "fault",
+        &[
+            ("dead_rank", ArgValue::U64(dead_rank as u64)),
+            ("nodes", ArgValue::U64(plan.len() as u64)),
+        ],
+    );
+    rank.trace_span("LoadBalancing", "phase", t0, &[]);
     plan.len()
 }
 

@@ -31,6 +31,11 @@ pub enum Phase {
 }
 
 impl Phase {
+    /// Number of phases. Everything that sizes per-phase storage
+    /// (`PhaseTimers::totals`, merge loops) derives from this, so adding a
+    /// phase to [`Phase::ALL`] can never silently truncate accounting.
+    pub const COUNT: usize = Phase::ALL.len();
+
     /// All phases, in report order.
     pub const ALL: [Phase; 9] = [
         Phase::Initialization,
@@ -59,7 +64,7 @@ impl Phase {
         }
     }
 
-    fn index(self) -> usize {
+    const fn index(self) -> usize {
         match self {
             Phase::Initialization => 0,
             Phase::ComputationOverhead => 1,
@@ -74,10 +79,28 @@ impl Phase {
     }
 }
 
+// `index()` must be a bijection onto `0..Phase::COUNT` that enumerates
+// `ALL` in order; a phase added to one but not the other fails the build.
+const _: () = {
+    let mut i = 0;
+    while i < Phase::COUNT {
+        assert!(
+            Phase::ALL[i].index() == i,
+            "Phase::index() must enumerate Phase::ALL in order"
+        );
+        i += 1;
+    }
+};
+
+/// Tolerance below which a negative duration is floating-point noise from
+/// subtracting two nearby clock readings, not a sign-flipped window.
+const NEGATIVE_NOISE: f64 = 1e-9;
+
 /// Accumulated seconds per phase for one rank.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PhaseTimers {
-    totals: [f64; 9],
+    totals: [f64; Phase::COUNT],
+    negative_clamps: u64,
 }
 
 impl PhaseTimers {
@@ -87,8 +110,15 @@ impl PhaseTimers {
     }
 
     /// Add `seconds` to `phase`.
+    ///
+    /// Negative durations are clamped to zero, but a duration more negative
+    /// than rounding noise is counted in [`PhaseTimers::negative_clamps`]
+    /// instead of silently vanishing from the §5.4 breakdown: a sign-flipped
+    /// clock window is an accounting bug the report must surface.
     pub fn add(&mut self, phase: Phase, seconds: f64) {
-        debug_assert!(seconds >= -1e-9, "negative phase time {seconds}");
+        if seconds < -NEGATIVE_NOISE {
+            self.negative_clamps += 1;
+        }
         self.totals[phase.index()] += seconds.max(0.0);
     }
 
@@ -102,12 +132,20 @@ impl PhaseTimers {
         self.totals.iter().sum()
     }
 
+    /// How many [`PhaseTimers::add`] calls clamped a genuinely negative
+    /// duration (beyond rounding noise) up to zero. Anything non-zero means
+    /// a clock window somewhere was measured backwards.
+    pub fn negative_clamps(&self) -> u64 {
+        self.negative_clamps
+    }
+
     /// Element-wise sum with another rank's timers.
     pub fn merged(&self, other: &PhaseTimers) -> PhaseTimers {
         let mut out = self.clone();
-        for i in 0..9 {
+        for i in 0..Phase::COUNT {
             out.totals[i] += other.totals[i];
         }
+        out.negative_clamps += other.negative_clamps;
         out
     }
 }
@@ -146,5 +184,36 @@ mod tests {
         for p in Phase::ALL {
             assert!(seen.insert(p.label()));
         }
+    }
+
+    #[test]
+    fn index_is_a_bijection_onto_all() {
+        let mut seen = [false; Phase::COUNT];
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i, "{p:?} out of order");
+            assert!(!seen[p.index()], "{p:?} index collides");
+            seen[p.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(Phase::COUNT, Phase::ALL.len());
+    }
+
+    #[test]
+    fn negative_durations_are_clamped_and_counted() {
+        let mut t = PhaseTimers::new();
+        t.add(Phase::Compute, -0.5);
+        assert_eq!(t.get(Phase::Compute), 0.0, "clamped to zero");
+        assert_eq!(t.negative_clamps(), 1);
+        // Rounding noise from subtracting nearby clock readings is not a
+        // sign-flipped window and must not trip the counter.
+        t.add(Phase::Compute, -1e-12);
+        assert_eq!(t.negative_clamps(), 1);
+        t.add(Phase::Compute, 2.0);
+        assert_eq!(t.get(Phase::Compute), 2.0);
+
+        let mut other = PhaseTimers::new();
+        other.add(Phase::Recovery, -1.0);
+        let m = t.merged(&other);
+        assert_eq!(m.negative_clamps(), 2, "merge sums the clamp counter");
     }
 }

@@ -3,7 +3,8 @@
 use crate::mailbox::{Envelope, Pattern};
 use crate::net::TimingMode;
 use crate::request::{RecvRequest, SendRequest};
-use crate::stats::CommStats;
+use crate::stats::{CommStats, InvalidRank};
+use crate::trace::{ArgValue, Args, TraceEvent};
 use crate::wire::{frame_checksum, Wire};
 use crate::world::{BlockedOp, Config, CtlSlot, CtlVerdict, FlowDeadlock, RankCrashed, Shared};
 use std::cell::{Cell, RefCell};
@@ -100,6 +101,12 @@ pub struct Rank {
     /// Cached [`crate::FaultPlan::crash_time`] for this rank: the virtual
     /// time past which its next substrate operation kills it.
     crash_time: Option<f64>,
+    /// Private structured-event buffer; `None` when tracing is off, so
+    /// every emit site reduces to one predicted-false branch. Flushed into
+    /// the world's [`crate::TraceCollector`] when the rank drops — which
+    /// happens on normal completion *and* while unwinding from an injected
+    /// crash, so a dead rank's partial trace survives.
+    trace: Option<RefCell<Vec<TraceEvent>>>,
 }
 
 impl Rank {
@@ -107,6 +114,7 @@ impl Rank {
         let msg_faults = shared.cfg.faults.message_faults();
         let compute_factor = shared.cfg.faults.compute_factor(id);
         let crash_time = shared.cfg.faults.crash_time(id);
+        let trace = shared.cfg.trace.as_ref().map(|_| RefCell::new(Vec::new()));
         Rank {
             id,
             n,
@@ -119,6 +127,45 @@ impl Rank {
             msg_faults,
             compute_factor,
             crash_time,
+            trace,
+        }
+    }
+
+    // ---- tracing ---------------------------------------------------------
+
+    /// Is structured tracing active for this world?
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Record an instantaneous trace event at the current virtual time.
+    /// No-op (one branch) when tracing is off; never touches the clock.
+    #[inline]
+    pub fn trace_instant(&self, name: &'static str, cat: &'static str, args: &Args) {
+        if let Some(buf) = &self.trace {
+            buf.borrow_mut().push(TraceEvent::Instant {
+                name,
+                cat,
+                at: self.wtime(),
+                args: args.to_vec(),
+            });
+        }
+    }
+
+    /// Record a span from `start` — an earlier [`Rank::wtime`] reading —
+    /// to the current virtual time. No-op (one branch) when tracing is
+    /// off; never touches the clock.
+    #[inline]
+    pub fn trace_span(&self, name: &'static str, cat: &'static str, start: f64, args: &Args) {
+        if let Some(buf) = &self.trace {
+            buf.borrow_mut().push(TraceEvent::Span {
+                name,
+                cat,
+                start,
+                end: self.wtime(),
+                args: args.to_vec(),
+            });
         }
     }
 
@@ -132,6 +179,7 @@ impl Rank {
     fn maybe_crash(&self) {
         if let Some(t) = self.crash_time {
             if self.wtime() >= t {
+                self.trace_instant("crash", "fault", &[]);
                 self.shared.declare_dead(self.id);
                 std::panic::panic_any(RankCrashed(self.id));
             }
@@ -183,6 +231,19 @@ impl Rank {
         self.maybe_crash();
     }
 
+    /// Reconcile receiver-side fault counters before a *final* statistics
+    /// snapshot: discard (and count) any stale duplicates or damaged
+    /// frames still sitting in this rank's mailbox. Call after the closing
+    /// barrier — once every in-flight delivery has landed — so
+    /// `stale_discarded`/`corruptions_detected` reach the same totals
+    /// regardless of how host threads interleaved (see
+    /// [`Mailbox::reconcile`]). Deliberately not folded into
+    /// [`Rank::stats`], which is also sampled mid-run and must never
+    /// mutate the mailbox.
+    pub fn reconcile_faults(&self) {
+        self.shared.mailboxes[self.id].reconcile();
+    }
+
     /// Snapshot of this rank's communication counters, including
     /// receiver-side fault bookkeeping.
     pub fn stats(&self) -> CommStats {
@@ -190,7 +251,10 @@ impl Rank {
         let mb = &self.shared.mailboxes[self.id];
         s.faults.stale_discarded = mb.stale_discarded();
         s.faults.corruptions_detected = mb.corruptions_detected();
-        s.peak_mailbox_depth = mb.peak_depth();
+        // Max-merged, never assigned: the mailbox's own high-water mark is
+        // monotonic, but max keeps the invariant obvious and immune to any
+        // future snapshot source whose peak could shrink between calls.
+        s.peak_mailbox_depth = s.peak_mailbox_depth.max(mb.peak_depth());
         s
     }
 
@@ -286,6 +350,14 @@ impl Rank {
                     self.charge_timeout(self.shared.cfg.faults.retry_timeout);
                     if attempt < max {
                         self.stats.borrow_mut().faults.retries += 1;
+                        self.trace_instant(
+                            "retry",
+                            "integrity",
+                            &[
+                                ("dest", ArgValue::U64(dest as u64)),
+                                ("attempt", ArgValue::U64(attempt as u64)),
+                            ],
+                        );
                     }
                 }
                 Delivery::Mangled => {
@@ -334,6 +406,11 @@ impl Rank {
     /// interleaved path.
     pub fn count_credit_stall(&self) {
         self.stats.borrow_mut().credit_stalls += 1;
+        // NOTE: whether a stall happens at all depends on host scheduling
+        // (it models finite buffering, not virtual time), so this event —
+        // unlike everything fault- or clock-driven — is not reproducible
+        // byte-for-byte across runs. See the trace module docs.
+        self.trace_instant("credit_stall", "flow", &[]);
     }
 
     /// Park briefly until something lands in (or drains from) this rank's
@@ -371,6 +448,12 @@ impl Rank {
             return true;
         }
         self.stats.borrow_mut().credit_stalls += 1;
+        // Host-schedule-dependent, like count_credit_stall above.
+        self.trace_instant(
+            "credit_stall",
+            "flow",
+            &[("dest", ArgValue::U64(dest as u64))],
+        );
         self.shared.set_blocked(
             self.id,
             Some(BlockedOp {
@@ -448,6 +531,14 @@ impl Rank {
         let backoff = self.shared.cfg.faults.retry_timeout * (1u64 << attempt.min(10)) as f64;
         self.charge_timeout(backoff);
         self.stats.borrow_mut().faults.nacks += 1;
+        self.trace_instant(
+            "nack",
+            "integrity",
+            &[
+                ("attempt", ArgValue::U64(attempt as u64)),
+                ("backoff", ArgValue::F64(backoff)),
+            ],
+        );
     }
 
     /// Blocking receive from a specific source (`MPI_Recv`).
@@ -511,6 +602,11 @@ impl Rank {
                         .set(self.clock.get() + self.shared.cfg.faults.detect_timeout);
                 }
                 self.stats.borrow_mut().faults.crash_timeouts += 1;
+                self.trace_instant(
+                    "crash_timeout",
+                    "fault",
+                    &[("peer", ArgValue::U64(src as u64))],
+                );
                 return Err(Died(src));
             }
             if Instant::now() >= deadline {
@@ -609,6 +705,7 @@ impl Rank {
                 .set(self.clock.get() + self.shared.cfg.faults.detect_timeout);
         }
         self.stats.borrow_mut().faults.crash_timeouts += 1;
+        self.trace_instant("crash_timeout", "fault", &[]);
     }
 
     /// Post a nonblocking receive (`MPI_Irecv`); complete it with
@@ -644,6 +741,7 @@ impl Rank {
     /// barrier cost.
     pub fn barrier(&self) {
         self.maybe_crash();
+        let entered = self.wtime();
         self.stats.borrow_mut().barriers += 1;
         self.shared.set_blocked(
             self.id,
@@ -661,6 +759,9 @@ impl Rank {
         if let TimingMode::Virtual(net) = self.shared.cfg.timing {
             self.clock.set(synced + net.barrier_cost);
         }
+        // The span's width is this rank's wait for the slowest peer — the
+        // per-iteration imbalance signal, directly visible in Perfetto.
+        self.trace_span("barrier", "sync", entered, &[]);
     }
 
     /// Control-plane exchange with failure detection: a barrier that also
@@ -676,6 +777,7 @@ impl Rank {
     /// barrier in virtual time.
     pub fn ctl_exchange(&self, slot: CtlSlot) -> CtlVerdict {
         self.maybe_crash();
+        let entered = self.wtime();
         self.stats.borrow_mut().barriers += 1;
         self.shared.set_blocked(
             self.id,
@@ -696,6 +798,7 @@ impl Rank {
         if let TimingMode::Virtual(net) = self.shared.cfg.timing {
             self.clock.set(synced + net.barrier_cost);
         }
+        self.trace_span("ctl_exchange", "sync", entered, &[]);
         verdict
     }
 
@@ -890,12 +993,15 @@ impl Rank {
         credit: CreditMode,
     ) -> Delivery {
         self.maybe_crash();
-        assert!(
-            dest < self.n,
-            "rank {}: send to invalid destination {dest} (world size {})",
-            self.id,
-            self.n
-        );
+        if dest >= self.n {
+            // Typed payload, not a bare index panic: the platform layer
+            // downcasts this into its own configuration-error type.
+            std::panic::panic_any(InvalidRank {
+                src: self.id,
+                dest,
+                world: self.n,
+            });
+        }
         // Flow control happens before any clock or stats side effect: a
         // send that parks for a credit re-runs later with identical fault
         // decisions and identical virtual-time charges, as if it had never
@@ -914,7 +1020,9 @@ impl Rank {
             }
             TimingMode::Real => 0.0,
         };
-        self.stats.borrow_mut().on_send(dest, len);
+        if let Err(e) = self.stats.borrow_mut().on_send(dest, len) {
+            std::panic::panic_any(InvalidRank { src: self.id, ..e });
+        }
         let plan = &self.shared.cfg.faults;
         let mut decision = plan.decide(self.id, dest, tag, seq, attempt);
         if force || bytes.is_empty() {
@@ -923,18 +1031,26 @@ impl Rank {
             decision.corrupted = false;
             decision.truncated = false;
         }
+        let fault_args: [(&'static str, ArgValue); 3] = [
+            ("dest", ArgValue::U64(dest as u64)),
+            ("tag", ArgValue::U64(tag.max(0) as u64)),
+            ("attempt", ArgValue::U64(attempt as u64)),
+        ];
         if decision.dropped {
             if !force {
                 self.stats.borrow_mut().faults.dropped += 1;
+                self.trace_instant("drop", "fault", &fault_args);
                 if reserved {
                     self.shared.mailboxes[dest].release_credit();
                 }
                 return Delivery::Dropped;
             }
             self.stats.borrow_mut().faults.escalations += 1;
+            self.trace_instant("escalate", "fault", &fault_args);
         }
         if decision.delayed {
             self.stats.borrow_mut().faults.delayed += 1;
+            self.trace_instant("delay", "fault", &fault_args);
             arrival += plan.delay_seconds;
         }
         // The checksum covers the *pristine* payload: a frame damaged
@@ -952,6 +1068,12 @@ impl Rank {
                 st.faults.corrupted += decision.corrupted as u64;
                 st.faults.truncated += decision.truncated as u64;
             }
+            if decision.corrupted {
+                self.trace_instant("corrupt", "fault", &fault_args);
+            }
+            if decision.truncated {
+                self.trace_instant("truncate", "fault", &fault_args);
+            }
             plan.mangle(self.id, dest, tag, seq, attempt, decision, &mut wire_bytes);
         }
         if decision.duplicated {
@@ -960,6 +1082,7 @@ impl Rank {
             // scanned first — determinism is preserved for free. Duplicates
             // bypass capacity like retransmissions do.
             self.stats.borrow_mut().faults.duplicated += 1;
+            self.trace_instant("duplicate", "fault", &fault_args);
             self.shared.mailboxes[dest].deliver(
                 Envelope {
                     src: self.id,
@@ -974,6 +1097,7 @@ impl Rank {
         }
         if decision.reordered {
             self.stats.borrow_mut().faults.reordered += 1;
+            self.trace_instant("reorder", "fault", &fault_args);
         }
         let env = Envelope {
             src: self.id,
@@ -1059,6 +1183,16 @@ impl Rank {
             panic!("rank {}: aborting because another rank panicked", self.id);
         }
     }
+
+    /// Cumulative count of envelopes ever delivered into this rank's
+    /// mailbox. Monotonic and — sampled at an iteration boundary, after
+    /// the closing barrier — deterministic: every send of the iteration
+    /// happens-before its sender's barrier entry. (The *instantaneous*
+    /// queue depth is host-schedule-dependent; this counter is the
+    /// reproducible mailbox-traffic signal the metrics timeline uses.)
+    pub fn mailbox_delivered(&self) -> u64 {
+        self.shared.mailboxes[self.id].delivered()
+    }
 }
 
 impl std::fmt::Debug for Rank {
@@ -1068,5 +1202,18 @@ impl std::fmt::Debug for Rank {
             .field("n", &self.n)
             .field("clock", &self.clock.get())
             .finish()
+    }
+}
+
+impl Drop for Rank {
+    /// Flush the trace buffer into the world's collector. Runs on normal
+    /// completion and while unwinding from an injected crash alike — the
+    /// rank is constructed inside its thread's closure, outside the
+    /// `catch_unwind` that absorbs the crash — so a dead rank's partial
+    /// trace is preserved up to the crash instant.
+    fn drop(&mut self) {
+        if let (Some(buf), Some(collector)) = (&self.trace, &self.shared.cfg.trace) {
+            collector.flush(self.id, std::mem::take(&mut *buf.borrow_mut()));
+        }
     }
 }

@@ -45,6 +45,7 @@ pub mod mailbox;
 pub mod net;
 pub mod request;
 pub mod stats;
+pub mod trace;
 pub mod wire;
 pub mod world;
 
@@ -53,6 +54,7 @@ pub use faults::{FaultDecision, FaultPlan};
 pub use mailbox::Envelope;
 pub use net::{NetModel, TimingMode};
 pub use request::{RecvRequest, SendRequest};
-pub use stats::{CommStats, FaultStats};
+pub use stats::{CommStats, FaultStats, InvalidRank};
+pub use trace::{ArgValue, TraceCollector, TraceEvent};
 pub use wire::{frame_checksum, Wire, WireError};
 pub use world::{Config, CtlSlot, CtlVerdict, FlowDeadlock, World};

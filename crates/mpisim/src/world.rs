@@ -4,6 +4,7 @@ use crate::comm::Rank;
 use crate::faults::FaultPlan;
 use crate::mailbox::Mailbox;
 use crate::net::{NetModel, TimingMode};
+use crate::trace::TraceCollector;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -24,6 +25,10 @@ pub struct Config {
     /// cyclic wait is detected and escalated (see [`FlowDeadlock`]) instead
     /// of hanging.
     pub mailbox_capacity: Option<usize>,
+    /// Structured event collector (see [`crate::trace`]). `None` (the
+    /// default) disables tracing entirely: ranks carry no buffer and every
+    /// emit site is a single predicted-false branch.
+    pub trace: Option<Arc<TraceCollector>>,
 }
 
 impl Default for Config {
@@ -33,6 +38,7 @@ impl Default for Config {
             watchdog: Duration::from_secs(30),
             faults: FaultPlan::default(),
             mailbox_capacity: None,
+            trace: None,
         }
     }
 }
@@ -71,6 +77,14 @@ impl Config {
     pub fn with_mailbox_capacity(mut self, capacity: usize) -> Self {
         assert!(capacity >= 1, "mailbox capacity must be at least 1");
         self.mailbox_capacity = Some(capacity);
+        self
+    }
+
+    /// Record structured trace events into `collector` (see
+    /// [`crate::trace`]). Tracing never touches the virtual clock, so
+    /// results and execution times are bit-identical with it on or off.
+    pub fn with_trace(mut self, collector: Arc<TraceCollector>) -> Self {
+        self.trace = Some(collector);
         self
     }
 }
@@ -757,6 +771,77 @@ mod tests {
             })
         };
         assert_eq!(run_once()[0], run_once()[0]);
+    }
+
+    #[test]
+    fn peak_mailbox_depth_survives_a_shrinking_queue() {
+        let depths = World::new(Config::default()).run(2, |rank| {
+            if rank.rank() == 0 {
+                for i in 0..4u64 {
+                    rank.send(1, 9, &i);
+                }
+                rank.barrier();
+                (0, 0, 0)
+            } else {
+                // All four sends happen-before rank 0's barrier entry, so
+                // the queue holds exactly four envelopes here.
+                rank.barrier();
+                let first = rank.stats().peak_mailbox_depth;
+                for _ in 0..4 {
+                    let _: u64 = rank.recv(0, 9);
+                }
+                // Queue has shrunk to empty; re-snapshotting must not lose
+                // the high-water mark.
+                let second = rank.stats().peak_mailbox_depth;
+                (first, second, rank.mailbox_delivered())
+            }
+        });
+        let (first, second, delivered) = depths[1];
+        assert_eq!(first, 4);
+        assert_eq!(second, 4, "high-water mark must survive the drain");
+        assert_eq!(delivered, 4, "cumulative delivery count is monotonic");
+    }
+
+    #[test]
+    fn send_to_out_of_range_rank_raises_typed_payload() {
+        let err = std::panic::catch_unwind(|| {
+            World::new(Config::default().with_watchdog(Duration::from_secs(2))).run(2, |rank| {
+                if rank.rank() == 0 {
+                    rank.send(2, 1, &1u64);
+                }
+                rank.barrier();
+            })
+        })
+        .expect_err("invalid destination must fail the world");
+        let invalid = err
+            .downcast_ref::<crate::stats::InvalidRank>()
+            .expect("payload must be the typed InvalidRank, not a bare index panic");
+        assert_eq!(invalid.src, 0);
+        assert_eq!(invalid.dest, 2);
+        assert_eq!(invalid.world, 2);
+    }
+
+    #[test]
+    fn traces_survive_crashes_and_flush_on_drop() {
+        let collector = Arc::new(TraceCollector::new());
+        let cfg = Config::default()
+            .with_watchdog(Duration::from_secs(5))
+            .with_faults(FaultPlan::new(7).with_crash(1, 0.2))
+            .with_trace(Arc::clone(&collector));
+        let _ = World::new(cfg).run_fallible(2, |rank| {
+            rank.advance(0.5);
+            rank.barrier();
+            rank.wtime()
+        });
+        let traces = collector.take();
+        assert_eq!(traces.len(), 2, "dead ranks still flush their buffers");
+        let crashed = &traces[1].1;
+        assert!(
+            crashed
+                .iter()
+                .any(|e| matches!(e, crate::trace::TraceEvent::Instant { name: "crash", .. })),
+            "the crash instant must be recorded"
+        );
     }
 
     #[test]

@@ -71,6 +71,10 @@ fn fault_injection_is_fully_deterministic() {
         b.total_time.to_bits(),
         "virtual time must be bit-identical under the same fault seed"
     );
+    assert_eq!(
+        a.negative_clamps, 0,
+        "no phase window may come out negative, even under chaos"
+    );
 }
 
 #[test]
@@ -267,6 +271,10 @@ fn crashed_rank_rolls_back_and_recovers_exactly() {
     assert_eq!(a.checkpoint_bytes, b.checkpoint_bytes);
     assert_eq!(a.faults, b.faults);
     assert_eq!(a.total_time.to_bits(), b.total_time.to_bits());
+    assert_eq!(
+        a.negative_clamps, 0,
+        "rollback recovery must not produce negative phase windows"
+    );
 }
 
 #[test]
@@ -432,6 +440,7 @@ fn corruption_at_escalating_rates_stays_oracle_exact() {
             b.total_time.to_bits(),
             "p={p}: virtual time must be bit-identical under the same seed"
         );
+        assert_eq!(a.negative_clamps, 0, "p={p}: no negative phase windows");
     }
 }
 

@@ -27,7 +27,12 @@ fn runahead_overwrite() {
             for &p in &peers {
                 loop {
                     if rank.offer_credit(p) {
-                        rank.send_reliable_granted(p, 1, &(me as u32, round), RetryPolicy::Escalate);
+                        rank.send_reliable_granted(
+                            p,
+                            1,
+                            &(me as u32, round),
+                            RetryPolicy::Escalate,
+                        );
                         break;
                     }
                     if let Some(env) = rank.drain_one(None, 1) {
@@ -60,7 +65,10 @@ fn runahead_overwrite() {
                 let env = frames.remove(&p).unwrap();
                 let (src, r): (u32, u32) = rank.absorb(env);
                 assert_eq!(src as usize, p);
-                assert_eq!(r, round, "rank {me} absorbed a round-{r} frame in round {round}");
+                assert_eq!(
+                    r, round,
+                    "rank {me} absorbed a round-{r} frame in round {round}"
+                );
                 results.push((round, src, r));
             }
         }
