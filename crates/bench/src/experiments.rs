@@ -886,6 +886,176 @@ pub fn tracing_overhead() -> Table {
     t
 }
 
+// ---- Communication optimization (delta exchange + zero-copy transport) ----
+
+/// Delta shadow exchange vs full exchange across boundary churn rates:
+/// bytes on the wire, shadow-entry suppression, virtual time, and
+/// quiescence detection, with the answer pinned identical between modes at
+/// every rate. The low-churn rows are the headline: suppressing clean
+/// nodes must cut wire traffic by at least 40%.
+pub fn delta_exchange() -> Table {
+    let graph = w::hex(96);
+    let iters = 30u32;
+    let procs = 8usize;
+    let mut t = Table::new(
+        "delta_exchange",
+        "Delta vs full shadow exchange (96-node hex grid, 8 procs, 30 iters, \
+         churn = % of nodes changing every iteration)",
+        "wire bytes and virtual time fall as churn falls (>=40% byte cut at <=10% churn); \
+         answers identical between modes at every rate; full churn costs nothing extra",
+        vec![
+            "churn".into(),
+            "bytes full".into(),
+            "bytes delta".into(),
+            "byte cut".into(),
+            "entries sent".into(),
+            "entries skipped".into(),
+            "time full (s)".into(),
+            "time delta (s)".into(),
+            "quiescent iters".into(),
+        ],
+    );
+    for churn_pct in [0u64, 10, 25, 50, 100] {
+        let program = w::ChurnProgram { churn_pct };
+        let cfg = w::static_cfg(procs, iters);
+        let full = w::run_reported(&graph, &program, &Metis::default(), || NoBalancer, &cfg);
+        let delta = w::run_reported(
+            &graph,
+            &program,
+            &Metis::default(),
+            || NoBalancer,
+            &cfg.clone().with_delta_exchange(),
+        );
+        assert_eq!(
+            delta.final_data, full.final_data,
+            "delta exchange must not change the answer (churn {churn_pct}%)"
+        );
+        let bytes =
+            |r: &ic2mpi::RunReport<i64>| -> u64 { r.comm.iter().map(|c| c.bytes_sent).sum() };
+        let (bf, bd) = (bytes(&full), bytes(&delta));
+        let cut = 1.0 - bd as f64 / bf as f64;
+        if churn_pct <= 10 {
+            assert!(
+                cut >= 0.40,
+                "low-churn runs must cut wire bytes by >=40%, got {:.1}% at churn {}%",
+                cut * 100.0,
+                churn_pct
+            );
+        }
+        t.row(vec![
+            format!("{churn_pct}%"),
+            bf.to_string(),
+            bd.to_string(),
+            format!("{:.1}%", cut * 100.0),
+            delta.delta_entries_sent.to_string(),
+            delta.delta_entries_skipped.to_string(),
+            secs(full.total_time),
+            secs(delta.total_time),
+            delta.quiescent_iterations.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Host-time cost of the transport hot path under the `Arc`-backed
+/// zero-copy payloads: wall-clock per scenario next to the payload
+/// allocation/sharing counters that prove retransmissions, broadcast
+/// fan-out, and gather forwarding reuse one buffer instead of copying.
+/// Virtual time is unaffected by any of this — the win is host-side only.
+pub fn zero_copy_host_time() -> Table {
+    use mpisim::{payload_metrics, reset_payload_metrics, RetryPolicy};
+
+    let mut t = Table::new(
+        "zero_copy_host_time",
+        "Host time and payload accounting on the transport hot path (seed 42)",
+        "shared clones dwarf allocations (attempts/edges/hops share one buffer); \
+         host ms varies run to run, allocation counters are exact",
+        vec![
+            "scenario".into(),
+            "host ms".into(),
+            "payload allocs".into(),
+            "alloc KiB".into(),
+            "shared clones".into(),
+            "clones per alloc".into(),
+        ],
+    );
+    let mut scenario = |name: &str, f: &dyn Fn()| {
+        reset_payload_metrics();
+        let wall = std::time::Instant::now();
+        f();
+        let host_ms = wall.elapsed().as_secs_f64() * 1e3;
+        let m = payload_metrics();
+        t.row(vec![
+            name.into(),
+            format!("{host_ms:.1}"),
+            m.allocs.to_string(),
+            format!("{:.1}", m.alloc_bytes as f64 / 1024.0),
+            m.shared_clones.to_string(),
+            format!("{:.1}", m.shared_clones as f64 / m.allocs.max(1) as f64),
+        ]);
+    };
+
+    scenario(
+        "chaos run: drop 10% + corrupt 5%, 8 procs, 20 iters",
+        &|| {
+            let graph = w::hex(64);
+            let program = AvgProgram::fine();
+            let plan = mpisim::FaultPlan::new(42)
+                .with_drop(0.10)
+                .with_corrupt(0.05);
+            w::run_reported(
+                &graph,
+                &program,
+                &Metis::default(),
+                || NoBalancer,
+                &w::static_cfg(8, 20).with_world(chaos_world(plan)),
+            );
+        },
+    );
+    scenario(
+        "reliable sends: 1000 x 1 KiB under 50% drops, 2 ranks",
+        &|| {
+            let plan = mpisim::FaultPlan::new(42)
+                .with_drop(0.5)
+                .with_retry(1e-3, 16);
+            let cfg = mpisim::Config::virtual_time(mpisim::NetModel::origin2000())
+                .with_watchdog(std::time::Duration::from_secs(60))
+                .with_faults(plan);
+            mpisim::World::new(cfg).run(2, |rank| {
+                let payload: Vec<u64> = (0..128).collect();
+                for _ in 0..1000 {
+                    if rank.rank() == 0 {
+                        rank.send_reliable(1, 7, &payload, RetryPolicy::Escalate);
+                    } else {
+                        let _: Vec<u64> = rank.recv(0, 7);
+                    }
+                }
+            });
+        },
+    );
+    scenario("bcast: 1 MiB to 16 ranks", &|| {
+        let cfg = mpisim::Config::virtual_time(mpisim::NetModel::origin2000())
+            .with_watchdog(std::time::Duration::from_secs(60));
+        mpisim::World::new(cfg).run(16, |rank| {
+            let mut value: Vec<u64> = if rank.rank() == 0 {
+                (0..131_072).collect()
+            } else {
+                Vec::new()
+            };
+            rank.bcast(0, &mut value);
+        });
+    });
+    scenario("gather: 64 KiB from each of 16 ranks", &|| {
+        let cfg = mpisim::Config::virtual_time(mpisim::NetModel::origin2000())
+            .with_watchdog(std::time::Duration::from_secs(60));
+        mpisim::World::new(cfg).run(16, |rank| {
+            let value: Vec<u64> = (0..8192).map(|j| rank.rank() as u64 + j).collect();
+            rank.gather(0, &value);
+        });
+    });
+    t
+}
+
 /// All experiment ids in thesis order.
 pub fn all_ids() -> Vec<&'static str> {
     vec![
@@ -918,6 +1088,8 @@ pub fn all_ids() -> Vec<&'static str> {
         "corruption_overhead",
         "capacity_backpressure",
         "tracing_overhead",
+        "delta_exchange",
+        "zero_copy_host_time",
     ]
 }
 
@@ -960,6 +1132,8 @@ pub fn run_experiment(id: &str) -> Option<Table> {
         "corruption_overhead" => corruption_overhead(),
         "capacity_backpressure" => capacity_backpressure(),
         "tracing_overhead" => tracing_overhead(),
+        "delta_exchange" => delta_exchange(),
+        "zero_copy_host_time" => zero_copy_host_time(),
         _ => return None,
     })
 }

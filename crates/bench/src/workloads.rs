@@ -33,6 +33,47 @@ pub fn battlefield() -> BattlefieldProgram {
     BattlefieldProgram::new(&Scenario::thesis())
 }
 
+/// A workload with a tunable fraction of *churning* nodes, built for the
+/// delta-exchange experiment: a churner increments its value every
+/// iteration (always dirty), every other node holds its value (always
+/// clean after the initial sync). Which nodes churn is a deterministic
+/// hash of the node id, so the dirty set is stable across runs and modes.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnProgram {
+    /// Percentage (0–100) of nodes that change every iteration.
+    pub churn_pct: u64,
+}
+
+impl ChurnProgram {
+    fn is_churner(&self, node: ic2_graph::NodeId) -> bool {
+        // splitmix64 finalizer: decorrelates the id from the grid layout.
+        let mut z = node as u64 ^ 0x9e37_79b9_7f4a_7c15;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)) % 100 < self.churn_pct
+    }
+}
+
+impl NodeProgram for ChurnProgram {
+    type Data = i64;
+    fn init(&self, node: ic2_graph::NodeId, _graph: &Graph) -> i64 {
+        node as i64 + 1
+    }
+    fn compute(
+        &self,
+        node: ic2_graph::NodeId,
+        own: &i64,
+        _neighbors: &[NeighborData<'_, i64>],
+        _ctx: &ComputeCtx,
+    ) -> i64 {
+        if self.is_churner(node) {
+            *own + 1
+        } else {
+            *own
+        }
+    }
+}
+
 /// Baseline static run configuration (virtual-time Origin-2000 model).
 pub fn static_cfg(procs: usize, iters: u32) -> RunConfig {
     RunConfig::new(procs, iters)

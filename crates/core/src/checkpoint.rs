@@ -515,6 +515,11 @@ where
     let mut rollbacks = 0u32;
     let mut iterations_replayed = 0u32;
     let mut checkpoint_bytes = 0u64;
+    // Wire-traffic accounting, not replicated program state: like the
+    // fault counters these tally what physically happened, so replayed
+    // iterations count again and rollback does not rewind them.
+    let mut delta_stats = exchange::DeltaStats::default();
+    let mut quiescent_iterations = 0u32;
     let plan_kills = cfg.world.faults.has_kills();
     let my_kill = cfg.world.faults.kill_time(me as usize);
     let k = cfg.checkpoint_every.max(1);
@@ -560,6 +565,7 @@ where
             // iterations, the rollback instant marks them instead.
             let tracer = IterTracer::begin(rank, &timers);
             let mut comp_this_iter = 0.0;
+            let mut changed_this_iter = 0u64;
             for phase in 0..program.phases() {
                 let ctx = ComputeCtx {
                     iter,
@@ -567,7 +573,7 @@ where
                     rank: me,
                     num_nodes,
                 };
-                exchange::step_crash_aware(
+                let (_, stats) = exchange::step_crash_aware(
                     rank,
                     graph,
                     program,
@@ -576,24 +582,35 @@ where
                     &cfg.costs,
                     &mut timers,
                     &mut comp_this_iter,
+                    cfg.delta_exchange,
                 );
+                delta_stats.absorb(stats);
+                changed_this_iter += stats.changed_nodes;
             }
             counters.comp_since_balance += comp_this_iter;
 
             // ---- Iteration-end detection point -------------------------
             // One control exchange carries everything the boundary needs:
             // the failure detector's verdict, each rank's compute time
-            // (straggler sample), and cooperative kill announcements.
+            // (straggler sample), cooperative kill announcements — and,
+            // under delta exchange, the changed-node count piggybacked in
+            // the otherwise-unused metadata word.
             let i_died =
                 plan_kills && !dead[me as usize] && my_kill.is_some_and(|t| rank.wtime() >= t);
             let verdict = rank.ctl_exchange(CtlSlot {
-                word: 0,
+                word: changed_this_iter,
                 load: comp_this_iter,
                 flag: i_died,
             });
             if has_new_crash(&verdict, &crashed) {
                 recover!(iter, iter);
                 continue;
+            }
+            if cfg.delta_exchange {
+                let global: u64 = (0..nprocs).filter_map(|r| verdict.word(r)).sum();
+                if global == 0 {
+                    quiescent_iterations += 1;
+                }
             }
 
             // ---- Cooperative fail-stop (announced via the flag bits) ----
@@ -618,7 +635,7 @@ where
                 }
                 if !newly.is_empty() {
                     counters.comp_since_balance = 0.0;
-                    store.node_load.clear();
+                    store.reset_loads();
                     if cfg.validate {
                         store.validate(graph).unwrap_or_else(|e| {
                             panic!("rank {me}: post-evacuation invariant: {e}")
@@ -649,7 +666,7 @@ where
                         counters.migrations += out.migrated;
                         counters.skipped += out.skipped;
                         counters.comp_since_balance = 0.0;
-                        store.node_load.clear();
+                        store.reset_loads();
                         balanced_this_iter = true;
                         if cfg.validate {
                             store.validate(graph).unwrap_or_else(|e| {
@@ -691,7 +708,7 @@ where
                             counters.skipped += out.skipped;
                             counters.emergency_balances += 1;
                             counters.comp_since_balance = 0.0;
-                            store.node_load.clear();
+                            store.reset_loads();
                             if cfg.validate {
                                 store.validate(graph).unwrap_or_else(|e| {
                                     panic!("rank {me}: post-emergency-balance invariant: {e}")
@@ -813,6 +830,8 @@ where
         checkpoint_bytes,
         rollbacks,
         iterations_replayed,
+        delta: delta_stats,
+        quiescent_iterations,
     }
 }
 

@@ -66,6 +66,14 @@ pub struct RunConfig {
     /// `total_time` are bit-identical to an untraced run — tracing never
     /// touches the virtual clock.
     pub tracing: bool,
+    /// Delta shadow exchange: pack only the peripheral nodes whose value
+    /// actually changed this iteration; receivers retain last-known shadow
+    /// values for the rest. Results are bit-identical to a full exchange;
+    /// bytes on the wire (and the pack cost of clean nodes) are not paid.
+    /// The iteration-closing barrier becomes a control exchange carrying
+    /// per-rank changed-node counts, so [`RunReport::quiescent_iterations`]
+    /// can report global boundary quiescence.
+    pub delta_exchange: bool,
 }
 
 impl RunConfig {
@@ -87,6 +95,7 @@ impl RunConfig {
             straggler: None,
             checkpoint_every: 5,
             tracing: false,
+            delta_exchange: false,
         }
     }
 
@@ -154,6 +163,12 @@ impl RunConfig {
         self.tracing = true;
         self
     }
+
+    /// Enable delta shadow exchange (see [`RunConfig::delta_exchange`]).
+    pub fn with_delta_exchange(mut self) -> Self {
+        self.delta_exchange = true;
+        self
+    }
 }
 
 /// Result of a platform run.
@@ -206,6 +221,16 @@ pub struct RunReport<D> {
     /// else means a clock window somewhere was measured backwards and
     /// silently vanished from the §5.4 breakdown.
     pub negative_clamps: u64,
+    /// Shadow entries actually packed and sent, summed over ranks and
+    /// iterations. Without delta exchange this is the full shadow traffic;
+    /// with it, the post-suppression traffic.
+    pub delta_entries_sent: u64,
+    /// Shadow entries suppressed by delta exchange because the node was
+    /// clean (always 0 with delta off).
+    pub delta_entries_skipped: u64,
+    /// Iterations in which *no* rank's boundary changed (global changed
+    /// count zero in every phase). Only tracked under delta exchange.
+    pub quiescent_iterations: u32,
     /// The structured virtual-time trace, one entry per rank (crashed
     /// ranks included, up to their crash instant). `None` unless the run
     /// was configured with [`RunConfig::with_tracing`].
@@ -252,6 +277,8 @@ pub(crate) struct RankOutcome<D> {
     pub(crate) checkpoint_bytes: u64,
     pub(crate) rollbacks: u32,
     pub(crate) iterations_replayed: u32,
+    pub(crate) delta: exchange::DeltaStats,
+    pub(crate) quiescent_iterations: u32,
 }
 
 /// Assemble the run report from the per-rank outcomes. The recovery
@@ -276,12 +303,16 @@ fn assemble<D: Clone>(
     // mailbox ever reached); everything else sums.
     let mut peak_mailbox_depth = 0u64;
     let mut negative_clamps = 0u64;
+    let mut delta_entries_sent = 0u64;
+    let mut delta_entries_skipped = 0u64;
     for r in &live {
         faults.merge(&r.comm.faults);
         checkpoint_bytes += r.checkpoint_bytes;
         credit_stalls += r.comm.credit_stalls;
         peak_mailbox_depth = peak_mailbox_depth.max(r.comm.peak_mailbox_depth);
         negative_clamps += r.timers.negative_clamps();
+        delta_entries_sent += r.delta.entries_sent;
+        delta_entries_skipped += r.delta.entries_skipped;
     }
     let final_owner = designated.owner.clone();
     let mut slots: Vec<Option<D>> = (0..num_nodes).map(|_| None).collect();
@@ -317,6 +348,11 @@ fn assemble<D: Clone>(
         credit_stalls,
         peak_mailbox_depth,
         negative_clamps,
+        delta_entries_sent,
+        delta_entries_skipped,
+        // The quiescence verdicts are agreed (every live rank saw the same
+        // global counts), so the designated rank's tally is canonical.
+        quiescent_iterations: designated.quiescent_iterations,
         trace: None,
     }
 }
@@ -532,9 +568,12 @@ where
             let plan_kills = cfg.world.faults.has_kills();
             let my_kill = cfg.world.faults.kill_time(me as usize);
             let mut detector = cfg.straggler.map(|(t, p)| StragglerDetector::new(t, p));
+            let mut delta_stats = exchange::DeltaStats::default();
+            let mut quiescent_iterations = 0u32;
             for iter in 1..=cfg.iterations {
                 let tracer = IterTracer::begin(rank, &timers);
                 let mut comp_this_iter = 0.0;
+                let mut iter_quiescent = cfg.delta_exchange;
                 for phase in 0..program.phases() {
                     let ctx = ComputeCtx {
                         iter,
@@ -542,7 +581,7 @@ where
                         rank: me,
                         num_nodes,
                     };
-                    exchange::step(
+                    let res = exchange::step(
                         rank,
                         graph,
                         program,
@@ -552,7 +591,15 @@ where
                         &cfg.costs,
                         &mut timers,
                         &mut comp_this_iter,
+                        cfg.delta_exchange,
                     );
+                    delta_stats.absorb(res.delta);
+                    if res.global_changed != Some(0) {
+                        iter_quiescent = false;
+                    }
+                }
+                if iter_quiescent {
+                    quiescent_iterations += 1;
                 }
                 comp_since_balance += comp_this_iter;
 
@@ -587,7 +634,7 @@ where
                     }
                     if !newly.is_empty() {
                         comp_since_balance = 0.0;
-                        store.node_load.clear();
+                        store.reset_loads();
                         if cfg.validate {
                             store.validate(graph).unwrap_or_else(|e| {
                                 panic!("rank {me}: post-evacuation invariant: {e}")
@@ -616,7 +663,7 @@ where
                     migrations += out.migrated;
                     skipped += out.skipped;
                     comp_since_balance = 0.0;
-                    store.node_load.clear();
+                    store.reset_loads();
                     balanced_this_iter = true;
                     if cfg.validate {
                         store
@@ -656,7 +703,7 @@ where
                         skipped += out.skipped;
                         emergency_balances += 1;
                         comp_since_balance = 0.0;
-                        store.node_load.clear();
+                        store.reset_loads();
                         if cfg.validate {
                             store.validate(graph).unwrap_or_else(|e| {
                                 panic!("rank {me}: post-emergency-balance invariant: {e}")
@@ -711,6 +758,8 @@ where
                 checkpoint_bytes: 0,
                 rollbacks: 0,
                 iterations_replayed: 0,
+                delta: delta_stats,
+                quiescent_iterations,
             }
         })
     })?;
@@ -804,6 +853,9 @@ mod tests {
             credit_stalls: 0,
             peak_mailbox_depth: 0,
             negative_clamps: 0,
+            delta_entries_sent: 0,
+            delta_entries_skipped: 0,
+            quiescent_iterations: 0,
             trace: None,
         };
         assert_eq!(report.speedup_vs(8.0), 4.0);

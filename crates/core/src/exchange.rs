@@ -5,12 +5,47 @@ use crate::program::{ComputeCtx, NeighborData, NodeProgram};
 use crate::store::{LocalNode, NodeStore};
 use crate::timers::{Phase, PhaseTimers};
 use ic2_graph::Graph;
-use mpisim::{Envelope, Rank, RetryPolicy};
-use std::collections::HashMap;
+use mpisim::{ArgValue, CtlSlot, Envelope, Rank, RetryPolicy};
 use std::time::{Duration, Instant};
 
 /// Message tag for shadow-buffer exchange.
 pub const TAG_SHADOW: u32 = 1;
+
+/// Per-iteration delta-exchange accounting, summed by the driver across
+/// iterations and ranks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Shadow entries packed into outgoing buffers.
+    pub entries_sent: u64,
+    /// Shadow entries suppressed because the node's value did not change
+    /// (only ever non-zero in delta mode).
+    pub entries_skipped: u64,
+    /// Peripheral nodes whose value changed this iteration — the quantity
+    /// piggybacked on the control exchange; a global sum of zero means the
+    /// boundary is quiescent (only tracked in delta mode).
+    pub changed_nodes: u64,
+}
+
+impl DeltaStats {
+    /// Accumulate another iteration's counts.
+    pub fn absorb(&mut self, other: DeltaStats) {
+        self.entries_sent += other.entries_sent;
+        self.entries_skipped += other.entries_skipped;
+        self.changed_nodes += other.changed_nodes;
+    }
+}
+
+/// What one [`step`] observed: local delta accounting plus, in delta mode,
+/// the agreed global changed-node count from the iteration-closing control
+/// exchange (`Some(0)` ⇒ every rank's boundary is quiescent).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepResult {
+    /// This rank's delta accounting for the iteration.
+    pub delta: DeltaStats,
+    /// Global changed-node total (identical on every rank); `None` when
+    /// delta mode is off and the iteration closed with a plain barrier.
+    pub global_changed: Option<u64>,
+}
 
 /// Per-destination shadow-update buffers (the thesis's array of buffer
 /// arrays, one per neighbouring processor).
@@ -46,8 +81,14 @@ pub fn step<P: NodeProgram>(
     costs: &CostModel,
     timers: &mut PhaseTimers,
     comp_time_out: &mut f64,
-) {
+    delta: bool,
+) -> StepResult {
     let comp_t0 = rank.wtime();
+    // Delta packing is suspended for one iteration after any structural
+    // change (migration, evacuation, restore, genesis): every receiver's
+    // retained shadows must be refreshed before dirtiness means anything.
+    let delta_active = delta && !store.needs_resync;
+    let mut stats = DeltaStats::default();
     let mut buffers: ShadowBuffers<P::Data> = vec![Vec::new(); store.nprocs];
     for (p, buf) in buffers.iter_mut().enumerate() {
         if store.send_counts[p] > 0 {
@@ -69,6 +110,9 @@ pub fn step<P: NodeProgram>(
                 costs,
                 timers,
                 None,
+                delta,
+                delta_active,
+                &mut stats,
             );
             compute_list(
                 rank,
@@ -80,6 +124,9 @@ pub fn step<P: NodeProgram>(
                 costs,
                 timers,
                 Some(&mut buffers),
+                delta,
+                delta_active,
+                &mut stats,
             );
             *comp_time_out += rank.wtime() - comp_t0;
             rank.trace_span("Compute", "phase", comp_t0, &[]);
@@ -104,6 +151,9 @@ pub fn step<P: NodeProgram>(
                 costs,
                 timers,
                 Some(&mut buffers),
+                delta,
+                delta_active,
+                &mut stats,
             );
             if bounded(rank) {
                 // Same virtual-time schedule as the unbounded overlap
@@ -121,6 +171,9 @@ pub fn step<P: NodeProgram>(
                     costs,
                     timers,
                     None,
+                    delta,
+                    delta_active,
+                    &mut stats,
                 );
                 *comp_time_out += rank.wtime() - comp_t0;
                 rank.trace_span("Compute", "phase", comp_t0, &[]);
@@ -143,6 +196,9 @@ pub fn step<P: NodeProgram>(
                     costs,
                     timers,
                     None,
+                    delta,
+                    delta_active,
+                    &mut stats,
                 );
                 *comp_time_out += rank.wtime() - comp_t0;
                 rank.trace_span("Compute", "phase", comp_t0, &[]);
@@ -157,17 +213,46 @@ pub fn step<P: NodeProgram>(
             }
         }
     }
+    // This iteration shipped a full pack if delta packing was suspended;
+    // either way receivers are now current, so the latch can drop.
+    store.needs_resync = false;
 
     // End of iteration: promote every staged value (the thesis's
-    // `data = most_recent_data` sweep), then the barrier that closes
-    // `CommunicateShadows`.
+    // `data = most_recent_data` sweep), then the synchronisation that
+    // closes `CommunicateShadows`. In delta mode the plain barrier becomes
+    // a control exchange — identical virtual-time cost — carrying this
+    // rank's changed-node count, so every rank learns the agreed global
+    // total and can observe quiescence.
     let t0 = rank.wtime();
     rank.advance(costs.per_node_update * store.owned_count() as f64);
     store.table.promote_all();
     timers.add(Phase::ComputationOverhead, rank.wtime() - t0);
     let t0 = rank.wtime();
-    rank.barrier();
+    let global_changed = if delta {
+        rank.trace_instant(
+            "delta_skipped",
+            "delta",
+            &[
+                ("iter", ArgValue::U64(ctx.iter as u64)),
+                ("sent", ArgValue::U64(stats.entries_sent)),
+                ("skipped", ArgValue::U64(stats.entries_skipped)),
+            ],
+        );
+        let verdict = rank.ctl_exchange(CtlSlot {
+            word: stats.changed_nodes,
+            load: 0.0,
+            flag: false,
+        });
+        Some((0..rank.size()).filter_map(|r| verdict.word(r)).sum())
+    } else {
+        rank.barrier();
+        None
+    };
     timers.add(Phase::Communicate, rank.wtime() - t0);
+    StepResult {
+        delta: stats,
+        global_changed,
+    }
 }
 
 /// Crash-aware variant of [`step`]: identical schedule to
@@ -182,7 +267,10 @@ pub fn step<P: NodeProgram>(
 /// iteration this produces is discarded wholesale by rollback recovery, so
 /// it never reaches the final answer.
 ///
-/// Returns `true` if any awaited sender turned out to be dead.
+/// Returns whether any awaited sender turned out to be dead, plus this
+/// rank's delta accounting (the caller owns the iteration-closing control
+/// exchange in crash mode, so the changed-node count is handed back for it
+/// to piggyback there).
 #[allow(clippy::too_many_arguments)]
 pub fn step_crash_aware<P: NodeProgram>(
     rank: &Rank,
@@ -193,8 +281,11 @@ pub fn step_crash_aware<P: NodeProgram>(
     costs: &CostModel,
     timers: &mut PhaseTimers,
     comp_time_out: &mut f64,
-) -> bool {
+    delta: bool,
+) -> (bool, DeltaStats) {
     let comp_t0 = rank.wtime();
+    let delta_active = delta && !store.needs_resync;
+    let mut stats = DeltaStats::default();
     let mut buffers: ShadowBuffers<P::Data> = vec![Vec::new(); store.nprocs];
     for (p, buf) in buffers.iter_mut().enumerate() {
         if store.send_counts[p] > 0 {
@@ -211,6 +302,9 @@ pub fn step_crash_aware<P: NodeProgram>(
         costs,
         timers,
         None,
+        delta,
+        delta_active,
+        &mut stats,
     );
     compute_list(
         rank,
@@ -222,6 +316,9 @@ pub fn step_crash_aware<P: NodeProgram>(
         costs,
         timers,
         Some(&mut buffers),
+        delta,
+        delta_active,
+        &mut stats,
     );
     *comp_time_out += rank.wtime() - comp_t0;
     rank.trace_span("Compute", "phase", comp_t0, &[]);
@@ -249,31 +346,53 @@ pub fn step_crash_aware<P: NodeProgram>(
         }
         rank.trace_span("Communicate", "phase", recv_t0, &[]);
     }
+    store.needs_resync = false;
 
     let t0 = rank.wtime();
     rank.advance(costs.per_node_update * store.owned_count() as f64);
     store.table.promote_all();
     timers.add(Phase::ComputationOverhead, rank.wtime() - t0);
+    if delta {
+        rank.trace_instant(
+            "delta_skipped",
+            "delta",
+            &[
+                ("iter", ArgValue::U64(ctx.iter as u64)),
+                ("sent", ArgValue::U64(stats.entries_sent)),
+                ("skipped", ArgValue::U64(stats.entries_skipped)),
+            ],
+        );
+    }
     let t0 = rank.wtime();
     rank.barrier();
     timers.add(Phase::Communicate, rank.wtime() - t0);
-    saw_death
+    (saw_death, stats)
 }
 
 /// Update every node in `list`: build the node+neighbours list, invoke the
 /// application node function, stage the result, and (for peripherals) pack
 /// the update into the outgoing buffers.
+///
+/// Dirty tracking happens at the pack site: a node is dirty iff the value
+/// it just computed differs from its current value — exactly the value
+/// every receiver's retained shadow holds, by induction from the last full
+/// sync. With `delta_active`, clean nodes are not packed (and their
+/// `per_shadow_pack` cost is not charged); receivers keep the retained
+/// shadow, which equals what a full exchange would have delivered.
 #[allow(clippy::too_many_arguments)]
 fn compute_list<P: NodeProgram>(
     rank: &Rank,
     program: &P,
     list: &[LocalNode],
     table: &mut crate::hashtab::NodeTable<P::Data>,
-    node_load: &mut std::collections::HashMap<u32, f64>,
+    node_load: &mut [f64],
     ctx: &ComputeCtx,
     costs: &CostModel,
     timers: &mut PhaseTimers,
     mut buffers: Option<&mut ShadowBuffers<P::Data>>,
+    delta: bool,
+    delta_active: bool,
+    stats: &mut DeltaStats,
 ) {
     for node in list {
         // Computation overhead: form the list of the node and its
@@ -304,8 +423,7 @@ fn compute_list<P: NodeProgram>(
         let next = program.compute(node.id, own, &neighbors, ctx);
         let t2 = rank.wtime();
         timers.add(Phase::Compute, t2 - t1);
-        *node_load.entry(node.id).or_insert(0.0) += t2 - t1;
-        drop(neighbors);
+        node_load[node.id as usize] += t2 - t1;
 
         // Stage the update; pack it for every processor holding this node
         // as a shadow.
@@ -313,12 +431,23 @@ fn compute_list<P: NodeProgram>(
         if let Some(buffers) = buffers.as_deref_mut() {
             let t3 = rank.wtime();
             timers.add(Phase::ComputationOverhead, t3 - t2);
-            rank.advance(costs.per_shadow_pack * node.shadow_for.len() as f64);
-            for &p in &node.shadow_for {
-                buffers[p as usize].push((node.id, next.clone()));
+            let changed = !delta || next != *own;
+            drop(neighbors);
+            if delta && changed {
+                stats.changed_nodes += 1;
+            }
+            if changed || !delta_active {
+                rank.advance(costs.per_shadow_pack * node.shadow_for.len() as f64);
+                for &p in &node.shadow_for {
+                    buffers[p as usize].push((node.id, next.clone()));
+                }
+                stats.entries_sent += node.shadow_for.len() as u64;
+            } else {
+                stats.entries_skipped += node.shadow_for.len() as u64;
             }
             timers.add(Phase::CommunicationOverhead, rank.wtime() - t3);
         } else {
+            drop(neighbors);
             timers.add(Phase::ComputationOverhead, rank.wtime() - t2);
         }
         table.set_pending(node.id, next);
@@ -348,7 +477,11 @@ fn send_buffers<D: mpisim::Wire>(
     let r0 = rank.retry_seconds();
     for (p, buf) in buffers.iter().enumerate() {
         if store.send_counts[p] > 0 {
-            debug_assert_eq!(buf.len(), store.send_counts[p]);
+            // Delta packing may suppress entries, but never adds any; the
+            // (possibly empty) buffer is still sent so the message
+            // schedule — and thus every receive pattern — is identical
+            // with delta on or off.
+            debug_assert!(buf.len() <= store.send_counts[p]);
             rank.send_reliable(p, TAG_SHADOW, buf, RetryPolicy::Escalate);
         }
     }
@@ -365,9 +498,9 @@ fn send_buffers<D: mpisim::Wire>(
 }
 
 /// In-flight state of a bounded shadow exchange: frames physically drained
-/// but not yet charged/unpacked, keyed by sender.
+/// but not yet charged/unpacked, in a dense slot per sender rank.
 struct BoundedExchange {
-    frames: HashMap<usize, Envelope>,
+    frames: Vec<Option<Envelope>>,
     deadline: Instant,
 }
 
@@ -388,13 +521,14 @@ fn bounded_send<D: mpisim::Wire>(
 ) -> BoundedExchange {
     let t0 = rank.wtime();
     let r0 = rank.retry_seconds();
-    let mut frames: HashMap<usize, Envelope> = HashMap::new();
+    let mut frames: Vec<Option<Envelope>> = Vec::new();
+    frames.resize_with(rank.size(), || None);
     let deadline = Instant::now() + rank.config().watchdog;
     for (p, buf) in buffers.iter().enumerate() {
         if store.send_counts[p] == 0 {
             continue;
         }
-        debug_assert_eq!(buf.len(), store.send_counts[p]);
+        debug_assert!(buf.len() <= store.send_counts[p]);
         let mut stalled = false;
         loop {
             if rank.offer_credit(p) {
@@ -406,7 +540,8 @@ fn bounded_send<D: mpisim::Wire>(
                 rank.count_credit_stall();
             }
             if let Some(env) = rank.drain_one(None, TAG_SHADOW) {
-                frames.insert(env.src, env);
+                let src = env.src;
+                frames[src] = Some(env);
             } else if Instant::now() >= deadline {
                 rank.deadlock_panic("bounded shadow exchange (send phase)");
             } else {
@@ -455,7 +590,7 @@ fn bounded_collect<D: mpisim::Wire + Clone>(
         let missing: Vec<usize> = expected
             .iter()
             .copied()
-            .filter(|p| !frames.contains_key(p) && !dead_peers.contains(p))
+            .filter(|&p| frames[p].is_none() && !dead_peers.contains(&p))
             .collect();
         if missing.is_empty() {
             break;
@@ -473,12 +608,13 @@ fn bounded_collect<D: mpisim::Wire + Clone>(
         };
         let mut got = false;
         while let Some(env) = rank.drain_one(None, TAG_SHADOW) {
-            frames.insert(env.src, env);
+            let src = env.src;
+            frames[src] = Some(env);
             got = true;
         }
         let mut newly_dead = false;
         for p in flagged {
-            if !frames.contains_key(&p) && !dead_peers.contains(&p) {
+            if frames[p].is_none() && !dead_peers.contains(&p) {
                 dead_peers.push(p);
                 newly_dead = true;
             }
@@ -495,7 +631,7 @@ fn bounded_collect<D: mpisim::Wire + Clone>(
     let recv_t0 = rank.wtime();
     for p in expected {
         let t0 = rank.wtime();
-        if let Some(env) = frames.remove(&p) {
+        if let Some(env) = frames[p].take() {
             let msg: Vec<(u32, D)> = rank.absorb(env);
             timers.add(Phase::Communicate, rank.wtime() - t0);
             unpack(rank, store, msg, timers, costs);

@@ -643,7 +643,7 @@ pub fn select_migrant<D>(
     if store.owned_count() <= 1 {
         return None;
     }
-    let load_of = |id: NodeId| store.node_load.get(&id).copied().unwrap_or(0.0);
+    let load_of = |id: NodeId| store.node_load[id as usize];
     // Loads are bucketed to 0.1 ms so near-equal candidates tie and the
     // edge-cut criterion (locality) decides between them.
     let bucket = |load: f64| (load * 1e4).round() as i64;

@@ -42,7 +42,10 @@ pub struct NeighborData<'a, D> {
 /// both reproduce the thesis's "dummy for loop" load injection.
 pub trait NodeProgram: Sync {
     /// Per-node application data (the thesis's `struct node_data`).
-    type Data: Clone + Wire + Send + 'static;
+    /// `PartialEq` is what delta shadow exchange tests dirtiness with: a
+    /// node whose newly computed value equals its current one is clean and
+    /// its shadow update can be suppressed.
+    type Data: Clone + PartialEq + Wire + Send + 'static;
 
     /// Initial data of `node` (the thesis initialises `data = globalID`).
     fn init(&self, node: NodeId, graph: &Graph) -> Self::Data;

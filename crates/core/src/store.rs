@@ -53,7 +53,17 @@ pub struct NodeStore<D> {
     pub send_counts: Vec<usize>,
     /// Measured compute seconds per owned node since the last balancing
     /// round — the per-node load the load-aware migrant policy consults.
-    pub node_load: std::collections::HashMap<NodeId, f64>,
+    /// Dense, indexed by global node id (entries for nodes this rank does
+    /// not own stay 0.0): the per-node hot path pays an array index, not a
+    /// hash.
+    pub node_load: Vec<f64>,
+    /// Delta-exchange resync latch: while set, the next shadow exchange
+    /// must pack *every* peripheral node regardless of dirtiness, because
+    /// some receiver's retained shadow values can no longer be assumed
+    /// current. Set whenever ownership or table contents change outside
+    /// the normal iteration flow (initial build, migration, evacuation,
+    /// checkpoint restore) and cleared once a full pack has gone out.
+    pub needs_resync: bool,
 }
 
 impl<D: Clone> NodeStore<D> {
@@ -87,7 +97,8 @@ impl<D: Clone> NodeStore<D> {
             table: NodeTable::new(hash_buckets),
             owner,
             send_counts: vec![0; nprocs],
-            node_load: std::collections::HashMap::new(),
+            node_load: vec![0.0; graph.num_nodes()],
+            needs_resync: true,
         };
         // Owned node data...
         for v in graph.nodes() {
@@ -137,6 +148,10 @@ impl<D> NodeStore<D> {
         self.internal.clear();
         self.peripheral.clear();
         self.send_counts = vec![0; self.nprocs];
+        // Boundaries just changed shape: receivers may now hold shadows
+        // this rank never refreshed under delta packing, so the next
+        // exchange must be a full one.
+        self.needs_resync = true;
         for v in graph.nodes() {
             if self.owner[v as usize] != self.rank {
                 continue;
@@ -208,8 +223,14 @@ impl<D> NodeStore<D> {
                 self.table.insert(id, d);
             }
         }
-        self.node_load.clear();
+        self.reset_loads();
         self.rebuild_lists(graph);
+    }
+
+    /// Zero the per-node load samples (a balancing round consumed them, or
+    /// a restore invalidated them). Keeps the dense allocation.
+    pub fn reset_loads(&mut self) {
+        self.node_load.iter_mut().for_each(|l| *l = 0.0);
     }
 
     /// Processors this rank must *receive* shadow data from: owners of the

@@ -2,6 +2,7 @@
 
 use crate::mailbox::{Envelope, Pattern};
 use crate::net::TimingMode;
+use crate::payload::{encode_payload, Payload};
 use crate::request::{RecvRequest, SendRequest};
 use crate::stats::{CommStats, InvalidRank};
 use crate::trace::{ArgValue, Args, TraceEvent};
@@ -328,9 +329,11 @@ impl Rank {
         first_credit: CreditMode,
     ) -> bool {
         let t = tag as i64;
-        let bytes = value.to_bytes();
+        // One allocation per message: every attempt below shares this
+        // buffer by reference count.
+        let payload = encode_payload(value);
         if !self.msg_faults {
-            self.transmit(dest, t, 0, 0, bytes, false, first_credit);
+            self.transmit(dest, t, 0, 0, &payload, false, first_credit);
             return true;
         }
         let seq = self.alloc_seq(dest, t);
@@ -342,7 +345,7 @@ impl Rank {
             } else {
                 CreditMode::Bypass
             };
-            match self.transmit(dest, t, seq, attempt, bytes.clone(), force, credit) {
+            match self.transmit(dest, t, seq, attempt, &payload, force, credit) {
                 Delivery::Delivered => return true,
                 Delivery::Dropped => {
                     // Lost: we waited a full ack timeout before concluding
@@ -809,15 +812,30 @@ impl Rank {
         let tag = self.next_coll_tag();
         // Work in a rotated space where the root is rank 0.
         let vrank = (self.id + self.n - root) % self.n;
-        if vrank != 0 {
+        // The root frames the value once; every interior node forwards the
+        // received payload to its children by reference count, so the whole
+        // tree shares a single allocation.
+        let payload = if vrank != 0 {
             // Receive from the parent: clear the lowest set bit.
             let vparent = vrank & (vrank - 1);
             let parent = (vparent + root) % self.n;
-            *value = self.complete_recv(Pattern {
+            let env = self.complete_recv_env(Pattern {
                 src: Some(parent),
                 tag,
             });
-        }
+            *value = T::from_bytes(&env.bytes).unwrap_or_else(|e| {
+                panic!(
+                    "rank {}: message from rank {} tag {} failed to decode as {}: {e}",
+                    self.id,
+                    env.src,
+                    env.tag,
+                    std::any::type_name::<T>()
+                )
+            });
+            env.bytes
+        } else {
+            encode_payload(value)
+        };
         // Forward to children: set each zero bit below the lowest set bit
         // (for the root, all bits).
         let lowest = if vrank == 0 {
@@ -830,7 +848,7 @@ impl Rank {
             let vchild = vrank | bit;
             if vchild < self.n && vchild != vrank {
                 let child = (vchild + root) % self.n;
-                self.send_tagged(child, tag, value);
+                self.send_payload(child, tag, &payload);
             }
             bit >>= 1;
         }
@@ -849,7 +867,16 @@ impl Rank {
         } else {
             vrank & vrank.wrapping_neg()
         };
-        let mut collected: Vec<(u64, T)> = vec![(self.id as u64, value.clone())];
+        // Build the wire image of a `Vec<(u64, T)>` in place: a u64 entry
+        // count followed by the entry bodies. Our own entry is encoded from
+        // the borrowed `value` (no clone), and each child's subtree arrives
+        // already framed this way, so its body is appended verbatim — each
+        // hop serialises its aggregate exactly once and never decodes or
+        // re-encodes what its children collected.
+        let mut count: u64 = 1;
+        let mut body: Vec<u8> = Vec::new();
+        (self.id as u64).encode(&mut body);
+        value.encode(&mut body);
         // Aggregate each child's subtree (children = vrank | bit, for the
         // power-of-two bits below this node's lowest set bit).
         let mut bit = 1usize;
@@ -857,21 +884,40 @@ impl Rank {
             let vchild = vrank | bit;
             if vchild < self.n {
                 let child = (vchild + root) % self.n;
-                let sub: Vec<(u64, T)> = self.complete_recv(Pattern {
+                let env = self.complete_recv_env(Pattern {
                     src: Some(child),
                     tag,
                 });
-                collected.extend(sub);
+                let mut buf: &[u8] = &env.bytes;
+                let sub = u64::decode(&mut buf).unwrap_or_else(|e| {
+                    panic!(
+                        "rank {}: gather frame from rank {} tag {} has no count prefix: {e}",
+                        self.id, env.src, env.tag
+                    )
+                });
+                count += sub;
+                body.extend_from_slice(buf);
             }
             bit <<= 1;
         }
         if vrank != 0 {
             let vparent = vrank & (vrank - 1);
             let parent = (vparent + root) % self.n;
-            self.send_tagged(parent, tag, &collected);
+            let mut msg = Vec::with_capacity(8 + body.len());
+            count.encode(&mut msg);
+            msg.extend_from_slice(&body);
+            self.send_payload(parent, tag, &Payload::from(msg));
             None
         } else {
-            debug_assert_eq!(collected.len(), self.n, "gather must cover every rank");
+            debug_assert_eq!(count as usize, self.n, "gather must cover every rank");
+            let mut collected: Vec<(u64, T)> = Vec::with_capacity(count as usize);
+            let mut buf: &[u8] = &body;
+            for _ in 0..count {
+                let entry = <(u64, T)>::decode(&mut buf).unwrap_or_else(|e| {
+                    panic!("rank {}: gather aggregate failed to decode: {e}", self.id)
+                });
+                collected.push(entry);
+            }
             collected.sort_unstable_by_key(|(r, _)| *r);
             Some(collected.into_iter().map(|(_, v)| v).collect())
         }
@@ -949,10 +995,17 @@ impl Rank {
     }
 
     fn send_tagged<T: Wire>(&self, dest: usize, tag: i64, value: &T) {
-        let bytes = value.to_bytes();
+        let payload = encode_payload(value);
+        self.send_payload(dest, tag, &payload);
+    }
+
+    /// [`Rank::send_tagged`] for an already-encoded payload: the zero-copy
+    /// building block collective forwarding uses to pass a received buffer
+    /// downstream without re-framing it.
+    fn send_payload(&self, dest: usize, tag: i64, payload: &Payload) {
         let seq = self.alloc_seq(dest, tag);
         if !self.msg_faults || tag < 0 {
-            self.transmit(dest, tag, seq, 0, bytes, false, CreditMode::Acquire);
+            self.transmit(dest, tag, seq, 0, payload, false, CreditMode::Acquire);
             return;
         }
         // Datagram semantics with integrity repair: drops stay lost (that
@@ -966,7 +1019,7 @@ impl Rank {
             } else {
                 CreditMode::Bypass
             };
-            match self.transmit(dest, tag, seq, attempt, bytes.clone(), false, credit) {
+            match self.transmit(dest, tag, seq, attempt, payload, false, credit) {
                 Delivery::Delivered | Delivery::Dropped => return,
                 Delivery::Mangled => {
                     self.nack_backoff(attempt);
@@ -981,6 +1034,13 @@ impl Rank {
     /// Charge the send cost, consult the fault plan, and (maybe) deposit
     /// the message. `force` overrides drop *and* damage decisions
     /// ([`RetryPolicy::Escalate`]'s last resort).
+    ///
+    /// Takes the pristine payload by reference: retry loops call this once
+    /// per attempt without copying a byte, and a delivered attempt shares
+    /// the buffer with the envelope by reference count. Fault-plan damage
+    /// is copy-on-write — only a mangled delivery materialises a private
+    /// damaged buffer, leaving the shared pristine bytes untouched for the
+    /// retransmission that repairs it.
     #[allow(clippy::too_many_arguments)]
     fn transmit(
         &self,
@@ -988,7 +1048,7 @@ impl Rank {
         tag: i64,
         seq: u64,
         attempt: u32,
-        bytes: Vec<u8>,
+        payload: &Payload,
         force: bool,
         credit: CreditMode,
     ) -> Delivery {
@@ -1011,7 +1071,7 @@ impl Rank {
             CreditMode::Held => true,
             CreditMode::Acquire => self.acquire_credit(dest, tag),
         };
-        let len = bytes.len();
+        let len = payload.len();
         let mut arrival = match self.shared.cfg.timing {
             TimingMode::Virtual(net) => {
                 let clock = self.clock.get() + net.send_overhead;
@@ -1025,7 +1085,7 @@ impl Rank {
         }
         let plan = &self.shared.cfg.faults;
         let mut decision = plan.decide(self.id, dest, tag, seq, attempt);
-        if force || bytes.is_empty() {
+        if force || payload.is_empty() {
             // An escalated attempt models an out-of-band clean path; empty
             // payloads have no bits to damage.
             decision.corrupted = false;
@@ -1057,12 +1117,13 @@ impl Rank {
         // below keeps the original sum, which is exactly how the receiver
         // catches it.
         let checksum = if self.msg_faults && tag >= 0 {
-            frame_checksum(plan.seed, self.id, tag, seq, &bytes)
+            frame_checksum(plan.seed, self.id, tag, seq, payload)
         } else {
             0
         };
-        let mut wire_bytes = bytes;
-        if decision.mangled() {
+        // Copy-on-write damage: a clean delivery shares the pristine
+        // buffer; only a mangled one pays for a private damaged copy.
+        let wire_bytes = if decision.mangled() {
             {
                 let mut st = self.stats.borrow_mut();
                 st.faults.corrupted += decision.corrupted as u64;
@@ -1074,8 +1135,12 @@ impl Rank {
             if decision.truncated {
                 self.trace_instant("truncate", "fault", &fault_args);
             }
-            plan.mangle(self.id, dest, tag, seq, attempt, decision, &mut wire_bytes);
-        }
+            let mut damaged = payload.to_vec();
+            plan.mangle(self.id, dest, tag, seq, attempt, decision, &mut damaged);
+            Payload::from(damaged)
+        } else {
+            payload.clone()
+        };
         if decision.duplicated {
             // The copy is byte- and time-identical to the original, so the
             // receiver's dedup sees exactly one of them whichever is
@@ -1123,7 +1188,11 @@ impl Rank {
         self.complete_recv_with_source(pattern).1
     }
 
-    pub(crate) fn complete_recv_with_source<T: Wire>(&self, pattern: Pattern) -> (usize, T) {
+    /// The blocking receive engine: wait for a matching envelope, charge
+    /// the receive cost, and hand back the envelope itself — payload still
+    /// shared — so collective forwarding can pass the buffer downstream
+    /// without a decode/re-encode round trip.
+    pub(crate) fn complete_recv_env(&self, pattern: Pattern) -> Envelope {
         self.maybe_crash();
         // Under message faults, user-tag receives go through the ordered
         // path: lowest sequence number first, duplicates discarded.
@@ -1162,6 +1231,11 @@ impl Rank {
             self.clock.set(clock);
         }
         self.stats.borrow_mut().on_recv(env.bytes.len());
+        env
+    }
+
+    pub(crate) fn complete_recv_with_source<T: Wire>(&self, pattern: Pattern) -> (usize, T) {
+        let env = self.complete_recv_env(pattern);
         let value = T::from_bytes(&env.bytes).unwrap_or_else(|e| {
             panic!(
                 "rank {}: message from rank {} tag {} failed to decode as {}: {e}",

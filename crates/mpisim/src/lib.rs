@@ -43,6 +43,7 @@ pub mod comm;
 pub mod faults;
 pub mod mailbox;
 pub mod net;
+pub mod payload;
 pub mod request;
 pub mod stats;
 pub mod trace;
@@ -53,6 +54,9 @@ pub use comm::{Died, Rank, RetryPolicy, Tag, ANY_SOURCE};
 pub use faults::{FaultDecision, FaultPlan};
 pub use mailbox::Envelope;
 pub use net::{NetModel, TimingMode};
+pub use payload::{
+    encode_payload, payload_metrics, reset_payload_metrics, Payload, PayloadMetrics,
+};
 pub use request::{RecvRequest, SendRequest};
 pub use stats::{CommStats, FaultStats, InvalidRank};
 pub use trace::{ArgValue, TraceCollector, TraceEvent};

@@ -1,5 +1,6 @@
 //! Per-rank mailboxes with MPI-style (source, tag) matching.
 
+use crate::payload::Payload;
 use crate::wire::frame_checksum;
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Duration;
@@ -22,7 +23,10 @@ pub struct Envelope {
     /// receiver only verifies it on mailboxes built with a verify seed.
     pub checksum: u64,
     /// Encoded payload (possibly damaged in flight by the fault plan).
-    pub bytes: Vec<u8>,
+    /// Shared by reference count with the sender's pristine buffer — a
+    /// retransmission, duplicate, or forwarded hop of the same frame holds
+    /// the same allocation.
+    pub bytes: Payload,
 }
 
 /// What a receive is willing to match.
@@ -446,7 +450,7 @@ mod tests {
             arrival: 0.0,
             seq,
             checksum: 0,
-            bytes: vec![byte],
+            bytes: Payload::from(vec![byte]),
         }
     }
 
@@ -653,9 +657,11 @@ mod tests {
             src: Some(0),
             tag: 1,
         };
-        // A damaged frame (bad checksum) for seq 0 arrives first...
+        // A damaged frame (bad checksum) for seq 0 arrives first: its
+        // checksum covers the pristine byte but the payload was flipped in
+        // flight (payloads are immutable, so damage is a fresh buffer).
         let mut bad = env_ok(seed, 0, 1, 0, 0xa);
-        bad.bytes[0] ^= 0x10;
+        bad.bytes = Payload::from(vec![0xa ^ 0x10]);
         mb.deliver(bad, false);
         // ...then the clean retransmission of the same seq.
         mb.deliver(env_ok(seed, 0, 1, 0, 0xa), false);

@@ -1,0 +1,204 @@
+//! Shared, immutable message payload buffers.
+//!
+//! Every envelope used to own its payload as a `Vec<u8>`, so the
+//! retransmit loop, fault-injected duplicates, `bcast` fan-out and `gather`
+//! forwarding each paid a full byte copy per hop or attempt. [`Payload`]
+//! replaces that with an in-tree `Arc<[u8]>`: one allocation per encoded
+//! message, shared by reference count everywhere downstream. The pristine
+//! buffer is immutable by construction — fault-plan damage is applied to a
+//! private copy at the delivery site (copy-on-write), so a damaged delivery
+//! can never leak into a clean retransmission of the same frame.
+//!
+//! Construction and cloning are instrumented with process-global counters
+//! ([`payload_metrics`]) so tests can assert the zero-copy properties
+//! directly: a retransmit storm must not allocate new payload bytes, and a
+//! broadcast tree must allocate exactly once at the root.
+
+use crate::wire::Wire;
+use std::cell::RefCell;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static SHARED_CLONES: AtomicU64 = AtomicU64::new(0);
+
+/// An immutable, reference-counted message payload.
+///
+/// Cloning is a reference-count bump (counted in
+/// [`PayloadMetrics::shared_clones`]), never a byte copy. Constructing one
+/// — from a `Vec<u8>`, a slice, or [`encode_payload`] — is the only
+/// operation that allocates (counted in [`PayloadMetrics::allocs`]).
+#[derive(Debug)]
+pub struct Payload(Arc<[u8]>);
+
+impl Payload {
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The payload bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Clone for Payload {
+    fn clone(&self) -> Self {
+        SHARED_CLONES.fetch_add(1, Ordering::Relaxed);
+        Payload(Arc::clone(&self.0))
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(bytes: Vec<u8>) -> Self {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        Payload(Arc::from(bytes))
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(bytes: &[u8]) -> Self {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        Payload(Arc::from(bytes))
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl Eq for Payload {}
+
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.0[..] == other[..]
+    }
+}
+
+impl PartialEq<[u8]> for Payload {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self.0[..] == other
+    }
+}
+
+/// Snapshot of the process-global payload-buffer counters — the test hook
+/// that makes zero-copy a checked property instead of a hope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PayloadMetrics {
+    /// Payload buffers allocated (one per encoded message, plus one per
+    /// fault-damaged delivery copy).
+    pub allocs: u64,
+    /// Total bytes across those allocations.
+    pub alloc_bytes: u64,
+    /// Reference-count clones — shares of an existing buffer that would
+    /// each have been a full byte copy under owned-`Vec` envelopes.
+    pub shared_clones: u64,
+}
+
+/// Read the process-global payload counters. They accumulate across every
+/// world in the process; tests that assert on them must [`
+/// reset_payload_metrics`] first and serialise against other payload
+/// traffic (run them in a dedicated test binary).
+pub fn payload_metrics() -> PayloadMetrics {
+    PayloadMetrics {
+        allocs: ALLOCS.load(Ordering::Relaxed),
+        alloc_bytes: ALLOC_BYTES.load(Ordering::Relaxed),
+        shared_clones: SHARED_CLONES.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero the process-global payload counters.
+pub fn reset_payload_metrics() {
+    ALLOCS.store(0, Ordering::Relaxed);
+    ALLOC_BYTES.store(0, Ordering::Relaxed);
+    SHARED_CLONES.store(0, Ordering::Relaxed);
+}
+
+thread_local! {
+    /// Reusable scratch buffer for wire framing. Encoding into a fresh
+    /// `Vec` pays growth reallocations on every message; the pool keeps one
+    /// warmed-up buffer per rank thread, so steady-state framing does a
+    /// single exact-size allocation (the `Arc<[u8]>` itself) per message.
+    static ENCODE_BUF: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Encode `value` into a shared payload through the thread-local
+/// encode-buffer pool.
+pub fn encode_payload<T: Wire>(value: &T) -> Payload {
+    ENCODE_BUF.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        buf.clear();
+        value.encode(&mut buf);
+        Payload::from(&buf[..])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The counters are process-global, so these tests assert relative
+    // deltas only — they stay correct whatever runs concurrently.
+
+    #[test]
+    fn clone_shares_the_allocation() {
+        let p = Payload::from(vec![1u8, 2, 3]);
+        let before = payload_metrics();
+        let q = p.clone();
+        let r = q.clone();
+        let after = payload_metrics();
+        assert_eq!(after.allocs, before.allocs, "clones must not allocate");
+        assert_eq!(after.shared_clones, before.shared_clones + 2);
+        assert_eq!(&p[..], &r[..]);
+        assert!(Arc::ptr_eq(&p.0, &r.0), "clones share one buffer");
+    }
+
+    #[test]
+    fn construction_counts_bytes() {
+        let before = payload_metrics();
+        let p = Payload::from(vec![0u8; 100]);
+        let after = payload_metrics();
+        assert_eq!(p.len(), 100);
+        assert!(!p.is_empty());
+        assert_eq!(after.allocs, before.allocs + 1);
+        assert_eq!(after.alloc_bytes, before.alloc_bytes + 100);
+    }
+
+    #[test]
+    fn encode_payload_round_trips() {
+        let v: Vec<u32> = vec![7, 8, 9];
+        let p = encode_payload(&v);
+        assert_eq!(&p[..], &v.to_bytes()[..]);
+        let back = Vec::<u32>::from_bytes(&p).unwrap();
+        assert_eq!(back, v);
+        // The pooled buffer is reused: a second encode is identical.
+        let q = encode_payload(&v);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn empty_payload() {
+        let p = Payload::from(Vec::new());
+        assert!(p.is_empty());
+        assert_eq!(p.as_slice(), &[] as &[u8]);
+    }
+}
