@@ -149,11 +149,13 @@ impl<D> Checkpoint<D> {
 }
 
 /// Stage a coordinated snapshot, mirror it to the buddy, and commit it iff
-/// the closing control exchange reports no new death. `Err(())` means the
-/// caller must roll back (to its *previous* checkpoint — the staged one is
-/// discarded).
+/// the closing control exchange reports no new death. `Err(verdict)` means
+/// the staged snapshot was discarded and the caller must react: roll back
+/// to its *previous* checkpoint on a new crash, or — in membership mode,
+/// when the returned verdict suspects ranks — treat it as partition onset
+/// and go degraded instead.
 #[allow(clippy::too_many_arguments)]
-fn take_checkpoint<D, B>(
+pub(crate) fn take_checkpoint<D, B>(
     rank: &Rank,
     store: &NodeStore<D>,
     iter: u32,
@@ -165,7 +167,7 @@ fn take_checkpoint<D, B>(
     costs: &CostModel,
     timers: &mut PhaseTimers,
     checkpoint_bytes: &mut u64,
-) -> Result<Checkpoint<D>, ()>
+) -> Result<Checkpoint<D>, CtlVerdict>
 where
     D: Clone + Wire + Send + 'static,
     B: DynamicBalancer + ?Sized,
@@ -210,7 +212,7 @@ where
     timers.add(Phase::Checkpoint, rank.wtime() - t0);
     rank.trace_span("Checkpoint", "phase", t0, &[]);
     if staged.is_err() || has_new_crash(&verdict, crashed) {
-        return Err(());
+        return Err(verdict);
     }
     rank.trace_instant(
         "checkpoint",
@@ -282,7 +284,7 @@ fn package_for<D: Clone>(
 /// inter-checkpoint window (both copies of a partition lost — the one
 /// failure mode buddy replication cannot cover).
 #[allow(clippy::too_many_arguments)]
-fn roll_back<P, B>(
+pub(crate) fn roll_back<P, B>(
     rank: &Rank,
     graph: &Graph,
     program: &P,
@@ -461,7 +463,7 @@ fn roll_back<P, B>(
                 );
                 return;
             }
-            Err(()) => continue 'attempt,
+            Err(_) => continue 'attempt,
         }
     }
 }
@@ -573,7 +575,7 @@ where
                     rank: me,
                     num_nodes,
                 };
-                let (_, stats) = exchange::step_crash_aware(
+                let (_, _, stats) = exchange::step_crash_aware(
                     rank,
                     graph,
                     program,
@@ -583,6 +585,7 @@ where
                     &mut timers,
                     &mut comp_this_iter,
                     cfg.delta_exchange,
+                    &[],
                 );
                 delta_stats.absorb(stats);
                 changed_this_iter += stats.changed_nodes;
@@ -739,7 +742,7 @@ where
                     &mut checkpoint_bytes,
                 ) {
                     Ok(c) => ckpt = c,
-                    Err(()) => {
+                    Err(_) => {
                         recover!(iter, iter);
                         continue;
                     }
@@ -832,6 +835,10 @@ where
         iterations_replayed,
         delta: delta_stats,
         quiescent_iterations,
+        degraded_iterations: 0,
+        rejoins: 0,
+        rejoin_bytes: 0,
+        suspected_peak: 0,
     }
 }
 
@@ -861,6 +868,7 @@ mod tests {
     fn new_crash_detection_compares_against_known_set() {
         let verdict = CtlVerdict {
             dead: vec![false, true, false],
+            suspected: vec![false; 3],
             slots: vec![None; 3],
         };
         assert!(has_new_crash(&verdict, &[false, false, false]));

@@ -74,6 +74,15 @@ pub struct RunConfig {
     /// per-rank changed-node counts, so [`RunReport::quiescent_iterations`]
     /// can report global boundary quiescence.
     pub delta_exchange: bool,
+    /// Partition tolerance: run the membership protocol
+    /// ([`crate::membership`]) so deterministic network partitions
+    /// (`FaultPlan::with_partition`) degrade and heal instead of wedging
+    /// the run. The quorum-holding side keeps iterating with the suspected
+    /// ranks frozen, the minority parks, and on heal the parked ranks
+    /// rejoin via buddy state transfer and the degraded stretch is
+    /// replayed — results stay byte-identical to the sequential oracle.
+    /// Implies the crash-tolerant control plane (crash plans compose).
+    pub partition_tolerance: bool,
 }
 
 impl RunConfig {
@@ -96,6 +105,7 @@ impl RunConfig {
             checkpoint_every: 5,
             tracing: false,
             delta_exchange: false,
+            partition_tolerance: false,
         }
     }
 
@@ -169,6 +179,12 @@ impl RunConfig {
         self.delta_exchange = true;
         self
     }
+
+    /// Enable partition tolerance (see [`RunConfig::partition_tolerance`]).
+    pub fn with_partition_tolerance(mut self) -> Self {
+        self.partition_tolerance = true;
+        self
+    }
 }
 
 /// Result of a platform run.
@@ -231,6 +247,18 @@ pub struct RunReport<D> {
     /// Iterations in which *no* rank's boundary changed (global changed
     /// count zero in every phase). Only tracked under delta exchange.
     pub quiescent_iterations: u32,
+    /// Iterations (and post-loop holding rounds) the run spent in
+    /// partition-degraded mode — a non-empty agreed suspected set. All
+    /// discarded and replayed at heal; 0 without partition tolerance.
+    pub degraded_iterations: u32,
+    /// Heal events: times a degraded stretch ended and the suspected ranks
+    /// rejoined (with the stretch rolled back and replayed).
+    pub rejoins: u32,
+    /// Bytes of checkpoint images re-fetched from buddy ranks by rejoining
+    /// ranks, summed over ranks.
+    pub rejoin_bytes: u64,
+    /// Most ranks simultaneously suspected by any membership verdict.
+    pub suspected_peak: u32,
     /// The structured virtual-time trace, one entry per rank (crashed
     /// ranks included, up to their crash instant). `None` unless the run
     /// was configured with [`RunConfig::with_tracing`].
@@ -279,6 +307,10 @@ pub(crate) struct RankOutcome<D> {
     pub(crate) iterations_replayed: u32,
     pub(crate) delta: exchange::DeltaStats,
     pub(crate) quiescent_iterations: u32,
+    pub(crate) degraded_iterations: u32,
+    pub(crate) rejoins: u32,
+    pub(crate) rejoin_bytes: u64,
+    pub(crate) suspected_peak: u32,
 }
 
 /// Assemble the run report from the per-rank outcomes. The recovery
@@ -305,6 +337,7 @@ fn assemble<D: Clone>(
     let mut negative_clamps = 0u64;
     let mut delta_entries_sent = 0u64;
     let mut delta_entries_skipped = 0u64;
+    let mut rejoin_bytes = 0u64;
     for r in &live {
         faults.merge(&r.comm.faults);
         checkpoint_bytes += r.checkpoint_bytes;
@@ -313,6 +346,7 @@ fn assemble<D: Clone>(
         negative_clamps += r.timers.negative_clamps();
         delta_entries_sent += r.delta.entries_sent;
         delta_entries_skipped += r.delta.entries_skipped;
+        rejoin_bytes += r.rejoin_bytes;
     }
     let final_owner = designated.owner.clone();
     let mut slots: Vec<Option<D>> = (0..num_nodes).map(|_| None).collect();
@@ -353,6 +387,12 @@ fn assemble<D: Clone>(
         // The quiescence verdicts are agreed (every live rank saw the same
         // global counts), so the designated rank's tally is canonical.
         quiescent_iterations: designated.quiescent_iterations,
+        // Membership verdicts are likewise agreed: the degraded/heal tallies
+        // are replicated, only the transfer bytes are per-rank and sum.
+        degraded_iterations: designated.degraded_iterations,
+        rejoins: designated.rejoins,
+        rejoin_bytes,
+        suspected_peak: designated.suspected_peak,
         trace: None,
     }
 }
@@ -512,6 +552,28 @@ where
         world_cfg = world_cfg.with_trace(Arc::clone(c));
     }
     let world = World::new(world_cfg);
+
+    // Partition tolerance layers the membership protocol (degraded mode,
+    // park, heal-and-rejoin) over the crash-tolerant control plane; it
+    // subsumes crash recovery, so it takes precedence when both apply.
+    if cfg.partition_tolerance {
+        let results: Vec<Option<RankOutcome<P::Data>>> = catch_flow_deadlock(|| {
+            world.run_fallible(cfg.nprocs, |rank| {
+                let mut balancer = make_balancer();
+                crate::membership::run_rank_with_membership(
+                    rank,
+                    graph,
+                    program,
+                    &partition,
+                    &mut balancer,
+                    cfg,
+                )
+            })
+        })?;
+        let mut report = assemble(results, partition, num_nodes);
+        report.trace = collector.map(|c| c.take());
+        return Ok(report);
+    }
 
     // Uncooperative crashes need the failure-detecting control plane,
     // coordinated checkpoints, and a world that tolerates rank death.
@@ -760,6 +822,10 @@ where
                 iterations_replayed: 0,
                 delta: delta_stats,
                 quiescent_iterations,
+                degraded_iterations: 0,
+                rejoins: 0,
+                rejoin_bytes: 0,
+                suspected_peak: 0,
             }
         })
     })?;
@@ -856,6 +922,10 @@ mod tests {
             delta_entries_sent: 0,
             delta_entries_skipped: 0,
             quiescent_iterations: 0,
+            degraded_iterations: 0,
+            rejoins: 0,
+            rejoin_bytes: 0,
+            suspected_peak: 0,
             trace: None,
         };
         assert_eq!(report.speedup_vs(8.0), 4.0);

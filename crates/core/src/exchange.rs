@@ -131,10 +131,10 @@ pub fn step<P: NodeProgram>(
             *comp_time_out += rank.wtime() - comp_t0;
             rank.trace_span("Compute", "phase", comp_t0, &[]);
             if bounded(rank) {
-                let ex = bounded_send(rank, store, &buffers, timers);
-                bounded_collect(rank, store, ex, timers, costs, false);
+                let (ex, _) = bounded_send(rank, store, &buffers, timers, &[]);
+                bounded_collect(rank, store, ex, timers, costs, false, &[]);
             } else {
-                send_buffers(rank, store, &buffers, timers, costs);
+                send_buffers(rank, store, &buffers, timers, costs, &[]);
                 recv_and_unpack(rank, store, timers, costs);
             }
         }
@@ -160,7 +160,7 @@ pub fn step<P: NodeProgram>(
                 // (send charges here, receive charges after the internal
                 // compute), but frames are drained opportunistically so a
                 // full mailbox can never wedge the send phase.
-                let ex = bounded_send(rank, store, &buffers, timers);
+                let (ex, _) = bounded_send(rank, store, &buffers, timers, &[]);
                 compute_list(
                     rank,
                     program,
@@ -177,9 +177,9 @@ pub fn step<P: NodeProgram>(
                 );
                 *comp_time_out += rank.wtime() - comp_t0;
                 rank.trace_span("Compute", "phase", comp_t0, &[]);
-                bounded_collect(rank, store, ex, timers, costs, false);
+                bounded_collect(rank, store, ex, timers, costs, false, &[]);
             } else {
-                send_buffers(rank, store, &buffers, timers, costs);
+                send_buffers(rank, store, &buffers, timers, costs, &[]);
                 type ShadowRecv<D> = (u32, mpisim::RecvRequest<Vec<(u32, D)>>);
                 let reqs: Vec<ShadowRecv<P::Data>> = store
                     .recv_procs()
@@ -267,10 +267,19 @@ pub fn step<P: NodeProgram>(
 /// iteration this produces is discarded wholesale by rollback recovery, so
 /// it never reaches the final answer.
 ///
-/// Returns whether any awaited sender turned out to be dead, plus this
-/// rank's delta accounting (the caller owns the iteration-closing control
-/// exchange in crash mode, so the changed-node count is handed back for it
-/// to piggyback there).
+/// `frozen` marks ranks currently *suspected* by the membership layer
+/// (empty slice ⇒ none): no shadow buffer is sent to a frozen rank, and its
+/// expected receive is replaced by one `detect_timeout` charge in canonical
+/// order — its retained stale shadows serve read-only, exactly the
+/// degraded-mode contract. A receive that instead consumes a partition
+/// *tombstone* (the peer is alive but newly unreachable) likewise keeps the
+/// stale shadow and reports the cut.
+///
+/// Returns `(saw_death, saw_cut, stats)`: whether any awaited sender was
+/// confirmed dead, whether any send or receive crossed an active partition,
+/// plus this rank's delta accounting (the caller owns the
+/// iteration-closing control exchange in crash mode, so the changed-node
+/// count is handed back for it to piggyback there).
 #[allow(clippy::too_many_arguments)]
 pub fn step_crash_aware<P: NodeProgram>(
     rank: &Rank,
@@ -282,7 +291,8 @@ pub fn step_crash_aware<P: NodeProgram>(
     timers: &mut PhaseTimers,
     comp_time_out: &mut f64,
     delta: bool,
-) -> (bool, DeltaStats) {
+    frozen: &[bool],
+) -> (bool, bool, DeltaStats) {
     let comp_t0 = rank.wtime();
     let delta_active = delta && !store.needs_resync;
     let mut stats = DeltaStats::default();
@@ -324,23 +334,42 @@ pub fn step_crash_aware<P: NodeProgram>(
     rank.trace_span("Compute", "phase", comp_t0, &[]);
 
     let mut saw_death = false;
+    let mut saw_cut = false;
+    let is_frozen = |p: usize| frozen.get(p).copied().unwrap_or(false);
     if bounded(rank) {
-        let ex = bounded_send(rank, store, &buffers, timers);
-        saw_death = bounded_collect(rank, store, ex, timers, costs, true);
+        let (ex, cut) = bounded_send(rank, store, &buffers, timers, frozen);
+        saw_cut |= cut;
+        let (death, cut) = bounded_collect(rank, store, ex, timers, costs, true, frozen);
+        saw_death = death;
+        saw_cut |= cut;
     } else {
-        send_buffers(rank, store, &buffers, timers, costs);
+        saw_cut |= send_buffers(rank, store, &buffers, timers, costs, frozen);
         let recv_t0 = rank.wtime();
         for p in store.recv_procs() {
             let t0 = rank.wtime();
+            if is_frozen(p as usize) {
+                // A suspected peer sends nothing while the partition is
+                // open; pay the detection cost in canonical order and let
+                // its retained stale shadows stand in.
+                rank.charge_partition_timeout();
+                timers.add(Phase::Communicate, rank.wtime() - t0);
+                continue;
+            }
             match rank.try_recv::<Vec<(u32, P::Data)>>(p as usize, TAG_SHADOW) {
                 Ok(msg) => {
                     timers.add(Phase::Communicate, rank.wtime() - t0);
                     unpack(rank, store, msg, timers, costs);
                 }
-                Err(_) => {
-                    // Stale shadow values stand in for the dead sender.
+                Err(mpisim::Died(peer)) => {
+                    // Stale shadow values stand in either way; the dead
+                    // flag disambiguates a confirmed death from a
+                    // partition tombstone (peer alive but unreachable).
                     timers.add(Phase::Communicate, rank.wtime() - t0);
-                    saw_death = true;
+                    if rank.peer_dead(peer) {
+                        saw_death = true;
+                    } else {
+                        saw_cut = true;
+                    }
                 }
             }
         }
@@ -366,7 +395,7 @@ pub fn step_crash_aware<P: NodeProgram>(
     let t0 = rank.wtime();
     rank.barrier();
     timers.add(Phase::Communicate, rank.wtime() - t0);
-    (saw_death, stats)
+    (saw_death, saw_cut, stats)
 }
 
 /// Update every node in `list`: build the node+neighbours list, invoke the
@@ -466,23 +495,31 @@ fn bounded(rank: &Rank) -> bool {
 /// attempt is escalated through. Without faults this is the thesis's plain
 /// buffered `MPI_Isend`. Retry and NACK-backoff time is attributed to the
 /// integrity phase, the rest to communicate.
+///
+/// Sends to `frozen` (suspected) ranks are skipped outright. Returns
+/// whether any send hit an active partition cut — the only way an
+/// escalated reliable send can fail.
 fn send_buffers<D: mpisim::Wire>(
     rank: &Rank,
     store: &NodeStore<D>,
     buffers: &[Vec<(u32, D)>],
     timers: &mut PhaseTimers,
     _costs: &CostModel,
-) {
+    frozen: &[bool],
+) -> bool {
     let t0 = rank.wtime();
     let r0 = rank.retry_seconds();
+    let mut saw_cut = false;
     for (p, buf) in buffers.iter().enumerate() {
-        if store.send_counts[p] > 0 {
+        if store.send_counts[p] > 0 && !frozen.get(p).copied().unwrap_or(false) {
             // Delta packing may suppress entries, but never adds any; the
             // (possibly empty) buffer is still sent so the message
             // schedule — and thus every receive pattern — is identical
             // with delta on or off.
             debug_assert!(buf.len() <= store.send_counts[p]);
-            rank.send_reliable(p, TAG_SHADOW, buf, RetryPolicy::Escalate);
+            if !rank.send_reliable(p, TAG_SHADOW, buf, RetryPolicy::Escalate) {
+                saw_cut = true;
+            }
         }
     }
     let spent = rank.retry_seconds() - r0;
@@ -495,6 +532,7 @@ fn send_buffers<D: mpisim::Wire>(
         rank.trace_span("Integrity", "phase", rank.wtime() - spent, &[]);
     }
     rank.trace_span("Communicate", "phase", t0, &[]);
+    saw_cut
 }
 
 /// In-flight state of a bounded shadow exchange: frames physically drained
@@ -518,21 +556,25 @@ fn bounded_send<D: mpisim::Wire>(
     store: &NodeStore<D>,
     buffers: &[Vec<(u32, D)>],
     timers: &mut PhaseTimers,
-) -> BoundedExchange {
+    frozen: &[bool],
+) -> (BoundedExchange, bool) {
     let t0 = rank.wtime();
     let r0 = rank.retry_seconds();
     let mut frames: Vec<Option<Envelope>> = Vec::new();
     frames.resize_with(rank.size(), || None);
     let deadline = Instant::now() + rank.config().watchdog;
+    let mut saw_cut = false;
     for (p, buf) in buffers.iter().enumerate() {
-        if store.send_counts[p] == 0 {
+        if store.send_counts[p] == 0 || frozen.get(p).copied().unwrap_or(false) {
             continue;
         }
         debug_assert!(buf.len() <= store.send_counts[p]);
         let mut stalled = false;
         loop {
             if rank.offer_credit(p) {
-                rank.send_reliable_granted(p, TAG_SHADOW, buf, RetryPolicy::Escalate);
+                if !rank.send_reliable_granted(p, TAG_SHADOW, buf, RetryPolicy::Escalate) {
+                    saw_cut = true;
+                }
                 break;
             }
             if !stalled {
@@ -558,7 +600,7 @@ fn bounded_send<D: mpisim::Wire>(
         rank.trace_span("Integrity", "phase", rank.wtime() - spent, &[]);
     }
     rank.trace_span("Communicate", "phase", t0, &[]);
-    BoundedExchange { frames, deadline }
+    (BoundedExchange { frames, deadline }, saw_cut)
 }
 
 /// The receive half of the bounded-mailbox exchange schedule: collect the
@@ -571,7 +613,11 @@ fn bounded_send<D: mpisim::Wire>(
 /// happen-before the flag; same reasoning as [`Rank::try_recv`]); it is
 /// charged the detect timeout in canonical order and its stale shadow
 /// values stand in, mirroring the unbounded crash-aware path. Returns
-/// whether any awaited sender was dead.
+/// `(saw_death, saw_cut)`: whether any awaited sender was dead, and
+/// whether any frame was a partition tombstone. `frozen` (suspected) peers
+/// are not waited for at all — each is charged one `detect_timeout` in
+/// canonical order, like the unbounded crash-aware path.
+#[allow(clippy::too_many_arguments)]
 fn bounded_collect<D: mpisim::Wire + Clone>(
     rank: &Rank,
     store: &mut NodeStore<D>,
@@ -579,18 +625,20 @@ fn bounded_collect<D: mpisim::Wire + Clone>(
     timers: &mut PhaseTimers,
     costs: &CostModel,
     crash_aware: bool,
-) -> bool {
+    frozen: &[bool],
+) -> (bool, bool) {
     let BoundedExchange {
         mut frames,
         deadline,
     } = ex;
+    let is_frozen = |p: usize| frozen.get(p).copied().unwrap_or(false);
     let expected: Vec<usize> = store.recv_procs().iter().map(|&p| p as usize).collect();
     let mut dead_peers: Vec<usize> = Vec::new();
     loop {
         let missing: Vec<usize> = expected
             .iter()
             .copied()
-            .filter(|&p| frames[p].is_none() && !dead_peers.contains(&p))
+            .filter(|&p| frames[p].is_none() && !dead_peers.contains(&p) && !is_frozen(p))
             .collect();
         if missing.is_empty() {
             break;
@@ -628,23 +676,41 @@ fn bounded_collect<D: mpisim::Wire + Clone>(
         rank.wait_incoming(Duration::from_millis(2));
     }
     let mut saw_death = false;
+    let mut saw_cut = false;
     let recv_t0 = rank.wtime();
     for p in expected {
         let t0 = rank.wtime();
-        if let Some(env) = frames[p].take() {
-            let msg: Vec<(u32, D)> = rank.absorb(env);
+        if is_frozen(p) {
+            // Suspected peer: nothing was waited for; pay the detection
+            // cost in canonical order, stale shadows stand in.
+            rank.charge_partition_timeout();
             timers.add(Phase::Communicate, rank.wtime() - t0);
-            unpack(rank, store, msg, timers, costs);
-        } else {
-            // Dead sender: charge the detect timeout the blocking path
-            // would have paid; stale shadow values stand in.
-            rank.charge_crash_timeout();
-            timers.add(Phase::Communicate, rank.wtime() - t0);
-            saw_death = true;
+            continue;
+        }
+        match frames[p].take() {
+            Some(env) if env.cut => {
+                // Partition tombstone: the peer is alive but unreachable;
+                // same stale-shadow stand-in, same detection cost.
+                rank.charge_partition_timeout();
+                timers.add(Phase::Communicate, rank.wtime() - t0);
+                saw_cut = true;
+            }
+            Some(env) => {
+                let msg: Vec<(u32, D)> = rank.absorb(env);
+                timers.add(Phase::Communicate, rank.wtime() - t0);
+                unpack(rank, store, msg, timers, costs);
+            }
+            None => {
+                // Dead sender: charge the detect timeout the blocking path
+                // would have paid; stale shadow values stand in.
+                rank.charge_crash_timeout();
+                timers.add(Phase::Communicate, rank.wtime() - t0);
+                saw_death = true;
+            }
         }
     }
     rank.trace_span("Communicate", "phase", recv_t0, &[]);
-    saw_death
+    (saw_death, saw_cut)
 }
 
 /// Blocking receive from every neighbouring processor, then unpack.

@@ -51,6 +51,7 @@ pub mod error;
 pub mod exchange;
 pub mod hashtab;
 pub mod imbalance;
+pub mod membership;
 pub mod migrate;
 pub mod program;
 pub mod seq;

@@ -48,6 +48,13 @@ enum Delivery {
     Delivered,
     Dropped,
     Mangled,
+    /// The destination is unreachable across an active network partition.
+    /// Terminal: unlike a probabilistic drop, retrying cannot help while
+    /// the window is open, and escalation does not apply — the partition
+    /// models a severed link, not a lossy one. A metadata-only tombstone
+    /// was deposited at the receiver so it observes the cut at a
+    /// deterministic point in its own receive stream.
+    Cut,
 }
 
 /// How a transmission pays for its slot in a bounded destination mailbox.
@@ -97,6 +104,10 @@ pub struct Rank {
     send_seq: RefCell<HashMap<(usize, i64), u64>>,
     /// Cached [`crate::FaultPlan::message_faults`] for the hot send path.
     msg_faults: bool,
+    /// Cached [`crate::FaultPlan::has_partitions`]: gates the per-send
+    /// partition-cut check to one predicted-false branch when no
+    /// partitions are scheduled.
+    partitioned: bool,
     /// Cached straggler multiplier for [`advance`](Self::advance).
     compute_factor: f64,
     /// Cached [`crate::FaultPlan::crash_time`] for this rank: the virtual
@@ -113,6 +124,7 @@ pub struct Rank {
 impl Rank {
     pub(crate) fn new(id: usize, n: usize, shared: Arc<Shared>, epoch: Instant) -> Self {
         let msg_faults = shared.cfg.faults.message_faults();
+        let partitioned = shared.cfg.faults.has_partitions();
         let compute_factor = shared.cfg.faults.compute_factor(id);
         let crash_time = shared.cfg.faults.crash_time(id);
         let trace = shared.cfg.trace.as_ref().map(|_| RefCell::new(Vec::new()));
@@ -126,6 +138,7 @@ impl Rank {
             epoch,
             send_seq: RefCell::new(HashMap::new()),
             msg_faults,
+            partitioned,
             compute_factor,
             crash_time,
             trace,
@@ -333,8 +346,12 @@ impl Rank {
         // buffer by reference count.
         let payload = encode_payload(value);
         if !self.msg_faults {
-            self.transmit(dest, t, 0, 0, &payload, false, first_credit);
-            return true;
+            // The fast path can still hit a partition cut — the only fault
+            // that fires without `message_faults()` being on.
+            return !matches!(
+                self.transmit(dest, t, 0, 0, &payload, false, first_credit),
+                Delivery::Cut
+            );
         }
         let seq = self.alloc_seq(dest, t);
         let max = self.shared.cfg.faults.max_retries;
@@ -371,6 +388,9 @@ impl Rank {
                         self.stats.borrow_mut().faults.retransmits += 1;
                     }
                 }
+                // A severed link stays severed for the whole window: no
+                // retry budget can cross it and escalation does not apply.
+                Delivery::Cut => return false,
             }
         }
         false
@@ -624,6 +644,24 @@ impl Rank {
             }
         };
         self.shared.set_blocked(self.id, None);
+        if env.cut {
+            // A partition tombstone: the peer is alive but unreachable.
+            // Pay the same detection cost as a crash timeout — the caller
+            // waited a full `detect_timeout` before concluding the message
+            // is not coming — and report the peer exactly as a death; the
+            // membership layer disambiguates via the ctl verdict.
+            if let TimingMode::Virtual(_) = self.shared.cfg.timing {
+                self.clock
+                    .set(self.clock.get() + self.shared.cfg.faults.detect_timeout);
+            }
+            self.stats.borrow_mut().faults.partition_timeouts += 1;
+            self.trace_instant(
+                "partition_timeout",
+                "fault",
+                &[("peer", ArgValue::U64(env.src as u64))],
+            );
+            return Err(Died(env.src));
+        }
         if let TimingMode::Virtual(net) = self.shared.cfg.timing {
             let clock = self.clock.get().max(env.arrival) + net.recv_overhead;
             self.clock.set(clock);
@@ -709,6 +747,27 @@ impl Rank {
         }
         self.stats.borrow_mut().faults.crash_timeouts += 1;
         self.trace_instant("crash_timeout", "fault", &[]);
+    }
+
+    /// Charge the fault plan's `detect_timeout` and count one partition
+    /// timeout — the cost [`Rank::try_recv`] pays when it consumes a
+    /// partition tombstone. Membership layers call this once per frozen
+    /// peer (and once per parked round), in canonical order, so degraded
+    /// iterations advance the virtual clock identically on every rank.
+    pub fn charge_partition_timeout(&self) {
+        if let TimingMode::Virtual(_) = self.shared.cfg.timing {
+            self.clock
+                .set(self.clock.get() + self.shared.cfg.faults.detect_timeout);
+        }
+        self.stats.borrow_mut().faults.partition_timeouts += 1;
+        self.trace_instant("partition_timeout", "fault", &[]);
+    }
+
+    /// Mark this rank as parked (a partition minority waiting for the heal)
+    /// or unparked. Purely diagnostic: the flag only changes how the
+    /// watchdog's deadlock report describes this rank if the run wedges.
+    pub fn set_parked(&self, parked: bool) {
+        self.shared.set_parked(self.id, parked);
     }
 
     /// Post a nonblocking receive (`MPI_Irecv`); complete it with
@@ -1020,7 +1079,7 @@ impl Rank {
                 CreditMode::Bypass
             };
             match self.transmit(dest, tag, seq, attempt, payload, false, credit) {
-                Delivery::Delivered | Delivery::Dropped => return,
+                Delivery::Delivered | Delivery::Dropped | Delivery::Cut => return,
                 Delivery::Mangled => {
                     self.nack_backoff(attempt);
                     if attempt < max {
@@ -1084,6 +1143,38 @@ impl Rank {
             std::panic::panic_any(InvalidRank { src: self.id, ..e });
         }
         let plan = &self.shared.cfg.faults;
+        let fault_args: [(&'static str, ArgValue); 3] = [
+            ("dest", ArgValue::U64(dest as u64)),
+            ("tag", ArgValue::U64(tag.max(0) as u64)),
+            ("attempt", ArgValue::U64(attempt as u64)),
+        ];
+        // Partition cuts come before the probabilistic fault roll: a
+        // severed link loses the frame with certainty, `force` does not
+        // apply (escalation models an out-of-band path around a *lossy*
+        // link, not a severed one), and the receiver gets a metadata-only
+        // tombstone so it observes the cut at a deterministic point in its
+        // own receive stream. Tombstones bypass capacity (see
+        // `Mailbox::data_occupancy`), so any reserved credit is returned.
+        if self.partitioned && tag >= 0 && plan.cut(self.id, dest, tag, self.clock.get()) {
+            self.stats.borrow_mut().faults.partition_cuts += 1;
+            self.trace_instant("cut", "fault", &fault_args);
+            if reserved {
+                self.shared.mailboxes[dest].release_credit();
+            }
+            self.shared.mailboxes[dest].deliver(
+                Envelope {
+                    src: self.id,
+                    tag,
+                    arrival,
+                    seq,
+                    checksum: 0,
+                    cut: true,
+                    bytes: Payload::from(Vec::new()),
+                },
+                false,
+            );
+            return Delivery::Cut;
+        }
         let mut decision = plan.decide(self.id, dest, tag, seq, attempt);
         if force || payload.is_empty() {
             // An escalated attempt models an out-of-band clean path; empty
@@ -1091,15 +1182,16 @@ impl Rank {
             decision.corrupted = false;
             decision.truncated = false;
         }
-        let fault_args: [(&'static str, ArgValue); 3] = [
-            ("dest", ArgValue::U64(dest as u64)),
-            ("tag", ArgValue::U64(tag.max(0) as u64)),
-            ("attempt", ArgValue::U64(attempt as u64)),
-        ];
-        if decision.dropped {
+        if decision.lost() {
             if !force {
-                self.stats.borrow_mut().faults.dropped += 1;
-                self.trace_instant("drop", "fault", &fault_args);
+                if decision.dropped {
+                    self.stats.borrow_mut().faults.dropped += 1;
+                    self.trace_instant("drop", "fault", &fault_args);
+                }
+                if decision.link_dropped {
+                    self.stats.borrow_mut().faults.link_dropped += 1;
+                    self.trace_instant("link_drop", "fault", &fault_args);
+                }
                 if reserved {
                     self.shared.mailboxes[dest].release_credit();
                 }
@@ -1155,6 +1247,7 @@ impl Rank {
                     arrival,
                     seq,
                     checksum,
+                    cut: false,
                     bytes: wire_bytes.clone(),
                 },
                 false,
@@ -1170,6 +1263,7 @@ impl Rank {
             arrival,
             seq,
             checksum,
+            cut: false,
             bytes: wire_bytes,
         };
         if reserved {
@@ -1211,7 +1305,15 @@ impl Rank {
             self.check_poison();
             let slice =
                 Duration::from_millis(50).min(deadline.saturating_duration_since(Instant::now()));
-            if let Some(env) = self.shared.mailboxes[self.id].recv(pattern, slice, ordered) {
+            // Plain blocking receives never consume partition tombstones:
+            // a program that does not understand partitions should wedge
+            // (and get a watchdog report naming the suspected peer) rather
+            // than decode a payload-less frame. Partition-aware code uses
+            // `try_recv`, which accepts tombstones and converts them into
+            // a detection timeout.
+            if let Some(env) =
+                self.shared.mailboxes[self.id].recv_where(pattern, slice, ordered, false)
+            {
                 break env;
             }
             if Instant::now() >= deadline {

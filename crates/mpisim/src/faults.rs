@@ -18,6 +18,160 @@
 
 use ic2_rng::mix64;
 
+/// A [`FaultPlan`] builder was handed a nonsensical input. Returned by the
+/// `try_with_*` builders; the panicking `with_*` builders panic with this
+/// error's `Display` text, so legacy `should_panic` expectations keep
+/// matching.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultPlanError {
+    /// A probability outside `[0, 1]` (NaN included).
+    ProbabilityOutOfRange {
+        /// Which knob was being set.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A negative (or NaN) time or duration.
+    NegativeTime {
+        /// Which knob was being set ("delay", "kill time", …).
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A straggler factor that is zero, negative, or NaN.
+    NonPositiveFactor(f64),
+    /// A partition interval with `until <= from` (or NaN bounds) can never
+    /// cut anything.
+    EmptyInterval {
+        /// Window start.
+        from: f64,
+        /// Window end.
+        until: f64,
+    },
+    /// A partition needs at least two non-empty groups to separate.
+    DegeneratePartition,
+    /// A rank listed in more than one group of the same partition.
+    OverlappingGroups(usize),
+    /// A link drop with `src == dst` (a rank cannot blackhole itself).
+    SelfLink(usize),
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::ProbabilityOutOfRange { what, value } => {
+                write!(f, "probability out of range: {what} = {value}")
+            }
+            FaultPlanError::NegativeTime { what, value } => {
+                write!(f, "{what} must be non-negative (got {value})")
+            }
+            FaultPlanError::NonPositiveFactor(v) => {
+                write!(f, "compute factor must be positive (got {v})")
+            }
+            FaultPlanError::EmptyInterval { from, until } => {
+                write!(f, "partition interval [{from}, {until}) is empty")
+            }
+            FaultPlanError::DegeneratePartition => {
+                write!(f, "a partition needs at least two non-empty groups")
+            }
+            FaultPlanError::OverlappingGroups(r) => {
+                write!(f, "rank {r} appears in more than one partition group")
+            }
+            FaultPlanError::SelfLink(r) => {
+                write!(f, "link drop {r} -> {r} is a self-loop")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+fn check_prob(what: &'static str, p: f64) -> Result<(), FaultPlanError> {
+    if (0.0..=1.0).contains(&p) {
+        Ok(())
+    } else {
+        Err(FaultPlanError::ProbabilityOutOfRange { what, value: p })
+    }
+}
+
+fn check_time(what: &'static str, t: f64) -> Result<(), FaultPlanError> {
+    if t >= 0.0 {
+        Ok(())
+    } else {
+        Err(FaultPlanError::NegativeTime { what, value: t })
+    }
+}
+
+/// A group-structured network partition over a virtual-time window: while
+/// the sender's clock is in `[from, until)`, every data-plane message
+/// between ranks in *different* listed groups is cut (delivered as a
+/// metadata-only tombstone the receiver detects deterministically). Ranks
+/// not listed in any group are "floaters": reachable from every group.
+/// Control-plane traffic (negative tags) is never cut — the failure
+/// detector's agreement protocol models an out-of-band control network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionSpec {
+    /// The disjoint rank groups the partition separates.
+    pub groups: Vec<Vec<usize>>,
+    /// Window start (virtual seconds, inclusive).
+    pub from: f64,
+    /// Window end (virtual seconds, exclusive).
+    pub until: f64,
+}
+
+impl PartitionSpec {
+    /// Which group `rank` belongs to, if listed.
+    pub fn group_of(&self, rank: usize) -> Option<usize> {
+        self.groups.iter().position(|g| g.contains(&rank))
+    }
+
+    /// Is this partition's window active at virtual time `at`?
+    pub fn active_at(&self, at: f64) -> bool {
+        at >= self.from && at < self.until
+    }
+}
+
+/// The quorum rule, shared by the failure detector and the membership
+/// layer: which live ranks the active partitions leave *suspected* at
+/// virtual time `at`. For each active partition, the majority side is the
+/// group whose live members plus the live floaters strictly outnumber half
+/// the live total (ties broken toward the larger group, then the lower
+/// index); every live rank in any other group is suspected. With no
+/// majority anywhere, **all** listed live ranks are suspected — structural
+/// split-brain prevention: no side may mutate shared state.
+pub fn suspects(partitions: &[PartitionSpec], at: f64, live: &[bool]) -> Vec<bool> {
+    let n = live.len();
+    let mut sus = vec![false; n];
+    for p in partitions {
+        if !p.active_at(at) {
+            continue;
+        }
+        let live_total = live.iter().filter(|&&l| l).count();
+        let floaters = (0..n)
+            .filter(|&r| live[r] && p.group_of(r).is_none())
+            .count();
+        let mut majority: Option<(usize, usize)> = None; // (members, group)
+        for (gi, g) in p.groups.iter().enumerate() {
+            let members = g.iter().filter(|&&r| r < n && live[r]).count();
+            let is_majority = 2 * (members + floaters) > live_total;
+            if is_majority && majority.is_none_or(|(m, _)| members > m) {
+                majority = Some((members, gi));
+            }
+        }
+        for (gi, g) in p.groups.iter().enumerate() {
+            if majority.is_some_and(|(_, best)| best == gi) {
+                continue;
+            }
+            for &r in g {
+                if r < n && live[r] {
+                    sus[r] = true;
+                }
+            }
+        }
+    }
+    sus
+}
+
 /// What the fault plan decided for one transmission attempt.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultDecision {
@@ -35,12 +189,21 @@ pub struct FaultDecision {
     pub corrupted: bool,
     /// The payload is shortened in flight. Also caught by the checksum.
     pub truncated: bool,
+    /// The message is silently lost to a per-link blackhole
+    /// ([`FaultPlan::with_link_drop`]). Counted separately from `dropped`
+    /// so per-link loss is visible in [`crate::FaultStats`].
+    pub link_dropped: bool,
 }
 
 impl FaultDecision {
     /// Does this attempt arrive damaged (checksum will fail at the receiver)?
     pub fn mangled(&self) -> bool {
         self.corrupted || self.truncated
+    }
+
+    /// Is this attempt lost in flight (globally or on its link)?
+    pub fn lost(&self) -> bool {
+        self.dropped || self.link_dropped
     }
 }
 
@@ -96,6 +259,12 @@ pub struct FaultPlan {
     /// crashed peer will never send (charged to the clock each time a
     /// receive is abandoned on a dead peer).
     pub detect_timeout: f64,
+    /// Group-structured network partitions over virtual-time windows.
+    pub partitions: Vec<PartitionSpec>,
+    /// `(src, dst, p)`: each data message on the directed link `src → dst`
+    /// is independently lost with probability `p` (pure per-message hash,
+    /// same purity laws as the global probabilities).
+    pub link_drops: Vec<(usize, usize, f64)>,
 }
 
 impl Default for FaultPlan {
@@ -115,6 +284,8 @@ impl Default for FaultPlan {
             retry_timeout: 1e-3,
             max_retries: 8,
             detect_timeout: 5e-3,
+            partitions: Vec::new(),
+            link_drops: Vec::new(),
         }
     }
 }
@@ -129,97 +300,227 @@ impl FaultPlan {
     }
 
     /// Drop each data message with probability `p`.
-    pub fn with_drop(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "probability out of range");
+    pub fn with_drop(self, p: f64) -> Self {
+        self.try_with_drop(p).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`FaultPlan::with_drop`].
+    pub fn try_with_drop(mut self, p: f64) -> Result<Self, FaultPlanError> {
+        check_prob("drop", p)?;
         self.drop_prob = p;
-        self
+        Ok(self)
     }
 
     /// Delay each data message with probability `p` by `seconds` of
     /// virtual latency.
-    pub fn with_delay(mut self, p: f64, seconds: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "probability out of range");
-        assert!(seconds >= 0.0, "delay must be non-negative");
+    pub fn with_delay(self, p: f64, seconds: f64) -> Self {
+        self.try_with_delay(p, seconds)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`FaultPlan::with_delay`].
+    pub fn try_with_delay(mut self, p: f64, seconds: f64) -> Result<Self, FaultPlanError> {
+        check_prob("delay", p)?;
+        check_time("delay", seconds)?;
         self.delay_prob = p;
         self.delay_seconds = seconds;
-        self
+        Ok(self)
     }
 
     /// Duplicate each data message with probability `p`.
-    pub fn with_dup(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "probability out of range");
+    pub fn with_dup(self, p: f64) -> Self {
+        self.try_with_dup(p).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`FaultPlan::with_dup`].
+    pub fn try_with_dup(mut self, p: f64) -> Result<Self, FaultPlanError> {
+        check_prob("dup", p)?;
         self.dup_prob = p;
-        self
+        Ok(self)
     }
 
     /// Let each data message overtake queued traffic with probability `p`.
-    pub fn with_reorder(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "probability out of range");
+    pub fn with_reorder(self, p: f64) -> Self {
+        self.try_with_reorder(p).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`FaultPlan::with_reorder`].
+    pub fn try_with_reorder(mut self, p: f64) -> Result<Self, FaultPlanError> {
+        check_prob("reorder", p)?;
         self.reorder_prob = p;
-        self
+        Ok(self)
     }
 
     /// Flip one payload bit of each data message with probability `p`.
     /// The damage is caught by the frame checksum at the receiver, which
     /// NACKs the frame; the sender retransmits with exponential backoff.
-    pub fn with_corrupt(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "probability out of range");
+    pub fn with_corrupt(self, p: f64) -> Self {
+        self.try_with_corrupt(p).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`FaultPlan::with_corrupt`].
+    pub fn try_with_corrupt(mut self, p: f64) -> Result<Self, FaultPlanError> {
+        check_prob("corrupt", p)?;
         self.corrupt_prob = p;
-        self
+        Ok(self)
     }
 
     /// Shorten each data message's payload with probability `p`. Like
     /// corruption, truncation is caught by the frame checksum and repaired
     /// by retransmission.
-    pub fn with_truncate(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "probability out of range");
+    pub fn with_truncate(self, p: f64) -> Self {
+        self.try_with_truncate(p).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`FaultPlan::with_truncate`].
+    pub fn try_with_truncate(mut self, p: f64) -> Result<Self, FaultPlanError> {
+        check_prob("truncate", p)?;
         self.truncate_prob = p;
-        self
+        Ok(self)
     }
 
     /// Multiply `rank`'s compute time by `factor` (a straggler; `factor`
     /// below 1.0 makes it a speed demon, which is also legal).
-    pub fn with_straggler(mut self, rank: usize, factor: f64) -> Self {
-        assert!(factor > 0.0, "compute factor must be positive");
+    pub fn with_straggler(self, rank: usize, factor: f64) -> Self {
+        self.try_with_straggler(rank, factor)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`FaultPlan::with_straggler`].
+    pub fn try_with_straggler(mut self, rank: usize, factor: f64) -> Result<Self, FaultPlanError> {
+        if factor <= 0.0 || factor.is_nan() {
+            return Err(FaultPlanError::NonPositiveFactor(factor));
+        }
         self.stragglers.retain(|&(r, _)| r != rank);
         self.stragglers.push((rank, factor));
-        self
+        Ok(self)
     }
 
     /// Fail-stop `rank` once its virtual clock reaches `at`.
-    pub fn with_kill(mut self, rank: usize, at: f64) -> Self {
-        assert!(at >= 0.0, "kill time must be non-negative");
+    pub fn with_kill(self, rank: usize, at: f64) -> Self {
+        self.try_with_kill(rank, at)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`FaultPlan::with_kill`].
+    pub fn try_with_kill(mut self, rank: usize, at: f64) -> Result<Self, FaultPlanError> {
+        check_time("kill time", at)?;
         self.kills.retain(|&(r, _)| r != rank);
         self.kills.push((rank, at));
-        self
+        Ok(self)
     }
 
     /// Crash `rank` (uncooperatively) once its virtual clock reaches `at`:
     /// the rank dies at its next substrate operation without draining or
     /// handing anything off. Survivors must detect the death and recover.
-    pub fn with_crash(mut self, rank: usize, at: f64) -> Self {
-        assert!(at >= 0.0, "crash time must be non-negative");
+    pub fn with_crash(self, rank: usize, at: f64) -> Self {
+        self.try_with_crash(rank, at)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`FaultPlan::with_crash`].
+    pub fn try_with_crash(mut self, rank: usize, at: f64) -> Result<Self, FaultPlanError> {
+        check_time("crash time", at)?;
         self.crashes.retain(|&(r, _)| r != rank);
         self.crashes.push((rank, at));
-        self
+        Ok(self)
     }
 
     /// Tune the reliable-send retransmission policy.
-    pub fn with_retry(mut self, timeout: f64, max_retries: u32) -> Self {
-        assert!(timeout >= 0.0, "timeout must be non-negative");
+    pub fn with_retry(self, timeout: f64, max_retries: u32) -> Self {
+        self.try_with_retry(timeout, max_retries)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`FaultPlan::with_retry`].
+    pub fn try_with_retry(
+        mut self,
+        timeout: f64,
+        max_retries: u32,
+    ) -> Result<Self, FaultPlanError> {
+        check_time("timeout", timeout)?;
         self.retry_timeout = timeout;
         self.max_retries = max_retries;
-        self
+        Ok(self)
     }
 
     /// Tune the failure detector's per-receive abandonment timeout.
-    pub fn with_detect_timeout(mut self, timeout: f64) -> Self {
-        assert!(timeout >= 0.0, "timeout must be non-negative");
-        self.detect_timeout = timeout;
-        self
+    pub fn with_detect_timeout(self, timeout: f64) -> Self {
+        self.try_with_detect_timeout(timeout)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Does this plan perturb messages at all?
+    /// Fallible form of [`FaultPlan::with_detect_timeout`].
+    pub fn try_with_detect_timeout(mut self, timeout: f64) -> Result<Self, FaultPlanError> {
+        check_time("timeout", timeout)?;
+        self.detect_timeout = timeout;
+        Ok(self)
+    }
+
+    /// Partition the world into `groups` for the virtual-time window
+    /// `[from, until)`: every data message between ranks in different
+    /// groups is cut while the window is active. Ranks not listed in any
+    /// group stay reachable from everyone.
+    pub fn with_partition(self, groups: Vec<Vec<usize>>, from: f64, until: f64) -> Self {
+        self.try_with_partition(groups, from, until)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`FaultPlan::with_partition`].
+    pub fn try_with_partition(
+        mut self,
+        groups: Vec<Vec<usize>>,
+        from: f64,
+        until: f64,
+    ) -> Result<Self, FaultPlanError> {
+        check_time("partition start", from)?;
+        if until <= from || until.is_nan() {
+            return Err(FaultPlanError::EmptyInterval { from, until });
+        }
+        if groups.len() < 2 || groups.iter().any(|g| g.is_empty()) {
+            return Err(FaultPlanError::DegeneratePartition);
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for &r in groups.iter().flatten() {
+            if !seen.insert(r) {
+                return Err(FaultPlanError::OverlappingGroups(r));
+            }
+        }
+        self.partitions.push(PartitionSpec {
+            groups,
+            from,
+            until,
+        });
+        Ok(self)
+    }
+
+    /// Independently lose each data message on the directed link
+    /// `src → dst` with probability `p`.
+    pub fn with_link_drop(self, src: usize, dst: usize, p: f64) -> Self {
+        self.try_with_link_drop(src, dst, p)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`FaultPlan::with_link_drop`].
+    pub fn try_with_link_drop(
+        mut self,
+        src: usize,
+        dst: usize,
+        p: f64,
+    ) -> Result<Self, FaultPlanError> {
+        check_prob("link drop", p)?;
+        if src == dst {
+            return Err(FaultPlanError::SelfLink(src));
+        }
+        self.link_drops.retain(|&(s, d, _)| (s, d) != (src, dst));
+        self.link_drops.push((src, dst, p));
+        Ok(self)
+    }
+
+    /// Does this plan perturb messages at all? (Partitions are *not*
+    /// message faults: a cut is a deterministic property of the link and
+    /// the clock, so it needs none of the seq/checksum machinery that
+    /// probabilistic faults activate.)
     pub fn message_faults(&self) -> bool {
         self.drop_prob > 0.0
             || self.delay_prob > 0.0
@@ -227,6 +528,7 @@ impl FaultPlan {
             || self.reorder_prob > 0.0
             || self.corrupt_prob > 0.0
             || self.truncate_prob > 0.0
+            || self.link_drops.iter().any(|&(_, _, p)| p > 0.0)
     }
 
     /// Does this plan do anything at all?
@@ -235,6 +537,34 @@ impl FaultPlan {
             && self.stragglers.is_empty()
             && self.kills.is_empty()
             && self.crashes.is_empty()
+            && self.partitions.is_empty()
+    }
+
+    /// Whether any partition window is scheduled.
+    pub fn has_partitions(&self) -> bool {
+        !self.partitions.is_empty()
+    }
+
+    /// Is the directed link `src → dest` severed by an active partition at
+    /// virtual time `at`? Pure function of the plan and `(src, dest, tag,
+    /// at)`; control-plane traffic (`tag < 0`) is never cut.
+    pub fn cut(&self, src: usize, dest: usize, tag: i64, at: f64) -> bool {
+        if tag < 0 || src == dest || self.partitions.is_empty() {
+            return false;
+        }
+        self.partitions.iter().any(|p| {
+            p.active_at(at)
+                && match (p.group_of(src), p.group_of(dest)) {
+                    (Some(a), Some(b)) => a != b,
+                    _ => false,
+                }
+        })
+    }
+
+    /// The quorum verdict at virtual time `at` given the live set — see
+    /// [`suspects`].
+    pub fn suspects(&self, at: f64, live: &[bool]) -> Vec<bool> {
+        suspects(&self.partitions, at, live)
     }
 
     /// Compute-time multiplier for `rank` (1.0 unless it straggles).
@@ -291,6 +621,11 @@ impl FaultPlan {
         h = mix64(h ^ tag as u64);
         h = mix64(h ^ seq);
         h = mix64(h ^ attempt as u64);
+        let link_prob = self
+            .link_drops
+            .iter()
+            .find(|&&(s, d, _)| (s, d) == (src, dest))
+            .map_or(0.0, |&(_, _, p)| p);
         FaultDecision {
             dropped: unit(mix64(h ^ 1)) < self.drop_prob,
             delayed: unit(mix64(h ^ 2)) < self.delay_prob,
@@ -298,6 +633,7 @@ impl FaultPlan {
             reordered: unit(mix64(h ^ 4)) < self.reorder_prob,
             corrupted: unit(mix64(h ^ 5)) < self.corrupt_prob,
             truncated: unit(mix64(h ^ 6)) < self.truncate_prob,
+            link_dropped: unit(mix64(h ^ 9)) < link_prob,
         }
     }
 
@@ -479,6 +815,225 @@ mod tests {
         let d = plan.decide(0, 1, 5, 0, 0);
         plan.mangle(0, 1, 5, 0, 0, d, &mut empty);
         assert!(empty.is_empty());
+    }
+
+    /// Deterministic sampler over "interesting" f64s for the validation
+    /// property tests (no external RNG crates).
+    fn sample_f64(i: u64) -> f64 {
+        let h = mix64(i ^ 0xf00d);
+        match h % 8 {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => -((h >> 8) as f64 * 1e-12) - 1e-9,
+            4 => 1.0 + (h >> 8) as f64 * 1e-12,
+            _ => ((h >> 11) as f64) * (1.0 / (1u64 << 53) as f64),
+        }
+    }
+
+    #[test]
+    fn probability_validation_is_exhaustive_over_sampled_inputs() {
+        type ProbBuilder = fn(FaultPlan, f64) -> Result<FaultPlan, FaultPlanError>;
+        let builders: [(&str, ProbBuilder); 7] = [
+            ("drop", |pl, p| pl.try_with_drop(p)),
+            ("delay", |pl, p| pl.try_with_delay(p, 1e-3)),
+            ("dup", |pl, p| pl.try_with_dup(p)),
+            ("reorder", |pl, p| pl.try_with_reorder(p)),
+            ("corrupt", |pl, p| pl.try_with_corrupt(p)),
+            ("truncate", |pl, p| pl.try_with_truncate(p)),
+            ("link drop", |pl, p| pl.try_with_link_drop(0, 1, p)),
+        ];
+        for i in 0..2000u64 {
+            let p = sample_f64(i);
+            let valid = (0.0..=1.0).contains(&p);
+            for (what, build) in builders {
+                match build(FaultPlan::new(1), p) {
+                    Ok(plan) => assert!(valid, "{what} accepted {p}: {plan:?}"),
+                    Err(e) => {
+                        assert!(!valid, "{what} rejected in-range {p}: {e}");
+                        // NaN != NaN, so compare the payload bitwise.
+                        match &e {
+                            FaultPlanError::ProbabilityOutOfRange { what: w, value } => {
+                                assert_eq!(*w, what);
+                                assert_eq!(value.to_bits(), p.to_bits());
+                            }
+                            other => panic!("{what}: unexpected error {other:?}"),
+                        }
+                        assert!(
+                            e.to_string().contains("probability out of range"),
+                            "typed error must keep the legacy panic phrase: {e}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn time_validation_is_exhaustive_over_sampled_inputs() {
+        type TimeBuilder = fn(FaultPlan, f64) -> Result<FaultPlan, FaultPlanError>;
+        let builders: [(&str, TimeBuilder); 5] = [
+            ("delay", |pl, t| pl.try_with_delay(0.1, t)),
+            ("kill time", |pl, t| pl.try_with_kill(0, t)),
+            ("crash time", |pl, t| pl.try_with_crash(0, t)),
+            ("timeout", |pl, t| pl.try_with_retry(t, 3)),
+            ("timeout", |pl, t| pl.try_with_detect_timeout(t)),
+        ];
+        for i in 0..2000u64 {
+            let t = sample_f64(i.wrapping_mul(31));
+            let valid = t >= 0.0; // +inf is a legal (if silly) time
+            for (what, build) in builders {
+                match build(FaultPlan::new(1), t) {
+                    Ok(_) => assert!(valid, "{what} accepted {t}"),
+                    Err(e) => {
+                        assert!(!valid, "{what} rejected non-negative {t}: {e}");
+                        match &e {
+                            FaultPlanError::NegativeTime { what: w, value } => {
+                                assert_eq!(*w, what);
+                                assert_eq!(value.to_bits(), t.to_bits());
+                            }
+                            other => panic!("{what}: unexpected error {other:?}"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_builder_validates_structure() {
+        let two = || vec![vec![0, 1], vec![2, 3]];
+        assert!(FaultPlan::new(0)
+            .try_with_partition(two(), 0.1, 0.5)
+            .is_ok());
+        // Degenerate intervals and groups are typed errors.
+        assert_eq!(
+            FaultPlan::new(0)
+                .try_with_partition(two(), 0.5, 0.5)
+                .unwrap_err(),
+            FaultPlanError::EmptyInterval {
+                from: 0.5,
+                until: 0.5
+            }
+        );
+        assert!(matches!(
+            FaultPlan::new(0).try_with_partition(two(), -0.1, 0.5),
+            Err(FaultPlanError::NegativeTime { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::new(0).try_with_partition(two(), f64::NAN, 0.5),
+            Err(FaultPlanError::NegativeTime { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::new(0).try_with_partition(two(), 0.1, f64::NAN),
+            Err(FaultPlanError::EmptyInterval { .. })
+        ));
+        assert_eq!(
+            FaultPlan::new(0)
+                .try_with_partition(vec![vec![0, 1]], 0.1, 0.5)
+                .unwrap_err(),
+            FaultPlanError::DegeneratePartition
+        );
+        assert_eq!(
+            FaultPlan::new(0)
+                .try_with_partition(vec![vec![0], vec![]], 0.1, 0.5)
+                .unwrap_err(),
+            FaultPlanError::DegeneratePartition
+        );
+        assert_eq!(
+            FaultPlan::new(0)
+                .try_with_partition(vec![vec![0, 1], vec![1, 2]], 0.1, 0.5)
+                .unwrap_err(),
+            FaultPlanError::OverlappingGroups(1)
+        );
+        assert_eq!(
+            FaultPlan::new(0).try_with_link_drop(3, 3, 0.5).unwrap_err(),
+            FaultPlanError::SelfLink(3)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "partition interval")]
+    fn panicking_partition_builder_reports_the_typed_error() {
+        let _ = FaultPlan::new(0).with_partition(vec![vec![0], vec![1]], 1.0, 0.5);
+    }
+
+    #[test]
+    fn cut_is_windowed_and_group_structured() {
+        let plan = FaultPlan::new(0).with_partition(vec![vec![0, 1], vec![2, 3]], 0.5, 1.0);
+        assert!(plan.has_partitions());
+        assert!(!plan.message_faults(), "partitions are not message faults");
+        assert!(!plan.is_noop());
+        // Cross-group links cut inside the window, both directions.
+        assert!(plan.cut(0, 2, 7, 0.5));
+        assert!(plan.cut(2, 0, 7, 0.75));
+        // Intra-group, floater, control, and out-of-window traffic passes.
+        assert!(!plan.cut(0, 1, 7, 0.75));
+        assert!(!plan.cut(0, 4, 7, 0.75), "floaters stay reachable");
+        assert!(!plan.cut(4, 2, 7, 0.75));
+        assert!(!plan.cut(0, 2, -3, 0.75), "control plane is never cut");
+        assert!(!plan.cut(0, 2, 7, 0.49));
+        assert!(!plan.cut(0, 2, 7, 1.0), "window end is exclusive");
+    }
+
+    #[test]
+    fn quorum_rule_suspects_the_minority() {
+        let plan = FaultPlan::new(0).with_partition(vec![vec![0, 1, 2], vec![3, 4]], 0.0, 1.0);
+        let all_live = vec![true; 5];
+        // Majority group {0,1,2} survives; minority {3,4} is suspected.
+        assert_eq!(
+            plan.suspects(0.5, &all_live),
+            vec![false, false, false, true, true]
+        );
+        // Outside the window nobody is suspected.
+        assert_eq!(plan.suspects(1.5, &all_live), vec![false; 5]);
+        // Deaths shift the balance: with 0 and 1 dead, {2} vs {3,4} makes
+        // the second group the majority.
+        let live = vec![false, false, true, true, true];
+        assert_eq!(
+            plan.suspects(0.5, &live),
+            vec![false, false, true, false, false]
+        );
+    }
+
+    #[test]
+    fn no_quorum_suspects_every_listed_rank() {
+        // Equal halves, no floaters: neither side can claim a strict
+        // majority, so both park (split-brain prevention).
+        let plan = FaultPlan::new(0).with_partition(vec![vec![0, 1], vec![2, 3]], 0.0, 1.0);
+        assert_eq!(plan.suspects(0.5, &[true; 4]), vec![true; 4]);
+        // A floater tips nothing (both sides tie at 3 of 5... majority
+        // needs strict > half): 2+1=3 of 5 live is a strict majority for
+        // the *larger* group only on member-count tie-breaks — here both
+        // groups tie, so the lower-indexed one wins.
+        let plan5 = FaultPlan::new(0).with_partition(vec![vec![0, 1], vec![2, 3]], 0.0, 1.0);
+        assert_eq!(
+            plan5.suspects(0.5, &[true; 5]),
+            vec![false, false, true, true, false]
+        );
+    }
+
+    #[test]
+    fn link_drop_decisions_are_link_local_and_calibrated() {
+        let plan = FaultPlan::new(77).with_link_drop(2, 5, 0.3);
+        assert!(plan.message_faults());
+        let n = 10_000;
+        let hit = (0..n)
+            .filter(|&s| plan.decide(2, 5, 9, s, 0).link_dropped)
+            .count();
+        let rate = hit as f64 / n as f64;
+        assert!(
+            (0.27..0.33).contains(&rate),
+            "observed link-drop rate {rate}"
+        );
+        // Other links — including the reverse direction — are untouched.
+        for s in 0..200 {
+            assert!(!plan.decide(5, 2, 9, s, 0).link_dropped);
+            assert!(!plan.decide(2, 4, 9, s, 0).link_dropped);
+            assert!(!plan.decide(2, 5, -9, s, 0).link_dropped);
+        }
+        // A zero-probability link drop activates nothing.
+        assert!(!FaultPlan::new(1).with_link_drop(0, 1, 0.0).message_faults());
     }
 
     #[test]

@@ -22,6 +22,15 @@ pub struct Envelope {
     /// (see [`frame_checksum`]). Always 0 when fault injection is off; the
     /// receiver only verifies it on mailboxes built with a verify seed.
     pub checksum: u64,
+    /// Partition tombstone: the message was cut by an active network
+    /// partition and only its metadata was delivered (the payload is
+    /// absent). A tombstone lets the receiver observe the cut at a
+    /// deterministic point in its schedule — exactly where the real message
+    /// would have been — instead of relying on a wall-clock timeout. It is
+    /// exempt from capacity accounting and checksum verification, and
+    /// blocking receives skip it (a partition-unaware receiver wedges on
+    /// the watchdog rather than decoding garbage).
+    pub cut: bool,
     /// Encoded payload (possibly damaged in flight by the fault plan).
     /// Shared by reference count with the sender's pristine buffer — a
     /// retransmission, duplicate, or forwarded hop of the same frame holds
@@ -76,7 +85,7 @@ impl Inner {
     /// Control-plane traffic (negative tags) is exempt so collectives and
     /// the failure detector can never be throttled into a deadlock.
     fn data_occupancy(&self) -> usize {
-        self.queue.iter().filter(|e| e.tag >= 0).count() + self.reserved
+        self.queue.iter().filter(|e| e.tag >= 0 && !e.cut).count() + self.reserved
     }
 }
 
@@ -266,6 +275,20 @@ impl Mailbox {
     /// `watchdog` bounds the real-time wait; on expiry this returns `None`
     /// so the caller can panic with a useful deadlock diagnosis.
     pub fn recv(&self, pat: Pattern, watchdog: Duration, ordered: bool) -> Option<Envelope> {
+        self.recv_where(pat, watchdog, ordered, true)
+    }
+
+    /// [`Mailbox::recv`] with explicit tombstone policy: with `accept_cut`
+    /// false, partition tombstones never match — a blocking receiver that
+    /// does not understand partitions waits (and eventually trips the
+    /// watchdog) instead of consuming a payload-less frame.
+    pub fn recv_where(
+        &self,
+        pat: Pattern,
+        watchdog: Duration,
+        ordered: bool,
+        accept_cut: bool,
+    ) -> Option<Envelope> {
         let mut inner = self.lock();
         loop {
             if ordered {
@@ -279,6 +302,7 @@ impl Mailbox {
                     self.cond.notify_all();
                 }
             }
+            let admit = |e: &Envelope| pat.matches(e) && (accept_cut || !e.cut);
             let found = if ordered {
                 // Lowest (seq, src) among matches: deterministic given the
                 // set of queued messages, regardless of delivery order.
@@ -286,11 +310,11 @@ impl Mailbox {
                     .queue
                     .iter()
                     .enumerate()
-                    .filter(|(_, e)| pat.matches(e))
+                    .filter(|(_, e)| admit(e))
                     .min_by_key(|(_, e)| (e.seq, e.src))
                     .map(|(i, _)| i)
             } else {
-                inner.queue.iter().position(|e| pat.matches(e))
+                inner.queue.iter().position(admit)
             };
             if let Some(idx) = found {
                 let env = inner.queue.remove(idx);
@@ -410,7 +434,9 @@ impl Inner {
     fn drop_corrupt(&mut self, seed: u64) {
         let before = self.queue.len();
         self.queue.retain(|e| {
-            e.tag < 0 || frame_checksum(seed, e.src, e.tag, e.seq, &e.bytes) == e.checksum
+            // Tombstones carry no payload and no checksum: they are the
+            // *detection* of a cut, not a damaged frame.
+            e.tag < 0 || e.cut || frame_checksum(seed, e.src, e.tag, e.seq, &e.bytes) == e.checksum
         });
         self.corruptions_detected += (before - self.queue.len()) as u64;
     }
@@ -450,6 +476,7 @@ mod tests {
             arrival: 0.0,
             seq,
             checksum: 0,
+            cut: false,
             bytes: Payload::from(vec![byte]),
         }
     }
@@ -744,5 +771,34 @@ mod tests {
         };
         assert_eq!(mb.recv(pat, WD, false).unwrap().bytes, vec![0xb]);
         // ...which is exactly what ordered recv protects against.
+    }
+
+    #[test]
+    fn tombstones_bypass_capacity_and_blocking_receives() {
+        let seed = 9;
+        let mb = Mailbox::configured(Some(seed), Some(1));
+        let mut tomb = env_seq(0, 1, 0, 0);
+        tomb.cut = true;
+        tomb.bytes = Payload::from(Vec::new());
+        mb.deliver(tomb, false);
+        assert!(
+            !mb.at_capacity(),
+            "a tombstone must not hold a capacity slot"
+        );
+        let pat = Pattern {
+            src: Some(0),
+            tag: 1,
+        };
+        // A cut-refusing (blocking-style) receive waits through it...
+        assert!(mb
+            .recv_where(pat, Duration::from_millis(10), false, false)
+            .is_none());
+        // ...and the ordered cleanup passes must not count it as damage.
+        let got = mb
+            .recv_where(pat, Duration::from_millis(10), true, true)
+            .expect("cut-aware receives consume the tombstone");
+        assert!(got.cut);
+        assert_eq!(mb.corruptions_detected(), 0);
+        assert!(mb.is_empty());
     }
 }

@@ -66,6 +66,16 @@ pub struct FaultStats {
     /// NACKs raised by receivers for damaged frames (sender-side count of
     /// the simulated NACK round-trips it honoured).
     pub nacks: u64,
+    /// Data messages cut by an active network partition (sender-side; each
+    /// one was delivered to the receiver as a metadata-only tombstone).
+    pub partition_cuts: u64,
+    /// Data messages lost to a per-link blackhole
+    /// ([`crate::FaultPlan::with_link_drop`]), counted separately from the
+    /// global `dropped`.
+    pub link_dropped: u64,
+    /// Receives abandoned because the peer was unreachable across a
+    /// partition (receiver-side; each one charged `detect_timeout`).
+    pub partition_timeouts: u64,
 }
 
 impl FaultStats {
@@ -84,6 +94,9 @@ impl FaultStats {
         self.corruptions_detected += other.corruptions_detected;
         self.retransmits += other.retransmits;
         self.nacks += other.nacks;
+        self.partition_cuts += other.partition_cuts;
+        self.link_dropped += other.link_dropped;
+        self.partition_timeouts += other.partition_timeouts;
     }
 
     /// Did any fault actually fire?

@@ -121,6 +121,14 @@ pub struct CtlVerdict {
     /// Which ranks the failure detector has declared dead (crashed ranks
     /// only; cooperative kills are not in here).
     pub dead: Vec<bool>,
+    /// Which live ranks are *suspected*: unreachable across an active
+    /// network partition per the quorum rule ([`crate::faults::suspects`]),
+    /// evaluated at the exchange's resolved clock. Unlike `dead`, suspicion
+    /// is reversible — a suspected rank is expected back when the partition
+    /// heals. Snapshotted under the same barrier lock as `dead`, so every
+    /// rank (on *both* sides of the partition — the control plane is never
+    /// cut) reads the identical two-level verdict.
+    pub suspected: Vec<bool>,
     /// Each rank's contribution; `None` for ranks that died before
     /// contributing to this exchange.
     pub slots: Vec<Option<CtlSlot>>,
@@ -140,6 +148,23 @@ impl CtlVerdict {
     /// Is `rank` declared dead?
     pub fn is_dead(&self, rank: usize) -> bool {
         self.dead.get(rank).copied().unwrap_or(false)
+    }
+
+    /// Ranks currently suspected (partition-unreachable), ascending.
+    pub fn suspected_ranks(&self) -> Vec<usize> {
+        (0..self.suspected.len())
+            .filter(|&r| self.suspected[r])
+            .collect()
+    }
+
+    /// Is any rank currently suspected?
+    pub fn any_suspected(&self) -> bool {
+        self.suspected.iter().any(|&s| s)
+    }
+
+    /// Is `rank` currently suspected?
+    pub fn is_suspected(&self, rank: usize) -> bool {
+        self.suspected.get(rank).copied().unwrap_or(false)
     }
 
     /// `rank`'s metadata word, if it contributed.
@@ -213,8 +238,12 @@ struct BarrierInner {
     deaths: usize,
     /// Control contributions of the in-progress generation.
     slots: Vec<Option<CtlSlot>>,
+    /// Partition windows from the fault plan, cloned at world start so the
+    /// failure detector can evaluate the quorum rule under its own lock.
+    partitions: Vec<crate::faults::PartitionSpec>,
     resolved_clock: f64,
     resolved_dead: Vec<bool>,
+    resolved_suspected: Vec<bool>,
     resolved_slots: Vec<Option<CtlSlot>>,
 }
 
@@ -231,6 +260,16 @@ impl BarrierInner {
     fn resolve(&mut self) {
         self.resolved_clock = self.max_clock;
         self.resolved_dead = self.dead.clone();
+        // The two-level verdict: suspicion is a pure function of the
+        // partition schedule, the resolved (maximum) clock, and the live
+        // set — all of which are fixed at this instant, under this lock, so
+        // every waiter of the generation reads the identical answer.
+        self.resolved_suspected = if self.partitions.is_empty() {
+            vec![false; self.dead.len()]
+        } else {
+            let live: Vec<bool> = self.dead.iter().map(|&d| !d).collect();
+            crate::faults::suspects(&self.partitions, self.resolved_clock, &live)
+        };
         self.resolved_slots = std::mem::take(&mut self.slots);
         self.slots = vec![None; self.resolved_slots.len()];
         self.max_clock = 0.0;
@@ -240,7 +279,7 @@ impl BarrierInner {
 }
 
 impl ClockBarrier {
-    fn new() -> Self {
+    fn new(partitions: Vec<crate::faults::PartitionSpec>) -> Self {
         ClockBarrier {
             inner: Mutex::new(BarrierInner {
                 gen: 0,
@@ -249,8 +288,10 @@ impl ClockBarrier {
                 dead: Vec::new(),
                 deaths: 0,
                 slots: Vec::new(),
+                partitions,
                 resolved_clock: 0.0,
                 resolved_dead: Vec::new(),
+                resolved_suspected: Vec::new(),
                 resolved_slots: Vec::new(),
             }),
             cond: Condvar::new(),
@@ -275,17 +316,25 @@ impl ClockBarrier {
         slot: CtlSlot,
         check: impl Fn(),
     ) -> (f64, CtlVerdict) {
-        let (clock, dead, slots) = self.arrive(n, Some((rank, slot)), clock, &check);
-        (clock, CtlVerdict { dead, slots })
+        let (clock, dead, suspected, slots) = self.arrive(n, Some((rank, slot)), clock, &check);
+        (
+            clock,
+            CtlVerdict {
+                dead,
+                suspected,
+                slots,
+            },
+        )
     }
 
+    #[allow(clippy::type_complexity)]
     fn arrive(
         &self,
         n: usize,
         entry: Option<(usize, CtlSlot)>,
         clock: f64,
         check: &dyn Fn(),
-    ) -> (f64, Vec<bool>, Vec<Option<CtlSlot>>) {
+    ) -> (f64, Vec<bool>, Vec<bool>, Vec<Option<CtlSlot>>) {
         let mut g = lock_unpoisoned(&self.inner);
         g.ensure(n);
         g.max_clock = g.max_clock.max(clock);
@@ -315,6 +364,7 @@ impl ClockBarrier {
         (
             g.resolved_clock,
             g.resolved_dead.clone(),
+            g.resolved_suspected.clone(),
             g.resolved_slots.clone(),
         )
     }
@@ -368,6 +418,10 @@ pub(crate) struct Shared {
     /// receiver that observes the flag and then finds its mailbox empty
     /// knows the message will never come.
     dead_flags: Vec<AtomicBool>,
+    /// "Rank r is parked" flags, set by the membership layer while a
+    /// suspected rank sits out a partition. Diagnostic only (watchdog
+    /// report); carries no synchronisation role.
+    parked: Vec<AtomicBool>,
     /// Credit-wait registry for bounded mailboxes: `waits[r]` is the rank
     /// whose mailbox `r` is currently blocked on for a credit; `epochs[r]`
     /// counts how many distinct waits `r` has started (so the deadlock
@@ -401,6 +455,11 @@ impl Shared {
     /// Has `rank` crashed?
     pub(crate) fn is_dead(&self, rank: usize) -> bool {
         self.dead_flags[rank].load(Ordering::Acquire)
+    }
+
+    /// Mark (or clear) `rank` as parked for watchdog diagnostics.
+    pub(crate) fn set_parked(&self, rank: usize, parked: bool) {
+        self.parked[rank].store(parked, Ordering::Relaxed);
     }
 
     /// Full crash-death protocol for `rank`: seal its mailbox (dropping
@@ -487,9 +546,15 @@ impl Shared {
     pub(crate) fn deadlock_report(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
+        let partitions = &self.cfg.faults.partitions;
         for (r, slot) in self.blocked.iter().enumerate() {
             let state = *lock_unpoisoned(slot);
             let pending = self.mailboxes[r].pending();
+            let parked = if self.parked[r].load(Ordering::Relaxed) {
+                " [PARKED: suspected by the membership layer, awaiting partition heal]"
+            } else {
+                ""
+            };
             match state {
                 Some(b) => {
                     let peer = match b.src {
@@ -500,14 +565,35 @@ impl Shared {
                         Some(t) => format!("{t}"),
                         None => "-".to_string(),
                     };
+                    // If the blocked peer is across an active partition at
+                    // the moment this rank blocked, say so: "rank stuck in
+                    // recv" and "rank cut off by a partition" call for very
+                    // different fixes.
+                    let cut_off = b.src.is_some_and(|s| {
+                        partitions.iter().any(|p| {
+                            p.active_at(b.vtime)
+                                && matches!(
+                                    (p.group_of(s), p.group_of(r)),
+                                    (Some(a), Some(b)) if a != b
+                                )
+                        })
+                    });
+                    let suspect = if cut_off {
+                        format!(" [peer {peer} is SUSPECTED: cut off by an active partition]")
+                    } else {
+                        String::new()
+                    };
                     let _ = writeln!(
                         out,
-                        "  rank {r}: blocked in {} (peer {peer}, tag {tag}) since vtime {:.6}; mailbox holds {pending:?}",
+                        "  rank {r}: blocked in {} (peer {peer}, tag {tag}) since vtime {:.6}; mailbox holds {pending:?}{parked}{suspect}",
                         b.what, b.vtime
                     );
                 }
                 None => {
-                    let _ = writeln!(out, "  rank {r}: running; mailbox holds {pending:?}");
+                    let _ = writeln!(
+                        out,
+                        "  rank {r}: running; mailbox holds {pending:?}{parked}"
+                    );
                 }
             }
         }
@@ -599,12 +685,13 @@ impl World {
             mailboxes: (0..n)
                 .map(|_| Mailbox::configured(verify_seed, self.cfg.mailbox_capacity))
                 .collect(),
-            barrier: ClockBarrier::new(),
+            barrier: ClockBarrier::new(self.cfg.faults.partitions.clone()),
             cfg: self.cfg.clone(),
             poisoned: AtomicBool::new(false),
             first_panic: Mutex::new(None),
             blocked: (0..n).map(|_| Mutex::new(None)).collect(),
             dead_flags: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            parked: (0..n).map(|_| AtomicBool::new(false)).collect(),
             credit_waits: Mutex::new(CreditWaits::default()),
         });
         let epoch = Instant::now();
@@ -868,5 +955,56 @@ mod tests {
             msg.contains("barrier"),
             "report should show rank 1 in barrier: {msg}"
         );
+    }
+
+    #[test]
+    fn verdict_suspects_the_minority_inside_the_window_on_both_sides() {
+        let cfg = Config::default()
+            .with_watchdog(Duration::from_secs(5))
+            .with_faults(FaultPlan::new(0).with_partition(vec![vec![0, 1, 2], vec![3]], 0.5, 2.0));
+        let out = World::new(cfg).run(4, |rank| {
+            let before = rank.ctl_exchange(CtlSlot::default());
+            rank.advance(1.0);
+            let during = rank.ctl_exchange(CtlSlot::default());
+            rank.advance(2.0);
+            let after = rank.ctl_exchange(CtlSlot::default());
+            (before, during, after)
+        });
+        let (before, during, after) = &out[0];
+        assert!(!before.any_suspected());
+        assert_eq!(during.suspected_ranks(), vec![3]);
+        assert!(!during.any_dead(), "suspicion is not death");
+        assert!(!after.any_suspected(), "healing clears suspicion");
+        for o in &out {
+            assert_eq!(o, &out[0], "both sides must agree bit-for-bit");
+        }
+    }
+
+    #[test]
+    fn watchdog_report_names_parked_and_suspected_ranks() {
+        let err = std::panic::catch_unwind(|| {
+            let cfg = Config::default()
+                .with_watchdog(Duration::from_millis(200))
+                .with_faults(FaultPlan::new(0).with_partition(vec![vec![0], vec![1]], 0.0, 10.0));
+            World::new(cfg).run(2, |rank| {
+                if rank.rank() == 1 {
+                    // A partition-unaware receive across the cut: the
+                    // tombstone is skipped, so this wedges on the watchdog.
+                    rank.set_parked(true);
+                    let _: u32 = rank.recv(0, 7);
+                } else {
+                    rank.send(1, 7, &5u32);
+                    rank.barrier();
+                }
+            })
+        })
+        .expect_err("world must deadlock");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()).unwrap());
+        assert!(msg.contains("PARKED"), "got: {msg}");
+        assert!(msg.contains("SUSPECTED"), "got: {msg}");
+        assert!(msg.contains("cut off by an active partition"), "got: {msg}");
     }
 }

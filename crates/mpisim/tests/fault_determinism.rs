@@ -93,6 +93,107 @@ fn decide_is_pure_over_a_thousand_sampled_identities() {
 }
 
 #[test]
+fn link_drop_decisions_are_pure_and_call_order_independent() {
+    let mut sampler = Sampler(0x6c696e6b); // "link"
+    let ids: Vec<_> = (0..1000).map(|_| sampler.identity()).collect();
+    let mk = |seed| {
+        FaultPlan::new(seed)
+            .with_link_drop(3, 9, 0.5)
+            .with_link_drop(9, 3, 0.25)
+    };
+    let p = mk(17);
+
+    // Purity: repeated evaluation gives identical answers.
+    let first = decide_all(&p, &ids);
+    assert_eq!(first, decide_all(&p, &ids));
+
+    // Call-order independence, with unrelated noise interleaved.
+    for noise in 0..500 {
+        p.decide(3, 9, (noise % 13) as i64, noise as u64, 0);
+    }
+    assert_eq!(
+        first,
+        decide_all(&p, &ids),
+        "link-drop decisions must not depend on call order"
+    );
+
+    // Same seed from a fresh plan agrees everywhere; decisions are
+    // link-local (only the two configured directed links ever fire).
+    assert_eq!(first, decide_all(&mk(17), &ids));
+    for (d, &(s, dst, ..)) in first.iter().zip(&ids) {
+        if d.link_dropped {
+            assert!(
+                (s, dst) == (3, 9) || (s, dst) == (9, 3),
+                "link drop fired off-link: {s} → {dst}"
+            );
+        }
+    }
+
+    // And the configured links do fire at roughly their probability.
+    let hits = (0..4000)
+        .filter(|&q| p.decide(3, 9, 5, q, 0).link_dropped)
+        .count() as f64
+        / 4000.0;
+    assert!((0.45..0.55).contains(&hits), "observed rate {hits}");
+}
+
+#[test]
+fn partition_cuts_are_a_pure_function_of_identity_and_time() {
+    let groups = vec![vec![0, 1, 2], vec![3, 4]];
+    let p = FaultPlan::new(5).with_partition(groups.clone(), 1.0, 2.0);
+    let mut sampler = Sampler(0xcafe);
+    let ids: Vec<_> = (0..1000).map(|_| sampler.identity()).collect();
+    let times = [0.0, 0.5, 1.0, 1.5, 1.999, 2.0, 3.0];
+
+    let eval = |plan: &FaultPlan| -> Vec<bool> {
+        ids.iter()
+            .flat_map(|&(s, d, t, ..)| {
+                times
+                    .iter()
+                    .map(move |&at| plan.cut(s % 5, d % 5, t, at))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    };
+
+    // Purity + call-order independence (reverse evaluation agrees).
+    let first = eval(&p);
+    assert_eq!(first, eval(&p));
+    let p_ref = &p;
+    let mut rev: Vec<bool> = ids
+        .iter()
+        .rev()
+        .flat_map(|&(s, d, t, ..)| {
+            times
+                .iter()
+                .rev()
+                .map(move |&at| p_ref.cut(s % 5, d % 5, t, at))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    // Reversing the flat result of (reversed ids × reversed times)
+    // restores the original order, so equality with `first` proves the
+    // answers did not depend on evaluation order.
+    rev.reverse();
+    assert_eq!(first, rev, "cut() must not depend on call order");
+
+    // A fresh identical plan agrees bit-for-bit.
+    let q = FaultPlan::new(5).with_partition(groups, 1.0, 2.0);
+    assert_eq!(first, eval(&q));
+
+    // The law itself: cut ⇔ (window active ∧ cross-group ∧ data plane).
+    for &(s, d, t, ..) in &ids {
+        let (s, d) = (s % 5, d % 5);
+        let cross = (s <= 2) != (d <= 2);
+        for &at in &times {
+            let active = (1.0..2.0).contains(&at);
+            assert_eq!(p.cut(s, d, t, at), active && cross && s != d && t >= 0);
+            assert!(!p.cut(s, d, -1 - t, at), "control plane is never cut");
+        }
+    }
+}
+
+#[test]
 fn control_plane_tags_are_never_faulted() {
     let mut sampler = Sampler(7);
     let p = plan(1);

@@ -1,0 +1,425 @@
+//! Partition-tolerance tests: deterministic network partitions, the
+//! quorum-gated degraded mode, minority parking, and live rank rejoin.
+//!
+//! Every scenario must (a) complete, (b) converge byte-identically to the
+//! sequential oracle (the heal rollback discards and replays the whole
+//! degraded stretch), and (c) be bit-deterministic across same-seed
+//! re-runs — including `total_time`, because every cut, detection timeout
+//! and replayed iteration is charged to the virtual clock.
+
+use ic2mpi::prelude::*;
+use ic2mpi::seq;
+use mpisim::{FaultPlan, NetModel};
+use std::time::Duration;
+
+fn world(plan: FaultPlan) -> mpisim::Config {
+    mpisim::Config::virtual_time(NetModel::origin2000())
+        .with_watchdog(Duration::from_secs(30))
+        .with_faults(plan)
+}
+
+fn clean_world() -> mpisim::Config {
+    mpisim::Config::virtual_time(NetModel::origin2000()).with_watchdog(Duration::from_secs(30))
+}
+
+/// Fault-plan seed, overridable via `CHAOS_SEED` (see chaos.rs): every
+/// assertion here is seed-agnostic, so CI can sweep seeds.
+fn chaos_seed(default: u64) -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+#[test]
+fn partition_sweep_heals_and_replays_exactly() {
+    // A 3-vs-1 partition swept over a (start, duration) grid of the clean
+    // run's timeline: wherever the window lands — early (before the first
+    // checkpoint commits), mid-run, or overhanging the end of the
+    // iteration space — the run must heal, rejoin, and converge to the
+    // oracle, twice, bit-identically.
+    let graph = ic2_graph::generators::hex_grid_n(16);
+    let program = AvgProgram::fine();
+    let nprocs = 4;
+    let iterations = 6u32;
+    let oracle = seq::run_sequential(&graph, &program, iterations);
+    let clean_total = run(
+        &graph,
+        &program,
+        &Metis::default(),
+        || NoBalancer,
+        &RunConfig::new(nprocs, iterations).with_world(clean_world()),
+    )
+    .total_time;
+
+    // The detection timeout must stay small relative to the window: every
+    // cut receive charges one timeout, and a timeout comparable to the
+    // window would let the virtual clock overshoot `until` before the
+    // first boundary verdict — collapsing the partition into a blip.
+    for start in [0.2, 0.45, 0.7] {
+        for dur in [0.2, 0.35] {
+            let (from, until) = (clean_total * start, clean_total * (start + dur));
+            let plan = || {
+                FaultPlan::new(chaos_seed(41))
+                    .with_partition(vec![vec![0, 1, 2], vec![3]], from, until)
+                    .with_detect_timeout(1e-4)
+            };
+            let cfg = |p| {
+                RunConfig::new(nprocs, iterations)
+                    .with_checkpointing(2)
+                    .with_partition_tolerance()
+                    .with_world(world(p))
+                    .with_validation()
+            };
+            let a = run(
+                &graph,
+                &program,
+                &Metis::default(),
+                || NoBalancer,
+                &cfg(plan()),
+            );
+            assert_eq!(
+                a.final_data, oracle,
+                "start {start} dur {dur}: heal + replay must be exact"
+            );
+            assert!(a.rejoins >= 1, "start {start} dur {dur}: {:?}", a.rejoins);
+            assert!(
+                a.degraded_iterations > 0,
+                "start {start} dur {dur}: the window must be noticed"
+            );
+            let b = run(
+                &graph,
+                &program,
+                &Metis::default(),
+                || NoBalancer,
+                &cfg(plan()),
+            );
+            assert_eq!(a.final_data, b.final_data, "start {start} dur {dur}");
+            assert_eq!(a.rejoins, b.rejoins, "start {start} dur {dur}");
+            assert_eq!(a.rollbacks, b.rollbacks, "start {start} dur {dur}");
+            assert_eq!(a.faults, b.faults, "start {start} dur {dur}");
+            assert_eq!(
+                a.total_time.to_bits(),
+                b.total_time.to_bits(),
+                "start {start} dur {dur}: total time must be bit-identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn quarter_run_partition_rejoins_the_minority() {
+    // The acceptance scenario: a 2-group partition spanning well over a
+    // quarter of the iteration space. The majority continues degraded, the
+    // minority parks, the heal rejoins it with buddy state transfer, and
+    // the replayed result is byte-identical to the oracle.
+    let graph = ic2_graph::generators::hex_grid_n(64);
+    let program = AvgProgram::fine();
+    let nprocs = 8;
+    let iterations = 20u32;
+    let oracle = seq::run_sequential(&graph, &program, iterations);
+    let clean = run(
+        &graph,
+        &program,
+        &Metis::default(),
+        || NoBalancer,
+        &RunConfig::new(nprocs, iterations).with_world(clean_world()),
+    );
+
+    let groups = vec![vec![0, 1, 2, 3, 4, 5], vec![6, 7]];
+    let plan = FaultPlan::new(chaos_seed(43))
+        .with_partition(groups, clean.total_time * 0.4, clean.total_time * 0.75)
+        .with_detect_timeout(5e-4);
+    let cfg = RunConfig::new(nprocs, iterations)
+        .with_checkpointing(3)
+        .with_partition_tolerance()
+        .with_world(world(plan))
+        .with_validation();
+    let report = run(&graph, &program, &Metis::default(), || NoBalancer, &cfg);
+    assert_eq!(report.final_data, oracle, "rejoin + replay must be exact");
+    assert!(report.rejoins >= 1, "the minority must rejoin");
+    assert!(report.degraded_iterations > 0);
+    assert_eq!(report.suspected_peak, 2, "both minority ranks suspected");
+    assert!(
+        report.rejoin_bytes > 0,
+        "rejoining ranks re-fetch their checkpoint image from buddies"
+    );
+    assert!(
+        report.iterations_replayed > 0,
+        "the degraded stretch is discarded and replayed"
+    );
+    assert!(report.faults.partition_cuts > 0, "{:?}", report.faults);
+    assert!(report.faults.partition_timeouts > 0, "{:?}", report.faults);
+    assert!(
+        report.total_time > clean.total_time,
+        "degradation, parking and replay must cost virtual time"
+    );
+}
+
+#[test]
+fn no_quorum_parks_everyone_until_heal() {
+    // A 2-vs-2 split leaves no group with a majority: every rank is
+    // suspected, everyone parks (nobody mutates state), and the virtual
+    // clock rides detection timeouts until the window closes. The heal
+    // then replays everything since the last checkpoint.
+    let graph = ic2_graph::generators::hex_grid_n(16);
+    let program = AvgProgram::fine();
+    let nprocs = 4;
+    let iterations = 6u32;
+    let oracle = seq::run_sequential(&graph, &program, iterations);
+    let clean_total = run(
+        &graph,
+        &program,
+        &Metis::default(),
+        || NoBalancer,
+        &RunConfig::new(nprocs, iterations).with_world(clean_world()),
+    )
+    .total_time;
+
+    let plan = || {
+        FaultPlan::new(chaos_seed(47))
+            .with_partition(
+                vec![vec![0, 1], vec![2, 3]],
+                clean_total * 0.4,
+                clean_total * 0.75,
+            )
+            .with_detect_timeout(1e-4)
+    };
+    let cfg = |p| {
+        RunConfig::new(nprocs, iterations)
+            .with_checkpointing(2)
+            .with_partition_tolerance()
+            .with_world(world(p))
+            .with_validation()
+    };
+    let a = run(
+        &graph,
+        &program,
+        &Metis::default(),
+        || NoBalancer,
+        &cfg(plan()),
+    );
+    assert_eq!(a.final_data, oracle);
+    assert_eq!(a.suspected_peak, 4, "no quorum: every rank is suspected");
+    assert!(a.rejoins >= 1);
+    assert!(a.degraded_iterations > 0);
+    let b = run(
+        &graph,
+        &program,
+        &Metis::default(),
+        || NoBalancer,
+        &cfg(plan()),
+    );
+    assert_eq!(a.final_data, b.final_data);
+    assert_eq!(a.total_time.to_bits(), b.total_time.to_bits());
+}
+
+#[test]
+fn partition_composes_with_crash() {
+    // A rank crashes *while the network is partitioned*. Rolling back
+    // across an active cut would stall on unreachable buddies, so the
+    // crash is deferred: the heal rollback adopts the dead rank's nodes
+    // out of the buddy copy along with rejoining the parked minority.
+    let graph = ic2_graph::generators::hex_grid_n(64);
+    let program = AvgProgram::fine();
+    let nprocs = 8;
+    let iterations = 14u32;
+    let oracle = seq::run_sequential(&graph, &program, iterations);
+    let clean_total = run(
+        &graph,
+        &program,
+        &Metis::default(),
+        || NoBalancer,
+        &RunConfig::new(nprocs, iterations).with_world(clean_world()),
+    )
+    .total_time;
+
+    let plan = || {
+        FaultPlan::new(chaos_seed(53))
+            .with_partition(
+                vec![vec![0, 1, 2, 3, 4, 5], vec![6, 7]],
+                clean_total * 0.45,
+                clean_total * 0.75,
+            )
+            .with_crash(2, clean_total * 0.55)
+            .with_detect_timeout(5e-4)
+    };
+    let cfg = |p| {
+        RunConfig::new(nprocs, iterations)
+            .with_checkpointing(3)
+            .with_partition_tolerance()
+            .with_world(world(p))
+            .with_validation()
+    };
+    let a = run(
+        &graph,
+        &program,
+        &Metis::default(),
+        || NoBalancer,
+        &cfg(plan()),
+    );
+    assert_eq!(
+        a.final_data, oracle,
+        "deferred crash recovery must be exact"
+    );
+    assert!(a.rejoins >= 1, "the minority must still rejoin");
+    assert!(a.rollbacks >= 1, "the crash must eventually roll back");
+    assert!(a.ranks_died.contains(&2), "{:?}", a.ranks_died);
+    assert!(!a.final_owner.contains(&2), "a crashed rank owns nothing");
+    let b = run(
+        &graph,
+        &program,
+        &Metis::default(),
+        || NoBalancer,
+        &cfg(plan()),
+    );
+    assert_eq!(a.final_data, b.final_data);
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.total_time.to_bits(), b.total_time.to_bits());
+}
+
+#[test]
+fn partition_composes_with_delta_exchange_and_balancing() {
+    // Delta shadow exchange, periodic balancing and a partition in one
+    // run: suppressed clean-node traffic and migration both replay
+    // deterministically through the heal rollback.
+    let graph = ic2_graph::generators::hex_grid_n(64);
+    let program = AvgProgram::shifting();
+    let nprocs = 8;
+    let iterations = 20u32;
+    let oracle = seq::run_sequential(&graph, &program, iterations);
+    let clean_total = run(
+        &graph,
+        &program,
+        &Metis::default(),
+        || NoBalancer,
+        &RunConfig::new(nprocs, iterations).with_world(clean_world()),
+    )
+    .total_time;
+
+    let plan = || {
+        FaultPlan::new(chaos_seed(59))
+            .with_partition(
+                vec![vec![0, 1, 2, 3, 4, 5, 6], vec![7]],
+                clean_total * 0.5,
+                clean_total * 0.8,
+            )
+            .with_detect_timeout(5e-4)
+    };
+    let cfg = |p| {
+        RunConfig::new(nprocs, iterations)
+            .with_balancing(10)
+            .with_checkpointing(4)
+            .with_delta_exchange()
+            .with_partition_tolerance()
+            .with_world(world(p))
+            .with_validation()
+    };
+    let a = run(
+        &graph,
+        &program,
+        &Metis::default(),
+        || CentralizedHeuristic { threshold: 0.05 },
+        &cfg(plan()),
+    );
+    assert_eq!(a.final_data, oracle, "delta + balance + partition: exact");
+    assert!(a.rejoins >= 1);
+    assert!(a.delta_entries_skipped > 0, "delta suppression must engage");
+    let b = run(
+        &graph,
+        &program,
+        &Metis::default(),
+        || CentralizedHeuristic { threshold: 0.05 },
+        &cfg(plan()),
+    );
+    assert_eq!(a.final_data, b.final_data);
+    assert_eq!(a.migrations, b.migrations);
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.total_time.to_bits(), b.total_time.to_bits());
+}
+
+#[test]
+fn link_drops_repair_like_ordinary_drops() {
+    // Asymmetric per-link loss (one noisy directed link at 60%) rides the
+    // ordinary retry machinery — no membership protocol needed — and must
+    // stay oracle-exact with the loss visible in the per-link counter.
+    let graph = ic2_graph::generators::hex_grid_n(64);
+    let program = AvgProgram::fine();
+    let iterations = 15u32;
+    let oracle = seq::run_sequential(&graph, &program, iterations);
+    let plan = || {
+        FaultPlan::new(chaos_seed(61))
+            .with_link_drop(1, 2, 0.6)
+            .with_link_drop(5, 4, 0.3)
+    };
+    let cfg = RunConfig::new(8, iterations)
+        .with_world(world(plan()))
+        .with_validation();
+    let a = run(&graph, &program, &Metis::default(), || NoBalancer, &cfg);
+    assert_eq!(a.final_data, oracle);
+    assert!(a.faults.link_dropped > 0, "{:?}", a.faults);
+    assert!(a.faults.retries > 0, "lost frames must be retried");
+    let b = run(&graph, &program, &Metis::default(), || NoBalancer, &cfg);
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.total_time.to_bits(), b.total_time.to_bits());
+}
+
+#[test]
+fn partition_blip_rolls_back_without_rejoin() {
+    // A window too short to span a detection boundary: frames are lost
+    // mid-iteration but by the time the verdict resolves the window has
+    // closed, so nobody is suspected. The cut bit piggybacked on the
+    // control word still forces a plain rollback of the damaged iteration
+    // — no rejoin, no degraded stretch, still oracle-exact.
+    let graph = ic2_graph::generators::hex_grid_n(64);
+    let program = AvgProgram::fine();
+    let nprocs = 8;
+    let iterations = 10u32;
+    let oracle = seq::run_sequential(&graph, &program, iterations);
+    let clean_total = run(
+        &graph,
+        &program,
+        &Metis::default(),
+        || NoBalancer,
+        &RunConfig::new(nprocs, iterations).with_world(clean_world()),
+    )
+    .total_time;
+
+    let iter_span = clean_total / iterations as f64;
+    let plan = || {
+        FaultPlan::new(chaos_seed(67))
+            .with_partition(
+                vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]],
+                clean_total * 0.42,
+                clean_total * 0.42 + iter_span * 0.35,
+            )
+            .with_detect_timeout(5e-4)
+    };
+    let cfg = |p| {
+        RunConfig::new(nprocs, iterations)
+            .with_checkpointing(2)
+            .with_partition_tolerance()
+            .with_world(world(p))
+            .with_validation()
+    };
+    let a = run(
+        &graph,
+        &program,
+        &Metis::default(),
+        || NoBalancer,
+        &cfg(plan()),
+    );
+    assert_eq!(a.final_data, oracle, "blip rollback must be exact");
+    assert!(a.faults.partition_cuts > 0, "the blip must cut frames");
+    assert!(a.rollbacks >= 1, "the damaged iteration must be discarded");
+    let b = run(
+        &graph,
+        &program,
+        &Metis::default(),
+        || NoBalancer,
+        &cfg(plan()),
+    );
+    assert_eq!(a.final_data, b.final_data);
+    assert_eq!(a.rejoins, b.rejoins);
+    assert_eq!(a.total_time.to_bits(), b.total_time.to_bits());
+}
