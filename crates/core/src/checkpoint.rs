@@ -13,14 +13,39 @@
 //!   iteration boundary — full data-node table (owned nodes *and* shadows,
 //!   so the image is self-contained), the replicated owner map, the
 //!   replicated recovery counters, and the balancer's serialized state —
-//!   and mirrors the table snapshot to a deterministic *buddy*: its
-//!   successor in the ring of live ranks sorted by id. One crash between
-//!   consecutive checkpoints can never lose both copies of a partition;
-//!   only the simultaneous loss of a rank *and* its buddy in the same
-//!   inter-checkpoint window is unrecoverable (and reported as such).
+//!   and mirrors the table snapshot to deterministic *buddies*: its
+//!   successors at distances `1..=r` in the ring of live ranks sorted by
+//!   id (`RunConfig::replication`, default 1). Fewer than `r` crashes
+//!   between consecutive checkpoints can never lose every copy of a
+//!   partition; only losing a rank *and all `r` of its replicas* in the
+//!   same inter-checkpoint window is unrecoverable (and reported as the
+//!   typed [`crate::error::PlatformError::UnrecoverableState`]).
 //!   A snapshot is *staged* first and only *committed* if the closing
 //!   control exchange reports no new deaths, so a crash mid-checkpoint
 //!   can never install a torn snapshot.
+//!
+//! * **End-to-end replica integrity.** Every staged copy — own and ward
+//!   alike — gets per-entry checksums computed the moment it lands (the
+//!   wire already checksums frames, so staging-time sums are equivalent
+//!   to sums shipped from the sender, without growing the mirror
+//!   payload). From staging to restore the copy sits at rest, exposed to
+//!   the fault plan's silent bit flips
+//!   ([`mpisim::FaultPlan::with_memory_corrupt`]); a *replica census*
+//!   piggybacked on the rollback's first control exchange then tells
+//!   every survivor which copies are still intact, restore escalates to
+//!   the nearest intact replica, and a live rank whose own copy rotted
+//!   adopts a full replacement the same way. Checksum arithmetic is
+//!   charged to the virtual clock only when audits are configured
+//!   (`RunConfig::audit_every`), so fault-free schedules are
+//!   bit-identical to the pre-integrity platform.
+//!
+//! * **State audits.** Every `RunConfig::audit_every` iterations (and
+//!   always right before a checkpoint, so a snapshot can never baseline
+//!   corrupt state) each rank recomputes its owned and shadow digests
+//!   against the incrementally-maintained [`crate::audit::AuditState`]
+//!   and the verdicts ride one control exchange. Owner-region damage
+//!   rolls back and replays; shadow-only damage caught the boundary it
+//!   appeared is repaired by a targeted resync from the owners.
 //!
 //! * **Deterministic failure detection.** All agreement goes through
 //!   [`mpisim::Rank::ctl_exchange`]: a barrier-shaped collective that
@@ -45,8 +70,9 @@
 //!   running forward (re-execution is *charged*, not hidden), and the
 //!   final answer is byte-identical to the sequential oracle.
 
+use crate::audit;
 use crate::costs::CostModel;
-use crate::driver::{IterTracer, RankOutcome, RunConfig};
+use crate::driver::{IntegrityCounters, IterTracer, RankOutcome, RunConfig};
 use crate::exchange;
 use crate::imbalance::StragglerDetector;
 use crate::migrate;
@@ -55,7 +81,8 @@ use crate::store::NodeStore;
 use crate::timers::{Phase, PhaseTimers};
 use ic2_balance::DynamicBalancer;
 use ic2_graph::{Graph, Partition};
-use mpisim::{ArgValue, CtlSlot, CtlVerdict, Rank, RetryPolicy, Wire};
+use mpisim::{ArgValue, CtlSlot, CtlVerdict, Died, Envelope, Rank, RetryPolicy, Wire};
+use std::time::{Duration, Instant};
 
 /// Message tag for checkpoint snapshots mirrored to buddy ranks.
 pub const TAG_MIRROR: u32 = 4;
@@ -65,6 +92,100 @@ pub const TAG_ADOPT: u32 = 5;
 
 /// Message tag for the crash-tolerant final gather.
 pub const TAG_GATHER: u32 = 6;
+
+/// Receive half of the crash-tolerant final gather, safe at any mailbox
+/// capacity. A blocking `try_recv`-in-ascending-source-order loop
+/// deadlocks under bounded mailboxes: the designated root refuses to
+/// consume frames from later sources while the canonical next source is
+/// credit-stalled behind them, so the mailbox stays full and no credit is
+/// ever granted. Instead, drain [`TAG_GATHER`] frames in whatever order
+/// they arrive into source-keyed slots (freeing capacity so stalled
+/// senders win credits), then charge and decode in canonical ascending
+/// order — the virtual clock advances exactly as the blocking loop's
+/// would. A source with no frame whose dead flag was observed before an
+/// empty drain pass is definitively never coming (deliveries
+/// happen-before the flag); it is charged the same detection timeout
+/// [`Rank::try_recv`] pays and reported as [`Died`]. A partition
+/// tombstone frame likewise, so the membership caller's `peer_dead`
+/// check still disambiguates cut from crash.
+pub(crate) fn gather_chunks<D: Wire>(
+    rank: &Rank,
+    crashed: &[bool],
+    all: &mut Vec<(u32, D)>,
+) -> Result<(), Died> {
+    let me = rank.rank();
+    let nprocs = rank.size();
+    let sources: Vec<usize> = (0..nprocs).filter(|&r| !crashed[r] && r != me).collect();
+    let mut frames: Vec<Option<Envelope>> = Vec::new();
+    frames.resize_with(nprocs, || None);
+    let mut dead = vec![false; nprocs];
+    let deadline = Instant::now() + rank.config().watchdog;
+    loop {
+        let missing: Vec<usize> = sources
+            .iter()
+            .copied()
+            .filter(|&p| frames[p].is_none() && !dead[p])
+            .collect();
+        if missing.is_empty() {
+            break;
+        }
+        // Snapshot dead flags *before* draining: a flag set now plus an
+        // empty drain below proves the peer's frame was never sent.
+        let flagged: Vec<usize> = missing
+            .iter()
+            .copied()
+            .filter(|&p| rank.peer_dead(p))
+            .collect();
+        let mut progress = false;
+        while let Some(env) = rank.drain_one(None, TAG_GATHER) {
+            let src = env.src;
+            frames[src] = Some(env);
+            progress = true;
+        }
+        for p in flagged {
+            if frames[p].is_none() && !dead[p] {
+                dead[p] = true;
+                progress = true;
+            }
+        }
+        if progress {
+            continue;
+        }
+        if Instant::now() >= deadline {
+            rank.deadlock_panic("final result gather (receive phase)");
+        }
+        rank.wait_incoming(Duration::from_millis(2));
+    }
+    for p in sources {
+        match frames[p].take() {
+            Some(env) if env.cut => {
+                rank.charge_partition_timeout();
+                return Err(Died(p));
+            }
+            Some(env) => {
+                let chunk: Vec<(u32, D)> = rank.absorb(env);
+                all.extend(chunk);
+            }
+            None => {
+                rank.charge_crash_timeout();
+                return Err(Died(p));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Typed panic payload for the one failure replication cannot cover:
+/// every copy of rank `rank`'s checkpointed state is lost or corrupt.
+/// Every survivor derives the identical verdict from the replica census
+/// and raises it together; [`crate::driver::catch_flow_deadlock`]
+/// downcasts it into
+/// [`crate::error::PlatformError::UnrecoverableState`].
+#[derive(Debug, Clone, Copy)]
+pub struct UnrecoverableStateSignal {
+    /// The rank whose state has no intact replica left.
+    pub rank: u32,
+}
 
 /// Does `verdict` report any crash beyond those in `known`? The one
 /// question every step of the crash-mode protocol asks before committing.
@@ -99,9 +220,12 @@ pub struct Checkpoint<D> {
     pub owner: Vec<u32>,
     /// This rank's full table snapshot (owned + shadows), ascending by id.
     pub mine: Vec<(u32, D)>,
-    /// The buddy copy this rank holds: predecessor rank in the ring and
-    /// its full table snapshot.
-    pub ward: Option<(u32, Vec<(u32, D)>)>,
+    /// Staging-time per-entry checksums of `mine`: the baseline a restore
+    /// verifies this copy against after its time at rest.
+    pub mine_sums: Vec<u64>,
+    /// The replica copies this rank holds: one [`Ward`] per ring
+    /// predecessor at distance `1..=r`, nearest first.
+    pub wards: Vec<Ward<D>>,
     /// Live (non-crashed) ranks at commit time, ascending. The buddy of
     /// ring member `r` is its successor in this ring.
     pub ring: Vec<u32>,
@@ -127,7 +251,8 @@ impl<D> Checkpoint<D> {
             iter: 0,
             owner,
             mine: Vec::new(),
-            ward: None,
+            mine_sums: Vec::new(),
+            wards: Vec::new(),
             ring: (0..nprocs as u32).collect(),
             dead: vec![false; nprocs],
             ranks_died: Vec::new(),
@@ -137,7 +262,7 @@ impl<D> Checkpoint<D> {
         }
     }
 
-    /// Which ring member holds `c`'s buddy copy (its ring successor);
+    /// Which ring member holds `c`'s nearest replica (its ring successor);
     /// `None` if `c` was not in the ring or the ring has no other member.
     pub fn holder_of(&self, c: u32) -> Option<u32> {
         if self.ring.len() < 2 {
@@ -146,6 +271,31 @@ impl<D> Checkpoint<D> {
         let pos = self.ring.iter().position(|&r| r == c)?;
         Some(self.ring[(pos + 1) % self.ring.len()])
     }
+
+    /// The ring members holding `c`'s replicas under replication factor
+    /// `r`: its successors at distances `1..=min(r, ring members - 1)`,
+    /// nearest first. Empty if `c` is not in the ring or the ring has no
+    /// other member.
+    pub fn holders_of(&self, c: u32, r: u32) -> Vec<u32> {
+        let Some(pos) = self.ring.iter().position(|&x| x == c) else {
+            return Vec::new();
+        };
+        let eff = (r as usize).min(self.ring.len().saturating_sub(1));
+        (1..=eff)
+            .map(|d| self.ring[(pos + d) % self.ring.len()])
+            .collect()
+    }
+}
+
+/// One replica copy a rank holds for a ring predecessor.
+#[derive(Debug, Clone)]
+pub struct Ward<D> {
+    /// The owner whose snapshot this is.
+    pub rank: u32,
+    /// The owner's full table snapshot, ascending by id.
+    pub entries: Vec<(u32, D)>,
+    /// Per-entry checksums computed when the copy landed (staging time).
+    pub sums: Vec<u64>,
 }
 
 /// Stage a coordinated snapshot, mirror it to the buddy, and commit it iff
@@ -164,39 +314,73 @@ pub(crate) fn take_checkpoint<D, B>(
     counters: &Counters,
     balancer: &B,
     crashed: &[bool],
+    replication: u32,
     costs: &CostModel,
     timers: &mut PhaseTimers,
     checkpoint_bytes: &mut u64,
 ) -> Result<Checkpoint<D>, CtlVerdict>
 where
-    D: Clone + Wire + Send + 'static,
+    D: Clone + PartialEq + Wire + Send + 'static,
     B: DynamicBalancer + ?Sized,
 {
     let t0 = rank.wtime();
     let me = rank.rank() as u32;
-    let mine = store.snapshot_table();
+    let mut mine = store.snapshot_table();
     rank.advance(costs.checkpoint_per_entry * mine.len() as f64);
+    // Per-entry checksums are always *computed* (they are what makes a
+    // replica verifiable at all), but their arithmetic is charged only
+    // when audits are configured: integrity hardening must not perturb
+    // the pre-integrity platform's bit-exact schedules.
+    let mine_sums = audit::entry_sums(&mine);
+    if store.audit.is_some() {
+        rank.advance(costs.audit_per_entry * mine.len() as f64);
+    }
     let bytes = mine.to_bytes().len() as u64;
     *checkpoint_bytes += bytes;
     let ring: Vec<u32> = (0..store.nprocs as u32)
         .filter(|&r| !crashed[r as usize])
         .collect();
-    let mut ward = None;
+    let mut wards: Vec<Ward<D>> = Vec::new();
     let staged = (|| {
         if ring.len() > 1 {
             let pos = ring
                 .iter()
                 .position(|&r| r == me)
                 .expect("a live rank is in its own ring");
-            let buddy = ring[(pos + 1) % ring.len()];
-            let prev = ring[(pos + ring.len() - 1) % ring.len()];
-            rank.send_reliable(buddy as usize, TAG_MIRROR, &mine, RetryPolicy::Escalate);
-            match rank.try_recv::<Vec<(u32, D)>>(prev as usize, TAG_MIRROR) {
-                Ok(entries) => {
-                    rank.advance(costs.checkpoint_per_entry * entries.len() as f64);
-                    ward = Some((prev, entries));
+            // Mirror to the successors at distances 1..=r; distances are
+            // capped by the ring, so each buddy is a distinct rank and
+            // each (sender, receiver) pair carries exactly one mirror.
+            let eff_r = (replication as usize).min(ring.len() - 1);
+            for d in 1..=eff_r {
+                let buddy = ring[(pos + d) % ring.len()];
+                rank.send_reliable(buddy as usize, TAG_MIRROR, &mine, RetryPolicy::Escalate);
+            }
+            for d in 1..=eff_r {
+                let prev = ring[(pos + ring.len() - d) % ring.len()];
+                match rank.try_recv::<Vec<(u32, D)>>(prev as usize, TAG_MIRROR) {
+                    Ok(mut entries) => {
+                        rank.advance(costs.checkpoint_per_entry * entries.len() as f64);
+                        // Staging-time checksums: the wire is already
+                        // frame-checksummed, so computing the sums here is
+                        // equivalent to shipping the sender's — without
+                        // growing the mirror payload.
+                        let sums = audit::entry_sums(&entries);
+                        if store.audit.is_some() {
+                            rank.advance(costs.audit_per_entry * entries.len() as f64);
+                        }
+                        // From here until a restore consults it, the copy
+                        // sits at rest: apply the fault plan's silent bit
+                        // flips now, keyed by holder so sibling replicas
+                        // of the same owner fail independently.
+                        audit::corrupt_entries_at_rest(rank, &mut entries, iter as u64);
+                        wards.push(Ward {
+                            rank: prev,
+                            entries,
+                            sums,
+                        });
+                    }
+                    Err(_) => return Err(()),
                 }
-                Err(_) => return Err(()),
             }
         }
         Ok(())
@@ -220,14 +404,19 @@ where
         &[
             ("iter", ArgValue::U64(iter as u64)),
             ("bytes", ArgValue::U64(bytes)),
+            ("replicas", ArgValue::U64(wards.len() as u64)),
         ],
     );
+    // The committed own copy is at rest too, under this rank's key —
+    // independent of the decisions its buddies made for their wards.
+    audit::corrupt_entries_at_rest(rank, &mut mine, iter as u64);
     Ok(Checkpoint {
         genesis: false,
         iter,
         owner: store.owner.clone(),
         mine,
-        ward,
+        mine_sums,
+        wards,
         ring,
         dead: dead.to_vec(),
         ranks_died: ranks_died.to_vec(),
@@ -280,9 +469,10 @@ fn package_for<D: Clone>(
 /// shrunken ring.
 ///
 /// # Panics
-/// Panics if a crashed rank's buddy also crashed in the same
-/// inter-checkpoint window (both copies of a partition lost — the one
-/// failure mode buddy replication cannot cover).
+/// Raises [`UnrecoverableStateSignal`] (on every survivor, identically)
+/// when some rank's state has no intact replica left: the rank and all
+/// `r` of its copies were lost or corrupted in the same inter-checkpoint
+/// window — the one failure mode replication cannot cover.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn roll_back<P, B>(
     rank: &Rank,
@@ -296,6 +486,7 @@ pub(crate) fn roll_back<P, B>(
     dead: &mut [bool],
     ranks_died: &mut Vec<u32>,
     counters: &mut Counters,
+    integrity: &mut IntegrityCounters,
     timers: &mut PhaseTimers,
     checkpoint_bytes: &mut u64,
 ) where
@@ -305,17 +496,89 @@ pub(crate) fn roll_back<P, B>(
 {
     let me = rank.rank() as u32;
     let nprocs = store.nprocs;
+    debug_assert!(
+        nprocs <= 64,
+        "the replica census packs owner ranks into a u64 slot word"
+    );
     'attempt: loop {
         let t0 = rank.wtime();
         // 1. Discard every in-flight message from the aborted epoch, then
         //    synchronise: nobody proceeds (and starts sending recovery or
         //    replay traffic) until everyone has purged. The verdict also
-        //    refreshes the agreed cumulative crash set.
+        //    refreshes the agreed cumulative crash set — and carries the
+        //    *replica census* in the otherwise-unused slot word and flag:
+        //    bit `c` of the word says this rank holds an intact (checksum
+        //    -verified) ward for owner `c`; the flag says its own copy
+        //    survived its time at rest. One collective thus tells every
+        //    survivor exactly where intact state still exists.
         rank.purge_mailbox();
-        let verdict = rank.ctl_exchange(CtlSlot::default());
+        let mut word = 0u64;
+        for w in &ckpt.wards {
+            let bad = audit::count_bad_entries(&w.entries, &w.sums);
+            if bad == 0 {
+                word |= 1u64 << w.rank;
+            } else {
+                integrity.bad_replicas += 1;
+                rank.trace_instant(
+                    "bad_replica",
+                    "integrity",
+                    &[
+                        ("owner", ArgValue::U64(w.rank as u64)),
+                        ("entries", ArgValue::U64(bad)),
+                    ],
+                );
+            }
+        }
+        let mine_bad = if ckpt.genesis {
+            0
+        } else {
+            audit::count_bad_entries(&ckpt.mine, &ckpt.mine_sums)
+        };
+        if mine_bad > 0 {
+            integrity.bad_replicas += 1;
+            rank.trace_instant(
+                "bad_replica",
+                "integrity",
+                &[
+                    ("owner", ArgValue::U64(me as u64)),
+                    ("entries", ArgValue::U64(mine_bad)),
+                ],
+            );
+        }
+        if store.audit.is_some() {
+            let verified =
+                ckpt.wards.iter().map(|w| w.entries.len()).sum::<usize>() + ckpt.mine.len();
+            rank.advance(cfg.costs.audit_per_entry * verified as f64);
+        }
+        let verdict = rank.ctl_exchange(CtlSlot {
+            word,
+            load: 0.0,
+            flag: mine_bad == 0,
+        });
         for r in verdict.dead_ranks() {
             crashed[r] = true;
         }
+
+        // Live ranks whose own copy rotted at rest adopt a full intact
+        // replica instead (self-rescue), exactly like a crashed rank's
+        // adopters — agreed from the census, so the traffic pattern is
+        // replicated. Crashed ranks have no slot, so they are the
+        // adoption plan's problem, not the rescue list's.
+        let rescue: Vec<u32> = (0..nprocs as u32)
+            .filter(|&r| !crashed[r as usize] && verdict.flag(r as usize) == Some(false))
+            .collect();
+        // The elected source for rank `x`'s state: the nearest ring
+        // successor (distance 1..=r) that is alive and whose census bit
+        // confirms an intact ward — the escalation order local → buddy 1
+        // → … → buddy r. No candidate means every copy is gone.
+        let elect = |x: u32| -> Option<u32> {
+            ckpt.holders_of(x, cfg.replication).into_iter().find(|&h| {
+                !crashed[h as usize]
+                    && verdict
+                        .word(h as usize)
+                        .is_some_and(|w| w & (1u64 << x) != 0)
+            })
+        };
 
         // 2. Replicated adoption plan: a pure function of the checkpointed
         //    owner map and the agreed dead set, so every survivor derives
@@ -335,23 +598,48 @@ pub(crate) fn roll_back<P, B>(
                 rank.advance(cfg.costs.init_per_node * store.stored_count() as f64);
                 return Ok(());
             }
+            // Rescue first: a rank whose own copy rotted replaces its
+            // entries base wholesale with an intact replica shipped from
+            // the elected holder, before any adoption traffic.
             let mut entries = ckpt.mine.clone();
             rank.advance(cfg.costs.checkpoint_per_entry * entries.len() as f64);
-            // Ship adopted data out of the buddy copies, one crashed
+            for &x in &rescue {
+                let holder = match elect(x) {
+                    Some(h) => h,
+                    None => std::panic::panic_any(UnrecoverableStateSignal { rank: x }),
+                };
+                if x == me {
+                    match rank.try_recv::<Vec<(u32, P::Data)>>(holder as usize, TAG_ADOPT) {
+                        Ok(copy) => {
+                            rank.advance(cfg.costs.checkpoint_per_entry * copy.len() as f64);
+                            entries = copy;
+                        }
+                        Err(_) => return Err(()),
+                    }
+                } else if me == holder {
+                    let w = ckpt
+                        .wards
+                        .iter()
+                        .find(|w| w.rank == x)
+                        .expect("census bit implies a held ward");
+                    rank.advance(cfg.costs.checkpoint_per_entry * w.entries.len() as f64);
+                    rank.send_reliable(x as usize, TAG_ADOPT, &w.entries, RetryPolicy::Escalate);
+                }
+            }
+            // Ship adopted data out of the replica copies, one crashed
             // owner at a time, ascending — a deterministic traffic
-            // pattern both sides derive from the plan.
+            // pattern both sides derive from the plan. The source is the
+            // elected holder: the nearest successor whose copy the census
+            // verified, so restore escalates past lost or rotted replicas
+            // and fails (typed) only when all `r` are gone.
             let mut lost_owners: Vec<u32> =
                 plan.iter().map(|&(v, _)| ckpt.owner[v as usize]).collect();
             lost_owners.sort_unstable();
             lost_owners.dedup();
             for &c in &lost_owners {
-                let holder = match ckpt.holder_of(c) {
-                    Some(h) if !crashed[h as usize] => h,
-                    _ => panic!(
-                        "unrecoverable: rank {c} and its checkpoint buddy both crashed \
-                         in the same inter-checkpoint window; both copies of its \
-                         partition are lost"
-                    ),
+                let holder = match elect(c) {
+                    Some(h) => h,
+                    None => std::panic::panic_any(UnrecoverableStateSignal { rank: c }),
                 };
                 let mut adopters: Vec<u32> = plan
                     .iter()
@@ -362,12 +650,12 @@ pub(crate) fn roll_back<P, B>(
                 adopters.dedup();
                 if me == holder {
                     let ward = ckpt
-                        .ward
-                        .as_ref()
-                        .filter(|(w, _)| *w == c)
-                        .expect("holder has the buddy copy of its ring predecessor");
+                        .wards
+                        .iter()
+                        .find(|w| w.rank == c)
+                        .expect("census bit implies a held ward");
                     for &a in &adopters {
-                        let package = package_for(graph, &plan, &ckpt.owner, c, a, &ward.1);
+                        let package = package_for(graph, &plan, &ckpt.owner, c, a, &ward.entries);
                         rank.advance(cfg.costs.checkpoint_per_entry * package.len() as f64);
                         if a == me {
                             entries.extend(package);
@@ -417,6 +705,13 @@ pub(crate) fn roll_back<P, B>(
                 }
             }
             balancer.restore_state(&ckpt.balancer_state);
+            // The restore replaced the table wholesale: re-seed the
+            // maintained digests from the restored values (charged like
+            // any digest pass).
+            if cfg.audit_every.is_some() {
+                store.enable_audit();
+                rank.advance(cfg.costs.audit_per_entry * store.stored_count() as f64);
+            }
             if cfg.validate {
                 store
                     .validate(graph)
@@ -437,10 +732,15 @@ pub(crate) fn roll_back<P, B>(
         if restore.is_err() || has_new_crash(&verdict, crashed) {
             continue 'attempt;
         }
+        // Each completed self-rescue is a repair the platform performed
+        // (agreed: the rescue list came out of the census verdict).
+        integrity.repairs += rescue.len() as u32;
 
         // 6. Re-mirror immediately: the adopted partition must itself be
         //    crash-safe before replay resumes, otherwise a second crash
-        //    could orphan the adopted nodes with no copy anywhere.
+        //    could orphan the adopted nodes with no copy anywhere. This is
+        //    also what re-replicates state whose holders were lost: the
+        //    shrunken ring gets a fresh full set of `r` copies.
         match take_checkpoint(
             rank,
             store,
@@ -450,6 +750,7 @@ pub(crate) fn roll_back<P, B>(
             counters,
             balancer,
             crashed,
+            cfg.replication,
             &cfg.costs,
             timers,
             checkpoint_bytes,
@@ -495,6 +796,10 @@ where
     let t0 = rank.wtime();
     let mut store = NodeStore::build(graph, partition, me, program, cfg.hash_buckets);
     rank.advance(cfg.costs.init_per_node * store.stored_count() as f64);
+    if cfg.audit_every.is_some() {
+        store.enable_audit();
+        rank.advance(cfg.costs.audit_per_entry * store.stored_count() as f64);
+    }
     timers.add(Phase::Initialization, rank.wtime() - t0);
     rank.trace_span("Initialization", "phase", t0, &[]);
     if cfg.validate {
@@ -517,6 +822,12 @@ where
     let mut rollbacks = 0u32;
     let mut iterations_replayed = 0u32;
     let mut checkpoint_bytes = 0u64;
+    let mut integrity = IntegrityCounters::default();
+    // The corruption sweep's epoch is a monotonic pass counter, *never*
+    // rolled back: replay after a repair makes fresh decisions, so a run
+    // is not doomed to re-corrupt identically and converges.
+    let mut mem_epoch = 0u64;
+    let has_mem_faults = cfg.world.faults.has_memory_corruption();
     // Wire-traffic accounting, not replicated program state: like the
     // fault counters these tally what physically happened, so replayed
     // iterations count again and rollback does not rewind them.
@@ -545,6 +856,7 @@ where
                 &mut dead,
                 &mut ranks_died,
                 &mut counters,
+                &mut integrity,
                 &mut timers,
                 &mut checkpoint_bytes,
             );
@@ -726,6 +1038,101 @@ where
                 }
             }
 
+            // ---- Silent-corruption injection & state audit -------------
+            // The fault plan's sweep over live at-rest state runs at the
+            // boundary, after the iteration's writes — and the audit runs
+            // before any checkpoint, so a snapshot can never baseline
+            // corrupt state.
+            if has_mem_faults {
+                audit::inject_memory_faults(rank, &mut store, mem_epoch);
+                mem_epoch += 1;
+            }
+            if let Some(ka) = cfg.audit_every {
+                let due =
+                    iter.is_multiple_of(ka) || iter.is_multiple_of(k) || iter == cfg.iterations;
+                if due {
+                    let t0 = rank.wtime();
+                    let outcome = store.audit_verify();
+                    rank.advance(cfg.costs.audit_per_entry * outcome.checked as f64);
+                    // One collective agrees the boundary's verdict: bit 0
+                    // of the word = owner-region damage somewhere on this
+                    // rank, bit 1 = shadow-region damage.
+                    let word = u64::from(outcome.owned_mismatches > 0)
+                        | (u64::from(outcome.shadow_mismatches > 0) << 1);
+                    let verdict = rank.ctl_exchange(CtlSlot {
+                        word,
+                        load: 0.0,
+                        flag: false,
+                    });
+                    timers.add(Phase::Integrity, rank.wtime() - t0);
+                    integrity.audit_mismatches +=
+                        outcome.owned_mismatches + outcome.shadow_mismatches;
+                    rank.trace_instant(
+                        "audit",
+                        "integrity",
+                        &[
+                            ("iter", ArgValue::U64(iter as u64)),
+                            ("checked", ArgValue::U64(outcome.checked as u64)),
+                            ("root", ArgValue::U64(outcome.owned_root)),
+                        ],
+                    );
+                    if outcome.bad() {
+                        rank.trace_instant(
+                            "audit_mismatch",
+                            "integrity",
+                            &[
+                                ("iter", ArgValue::U64(iter as u64)),
+                                ("owned", ArgValue::U64(outcome.owned_mismatches)),
+                                ("shadow", ArgValue::U64(outcome.shadow_mismatches)),
+                            ],
+                        );
+                    }
+                    if has_new_crash(&verdict, &crashed) {
+                        recover!(iter, iter);
+                        continue;
+                    }
+                    let any_owned =
+                        (0..nprocs).any(|r| verdict.word(r).is_some_and(|w| w & 1 != 0));
+                    let any_shadow =
+                        (0..nprocs).any(|r| verdict.word(r).is_some_and(|w| w & 2 != 0));
+                    if any_owned || (any_shadow && ka > 1) {
+                        // Owner-region damage — or shadow damage that
+                        // compute may already have read, when audits are
+                        // sparser than every iteration — poisons results:
+                        // the only sound repair is rollback + replay from
+                        // the last verified snapshot.
+                        integrity.repairs += 1;
+                        recover!(iter, iter);
+                        continue;
+                    }
+                    if any_shadow {
+                        // Shadow-only damage caught the very boundary it
+                        // appeared (audits every iteration): nothing has
+                        // read it yet, so a targeted resync from the
+                        // owners — who re-note every shadow hash — repairs
+                        // it at a fraction of a rollback's cost.
+                        let (saw_death, _) = exchange::resync_shadows(
+                            rank,
+                            &mut store,
+                            &cfg.costs,
+                            &mut timers,
+                            &[],
+                        );
+                        integrity.shadow_resyncs += 1;
+                        integrity.repairs += 1;
+                        rank.trace_instant(
+                            "shadow_resync",
+                            "integrity",
+                            &[("iter", ArgValue::U64(iter as u64))],
+                        );
+                        if saw_death {
+                            recover!(iter, iter);
+                            continue;
+                        }
+                    }
+                }
+            }
+
             // ---- Coordinated checkpoint --------------------------------
             if iter.is_multiple_of(k) {
                 match take_checkpoint(
@@ -737,6 +1144,7 @@ where
                     &counters,
                     balancer,
                     &crashed,
+                    cfg.replication,
                     &cfg.costs,
                     &mut timers,
                     &mut checkpoint_bytes,
@@ -785,17 +1193,7 @@ where
         let mut gathered: Option<Vec<(u32, P::Data)>> = None;
         if me == designated {
             let mut all = owned;
-            let mut complete = true;
-            for r in (0..nprocs).filter(|&r| !crashed[r] && r != me as usize) {
-                match rank.try_recv::<Vec<(u32, P::Data)>>(r, TAG_GATHER) {
-                    Ok(chunk) => all.extend(chunk),
-                    Err(_) => {
-                        complete = false;
-                        break;
-                    }
-                }
-            }
-            if complete {
+            if gather_chunks(rank, &crashed, &mut all).is_ok() {
                 gathered = Some(all);
             }
         } else {
@@ -839,6 +1237,7 @@ where
         rejoins: 0,
         rejoin_bytes: 0,
         suspected_peak: 0,
+        integrity,
     }
 }
 
@@ -862,6 +1261,27 @@ mod tests {
     fn singleton_ring_has_no_holder() {
         let ckpt: Checkpoint<i64> = Checkpoint::genesis(vec![0, 0], 1, Vec::new());
         assert_eq!(ckpt.holder_of(0), None);
+        assert!(ckpt.holders_of(0, 3).is_empty());
+    }
+
+    #[test]
+    fn holders_escalate_along_ring_successors() {
+        let ckpt: Checkpoint<i64> = Checkpoint {
+            ring: vec![0, 2, 3, 5],
+            ..Checkpoint::genesis(vec![0; 6], 6, Vec::new())
+        };
+        assert_eq!(ckpt.holders_of(2, 1), vec![3]);
+        assert_eq!(ckpt.holders_of(2, 2), vec![3, 5]);
+        assert_eq!(ckpt.holders_of(5, 2), vec![0, 2], "the ring wraps");
+        assert_eq!(
+            ckpt.holders_of(0, 9),
+            vec![2, 3, 5],
+            "distances cap at ring members - 1: a rank never buddies itself"
+        );
+        assert!(
+            ckpt.holders_of(1, 2).is_empty(),
+            "rank 1 is not in the ring"
+        );
     }
 
     #[test]

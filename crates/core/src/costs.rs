@@ -36,6 +36,10 @@ pub struct CostModel {
     /// Checkpointing cost per snapshot entry staged, mirrored, or restored
     /// (crash-recovery bookkeeping).
     pub checkpoint_per_entry: f64,
+    /// State-audit cost per entry hashed: incremental digest maintenance on
+    /// a node write and the per-entry recompute at an audit boundary
+    /// (integrity bookkeeping).
+    pub audit_per_entry: f64,
 }
 
 impl Default for CostModel {
@@ -49,6 +53,7 @@ impl Default for CostModel {
             lb_per_proc: 18e-6,
             migrate_per_entry: 25e-6,
             checkpoint_per_entry: 4e-6,
+            audit_per_entry: 1.0e-6,
         }
     }
 }
@@ -66,6 +71,7 @@ impl CostModel {
             lb_per_proc: 0.0,
             migrate_per_entry: 0.0,
             checkpoint_per_entry: 0.0,
+            audit_per_entry: 0.0,
         }
     }
 }
@@ -86,6 +92,7 @@ mod tests {
             c.lb_per_proc,
             c.migrate_per_entry,
             c.checkpoint_per_entry,
+            c.audit_per_entry,
         ] {
             assert!(v > 0.0 && v < 1e-3, "cost {v} out of range");
         }

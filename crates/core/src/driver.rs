@@ -83,6 +83,22 @@ pub struct RunConfig {
     /// replayed — results stay byte-identical to the sequential oracle.
     /// Implies the crash-tolerant control plane (crash plans compose).
     pub partition_tolerance: bool,
+    /// State-audit interval: every `k` iterations each rank recomputes its
+    /// per-partition state digest (owned nodes and retained shadow copies)
+    /// against the incrementally-maintained one and the verdicts ride the
+    /// iteration-boundary control exchange. A mismatch means silent at-rest
+    /// corruption; the platform repairs it (forced shadow resync or
+    /// rollback + replay) without operator intervention. `None` (the
+    /// default) disables auditing entirely — zero cost, bit-identical
+    /// schedules.
+    pub audit_every: Option<u32>,
+    /// Checkpoint replication factor `r`: each rank mirrors its snapshot to
+    /// its `r` ring successors instead of the single buddy. Restore
+    /// escalates through the replicas (local → buddy 1 → … → buddy `r`) and
+    /// fails with [`PlatformError::UnrecoverableState`] only when *every*
+    /// copy of some rank's state is lost or corrupt. Must be ≥ 1; the
+    /// default 1 is the classic single-buddy protocol.
+    pub replication: u32,
 }
 
 impl RunConfig {
@@ -106,6 +122,8 @@ impl RunConfig {
             tracing: false,
             delta_exchange: false,
             partition_tolerance: false,
+            audit_every: None,
+            replication: 1,
         }
     }
 
@@ -185,6 +203,20 @@ impl RunConfig {
         self.partition_tolerance = true;
         self
     }
+
+    /// Audit state integrity every `k` iterations (see
+    /// [`RunConfig::audit_every`]).
+    pub fn with_state_audit(mut self, k: u32) -> Self {
+        self.audit_every = Some(k);
+        self
+    }
+
+    /// Set the checkpoint replication factor (see
+    /// [`RunConfig::replication`]).
+    pub fn with_replication(mut self, r: u32) -> Self {
+        self.replication = r;
+        self
+    }
 }
 
 /// Result of a platform run.
@@ -259,6 +291,25 @@ pub struct RunReport<D> {
     pub rejoin_bytes: u64,
     /// Most ranks simultaneously suspected by any membership verdict.
     pub suspected_peak: u32,
+    /// At-rest state entries silently bit-flipped by the fault plan
+    /// ([`mpisim::FaultPlan::with_memory_corrupt`]), summed over ranks —
+    /// the injection count; the detection/repair tallies below say what the
+    /// platform did about them.
+    pub memory_corruptions: u64,
+    /// Audit digest mismatches detected (owned or shadow regions), summed
+    /// over ranks. 0 in an uncorrupted run.
+    pub audit_mismatches: u64,
+    /// Targeted shadow resynchronizations performed after a shadow-only
+    /// audit mismatch (the cheap repair; agreed, so the designated rank's
+    /// tally is canonical).
+    pub shadow_resyncs: u32,
+    /// Checkpoint replicas found corrupt when consulted (at restore census
+    /// or rejoin), summed over ranks.
+    pub bad_replicas: u64,
+    /// Repair actions the integrity machinery performed: shadow resyncs,
+    /// integrity-triggered rollbacks, and replica re-adoptions (agreed
+    /// tally).
+    pub repairs: u32,
     /// The structured virtual-time trace, one entry per rank (crashed
     /// ranks included, up to their crash instant). `None` unless the run
     /// was configured with [`RunConfig::with_tracing`].
@@ -288,6 +339,18 @@ impl<D> RunReport<D> {
     }
 }
 
+/// State-integrity tallies one rank accumulates while auditing, repairing,
+/// and restoring. Mismatch and bad-replica counts are per-rank observations
+/// and sum in the report; resync/repair counts are agreed decisions (every
+/// live rank increments together), so the designated copy is canonical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct IntegrityCounters {
+    pub(crate) audit_mismatches: u64,
+    pub(crate) shadow_resyncs: u32,
+    pub(crate) bad_replicas: u64,
+    pub(crate) repairs: u32,
+}
+
 /// What one rank hands back from its SPMD body. Crashed ranks produce no
 /// outcome at all (`World::run_fallible` yields `None` for them), so the
 /// report is assembled from whichever ranks survived.
@@ -311,6 +374,7 @@ pub(crate) struct RankOutcome<D> {
     pub(crate) rejoins: u32,
     pub(crate) rejoin_bytes: u64,
     pub(crate) suspected_peak: u32,
+    pub(crate) integrity: IntegrityCounters,
 }
 
 /// Assemble the run report from the per-rank outcomes. The recovery
@@ -338,6 +402,8 @@ fn assemble<D: Clone>(
     let mut delta_entries_sent = 0u64;
     let mut delta_entries_skipped = 0u64;
     let mut rejoin_bytes = 0u64;
+    let mut audit_mismatches = 0u64;
+    let mut bad_replicas = 0u64;
     for r in &live {
         faults.merge(&r.comm.faults);
         checkpoint_bytes += r.checkpoint_bytes;
@@ -347,6 +413,8 @@ fn assemble<D: Clone>(
         delta_entries_sent += r.delta.entries_sent;
         delta_entries_skipped += r.delta.entries_skipped;
         rejoin_bytes += r.rejoin_bytes;
+        audit_mismatches += r.integrity.audit_mismatches;
+        bad_replicas += r.integrity.bad_replicas;
     }
     let final_owner = designated.owner.clone();
     let mut slots: Vec<Option<D>> = (0..num_nodes).map(|_| None).collect();
@@ -393,6 +461,13 @@ fn assemble<D: Clone>(
         rejoins: designated.rejoins,
         rejoin_bytes,
         suspected_peak: designated.suspected_peak,
+        memory_corruptions: faults.memory_corruptions,
+        audit_mismatches,
+        // Repair decisions ride the agreed control verdicts, so like the
+        // membership tallies the designated rank's copy is canonical.
+        shadow_resyncs: designated.integrity.shadow_resyncs,
+        bad_replicas,
+        repairs: designated.integrity.repairs,
         trace: None,
     }
 }
@@ -469,7 +544,11 @@ pub fn catch_flow_deadlock<R>(f: impl FnOnce() -> R) -> Result<R, PlatformError>
                     dest: ir.dest,
                     world_size: ir.world,
                 }),
-                Err(other) => std::panic::resume_unwind(other),
+                Err(other) => match other.downcast::<crate::checkpoint::UnrecoverableStateSignal>()
+                {
+                    Ok(us) => Err(PlatformError::UnrecoverableState { rank: us.rank }),
+                    Err(other) => std::panic::resume_unwind(other),
+                },
             },
         },
     }
@@ -542,6 +621,12 @@ where
     if cfg.checkpoint_every == 0 {
         return Err(PlatformError::ZeroCheckpointInterval);
     }
+    if cfg.audit_every == Some(0) {
+        return Err(PlatformError::ZeroAuditInterval);
+    }
+    if cfg.replication == 0 {
+        return Err(PlatformError::ZeroReplicationFactor);
+    }
     let num_nodes = graph.num_nodes();
     // Tracing hooks in below the driver: the substrate owns the collector,
     // each rank buffers privately and flushes on drop (normal end or crash
@@ -576,8 +661,13 @@ where
     }
 
     // Uncooperative crashes need the failure-detecting control plane,
-    // coordinated checkpoints, and a world that tolerates rank death.
-    if cfg.world.faults.has_crashes() {
+    // coordinated checkpoints, and a world that tolerates rank death. The
+    // state-integrity machinery (audits, memory-corruption repair) lives on
+    // the same path: its repairs reuse the checkpoint/rollback plumbing.
+    if cfg.world.faults.has_crashes()
+        || cfg.audit_every.is_some()
+        || cfg.world.faults.has_memory_corruption()
+    {
         let results: Vec<Option<RankOutcome<P::Data>>> = catch_flow_deadlock(|| {
             world.run_fallible(cfg.nprocs, |rank| {
                 let mut balancer = make_balancer();
@@ -826,6 +916,7 @@ where
                 rejoins: 0,
                 rejoin_bytes: 0,
                 suspected_peak: 0,
+                integrity: IntegrityCounters::default(),
             }
         })
     })?;
@@ -853,6 +944,8 @@ mod tests {
             .with_migrant_policy(migrate::MigrantPolicy::LoadAware)
             .with_exchange(ExchangeMode::Overlap)
             .with_straggler_detection(2.0, 3)
+            .with_state_audit(4)
+            .with_replication(3)
             .with_validation();
         assert_eq!(cfg.nprocs, 8);
         assert_eq!(cfg.iterations, 25);
@@ -862,6 +955,8 @@ mod tests {
         assert_eq!(cfg.migrant_policy, migrate::MigrantPolicy::LoadAware);
         assert_eq!(cfg.exchange, ExchangeMode::Overlap);
         assert_eq!(cfg.straggler, Some((2.0, 3)));
+        assert_eq!(cfg.audit_every, Some(4));
+        assert_eq!(cfg.replication, 3);
         assert!(cfg.validate);
     }
 
@@ -875,6 +970,8 @@ mod tests {
         assert_eq!(cfg.exchange, ExchangeMode::PostComm);
         assert_eq!(cfg.straggler, None);
         assert_eq!(cfg.checkpoint_every, 5);
+        assert_eq!(cfg.audit_every, None);
+        assert_eq!(cfg.replication, 1);
     }
 
     #[test]
@@ -892,6 +989,29 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, PlatformError::ZeroCheckpointInterval));
+    }
+
+    #[test]
+    fn integrity_knobs_are_validated() {
+        let graph = ic2_graph::generators::hex_grid_n(16);
+        let check = |cfg: RunConfig| {
+            try_run(
+                &graph,
+                &crate::program::AvgProgram::fine(),
+                &ic2_partition::metis::Metis::default(),
+                || ic2_balance::NoBalancer,
+                &cfg,
+            )
+            .unwrap_err()
+        };
+        assert!(matches!(
+            check(RunConfig::new(2, 5).with_state_audit(0)),
+            PlatformError::ZeroAuditInterval
+        ));
+        assert!(matches!(
+            check(RunConfig::new(2, 5).with_replication(0)),
+            PlatformError::ZeroReplicationFactor
+        ));
     }
 
     #[test]
@@ -926,6 +1046,11 @@ mod tests {
             rejoins: 0,
             rejoin_bytes: 0,
             suspected_peak: 0,
+            memory_corruptions: 0,
+            audit_mismatches: 0,
+            shadow_resyncs: 0,
+            bad_replicas: 0,
+            repairs: 0,
             trace: None,
         };
         assert_eq!(report.speedup_vs(8.0), 4.0);

@@ -26,6 +26,20 @@ pub enum PlatformError {
     /// A checkpoint interval of zero iterations is meaningless: crash
     /// recovery needs at least one iteration between snapshots.
     ZeroCheckpointInterval,
+    /// A state-audit interval of zero iterations is meaningless: audits
+    /// fire at iteration boundaries, at least one iteration apart.
+    ZeroAuditInterval,
+    /// A checkpoint replication factor of zero would leave no copy
+    /// anywhere; recovery needs at least the owner's own baseline.
+    ZeroReplicationFactor,
+    /// Recovery exhausted every checkpoint replica: the rank's own
+    /// baseline and all of its ring buddies' wards were lost or failed
+    /// their per-entry checksums. The run cannot be restored to a
+    /// consistent state.
+    UnrecoverableState {
+        /// The rank whose state could not be recovered from any replica.
+        rank: u32,
+    },
     /// Bounded mailboxes produced a cyclic credit wait that could never
     /// resolve: every rank in `cycle` was blocked sending to the next,
     /// whose mailbox was at capacity. Detected and reported (rather than
@@ -68,6 +82,16 @@ impl fmt::Display for PlatformError {
             PlatformError::ZeroCheckpointInterval => {
                 write!(f, "checkpoint interval must be at least 1 iteration")
             }
+            PlatformError::ZeroAuditInterval => {
+                write!(f, "state-audit interval must be at least 1 iteration")
+            }
+            PlatformError::ZeroReplicationFactor => {
+                write!(f, "checkpoint replication factor must be at least 1")
+            }
+            PlatformError::UnrecoverableState { rank } => write!(
+                f,
+                "unrecoverable state: rank {rank} has no intact checkpoint replica left"
+            ),
             PlatformError::FlowControlDeadlock { cycle } => {
                 write!(f, "flow-control deadlock: cyclic credit wait ")?;
                 for r in cycle {
@@ -106,5 +130,14 @@ mod tests {
         assert!(PlatformError::BadStragglerThreshold(0.5)
             .to_string()
             .contains("0.5"));
+        assert!(PlatformError::UnrecoverableState { rank: 3 }
+            .to_string()
+            .contains("rank 3"));
+        assert!(PlatformError::ZeroAuditInterval
+            .to_string()
+            .contains("audit interval"));
+        assert!(PlatformError::ZeroReplicationFactor
+            .to_string()
+            .contains("replication factor"));
     }
 }

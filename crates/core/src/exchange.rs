@@ -224,8 +224,7 @@ pub fn step<P: NodeProgram>(
     // rank's changed-node count, so every rank learns the agreed global
     // total and can observe quiescence.
     let t0 = rank.wtime();
-    rank.advance(costs.per_node_update * store.owned_count() as f64);
-    store.table.promote_all();
+    promote_and_note(rank, store, costs);
     timers.add(Phase::ComputationOverhead, rank.wtime() - t0);
     let t0 = rank.wtime();
     let global_changed = if delta {
@@ -378,8 +377,7 @@ pub fn step_crash_aware<P: NodeProgram>(
     store.needs_resync = false;
 
     let t0 = rank.wtime();
-    rank.advance(costs.per_node_update * store.owned_count() as f64);
-    store.table.promote_all();
+    promote_and_note(rank, store, costs);
     timers.add(Phase::ComputationOverhead, rank.wtime() - t0);
     if delta {
         rank.trace_instant(
@@ -480,6 +478,24 @@ fn compute_list<P: NodeProgram>(
             timers.add(Phase::ComputationOverhead, rank.wtime() - t2);
         }
         table.set_pending(node.id, next);
+    }
+}
+
+/// End-of-iteration promote sweep (the thesis's `data = most_recent_data`),
+/// keeping the audit digest in step with every promoted value — one
+/// `audit_per_entry` charge each when audits are on, nothing otherwise.
+fn promote_and_note<D: mpisim::Wire>(rank: &Rank, store: &mut NodeStore<D>, costs: &CostModel) {
+    rank.advance(costs.per_node_update * store.owned_count() as f64);
+    match store.audit.as_mut() {
+        Some(audit) => {
+            let promoted = store.table.promote_all_with(|id, d| {
+                audit.record(id, crate::audit::entry_hash(id, d));
+            });
+            rank.advance(costs.audit_per_entry * promoted as f64);
+        }
+        None => {
+            store.table.promote_all();
+        }
     }
 }
 
@@ -740,8 +756,102 @@ fn unpack<D: mpisim::Wire>(
 ) {
     let t0 = rank.wtime();
     rank.advance(costs.per_shadow_unpack * msg.len() as f64);
+    if store.audit.is_some() {
+        rank.advance(costs.audit_per_entry * msg.len() as f64);
+    }
     for (id, data) in msg {
+        store.audit_note(id, &data);
         store.table.set_current(id, data);
     }
     timers.add(Phase::CommunicationOverhead, rank.wtime() - t0);
+}
+
+/// A dedicated shadow-repair exchange: every rank repacks *all* of its
+/// peripheral nodes' current values and ships them to their shadow holders
+/// through the regular exchange machinery (bounded or unbounded, so it is
+/// safe at any mailbox capacity), and receivers overwrite their retained
+/// shadows — through [`NodeStore::audit_note`], restoring the digest.
+///
+/// This is the targeted repair an audit boundary triggers when only
+/// *shadow* copies are damaged and the audit interval is 1 (no compute has
+/// read the damaged value yet): strictly cheaper than a rollback, one
+/// exchange round charged to the clock like any other. Crash-aware: a
+/// sender dying mid-repair is reported, not wedged on.
+///
+/// Returns `(saw_death, saw_cut)` exactly like [`step_crash_aware`]'s
+/// communication phase.
+pub(crate) fn resync_shadows<D>(
+    rank: &Rank,
+    store: &mut NodeStore<D>,
+    costs: &CostModel,
+    timers: &mut PhaseTimers,
+    frozen: &[bool],
+) -> (bool, bool)
+where
+    D: mpisim::Wire + Clone,
+{
+    let t0 = rank.wtime();
+    let mut buffers: ShadowBuffers<D> = vec![Vec::new(); store.nprocs];
+    for node in &store.peripheral {
+        let cur = store
+            .table
+            .get(node.id)
+            .expect("owned peripheral data present");
+        rank.advance(costs.per_shadow_pack * node.shadow_for.len() as f64);
+        for &p in &node.shadow_for {
+            buffers[p as usize].push((node.id, cur.clone()));
+        }
+    }
+    timers.add(Phase::CommunicationOverhead, rank.wtime() - t0);
+
+    let mut saw_death = false;
+    let mut saw_cut = false;
+    if bounded(rank) {
+        let (ex, cut) = bounded_send(rank, store, &buffers, timers, frozen);
+        saw_cut |= cut;
+        let (death, cut) = bounded_collect(rank, store, ex, timers, costs, true, frozen);
+        saw_death |= death;
+        saw_cut |= cut;
+    } else {
+        saw_cut |= send_buffers(rank, store, &buffers, timers, costs, frozen);
+        let is_frozen = |p: usize| frozen.get(p).copied().unwrap_or(false);
+        let recv_t0 = rank.wtime();
+        for p in store.recv_procs() {
+            let t0 = rank.wtime();
+            if is_frozen(p as usize) {
+                rank.charge_partition_timeout();
+                timers.add(Phase::Communicate, rank.wtime() - t0);
+                continue;
+            }
+            match rank.try_recv::<Vec<(u32, D)>>(p as usize, TAG_SHADOW) {
+                Ok(msg) => {
+                    timers.add(Phase::Communicate, rank.wtime() - t0);
+                    unpack(rank, store, msg, timers, costs);
+                }
+                Err(mpisim::Died(peer)) => {
+                    timers.add(Phase::Communicate, rank.wtime() - t0);
+                    if rank.peer_dead(peer) {
+                        saw_death = true;
+                    } else {
+                        saw_cut = true;
+                    }
+                }
+            }
+        }
+        rank.trace_span("Communicate", "phase", recv_t0, &[]);
+    }
+    // A full pack just went out: every receiver's retained shadows are
+    // current again, so delta packing may resume.
+    store.needs_resync = false;
+
+    // Close the repair round with the same barrier a regular step ends
+    // with. Without it a fast rank may run ahead into the next iteration's
+    // exchange while a slow peer is still collecting repair frames — and
+    // the bounded drain schedule keys in-flight frames by source rank, so
+    // the run-ahead frame would overwrite the unconsumed repair frame and
+    // deadlock the round (the exact hazard tests/runahead_repro.rs pins).
+    let t0 = rank.wtime();
+    rank.barrier();
+    timers.add(Phase::Communicate, rank.wtime() - t0);
+    (saw_death, saw_cut)
 }

@@ -140,6 +140,23 @@ impl<D> NodeTable<D> {
         promoted
     }
 
+    /// [`Self::promote_all`], but calling `f(id, &new_current)` for every
+    /// promoted entry — the hook the state-audit digest uses to observe the
+    /// end-of-iteration writes without a second table walk.
+    pub fn promote_all_with(&mut self, mut f: impl FnMut(NodeId, &D)) -> usize {
+        let mut promoted = 0;
+        for bucket in &mut self.buckets {
+            for entry in bucket {
+                if let Some(next) = entry.pending.take() {
+                    entry.cur = next;
+                    f(entry.id, &entry.cur);
+                    promoted += 1;
+                }
+            }
+        }
+        promoted
+    }
+
     /// Iterate `(id, current)` in ascending id order per bucket (global
     /// order is by `(id mod buckets, id)`).
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &D)> {
@@ -200,6 +217,22 @@ mod tests {
         assert_eq!(t.get(1), Some(&111));
         assert_eq!(t.pending(1), None);
         assert_eq!(t.get(2), Some(&200));
+    }
+
+    #[test]
+    fn promote_all_with_reports_each_promotion() {
+        let mut t = NodeTable::new(4);
+        t.insert(1, 100);
+        t.insert(2, 200);
+        t.insert(3, 300);
+        t.set_pending(1, 111);
+        t.set_pending(2, 222);
+        let mut seen = Vec::new();
+        assert_eq!(t.promote_all_with(|id, v| seen.push((id, *v))), 2);
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(1, 111), (2, 222)]);
+        assert_eq!(t.get(1), Some(&111));
+        assert_eq!(t.get(3), Some(&300), "unpromoted entries untouched");
     }
 
     #[test]

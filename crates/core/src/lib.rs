@@ -43,6 +43,7 @@
 //! println!("64-node hex grid on 8 procs: {:.4}s", report.total_time);
 //! ```
 
+pub mod audit;
 pub mod checkpoint;
 pub mod costs;
 pub mod directory;

@@ -42,9 +42,10 @@
 //!   iteration is discarded by a plain rollback, flagged through a bit
 //!   piggybacked on the control word.
 
+use crate::audit;
 use crate::checkpoint::TAG_GATHER;
 use crate::checkpoint::{has_new_crash, roll_back, take_checkpoint, Checkpoint, Counters};
-use crate::driver::{IterTracer, RankOutcome, RunConfig};
+use crate::driver::{IntegrityCounters, IterTracer, RankOutcome, RunConfig};
 use crate::exchange;
 use crate::imbalance::StragglerDetector;
 use crate::migrate;
@@ -88,6 +89,10 @@ where
     let t0 = rank.wtime();
     let mut store = NodeStore::build(graph, partition, me, program, cfg.hash_buckets);
     rank.advance(cfg.costs.init_per_node * store.stored_count() as f64);
+    if cfg.audit_every.is_some() {
+        store.enable_audit();
+        rank.advance(cfg.costs.audit_per_entry * store.stored_count() as f64);
+    }
     timers.add(Phase::Initialization, rank.wtime() - t0);
     rank.trace_span("Initialization", "phase", t0, &[]);
     if cfg.validate {
@@ -120,6 +125,15 @@ where
     let mut rejoins = 0u32;
     let mut rejoin_bytes = 0u64;
     let mut suspected_peak = 0u32;
+    let mut integrity = IntegrityCounters::default();
+    // Monotonic corruption-sweep pass counter; never rolled back, so
+    // replay after a repair makes fresh decisions (see
+    // [`crate::audit::inject_memory_faults`]). Sweeps and audits are
+    // suspended while degraded: the whole degraded stretch is discarded
+    // and replayed at heal anyway, and auditing it would charge repairs
+    // for state that is about to be rewound.
+    let mut mem_epoch = 0u64;
+    let has_mem_faults = cfg.world.faults.has_memory_corruption();
     let plan_kills = cfg.world.faults.has_kills();
     let my_kill = cfg.world.faults.kill_time(me as usize);
     let k = cfg.checkpoint_every.max(1);
@@ -140,6 +154,7 @@ where
                 &mut dead,
                 &mut ranks_died,
                 &mut counters,
+                &mut integrity,
                 &mut timers,
                 &mut checkpoint_bytes,
             );
@@ -168,29 +183,64 @@ where
                 .collect();
             // Flush partition-era leftovers and synchronise before any
             // rejoin traffic flows; the verdict also refreshes the agreed
-            // crash set (deferred crashes are already marked locally).
+            // crash set (deferred crashes are already marked locally) and
+            // carries the replica census in the otherwise-unused slot word
+            // (bit `c` = this rank's ward for owner `c` passes its
+            // staging-time checksums), so the fetch below escalates past
+            // replicas that rotted during the degraded stretch.
             rank.purge_mailbox();
-            let v = rank.ctl_exchange(CtlSlot::default());
+            let mut census = 0u64;
+            for w in &ckpt.wards {
+                let bad = audit::count_bad_entries(&w.entries, &w.sums);
+                if bad == 0 {
+                    census |= 1u64 << w.rank;
+                } else {
+                    integrity.bad_replicas += 1;
+                    rank.trace_instant(
+                        "bad_replica",
+                        "integrity",
+                        &[
+                            ("owner", ArgValue::U64(w.rank as u64)),
+                            ("entries", ArgValue::U64(bad)),
+                        ],
+                    );
+                }
+            }
+            if store.audit.is_some() {
+                let verified: usize = ckpt.wards.iter().map(|w| w.entries.len()).sum();
+                rank.advance(cfg.costs.audit_per_entry * verified as f64);
+            }
+            let v = rank.ctl_exchange(CtlSlot {
+                word: census,
+                ..CtlSlot::default()
+            });
             for r in v.dead_ranks() {
                 crashed[r] = true;
             }
             if !ckpt.genesis {
                 // Each rejoining rank re-fetches its committed image from
-                // the buddy that mirrors it — the parked copy is treated
-                // as untrusted, exactly as a real deployment would. The
-                // schedule is a pure function of replicated state, so both
-                // sides derive it identically.
+                // the nearest holder whose census bit confirms an intact
+                // replica — the parked copy is treated as untrusted,
+                // exactly as a real deployment would. The schedule is a
+                // pure function of replicated state, so both sides derive
+                // it identically.
                 for &r in &rejoining {
-                    let holder = match ckpt.holder_of(r) {
-                        Some(h) if !crashed[h as usize] => h,
-                        // No live holder: fall back to the rank's own
-                        // in-memory copy of the committed image (intact —
-                        // it parked, it did not crash).
-                        _ => continue,
+                    let holder = match ckpt.holders_of(r, cfg.replication).into_iter().find(|&h| {
+                        !crashed[h as usize]
+                            && v.word(h as usize).is_some_and(|w| w & (1u64 << r) != 0)
+                    }) {
+                        Some(h) => h,
+                        // No live holder with an intact copy: fall back to
+                        // the rank's own in-memory copy of the committed
+                        // image (it parked, it did not crash; if that copy
+                        // rotted too, the heal rollback's own census
+                        // rescues or escalates it).
+                        None => continue,
                     };
                     if me == holder && r != me {
-                        if let Some((w, entries)) = ckpt.ward.as_ref() {
-                            if *w == r {
+                        if let Some(w) = ckpt.wards.iter().find(|w| w.rank == r) {
+                            let entries = &w.entries;
+                            {
                                 rank.advance(cfg.costs.checkpoint_per_entry * entries.len() as f64);
                                 rank.send_reliable(
                                     r as usize,
@@ -209,6 +259,14 @@ where
                         {
                             rejoin_bytes += entries.to_bytes().len() as u64;
                             rank.advance(cfg.costs.checkpoint_per_entry * entries.len() as f64);
+                            // Fresh staging-time checksums: the refetched
+                            // image replaces `mine`, so its integrity
+                            // baseline must follow (it is consulted by the
+                            // rollback census moments from now).
+                            ckpt.mine_sums = audit::entry_sums(&entries);
+                            if store.audit.is_some() {
+                                rank.advance(cfg.costs.audit_per_entry * entries.len() as f64);
+                            }
                             ckpt.mine = entries;
                         }
                     }
@@ -454,6 +512,101 @@ where
                 }
             }
 
+            // ---- Silent-corruption injection & state audit -------------
+            // Only on healthy boundaries: the degraded path `continue`d
+            // above, and its whole stretch is discarded at heal anyway.
+            // The audit always precedes the checkpoint below, so a
+            // snapshot can never baseline corrupt state.
+            if has_mem_faults {
+                audit::inject_memory_faults(rank, &mut store, mem_epoch);
+                mem_epoch += 1;
+            }
+            if let Some(ka) = cfg.audit_every {
+                let due =
+                    iter.is_multiple_of(ka) || iter.is_multiple_of(k) || iter == cfg.iterations;
+                if due {
+                    let t0 = rank.wtime();
+                    let outcome = store.audit_verify();
+                    rank.advance(cfg.costs.audit_per_entry * outcome.checked as f64);
+                    let word = u64::from(outcome.owned_mismatches > 0)
+                        | (u64::from(outcome.shadow_mismatches > 0) << 1);
+                    let verdict = rank.ctl_exchange(CtlSlot {
+                        word,
+                        load: 0.0,
+                        flag: false,
+                    });
+                    timers.add(Phase::Integrity, rank.wtime() - t0);
+                    note_suspicion!(verdict);
+                    integrity.audit_mismatches +=
+                        outcome.owned_mismatches + outcome.shadow_mismatches;
+                    rank.trace_instant(
+                        "audit",
+                        "integrity",
+                        &[
+                            ("iter", ArgValue::U64(iter as u64)),
+                            ("checked", ArgValue::U64(outcome.checked as u64)),
+                            ("root", ArgValue::U64(outcome.owned_root)),
+                        ],
+                    );
+                    if outcome.bad() {
+                        rank.trace_instant(
+                            "audit_mismatch",
+                            "integrity",
+                            &[
+                                ("iter", ArgValue::U64(iter as u64)),
+                                ("owned", ArgValue::U64(outcome.owned_mismatches)),
+                                ("shadow", ArgValue::U64(outcome.shadow_mismatches)),
+                            ],
+                        );
+                    }
+                    if verdict.any_suspected() {
+                        // Partition onset at the audit boundary: even a
+                        // bad verdict cannot be repaired across an active
+                        // cut — go degraded; the heal rollback replays
+                        // (and thereby repairs) this stretch anyway.
+                        for r in verdict.dead_ranks() {
+                            crashed[r] = true;
+                        }
+                        frozen.copy_from_slice(&verdict.suspected);
+                        iter += 1;
+                        continue;
+                    }
+                    if has_new_crash(&verdict, &crashed) {
+                        recover!(iter, iter);
+                        continue;
+                    }
+                    let any_owned =
+                        (0..nprocs).any(|r| verdict.word(r).is_some_and(|w| w & 1 != 0));
+                    let any_shadow =
+                        (0..nprocs).any(|r| verdict.word(r).is_some_and(|w| w & 2 != 0));
+                    if any_owned || (any_shadow && ka > 1) {
+                        integrity.repairs += 1;
+                        recover!(iter, iter);
+                        continue;
+                    }
+                    if any_shadow {
+                        let (saw_death, saw_cut) = exchange::resync_shadows(
+                            rank,
+                            &mut store,
+                            &cfg.costs,
+                            &mut timers,
+                            &frozen,
+                        );
+                        integrity.shadow_resyncs += 1;
+                        integrity.repairs += 1;
+                        rank.trace_instant(
+                            "shadow_resync",
+                            "integrity",
+                            &[("iter", ArgValue::U64(iter as u64))],
+                        );
+                        if saw_death || saw_cut {
+                            recover!(iter, iter);
+                            continue;
+                        }
+                    }
+                }
+            }
+
             // ---- Coordinated checkpoint --------------------------------
             if iter.is_multiple_of(k) {
                 match take_checkpoint(
@@ -465,6 +618,7 @@ where
                     &counters,
                     balancer,
                     &crashed,
+                    cfg.replication,
                     &cfg.costs,
                     &mut timers,
                     &mut checkpoint_bytes,
@@ -554,21 +708,13 @@ where
         let mut gather_cut = false;
         if me == designated {
             let mut all = owned;
-            let mut complete = true;
-            for r in (0..nprocs).filter(|&r| !crashed[r] && r != me as usize) {
-                match rank.try_recv::<Vec<(u32, P::Data)>>(r, TAG_GATHER) {
-                    Ok(chunk) => all.extend(chunk),
-                    Err(Died(p)) => {
-                        if !rank.peer_dead(p) {
-                            gather_cut = true;
-                        }
-                        complete = false;
-                        break;
+            match crate::checkpoint::gather_chunks(rank, &crashed, &mut all) {
+                Ok(()) => gathered = Some(all),
+                Err(Died(p)) => {
+                    if !rank.peer_dead(p) {
+                        gather_cut = true;
                     }
                 }
-            }
-            if complete {
-                gathered = Some(all);
             }
         } else if !rank.send_reliable(
             designated as usize,
@@ -626,6 +772,7 @@ where
         rejoins,
         rejoin_bytes,
         suspected_peak,
+        integrity,
     }
 }
 

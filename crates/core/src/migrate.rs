@@ -206,8 +206,12 @@ where
             if rank.rank() as u32 == idle {
                 let payload: Vec<(u32, D)> = rank.recv(busy as usize, TAG_MIGRATE);
                 rank.advance(costs.migrate_per_entry * payload.len() as f64);
+                if store.audit.is_some() {
+                    rank.advance(costs.audit_per_entry * payload.len() as f64);
+                }
                 for (id, data) in payload {
                     // Insert new shadows; refresh ones already held.
+                    store.audit_note(id, &data);
                     store.table.insert(id, data);
                 }
                 debug_assert!(
@@ -502,7 +506,11 @@ where
                     match rank.try_recv::<Vec<(u32, D)>>(busy as usize, TAG_MIGRATE) {
                         Ok(payload) => {
                             rank.advance(costs.migrate_per_entry * payload.len() as f64);
+                            if store.audit.is_some() {
+                                rank.advance(costs.audit_per_entry * payload.len() as f64);
+                            }
                             for (id, data) in payload {
+                                store.audit_note(id, &data);
                                 store.table.insert(id, data);
                             }
                         }
@@ -596,7 +604,11 @@ where
         } else if me == s {
             let payload: Vec<(u32, D)> = rank.recv(dead_rank as usize, TAG_EVACUATE);
             rank.advance(costs.migrate_per_entry * payload.len() as f64);
+            if store.audit.is_some() {
+                rank.advance(costs.audit_per_entry * payload.len() as f64);
+            }
             for (id, data) in payload {
+                store.audit_note(id, &data);
                 store.table.insert(id, data);
             }
         }

@@ -1,9 +1,11 @@
 //! Per-rank node state: the initialization phase (thesis §4.1) and the
 //! bookkeeping every later phase reads.
 
+use crate::audit::{entry_hash, AuditState};
 use crate::hashtab::NodeTable;
 use crate::program::NodeProgram;
 use ic2_graph::{Graph, NodeId, Partition};
+use mpisim::Wire;
 
 /// Node information maintained per owned node (the thesis's `own_node`
 /// struct, Figure 7): identity, neighbourhood, and which processors hold
@@ -64,6 +66,12 @@ pub struct NodeStore<D> {
     /// the normal iteration flow (initial build, migration, evacuation,
     /// checkpoint restore) and cleared once a full pack has gone out.
     pub needs_resync: bool,
+    /// Incremental state-audit digests (`RunConfig::with_state_audit`),
+    /// `None` unless audits are enabled. Maintained through
+    /// [`Self::audit_note`] at every legitimate write; deliberately *not*
+    /// updated by injected memory corruption, which is how an audit
+    /// boundary detects it.
+    pub(crate) audit: Option<AuditState>,
 }
 
 impl<D: Clone> NodeStore<D> {
@@ -99,6 +107,7 @@ impl<D: Clone> NodeStore<D> {
             send_counts: vec![0; nprocs],
             node_load: vec![0.0; graph.num_nodes()],
             needs_resync: true,
+            audit: None,
         };
         // Owned node data...
         for v in graph.nodes() {
@@ -225,6 +234,82 @@ impl<D> NodeStore<D> {
         }
         self.reset_loads();
         self.rebuild_lists(graph);
+    }
+
+    /// Distinct shadow node ids this rank stores — remote neighbours of
+    /// its owned nodes — ascending. Together with the owned ids this is
+    /// the *needed* set: exactly what [`Self::restore`] retains, so audits
+    /// over it never trip on stale entries kept after a migration.
+    pub(crate) fn shadow_ids(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = Vec::new();
+        for node in &self.peripheral {
+            for &w in &node.neighbors {
+                if self.owner[w as usize] != self.rank && !ids.contains(&w) {
+                    ids.push(w);
+                }
+            }
+        }
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Turn on incremental audit digests, (re)seeding the maintained hash
+    /// of every stored entry from its current value. Called at build time
+    /// when audits are configured, and again after a checkpoint restore
+    /// replaces the table wholesale.
+    pub(crate) fn enable_audit(&mut self)
+    where
+        D: Wire,
+    {
+        let mut audit = AuditState::new(self.owner.len());
+        for (id, d) in self.table.iter() {
+            audit.record(id, entry_hash(id, d));
+        }
+        self.audit = Some(audit);
+    }
+
+    /// Record a legitimate write for the audit digest (no-op when audits
+    /// are off). Every code path that changes a stored current value —
+    /// promote, shadow unpack, migration insert, restore — must pass
+    /// through here; injected corruption deliberately does not.
+    pub(crate) fn audit_note(&mut self, id: NodeId, data: &D)
+    where
+        D: Wire,
+    {
+        if let Some(a) = self.audit.as_mut() {
+            a.record(id, entry_hash(id, data));
+        }
+    }
+
+    /// Recompute every needed entry's hash and compare against the
+    /// maintained digest state: the audit-boundary integrity check.
+    ///
+    /// # Panics
+    /// Panics if audits were never enabled.
+    pub(crate) fn audit_verify(&self) -> crate::audit::AuditOutcome
+    where
+        D: Wire,
+    {
+        let audit = self.audit.as_ref().expect("audit_verify without audit");
+        let mut out = crate::audit::AuditOutcome::default();
+        for node in self.internal.iter().chain(&self.peripheral) {
+            let d = self.table.get(node.id).expect("owned data present");
+            let h = entry_hash(node.id, d);
+            out.checked += 1;
+            out.owned_root ^= h;
+            if h != audit.hash_of(node.id) {
+                out.owned_mismatches += 1;
+            }
+        }
+        for id in self.shadow_ids() {
+            let d = self.table.get(id).expect("shadow data present");
+            let h = entry_hash(id, d);
+            out.checked += 1;
+            if h != audit.hash_of(id) {
+                out.shadow_mismatches += 1;
+            }
+        }
+        out
     }
 
     /// Zero the per-node load samples (a balancing round consumed them, or

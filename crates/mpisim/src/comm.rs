@@ -436,6 +436,23 @@ impl Rank {
         self.trace_instant("credit_stall", "flow", &[]);
     }
 
+    /// Count one injected at-rest memory corruption on this rank
+    /// ([`crate::FaultPlan::with_memory_corrupt`]). The platform layer owns
+    /// the state being damaged, so it reports each flip here; unlike credit
+    /// stalls this is fully deterministic (a pure hash decision at a
+    /// virtual-clock boundary).
+    pub fn count_memory_corruption(&self, region: &'static str, index: u64) {
+        self.stats.borrow_mut().faults.memory_corruptions += 1;
+        self.trace_instant(
+            "memory_corrupt",
+            "fault",
+            &[
+                ("region", ArgValue::Str(region)),
+                ("node", ArgValue::U64(index)),
+            ],
+        );
+    }
+
     /// Park briefly until something lands in (or drains from) this rank's
     /// own mailbox. Used by interleaved send/receive schedules between
     /// failed credit offers. Checks for world poisoning first.

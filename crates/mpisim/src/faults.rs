@@ -172,6 +172,31 @@ pub fn suspects(partitions: &[PartitionSpec], at: f64, live: &[bool]) -> Vec<boo
     sus
 }
 
+/// Which class of at-rest state a memory-corruption decision targets.
+/// Message corruption damages bytes *in flight*; memory corruption damages
+/// bytes *at rest*, in one of three places the platform caches state
+/// between wire crossings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemRegion {
+    /// A node the rank owns (its authoritative current value).
+    Owned,
+    /// A delta-retained shadow copy of a neighbour's node.
+    Shadow,
+    /// A checkpoint replica at rest (the rank's own baseline or a ward it
+    /// holds for a ring buddy).
+    Replica,
+}
+
+impl MemRegion {
+    fn code(self) -> u64 {
+        match self {
+            MemRegion::Owned => 1,
+            MemRegion::Shadow => 2,
+            MemRegion::Replica => 3,
+        }
+    }
+}
+
 /// What the fault plan decided for one transmission attempt.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultDecision {
@@ -265,6 +290,19 @@ pub struct FaultPlan {
     /// is independently lost with probability `p` (pure per-message hash,
     /// same purity laws as the global probabilities).
     pub link_drops: Vec<(usize, usize, f64)>,
+    /// `(rank, p)`: each at-rest state entry on `rank` (owned node data,
+    /// retained shadow caches, checkpoint replicas) independently has one
+    /// bit flipped with probability `p` per injection sweep. Decisions are
+    /// a pure hash of `(rank, epoch, region, index)`, never a shared RNG —
+    /// the platform's audit machinery, not the transport checksums, must
+    /// catch these.
+    pub memory_corrupt: Vec<(usize, f64)>,
+    /// `(rank, region, p)`: region-scoped overrides of the blanket
+    /// per-rank probability. Lets a plan rot, say, only the checkpoint
+    /// replicas a rank holds (`MemRegion::Replica`) while leaving its live
+    /// owned data pristine — the construction the multi-replica restore
+    /// tests use to make "exactly these copies are bad" deterministic.
+    pub memory_corrupt_regions: Vec<(usize, MemRegion, f64)>,
 }
 
 impl Default for FaultPlan {
@@ -286,6 +324,8 @@ impl Default for FaultPlan {
             detect_timeout: 5e-3,
             partitions: Vec::new(),
             link_drops: Vec::new(),
+            memory_corrupt: Vec::new(),
+            memory_corrupt_regions: Vec::new(),
         }
     }
 }
@@ -517,10 +557,130 @@ impl FaultPlan {
         Ok(self)
     }
 
+    /// Silently flip bits in `rank`'s at-rest state with per-entry
+    /// probability `p` on each injection sweep. Unlike wire corruption,
+    /// nothing in the transport detects this — only a state audit
+    /// (`RunConfig::with_state_audit`) or a checkpoint checksum can.
+    pub fn with_memory_corrupt(self, rank: usize, p: f64) -> Self {
+        self.try_with_memory_corrupt(rank, p)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`FaultPlan::with_memory_corrupt`].
+    pub fn try_with_memory_corrupt(mut self, rank: usize, p: f64) -> Result<Self, FaultPlanError> {
+        check_prob("memory corrupt", p)?;
+        self.memory_corrupt.retain(|&(r, _)| r != rank);
+        self.memory_corrupt.push((rank, p));
+        Ok(self)
+    }
+
+    /// Region-scoped at-rest corruption: flip bits only in `region` on
+    /// `rank`, overriding the blanket [`FaultPlan::with_memory_corrupt`]
+    /// probability for that region. `with_memory_corrupt_in(h, Replica, 1.0)`
+    /// deterministically rots every checkpoint copy rank `h` holds while
+    /// its live state stays pristine — the lever the escalating-restore
+    /// tests use to knock out exactly `r - 1` (or all `r`) replicas.
+    pub fn with_memory_corrupt_in(self, rank: usize, region: MemRegion, p: f64) -> Self {
+        self.try_with_memory_corrupt_in(rank, region, p)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`FaultPlan::with_memory_corrupt_in`].
+    pub fn try_with_memory_corrupt_in(
+        mut self,
+        rank: usize,
+        region: MemRegion,
+        p: f64,
+    ) -> Result<Self, FaultPlanError> {
+        check_prob("memory corrupt", p)?;
+        self.memory_corrupt_regions
+            .retain(|&(r, reg, _)| r != rank || reg != region);
+        self.memory_corrupt_regions.push((rank, region, p));
+        Ok(self)
+    }
+
+    /// Whether any rank is scheduled for at-rest memory corruption.
+    pub fn has_memory_corruption(&self) -> bool {
+        self.memory_corrupt.iter().any(|&(_, p)| p > 0.0)
+            || self.memory_corrupt_regions.iter().any(|&(_, _, p)| p > 0.0)
+    }
+
+    /// The largest per-entry corruption probability scheduled anywhere on
+    /// `rank` (0.0 unless scheduled) — the cheap "does this rank need
+    /// injection sweeps at all?" gate.
+    pub fn memory_corrupt_prob(&self, rank: usize) -> f64 {
+        let blanket = self
+            .memory_corrupt
+            .iter()
+            .find(|&&(r, _)| r == rank)
+            .map_or(0.0, |&(_, p)| p);
+        self.memory_corrupt_regions
+            .iter()
+            .filter(|&&(r, _, _)| r == rank)
+            .fold(blanket, |acc, &(_, _, p)| acc.max(p))
+    }
+
+    /// Per-sweep per-entry corruption probability for `region` on `rank`:
+    /// the region-scoped override if one is set, else the blanket per-rank
+    /// probability.
+    pub fn memory_corrupt_prob_in(&self, rank: usize, region: MemRegion) -> f64 {
+        self.memory_corrupt_regions
+            .iter()
+            .find(|&&(r, reg, _)| r == rank && reg == region)
+            .map_or_else(
+                || {
+                    self.memory_corrupt
+                        .iter()
+                        .find(|&&(r, _)| r == rank)
+                        .map_or(0.0, |&(_, p)| p)
+                },
+                |&(_, _, p)| p,
+            )
+    }
+
+    /// Hash chain shared by the memory-corruption decision and its bit
+    /// choice. Seeded apart from both the message-decision and mangle
+    /// chains so memory faults never correlate with wire faults.
+    fn memory_hash(&self, rank: usize, epoch: u64, region: MemRegion, index: u64) -> u64 {
+        let mut h = mix64(self.seed ^ 0xd6e8_feb8_6659_fd93);
+        h = mix64(h ^ rank as u64);
+        h = mix64(h ^ epoch);
+        h = mix64(h ^ region.code());
+        mix64(h ^ index)
+    }
+
+    /// Does the entry `index` in `region` on `rank` get a bit flipped in
+    /// injection sweep `epoch`? Pure function of the plan and the identity
+    /// tuple — independent of call order and thread schedule.
+    pub fn memory_corrupts(&self, rank: usize, epoch: u64, region: MemRegion, index: u64) -> bool {
+        let p = self.memory_corrupt_prob_in(rank, region);
+        if p <= 0.0 {
+            return false;
+        }
+        let h = self.memory_hash(rank, epoch, region, index);
+        unit(mix64(h ^ 1)) < p
+    }
+
+    /// Which bit (in `[0, len_bits)`) of the chosen entry flips. Pure hash
+    /// of the same identity that produced the decision.
+    pub fn memory_corrupt_bit(
+        &self,
+        rank: usize,
+        epoch: u64,
+        region: MemRegion,
+        index: u64,
+        len_bits: u64,
+    ) -> u64 {
+        debug_assert!(len_bits > 0);
+        let h = self.memory_hash(rank, epoch, region, index);
+        mix64(h ^ 2) % len_bits
+    }
+
     /// Does this plan perturb messages at all? (Partitions are *not*
     /// message faults: a cut is a deterministic property of the link and
     /// the clock, so it needs none of the seq/checksum machinery that
-    /// probabilistic faults activate.)
+    /// probabilistic faults activate. Memory corruption is not a message
+    /// fault either: it damages state at rest, invisibly to the wire.)
     pub fn message_faults(&self) -> bool {
         self.drop_prob > 0.0
             || self.delay_prob > 0.0
@@ -534,6 +694,7 @@ impl FaultPlan {
     /// Does this plan do anything at all?
     pub fn is_noop(&self) -> bool {
         !self.message_faults()
+            && !self.has_memory_corruption()
             && self.stragglers.is_empty()
             && self.kills.is_empty()
             && self.crashes.is_empty()
@@ -834,7 +995,7 @@ mod tests {
     #[test]
     fn probability_validation_is_exhaustive_over_sampled_inputs() {
         type ProbBuilder = fn(FaultPlan, f64) -> Result<FaultPlan, FaultPlanError>;
-        let builders: [(&str, ProbBuilder); 7] = [
+        let builders: [(&str, ProbBuilder); 8] = [
             ("drop", |pl, p| pl.try_with_drop(p)),
             ("delay", |pl, p| pl.try_with_delay(p, 1e-3)),
             ("dup", |pl, p| pl.try_with_dup(p)),
@@ -842,6 +1003,7 @@ mod tests {
             ("corrupt", |pl, p| pl.try_with_corrupt(p)),
             ("truncate", |pl, p| pl.try_with_truncate(p)),
             ("link drop", |pl, p| pl.try_with_link_drop(0, 1, p)),
+            ("memory corrupt", |pl, p| pl.try_with_memory_corrupt(0, p)),
         ];
         for i in 0..2000u64 {
             let p = sample_f64(i);
@@ -1034,6 +1196,111 @@ mod tests {
         }
         // A zero-probability link drop activates nothing.
         assert!(!FaultPlan::new(1).with_link_drop(0, 1, 0.0).message_faults());
+    }
+
+    #[test]
+    fn memory_corruption_is_pure_rank_local_and_calibrated() {
+        let plan = FaultPlan::new(123).with_memory_corrupt(2, 0.2);
+        assert!(plan.has_memory_corruption());
+        assert!(!plan.is_noop());
+        assert!(
+            !plan.message_faults(),
+            "memory corruption is not a message fault"
+        );
+        let n = 10_000u64;
+        let mut hit = 0usize;
+        for i in 0..n {
+            let d = plan.memory_corrupts(2, 0, MemRegion::Owned, i);
+            assert_eq!(d, plan.memory_corrupts(2, 0, MemRegion::Owned, i));
+            hit += d as usize;
+        }
+        let rate = hit as f64 / n as f64;
+        assert!(
+            (0.17..0.23).contains(&rate),
+            "observed memory-corrupt rate {rate}"
+        );
+        // Only the scheduled rank is hit.
+        for i in 0..500 {
+            assert!(!plan.memory_corrupts(0, 0, MemRegion::Owned, i));
+            assert!(!plan.memory_corrupts(3, 0, MemRegion::Shadow, i));
+        }
+        assert_eq!(plan.memory_corrupt_prob(2), 0.2);
+        assert_eq!(plan.memory_corrupt_prob(0), 0.0);
+    }
+
+    #[test]
+    fn memory_corruption_decisions_depend_on_epoch_and_region() {
+        let plan = FaultPlan::new(5).with_memory_corrupt(1, 0.5);
+        let key = |epoch, region| -> Vec<bool> {
+            (0..128)
+                .map(|i| plan.memory_corrupts(1, epoch, region, i))
+                .collect()
+        };
+        assert_ne!(
+            key(0, MemRegion::Owned),
+            key(1, MemRegion::Owned),
+            "a later sweep must make fresh decisions (replay convergence)"
+        );
+        assert_ne!(key(0, MemRegion::Owned), key(0, MemRegion::Shadow));
+        assert_ne!(key(0, MemRegion::Shadow), key(0, MemRegion::Replica));
+        // The bit choice is pure and in range.
+        for i in 0..200 {
+            let b = plan.memory_corrupt_bit(1, 3, MemRegion::Replica, i, 64);
+            assert_eq!(b, plan.memory_corrupt_bit(1, 3, MemRegion::Replica, i, 64));
+            assert!(b < 64);
+        }
+    }
+
+    #[test]
+    fn memory_corruption_builder_replaces_and_validates() {
+        let plan = FaultPlan::new(0)
+            .with_memory_corrupt(1, 0.3)
+            .with_memory_corrupt(1, 0.6);
+        assert_eq!(plan.memory_corrupt.len(), 1);
+        assert_eq!(plan.memory_corrupt_prob(1), 0.6);
+        // A zero-probability entry activates nothing.
+        let zero = FaultPlan::new(0).with_memory_corrupt(0, 0.0);
+        assert!(!zero.has_memory_corruption());
+        assert!(zero.is_noop());
+        assert!(matches!(
+            FaultPlan::new(0).try_with_memory_corrupt(0, 1.5),
+            Err(FaultPlanError::ProbabilityOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn region_scoped_memory_corruption_overrides_the_blanket() {
+        // Replica-only corruption: live regions stay pristine.
+        let plan = FaultPlan::new(9).with_memory_corrupt_in(2, MemRegion::Replica, 1.0);
+        assert!(plan.has_memory_corruption());
+        assert_eq!(plan.memory_corrupt_prob(2), 1.0, "gate sees the max");
+        assert_eq!(plan.memory_corrupt_prob_in(2, MemRegion::Replica), 1.0);
+        assert_eq!(plan.memory_corrupt_prob_in(2, MemRegion::Owned), 0.0);
+        for i in 0..200 {
+            assert!(plan.memory_corrupts(2, 0, MemRegion::Replica, i));
+            assert!(!plan.memory_corrupts(2, 0, MemRegion::Owned, i));
+            assert!(!plan.memory_corrupts(2, 0, MemRegion::Shadow, i));
+            assert!(!plan.memory_corrupts(1, 0, MemRegion::Replica, i));
+        }
+        // An override composes with (and wins over) the blanket rate.
+        let mixed = FaultPlan::new(9)
+            .with_memory_corrupt(2, 0.5)
+            .with_memory_corrupt_in(2, MemRegion::Shadow, 0.0);
+        assert_eq!(mixed.memory_corrupt_prob_in(2, MemRegion::Owned), 0.5);
+        assert_eq!(mixed.memory_corrupt_prob_in(2, MemRegion::Shadow), 0.0);
+        for i in 0..500 {
+            assert!(!mixed.memory_corrupts(2, 0, MemRegion::Shadow, i));
+        }
+        // Re-registering the same (rank, region) replaces, not accumulates.
+        let re = FaultPlan::new(0)
+            .with_memory_corrupt_in(1, MemRegion::Owned, 0.3)
+            .with_memory_corrupt_in(1, MemRegion::Owned, 0.7);
+        assert_eq!(re.memory_corrupt_regions.len(), 1);
+        assert_eq!(re.memory_corrupt_prob_in(1, MemRegion::Owned), 0.7);
+        assert!(matches!(
+            FaultPlan::new(0).try_with_memory_corrupt_in(0, MemRegion::Owned, -0.1),
+            Err(FaultPlanError::ProbabilityOutOfRange { .. })
+        ));
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod wire;
 pub mod world;
 
 pub use comm::{Died, Rank, RetryPolicy, Tag, ANY_SOURCE};
-pub use faults::{FaultDecision, FaultPlan, FaultPlanError, PartitionSpec};
+pub use faults::{FaultDecision, FaultPlan, FaultPlanError, MemRegion, PartitionSpec};
 pub use mailbox::Envelope;
 pub use net::{NetModel, TimingMode};
 pub use payload::{

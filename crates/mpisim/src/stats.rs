@@ -76,6 +76,10 @@ pub struct FaultStats {
     /// Receives abandoned because the peer was unreachable across a
     /// partition (receiver-side; each one charged `detect_timeout`).
     pub partition_timeouts: u64,
+    /// At-rest state entries silently bit-flipped on this rank by
+    /// [`crate::FaultPlan::with_memory_corrupt`] (injection count; detection
+    /// and repair are the platform's job and counted separately there).
+    pub memory_corruptions: u64,
 }
 
 impl FaultStats {
@@ -97,6 +101,7 @@ impl FaultStats {
         self.partition_cuts += other.partition_cuts;
         self.link_dropped += other.link_dropped;
         self.partition_timeouts += other.partition_timeouts;
+        self.memory_corruptions += other.memory_corruptions;
     }
 
     /// Did any fault actually fire?
