@@ -146,7 +146,12 @@ where
             if !faults.memory_corrupts(me, epoch, region, u64::from(id)) {
                 continue;
             }
-            let cur = store.table.get(id).expect("swept entry present").clone();
+            // A paged-out entry is not in RAM: the at-rest sweep only
+            // touches resident state — pages on disk answer to the disk
+            // fault plan (rot, torn writes) instead.
+            let Some(cur) = store.table.get(id).cloned() else {
+                continue;
+            };
             let len_bits = (cur.to_bytes().len() as u64) * 8;
             if len_bits == 0 {
                 continue;

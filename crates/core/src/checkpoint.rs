@@ -193,6 +193,42 @@ pub fn has_new_crash(verdict: &CtlVerdict, known: &[bool]) -> bool {
     verdict.dead.iter().zip(known).any(|(&d, &k)| d && !k)
 }
 
+/// The bit a paged rank sets in its control word when its pager has
+/// latched page damage — every verified copy of some page is gone, so the
+/// table holds a hole and the state must not be trusted or committed.
+/// Bit 63 is the membership layer's cut flag, so damage rides bit 62;
+/// both sit far above any realistic changed-node count sharing the word.
+pub(crate) const DAMAGE_FLAG: u64 = 1 << 62;
+
+/// Wire shape of a paged mirror payload: `(full_image, pages)` where each
+/// page carries its bucket index and every surviving entry in that bucket.
+/// A dirty page with zero entries still ships so the receiver drops stale
+/// base-image entries for that bucket.
+type PageDiffImage<D> = (bool, Vec<(u32, Vec<(u32, D)>)>);
+
+/// Consecutive damage-poisoned agreement rounds tolerated before the
+/// repair ladder concedes. Each strike is a full rollback + replay whose
+/// disk made fresh fault decisions; a rank still damaged after this many
+/// attempts has effectively lost every copy of some page, and every
+/// survivor raises the identical [`UnrecoverableStateSignal`] rather than
+/// ship a wrong answer.
+pub(crate) const MAX_DISK_FAILURES: u32 = 3;
+
+/// Does any live rank's verdict word carry [`DAMAGE_FLAG`]?
+fn any_disk_damage(verdict: &CtlVerdict, nprocs: usize) -> bool {
+    (0..nprocs).any(|r| verdict.word(r).is_some_and(|w| w & DAMAGE_FLAG != 0))
+}
+
+/// The lowest rank whose verdict word carries [`DAMAGE_FLAG`] — the
+/// agreed victim named by [`UnrecoverableStateSignal`].
+fn first_damaged(verdict: &CtlVerdict, nprocs: usize) -> Option<u32> {
+    (0..nprocs as u32).find(|&r| {
+        verdict
+            .word(r as usize)
+            .is_some_and(|w| w & DAMAGE_FLAG != 0)
+    })
+}
+
 /// The replicated recovery counters a checkpoint rewinds together with the
 /// node data. Fault statistics, timers and the virtual clock are
 /// deliberately *not* here: recovery overhead must stay visible in the
@@ -307,7 +343,8 @@ pub struct Ward<D> {
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn take_checkpoint<D, B>(
     rank: &Rank,
-    store: &NodeStore<D>,
+    store: &mut NodeStore<D>,
+    prev: Option<&Checkpoint<D>>,
     iter: u32,
     dead: &[bool],
     ranks_died: &[u32],
@@ -325,7 +362,14 @@ where
 {
     let t0 = rank.wtime();
     let me = rank.rank() as u32;
+    let paged = store.pager.is_some();
+    // A paged store snapshots through the pager: fault every page in,
+    // copy, spill back down to budget (read-only — nothing is re-dirtied)
+    // and charge the accumulated virtual I/O before any agreement.
+    store.bulk_begin();
     let mut mine = store.snapshot_table();
+    store.bulk_end_clean();
+    let storage_io = exchange::drain_storage(rank, store, timers);
     rank.advance(costs.checkpoint_per_entry * mine.len() as f64);
     // Per-entry checksums are always *computed* (they are what makes a
     // replica verifiable at all), but their arithmetic is charged only
@@ -335,11 +379,44 @@ where
     if store.audit.is_some() {
         rank.advance(costs.audit_per_entry * mine.len() as f64);
     }
-    let bytes = mine.to_bytes().len() as u64;
-    *checkpoint_bytes += bytes;
     let ring: Vec<u32> = (0..store.nprocs as u32)
         .filter(|&r| !crashed[r as usize])
         .collect();
+    // Mirror payload. Non-paged stores ship the full snapshot — the exact
+    // pre-paging wire format, byte for byte. Paged stores ship an
+    // incremental page-diff image instead: `(full, [(page, entries…)])`
+    // covering only the pages written since the previous committed
+    // checkpoint; the receiver patches its prior ward. A full image is
+    // forced whenever there is no usable base — first checkpoint, genesis
+    // predecessor, or a ring change that re-mapped the buddies.
+    let full_image = prev.is_none_or(|p| p.genesis || p.ring != ring);
+    let diff: Option<PageDiffImage<D>> = paged.then(|| {
+        let pages: Vec<usize> = if full_image {
+            (0..store.table.bucket_count()).collect()
+        } else {
+            store
+                .pager
+                .as_ref()
+                .expect("paged store has a pager")
+                .ckpt_dirty_pages()
+        };
+        // A dirty page with no surviving entries still ships (empty): the
+        // receiver must drop the entries it previously held for it.
+        let mut groups: std::collections::BTreeMap<u32, Vec<(u32, D)>> =
+            pages.into_iter().map(|b| (b as u32, Vec::new())).collect();
+        for (id, d) in &mine {
+            let b = store.table.bucket_index(*id) as u32;
+            if let Some(g) = groups.get_mut(&b) {
+                g.push((*id, d.clone()));
+            }
+        }
+        (full_image, groups.into_iter().collect())
+    });
+    let bytes = match &diff {
+        Some(payload) => payload.to_bytes().len() as u64,
+        None => mine.to_bytes().len() as u64,
+    };
+    *checkpoint_bytes += bytes;
     let mut wards: Vec<Ward<D>> = Vec::new();
     let staged = (|| {
         if ring.len() > 1 {
@@ -353,13 +430,76 @@ where
             let eff_r = (replication as usize).min(ring.len() - 1);
             for d in 1..=eff_r {
                 let buddy = ring[(pos + d) % ring.len()];
-                rank.send_reliable(buddy as usize, TAG_MIRROR, &mine, RetryPolicy::Escalate);
+                match &diff {
+                    Some(payload) => {
+                        rank.send_reliable(
+                            buddy as usize,
+                            TAG_MIRROR,
+                            payload,
+                            RetryPolicy::Escalate,
+                        );
+                    }
+                    None => {
+                        rank.send_reliable(
+                            buddy as usize,
+                            TAG_MIRROR,
+                            &mine,
+                            RetryPolicy::Escalate,
+                        );
+                    }
+                }
             }
             for d in 1..=eff_r {
-                let prev = ring[(pos + ring.len() - d) % ring.len()];
-                match rank.try_recv::<Vec<(u32, D)>>(prev as usize, TAG_MIRROR) {
-                    Ok(mut entries) => {
-                        rank.advance(costs.checkpoint_per_entry * entries.len() as f64);
+                let pred = ring[(pos + ring.len() - d) % ring.len()];
+                // What landed, and how many entries physically shipped
+                // (the charge basis — a page diff is cheaper than a full
+                // image exactly because the clean base is not re-sent).
+                let received: Result<(Vec<(u32, D)>, usize), ()> = if paged {
+                    match rank.try_recv::<PageDiffImage<D>>(pred as usize, TAG_MIRROR) {
+                        Ok((was_full, pages)) => {
+                            let shipped = pages.iter().map(|(_, es)| es.len()).sum::<usize>();
+                            let mut entries: Vec<(u32, D)> = if was_full {
+                                Vec::new()
+                            } else {
+                                // Patch the prior ward: drop every entry on
+                                // a page the diff rewrites (the page map is
+                                // a pure replicated function of the id) and
+                                // keep the rest as the unchanged base. Both
+                                // sides derive `full` from replicated state,
+                                // so an incremental always finds its base.
+                                let base = prev
+                                    .and_then(|p| p.wards.iter().find(|w| w.rank == pred))
+                                    .expect("incremental mirror implies a prior ward");
+                                let rewritten: std::collections::BTreeSet<u32> =
+                                    pages.iter().map(|(b, _)| *b).collect();
+                                base.entries
+                                    .iter()
+                                    .filter(|(id, _)| {
+                                        !rewritten.contains(&(store.table.bucket_index(*id) as u32))
+                                    })
+                                    .cloned()
+                                    .collect()
+                            };
+                            for (_, es) in pages {
+                                entries.extend(es);
+                            }
+                            entries.sort_unstable_by_key(|&(id, _)| id);
+                            Ok((entries, shipped))
+                        }
+                        Err(_) => Err(()),
+                    }
+                } else {
+                    match rank.try_recv::<Vec<(u32, D)>>(pred as usize, TAG_MIRROR) {
+                        Ok(entries) => {
+                            let n = entries.len();
+                            Ok((entries, n))
+                        }
+                        Err(_) => Err(()),
+                    }
+                };
+                match received {
+                    Ok((mut entries, shipped)) => {
+                        rank.advance(costs.checkpoint_per_entry * shipped as f64);
                         // Staging-time checksums: the wire is already
                         // frame-checksummed, so computing the sums here is
                         // equivalent to shipping the sender's — without
@@ -374,12 +514,12 @@ where
                         // of the same owner fail independently.
                         audit::corrupt_entries_at_rest(rank, &mut entries, iter as u64);
                         wards.push(Ward {
-                            rank: prev,
+                            rank: pred,
                             entries,
                             sums,
                         });
                     }
-                    Err(_) => return Err(()),
+                    Err(()) => return Err(()),
                 }
             }
         }
@@ -392,11 +532,25 @@ where
     // their *next* control exchange against this one and desynchronise
     // the whole protocol. A failed receive means the predecessor died, so
     // the verdict reports a new crash and every rank aborts together.
-    let verdict = rank.ctl_exchange(CtlSlot::default());
-    timers.add(Phase::Checkpoint, rank.wtime() - t0);
+    // The word carries the pager's damage latch: a snapshot that paged in
+    // a lost page is a hole, and *nobody* may commit it as a recovery
+    // point (word 0 without paging — the exchange is byte-identical).
+    let verdict = rank.ctl_exchange(CtlSlot {
+        word: u64::from(store.disk_damaged()) * DAMAGE_FLAG,
+        load: 0.0,
+        flag: false,
+    });
+    timers.add(Phase::Checkpoint, rank.wtime() - t0 - storage_io);
     rank.trace_span("Checkpoint", "phase", t0, &[]);
-    if staged.is_err() || has_new_crash(&verdict, crashed) {
+    if staged.is_err()
+        || has_new_crash(&verdict, crashed)
+        || any_disk_damage(&verdict, store.nprocs)
+    {
         return Err(verdict);
+    }
+    // The diff this image carried is now the committed baseline.
+    if let Some(p) = store.pager.as_mut() {
+        p.clear_ckpt_dirty();
     }
     rank.trace_instant(
         "checkpoint",
@@ -500,6 +654,10 @@ pub(crate) fn roll_back<P, B>(
         nprocs <= 64,
         "the replica census packs owner ranks into a u64 slot word"
     );
+    // Strike counter for page damage discovered while re-mirroring: the
+    // verdict words are replicated, so every survivor counts identically
+    // and escalates together.
+    let mut disk_strikes = 0u32;
     'attempt: loop {
         let t0 = rank.wtime();
         // 1. Discard every in-flight message from the aborted epoch, then
@@ -592,9 +750,18 @@ pub(crate) fn roll_back<P, B>(
         // 3. Restore node data under the post-adoption ownership.
         let restore = (|| -> Result<(), ()> {
             if ckpt.genesis {
-                // Iteration-0 state is reconstructible locally.
+                // Iteration-0 state is reconstructible locally. The pager
+                // — and its virtual disk, whose operation counter salts
+                // every fault decision — survives the rebuild: replay must
+                // make *fresh* disk-fault decisions, or a rot-prone run
+                // would re-damage itself identically forever.
                 let part = Partition::new(owner.clone(), nprocs);
+                let pager = store.pager.take();
                 *store = NodeStore::build(graph, &part, me, program, cfg.hash_buckets);
+                store.pager = pager;
+                if let Some(p) = store.pager.as_mut() {
+                    p.reset_after_restore();
+                }
                 rank.advance(cfg.costs.init_per_node * store.stored_count() as f64);
                 return Ok(());
             }
@@ -683,6 +850,12 @@ pub(crate) fn roll_back<P, B>(
             // Installing the owner map rebuilds the replicated directory;
             // restore() keeps only what this rank needs under it.
             store.restore(graph, owner.clone(), entries);
+            // The rebuilt table is wholly in RAM: re-point the pager at it
+            // (fresh pool, purged disk, damage latch cleared) so paging
+            // resumes from a verified state.
+            if let Some(p) = store.pager.as_mut() {
+                p.reset_after_restore();
+            }
             Ok(())
         })();
         if restore.is_ok() {
@@ -712,6 +885,11 @@ pub(crate) fn roll_back<P, B>(
                 store.enable_audit();
                 rank.advance(cfg.costs.audit_per_entry * store.stored_count() as f64);
             }
+            // Digest re-seed done (it needs the whole table resident):
+            // spill the restored pages back down to budget and charge the
+            // I/O before the agreement round below.
+            store.bulk_end_clean();
+            exchange::drain_storage(rank, store, timers);
             if cfg.validate {
                 store
                     .validate(graph)
@@ -744,6 +922,7 @@ pub(crate) fn roll_back<P, B>(
         match take_checkpoint(
             rank,
             store,
+            None,
             ckpt.iter,
             dead,
             ranks_died,
@@ -764,7 +943,29 @@ pub(crate) fn roll_back<P, B>(
                 );
                 return;
             }
-            Err(_) => continue 'attempt,
+            Err(v) => {
+                // A re-mirror that failed *without* a new crash failed
+                // because some pager latched damage while spilling or
+                // re-reading its restored pages. Each such round already
+                // replayed with fresh disk decisions; after
+                // `MAX_DISK_FAILURES` of them in a row the page is deemed
+                // unrecoverable and every survivor raises the identical
+                // typed signal.
+                if !has_new_crash(&v, crashed) && any_disk_damage(&v, nprocs) {
+                    disk_strikes += 1;
+                    rank.trace_instant(
+                        "disk_damage",
+                        "storage",
+                        &[("strikes", ArgValue::U64(disk_strikes as u64))],
+                    );
+                    if disk_strikes >= MAX_DISK_FAILURES {
+                        let victim =
+                            first_damaged(&v, nprocs).expect("damage verdict names a damaged rank");
+                        std::panic::panic_any(UnrecoverableStateSignal { rank: victim });
+                    }
+                }
+                continue 'attempt;
+            }
         }
     }
 }
@@ -802,6 +1003,13 @@ where
     }
     timers.add(Phase::Initialization, rank.wtime() - t0);
     rank.trace_span("Initialization", "phase", t0, &[]);
+    // Out-of-core mode: install the pager *after* the audit digests seeded
+    // (they need the whole table) and spill down to the buffer budget —
+    // the spilled pages get their first verified disk commit here.
+    if let Some(pc) = &cfg.paging {
+        store.enable_paging(pc, &cfg.world.faults, &cfg.costs);
+        exchange::drain_storage(rank, &mut store, &mut timers);
+    }
     if cfg.validate {
         store
             .validate(graph)
@@ -823,6 +1031,11 @@ where
     let mut iterations_replayed = 0u32;
     let mut checkpoint_bytes = 0u64;
     let mut integrity = IntegrityCounters::default();
+    // Consecutive boundaries poisoned by page damage (replicated: counted
+    // from the agreed verdict words, reset on every clean boundary). Each
+    // strike rolls back and replays with fresh disk-fault decisions;
+    // `MAX_DISK_FAILURES` in a row means some page is gone for good.
+    let mut disk_failures = 0u32;
     // The corruption sweep's epoch is a monotonic pass counter, *never*
     // rolled back: replay after a repair makes fresh decisions, so a run
     // is not doomed to re-corrupt identically and converges.
@@ -912,8 +1125,13 @@ where
             // the otherwise-unused metadata word.
             let i_died =
                 plan_kills && !dead[me as usize] && my_kill.is_some_and(|t| rank.wtime() >= t);
+            // The damage latch rides bit 62 of the changed-count word (0
+            // without paging, so the exchange is byte-identical): a rank
+            // that lost every verified copy of a page served a hole this
+            // iteration, and everyone must discard the epoch together.
+            let i_damaged = store.disk_damaged();
             let verdict = rank.ctl_exchange(CtlSlot {
-                word: changed_this_iter,
+                word: changed_this_iter | (u64::from(i_damaged) * DAMAGE_FLAG),
                 load: comp_this_iter,
                 flag: i_died,
             });
@@ -921,8 +1139,31 @@ where
                 recover!(iter, iter);
                 continue;
             }
+            if any_disk_damage(&verdict, nprocs) {
+                disk_failures += 1;
+                rank.trace_instant(
+                    "disk_damage",
+                    "storage",
+                    &[
+                        ("iter", ArgValue::U64(iter as u64)),
+                        ("strikes", ArgValue::U64(disk_failures as u64)),
+                    ],
+                );
+                if disk_failures >= MAX_DISK_FAILURES {
+                    let victim = first_damaged(&verdict, nprocs)
+                        .expect("damage verdict names a damaged rank");
+                    std::panic::panic_any(UnrecoverableStateSignal { rank: victim });
+                }
+                integrity.repairs += 1;
+                recover!(iter, iter);
+                continue;
+            }
+            disk_failures = 0;
             if cfg.delta_exchange {
-                let global: u64 = (0..nprocs).filter_map(|r| verdict.word(r)).sum();
+                let global: u64 = (0..nprocs)
+                    .filter_map(|r| verdict.word(r))
+                    .map(|w| w & !DAMAGE_FLAG)
+                    .sum();
                 if global == 0 {
                     quiescent_iterations += 1;
                 }
@@ -937,6 +1178,11 @@ where
                     dead[d as usize] = true;
                     ranks_died.push(d);
                 }
+                // Evacuation is whole-table surgery: page everything in
+                // for it, conservatively re-dirty, and spill back after.
+                if !newly.is_empty() {
+                    store.bulk_begin();
+                }
                 for &d in &newly {
                     counters.evacuated += migrate::evacuate_rank(
                         rank,
@@ -949,6 +1195,8 @@ where
                     );
                 }
                 if !newly.is_empty() {
+                    store.bulk_end();
+                    exchange::drain_storage(rank, &mut store, &mut timers);
                     counters.comp_since_balance = 0.0;
                     store.reset_loads();
                     if cfg.validate {
@@ -964,6 +1212,10 @@ where
             if iter >= cfg.balance_offset.max(1)
                 && migrate::is_balance_iteration(iter - cfg.balance_offset, cfg.balance_every)
             {
+                // Migration mutates buckets behind the pager's back:
+                // whole-table phase (the Err path skips the spill — the
+                // rollback it triggers resets the pager wholesale).
+                store.bulk_begin();
                 match migrate::balance_round_crash(
                     rank,
                     graph,
@@ -978,6 +1230,8 @@ where
                     &mut timers,
                 ) {
                     Ok(out) => {
+                        store.bulk_end();
+                        exchange::drain_storage(rank, &mut store, &mut timers);
                         counters.migrations += out.migrated;
                         counters.skipped += out.skipped;
                         counters.comp_since_balance = 0.0;
@@ -1005,6 +1259,7 @@ where
                 let max = alive.iter().cloned().fold(0.0f64, f64::max);
                 let mean = alive.iter().sum::<f64>() / alive.len().max(1) as f64;
                 if det.observe(max, mean) && !balanced_this_iter {
+                    store.bulk_begin();
                     match migrate::balance_round_crash(
                         rank,
                         graph,
@@ -1019,6 +1274,8 @@ where
                         &mut timers,
                     ) {
                         Ok(out) => {
+                            store.bulk_end();
+                            exchange::drain_storage(rank, &mut store, &mut timers);
                             counters.migrations += out.migrated;
                             counters.skipped += out.skipped;
                             counters.emergency_balances += 1;
@@ -1051,9 +1308,18 @@ where
                 let due =
                     iter.is_multiple_of(ka) || iter.is_multiple_of(k) || iter == cfg.iterations;
                 if due {
+                    // The audit digests the whole partition: page it in,
+                    // and spill back (read-only) before the verdict round.
+                    // A page lost here leaves its entries missing, which
+                    // the verify counts as mismatches — at-rest disk rot
+                    // that defeated every copy surfaces as owner-region
+                    // damage and rolls back like memory rot.
+                    store.bulk_begin();
                     let t0 = rank.wtime();
                     let outcome = store.audit_verify();
                     rank.advance(cfg.costs.audit_per_entry * outcome.checked as f64);
+                    store.bulk_end_clean();
+                    let storage_io = exchange::drain_storage(rank, &mut store, &mut timers);
                     // One collective agrees the boundary's verdict: bit 0
                     // of the word = owner-region damage somewhere on this
                     // rank, bit 1 = shadow-region damage.
@@ -1064,7 +1330,7 @@ where
                         load: 0.0,
                         flag: false,
                     });
-                    timers.add(Phase::Integrity, rank.wtime() - t0);
+                    timers.add(Phase::Integrity, rank.wtime() - t0 - storage_io);
                     integrity.audit_mismatches +=
                         outcome.owned_mismatches + outcome.shadow_mismatches;
                     rank.trace_instant(
@@ -1137,7 +1403,8 @@ where
             if iter.is_multiple_of(k) {
                 match take_checkpoint(
                     rank,
-                    &store,
+                    &mut store,
+                    Some(&ckpt),
                     iter,
                     &dead,
                     &ranks_died,
@@ -1167,8 +1434,29 @@ where
         // point-to-point to the lowest live rank, and agree once more that
         // nobody died during the gather. A death at any point here rolls
         // back and re-runs the tail of the computation.
-        let verdict = rank.ctl_exchange(CtlSlot::default());
+        // Fault every page in *before* the pre-gather agreement: its word
+        // carries the damage latch, so a page lost during this final sweep
+        // rolls back and replays instead of shipping garbage — the gather
+        // below may then assume every owned entry is present.
+        store.bulk_begin();
+        exchange::drain_storage(rank, &mut store, &mut timers);
+        let verdict = rank.ctl_exchange(CtlSlot {
+            word: u64::from(store.disk_damaged()) * DAMAGE_FLAG,
+            load: 0.0,
+            flag: false,
+        });
         if has_new_crash(&verdict, &crashed) {
+            recover!(iter - 1, iter);
+            continue 'run;
+        }
+        if any_disk_damage(&verdict, nprocs) {
+            disk_failures += 1;
+            if disk_failures >= MAX_DISK_FAILURES {
+                let victim =
+                    first_damaged(&verdict, nprocs).expect("damage verdict names a damaged rank");
+                std::panic::panic_any(UnrecoverableStateSignal { rank: victim });
+            }
+            integrity.repairs += 1;
             recover!(iter - 1, iter);
             continue 'run;
         }
@@ -1238,6 +1526,16 @@ where
         rejoin_bytes: 0,
         suspected_peak: 0,
         integrity,
+        pages: store
+            .pager
+            .as_ref()
+            .map(|p| p.counters())
+            .unwrap_or_default(),
+        disk: store
+            .pager
+            .as_ref()
+            .map(|p| p.disk_counters())
+            .unwrap_or_default(),
     }
 }
 

@@ -40,6 +40,14 @@ pub struct CostModel {
     /// a node write and the per-entry recompute at an audit boundary
     /// (integrity bookkeeping).
     pub audit_per_entry: f64,
+    /// Fixed virtual seconds per disk operation issued by the out-of-core
+    /// pager (seek + request overhead).
+    pub disk_seek: f64,
+    /// Virtual seconds per byte transferred to or from the virtual disk.
+    pub disk_byte: f64,
+    /// Base backoff charged when the pager retries a failed disk operation;
+    /// doubles per attempt (bounded exponential backoff).
+    pub disk_retry_backoff: f64,
 }
 
 impl Default for CostModel {
@@ -54,6 +62,9 @@ impl Default for CostModel {
             migrate_per_entry: 25e-6,
             checkpoint_per_entry: 4e-6,
             audit_per_entry: 1.0e-6,
+            disk_seek: 1.0e-4,
+            disk_byte: 1.0e-8,
+            disk_retry_backoff: 2.0e-4,
         }
     }
 }
@@ -72,6 +83,9 @@ impl CostModel {
             migrate_per_entry: 0.0,
             checkpoint_per_entry: 0.0,
             audit_per_entry: 0.0,
+            disk_seek: 0.0,
+            disk_byte: 0.0,
+            disk_retry_backoff: 0.0,
         }
     }
 }
@@ -93,6 +107,9 @@ mod tests {
             c.migrate_per_entry,
             c.checkpoint_per_entry,
             c.audit_per_entry,
+            c.disk_seek,
+            c.disk_byte,
+            c.disk_retry_backoff,
         ] {
             assert!(v > 0.0 && v < 1e-3, "cost {v} out of range");
         }

@@ -6,6 +6,7 @@ use crate::exchange;
 pub use crate::exchange::ExchangeMode;
 use crate::imbalance::StragglerDetector;
 use crate::migrate;
+use crate::paging::{EvictionPolicy, PageConfig, PageCounters};
 use crate::program::{ComputeCtx, NodeProgram};
 use crate::store::NodeStore;
 use crate::timers::{Phase, PhaseTimers};
@@ -99,6 +100,17 @@ pub struct RunConfig {
     /// copy of some rank's state is lost or corrupt. Must be ≥ 1; the
     /// default 1 is the classic single-buddy protocol.
     pub replication: u32,
+    /// Out-of-core paging: bound each rank's resident data-node table to a
+    /// fixed budget of hash-bucket pages behind a buffer pool
+    /// ([`crate::paging::BufferPool`]) and spill the rest to a per-rank
+    /// virtual disk with crash-consistent shadow-paged commits and
+    /// checksum-verified reads. Paged runs execute on the
+    /// checkpoint-tolerant control plane (checkpoints become incremental
+    /// page-diff images); an unrecoverable page escalates through rollback
+    /// and replay, and only when every copy is gone does the run fail with
+    /// the typed [`PlatformError::UnrecoverableState`] — never a wrong
+    /// answer. `None` (the default) keeps the whole table in memory.
+    pub paging: Option<PageConfig>,
 }
 
 impl RunConfig {
@@ -124,6 +136,7 @@ impl RunConfig {
             partition_tolerance: false,
             audit_every: None,
             replication: 1,
+            paging: None,
         }
     }
 
@@ -215,6 +228,20 @@ impl RunConfig {
     /// [`RunConfig::replication`]).
     pub fn with_replication(mut self, r: u32) -> Self {
         self.replication = r;
+        self
+    }
+
+    /// Bound the resident data-node table to `budget` pages under the
+    /// given eviction policy (see [`RunConfig::paging`]).
+    pub fn with_paging(mut self, budget: usize, policy: EvictionPolicy) -> Self {
+        self.paging = Some(PageConfig::new(budget, policy));
+        self
+    }
+
+    /// Size each rank's data-node hash table (and so, under paging, its
+    /// page count) to `buckets` buckets.
+    pub fn with_hash_buckets(mut self, buckets: usize) -> Self {
+        self.hash_buckets = buckets;
         self
     }
 }
@@ -310,6 +337,20 @@ pub struct RunReport<D> {
     /// integrity-triggered rollbacks, and replica re-adoptions (agreed
     /// tally).
     pub repairs: u32,
+    /// Pages faulted in from the virtual disk, summed over ranks (all five
+    /// paging counters are 0 when [`RunConfig::paging`] is off).
+    pub page_faults: u64,
+    /// Pages evicted to enforce the buffer-pool budget, summed over ranks.
+    pub pages_evicted: u64,
+    /// Disk operations retried after a transient error, a disk-full
+    /// rejection, or a failed read-back verification, summed over ranks.
+    pub disk_retries: u64,
+    /// Torn writes the shadow-paging commit's read-back verification
+    /// caught before the flip, summed over ranks.
+    pub torn_writes_detected: u64,
+    /// Pages recovered from their shadow-slot copy after the primary
+    /// failed its checksum, summed over ranks.
+    pub pages_recovered: u64,
     /// The structured virtual-time trace, one entry per rank (crashed
     /// ranks included, up to their crash instant). `None` unless the run
     /// was configured with [`RunConfig::with_tracing`].
@@ -375,6 +416,8 @@ pub(crate) struct RankOutcome<D> {
     pub(crate) rejoin_bytes: u64,
     pub(crate) suspected_peak: u32,
     pub(crate) integrity: IntegrityCounters,
+    pub(crate) pages: PageCounters,
+    pub(crate) disk: mpisim::DiskCounters,
 }
 
 /// Assemble the run report from the per-rank outcomes. The recovery
@@ -404,8 +447,16 @@ fn assemble<D: Clone>(
     let mut rejoin_bytes = 0u64;
     let mut audit_mismatches = 0u64;
     let mut bad_replicas = 0u64;
+    let mut pages = PageCounters::default();
     for r in &live {
         faults.merge(&r.comm.faults);
+        // The virtual disk hangs off the pager, not the rank: fold its
+        // injection tallies into the fault totals by hand.
+        faults.disk_transient_errors += r.disk.transient_errors;
+        faults.disk_torn_writes += r.disk.torn_writes;
+        faults.disk_read_rots += r.disk.read_rots;
+        faults.disk_full_rejections += r.disk.full_rejections;
+        pages.merge(&r.pages);
         checkpoint_bytes += r.checkpoint_bytes;
         credit_stalls += r.comm.credit_stalls;
         peak_mailbox_depth = peak_mailbox_depth.max(r.comm.peak_mailbox_depth);
@@ -468,6 +519,11 @@ fn assemble<D: Clone>(
         shadow_resyncs: designated.integrity.shadow_resyncs,
         bad_replicas,
         repairs: designated.integrity.repairs,
+        page_faults: pages.page_faults,
+        pages_evicted: pages.pages_evicted,
+        disk_retries: pages.disk_retries,
+        torn_writes_detected: pages.torn_writes_detected,
+        pages_recovered: pages.pages_recovered,
         trace: None,
     }
 }
@@ -627,6 +683,9 @@ where
     if cfg.replication == 0 {
         return Err(PlatformError::ZeroReplicationFactor);
     }
+    if cfg.paging.as_ref().is_some_and(|p| p.budget == 0) {
+        return Err(PlatformError::ZeroPageBudget);
+    }
     let num_nodes = graph.num_nodes();
     // Tracing hooks in below the driver: the substrate owns the collector,
     // each rank buffers privately and flushes on drop (normal end or crash
@@ -663,10 +722,14 @@ where
     // Uncooperative crashes need the failure-detecting control plane,
     // coordinated checkpoints, and a world that tolerates rank death. The
     // state-integrity machinery (audits, memory-corruption repair) lives on
-    // the same path: its repairs reuse the checkpoint/rollback plumbing.
+    // the same path: its repairs reuse the checkpoint/rollback plumbing —
+    // and so does out-of-core paging, whose page-loss repair ladder ends
+    // in rollback + replay from a verified checkpoint.
     if cfg.world.faults.has_crashes()
         || cfg.audit_every.is_some()
         || cfg.world.faults.has_memory_corruption()
+        || cfg.world.faults.has_disk_faults()
+        || cfg.paging.is_some()
     {
         let results: Vec<Option<RankOutcome<P::Data>>> = catch_flow_deadlock(|| {
             world.run_fallible(cfg.nprocs, |rank| {
@@ -917,6 +980,8 @@ where
                 rejoin_bytes: 0,
                 suspected_peak: 0,
                 integrity: IntegrityCounters::default(),
+                pages: PageCounters::default(),
+                disk: mpisim::DiskCounters::default(),
             }
         })
     })?;
@@ -946,6 +1011,7 @@ mod tests {
             .with_straggler_detection(2.0, 3)
             .with_state_audit(4)
             .with_replication(3)
+            .with_paging(16, EvictionPolicy::Sieve)
             .with_validation();
         assert_eq!(cfg.nprocs, 8);
         assert_eq!(cfg.iterations, 25);
@@ -957,6 +1023,7 @@ mod tests {
         assert_eq!(cfg.straggler, Some((2.0, 3)));
         assert_eq!(cfg.audit_every, Some(4));
         assert_eq!(cfg.replication, 3);
+        assert_eq!(cfg.paging, Some(PageConfig::new(16, EvictionPolicy::Sieve)));
         assert!(cfg.validate);
     }
 
@@ -972,6 +1039,7 @@ mod tests {
         assert_eq!(cfg.checkpoint_every, 5);
         assert_eq!(cfg.audit_every, None);
         assert_eq!(cfg.replication, 1);
+        assert_eq!(cfg.paging, None);
     }
 
     #[test]
@@ -1012,6 +1080,10 @@ mod tests {
             check(RunConfig::new(2, 5).with_replication(0)),
             PlatformError::ZeroReplicationFactor
         ));
+        assert!(matches!(
+            check(RunConfig::new(2, 5).with_paging(0, EvictionPolicy::Clock)),
+            PlatformError::ZeroPageBudget
+        ));
     }
 
     #[test]
@@ -1051,6 +1123,11 @@ mod tests {
             shadow_resyncs: 0,
             bad_replicas: 0,
             repairs: 0,
+            page_faults: 0,
+            pages_evicted: 0,
+            disk_retries: 0,
+            torn_writes_detected: 0,
+            pages_recovered: 0,
             trace: None,
         };
         assert_eq!(report.speedup_vs(8.0), 4.0);

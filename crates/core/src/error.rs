@@ -1,6 +1,114 @@
 //! Typed configuration errors for the platform driver.
 
+use ic2_graph::NodeId;
 use std::fmt;
+
+/// A structural invariant of [`crate::store::NodeStore`] found violated by
+/// [`crate::store::NodeStore::validate`]: ownership maps, node lists,
+/// shadow bookkeeping, and the derived send plan must stay mutually
+/// consistent after every rebuild, migration, and restore.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreViolation {
+    /// The owner map does not cover the graph.
+    OwnerMapLength {
+        /// Nodes in the graph.
+        expected: usize,
+        /// Entries in the owner map.
+        actual: usize,
+    },
+    /// A node on an internal/peripheral list is not owned by this rank.
+    NotOwned {
+        /// Which list claimed it.
+        list: &'static str,
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A node appears on both node lists.
+    ListedTwice {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A listed node's cached neighbour list disagrees with the graph.
+    StaleNeighborList {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// An internal-list node has a remote neighbour.
+    InternalHasRemoteNeighbor {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A peripheral-list node has no remote neighbour.
+    PeripheralFullyLocal {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A node's recorded shadow destinations disagree with the derived set.
+    ShadowForMismatch {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// An owned node is missing from both node lists.
+    UnlistedOwnedNode {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// No data is stored (in RAM or on any page) for an owned node.
+    MissingData {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// No data is stored for a neighbour of an owned node.
+    MissingNeighborData {
+        /// The absent neighbour.
+        node: NodeId,
+        /// The owned node that needs it.
+        of: NodeId,
+    },
+    /// The cached per-processor send counts disagree with the derived plan.
+    SendPlanMismatch {
+        /// Cached counts.
+        planned: Vec<usize>,
+        /// Counts re-derived from the shadow sets.
+        derived: Vec<usize>,
+    },
+}
+
+impl fmt::Display for StoreViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreViolation::OwnerMapLength { expected, actual } => {
+                write!(f, "owner map length mismatch: {actual} != {expected}")
+            }
+            StoreViolation::NotOwned { list, node } => {
+                write!(f, "{list} node {node} not owned")
+            }
+            StoreViolation::ListedTwice { node } => write!(f, "node {node} appears twice"),
+            StoreViolation::StaleNeighborList { node } => {
+                write!(f, "node {node} neighbour list stale")
+            }
+            StoreViolation::InternalHasRemoteNeighbor { node } => {
+                write!(f, "internal node {node} has remote neighbour")
+            }
+            StoreViolation::PeripheralFullyLocal { node } => {
+                write!(f, "peripheral node {node} is fully local")
+            }
+            StoreViolation::ShadowForMismatch { node } => {
+                write!(f, "node {node} shadow_for set inconsistent")
+            }
+            StoreViolation::UnlistedOwnedNode { node } => {
+                write!(f, "owned node {node} missing from lists")
+            }
+            StoreViolation::MissingData { node } => write!(f, "no data for owned node {node}"),
+            StoreViolation::MissingNeighborData { node, of } => {
+                write!(f, "no data for neighbour {node} of owned {of}")
+            }
+            StoreViolation::SendPlanMismatch { planned, derived } => {
+                write!(f, "send_counts {planned:?} != derived {derived:?}")
+            }
+        }
+    }
+}
 
 /// A caller mistake [`crate::driver::try_run`] reports instead of
 /// panicking: an impossible world shape, a partition that does not cover
@@ -32,6 +140,11 @@ pub enum PlatformError {
     /// A checkpoint replication factor of zero would leave no copy
     /// anywhere; recovery needs at least the owner's own baseline.
     ZeroReplicationFactor,
+    /// An out-of-core buffer-pool budget of zero pages could hold nothing
+    /// resident; paging needs at least one frame.
+    ZeroPageBudget,
+    /// A [`crate::store::NodeStore`] failed its structural self-check.
+    StoreInvariant(StoreViolation),
     /// Recovery exhausted every checkpoint replica: the rank's own
     /// baseline and all of its ring buddies' wards were lost or failed
     /// their per-entry checksums. The run cannot be restored to a
@@ -88,6 +201,10 @@ impl fmt::Display for PlatformError {
             PlatformError::ZeroReplicationFactor => {
                 write!(f, "checkpoint replication factor must be at least 1")
             }
+            PlatformError::ZeroPageBudget => {
+                write!(f, "out-of-core page budget must be at least 1 page")
+            }
+            PlatformError::StoreInvariant(v) => write!(f, "store invariant violated: {v}"),
             PlatformError::UnrecoverableState { rank } => write!(
                 f,
                 "unrecoverable state: rank {rank} has no intact checkpoint replica left"
@@ -139,5 +256,14 @@ mod tests {
         assert!(PlatformError::ZeroReplicationFactor
             .to_string()
             .contains("replication factor"));
+        assert!(PlatformError::ZeroPageBudget
+            .to_string()
+            .contains("page budget"));
+        let v =
+            PlatformError::StoreInvariant(StoreViolation::MissingNeighborData { node: 9, of: 4 });
+        assert_eq!(
+            v.to_string(),
+            "store invariant violated: no data for neighbour 9 of owned 4"
+        );
     }
 }

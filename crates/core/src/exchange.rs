@@ -1,6 +1,7 @@
 //! The computation & communication phase (thesis §4.2, Figures 8 and 8a).
 
 use crate::costs::CostModel;
+use crate::paging::Pager;
 use crate::program::{ComputeCtx, NeighborData, NodeProgram};
 use crate::store::{LocalNode, NodeStore};
 use crate::timers::{Phase, PhaseTimers};
@@ -106,6 +107,7 @@ pub fn step<P: NodeProgram>(
                 &store.internal,
                 &mut store.table,
                 &mut store.node_load,
+                &mut store.pager,
                 ctx,
                 costs,
                 timers,
@@ -120,6 +122,7 @@ pub fn step<P: NodeProgram>(
                 &store.peripheral,
                 &mut store.table,
                 &mut store.node_load,
+                &mut store.pager,
                 ctx,
                 costs,
                 timers,
@@ -147,6 +150,7 @@ pub fn step<P: NodeProgram>(
                 &store.peripheral,
                 &mut store.table,
                 &mut store.node_load,
+                &mut store.pager,
                 ctx,
                 costs,
                 timers,
@@ -167,6 +171,7 @@ pub fn step<P: NodeProgram>(
                     &store.internal,
                     &mut store.table,
                     &mut store.node_load,
+                    &mut store.pager,
                     ctx,
                     costs,
                     timers,
@@ -192,6 +197,7 @@ pub fn step<P: NodeProgram>(
                     &store.internal,
                     &mut store.table,
                     &mut store.node_load,
+                    &mut store.pager,
                     ctx,
                     costs,
                     timers,
@@ -226,6 +232,7 @@ pub fn step<P: NodeProgram>(
     let t0 = rank.wtime();
     promote_and_note(rank, store, costs);
     timers.add(Phase::ComputationOverhead, rank.wtime() - t0);
+    drain_storage(rank, store, timers);
     let t0 = rank.wtime();
     let global_changed = if delta {
         rank.trace_instant(
@@ -307,6 +314,7 @@ pub fn step_crash_aware<P: NodeProgram>(
         &store.internal,
         &mut store.table,
         &mut store.node_load,
+        &mut store.pager,
         ctx,
         costs,
         timers,
@@ -321,6 +329,7 @@ pub fn step_crash_aware<P: NodeProgram>(
         &store.peripheral,
         &mut store.table,
         &mut store.node_load,
+        &mut store.pager,
         ctx,
         costs,
         timers,
@@ -379,6 +388,7 @@ pub fn step_crash_aware<P: NodeProgram>(
     let t0 = rank.wtime();
     promote_and_note(rank, store, costs);
     timers.add(Phase::ComputationOverhead, rank.wtime() - t0);
+    drain_storage(rank, store, timers);
     if delta {
         rank.trace_instant(
             "delta_skipped",
@@ -406,6 +416,13 @@ pub fn step_crash_aware<P: NodeProgram>(
 /// sync. With `delta_active`, clean nodes are not packed (and their
 /// `per_shadow_pack` cost is not charged); receivers keep the retained
 /// shadow, which equals what a full exchange would have delivered.
+///
+/// In paged mode each node's bucket and its neighbours' buckets are faulted
+/// in first; a node whose entry (or any neighbour entry) is missing after
+/// that sits on a page that lost every copy — it is *skipped*, because the
+/// pager's damage latch already guarantees this iteration is discarded by
+/// rollback. Non-paged mode keeps the original panics: missing data there
+/// is a platform bug, not an injected fault.
 #[allow(clippy::too_many_arguments)]
 fn compute_list<P: NodeProgram>(
     rank: &Rank,
@@ -413,6 +430,7 @@ fn compute_list<P: NodeProgram>(
     list: &[LocalNode],
     table: &mut crate::hashtab::NodeTable<P::Data>,
     node_load: &mut [f64],
+    pager: &mut Option<Pager>,
     ctx: &ComputeCtx,
     costs: &CostModel,
     timers: &mut PhaseTimers,
@@ -421,27 +439,42 @@ fn compute_list<P: NodeProgram>(
     delta_active: bool,
     stats: &mut DeltaStats,
 ) {
+    let paged = pager.is_some();
     for node in list {
+        if let Some(pager) = pager.as_mut() {
+            pager.ensure(
+                table,
+                std::iter::once(node.id).chain(node.neighbors.iter().copied()),
+            );
+        }
         // Computation overhead: form the list of the node and its
         // neighbours to hand to the node function.
         let t0 = rank.wtime();
         rank.advance(costs.per_list_item * (node.neighbors.len() + 1) as f64);
-        let own = table
-            .get(node.id)
-            .unwrap_or_else(|| panic!("rank {}: no data for owned node {}", ctx.rank, node.id));
-        let neighbors: Vec<NeighborData<'_, P::Data>> = node
-            .neighbors
-            .iter()
-            .map(|&w| NeighborData {
-                id: w,
-                data: table.get(w).unwrap_or_else(|| {
-                    panic!(
-                        "rank {}: no data for neighbour {w} of {}",
-                        ctx.rank, node.id
-                    )
-                }),
-            })
-            .collect();
+        let own = match table.get(node.id) {
+            Some(d) => d,
+            None if paged => continue,
+            None => panic!("rank {}: no data for owned node {}", ctx.rank, node.id),
+        };
+        let mut neighbors: Vec<NeighborData<'_, P::Data>> =
+            Vec::with_capacity(node.neighbors.len());
+        let mut incomplete = false;
+        for &w in &node.neighbors {
+            match table.get(w) {
+                Some(data) => neighbors.push(NeighborData { id: w, data }),
+                None if paged => {
+                    incomplete = true;
+                    break;
+                }
+                None => panic!(
+                    "rank {}: no data for neighbour {w} of {}",
+                    ctx.rank, node.id
+                ),
+            }
+        }
+        if incomplete {
+            continue;
+        }
         let t1 = rank.wtime();
         timers.add(Phase::ComputationOverhead, t1 - t0);
 
@@ -478,14 +511,44 @@ fn compute_list<P: NodeProgram>(
             timers.add(Phase::ComputationOverhead, rank.wtime() - t2);
         }
         table.set_pending(node.id, next);
+        if let Some(pager) = pager.as_mut() {
+            pager.note_staged(table.bucket_index(node.id));
+        }
     }
 }
 
 /// End-of-iteration promote sweep (the thesis's `data = most_recent_data`),
 /// keeping the audit digest in step with every promoted value — one
 /// `audit_per_entry` charge each when audits are on, nothing otherwise.
-fn promote_and_note<D: mpisim::Wire>(rank: &Rank, store: &mut NodeStore<D>, costs: &CostModel) {
+/// Paged mode promotes page by page through the pager's staged set, so
+/// each staged page is resident exactly once.
+fn promote_and_note<D: mpisim::Wire + Clone>(
+    rank: &Rank,
+    store: &mut NodeStore<D>,
+    costs: &CostModel,
+) {
     rank.advance(costs.per_node_update * store.owned_count() as f64);
+    if store.pager.is_some() {
+        let NodeStore {
+            pager,
+            table,
+            audit,
+            ..
+        } = store;
+        let pager = pager.as_mut().expect("paged");
+        match audit.as_mut() {
+            Some(audit) => {
+                let promoted = pager.promote(table, |id, d| {
+                    audit.record(id, crate::audit::entry_hash(id, d));
+                });
+                rank.advance(costs.audit_per_entry * promoted as f64);
+            }
+            None => {
+                pager.promote(table, |_, _| {});
+            }
+        }
+        return;
+    }
     match store.audit.as_mut() {
         Some(audit) => {
             let promoted = store.table.promote_all_with(|id, d| {
@@ -497,6 +560,23 @@ fn promote_and_note<D: mpisim::Wire>(rank: &Rank, store: &mut NodeStore<D>, cost
             store.table.promote_all();
         }
     }
+}
+
+/// Charge the pager's accumulated virtual I/O + backoff seconds to the
+/// clock under [`Phase::Storage`]. Called at deterministic points (end of
+/// each iteration's compute/communicate, after bulk phases) so paged runs
+/// stay bit-identically reproducible; a no-op in non-paged mode.
+pub(crate) fn drain_storage<D>(
+    rank: &Rank,
+    store: &mut NodeStore<D>,
+    timers: &mut PhaseTimers,
+) -> f64 {
+    let s = store.take_storage_seconds();
+    if s > 0.0 {
+        rank.advance(s);
+        timers.add(Phase::Storage, s);
+    }
+    s
 }
 
 /// Does this world bound its mailboxes (credit-based flow control)?
@@ -746,8 +826,10 @@ fn recv_and_unpack<D: mpisim::Wire + Clone>(
     rank.trace_span("Communicate", "phase", recv_t0, &[]);
 }
 
-/// Apply one received shadow buffer to the data-node table.
-fn unpack<D: mpisim::Wire>(
+/// Apply one received shadow buffer to the data-node table. Paged mode
+/// faults each shadow's bucket in first and skips entries whose page lost
+/// every copy (the damage latch already dooms the iteration to rollback).
+fn unpack<D: mpisim::Wire + Clone>(
     rank: &Rank,
     store: &mut NodeStore<D>,
     msg: Vec<(u32, D)>,
@@ -759,9 +841,22 @@ fn unpack<D: mpisim::Wire>(
     if store.audit.is_some() {
         rank.advance(costs.audit_per_entry * msg.len() as f64);
     }
+    let paged = store.pager.is_some();
     for (id, data) in msg {
-        store.audit_note(id, &data);
-        store.table.set_current(id, data);
+        if paged {
+            let b = store.table.bucket_index(id);
+            let (pager, table) = (store.pager.as_mut().expect("paged"), &mut store.table);
+            pager.ensure(table, [id]);
+            if !store.table.contains(id) {
+                continue;
+            }
+            store.audit_note(id, &data);
+            store.table.set_current(id, data);
+            store.pager.as_mut().expect("paged").note_write(b);
+        } else {
+            store.audit_note(id, &data);
+            store.table.set_current(id, data);
+        }
     }
     timers.add(Phase::CommunicationOverhead, rank.wtime() - t0);
 }
@@ -791,12 +886,20 @@ where
     D: mpisim::Wire + Clone,
 {
     let t0 = rank.wtime();
+    let paged = store.pager.is_some();
     let mut buffers: ShadowBuffers<D> = vec![Vec::new(); store.nprocs];
     for node in &store.peripheral {
-        let cur = store
-            .table
-            .get(node.id)
-            .expect("owned peripheral data present");
+        if paged {
+            let (pager, table) = (store.pager.as_mut().expect("paged"), &mut store.table);
+            pager.ensure(table, [node.id]);
+        }
+        let cur = match store.table.get(node.id) {
+            Some(d) => d,
+            // Damaged page: nothing to repack; the damage latch forces a
+            // rollback that supersedes this repair anyway.
+            None if paged => continue,
+            None => panic!("owned peripheral data present"),
+        };
         rank.advance(costs.per_shadow_pack * node.shadow_for.len() as f64);
         for &p in &node.shadow_for {
             buffers[p as usize].push((node.id, cur.clone()));
@@ -850,6 +953,7 @@ where
     // the bounded drain schedule keys in-flight frames by source rank, so
     // the run-ahead frame would overwrite the unconsumed repair frame and
     // deadlock the round (the exact hazard tests/runahead_repro.rs pins).
+    drain_storage(rank, store, timers);
     let t0 = rank.wtime();
     rank.barrier();
     timers.add(Phase::Communicate, rank.wtime() - t0);

@@ -44,6 +44,12 @@ impl<D> NodeTable<D> {
         id as usize % self.buckets.len()
     }
 
+    /// The bucket index holding `id` — the out-of-core layer's page id for
+    /// the node (one page = one bucket).
+    pub fn bucket_index(&self, id: NodeId) -> usize {
+        self.bucket_of(id)
+    }
+
     /// Number of stored nodes.
     pub fn len(&self) -> usize {
         self.len
@@ -168,6 +174,45 @@ impl<D> NodeTable<D> {
     /// Number of buckets.
     pub fn bucket_count(&self) -> usize {
         self.buckets.len()
+    }
+
+    /// Remove and return bucket `b`'s entries as `(id, current, pending)`
+    /// triples in ascending id order — page-out for the paging layer.
+    pub(crate) fn take_bucket(&mut self, b: usize) -> Vec<(NodeId, D, Option<D>)> {
+        let entries = std::mem::take(&mut self.buckets[b]);
+        self.len -= entries.len();
+        entries
+            .into_iter()
+            .map(|e| (e.id, e.cur, e.pending))
+            .collect()
+    }
+
+    /// Install a previously paged-out (or freshly read) bucket. The slot
+    /// must be empty — pages are whole buckets, never merged.
+    pub(crate) fn install_bucket(&mut self, b: usize, entries: Vec<(NodeId, D, Option<D>)>) {
+        debug_assert!(
+            self.buckets[b].is_empty(),
+            "install over non-empty bucket {b}"
+        );
+        self.len += entries.len();
+        self.buckets[b] = entries
+            .into_iter()
+            .map(|(id, cur, pending)| Entry { id, cur, pending })
+            .collect();
+    }
+
+    /// [`Self::promote_all_with`] restricted to bucket `b` — the paging
+    /// layer promotes page by page so each is resident exactly once.
+    pub(crate) fn promote_bucket_with(&mut self, b: usize, mut f: impl FnMut(NodeId, &D)) -> usize {
+        let mut promoted = 0;
+        for entry in &mut self.buckets[b] {
+            if let Some(next) = entry.pending.take() {
+                entry.cur = next;
+                f(entry.id, &entry.cur);
+                promoted += 1;
+            }
+        }
+        promoted
     }
 
     /// Longest bucket chain (diagnostic: the thesis's 10-bucket table

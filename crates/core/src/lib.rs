@@ -54,6 +54,7 @@ pub mod hashtab;
 pub mod imbalance;
 pub mod membership;
 pub mod migrate;
+pub mod paging;
 pub mod program;
 pub mod seq;
 pub mod store;
@@ -61,11 +62,12 @@ pub mod timers;
 
 pub use costs::CostModel;
 pub use driver::{catch_flow_deadlock, run, try_run, ExchangeMode, RunConfig, RunReport};
-pub use error::PlatformError;
+pub use error::{PlatformError, StoreViolation};
 pub use hashtab::NodeTable;
 pub use imbalance::{GrainSchedule, ShiftingWindowLoad, StragglerDetector};
 pub use migrate::{BalanceOutcome, MigrantPolicy};
 pub use mpisim::trace::{chrome_trace_json, timeline_json, RankTrace, TraceEvent};
+pub use paging::{BufferPool, EvictionPolicy, PageConfig, PageCounters};
 pub use program::{AvgProgram, ComputeCtx, NeighborData, NodeProgram};
 pub use store::{LocalNode, NodeStore};
 pub use timers::{Phase, PhaseTimers};
@@ -73,9 +75,9 @@ pub use timers::{Phase, PhaseTimers};
 /// Convenient glob-import surface for applications.
 pub mod prelude {
     pub use crate::{
-        catch_flow_deadlock, run, try_run, AvgProgram, ComputeCtx, CostModel, ExchangeMode,
-        GrainSchedule, MigrantPolicy, NeighborData, NodeProgram, PlatformError, RunConfig,
-        RunReport, ShiftingWindowLoad,
+        catch_flow_deadlock, run, try_run, AvgProgram, ComputeCtx, CostModel, EvictionPolicy,
+        ExchangeMode, GrainSchedule, MigrantPolicy, NeighborData, NodeProgram, PageConfig,
+        PlatformError, RunConfig, RunReport, ShiftingWindowLoad,
     };
     pub use ic2_balance::{CentralizedHeuristic, Diffusion, DynamicBalancer, NoBalancer};
     pub use ic2_graph::{Graph, Partition};

@@ -611,7 +611,8 @@ where
             if iter.is_multiple_of(k) {
                 match take_checkpoint(
                     rank,
-                    &store,
+                    &mut store,
+                    None,
                     iter,
                     &dead,
                     &ranks_died,
@@ -773,6 +774,10 @@ where
         rejoin_bytes,
         suspected_peak,
         integrity,
+        // The membership path never installs a pager: partition tolerance
+        // and out-of-core paging are dispatched separately by the driver.
+        pages: Default::default(),
+        disk: Default::default(),
     }
 }
 

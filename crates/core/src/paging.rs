@@ -1,0 +1,897 @@
+//! Out-of-core paging: a fixed-budget buffer pool over the virtual disk.
+//!
+//! ROADMAP item 2: partitions that outgrow RAM. The paged [`NodeStore`]
+//! keeps at most `budget` hash buckets of its [`NodeTable`] resident; the
+//! rest live on the rank's private [`mpisim::VirtualDisk`] as checksummed
+//! *pages* (one page = one hash bucket, entries in ascending id order,
+//! staged pending values included so an eviction mid-iteration loses
+//! nothing). Every piece of cleverness a real storage engine owes its
+//! block device lives here:
+//!
+//! * **Checksummed page format.** A page blob is an 8-byte
+//!   [`mpisim::frame_checksum`] keyed by `(rank, page, version)` followed
+//!   by the wire encoding of the entries. The key is slot-independent, so
+//!   the shadow copy verifies with the same arithmetic as the primary.
+//! * **Shadow-paging commit.** A commit writes the new version to the
+//!   *inactive* slot, read-back-verifies it (the only way to catch a torn
+//!   write), and only then flips the active-slot pointer — a torn or
+//!   interrupted write can never expose a half-written page. The verified
+//!   blob is then mirrored to the other slot (best effort), so steady
+//!   state holds two independently-decaying copies of every page.
+//! * **Bounded retry with exponential backoff.** Transient I/O errors and
+//!   disk-full rejections retry up to [`MAX_IO_RETRIES`] times; every
+//!   retry charges `disk_retry_backoff × 2^attempt` virtual seconds. Each
+//!   commit round allocates a *fresh* monotonic version, because read rot
+//!   is sticky per stored version — retrying the same version could never
+//!   converge.
+//! * **Escalation, never a wrong answer.** A page whose every copy fails
+//!   verification latches the pager's *damage* flag and serves an empty
+//!   bucket; compute skips the missing entries (the iteration is garbage),
+//!   the flag rides the next agreed control word, and every rank rolls
+//!   back to the last verified checkpoint together. Versions are never
+//!   rolled back and the disk's op counter survives the purge, so replay
+//!   makes fresh fault decisions and converges whenever `p < 1`. A run
+//!   whose damage persists across [`crate::checkpoint`]'s consecutive-
+//!   failure limit ends in the typed
+//!   [`crate::error::PlatformError::UnrecoverableState`].
+//!
+//! Determinism contract: pool state is a pure function of the access
+//! sequence, fault decisions are pure hashes, and all I/O plus backoff
+//! time accumulates in a pending-seconds account the platform drains into
+//! the virtual clock at fixed points ([`crate::timers::Phase::Storage`]).
+//! Same seed, same schedule, bit-identical `total_time`.
+
+use crate::hashtab::NodeTable;
+use ic2_graph::NodeId;
+use mpisim::{frame_checksum, DiskCounters, DiskTiming, FaultPlan, VirtualDisk, Wire};
+use std::collections::BTreeSet;
+
+/// Checksum domain for page blobs (distinct from every wire/audit seed).
+const PAGE_SEED: u64 = 0x8cb9_2ba7_2f3d_8dd7;
+
+/// Bounded-retry limit for one logical disk operation (per slot).
+const MAX_IO_RETRIES: u32 = 5;
+
+/// Pluggable page-replacement policy for the buffer pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Evict the page resident longest, ignoring accesses.
+    Fifo,
+    /// Evict the least-recently-used page.
+    Lru,
+    /// Second-chance clock: a hand sweeps the frames, clearing reference
+    /// bits; the first unreferenced page is evicted.
+    Clock,
+    /// SIEVE (NSDI '24): FIFO order with a retention hand moving from the
+    /// tail toward the head; visited pages are retained once and the hand
+    /// does not move survivors, making it both simpler and lazier than
+    /// Clock.
+    Sieve,
+}
+
+/// Out-of-core paging configuration for [`crate::RunConfig::with_paging`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageConfig {
+    /// Maximum resident pages (hash buckets) per rank. Whole-table phases
+    /// (checkpoint snapshots, migration, restore, final gather) may exceed
+    /// the budget transiently and spill back down afterwards.
+    pub budget: usize,
+    /// Replacement policy.
+    pub policy: EvictionPolicy,
+}
+
+impl PageConfig {
+    /// A paging configuration with the given budget and policy.
+    pub fn new(budget: usize, policy: EvictionPolicy) -> Self {
+        PageConfig { budget, policy }
+    }
+}
+
+/// Platform-side (detection/recovery) paging counters; the injection-side
+/// tallies live in [`mpisim::DiskCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PageCounters {
+    /// Pages faulted in from disk.
+    pub page_faults: u64,
+    /// Pages evicted to enforce the budget.
+    pub pages_evicted: u64,
+    /// Disk operations retried after a transient error, a disk-full
+    /// rejection, or a failed read-back verification.
+    pub disk_retries: u64,
+    /// Acknowledged writes whose read-back verification failed — torn
+    /// writes the shadow-paging commit caught before the flip.
+    pub torn_writes_detected: u64,
+    /// Pages whose primary copy failed verification but whose shadow copy
+    /// was intact (re-marked dirty so the next eviction recommits them).
+    pub pages_recovered: u64,
+}
+
+impl PageCounters {
+    /// Element-wise sum.
+    pub fn merge(&mut self, o: &PageCounters) {
+        self.page_faults += o.page_faults;
+        self.pages_evicted += o.pages_evicted;
+        self.disk_retries += o.disk_retries;
+        self.torn_writes_detected += o.torn_writes_detected;
+        self.pages_recovered += o.pages_recovered;
+    }
+}
+
+/// A fixed-budget frame pool tracking which pages are resident and, per
+/// the configured [`EvictionPolicy`], which to evict next. Pages are dense
+/// small integers (hash-bucket indices), so membership is an array test.
+/// Entirely deterministic: same admit/touch/evict sequence, same victims.
+#[derive(Debug, Clone)]
+pub struct BufferPool {
+    policy: EvictionPolicy,
+    budget: usize,
+    /// Frames in policy order. FIFO/LRU: front = next victim. Clock: ring
+    /// in admission order. SIEVE: front = head (newest), back = tail.
+    order: Vec<usize>,
+    resident: Vec<bool>,
+    /// Clock reference bits / SIEVE visited bits, indexed by page.
+    marked: Vec<bool>,
+    hand: usize,
+}
+
+impl BufferPool {
+    /// A pool holding at most `budget` pages.
+    ///
+    /// # Panics
+    /// Panics if `budget` is zero.
+    pub fn new(policy: EvictionPolicy, budget: usize) -> Self {
+        assert!(budget > 0, "buffer pool needs a budget of at least 1 page");
+        BufferPool {
+            policy,
+            budget,
+            order: Vec::new(),
+            resident: Vec::new(),
+            marked: Vec::new(),
+            hand: usize::MAX,
+        }
+    }
+
+    /// Resident page count.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether no page is resident.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Whether more pages are resident than the budget allows.
+    pub fn over_budget(&self) -> bool {
+        self.order.len() > self.budget
+    }
+
+    /// Whether `page` is resident.
+    pub fn contains(&self, page: usize) -> bool {
+        self.resident.get(page).copied().unwrap_or(false)
+    }
+
+    fn grow_to(&mut self, page: usize) {
+        if page >= self.resident.len() {
+            self.resident.resize(page + 1, false);
+            self.marked.resize(page + 1, false);
+        }
+    }
+
+    /// Admit a non-resident page (caller faults it in).
+    ///
+    /// # Panics
+    /// Panics if `page` is already resident.
+    pub fn admit(&mut self, page: usize) {
+        self.grow_to(page);
+        assert!(!self.resident[page], "page {page} admitted twice");
+        self.resident[page] = true;
+        self.marked[page] = false;
+        match self.policy {
+            EvictionPolicy::Sieve => {
+                // SIEVE inserts at the head; the tail-ward hand index
+                // shifts by one to keep pointing at the same frame.
+                self.order.insert(0, page);
+                if self.hand != usize::MAX {
+                    self.hand += 1;
+                }
+            }
+            _ => self.order.push(page),
+        }
+    }
+
+    /// Record an access to a resident page.
+    pub fn touch(&mut self, page: usize) {
+        debug_assert!(self.contains(page), "touch of non-resident page {page}");
+        match self.policy {
+            EvictionPolicy::Fifo => {}
+            EvictionPolicy::Lru => {
+                // Move to the back of the recency list.
+                if let Some(pos) = self.order.iter().position(|&p| p == page) {
+                    self.order.remove(pos);
+                    self.order.push(page);
+                }
+            }
+            EvictionPolicy::Clock | EvictionPolicy::Sieve => self.marked[page] = true,
+        }
+    }
+
+    /// Choose and remove the next victim, never one in `pinned`. `None`
+    /// when every resident page is pinned.
+    pub fn evict(&mut self, pinned: &BTreeSet<usize>) -> Option<usize> {
+        if !self.order.iter().any(|p| !pinned.contains(p)) {
+            return None;
+        }
+        match self.policy {
+            EvictionPolicy::Fifo | EvictionPolicy::Lru => {
+                let pos = self.order.iter().position(|p| !pinned.contains(p))?;
+                let page = self.order.remove(pos);
+                self.resident[page] = false;
+                Some(page)
+            }
+            EvictionPolicy::Clock => {
+                if self.hand >= self.order.len() {
+                    self.hand = 0;
+                }
+                loop {
+                    let page = self.order[self.hand];
+                    if !pinned.contains(&page) && !self.marked[page] {
+                        self.order.remove(self.hand);
+                        self.resident[page] = false;
+                        if self.hand >= self.order.len() {
+                            self.hand = 0;
+                        }
+                        return Some(page);
+                    }
+                    if !pinned.contains(&page) {
+                        self.marked[page] = false;
+                    }
+                    self.hand = (self.hand + 1) % self.order.len();
+                }
+            }
+            EvictionPolicy::Sieve => {
+                if self.hand >= self.order.len() {
+                    self.hand = self.order.len() - 1;
+                }
+                loop {
+                    let page = self.order[self.hand];
+                    if !pinned.contains(&page) && !self.marked[page] {
+                        self.order.remove(self.hand);
+                        self.resident[page] = false;
+                        self.hand = if self.hand == 0 {
+                            self.order.len().saturating_sub(1)
+                        } else {
+                            self.hand - 1
+                        };
+                        return Some(page);
+                    }
+                    if !pinned.contains(&page) {
+                        self.marked[page] = false;
+                    }
+                    self.hand = if self.hand == 0 {
+                        self.order.len() - 1
+                    } else {
+                        self.hand - 1
+                    };
+                }
+            }
+        }
+    }
+
+    /// Resident pages in ascending order (diagnostics and tests).
+    pub fn resident_pages(&self) -> Vec<usize> {
+        let mut pages = self.order.clone();
+        pages.sort_unstable();
+        pages
+    }
+}
+
+/// What a page read found.
+enum PageRead<D> {
+    /// A verified copy (`from_shadow` says the primary failed and the
+    /// shadow slot saved it).
+    Good {
+        entries: Vec<(NodeId, D, Option<D>)>,
+        from_shadow: bool,
+    },
+    /// Every copy failed verification after retries.
+    Lost,
+}
+
+/// The paging engine one rank's [`crate::store::NodeStore`] owns: buffer
+/// pool, virtual disk, per-page version/slot directory, and the dirty sets
+/// that drive write-back and incremental checkpoints. Deliberately not
+/// generic over the data type — only its methods are — so the store can
+/// hold it untyped.
+#[derive(Debug, Clone)]
+pub(crate) struct Pager {
+    disk: VirtualDisk,
+    rank: usize,
+    nbuckets: usize,
+    pool: BufferPool,
+    /// Active slot (0/1) per page: which copy a read trusts first.
+    active: Vec<u8>,
+    /// Last committed version per page (0 = never committed).
+    version: Vec<u64>,
+    /// Monotonic version allocator — never rolled back, so replayed
+    /// commits make fresh fault decisions.
+    next_version: u64,
+    /// Page has a committed disk image.
+    on_disk: Vec<bool>,
+    /// Resident page differs from its disk image: eviction must write.
+    disk_dirty: Vec<bool>,
+    /// Pages mutated since the last committed checkpoint (drives the
+    /// incremental page-diff mirror).
+    ckpt_dirty: BTreeSet<usize>,
+    /// Pages holding staged pending values this phase.
+    staged: BTreeSet<usize>,
+    /// Latched when any page lost every verified copy (or a commit could
+    /// not secure one): the agreed signal that forces a rollback.
+    damaged: bool,
+    /// Virtual backoff seconds awaiting a drain (disk transfer seconds
+    /// accumulate inside [`VirtualDisk`] and drain together).
+    pending: f64,
+    backoff: f64,
+    counters: PageCounters,
+}
+
+impl Pager {
+    /// A pager for `rank` over a table of `nbuckets` buckets, all of which
+    /// start resident (the caller spills down to budget afterwards).
+    pub(crate) fn new(
+        rank: usize,
+        nbuckets: usize,
+        cfg: &PageConfig,
+        plan: FaultPlan,
+        timing: DiskTiming,
+        backoff: f64,
+    ) -> Self {
+        let mut pool = BufferPool::new(cfg.policy, cfg.budget);
+        for b in 0..nbuckets {
+            pool.admit(b);
+        }
+        Pager {
+            disk: VirtualDisk::new(rank, plan, timing),
+            rank,
+            nbuckets,
+            pool,
+            active: vec![0; nbuckets],
+            version: vec![0; nbuckets],
+            next_version: 1,
+            on_disk: vec![false; nbuckets],
+            disk_dirty: vec![false; nbuckets],
+            ckpt_dirty: BTreeSet::new(),
+            staged: BTreeSet::new(),
+            damaged: false,
+            pending: 0.0,
+            backoff,
+            counters: PageCounters::default(),
+        }
+    }
+
+    /// Whether `page` is resident in the pool.
+    pub(crate) fn is_resident(&self, page: usize) -> bool {
+        self.pool.contains(page)
+    }
+
+    /// The damage latch: some page lost every verified copy since the last
+    /// reset. Cleared only by [`Pager::reset_after_restore`].
+    pub(crate) fn damaged(&self) -> bool {
+        self.damaged
+    }
+
+    /// Platform-side counters.
+    pub(crate) fn counters(&self) -> PageCounters {
+        self.counters
+    }
+
+    /// Injection-side counters from the underlying disk.
+    pub(crate) fn disk_counters(&self) -> DiskCounters {
+        self.disk.counters()
+    }
+
+    /// Drain accumulated virtual I/O + backoff seconds; the caller charges
+    /// them to the clock under [`crate::timers::Phase::Storage`].
+    pub(crate) fn take_seconds(&mut self) -> f64 {
+        self.disk.take_seconds() + std::mem::take(&mut self.pending)
+    }
+
+    /// Record a current-value mutation of `page` (shadow unpack, migration
+    /// surgery): both write-back and the next checkpoint must see it.
+    pub(crate) fn note_write(&mut self, page: usize) {
+        self.disk_dirty[page] = true;
+        self.ckpt_dirty.insert(page);
+    }
+
+    /// Record a staged pending value in `page` (compute wrote it); the
+    /// promote pass visits exactly these pages.
+    pub(crate) fn note_staged(&mut self, page: usize) {
+        self.staged.insert(page);
+        self.disk_dirty[page] = true;
+        self.ckpt_dirty.insert(page);
+    }
+
+    /// Pages mutated since the last committed checkpoint, ascending.
+    pub(crate) fn ckpt_dirty_pages(&self) -> Vec<usize> {
+        self.ckpt_dirty.iter().copied().collect()
+    }
+
+    /// A checkpoint carrying the current dirty set committed.
+    pub(crate) fn clear_ckpt_dirty(&mut self) {
+        self.ckpt_dirty.clear();
+    }
+
+    /// Make the pages holding `ids` (and nothing less) resident, then
+    /// evict back down to budget sparing exactly those pages. The per-node
+    /// hot path: one call pins a node's bucket and its neighbours'.
+    pub(crate) fn ensure<D>(
+        &mut self,
+        table: &mut NodeTable<D>,
+        ids: impl IntoIterator<Item = NodeId>,
+    ) where
+        D: Clone + Wire,
+    {
+        let needed: BTreeSet<usize> = ids.into_iter().map(|id| table.bucket_index(id)).collect();
+        for &b in &needed {
+            if self.pool.contains(b) {
+                self.pool.touch(b);
+            } else {
+                self.fault_in(table, b);
+            }
+        }
+        self.evict_to_budget(table, &needed);
+    }
+
+    /// Promote staged pending values page by page, faulting each staged
+    /// page in as needed, calling `f(id, &new_current)` per promotion.
+    pub(crate) fn promote<D>(
+        &mut self,
+        table: &mut NodeTable<D>,
+        mut f: impl FnMut(NodeId, &D),
+    ) -> usize
+    where
+        D: Clone + Wire,
+    {
+        let staged = std::mem::take(&mut self.staged);
+        let mut promoted = 0;
+        for &b in &staged {
+            let pin = BTreeSet::from([b]);
+            if self.pool.contains(b) {
+                self.pool.touch(b);
+            } else {
+                self.fault_in(table, b);
+            }
+            let n = table.promote_bucket_with(b, &mut f);
+            if n > 0 {
+                // The promote mutated the bucket in RAM; a mid-iteration
+                // eviction may have written (and un-dirtied) the staged
+                // image, so re-mark or the stale disk copy wins.
+                self.disk_dirty[b] = true;
+            }
+            promoted += n;
+            self.evict_to_budget(table, &pin);
+        }
+        promoted
+    }
+
+    /// Fault in every non-resident page — the bulk-phase prelude
+    /// (checkpoint snapshot, migration, audit, gather). The pool runs over
+    /// budget until [`Pager::spill_to_budget`].
+    pub(crate) fn page_in_all<D>(&mut self, table: &mut NodeTable<D>)
+    where
+        D: Clone + Wire,
+    {
+        for b in 0..self.nbuckets {
+            if !self.pool.contains(b) {
+                self.fault_in(table, b);
+            }
+        }
+    }
+
+    /// Evict back down to the budget with nothing pinned.
+    pub(crate) fn spill_to_budget<D>(&mut self, table: &mut NodeTable<D>)
+    where
+        D: Clone + Wire,
+    {
+        self.evict_to_budget(table, &BTreeSet::new());
+    }
+
+    /// Conservatively mark every page dirty — after bulk table surgery
+    /// (migration, evacuation) whose writes bypassed the pager.
+    pub(crate) fn mark_all_dirty(&mut self) {
+        for b in 0..self.nbuckets {
+            self.disk_dirty[b] = true;
+            self.ckpt_dirty.insert(b);
+        }
+    }
+
+    /// Reset after a checkpoint restore rebuilt the table wholesale: purge
+    /// the disk (the op counter survives, so replay decides faults
+    /// afresh), mark everything resident and dirty, clear the damage
+    /// latch. The caller spills back down to budget afterwards.
+    pub(crate) fn reset_after_restore(&mut self) {
+        self.disk.purge();
+        let (policy, budget) = (self.pool.policy, self.pool.budget);
+        let mut pool = BufferPool::new(policy, budget);
+        for b in 0..self.nbuckets {
+            pool.admit(b);
+        }
+        self.pool = pool;
+        self.on_disk = vec![false; self.nbuckets];
+        self.disk_dirty = vec![true; self.nbuckets];
+        self.ckpt_dirty = (0..self.nbuckets).collect();
+        self.staged.clear();
+        self.damaged = false;
+    }
+
+    fn fault_in<D>(&mut self, table: &mut NodeTable<D>, b: usize)
+    where
+        D: Clone + Wire,
+    {
+        self.counters.page_faults += 1;
+        match self.read_page::<D>(b) {
+            PageRead::Good {
+                entries,
+                from_shadow,
+            } => {
+                table.install_bucket(b, entries);
+                if from_shadow {
+                    // The primary copy is gone: re-mark dirty so the next
+                    // eviction recommits a fresh pair of verified copies.
+                    self.counters.pages_recovered += 1;
+                    self.disk_dirty[b] = true;
+                }
+            }
+            PageRead::Lost => {
+                // Serve the empty bucket; compute skips the missing
+                // entries and the damage latch forces a rollback at the
+                // next agreed boundary.
+                self.damaged = true;
+            }
+        }
+        self.pool.admit(b);
+    }
+
+    fn evict_to_budget<D>(&mut self, table: &mut NodeTable<D>, pinned: &BTreeSet<usize>)
+    where
+        D: Clone + Wire,
+    {
+        // Bounded: a commit failure re-admits its page, so without the
+        // attempt cap a wholly-failing disk would spin here forever.
+        let mut attempts = self.pool.len() + 1;
+        while self.pool.len() > self.pool.budget && attempts > 0 {
+            if !self.evict_one(table, pinned) {
+                attempts -= 1;
+            }
+        }
+    }
+
+    fn evict_one<D>(&mut self, table: &mut NodeTable<D>, pinned: &BTreeSet<usize>) -> bool
+    where
+        D: Clone + Wire,
+    {
+        let Some(b) = self.pool.evict(pinned) else {
+            return false;
+        };
+        let entries = table.take_bucket(b);
+        if self.disk_dirty[b] || !self.on_disk[b] {
+            if self.write_page(b, &entries) {
+                self.disk_dirty[b] = false;
+                self.on_disk[b] = true;
+            } else {
+                // No verified copy could be secured: keep the page in RAM
+                // (over budget beats data loss) and latch damage so the
+                // platform escalates to rollback.
+                table.install_bucket(b, entries);
+                self.pool.admit(b);
+                self.damaged = true;
+                return false;
+            }
+        }
+        self.counters.pages_evicted += 1;
+        true
+    }
+
+    fn blob<D: Wire + Clone>(
+        &self,
+        b: usize,
+        version: u64,
+        entries: &[(NodeId, D, Option<D>)],
+    ) -> Vec<u8> {
+        let payload = entries.to_vec().to_bytes();
+        let sum = frame_checksum(PAGE_SEED, self.rank, b as i64, version, &payload);
+        let mut blob = sum.to_le_bytes().to_vec();
+        blob.extend_from_slice(&payload);
+        blob
+    }
+
+    fn verify(&self, b: usize, version: u64, blob: &[u8]) -> bool {
+        if blob.len() < 8 {
+            return false;
+        }
+        let (sum, payload) = blob.split_at(8);
+        let expect = frame_checksum(PAGE_SEED, self.rank, b as i64, version, payload);
+        u64::from_le_bytes(sum.try_into().expect("8-byte checksum prefix")) == expect
+    }
+
+    /// Shadow-paging commit of `entries` as the new content of page `b`.
+    /// Returns false when no verified copy could be secured after retries.
+    fn write_page<D>(&mut self, b: usize, entries: &[(NodeId, D, Option<D>)]) -> bool
+    where
+        D: Clone + Wire,
+    {
+        for round in 0..=MAX_IO_RETRIES {
+            // A fresh version every round: read rot is sticky per stored
+            // version, so re-trying a failed version could never converge.
+            let v = self.next_version;
+            self.next_version += 1;
+            let target = 1 - self.active[b];
+            let blob = self.blob(b, v, entries);
+            if self.disk.write(b as u64, target as u64, v, &blob).is_err() {
+                self.retry_backoff(round);
+                continue;
+            }
+            // Read-back verification before the pointer flip: the only
+            // way an acknowledged-but-torn write can be caught.
+            match self.read_back(b, target, v, &blob) {
+                Some(true) => {
+                    self.active[b] = target;
+                    self.version[b] = v;
+                    self.mirror(b, v, &blob);
+                    return true;
+                }
+                Some(false) => {
+                    self.counters.torn_writes_detected += 1;
+                    self.retry_backoff(round);
+                }
+                None => self.retry_backoff(round),
+            }
+        }
+        false
+    }
+
+    /// Re-read a just-written slot, comparing raw bytes. `Some(ok)` when a
+    /// read succeeded, `None` when transient errors exhausted the retries.
+    fn read_back(&mut self, b: usize, slot: u8, version: u64, blob: &[u8]) -> Option<bool> {
+        for attempt in 0..=MAX_IO_RETRIES {
+            match self.disk.read(b as u64, slot as u64) {
+                Ok(Some((v, bytes))) => return Some(v == version && bytes == blob),
+                Ok(None) => return Some(false),
+                Err(_) => self.retry_backoff(attempt),
+            }
+        }
+        None
+    }
+
+    /// Best-effort copy of a committed blob onto the other slot, verified,
+    /// so the page ends the commit with two independent copies.
+    fn mirror(&mut self, b: usize, version: u64, blob: &[u8]) {
+        let other = 1 - self.active[b];
+        for attempt in 0..=MAX_IO_RETRIES {
+            if self
+                .disk
+                .write(b as u64, other as u64, version, blob)
+                .is_err()
+            {
+                self.retry_backoff(attempt);
+                continue;
+            }
+            match self.read_back(b, other, version, blob) {
+                Some(true) => return,
+                _ => self.retry_backoff(attempt),
+            }
+        }
+        // The active copy is verified; a page with one copy merely loses
+        // its recovery margin.
+    }
+
+    fn retry_backoff(&mut self, attempt: u32) {
+        self.counters.disk_retries += 1;
+        self.pending += self.backoff * (1u64 << attempt.min(10)) as f64;
+    }
+
+    /// Read and verify page `b`, escalating primary → shadow slot.
+    fn read_page<D>(&mut self, b: usize) -> PageRead<D>
+    where
+        D: Clone + Wire,
+    {
+        let expect = self.version[b];
+        if expect == 0 || !self.on_disk[b] {
+            // Never committed: the page is genuinely empty.
+            return PageRead::Good {
+                entries: Vec::new(),
+                from_shadow: false,
+            };
+        }
+        for (nth, slot) in [self.active[b], 1 - self.active[b]].into_iter().enumerate() {
+            if let Some(entries) = self.read_slot::<D>(b, slot, expect) {
+                return PageRead::Good {
+                    entries,
+                    from_shadow: nth == 1,
+                };
+            }
+        }
+        PageRead::Lost
+    }
+
+    /// One slot's verified entries, or `None` (wrong version, checksum
+    /// failure, undecodable payload, or transient errors past the retry
+    /// budget).
+    fn read_slot<D>(
+        &mut self,
+        b: usize,
+        slot: u8,
+        expect: u64,
+    ) -> Option<Vec<(NodeId, D, Option<D>)>>
+    where
+        D: Clone + Wire,
+    {
+        for attempt in 0..=MAX_IO_RETRIES {
+            match self.disk.read(b as u64, slot as u64) {
+                Ok(Some((v, bytes))) => {
+                    if v != expect || !self.verify(b, expect, &bytes) {
+                        // Stale or rotten — and rot is sticky, so another
+                        // attempt on this slot cannot help.
+                        return None;
+                    }
+                    return Vec::<(NodeId, D, Option<D>)>::from_bytes(&bytes[8..]).ok();
+                }
+                Ok(None) => return None,
+                Err(_) => self.retry_backoff(attempt),
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(pool: &mut BufferPool, accesses: &[usize]) -> (u64, u64) {
+        let (mut hits, mut misses) = (0u64, 0u64);
+        let none = BTreeSet::new();
+        for &p in accesses {
+            if pool.contains(p) {
+                hits += 1;
+                pool.touch(p);
+            } else {
+                misses += 1;
+                if pool.len() >= pool.budget() {
+                    pool.evict(&none).expect("nothing pinned");
+                }
+                pool.admit(p);
+            }
+            assert!(pool.len() <= pool.budget(), "budget invariant violated");
+        }
+        (hits, misses)
+    }
+
+    #[test]
+    fn fifo_evicts_in_admission_order() {
+        let mut pool = BufferPool::new(EvictionPolicy::Fifo, 3);
+        for p in [1, 2, 3] {
+            pool.admit(p);
+        }
+        pool.touch(1); // FIFO ignores accesses
+        let none = BTreeSet::new();
+        assert_eq!(pool.evict(&none), Some(1));
+        assert_eq!(pool.evict(&none), Some(2));
+        assert!(!pool.contains(1));
+        assert!(pool.contains(3));
+    }
+
+    #[test]
+    fn lru_protects_recently_used() {
+        let mut pool = BufferPool::new(EvictionPolicy::Lru, 3);
+        for p in [1, 2, 3] {
+            pool.admit(p);
+        }
+        pool.touch(1);
+        let none = BTreeSet::new();
+        assert_eq!(pool.evict(&none), Some(2), "1 was touched, 2 is oldest");
+    }
+
+    #[test]
+    fn clock_second_chance_spares_referenced_pages() {
+        let mut pool = BufferPool::new(EvictionPolicy::Clock, 3);
+        for p in [1, 2, 3] {
+            pool.admit(p);
+        }
+        pool.touch(1);
+        let none = BTreeSet::new();
+        // Hand passes 1 (referenced: cleared, spared) and lands on 2.
+        assert_eq!(pool.evict(&none), Some(2));
+        // 1's bit is now clear; the hand continues from 3.
+        assert_eq!(pool.evict(&none), Some(3));
+    }
+
+    #[test]
+    fn sieve_retains_visited_pages() {
+        let mut pool = BufferPool::new(EvictionPolicy::Sieve, 3);
+        for p in [1, 2, 3] {
+            pool.admit(p);
+        }
+        pool.touch(1);
+        let none = BTreeSet::new();
+        // Tail-ward hand: 1 is oldest (tail) but visited — retained; the
+        // next unvisited tail-ward page is 2.
+        assert_eq!(pool.evict(&none), Some(2));
+    }
+
+    #[test]
+    fn pinned_pages_are_never_victims() {
+        for policy in [
+            EvictionPolicy::Fifo,
+            EvictionPolicy::Lru,
+            EvictionPolicy::Clock,
+            EvictionPolicy::Sieve,
+        ] {
+            let mut pool = BufferPool::new(policy, 2);
+            pool.admit(7);
+            pool.admit(9);
+            let pinned: BTreeSet<usize> = [7, 9].into();
+            assert_eq!(pool.evict(&pinned), None, "{policy:?} evicted a pin");
+            let pinned: BTreeSet<usize> = [7].into();
+            assert_eq!(pool.evict(&pinned), Some(9), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn eviction_sequences_are_deterministic() {
+        let accesses: Vec<usize> = (0..400).map(|i| (i * 7 + i / 13) % 23).collect();
+        for policy in [
+            EvictionPolicy::Fifo,
+            EvictionPolicy::Lru,
+            EvictionPolicy::Clock,
+            EvictionPolicy::Sieve,
+        ] {
+            let mut a = BufferPool::new(policy, 8);
+            let mut b = BufferPool::new(policy, 8);
+            let ra = drive(&mut a, &accesses);
+            let rb = drive(&mut b, &accesses);
+            assert_eq!(ra, rb, "{policy:?} hit counts diverged");
+            assert_eq!(
+                a.resident_pages(),
+                b.resident_pages(),
+                "{policy:?} resident sets diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn clock_and_sieve_beat_fifo_on_scan_with_hot_pages() {
+        // A looping scan over 16 cold pages interleaved with two hot pages
+        // (90% of the value): reference bits keep the hot pages resident,
+        // FIFO flushes them with the scan.
+        let mut accesses = Vec::new();
+        for round in 0..60 {
+            for cold in 0..16usize {
+                accesses.push(100); // hot
+                accesses.push(20 + cold);
+                accesses.push(101); // hot
+            }
+            let _ = round;
+        }
+        let run = |policy| {
+            let mut pool = BufferPool::new(policy, 4);
+            drive(&mut pool, &accesses).0
+        };
+        let fifo = run(EvictionPolicy::Fifo);
+        let clock = run(EvictionPolicy::Clock);
+        let sieve = run(EvictionPolicy::Sieve);
+        assert!(
+            clock > fifo,
+            "clock ({clock} hits) must beat fifo ({fifo} hits)"
+        );
+        assert!(
+            sieve > fifo,
+            "sieve ({sieve} hits) must beat fifo ({fifo} hits)"
+        );
+    }
+}

@@ -2,10 +2,13 @@
 //! bookkeeping every later phase reads.
 
 use crate::audit::{entry_hash, AuditState};
+use crate::costs::CostModel;
+use crate::error::{PlatformError, StoreViolation};
 use crate::hashtab::NodeTable;
+use crate::paging::{PageConfig, Pager};
 use crate::program::NodeProgram;
 use ic2_graph::{Graph, NodeId, Partition};
-use mpisim::Wire;
+use mpisim::{DiskTiming, FaultPlan, Wire};
 
 /// Node information maintained per owned node (the thesis's `own_node`
 /// struct, Figure 7): identity, neighbourhood, and which processors hold
@@ -72,6 +75,11 @@ pub struct NodeStore<D> {
     /// updated by injected memory corruption, which is how an audit
     /// boundary detects it.
     pub(crate) audit: Option<AuditState>,
+    /// Out-of-core paging engine (`RunConfig::with_paging`), `None` when
+    /// the whole table lives in RAM. When present, at most its budget of
+    /// hash buckets is resident; the rest are checksummed pages on the
+    /// rank's virtual disk.
+    pub(crate) pager: Option<Pager>,
 }
 
 impl<D: Clone> NodeStore<D> {
@@ -108,6 +116,7 @@ impl<D: Clone> NodeStore<D> {
             node_load: vec![0.0; graph.num_nodes()],
             needs_resync: true,
             audit: None,
+            pager: None,
         };
         // Owned node data...
         for v in graph.nodes() {
@@ -291,25 +300,129 @@ impl<D> NodeStore<D> {
         D: Wire,
     {
         let audit = self.audit.as_ref().expect("audit_verify without audit");
+        let paged = self.pager.is_some();
         let mut out = crate::audit::AuditOutcome::default();
         for node in self.internal.iter().chain(&self.peripheral) {
-            let d = self.table.get(node.id).expect("owned data present");
-            let h = entry_hash(node.id, d);
             out.checked += 1;
+            let d = match self.table.get(node.id) {
+                Some(d) => d,
+                // Paged mode runs audits with every page faulted in; a
+                // missing entry means its page lost every copy — report it
+                // as a mismatch so the repair ladder escalates.
+                None if paged => {
+                    out.owned_mismatches += 1;
+                    continue;
+                }
+                None => panic!("owned data present"),
+            };
+            let h = entry_hash(node.id, d);
             out.owned_root ^= h;
             if h != audit.hash_of(node.id) {
                 out.owned_mismatches += 1;
             }
         }
         for id in self.shadow_ids() {
-            let d = self.table.get(id).expect("shadow data present");
-            let h = entry_hash(id, d);
             out.checked += 1;
+            let d = match self.table.get(id) {
+                Some(d) => d,
+                None if paged => {
+                    out.shadow_mismatches += 1;
+                    continue;
+                }
+                None => panic!("shadow data present"),
+            };
+            let h = entry_hash(id, d);
             if h != audit.hash_of(id) {
                 out.shadow_mismatches += 1;
             }
         }
         out
+    }
+
+    /// Switch the table to out-of-core paged mode: install a pager over
+    /// the hash buckets, then spill down to the configured budget (the
+    /// spilled pages get their first verified disk commit here).
+    pub(crate) fn enable_paging(&mut self, cfg: &PageConfig, plan: &FaultPlan, costs: &CostModel)
+    where
+        D: Clone + Wire,
+    {
+        let timing = DiskTiming {
+            seek_seconds: costs.disk_seek,
+            byte_seconds: costs.disk_byte,
+        };
+        let mut pager = Pager::new(
+            self.rank as usize,
+            self.table.bucket_count(),
+            cfg,
+            plan.clone(),
+            timing,
+            costs.disk_retry_backoff,
+        );
+        pager.spill_to_budget(&mut self.table);
+        self.pager = Some(pager);
+    }
+
+    /// Whether the pager has latched damage (some page lost every verified
+    /// copy) since the last restore. Always false in non-paged mode.
+    pub(crate) fn disk_damaged(&self) -> bool {
+        self.pager.as_ref().is_some_and(|p| p.damaged())
+    }
+
+    /// Drain the pager's accumulated virtual I/O seconds (zero when not
+    /// paged); the caller charges them to the clock under
+    /// [`crate::timers::Phase::Storage`].
+    pub(crate) fn take_storage_seconds(&mut self) -> f64 {
+        self.pager.as_mut().map_or(0.0, Pager::take_seconds)
+    }
+
+    /// Begin a whole-table phase (snapshot, migration, audit, gather):
+    /// fault every page in. The pool runs over budget until
+    /// [`Self::bulk_end`] — the documented transient for bulk phases.
+    pub(crate) fn bulk_begin(&mut self)
+    where
+        D: Clone + Wire,
+    {
+        let NodeStore { pager, table, .. } = self;
+        if let Some(p) = pager.as_mut() {
+            p.page_in_all(table);
+        }
+    }
+
+    /// End a whole-table phase: conservatively mark every page dirty (bulk
+    /// phases mutate buckets behind the pager's back) and spill back down
+    /// to budget.
+    pub(crate) fn bulk_end(&mut self)
+    where
+        D: Clone + Wire,
+    {
+        let NodeStore { pager, table, .. } = self;
+        if let Some(p) = pager.as_mut() {
+            p.mark_all_dirty();
+            p.spill_to_budget(table);
+        }
+    }
+
+    /// End a *read-only* whole-table phase (snapshot, audit, gather):
+    /// spill back down to budget without marking anything dirty — only
+    /// pages that never reached disk get written.
+    pub(crate) fn bulk_end_clean(&mut self)
+    where
+        D: Clone + Wire,
+    {
+        let NodeStore { pager, table, .. } = self;
+        if let Some(p) = pager.as_mut() {
+            p.spill_to_budget(table);
+        }
+    }
+
+    /// Data-presence test that understands paging: an entry counts as
+    /// stored if it is in RAM or could be on a non-resident page.
+    fn has_entry(&self, id: NodeId) -> bool {
+        self.table.contains(id)
+            || self
+                .pager
+                .as_ref()
+                .is_some_and(|p| !p.is_resident(self.table.bucket_index(id)))
     }
 
     /// Zero the per-node load samples (a balancing round consumed them, or
@@ -342,11 +455,20 @@ impl<D> NodeStore<D> {
     }
 
     /// Check every structural invariant of the store against the graph;
-    /// returns the first violation.
-    pub fn validate(&self, graph: &Graph) -> Result<(), String> {
+    /// returns the first violation as a typed
+    /// [`PlatformError::StoreInvariant`].
+    pub fn validate(&self, graph: &Graph) -> Result<(), PlatformError> {
+        self.check_invariants(graph)
+            .map_err(PlatformError::StoreInvariant)
+    }
+
+    fn check_invariants(&self, graph: &Graph) -> Result<(), StoreViolation> {
         // Owner map shape.
         if self.owner.len() != graph.num_nodes() {
-            return Err("owner map length mismatch".into());
+            return Err(StoreViolation::OwnerMapLength {
+                expected: graph.num_nodes(),
+                actual: self.owner.len(),
+            });
         }
         // Every owned node in exactly one list, correctly classified.
         let mut owned_seen = std::collections::HashSet::new();
@@ -356,23 +478,26 @@ impl<D> NodeStore<D> {
         ] {
             for node in list {
                 if self.owner[node.id as usize] != self.rank {
-                    return Err(format!("{list_name} node {} not owned", node.id));
+                    return Err(StoreViolation::NotOwned {
+                        list: list_name,
+                        node: node.id,
+                    });
                 }
                 if !owned_seen.insert(node.id) {
-                    return Err(format!("node {} appears twice", node.id));
+                    return Err(StoreViolation::ListedTwice { node: node.id });
                 }
                 if node.neighbors != graph.neighbors(node.id) {
-                    return Err(format!("node {} neighbour list stale", node.id));
+                    return Err(StoreViolation::StaleNeighborList { node: node.id });
                 }
                 let has_remote = node
                     .neighbors
                     .iter()
                     .any(|&w| self.owner[w as usize] != self.rank);
                 if internal && has_remote {
-                    return Err(format!("internal node {} has remote neighbour", node.id));
+                    return Err(StoreViolation::InternalHasRemoteNeighbor { node: node.id });
                 }
                 if !internal && !has_remote {
-                    return Err(format!("peripheral node {} is fully local", node.id));
+                    return Err(StoreViolation::PeripheralFullyLocal { node: node.id });
                 }
                 // shadow_for = sorted distinct remote owners.
                 let mut expect: Vec<u32> = node
@@ -384,28 +509,26 @@ impl<D> NodeStore<D> {
                 expect.sort_unstable();
                 expect.dedup();
                 if node.shadow_for != expect {
-                    return Err(format!(
-                        "node {} shadow_for {:?} != {:?}",
-                        node.id, node.shadow_for, expect
-                    ));
+                    return Err(StoreViolation::ShadowForMismatch { node: node.id });
                 }
             }
         }
         // Every owned node per the owner map is listed.
         for v in graph.nodes() {
             if self.owner[v as usize] == self.rank && !owned_seen.contains(&v) {
-                return Err(format!("owned node {v} missing from lists"));
+                return Err(StoreViolation::UnlistedOwnedNode { node: v });
             }
         }
-        // Data present for owned nodes and all their neighbours.
+        // Data present (in RAM, or on a non-resident page in paged mode)
+        // for owned nodes and all their neighbours.
         for v in graph.nodes() {
             if self.owner[v as usize] == self.rank {
-                if !self.table.contains(v) {
-                    return Err(format!("no data for owned node {v}"));
+                if !self.has_entry(v) {
+                    return Err(StoreViolation::MissingData { node: v });
                 }
                 for &w in graph.neighbors(v) {
-                    if !self.table.contains(w) {
-                        return Err(format!("no data for neighbour {w} of owned {v}"));
+                    if !self.has_entry(w) {
+                        return Err(StoreViolation::MissingNeighborData { node: w, of: v });
                     }
                 }
             }
@@ -418,10 +541,10 @@ impl<D> NodeStore<D> {
             }
         }
         if counts != self.send_counts {
-            return Err(format!(
-                "send_counts {:?} != derived {:?}",
-                self.send_counts, counts
-            ));
+            return Err(StoreViolation::SendPlanMismatch {
+                planned: self.send_counts.clone(),
+                derived: counts,
+            });
         }
         Ok(())
     }

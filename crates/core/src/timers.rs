@@ -28,6 +28,9 @@ pub enum Phase {
     /// retry windows and NACK/retransmit exponential backoff. Split out of
     /// `Communicate` so corruption-recovery cost is visible on its own.
     Integrity,
+    /// Out-of-core storage: virtual disk transfer time plus I/O retry
+    /// backoff charged by the paged node store's buffer pool.
+    Storage,
 }
 
 impl Phase {
@@ -37,7 +40,7 @@ impl Phase {
     pub const COUNT: usize = Phase::ALL.len();
 
     /// All phases, in report order.
-    pub const ALL: [Phase; 9] = [
+    pub const ALL: [Phase; 10] = [
         Phase::Initialization,
         Phase::ComputationOverhead,
         Phase::Compute,
@@ -47,6 +50,7 @@ impl Phase {
         Phase::Checkpoint,
         Phase::Recovery,
         Phase::Integrity,
+        Phase::Storage,
     ];
 
     /// Human-readable label matching the thesis figures.
@@ -61,6 +65,7 @@ impl Phase {
             Phase::Checkpoint => "Checkpointing",
             Phase::Recovery => "Crash Recovery",
             Phase::Integrity => "Message Integrity",
+            Phase::Storage => "Out-of-core Storage",
         }
     }
 
@@ -75,6 +80,7 @@ impl Phase {
             Phase::Checkpoint => 6,
             Phase::Recovery => 7,
             Phase::Integrity => 8,
+            Phase::Storage => 9,
         }
     }
 }

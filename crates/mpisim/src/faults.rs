@@ -197,6 +197,38 @@ impl MemRegion {
     }
 }
 
+/// Which class of storage misbehaviour a disk-fault decision injects.
+/// The four kinds map to the four things a real block device does to an
+/// out-of-core store: power loss mid-write (torn write), media decay
+/// (read rot), flaky controllers (transient errors), and a full device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiskFault {
+    /// A write is acknowledged but lands damaged: one bit of the stored
+    /// blob is flipped. The page checksum catches it on read-back.
+    TornWrite,
+    /// A stored blob decays at rest: one bit flips *in the slot*, sticky
+    /// across re-reads of the same stored version. Retrying the read
+    /// cannot help; only another copy can.
+    ReadRot,
+    /// An I/O operation fails outright but the slot is untouched.
+    /// Retrying (with backoff charged to the virtual clock) can succeed.
+    TransientError,
+    /// A write is rejected because the device reports no space. Like
+    /// transient errors, per-attempt: a retry may find room.
+    Full,
+}
+
+impl DiskFault {
+    fn code(self) -> u64 {
+        match self {
+            DiskFault::TornWrite => 1,
+            DiskFault::ReadRot => 2,
+            DiskFault::TransientError => 3,
+            DiskFault::Full => 4,
+        }
+    }
+}
+
 /// What the fault plan decided for one transmission attempt.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultDecision {
@@ -303,6 +335,12 @@ pub struct FaultPlan {
     /// owned data pristine — the construction the multi-replica restore
     /// tests use to make "exactly these copies are bad" deterministic.
     pub memory_corrupt_regions: Vec<(usize, MemRegion, f64)>,
+    /// `(rank, kind, p)`: each disk operation on `rank`'s virtual disk is
+    /// independently subject to fault `kind` with probability `p`.
+    /// Decisions are pure hashes of `(rank, kind, page, slot, version,
+    /// attempt)` — same purity laws as every other fault family, so an
+    /// out-of-core chaos run is bit-reproducible.
+    pub disk_faults: Vec<(usize, DiskFault, f64)>,
 }
 
 impl Default for FaultPlan {
@@ -326,6 +364,7 @@ impl Default for FaultPlan {
             link_drops: Vec::new(),
             memory_corrupt: Vec::new(),
             memory_corrupt_regions: Vec::new(),
+            disk_faults: Vec::new(),
         }
     }
 }
@@ -599,6 +638,94 @@ impl FaultPlan {
         Ok(self)
     }
 
+    /// Subject each disk operation on `rank`'s virtual disk to fault
+    /// `kind` with probability `p`. Torn writes and read rot damage
+    /// stored bytes (caught by the page checksum); transient errors and
+    /// disk-full rejections fail the operation cleanly (healed by retry
+    /// with backoff charged to the virtual clock).
+    pub fn with_disk_fault(self, rank: usize, kind: DiskFault, p: f64) -> Self {
+        self.try_with_disk_fault(rank, kind, p)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`FaultPlan::with_disk_fault`].
+    pub fn try_with_disk_fault(
+        mut self,
+        rank: usize,
+        kind: DiskFault,
+        p: f64,
+    ) -> Result<Self, FaultPlanError> {
+        check_prob("disk fault", p)?;
+        self.disk_faults.retain(|&(r, k, _)| (r, k) != (rank, kind));
+        self.disk_faults.push((rank, kind, p));
+        Ok(self)
+    }
+
+    /// Whether any rank's virtual disk is scheduled to misbehave.
+    pub fn has_disk_faults(&self) -> bool {
+        self.disk_faults.iter().any(|&(_, _, p)| p > 0.0)
+    }
+
+    /// Probability of disk fault `kind` on `rank` (0.0 unless scheduled).
+    pub fn disk_fault_prob(&self, rank: usize, kind: DiskFault) -> f64 {
+        self.disk_faults
+            .iter()
+            .find(|&&(r, k, _)| r == rank && k == kind)
+            .map_or(0.0, |&(_, _, p)| p)
+    }
+
+    /// Hash chain shared by the disk-fault decision and its bit choice.
+    /// Seeded apart from the message, mangle, and memory chains so disk
+    /// faults never correlate with any other fault family.
+    fn disk_hash(&self, rank: usize, kind: DiskFault, page: u64, slot: u64, version: u64) -> u64 {
+        let mut h = mix64(self.seed ^ 0x94d0_49bb_1331_11eb);
+        h = mix64(h ^ rank as u64);
+        h = mix64(h ^ kind.code());
+        h = mix64(h ^ page);
+        h = mix64(h ^ slot);
+        mix64(h ^ version)
+    }
+
+    /// Does fault `kind` strike attempt `attempt` of the disk operation on
+    /// `(page, slot, version)` of `rank`'s disk? Pure function of the plan
+    /// and the identity tuple. Sticky faults (read rot) pass `attempt = 0`
+    /// so every re-read of the same stored version sees the same decay.
+    pub fn disk_fault_hits(
+        &self,
+        rank: usize,
+        kind: DiskFault,
+        page: u64,
+        slot: u64,
+        version: u64,
+        attempt: u64,
+    ) -> bool {
+        let p = self.disk_fault_prob(rank, kind);
+        if p <= 0.0 {
+            return false;
+        }
+        let h = self.disk_hash(rank, kind, page, slot, version);
+        unit(mix64(h ^ mix64(attempt.wrapping_add(1)))) < p
+    }
+
+    /// Which bit (in `[0, len_bits)`) of the stored blob a torn write or
+    /// read-rot hit flips. Pure hash of the same identity that produced
+    /// the decision.
+    #[allow(clippy::too_many_arguments)]
+    pub fn disk_fault_bit(
+        &self,
+        rank: usize,
+        kind: DiskFault,
+        page: u64,
+        slot: u64,
+        version: u64,
+        attempt: u64,
+        len_bits: u64,
+    ) -> u64 {
+        debug_assert!(len_bits > 0);
+        let h = self.disk_hash(rank, kind, page, slot, version);
+        mix64(h ^ mix64(attempt.wrapping_add(1)) ^ 0x5b) % len_bits
+    }
+
     /// Whether any rank is scheduled for at-rest memory corruption.
     pub fn has_memory_corruption(&self) -> bool {
         self.memory_corrupt.iter().any(|&(_, p)| p > 0.0)
@@ -695,6 +822,7 @@ impl FaultPlan {
     pub fn is_noop(&self) -> bool {
         !self.message_faults()
             && !self.has_memory_corruption()
+            && !self.has_disk_faults()
             && self.stragglers.is_empty()
             && self.kills.is_empty()
             && self.crashes.is_empty()
@@ -995,7 +1123,7 @@ mod tests {
     #[test]
     fn probability_validation_is_exhaustive_over_sampled_inputs() {
         type ProbBuilder = fn(FaultPlan, f64) -> Result<FaultPlan, FaultPlanError>;
-        let builders: [(&str, ProbBuilder); 8] = [
+        let builders: [(&str, ProbBuilder); 9] = [
             ("drop", |pl, p| pl.try_with_drop(p)),
             ("delay", |pl, p| pl.try_with_delay(p, 1e-3)),
             ("dup", |pl, p| pl.try_with_dup(p)),
@@ -1004,6 +1132,9 @@ mod tests {
             ("truncate", |pl, p| pl.try_with_truncate(p)),
             ("link drop", |pl, p| pl.try_with_link_drop(0, 1, p)),
             ("memory corrupt", |pl, p| pl.try_with_memory_corrupt(0, p)),
+            ("disk fault", |pl, p| {
+                pl.try_with_disk_fault(0, DiskFault::ReadRot, p)
+            }),
         ];
         for i in 0..2000u64 {
             let p = sample_f64(i);
@@ -1299,6 +1430,78 @@ mod tests {
         assert_eq!(re.memory_corrupt_prob_in(1, MemRegion::Owned), 0.7);
         assert!(matches!(
             FaultPlan::new(0).try_with_memory_corrupt_in(0, MemRegion::Owned, -0.1),
+            Err(FaultPlanError::ProbabilityOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn disk_fault_decisions_are_pure_rank_local_and_calibrated() {
+        let plan = FaultPlan::new(321).with_disk_fault(1, DiskFault::TransientError, 0.2);
+        assert!(plan.has_disk_faults());
+        assert!(!plan.is_noop());
+        assert!(!plan.message_faults(), "disk faults are not message faults");
+        assert!(!plan.has_memory_corruption());
+        let n = 10_000u64;
+        let mut hit = 0usize;
+        for page in 0..n {
+            let d = plan.disk_fault_hits(1, DiskFault::TransientError, page, 0, 3, 0);
+            assert_eq!(
+                d,
+                plan.disk_fault_hits(1, DiskFault::TransientError, page, 0, 3, 0)
+            );
+            hit += d as usize;
+        }
+        let rate = hit as f64 / n as f64;
+        assert!(
+            (0.17..0.23).contains(&rate),
+            "observed disk-fault rate {rate}"
+        );
+        // Only the scheduled rank and kind are hit.
+        for page in 0..500 {
+            assert!(!plan.disk_fault_hits(0, DiskFault::TransientError, page, 0, 3, 0));
+            assert!(!plan.disk_fault_hits(1, DiskFault::TornWrite, page, 0, 3, 0));
+        }
+        assert_eq!(plan.disk_fault_prob(1, DiskFault::TransientError), 0.2);
+        assert_eq!(plan.disk_fault_prob(1, DiskFault::ReadRot), 0.0);
+    }
+
+    #[test]
+    fn disk_fault_decisions_depend_on_the_full_identity() {
+        let plan = FaultPlan::new(6).with_disk_fault(0, DiskFault::ReadRot, 0.5);
+        let key = |slot: u64, version: u64, attempt: u64| -> Vec<bool> {
+            (0..128)
+                .map(|p| plan.disk_fault_hits(0, DiskFault::ReadRot, p, slot, version, attempt))
+                .collect()
+        };
+        assert_ne!(key(0, 1, 0), key(1, 1, 0), "slot must matter");
+        assert_ne!(key(0, 1, 0), key(0, 2, 0), "version must matter");
+        assert_ne!(key(0, 1, 0), key(0, 1, 1), "attempt must matter");
+        // The bit choice is pure and in range.
+        for p in 0..200 {
+            let b = plan.disk_fault_bit(0, DiskFault::ReadRot, p, 1, 4, 0, 512);
+            assert_eq!(
+                b,
+                plan.disk_fault_bit(0, DiskFault::ReadRot, p, 1, 4, 0, 512)
+            );
+            assert!(b < 512);
+        }
+    }
+
+    #[test]
+    fn disk_fault_builder_replaces_and_validates() {
+        let plan = FaultPlan::new(0)
+            .with_disk_fault(2, DiskFault::Full, 0.3)
+            .with_disk_fault(2, DiskFault::Full, 0.6)
+            .with_disk_fault(2, DiskFault::TornWrite, 0.1);
+        assert_eq!(plan.disk_faults.len(), 2, "same (rank, kind) replaces");
+        assert_eq!(plan.disk_fault_prob(2, DiskFault::Full), 0.6);
+        assert_eq!(plan.disk_fault_prob(2, DiskFault::TornWrite), 0.1);
+        // A zero-probability entry activates nothing.
+        let zero = FaultPlan::new(0).with_disk_fault(0, DiskFault::ReadRot, 0.0);
+        assert!(!zero.has_disk_faults());
+        assert!(zero.is_noop());
+        assert!(matches!(
+            FaultPlan::new(0).try_with_disk_fault(0, DiskFault::Full, -0.5),
             Err(FaultPlanError::ProbabilityOutOfRange { .. })
         ));
     }

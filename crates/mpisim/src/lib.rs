@@ -40,6 +40,7 @@
 //! ```
 
 pub mod comm;
+pub mod disk;
 pub mod faults;
 pub mod mailbox;
 pub mod net;
@@ -51,7 +52,8 @@ pub mod wire;
 pub mod world;
 
 pub use comm::{Died, Rank, RetryPolicy, Tag, ANY_SOURCE};
-pub use faults::{FaultDecision, FaultPlan, FaultPlanError, MemRegion, PartitionSpec};
+pub use disk::{DiskCounters, DiskError, DiskTiming, VirtualDisk};
+pub use faults::{DiskFault, FaultDecision, FaultPlan, FaultPlanError, MemRegion, PartitionSpec};
 pub use mailbox::Envelope;
 pub use net::{NetModel, TimingMode};
 pub use payload::{

@@ -80,6 +80,17 @@ pub struct FaultStats {
     /// [`crate::FaultPlan::with_memory_corrupt`] (injection count; detection
     /// and repair are the platform's job and counted separately there).
     pub memory_corruptions: u64,
+    /// Disk operations failed with a transient I/O error
+    /// ([`crate::FaultPlan::with_disk_fault`], injection count).
+    pub disk_transient_errors: u64,
+    /// Disk writes acknowledged but stored damaged (torn-write injections;
+    /// the platform's read-back verification must catch them).
+    pub disk_torn_writes: u64,
+    /// Stored page versions decayed at rest (read-rot injections, counted
+    /// once per rotten version).
+    pub disk_read_rots: u64,
+    /// Disk writes rejected for space (disk-full injections).
+    pub disk_full_rejections: u64,
 }
 
 impl FaultStats {
@@ -102,6 +113,10 @@ impl FaultStats {
         self.link_dropped += other.link_dropped;
         self.partition_timeouts += other.partition_timeouts;
         self.memory_corruptions += other.memory_corruptions;
+        self.disk_transient_errors += other.disk_transient_errors;
+        self.disk_torn_writes += other.disk_torn_writes;
+        self.disk_read_rots += other.disk_read_rots;
+        self.disk_full_rejections += other.disk_full_rejections;
     }
 
     /// Did any fault actually fire?

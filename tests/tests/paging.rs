@@ -1,0 +1,218 @@
+//! Buffer-pool property tests: the eviction policies in isolation
+//! (determinism, scan resistance, budget discipline) plus the paged
+//! platform's baseline exactness contract for every policy.
+//!
+//! The pool is a pure deterministic structure — no RNG, no clock — so
+//! "same seed" here means "same access stream": identical admit/touch
+//! sequences must produce identical victim sequences and resident sets.
+
+use ic2mpi::paging::BufferPool;
+use ic2mpi::prelude::*;
+use ic2mpi::seq;
+use mpisim::NetModel;
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+const POLICIES: [EvictionPolicy; 4] = [
+    EvictionPolicy::Fifo,
+    EvictionPolicy::Lru,
+    EvictionPolicy::Clock,
+    EvictionPolicy::Sieve,
+];
+
+fn clean_world() -> mpisim::Config {
+    mpisim::Config::virtual_time(NetModel::origin2000()).with_watchdog(Duration::from_secs(30))
+}
+
+/// Deterministic access-stream generator (splitmix64).
+fn stream(seed: u64, len: usize, pages: usize) -> Vec<usize> {
+    let mut x = seed;
+    (0..len)
+        .map(|_| {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (z ^ (z >> 31)) as usize % pages
+        })
+        .collect()
+}
+
+/// Drive one pool through an access stream: touch hits, admit misses,
+/// evict back down to budget. Returns (hits, victim sequence).
+fn simulate(policy: EvictionPolicy, budget: usize, accesses: &[usize]) -> (u64, Vec<usize>) {
+    let mut pool = BufferPool::new(policy, budget);
+    let pinned = BTreeSet::new();
+    let mut hits = 0u64;
+    let mut victims = Vec::new();
+    for &page in accesses {
+        if pool.contains(page) {
+            pool.touch(page);
+            hits += 1;
+        } else {
+            pool.admit(page);
+            while pool.over_budget() {
+                victims.push(pool.evict(&pinned).expect("nothing is pinned"));
+            }
+        }
+        assert!(
+            pool.len() <= budget,
+            "{policy:?}: budget violated after access"
+        );
+    }
+    (hits, victims)
+}
+
+#[test]
+fn same_stream_same_victims_for_every_policy() {
+    // Replaying an identical access stream must reproduce the victim
+    // sequence and the final resident set exactly — the property the
+    // platform's bit-identical `total_time` contract stands on.
+    for policy in POLICIES {
+        for seed in [3u64, 11, 29] {
+            let accesses = stream(seed, 4000, 48);
+            let (hits_a, victims_a) = simulate(policy, 7, &accesses);
+            let (hits_b, victims_b) = simulate(policy, 7, &accesses);
+            assert_eq!(hits_a, hits_b, "{policy:?} seed {seed}: hits diverged");
+            assert_eq!(
+                victims_a, victims_b,
+                "{policy:?} seed {seed}: victim order diverged"
+            );
+            assert!(!victims_a.is_empty(), "{policy:?} seed {seed}: must evict");
+        }
+    }
+}
+
+#[test]
+fn scan_resistant_policies_beat_fifo_on_hot_set_plus_looping_scan() {
+    // Four hot pages touched every other access, interleaved with a
+    // 24-page looping cold scan, budget 8. Clock and SIEVE retain the
+    // re-referenced hot set (reference/visited bits spare it at the
+    // hand), while FIFO ages hot pages out as cold admissions push the
+    // queue — the textbook scan-resistance separation.
+    let hot = 4usize;
+    let cold = 24usize;
+    let mut accesses = Vec::new();
+    for i in 0..6000 {
+        accesses.push(i % hot);
+        accesses.push(hot + i % cold);
+    }
+    let (fifo_hits, _) = simulate(EvictionPolicy::Fifo, 8, &accesses);
+    let (clock_hits, _) = simulate(EvictionPolicy::Clock, 8, &accesses);
+    let (sieve_hits, _) = simulate(EvictionPolicy::Sieve, 8, &accesses);
+    let (lru_hits, _) = simulate(EvictionPolicy::Lru, 8, &accesses);
+    assert!(
+        clock_hits > fifo_hits,
+        "Clock ({clock_hits}) must beat FIFO ({fifo_hits}) on a hot set"
+    );
+    assert!(
+        sieve_hits > fifo_hits,
+        "SIEVE ({sieve_hits}) must beat FIFO ({fifo_hits}) on a hot set"
+    );
+    assert!(
+        lru_hits >= fifo_hits,
+        "LRU ({lru_hits}) must not lose to FIFO ({fifo_hits}) on a hot set"
+    );
+}
+
+#[test]
+fn pool_never_exceeds_budget_and_never_evicts_pinned_pages() {
+    // Random churn with a pinned working set: the victim is never a
+    // pinned page, residency never exceeds the budget after enforcement,
+    // and `resident_pages` agrees with `contains`.
+    for policy in POLICIES {
+        let budget = 5usize;
+        let mut pool = BufferPool::new(policy, budget);
+        let pinned: BTreeSet<usize> = [0, 1].into_iter().collect();
+        for page in [0usize, 1] {
+            pool.admit(page);
+        }
+        for &page in &stream(17, 3000, 32) {
+            if pool.contains(page) {
+                pool.touch(page);
+            } else {
+                pool.admit(page);
+                while pool.over_budget() {
+                    let victim = pool.evict(&pinned).expect("unpinned pages exist");
+                    assert!(
+                        !pinned.contains(&victim),
+                        "{policy:?}: evicted pinned page {victim}"
+                    );
+                }
+            }
+            assert!(pool.len() <= budget, "{policy:?}: over budget");
+            let resident = pool.resident_pages();
+            assert_eq!(resident.len(), pool.len(), "{policy:?}");
+            assert!(resident.iter().all(|&p| pool.contains(p)), "{policy:?}");
+            assert!(pool.contains(0) && pool.contains(1), "{policy:?}: pinned");
+        }
+    }
+}
+
+#[test]
+fn evict_returns_none_when_every_resident_page_is_pinned() {
+    for policy in POLICIES {
+        let mut pool = BufferPool::new(policy, 1);
+        pool.admit(0);
+        pool.admit(1);
+        let pinned: BTreeSet<usize> = [0, 1].into_iter().collect();
+        assert!(pool.over_budget());
+        assert_eq!(pool.evict(&pinned), None, "{policy:?}");
+        assert!(pool.contains(0) && pool.contains(1), "{policy:?}");
+    }
+}
+
+#[test]
+fn paged_run_is_oracle_exact_and_deterministic_for_every_policy() {
+    // The end-to-end contract with no disk faults: a budget of 4 resident
+    // pages against 64 hash buckets per rank forces constant fault-in and
+    // eviction traffic, and the answer must still be byte-identical to
+    // the sequential oracle with bit-identical same-seed `total_time`,
+    // under every replacement policy.
+    let graph = ic2_graph::generators::hex_grid_n(64);
+    let program = AvgProgram::fine();
+    let nprocs = 8;
+    let iterations = 12u32;
+    let oracle = seq::run_sequential(&graph, &program, iterations);
+    for policy in POLICIES {
+        let cfg = || {
+            RunConfig::new(nprocs, iterations)
+                .with_checkpointing(4)
+                .with_paging(4, policy)
+                .with_world(clean_world())
+                .with_validation()
+        };
+        let a = run(&graph, &program, &Metis::default(), || NoBalancer, &cfg());
+        assert_eq!(a.final_data, oracle, "{policy:?}: paged run must be exact");
+        assert!(a.page_faults > 0, "{policy:?}: paging must engage: {a:?}");
+        assert!(a.pages_evicted > 0, "{policy:?}: budget must bind: {a:?}");
+        assert_eq!(a.disk_retries, 0, "{policy:?}: clean disk");
+        assert_eq!(a.torn_writes_detected, 0, "{policy:?}: clean disk");
+        let b = run(&graph, &program, &Metis::default(), || NoBalancer, &cfg());
+        assert_eq!(a.final_data, b.final_data, "{policy:?}");
+        assert_eq!(a.page_faults, b.page_faults, "{policy:?}");
+        assert_eq!(a.pages_evicted, b.pages_evicted, "{policy:?}");
+        assert_eq!(
+            a.total_time.to_bits(),
+            b.total_time.to_bits(),
+            "{policy:?}: total time must be bit-identical"
+        );
+    }
+}
+
+#[test]
+fn zero_page_budget_is_rejected_with_a_typed_error() {
+    let graph = ic2_graph::generators::hex_grid_n(16);
+    let cfg = RunConfig::new(4, 4)
+        .with_paging(0, EvictionPolicy::Clock)
+        .with_world(clean_world());
+    let err = try_run(
+        &graph,
+        &AvgProgram::fine(),
+        &Metis::default(),
+        || NoBalancer,
+        &cfg,
+    )
+    .expect_err("a zero page budget can hold no working set");
+    assert!(matches!(err, PlatformError::ZeroPageBudget), "{err:?}");
+}
