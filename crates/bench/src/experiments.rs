@@ -800,8 +800,10 @@ pub fn audit_overhead() -> Table {
 /// Mailbox capacity vs retransmit traffic: bounded mailboxes with
 /// credit-based flow control under a fixed corruption plan. Retransmits and
 /// the virtual clock are schedule-independent (identical down the whole
-/// column); credit stalls and peak depth are wall-clock phenomena that show
-/// how hard the backpressure actually bit.
+/// column). Credit stalls are canonical receiver-side counts — per round,
+/// `max(0, frames_present - capacity)` — so they are deterministic and
+/// monotone as capacity shrinks; only peak depth remains a wall-clock
+/// phenomenon.
 pub fn capacity_backpressure() -> Table {
     let graph = w::hex(64);
     let program = AvgProgram::fine();
@@ -816,7 +818,8 @@ pub fn capacity_backpressure() -> Table {
         "Mailbox capacity vs retransmit traffic (64-node hex grid, 8 procs, 20 iters, \
          corrupt 5% + truncate 2%, seed 42)",
         "time and retransmits identical at every capacity (backpressure is invisible \
-         to the virtual clock); stalls and peak depth vary with host scheduling",
+         to the virtual clock); canonical stall counts grow monotonically as capacity \
+         shrinks; peak depth varies with host scheduling",
         vec![
             "capacity".into(),
             "time (s)".into(),
@@ -1158,6 +1161,76 @@ pub fn delta_exchange() -> Table {
     t
 }
 
+/// Hybrid barrier elision vs plain BSP across inner-block lengths and
+/// boundary churn: `inner_k` interior-only rounds between global
+/// exchanges elide that round's barriers, shadow exchange, and control
+/// exchange, with the skipped boundary passes replayed at the next global
+/// round. The answer is pinned byte-identical to BSP at every cell; the
+/// headline is the virtual-time reduction at low churn.
+pub fn hybrid_elision() -> Table {
+    let graph = w::hex(96);
+    let iters = 30u32;
+    let procs = 8usize;
+    let mut t = Table::new(
+        "hybrid_elision",
+        "Hybrid BSP/async execution vs plain BSP (96-node hex grid, 8 procs, 30 iters, \
+         churn = % of nodes changing every iteration, k = inner iterations per block)",
+        "every cell byte-identical to BSP; barriers elided grow with k; virtual time \
+         falls vs BSP at every k (>=5% at <=10% churn)",
+        vec![
+            "churn".into(),
+            "inner k".into(),
+            "time bsp (s)".into(),
+            "time hybrid (s)".into(),
+            "time cut".into(),
+            "inner iters".into(),
+            "barriers elided".into(),
+        ],
+    );
+    for churn_pct in [0u64, 10, 50] {
+        let program = w::ChurnProgram { churn_pct };
+        let cfg = w::static_cfg(procs, iters);
+        let bsp = w::run_reported(&graph, &program, &Metis::default(), || NoBalancer, &cfg);
+        assert_eq!(bsp.inner_iterations, 0, "BSP never elides");
+        for inner_k in [1u32, 3, 7] {
+            let hybrid = w::run_reported(
+                &graph,
+                &program,
+                &Metis::default(),
+                || NoBalancer,
+                &cfg.clone().with_hybrid(inner_k),
+            );
+            assert_eq!(
+                hybrid.final_data, bsp.final_data,
+                "hybrid must not change the answer (churn {churn_pct}%, k={inner_k})"
+            );
+            let cut = 1.0 - hybrid.total_time / bsp.total_time;
+            assert!(
+                cut > 0.0,
+                "eliding collectives must save virtual time (churn {churn_pct}%, k={inner_k})"
+            );
+            if churn_pct <= 10 {
+                assert!(
+                    cut >= 0.05,
+                    "low-churn elision must cut >=5% of virtual time, got {:.1}% \
+                     (churn {churn_pct}%, k={inner_k})",
+                    cut * 100.0
+                );
+            }
+            t.row(vec![
+                format!("{churn_pct}%"),
+                inner_k.to_string(),
+                secs(bsp.total_time),
+                secs(hybrid.total_time),
+                format!("{:.1}%", cut * 100.0),
+                hybrid.inner_iterations.to_string(),
+                hybrid.barriers_elided.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
 /// Host-time cost of the transport hot path under the `Arc`-backed
 /// zero-copy payloads: wall-clock per scenario next to the payload
 /// allocation/sharing counters that prove retransmissions, broadcast
@@ -1276,10 +1349,12 @@ pub fn out_of_core() -> Table {
             .with_hash_buckets(512)
             .with_checkpointing(2)
     };
-    // RowBand, not Metis: the in-tree Metis's FM refinement is quadratic
-    // per pass on the fine graph and does not terminate in useful time at
-    // 10^6 nodes; the band split is O(n log n) with near-minimal hex cuts.
-    let partitioner = ic2_partition::bands::RowBand;
+    // Metis at full scale: FM refinement maintains an incremental gain
+    // heap, so the multilevel pipeline is n log n end to end and the real
+    // partitioner handles the 10^6-node fine graph directly (the old
+    // full-rescan refinement was quadratic per pass and forced a RowBand
+    // workaround here).
+    let partitioner = Metis::default();
     let in_mem = w::run_reported(
         &graph,
         &program,
@@ -1402,6 +1477,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "capacity_backpressure",
         "tracing_overhead",
         "delta_exchange",
+        "hybrid_elision",
         "zero_copy_host_time",
         "out_of_core",
     ]
@@ -1449,6 +1525,7 @@ pub fn run_experiment(id: &str) -> Option<Table> {
         "capacity_backpressure" => capacity_backpressure(),
         "tracing_overhead" => tracing_overhead(),
         "delta_exchange" => delta_exchange(),
+        "hybrid_elision" => hybrid_elision(),
         "zero_copy_host_time" => zero_copy_host_time(),
         "out_of_core" => out_of_core(),
         _ => return None,

@@ -1046,6 +1046,8 @@ where
     // iterations count again and rollback does not rewind them.
     let mut delta_stats = exchange::DeltaStats::default();
     let mut quiescent_iterations = 0u32;
+    let mut inner_iterations = 0u32;
+    let mut barriers_elided = 0u64;
     let plan_kills = cfg.world.faults.has_kills();
     let my_kill = cfg.world.faults.kill_time(me as usize);
     let k = cfg.checkpoint_every.max(1);
@@ -1092,6 +1094,69 @@ where
             // iterations, the rollback instant marks them instead.
             let tracer = IterTracer::begin(rank, &timers);
             let mut comp_this_iter = 0.0;
+
+            // ---- Inner (barrier-elided) rounds -------------------------
+            // Interior-only, no communication and no detection point:
+            // crashes, damage latches, and audit verdicts all surface at
+            // the next global round's control exchange. The schedule is a
+            // pure function of `iter` (checkpoint and audit cadences force
+            // global rounds), so replay after a rollback re-elides the
+            // identical rounds. The at-rest corruption sweep still runs
+            // every round — its epoch is monotonic and never rolled back.
+            if !crate::driver::is_global_round(iter, cfg, true) {
+                for phase in 0..program.phases() {
+                    let ctx = ComputeCtx {
+                        iter,
+                        phase,
+                        rank: me,
+                        num_nodes,
+                    };
+                    exchange::inner_step(
+                        rank,
+                        program,
+                        &mut store,
+                        &ctx,
+                        &cfg.costs,
+                        &mut timers,
+                        &mut comp_this_iter,
+                    );
+                    barriers_elided += 1;
+                }
+                inner_iterations += 1;
+                counters.comp_since_balance += comp_this_iter;
+                if has_mem_faults {
+                    audit::inject_memory_faults(rank, &mut store, mem_epoch);
+                    mem_epoch += 1;
+                }
+                if let Some(tracer) = tracer {
+                    tracer.finish(rank, iter, &timers);
+                }
+                iter += 1;
+                continue;
+            }
+
+            // ---- Global round ------------------------------------------
+            // Replay the boundary passes the elided rounds skipped, then
+            // run the full crash-aware exchange; stale retained shadows
+            // force a full repack.
+            let missed = crate::driver::elided_before(iter, cfg, true);
+            if missed > 0
+                && exchange::catch_up_boundary(
+                    rank,
+                    program,
+                    &mut store,
+                    iter,
+                    missed,
+                    program.phases(),
+                    me,
+                    num_nodes,
+                    &cfg.costs,
+                    &mut timers,
+                    &mut comp_this_iter,
+                )
+            {
+                store.needs_resync = true;
+            }
             let mut changed_this_iter = 0u64;
             for phase in 0..program.phases() {
                 let ctx = ComputeCtx {
@@ -1473,7 +1538,12 @@ where
                     store
                         .table
                         .get(node.id)
-                        .expect("owned node has data")
+                        .unwrap_or_else(|| {
+                            crate::error::invariant_violated(
+                                me,
+                                format!("no data for owned node {} at gather", node.id),
+                            )
+                        })
                         .clone(),
                 )
             })
@@ -1521,6 +1591,8 @@ where
         iterations_replayed,
         delta: delta_stats,
         quiescent_iterations,
+        inner_iterations,
+        barriers_elided,
         degraded_iterations: 0,
         rejoins: 0,
         rejoin_bytes: 0,

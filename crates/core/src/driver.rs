@@ -17,6 +17,39 @@ use mpisim::trace::{RankTrace, TraceCollector, ITERATION_SPAN};
 use mpisim::{ArgValue, CommStats, FaultStats, Rank, World};
 use std::sync::Arc;
 
+/// How iterations are synchronised across ranks.
+///
+/// The split the policy leans on already exists in every
+/// [`NodeStore`]: *interior* nodes (`internal`) have no remote
+/// neighbours, *boundary* nodes (`peripheral`) do, and `rebuild_lists`
+/// recomputes the split after every migration, evacuation, and restore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionPolicy {
+    /// Bulk-synchronous (the thesis's loop): every iteration updates every
+    /// owned node, exchanges shadows, and closes with a global
+    /// barrier/control exchange.
+    #[default]
+    Bsp,
+    /// GraphHP-style hybrid barrier elision: between global exchanges, up
+    /// to `inner_k` consecutive iterations update *interior* nodes only —
+    /// no shadow exchange, no barrier, no control exchange. Each global
+    /// round first replays the boundary passes the elided rounds skipped
+    /// (oldest first), so every node is computed exactly as many times as
+    /// under [`ExecutionPolicy::Bsp`], then runs a full BSP round.
+    /// Checkpoints, audits, membership verdicts, balancing, and straggler
+    /// checks all land on global rounds only; the schedule is a pure
+    /// function of the iteration number, so crash replay re-elides the
+    /// identical rounds. Exact for convergent programs (identical
+    /// fixed points; byte-identical answers for programs whose update
+    /// depends only on the node's own value); `inner_k == 0` is rejected —
+    /// that is just BSP spelled confusingly.
+    Hybrid {
+        /// Maximum consecutive barrier-elided rounds between global
+        /// exchanges (must be ≥ 1).
+        inner_k: u32,
+    },
+}
+
 /// Everything configurable about a platform run.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -111,6 +144,11 @@ pub struct RunConfig {
     /// the typed [`PlatformError::UnrecoverableState`] — never a wrong
     /// answer. `None` (the default) keeps the whole table in memory.
     pub paging: Option<PageConfig>,
+    /// Iteration synchronisation policy (see [`ExecutionPolicy`]). The
+    /// default [`ExecutionPolicy::Bsp`] is the thesis's loop; hybrid
+    /// barrier elision trades boundary freshness inside an `inner_k`-round
+    /// window for elided synchronisation cost.
+    pub execution: ExecutionPolicy,
 }
 
 impl RunConfig {
@@ -137,6 +175,7 @@ impl RunConfig {
             audit_every: None,
             replication: 1,
             paging: None,
+            execution: ExecutionPolicy::Bsp,
         }
     }
 
@@ -244,6 +283,68 @@ impl RunConfig {
         self.hash_buckets = buckets;
         self
     }
+
+    /// Run under hybrid barrier elision with up to `inner_k` inner rounds
+    /// between global exchanges (see [`ExecutionPolicy::Hybrid`]).
+    pub fn with_hybrid(mut self, inner_k: u32) -> Self {
+        self.execution = ExecutionPolicy::Hybrid { inner_k };
+        self
+    }
+}
+
+/// Is `iter` a *global* round (full exchange + synchronisation) under
+/// `cfg`'s execution policy? Pure in `iter`, so every rank — and every
+/// crash replay — derives the identical schedule with no shared state.
+///
+/// Global rounds are forced by: plain BSP; the end of the run; the elision
+/// window filling up (`iter` a multiple of `inner_k + 1`); the balancing
+/// cadence; and, on the checkpoint-tolerant control planes
+/// (`checkpoints`), the checkpoint and audit cadences — snapshots,
+/// verdicts, and repairs only ever happen at globally-synchronised
+/// boundaries.
+pub(crate) fn is_global_round(iter: u32, cfg: &RunConfig, checkpoints: bool) -> bool {
+    let inner_k = match cfg.execution {
+        ExecutionPolicy::Bsp => return true,
+        ExecutionPolicy::Hybrid { inner_k } => inner_k,
+    };
+    if iter >= cfg.iterations {
+        return true;
+    }
+    if iter.is_multiple_of(inner_k + 1) {
+        return true;
+    }
+    if iter >= cfg.balance_offset.max(1)
+        && migrate::is_balance_iteration(iter - cfg.balance_offset, cfg.balance_every)
+    {
+        return true;
+    }
+    if checkpoints {
+        if iter.is_multiple_of(cfg.checkpoint_every.max(1)) {
+            return true;
+        }
+        if let Some(ka) = cfg.audit_every {
+            if iter.is_multiple_of(ka.max(1)) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// How many consecutive barrier-elided rounds immediately precede global
+/// iteration `iter` — the boundary passes a global round must replay
+/// before its own exchange. Pure in `iter` like [`is_global_round`];
+/// after a rollback the walk stops at the checkpoint iteration (always a
+/// global round), so replay never re-replays rounds the restored state
+/// already contains.
+pub(crate) fn elided_before(iter: u32, cfg: &RunConfig, checkpoints: bool) -> u32 {
+    let mut n = 0;
+    let mut j = iter;
+    while j > 1 && !is_global_round(j - 1, cfg, checkpoints) {
+        n += 1;
+        j -= 1;
+    }
+    n
 }
 
 /// Result of a platform run.
@@ -304,8 +405,19 @@ pub struct RunReport<D> {
     /// clean (always 0 with delta off).
     pub delta_entries_skipped: u64,
     /// Iterations in which *no* rank's boundary changed (global changed
-    /// count zero in every phase). Only tracked under delta exchange.
+    /// count zero in every phase). Only tracked under delta exchange, and
+    /// under hybrid execution only global rounds are judged.
     pub quiescent_iterations: u32,
+    /// Barrier-elided (inner) rounds executed under
+    /// [`ExecutionPolicy::Hybrid`] — interior-only iterations that paid no
+    /// exchange, barrier, or control cost. Counts every execution,
+    /// including rounds re-run during rollback replay; always 0 under
+    /// [`ExecutionPolicy::Bsp`].
+    pub inner_iterations: u32,
+    /// Global synchronisations elided by inner rounds: one per elided
+    /// round per compute phase (a multi-phase program skips one barrier
+    /// per phase). Always 0 under [`ExecutionPolicy::Bsp`].
+    pub barriers_elided: u64,
     /// Iterations (and post-loop holding rounds) the run spent in
     /// partition-degraded mode — a non-empty agreed suspected set. All
     /// discarded and replayed at heal; 0 without partition tolerance.
@@ -411,6 +523,8 @@ pub(crate) struct RankOutcome<D> {
     pub(crate) iterations_replayed: u32,
     pub(crate) delta: exchange::DeltaStats,
     pub(crate) quiescent_iterations: u32,
+    pub(crate) inner_iterations: u32,
+    pub(crate) barriers_elided: u64,
     pub(crate) degraded_iterations: u32,
     pub(crate) rejoins: u32,
     pub(crate) rejoin_bytes: u64,
@@ -506,6 +620,11 @@ fn assemble<D: Clone>(
         // The quiescence verdicts are agreed (every live rank saw the same
         // global counts), so the designated rank's tally is canonical.
         quiescent_iterations: designated.quiescent_iterations,
+        // The elision schedule is a pure function of the iteration number,
+        // identical on every rank that ran the loop; the designated rank's
+        // tally is canonical.
+        inner_iterations: designated.inner_iterations,
+        barriers_elided: designated.barriers_elided,
         // Membership verdicts are likewise agreed: the degraded/heal tallies
         // are replicated, only the transfer bytes are per-rank and sum.
         degraded_iterations: designated.degraded_iterations,
@@ -585,10 +704,11 @@ impl IterTracer {
     }
 }
 
-/// Run `f`, converting the substrate's typed panic payloads — a
-/// flow-control deadlock (cyclic credit wait among bounded mailboxes) or a
-/// send addressed outside the world — into the matching
-/// [`PlatformError`]. Any other panic resumes unwinding untouched.
+/// Run `f`, converting the platform's typed panic payloads — a
+/// flow-control deadlock (cyclic credit wait among bounded mailboxes), a
+/// send addressed outside the world, an unrecoverable restore, or an
+/// internal-invariant violation — into the matching [`PlatformError`].
+/// Any other panic resumes unwinding untouched.
 pub fn catch_flow_deadlock<R>(f: impl FnOnce() -> R) -> Result<R, PlatformError> {
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
         Ok(r) => Ok(r),
@@ -603,7 +723,13 @@ pub fn catch_flow_deadlock<R>(f: impl FnOnce() -> R) -> Result<R, PlatformError>
                 Err(other) => match other.downcast::<crate::checkpoint::UnrecoverableStateSignal>()
                 {
                     Ok(us) => Err(PlatformError::UnrecoverableState { rank: us.rank }),
-                    Err(other) => std::panic::resume_unwind(other),
+                    Err(other) => match other.downcast::<crate::error::InvariantSignal>() {
+                        Ok(sig) => Err(PlatformError::InternalInvariant {
+                            rank: sig.rank,
+                            detail: sig.detail,
+                        }),
+                        Err(other) => std::panic::resume_unwind(other),
+                    },
                 },
             },
         },
@@ -685,6 +811,9 @@ where
     }
     if cfg.paging.as_ref().is_some_and(|p| p.budget == 0) {
         return Err(PlatformError::ZeroPageBudget);
+    }
+    if matches!(cfg.execution, ExecutionPolicy::Hybrid { inner_k: 0 }) {
+        return Err(PlatformError::ZeroInnerIterations);
     }
     let num_nodes = graph.num_nodes();
     // Tracing hooks in below the driver: the substrate owns the collector,
@@ -785,9 +914,67 @@ where
             let mut detector = cfg.straggler.map(|(t, p)| StragglerDetector::new(t, p));
             let mut delta_stats = exchange::DeltaStats::default();
             let mut quiescent_iterations = 0u32;
+            let mut inner_iterations = 0u32;
+            let mut barriers_elided = 0u64;
             for iter in 1..=cfg.iterations {
                 let tracer = IterTracer::begin(rank, &timers);
                 let mut comp_this_iter = 0.0;
+
+                // ---- Inner (barrier-elided) rounds -------------------------
+                // Interior nodes only, fully local: no exchange, no barrier,
+                // no control cost. Kills, balancing, and straggler checks
+                // wait for the next global round — the schedule is pure in
+                // `iter`, so every rank elides the identical rounds.
+                if !is_global_round(iter, cfg, false) {
+                    for phase in 0..program.phases() {
+                        let ctx = ComputeCtx {
+                            iter,
+                            phase,
+                            rank: me,
+                            num_nodes,
+                        };
+                        exchange::inner_step(
+                            rank,
+                            program,
+                            &mut store,
+                            &ctx,
+                            &cfg.costs,
+                            &mut timers,
+                            &mut comp_this_iter,
+                        );
+                        barriers_elided += 1;
+                    }
+                    inner_iterations += 1;
+                    comp_since_balance += comp_this_iter;
+                    if let Some(tracer) = tracer {
+                        tracer.finish(rank, iter, &timers);
+                    }
+                    continue;
+                }
+
+                // ---- Global round ------------------------------------------
+                // First replay the boundary passes the elided rounds skipped,
+                // so every node's compute count matches plain BSP; if any
+                // boundary value moved, retained remote shadows are stale and
+                // the exchange below must full-pack.
+                let missed = elided_before(iter, cfg, false);
+                if missed > 0
+                    && exchange::catch_up_boundary(
+                        rank,
+                        program,
+                        &mut store,
+                        iter,
+                        missed,
+                        program.phases(),
+                        me,
+                        num_nodes,
+                        &cfg.costs,
+                        &mut timers,
+                        &mut comp_this_iter,
+                    )
+                {
+                    store.needs_resync = true;
+                }
                 let mut iter_quiescent = cfg.delta_exchange;
                 for phase in 0..program.phases() {
                     let ctx = ComputeCtx {
@@ -945,7 +1132,12 @@ where
                         store
                             .table
                             .get(node.id)
-                            .expect("owned node has data")
+                            .unwrap_or_else(|| {
+                                crate::error::invariant_violated(
+                                    me,
+                                    format!("no data for owned node {} at gather", node.id),
+                                )
+                            })
                             .clone(),
                     )
                 })
@@ -975,6 +1167,8 @@ where
                 iterations_replayed: 0,
                 delta: delta_stats,
                 quiescent_iterations,
+                inner_iterations,
+                barriers_elided,
                 degraded_iterations: 0,
                 rejoins: 0,
                 rejoin_bytes: 0,
@@ -1012,6 +1206,7 @@ mod tests {
             .with_state_audit(4)
             .with_replication(3)
             .with_paging(16, EvictionPolicy::Sieve)
+            .with_hybrid(3)
             .with_validation();
         assert_eq!(cfg.nprocs, 8);
         assert_eq!(cfg.iterations, 25);
@@ -1024,6 +1219,7 @@ mod tests {
         assert_eq!(cfg.audit_every, Some(4));
         assert_eq!(cfg.replication, 3);
         assert_eq!(cfg.paging, Some(PageConfig::new(16, EvictionPolicy::Sieve)));
+        assert_eq!(cfg.execution, ExecutionPolicy::Hybrid { inner_k: 3 });
         assert!(cfg.validate);
     }
 
@@ -1040,6 +1236,7 @@ mod tests {
         assert_eq!(cfg.audit_every, None);
         assert_eq!(cfg.replication, 1);
         assert_eq!(cfg.paging, None);
+        assert_eq!(cfg.execution, ExecutionPolicy::Bsp);
     }
 
     #[test]
@@ -1084,6 +1281,51 @@ mod tests {
             check(RunConfig::new(2, 5).with_paging(0, EvictionPolicy::Clock)),
             PlatformError::ZeroPageBudget
         ));
+        assert!(matches!(
+            check(RunConfig::new(2, 5).with_hybrid(0)),
+            PlatformError::ZeroInnerIterations
+        ));
+    }
+
+    #[test]
+    fn hybrid_cadence_is_pure_and_bsp_never_elides() {
+        let bsp = RunConfig::new(4, 20);
+        for iter in 1..=20 {
+            assert!(is_global_round(iter, &bsp, false));
+            assert_eq!(elided_before(iter, &bsp, false), 0);
+        }
+
+        // inner_k = 3, no other triggers: globals at multiples of 4 and at
+        // the final iteration; each global replays the rounds since the
+        // previous one.
+        let hybrid = RunConfig::new(4, 10).with_hybrid(3);
+        let globals: Vec<u32> = (1..=10)
+            .filter(|&i| is_global_round(i, &hybrid, false))
+            .collect();
+        assert_eq!(globals, vec![4, 8, 10]);
+        assert_eq!(elided_before(4, &hybrid, false), 3);
+        assert_eq!(elided_before(8, &hybrid, false), 3);
+        assert_eq!(elided_before(10, &hybrid, false), 1);
+
+        // The balancing cadence forces globals mid-window.
+        let balanced = RunConfig::new(4, 20).with_hybrid(5).with_balancing(3);
+        for iter in (3..20).step_by(3) {
+            assert!(is_global_round(iter, &balanced, false));
+        }
+
+        // On the checkpoint-tolerant plane the checkpoint and audit
+        // cadences force globals too — snapshots and verdicts only land at
+        // synchronised boundaries.
+        let chk = RunConfig::new(4, 20)
+            .with_hybrid(5)
+            .with_checkpointing(4)
+            .with_state_audit(3);
+        for iter in 1..20 {
+            let forced = iter % 6 == 0 || iter % 4 == 0 || iter % 3 == 0;
+            assert_eq!(is_global_round(iter, &chk, true), forced, "iter {iter}");
+        }
+        // ...but only on that plane: the plain path ignores them.
+        assert!(!is_global_round(3, &chk, false));
     }
 
     #[test]
@@ -1114,6 +1356,8 @@ mod tests {
             delta_entries_sent: 0,
             delta_entries_skipped: 0,
             quiescent_iterations: 0,
+            inner_iterations: 0,
+            barriers_elided: 0,
             degraded_iterations: 0,
             rejoins: 0,
             rejoin_bytes: 0,

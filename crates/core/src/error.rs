@@ -140,6 +140,9 @@ pub enum PlatformError {
     /// A checkpoint replication factor of zero would leave no copy
     /// anywhere; recovery needs at least the owner's own baseline.
     ZeroReplicationFactor,
+    /// A hybrid execution policy with `inner_k == 0` elides nothing: it is
+    /// exactly BSP spelled confusingly, so it is rejected up front.
+    ZeroInnerIterations,
     /// An out-of-core buffer-pool budget of zero pages could hold nothing
     /// resident; paging needs at least one frame.
     ZeroPageBudget,
@@ -152,6 +155,18 @@ pub enum PlatformError {
     UnrecoverableState {
         /// The rank whose state could not be recovered from any replica.
         rank: u32,
+    },
+    /// An internal platform invariant was found violated mid-run — e.g. an
+    /// owned node with no stored data at gather time, or a paged code path
+    /// reached with no pager installed. The state is corrupt in a way no
+    /// repair ladder covers, so the run fails typed instead of computing a
+    /// wrong answer (and instead of a bare panic): never a wrong answer,
+    /// never a panic.
+    InternalInvariant {
+        /// The rank that observed the violation.
+        rank: u32,
+        /// What was found inconsistent.
+        detail: String,
     },
     /// Bounded mailboxes produced a cyclic credit wait that could never
     /// resolve: every rank in `cycle` was blocked sending to the next,
@@ -201,6 +216,12 @@ impl fmt::Display for PlatformError {
             PlatformError::ZeroReplicationFactor => {
                 write!(f, "checkpoint replication factor must be at least 1")
             }
+            PlatformError::ZeroInnerIterations => {
+                write!(
+                    f,
+                    "hybrid execution needs inner_k of at least 1 (0 is plain BSP)"
+                )
+            }
             PlatformError::ZeroPageBudget => {
                 write!(f, "out-of-core page budget must be at least 1 page")
             }
@@ -209,6 +230,9 @@ impl fmt::Display for PlatformError {
                 f,
                 "unrecoverable state: rank {rank} has no intact checkpoint replica left"
             ),
+            PlatformError::InternalInvariant { rank, detail } => {
+                write!(f, "internal invariant violated on rank {rank}: {detail}")
+            }
             PlatformError::FlowControlDeadlock { cycle } => {
                 write!(f, "flow-control deadlock: cyclic credit wait ")?;
                 for r in cycle {
@@ -229,6 +253,30 @@ impl fmt::Display for PlatformError {
 }
 
 impl std::error::Error for PlatformError {}
+
+/// Typed panic payload for a mid-run internal-invariant violation.
+///
+/// Rank bodies run inside the substrate's world threads and have no error
+/// channel, so (like [`mpisim::FlowDeadlock`] and
+/// [`crate::checkpoint::UnrecoverableStateSignal`]) the violation unwinds
+/// as a typed payload that [`crate::catch_flow_deadlock`] downcasts into
+/// [`PlatformError::InternalInvariant`]. Raised via [`invariant_violated`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantSignal {
+    /// The rank that observed the violation.
+    pub rank: u32,
+    /// What was found inconsistent.
+    pub detail: String,
+}
+
+/// Raise an [`InvariantSignal`] as a typed panic payload.
+///
+/// The platform's "never a wrong answer, never a panic" contract: corrupt
+/// internal state must surface as a typed [`PlatformError`], not as a bare
+/// `expect`/`panic!` message.
+pub(crate) fn invariant_violated(rank: u32, detail: String) -> ! {
+    std::panic::panic_any(InvariantSignal { rank, detail })
+}
 
 #[cfg(test)]
 mod tests {
@@ -259,6 +307,17 @@ mod tests {
         assert!(PlatformError::ZeroPageBudget
             .to_string()
             .contains("page budget"));
+        assert!(PlatformError::ZeroInnerIterations
+            .to_string()
+            .contains("inner_k"));
+        let ii = PlatformError::InternalInvariant {
+            rank: 2,
+            detail: "no data for owned node 7 at gather".into(),
+        };
+        assert_eq!(
+            ii.to_string(),
+            "internal invariant violated on rank 2: no data for owned node 7 at gather"
+        );
         let v =
             PlatformError::StoreInvariant(StoreViolation::MissingNeighborData { node: 9, of: 4 });
         assert_eq!(

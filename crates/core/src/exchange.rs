@@ -115,6 +115,7 @@ pub fn step<P: NodeProgram>(
                 delta,
                 delta_active,
                 &mut stats,
+                None,
             );
             compute_list(
                 rank,
@@ -130,6 +131,7 @@ pub fn step<P: NodeProgram>(
                 delta,
                 delta_active,
                 &mut stats,
+                None,
             );
             *comp_time_out += rank.wtime() - comp_t0;
             rank.trace_span("Compute", "phase", comp_t0, &[]);
@@ -158,6 +160,7 @@ pub fn step<P: NodeProgram>(
                 delta,
                 delta_active,
                 &mut stats,
+                None,
             );
             if bounded(rank) {
                 // Same virtual-time schedule as the unbounded overlap
@@ -179,6 +182,7 @@ pub fn step<P: NodeProgram>(
                     delta,
                     delta_active,
                     &mut stats,
+                    None,
                 );
                 *comp_time_out += rank.wtime() - comp_t0;
                 rank.trace_span("Compute", "phase", comp_t0, &[]);
@@ -205,6 +209,7 @@ pub fn step<P: NodeProgram>(
                     delta,
                     delta_active,
                     &mut stats,
+                    None,
                 );
                 *comp_time_out += rank.wtime() - comp_t0;
                 rank.trace_span("Compute", "phase", comp_t0, &[]);
@@ -322,6 +327,7 @@ pub fn step_crash_aware<P: NodeProgram>(
         delta,
         delta_active,
         &mut stats,
+        None,
     );
     compute_list(
         rank,
@@ -337,6 +343,7 @@ pub fn step_crash_aware<P: NodeProgram>(
         delta,
         delta_active,
         &mut stats,
+        None,
     );
     *comp_time_out += rank.wtime() - comp_t0;
     rank.trace_span("Compute", "phase", comp_t0, &[]);
@@ -406,6 +413,115 @@ pub fn step_crash_aware<P: NodeProgram>(
     (saw_death, saw_cut, stats)
 }
 
+/// One *inner* (barrier-elided) hybrid round for a single phase: interior
+/// nodes only, fully local. Interior nodes have no remote readers by
+/// construction, so nothing is packed, nothing travels, and no barrier or
+/// control exchange closes the round — the whole point of
+/// [`crate::ExecutionPolicy::Hybrid`]. Compute, overhead, promote, and
+/// storage costs are charged exactly as a BSP round charges them for the
+/// same list; only the synchronisation cost is elided.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn inner_step<P: NodeProgram>(
+    rank: &Rank,
+    program: &P,
+    store: &mut NodeStore<P::Data>,
+    ctx: &ComputeCtx,
+    costs: &CostModel,
+    timers: &mut PhaseTimers,
+    comp_time_out: &mut f64,
+) {
+    let comp_t0 = rank.wtime();
+    let mut stats = DeltaStats::default();
+    compute_list(
+        rank,
+        program,
+        &store.internal,
+        &mut store.table,
+        &mut store.node_load,
+        &mut store.pager,
+        ctx,
+        costs,
+        timers,
+        None,
+        false,
+        false,
+        &mut stats,
+        None,
+    );
+    *comp_time_out += rank.wtime() - comp_t0;
+    rank.trace_span("Compute", "phase", comp_t0, &[]);
+    let t0 = rank.wtime();
+    let interior = store.internal.len();
+    promote_counted(rank, store, costs, interior);
+    timers.add(Phase::ComputationOverhead, rank.wtime() - t0);
+    drain_storage(rank, store, timers);
+}
+
+/// Replay the boundary (peripheral) compute passes for the `missed`
+/// barrier-elided rounds immediately preceding global iteration
+/// `global_iter`, oldest first, so by the time the global round's full
+/// exchange runs every node has been computed exactly as many times as
+/// plain BSP would have computed it. Nothing is packed or sent here — the
+/// global round's own exchange ships the final boundary values.
+///
+/// Returns whether any replayed pass changed a boundary value. If so, the
+/// retained remote shadows skipped `missed` refreshes and are stale, so
+/// the caller must force a full repack (`needs_resync`) before delta
+/// packing may trust dirtiness again.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn catch_up_boundary<P: NodeProgram>(
+    rank: &Rank,
+    program: &P,
+    store: &mut NodeStore<P::Data>,
+    global_iter: u32,
+    missed: u32,
+    phases: u32,
+    me: u32,
+    num_nodes: usize,
+    costs: &CostModel,
+    timers: &mut PhaseTimers,
+    comp_time_out: &mut f64,
+) -> bool {
+    let mut changed = false;
+    for back in (1..=missed).rev() {
+        let j = global_iter - back;
+        for phase in 0..phases {
+            let ctx = ComputeCtx {
+                iter: j,
+                phase,
+                rank: me,
+                num_nodes,
+            };
+            let comp_t0 = rank.wtime();
+            let mut stats = DeltaStats::default();
+            compute_list(
+                rank,
+                program,
+                &store.peripheral,
+                &mut store.table,
+                &mut store.node_load,
+                &mut store.pager,
+                &ctx,
+                costs,
+                timers,
+                None,
+                false,
+                false,
+                &mut stats,
+                Some(&mut changed),
+            );
+            *comp_time_out += rank.wtime() - comp_t0;
+            rank.trace_span("Compute", "phase", comp_t0, &[]);
+            let t0 = rank.wtime();
+            let boundary = store.peripheral.len();
+            promote_counted(rank, store, costs, boundary);
+            timers.add(Phase::ComputationOverhead, rank.wtime() - t0);
+            drain_storage(rank, store, timers);
+        }
+    }
+    changed
+}
+
 /// Update every node in `list`: build the node+neighbours list, invoke the
 /// application node function, stage the result, and (for peripherals) pack
 /// the update into the outgoing buffers.
@@ -421,8 +537,14 @@ pub fn step_crash_aware<P: NodeProgram>(
 /// in first; a node whose entry (or any neighbour entry) is missing after
 /// that sits on a page that lost every copy — it is *skipped*, because the
 /// pager's damage latch already guarantees this iteration is discarded by
-/// rollback. Non-paged mode keeps the original panics: missing data there
-/// is a platform bug, not an injected fault.
+/// rollback. Non-paged mode has no excuse for missing data: that is corrupt
+/// platform state, surfaced as the typed
+/// [`crate::PlatformError::InternalInvariant`] rather than a bare panic.
+///
+/// `track_changes` (used by the hybrid engine's boundary catch-up) flips to
+/// `true` if any staged value differs from the node's current one — the
+/// signal that retained remote shadows have gone stale across an elided
+/// stretch and the next exchange must full-pack.
 #[allow(clippy::too_many_arguments)]
 fn compute_list<P: NodeProgram>(
     rank: &Rank,
@@ -438,6 +560,7 @@ fn compute_list<P: NodeProgram>(
     delta: bool,
     delta_active: bool,
     stats: &mut DeltaStats,
+    mut track_changes: Option<&mut bool>,
 ) {
     let paged = pager.is_some();
     for node in list {
@@ -454,7 +577,10 @@ fn compute_list<P: NodeProgram>(
         let own = match table.get(node.id) {
             Some(d) => d,
             None if paged => continue,
-            None => panic!("rank {}: no data for owned node {}", ctx.rank, node.id),
+            None => crate::error::invariant_violated(
+                ctx.rank,
+                format!("no data for owned node {} at compute", node.id),
+            ),
         };
         let mut neighbors: Vec<NeighborData<'_, P::Data>> =
             Vec::with_capacity(node.neighbors.len());
@@ -466,9 +592,9 @@ fn compute_list<P: NodeProgram>(
                     incomplete = true;
                     break;
                 }
-                None => panic!(
-                    "rank {}: no data for neighbour {w} of {}",
-                    ctx.rank, node.id
+                None => crate::error::invariant_violated(
+                    ctx.rank,
+                    format!("no data for neighbour {w} of owned node {}", node.id),
                 ),
             }
         }
@@ -484,6 +610,11 @@ fn compute_list<P: NodeProgram>(
         let t2 = rank.wtime();
         timers.add(Phase::Compute, t2 - t1);
         node_load[node.id as usize] += t2 - t1;
+        if let Some(flag) = track_changes.as_deref_mut() {
+            if next != *own {
+                *flag = true;
+            }
+        }
 
         // Stage the update; pack it for every processor holding this node
         // as a shadow.
@@ -517,6 +648,19 @@ fn compute_list<P: NodeProgram>(
     }
 }
 
+/// Fetch the installed pager on a code path only reachable in paged mode.
+/// The impossible `None` is corrupt platform state, surfaced as the typed
+/// [`crate::PlatformError::InternalInvariant`] instead of a bare panic.
+fn pager_mut(rank_id: u32, pager: &mut Option<Pager>) -> &mut Pager {
+    match pager.as_mut() {
+        Some(p) => p,
+        None => crate::error::invariant_violated(
+            rank_id,
+            "paged code path reached with no pager installed".into(),
+        ),
+    }
+}
+
 /// End-of-iteration promote sweep (the thesis's `data = most_recent_data`),
 /// keeping the audit digest in step with every promoted value — one
 /// `audit_per_entry` charge each when audits are on, nothing otherwise.
@@ -527,15 +671,33 @@ fn promote_and_note<D: mpisim::Wire + Clone>(
     store: &mut NodeStore<D>,
     costs: &CostModel,
 ) {
-    rank.advance(costs.per_node_update * store.owned_count() as f64);
+    let count = store.owned_count();
+    promote_counted(rank, store, costs, count);
+}
+
+/// [`promote_and_note`] with an explicit `per_node_update` charge count.
+///
+/// The hybrid engine splits one BSP iteration's promote sweep across an
+/// inner round (interior nodes) and a boundary catch-up pass (peripheral
+/// nodes); each charges exactly its own list's length, so the two halves
+/// sum to the `owned_count` charge a plain BSP iteration pays — compute
+/// cost parity by construction, with only the barrier/control cost elided.
+pub(crate) fn promote_counted<D: mpisim::Wire + Clone>(
+    rank: &Rank,
+    store: &mut NodeStore<D>,
+    costs: &CostModel,
+    charged_nodes: usize,
+) {
+    rank.advance(costs.per_node_update * charged_nodes as f64);
     if store.pager.is_some() {
+        let rank_id = store.rank;
         let NodeStore {
             pager,
             table,
             audit,
             ..
         } = store;
-        let pager = pager.as_mut().expect("paged");
+        let pager = pager_mut(rank_id, pager);
         match audit.as_mut() {
             Some(audit) => {
                 let promoted = pager.promote(table, |id, d| {
@@ -665,17 +827,15 @@ fn bounded_send<D: mpisim::Wire>(
             continue;
         }
         debug_assert!(buf.len() <= store.send_counts[p]);
-        let mut stalled = false;
+        // No stall accounting here: whether this head send physically waits
+        // depends on host scheduling. Credit stalls are tallied at their
+        // canonical resolution point by the receiver, in [`bounded_collect`].
         loop {
             if rank.offer_credit(p) {
                 if !rank.send_reliable_granted(p, TAG_SHADOW, buf, RetryPolicy::Escalate) {
                     saw_cut = true;
                 }
                 break;
-            }
-            if !stalled {
-                stalled = true;
-                rank.count_credit_stall();
             }
             if let Some(env) = rank.drain_one(None, TAG_SHADOW) {
                 let src = env.src;
@@ -771,6 +931,27 @@ fn bounded_collect<D: mpisim::Wire + Clone>(
         }
         rank.wait_incoming(Duration::from_millis(2));
     }
+    // Canonical credit-stall accounting (receiver side). With capacity C
+    // and F data frames actually present this round, the last
+    // `max(0, F - C)` senders in canonical order must have waited for a
+    // mailbox slot, whatever the host interleaving looked like; sender
+    // `present[C + j]`'s credit resolves exactly when the j-th present
+    // frame is absorbed and frees its slot. Counting there makes the stall
+    // tally — and its trace instants — a pure function of the
+    // deterministic message schedule, byte-identical at every capacity.
+    // (Partition tombstones bypass capacity, so cut frames don't count.)
+    let (capacity, present): (usize, Vec<usize>) = match rank.config().mailbox_capacity {
+        Some(cap) => (
+            cap,
+            expected
+                .iter()
+                .copied()
+                .filter(|&p| !is_frozen(p) && matches!(&frames[p], Some(env) if !env.cut))
+                .collect(),
+        ),
+        None => (0, Vec::new()),
+    };
+    let mut absorbed = 0usize;
     let mut saw_death = false;
     let mut saw_cut = false;
     let recv_t0 = rank.wtime();
@@ -793,6 +974,10 @@ fn bounded_collect<D: mpisim::Wire + Clone>(
             }
             Some(env) => {
                 let msg: Vec<(u32, D)> = rank.absorb(env);
+                if let Some(&stalled_sender) = present.get(capacity + absorbed) {
+                    rank.count_credit_stall(stalled_sender);
+                }
+                absorbed += 1;
                 timers.add(Phase::Communicate, rank.wtime() - t0);
                 unpack(rank, store, msg, timers, costs);
             }
@@ -845,14 +1030,14 @@ fn unpack<D: mpisim::Wire + Clone>(
     for (id, data) in msg {
         if paged {
             let b = store.table.bucket_index(id);
-            let (pager, table) = (store.pager.as_mut().expect("paged"), &mut store.table);
+            let (pager, table) = (pager_mut(store.rank, &mut store.pager), &mut store.table);
             pager.ensure(table, [id]);
             if !store.table.contains(id) {
                 continue;
             }
             store.audit_note(id, &data);
             store.table.set_current(id, data);
-            store.pager.as_mut().expect("paged").note_write(b);
+            pager_mut(store.rank, &mut store.pager).note_write(b);
         } else {
             store.audit_note(id, &data);
             store.table.set_current(id, data);
@@ -890,7 +1075,7 @@ where
     let mut buffers: ShadowBuffers<D> = vec![Vec::new(); store.nprocs];
     for node in &store.peripheral {
         if paged {
-            let (pager, table) = (store.pager.as_mut().expect("paged"), &mut store.table);
+            let (pager, table) = (pager_mut(store.rank, &mut store.pager), &mut store.table);
             pager.ensure(table, [node.id]);
         }
         let cur = match store.table.get(node.id) {
@@ -898,7 +1083,13 @@ where
             // Damaged page: nothing to repack; the damage latch forces a
             // rollback that supersedes this repair anyway.
             None if paged => continue,
-            None => panic!("owned peripheral data present"),
+            None => crate::error::invariant_violated(
+                store.rank,
+                format!(
+                    "no data for owned peripheral node {} at shadow resync",
+                    node.id
+                ),
+            ),
         };
         rank.advance(costs.per_shadow_pack * node.shadow_for.len() as f64);
         for &p in &node.shadow_for {

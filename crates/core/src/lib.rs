@@ -61,7 +61,9 @@ pub mod store;
 pub mod timers;
 
 pub use costs::CostModel;
-pub use driver::{catch_flow_deadlock, run, try_run, ExchangeMode, RunConfig, RunReport};
+pub use driver::{
+    catch_flow_deadlock, run, try_run, ExchangeMode, ExecutionPolicy, RunConfig, RunReport,
+};
 pub use error::{PlatformError, StoreViolation};
 pub use hashtab::NodeTable;
 pub use imbalance::{GrainSchedule, ShiftingWindowLoad, StragglerDetector};
@@ -76,8 +78,8 @@ pub use timers::{Phase, PhaseTimers};
 pub mod prelude {
     pub use crate::{
         catch_flow_deadlock, run, try_run, AvgProgram, ComputeCtx, CostModel, EvictionPolicy,
-        ExchangeMode, GrainSchedule, MigrantPolicy, NeighborData, NodeProgram, PageConfig,
-        PlatformError, RunConfig, RunReport, ShiftingWindowLoad,
+        ExchangeMode, ExecutionPolicy, GrainSchedule, MigrantPolicy, NeighborData, NodeProgram,
+        PageConfig, PlatformError, RunConfig, RunReport, ShiftingWindowLoad,
     };
     pub use ic2_balance::{CentralizedHeuristic, Diffusion, DynamicBalancer, NoBalancer};
     pub use ic2_graph::{Graph, Partition};

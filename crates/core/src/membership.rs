@@ -117,6 +117,8 @@ where
     let mut checkpoint_bytes = 0u64;
     let mut delta_stats = exchange::DeltaStats::default();
     let mut quiescent_iterations = 0u32;
+    let mut inner_iterations = 0u32;
+    let mut barriers_elided = 0u64;
     // Membership state. `frozen` is the agreed suspected set governing the
     // *next* iteration — replicated, because every rank copies it out of
     // the same bit-identical verdict.
@@ -307,6 +309,48 @@ where
                 IterTracer::begin(rank, &timers)
             };
             let mut comp_this_iter = 0.0;
+
+            // ---- Inner (barrier-elided) rounds -------------------------
+            // Healthy rounds only: `frozen` is replicated (every rank
+            // copies it out of the same bit-identical verdict), so all
+            // ranks agree on whether this round elides its collectives.
+            // While degraded, every round is a global round — suspicion
+            // can only be refreshed at a control exchange, and the parked
+            // minority must keep mirroring the majority's collective
+            // footprint. Partition onset is therefore only ever detected
+            // at a global round, exactly like crashes under recovery.
+            if !degraded && !crate::driver::is_global_round(iter, cfg, true) {
+                for phase in 0..program.phases() {
+                    let ctx = ComputeCtx {
+                        iter,
+                        phase,
+                        rank: me,
+                        num_nodes,
+                    };
+                    exchange::inner_step(
+                        rank,
+                        program,
+                        &mut store,
+                        &ctx,
+                        &cfg.costs,
+                        &mut timers,
+                        &mut comp_this_iter,
+                    );
+                    barriers_elided += 1;
+                }
+                inner_iterations += 1;
+                counters.comp_since_balance += comp_this_iter;
+                if has_mem_faults {
+                    audit::inject_memory_faults(rank, &mut store, mem_epoch);
+                    mem_epoch += 1;
+                }
+                if let Some(tracer) = tracer {
+                    tracer.finish(rank, iter, &timers);
+                }
+                iter += 1;
+                continue;
+            }
+
             let mut changed_this_iter = 0u64;
             let mut saw_cut = false;
             if parked {
@@ -320,6 +364,31 @@ where
                     rank.barrier();
                 }
             } else {
+                // Replay the boundary passes the elided rounds skipped.
+                // Healthy stretches only: degraded rounds are all global
+                // (nothing was elided since the onset verdict, which fell
+                // on a pure-schedule global round), and the whole degraded
+                // stretch is discarded at heal anyway.
+                if !degraded {
+                    let missed = crate::driver::elided_before(iter, cfg, true);
+                    if missed > 0
+                        && exchange::catch_up_boundary(
+                            rank,
+                            program,
+                            &mut store,
+                            iter,
+                            missed,
+                            program.phases(),
+                            me,
+                            num_nodes,
+                            &cfg.costs,
+                            &mut timers,
+                            &mut comp_this_iter,
+                        )
+                    {
+                        store.needs_resync = true;
+                    }
+                }
                 for phase in 0..program.phases() {
                     let ctx = ComputeCtx {
                         iter,
@@ -700,7 +769,12 @@ where
                     store
                         .table
                         .get(node.id)
-                        .expect("owned node has data")
+                        .unwrap_or_else(|| {
+                            crate::error::invariant_violated(
+                                me,
+                                format!("no data for owned node {} at gather", node.id),
+                            )
+                        })
                         .clone(),
                 )
             })
@@ -769,6 +843,8 @@ where
         iterations_replayed,
         delta: delta_stats,
         quiescent_iterations,
+        inner_iterations,
+        barriers_elided,
         degraded_iterations,
         rejoins,
         rejoin_bytes,

@@ -43,9 +43,16 @@ pub struct NodeStore<D> {
     pub rank: u32,
     /// World size.
     pub nprocs: usize,
-    /// Owned nodes with every neighbour local.
+    /// Owned nodes with every neighbour local. Under
+    /// [`crate::ExecutionPolicy::Hybrid`] this is the *interior* set the
+    /// barrier-elided inner rounds advance on their own: no internal
+    /// node's neighbourhood crosses a rank boundary, so their updates need
+    /// no exchange until the next global round.
     pub internal: Vec<LocalNode>,
-    /// Owned nodes with at least one remote neighbour.
+    /// Owned nodes with at least one remote neighbour — the *boundary*
+    /// set. Hybrid execution defers their compute passes to the next
+    /// global round's catch-up, which replays the elided iterations for
+    /// exactly these nodes before the full exchange.
     pub peripheral: Vec<LocalNode>,
     /// Data for owned nodes *and* shadow nodes.
     pub table: NodeTable<D>,

@@ -8,7 +8,10 @@ pub enum Phase {
     /// Setting up node lists, data lists, hash tables, buffer plans.
     Initialization,
     /// Building the node+neighbour lists and updating data lists around
-    /// the actual node computation.
+    /// the actual node computation. Barrier-elided inner rounds under
+    /// [`crate::ExecutionPolicy::Hybrid`] charge only here, `Compute`, and
+    /// (when paging) `Storage` — never the communication or control
+    /// phases, which is where the elision savings show up.
     ComputationOverhead,
     /// The application node function itself.
     Compute,

@@ -422,18 +422,22 @@ impl Rank {
         }
     }
 
-    /// Count one credit stall (a send that had to wait for mailbox
-    /// capacity at least once). Nonblocking schedules built on
-    /// [`Rank::offer_credit`] call this when their first offer fails, so
-    /// the counter means the same thing on both the blocking and the
-    /// interleaved path.
-    pub fn count_credit_stall(&self) {
+    /// Count one credit stall: a sender (`src`) whose frame could not have
+    /// held a free slot in this rank's bounded mailbox for the current
+    /// exchange round. Called by the *receiver* at the canonical
+    /// virtual-time point where the overflowing frame's credit resolves —
+    /// the model is `max(0, frames_present - capacity)` stalls per round,
+    /// a pure function of the deterministic message schedule. Whether a
+    /// sender *physically* parked is a host-scheduling accident; this
+    /// canonical resolution point is what keeps same-seed traces
+    /// byte-identical at every mailbox capacity.
+    pub fn count_credit_stall(&self, src: usize) {
         self.stats.borrow_mut().credit_stalls += 1;
-        // NOTE: whether a stall happens at all depends on host scheduling
-        // (it models finite buffering, not virtual time), so this event —
-        // unlike everything fault- or clock-driven — is not reproducible
-        // byte-for-byte across runs. See the trace module docs.
-        self.trace_instant("credit_stall", "flow", &[]);
+        self.trace_instant(
+            "credit_stall",
+            "flow",
+            &[("src", ArgValue::U64(src as u64))],
+        );
     }
 
     /// Count one injected at-rest memory corruption on this rank
@@ -487,13 +491,11 @@ impl Rank {
         if self.shared.try_acquire_credit(self.id, dest) {
             return true;
         }
-        self.stats.borrow_mut().credit_stalls += 1;
-        // Host-schedule-dependent, like count_credit_stall above.
-        self.trace_instant(
-            "credit_stall",
-            "flow",
-            &[("dest", ArgValue::U64(dest as u64))],
-        );
+        // No stall counting here: whether this blocking send physically
+        // parks depends on host scheduling. Credit stalls are tallied at
+        // their canonical resolution point by the receiver (see
+        // [`Rank::count_credit_stall`]), which keeps the counter and its
+        // trace instants byte-deterministic at every capacity.
         self.shared.set_blocked(
             self.id,
             Some(BlockedOp {

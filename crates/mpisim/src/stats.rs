@@ -146,8 +146,13 @@ pub struct CommStats {
     pub bytes_to: Vec<u64>,
     /// Fault-injection events observed by this rank.
     pub faults: FaultStats,
-    /// Times a send by this rank had to wait for a credit (a free slot in
-    /// a bounded destination mailbox) before it could deliver.
+    /// Canonical credit stalls observed by this rank as a *receiver*: per
+    /// bounded shadow-exchange round, `max(0, frames_present - capacity)`
+    /// senders must have waited for a mailbox slot. Tallied at the
+    /// virtual-time point where each overflowing frame's credit resolves —
+    /// a pure function of the deterministic message schedule, so the count
+    /// (unlike a physically-observed stall) is identical across hosts and
+    /// runs. Zero whenever mailboxes are unbounded.
     pub credit_stalls: u64,
     /// Largest number of envelopes ever queued in this rank's mailbox.
     pub peak_mailbox_depth: u64,

@@ -397,10 +397,11 @@ fn million_node_out_of_core_run_is_exact_under_disk_faults() {
         pl
     };
     // 512 hash buckets per rank, 64 resident: ~1/8 of the partition in
-    // RAM at any time. RowBand, not Metis: the in-tree Metis's FM
-    // refinement is quadratic per pass on the fine graph and does not
-    // terminate in useful time at 10^6 nodes, while the band split is
-    // O(n log n) and gives a hex grid near-minimal cuts anyway.
+    // RAM at any time. Metis at full scale: FM refinement maintains an
+    // incremental gain heap, so the multilevel pipeline is n log n end to
+    // end and the real partitioner handles 10^6 nodes directly (the old
+    // full-rescan refinement was quadratic per pass and forced a RowBand
+    // workaround here).
     let cfg = |pl| {
         RunConfig::new(nprocs, iterations)
             .with_hash_buckets(512)
@@ -411,7 +412,7 @@ fn million_node_out_of_core_run_is_exact_under_disk_faults() {
     let a = run(
         &graph,
         &program,
-        &ic2_partition::bands::RowBand,
+        &Metis::default(),
         || NoBalancer,
         &cfg(plan()),
     );
@@ -424,7 +425,7 @@ fn million_node_out_of_core_run_is_exact_under_disk_faults() {
     let b = run(
         &graph,
         &program,
-        &ic2_partition::bands::RowBand,
+        &Metis::default(),
         || NoBalancer,
         &cfg(plan()),
     );

@@ -6,10 +6,12 @@
 //! platform computes or what the virtual clock reads. The bounded exchange
 //! drains opportunistically while waiting for credits and charges receipts
 //! in canonical order, so results and virtual-time totals are bit-identical
-//! to the unbounded run. Credit stalls are a wall-clock phenomenon (they
-//! depend on OS thread scheduling), so the only deterministic assertions
-//! about them are that unbounded runs have none; their *counts* under small
-//! capacities are intentionally never compared across runs.
+//! to the unbounded run. Credit stalls are counted at their canonical
+//! resolution point by the *receiver* — per bounded exchange round,
+//! `max(0, frames_present - capacity)` senders must have waited for a
+//! slot — so the counts are a pure function of the deterministic message
+//! schedule: identical across same-seed runs, monotone non-increasing in
+//! capacity, and zero when mailboxes are unbounded.
 
 use ic2_battlefield::{BattlefieldProgram, Scenario};
 use ic2mpi::prelude::*;
@@ -61,15 +63,61 @@ fn bounded_capacities_match_the_unbounded_run_bit_for_bit() {
             baseline.total_time.to_bits(),
             "capacity {cap}: the virtual clock must not see the backpressure"
         );
-        // Peak depth is a scheduling phenomenon like credit stalls — the
-        // control plane bypasses capacity, so no ordering against the
-        // unbounded run (or even against `cap`) is deterministic. Only
-        // assert that the gauge observed traffic at all.
+        // Peak depth is still a scheduling phenomenon (unlike the now
+        // canonical credit-stall counts) — the control plane bypasses
+        // capacity, so no ordering against the unbounded run (or even
+        // against `cap`) is deterministic. Only assert that the gauge
+        // observed traffic at all.
         assert!(
             bounded.peak_mailbox_depth > 0,
             "capacity {cap}: messages flowed, the depth gauge must move"
         );
     }
+}
+
+#[test]
+fn credit_stall_counts_are_canonical() {
+    // Dense random graph on 8 ranks: most ranks receive shadow frames
+    // from most others every round, so small capacities must overflow.
+    // The canonical count is a pure function of (schedule, capacity):
+    // same seed → same count, and fewer slots can never mean fewer
+    // stalls, because each round contributes max(0, present - capacity).
+    let graph = ic2_graph::generators::thesis_random_graph(64, 7);
+    let program = AvgProgram::fine();
+    let cfg = |cap: Option<usize>| {
+        let mut world = vt_world();
+        if let Some(c) = cap {
+            world = world.with_mailbox_capacity(c);
+        }
+        RunConfig::new(8, 10).with_world(world)
+    };
+    let run_cap = |cap| {
+        run(
+            &graph,
+            &program,
+            &Metis::default(),
+            || NoBalancer,
+            &cfg(cap),
+        )
+    };
+    let at2 = run_cap(Some(2));
+    let again = run_cap(Some(2));
+    assert_eq!(
+        at2.credit_stalls, again.credit_stalls,
+        "same seed, same capacity: the canonical count must not wobble"
+    );
+    let at3 = run_cap(Some(3));
+    assert!(
+        at2.credit_stalls > 0,
+        "capacity 2 on a dense graph must overflow"
+    );
+    assert!(
+        at2.credit_stalls >= at3.credit_stalls,
+        "fewer slots cannot mean fewer stalls: {} < {}",
+        at2.credit_stalls,
+        at3.credit_stalls
+    );
+    assert_eq!(run_cap(None).credit_stalls, 0);
 }
 
 #[test]

@@ -5,9 +5,11 @@
 //! 1. **Byte determinism** — the recorder only samples the virtual clock
 //!    and program-order counters, and the sinks serialize f64s with Rust's
 //!    shortest-roundtrip formatter, so two same-seed chaos runs render
-//!    byte-identical `trace.json` and timeline files. (Bounded mailboxes
-//!    are the one exception: credit-stall instants depend on host
-//!    scheduling, so these tests run unbounded, as does CI's `cmp` check.)
+//!    byte-identical `trace.json` and timeline files — at every mailbox
+//!    capacity. Credit-stall instants are recorded by the *receiver* at
+//!    the stall's canonical virtual-time resolution point (a pure function
+//!    of the deterministic message schedule), not when a sender physically
+//!    blocks, so bounded runs are no exception.
 //! 2. **Zero cost when disabled, zero *interference* when enabled** — the
 //!    recorder never touches any clock, so results and `total_time` are
 //!    bit-identical with tracing on and off, including under chaos.
@@ -73,6 +75,35 @@ fn same_seed_chaos_traces_are_byte_identical() {
         timeline_json(tb),
         "same seed must render a byte-identical timeline"
     );
+}
+
+#[test]
+fn bounded_mailbox_traces_are_byte_identical() {
+    // Historically bounded mailboxes were carved out of the
+    // byte-determinism claim because credit-stall instants were emitted
+    // when a sender physically blocked — a host-scheduling accident.
+    // They are now recorded by the receiver at the stall's canonical
+    // virtual-time resolution point, so the carve-out is gone: same seed,
+    // same capacity, same bytes.
+    let graph = ic2_graph::generators::hex_grid_n(64);
+    let program = AvgProgram::fine();
+    for cap in [2usize, 4] {
+        let cfg = RunConfig::new(8, 12)
+            .with_checkpointing(4)
+            .with_world(world(chaos_plan()).with_mailbox_capacity(cap))
+            .with_tracing();
+        let run_once = || run(&graph, &program, &Metis::default(), || NoBalancer, &cfg);
+        let (a, b) = (run_once(), run_once());
+        let ta = a.trace.as_deref().expect("tracing was enabled");
+        let tb = b.trace.as_deref().expect("tracing was enabled");
+        assert_eq!(
+            chrome_trace_json(ta),
+            chrome_trace_json(tb),
+            "capacity {cap}: same seed must render a byte-identical trace.json"
+        );
+        assert_eq!(timeline_json(ta), timeline_json(tb), "capacity {cap}");
+        assert_eq!(a.credit_stalls, b.credit_stalls, "capacity {cap}");
+    }
 }
 
 #[test]
